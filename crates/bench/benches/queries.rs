@@ -1,0 +1,26 @@
+//! Distance-query cost: Dijkstra on the sparse emulator vs BFS on G.
+//!
+//! The application story of near-additive emulators: approximate distance
+//! queries on a much smaller structure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use usnae_core::centralized::build_emulator;
+use usnae_core::params::CentralizedParams;
+use usnae_graph::{bfs, dijkstra, generators};
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 2048;
+    let g = generators::gnp_connected(n, 12.0 / n as f64, 42).unwrap();
+    let p = CentralizedParams::new(0.5, 8).unwrap();
+    let h = build_emulator(&g, &p);
+    let mut group = c.benchmark_group("sssp_query_n2048");
+    group.sample_size(20);
+    group.bench_function("bfs_on_g", |b| b.iter(|| bfs::bfs(&g, 17)));
+    group.bench_function("dijkstra_on_emulator", |b| {
+        b.iter(|| dijkstra::dijkstra(h.graph(), 17))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

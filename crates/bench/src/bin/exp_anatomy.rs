@@ -1,0 +1,14 @@
+//! F1–F3: edge anatomy per phase under different processing orders —
+//! includes the paper's §2.1.1 star order-dependence example.
+//!
+//! Usage: `cargo run --release -p usnae-bench --bin exp_anatomy [--n <n>]`
+
+use usnae_bench::{arg_usize, emit};
+use usnae_eval::experiments::anatomy;
+use usnae_eval::workloads::figure_suite;
+
+fn main() {
+    let n = arg_usize("--n", 128);
+    let table = anatomy(&figure_suite(n), 2, 0.5);
+    emit("f1_f3_anatomy", &table);
+}

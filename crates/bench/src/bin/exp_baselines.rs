@@ -1,0 +1,12 @@
+//! E8: emulator lineages compared — ours vs EP01 / TZ06 / EN17a.
+//!
+//! Usage: `cargo run --release -p usnae-bench --bin exp_baselines [--n <n>]`
+
+use usnae_bench::{arg_usize, emit};
+use usnae_eval::experiments::e8_baselines;
+
+fn main() {
+    let n = arg_usize("--n", 512);
+    let table = e8_baselines(n, &[2, 4, 8], 0.5, 42);
+    emit("e8_baselines", &table);
+}

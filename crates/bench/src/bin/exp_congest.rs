@@ -1,0 +1,23 @@
+//! E4/E5 (Cor 3.11/3.12): distributed CONGEST construction — rounds vs the
+//! paper's budget, size bound, both-endpoint knowledge.
+//!
+//! Usage: `cargo run --release -p usnae-bench --bin exp_congest [--n <n>] [--ultra]`
+
+use usnae_bench::{arg_usize, emit, has_flag};
+use usnae_eval::experiments::e4_congest;
+
+fn main() {
+    let n = arg_usize("--n", 256);
+    let ultra = has_flag("--ultra");
+    let table = e4_congest(n, 4, &[0.25, 0.34, 0.5], 0.5, 42, ultra);
+    emit(
+        if ultra {
+            "e5_congest_ultra"
+        } else {
+            "e4_congest"
+        },
+        &table,
+    );
+    let bad: f64 = table.column_f64("knowledge_bad").into_iter().sum();
+    println!("knowledge violations: {bad} (must be 0)");
+}

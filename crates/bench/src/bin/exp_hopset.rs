@@ -1,0 +1,64 @@
+//! Hopset view (§1.1): how many hops over `G ∪ H` reach the `(α, β)` target
+//! versus the hops pure `G` paths need. The emulator collapses the hopbound
+//! on high-diameter graphs — the property that makes near-additive
+//! emulators the engine of parallel/distributed shortest-path algorithms.
+//!
+//! Usage: `cargo run --release -p usnae-bench --bin exp_hopset [--n <n>]`
+
+use usnae_bench::{arg_usize, emit};
+use usnae_core::centralized::{build_emulator_traced, ProcessingOrder};
+use usnae_core::hopset::measure_hopbound;
+use usnae_core::params::CentralizedParams;
+use usnae_core::Emulator;
+use usnae_eval::table::Table;
+use usnae_graph::distance::{exact_pair_distances, sample_pairs};
+use usnae_graph::generators;
+
+fn main() {
+    let n = arg_usize("--n", 256);
+    let hop_limit = 2 * n.isqrt() + 20;
+    let mut t = Table::new(
+        "hopset view: hops to reach (alpha, beta) over G vs G ∪ H",
+        &[
+            "family",
+            "n",
+            "kappa",
+            "pairs",
+            "hopbound_g",
+            "hopbound_union",
+        ],
+    );
+    let workloads: Vec<(&str, usnae_graph::Graph)> = vec![
+        ("cycle", generators::cycle(n).expect("valid cycle")),
+        ("grid", {
+            let side = n.isqrt().max(2);
+            generators::grid2d(side, side).expect("valid grid")
+        }),
+        (
+            "caveman",
+            generators::caveman((n / 10).max(2), 10).expect("valid caveman"),
+        ),
+    ];
+    for (name, g) in workloads {
+        let nv = g.num_vertices();
+        for kappa in [4u32, 8] {
+            let p = CentralizedParams::with_raw_epsilon(0.5, kappa).expect("valid params");
+            let (h, _) = build_emulator_traced(&g, &p, ProcessingOrder::ByDegreeDesc);
+            let (alpha, beta) = p.certified_stretch();
+            let pairs = sample_pairs(&g, 120, 17);
+            let exact = exact_pair_distances(&g, &pairs);
+            let empty = Emulator::new(nv);
+            let plain = measure_hopbound(&g, &empty, &pairs, &exact, alpha, beta, hop_limit);
+            let union = measure_hopbound(&g, &h, &pairs, &exact, alpha, beta, hop_limit);
+            t.push_row(vec![
+                name.into(),
+                nv.to_string(),
+                kappa.to_string(),
+                union.pairs_checked.to_string(),
+                plain.hopbound.map_or(">limit".into(), |x| x.to_string()),
+                union.hopbound.map_or(">limit".into(), |x| x.to_string()),
+            ]);
+        }
+    }
+    emit("hopset_view", &t);
+}

@@ -1,0 +1,54 @@
+//! F5/F6: per-level stretch audit (Lemma 2.10) — every sampled pair is
+//! checked against the `(α_i, β_i)` bound of its *own* clustering level,
+//! a strictly sharper test than the final corollary.
+//!
+//! Usage: `cargo run --release -p usnae-bench --bin exp_segment [--n <n>] [--pairs <k>]`
+
+use usnae_bench::{arg_usize, emit};
+use usnae_core::centralized::{build_emulator_traced, ProcessingOrder};
+use usnae_core::params::CentralizedParams;
+use usnae_eval::segment_audit::segment_audit;
+use usnae_eval::table::{fmt_f64, Table};
+use usnae_eval::workloads::standard_suite;
+use usnae_graph::distance::sample_pairs;
+
+fn main() {
+    let n = arg_usize("--n", 512);
+    let pairs = arg_usize("--pairs", 300);
+    let mut t = Table::new(
+        "F5/F6 (Lemma 2.10): per-level stretch audit",
+        &[
+            "family",
+            "kappa",
+            "pairs",
+            "level_hist",
+            "violations",
+            "level0_err",
+        ],
+    );
+    for w in standard_suite(n, 42) {
+        for kappa in [4u32, 8] {
+            let p = CentralizedParams::with_raw_epsilon(0.5, kappa).expect("valid params");
+            let (h, trace) = build_emulator_traced(&w.graph, &p, ProcessingOrder::ByDegreeDesc);
+            let sampled = sample_pairs(&w.graph, pairs, 17);
+            let report = segment_audit(&w.graph, &h, &trace, &p, &sampled);
+            let hist = report
+                .level_histogram
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("/");
+            t.push_row(vec![
+                w.name.into(),
+                kappa.to_string(),
+                report.pairs_checked.to_string(),
+                hist,
+                report.level_violations.to_string(),
+                fmt_f64(report.level0_max_error as f64),
+            ]);
+        }
+    }
+    emit("f5_f6_segment", &t);
+    let violations: f64 = t.column_f64("violations").into_iter().sum();
+    println!("total per-level violations: {violations} (must be 0)");
+}

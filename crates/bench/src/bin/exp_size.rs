@@ -1,0 +1,18 @@
+//! E1 (Cor 2.14): emulator size vs the exact `n^(1+1/κ)` bound.
+//!
+//! Usage: `cargo run --release -p usnae-bench --bin exp_size [--n <max>]`
+
+use usnae_bench::{arg_usize, emit};
+use usnae_eval::experiments::e1_size;
+
+fn main() {
+    let max = arg_usize("--n", 1024);
+    let sizes: Vec<usize> = [256usize, 512, 1024, 2048, 4096]
+        .into_iter()
+        .filter(|&n| n <= max)
+        .collect();
+    let table = e1_size(&sizes, &[2, 3, 4, 8, 16], 0.5, 42);
+    emit("e1_size", &table);
+    let worst = table.column_f64("ratio").into_iter().fold(0.0f64, f64::max);
+    println!("worst ratio vs bound: {worst:.4} (must be <= 1)");
+}

@@ -1,0 +1,19 @@
+//! E7 (Cor 4.4): §4 spanner vs the EM19 baseline.
+//!
+//! Usage: `cargo run --release -p usnae-bench --bin exp_spanner [--n <max>]`
+
+use usnae_bench::{arg_usize, emit};
+use usnae_eval::experiments::e7_spanner;
+
+fn main() {
+    let max = arg_usize("--n", 1024);
+    let sizes: Vec<usize> = [256usize, 512, 1024, 2048]
+        .into_iter()
+        .filter(|&n| n <= max)
+        .collect();
+    let table = e7_spanner(&sizes, &[4, 8, 16], 0.5, 0.5, 42);
+    emit("e7_spanner", &table);
+    let factors = table.column_f64("em19_over_ours");
+    let mean = factors.iter().sum::<f64>() / factors.len().max(1) as f64;
+    println!("mean EM19/ours size factor: {mean:.3} (>= 1 on dense families)");
+}

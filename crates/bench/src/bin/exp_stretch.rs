@@ -1,0 +1,15 @@
+//! E3 (Cor 2.13): stretch audit — certified (α, β) vs measured.
+//!
+//! Usage: `cargo run --release -p usnae-bench --bin exp_stretch [--n <n>] [--pairs <k>]`
+
+use usnae_bench::{arg_usize, emit};
+use usnae_eval::experiments::e3_stretch;
+
+fn main() {
+    let n = arg_usize("--n", 512);
+    let pairs = arg_usize("--pairs", 400);
+    let table = e3_stretch(n, &[2, 4, 8], &[0.9, 0.5, 0.25], pairs, 42);
+    emit("e3_stretch", &table);
+    let violations: f64 = table.column_f64("violations").into_iter().sum();
+    println!("total violations: {violations} (must be 0)");
+}

@@ -1,0 +1,21 @@
+//! E2 (Cor 2.15): ultra-sparse emulators at κ = log²n — edges/n → 1.
+//!
+//! Usage: `cargo run --release -p usnae-bench --bin exp_ultra_sparse [--n <max>]`
+
+use usnae_bench::{arg_usize, emit};
+use usnae_eval::experiments::e2_ultra_sparse;
+
+fn main() {
+    let max = arg_usize("--n", 2048);
+    let sizes: Vec<usize> = [256usize, 512, 1024, 2048, 4096]
+        .into_iter()
+        .filter(|&n| n <= max)
+        .collect();
+    let table = e2_ultra_sparse(&sizes, 0.5, 42);
+    emit("e2_ultra_sparse", &table);
+    let worst = table
+        .column_f64("edges_over_n")
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    println!("worst edges/n: {worst:.4} (must tend to 1 as n grows)");
+}

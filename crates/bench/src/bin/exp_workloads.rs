@@ -1,0 +1,40 @@
+//! Documents the workload suite (substitution S3): per-family structural
+//! profile, so experiment tables can be read in context.
+//!
+//! Usage: `cargo run --release -p usnae-bench --bin exp_workloads [--n <n>]`
+
+use usnae_bench::{arg_usize, emit};
+use usnae_eval::table::{fmt_f64, Table};
+use usnae_eval::workloads::standard_suite;
+use usnae_graph::metrics::summarize;
+
+fn main() {
+    let n = arg_usize("--n", 1024);
+    let mut t = Table::new(
+        "workload suite profile",
+        &[
+            "family",
+            "n",
+            "m",
+            "min_deg",
+            "max_deg",
+            "avg_deg",
+            "diam_est",
+            "clustering",
+        ],
+    );
+    for w in standard_suite(n, 42) {
+        let s = summarize(&w.graph);
+        t.push_row(vec![
+            w.name.into(),
+            s.n.to_string(),
+            s.m.to_string(),
+            s.min_degree.to_string(),
+            s.max_degree.to_string(),
+            fmt_f64(s.avg_degree),
+            s.diameter_estimate.to_string(),
+            fmt_f64(s.clustering),
+        ]);
+    }
+    emit("workloads", &t);
+}

@@ -1,0 +1,61 @@
+//! Shared plumbing for the `exp_*` experiment binaries.
+//!
+//! Each binary prints its tables to stdout and mirrors them as CSV under
+//! `target/experiments/`, so `EXPERIMENTS.md` can reference stable files.
+
+use std::path::PathBuf;
+use usnae_eval::table::Table;
+
+/// Directory where experiment CSVs land.
+pub fn experiments_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd accessible");
+    // Walk up to the workspace root if invoked from a crate dir.
+    while !dir.join("Cargo.toml").exists() && dir.pop() {}
+    dir.join("target").join("experiments")
+}
+
+/// Prints a table and writes `<name>.csv` next to its siblings.
+///
+/// # Panics
+///
+/// Panics when the output directory cannot be created or written — the
+/// binaries have nothing sensible to do without their output.
+pub fn emit(name: &str, table: &Table) {
+    println!("{table}");
+    let dir = experiments_dir();
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, table.to_csv()).expect("write csv");
+    println!("[csv] {}\n", path.display());
+}
+
+/// Parses `--flag` style booleans from argv.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Parses `--key value` style usize arguments from argv.
+pub fn arg_usize(key: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == key)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiments_dir_is_under_target() {
+        let d = experiments_dir();
+        assert!(d.ends_with("target/experiments"));
+    }
+
+    #[test]
+    fn arg_parsing_defaults() {
+        assert_eq!(arg_usize("--definitely-not-passed", 42), 42);
+        assert!(!has_flag("--definitely-not-passed"));
+    }
+}

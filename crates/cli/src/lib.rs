@@ -1,0 +1,330 @@
+//! Library half of the `usnae` command-line tool: argument parsing and the
+//! build pipeline, separated from `main` so they are unit-testable.
+//!
+//! ```text
+//! usnae build --input graph.txt --output emulator.txt \
+//!       [--mode centralized|fast|spanner] [--eps 0.5] [--kappa 4] [--rho 0.5]
+//!       [--raw-eps] [--report]
+//! ```
+//!
+//! Input is a whitespace edge list (`u v` per line, `#` comments); output is
+//! a weighted edge list (`u v w`) — the emulator `H` — plus an optional
+//! stretch/size report on stderr-friendly stdout lines.
+
+use std::fmt;
+use std::io::BufReader;
+
+use usnae_core::centralized::build_emulator;
+use usnae_core::fast_centralized::build_emulator_fast;
+use usnae_core::params::{CentralizedParams, DistributedParams, SpannerParams};
+use usnae_core::spanner::build_spanner;
+use usnae_core::Emulator;
+use usnae_graph::{io as gio, Graph};
+
+/// Which construction to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Algorithm 1 (§2).
+    #[default]
+    Centralized,
+    /// The fast centralized simulation (§3.3).
+    Fast,
+    /// The §4 subgraph spanner.
+    Spanner,
+}
+
+impl Mode {
+    fn parse(s: &str) -> Option<Mode> {
+        match s {
+            "centralized" => Some(Mode::Centralized),
+            "fast" => Some(Mode::Fast),
+            "spanner" => Some(Mode::Spanner),
+            _ => None,
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Input edge-list path.
+    pub input: String,
+    /// Output weighted-edge-list path.
+    pub output: Option<String>,
+    /// Construction to run.
+    pub mode: Mode,
+    /// ε (public, unless `raw_eps`).
+    pub epsilon: f64,
+    /// κ.
+    pub kappa: u32,
+    /// ρ (fast/spanner modes).
+    pub rho: f64,
+    /// Skip the paper's rescaling.
+    pub raw_eps: bool,
+    /// Print the size/stretch report.
+    pub report: bool,
+}
+
+/// A user-facing CLI error with a message and the usage string.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage banner.
+pub const USAGE: &str = "usage: usnae build --input <edge-list> [--output <path>] \
+[--mode centralized|fast|spanner] [--eps <0..1>] [--kappa <k>=4] [--rho <r>=0.5] \
+[--raw-eps] [--report]";
+
+/// Parses argv (excluding the program name).
+///
+/// # Errors
+///
+/// [`CliError`] with a human-readable message on any malformed input.
+pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("build") => {}
+        Some(other) => return Err(CliError(format!("unknown subcommand {other:?}\n{USAGE}"))),
+        None => return Err(CliError(USAGE.to_string())),
+    }
+    let mut opts = Options {
+        input: String::new(),
+        output: None,
+        mode: Mode::Centralized,
+        epsilon: 0.5,
+        kappa: 4,
+        rho: 0.5,
+        raw_eps: false,
+        report: false,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} needs a value\n{USAGE}")))
+        };
+        match flag.as_str() {
+            "--input" => opts.input = value("--input")?,
+            "--output" => opts.output = Some(value("--output")?),
+            "--mode" => {
+                let v = value("--mode")?;
+                opts.mode = Mode::parse(&v)
+                    .ok_or_else(|| CliError(format!("unknown mode {v:?}\n{USAGE}")))?;
+            }
+            "--eps" => {
+                opts.epsilon = value("--eps")?
+                    .parse()
+                    .map_err(|_| CliError("--eps must be a float".into()))?;
+            }
+            "--kappa" => {
+                opts.kappa = value("--kappa")?
+                    .parse()
+                    .map_err(|_| CliError("--kappa must be an integer".into()))?;
+            }
+            "--rho" => {
+                opts.rho = value("--rho")?
+                    .parse()
+                    .map_err(|_| CliError("--rho must be a float".into()))?;
+            }
+            "--raw-eps" => opts.raw_eps = true,
+            "--report" => opts.report = true,
+            other => return Err(CliError(format!("unknown flag {other:?}\n{USAGE}"))),
+        }
+    }
+    if opts.input.is_empty() {
+        return Err(CliError(format!("--input is required\n{USAGE}")));
+    }
+    Ok(opts)
+}
+
+/// Builds the requested structure, returning it plus the certified stretch.
+///
+/// # Errors
+///
+/// [`CliError`] wrapping parameter or construction problems.
+pub fn run_build(g: &Graph, opts: &Options) -> Result<(Emulator, f64, f64), CliError> {
+    let wrap = |e: usnae_core::ParamError| CliError(e.to_string());
+    match opts.mode {
+        Mode::Centralized => {
+            let p = if opts.raw_eps {
+                CentralizedParams::with_raw_epsilon(opts.epsilon, opts.kappa)
+            } else {
+                CentralizedParams::new(opts.epsilon, opts.kappa)
+            }
+            .map_err(wrap)?;
+            let (a, b) = p.certified_stretch();
+            Ok((build_emulator(g, &p), a, b))
+        }
+        Mode::Fast => {
+            let p = if opts.raw_eps {
+                DistributedParams::with_raw_epsilon(opts.epsilon, opts.kappa, opts.rho)
+            } else {
+                DistributedParams::new(opts.epsilon, opts.kappa, opts.rho)
+            }
+            .map_err(wrap)?;
+            let (a, b) = p.certified_stretch();
+            Ok((build_emulator_fast(g, &p), a, b))
+        }
+        Mode::Spanner => {
+            let p = if opts.raw_eps {
+                SpannerParams::with_raw_epsilon(opts.epsilon, opts.kappa, opts.rho)
+            } else {
+                SpannerParams::new(opts.epsilon, opts.kappa, opts.rho)
+            }
+            .map_err(wrap)?;
+            let (a, b) = p.certified_stretch();
+            Ok((build_spanner(g, &p), a, b))
+        }
+    }
+}
+
+/// Full pipeline: read, build, optionally write and report. Returns the
+/// report lines printed.
+///
+/// # Errors
+///
+/// [`CliError`] on any I/O, parse, or parameter failure.
+pub fn execute(opts: &Options) -> Result<Vec<String>, CliError> {
+    let file = std::fs::File::open(&opts.input)
+        .map_err(|e| CliError(format!("cannot open {}: {e}", opts.input)))?;
+    let g = gio::read_edge_list(BufReader::new(file), 0)
+        .map_err(|e| CliError(format!("cannot parse {}: {e}", opts.input)))?;
+    let (h, alpha, beta) = run_build(&g, opts)?;
+    if let Some(out) = &opts.output {
+        let file = std::fs::File::create(out)
+            .map_err(|e| CliError(format!("cannot create {out}: {e}")))?;
+        gio::write_weighted_edge_list(h.graph(), std::io::BufWriter::new(file))
+            .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+    }
+    let mut lines = vec![format!(
+        "input: {} vertices, {} edges; output ({:?}): {} edges",
+        g.num_vertices(),
+        g.num_edges(),
+        opts.mode,
+        h.num_edges()
+    )];
+    if opts.report {
+        let bound = (g.num_vertices() as f64).powf(1.0 + 1.0 / opts.kappa as f64);
+        lines.push(format!(
+            "size bound n^(1+1/kappa) = {bound:.1}; ratio = {:.4}",
+            h.num_edges() as f64 / bound
+        ));
+        lines.push(format!(
+            "certified stretch: d_H <= {alpha:.4} * d_G + {beta:.1}"
+        ));
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_full_command() {
+        let o = parse_args(&args(
+            "build --input g.txt --output h.txt --mode spanner --eps 0.25 --kappa 8 --rho 0.4 --raw-eps --report",
+        ))
+        .unwrap();
+        assert_eq!(o.mode, Mode::Spanner);
+        assert_eq!(o.kappa, 8);
+        assert_eq!(o.epsilon, 0.25);
+        assert_eq!(o.rho, 0.4);
+        assert!(o.raw_eps && o.report);
+        assert_eq!(o.output.as_deref(), Some("h.txt"));
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let o = parse_args(&args("build --input g.txt")).unwrap();
+        assert_eq!(o.mode, Mode::Centralized);
+        assert_eq!(o.kappa, 4);
+        assert_eq!(o.epsilon, 0.5);
+        assert!(!o.raw_eps);
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&args("")).is_err());
+        assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("build")).is_err()); // missing --input
+        assert!(parse_args(&args("build --input g.txt --mode nope")).is_err());
+        assert!(parse_args(&args("build --input g.txt --kappa banana")).is_err());
+        assert!(parse_args(&args("build --input")).is_err()); // dangling value
+    }
+
+    #[test]
+    fn end_to_end_roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("usnae-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("g.txt");
+        let output = dir.join("h.txt");
+        // A small cycle graph.
+        let mut text = String::from("# cycle\n");
+        for i in 0..12 {
+            text.push_str(&format!("{} {}\n", i, (i + 1) % 12));
+        }
+        std::fs::write(&input, text).unwrap();
+        let opts = parse_args(&args(&format!(
+            "build --input {} --output {} --report",
+            input.display(),
+            output.display()
+        )))
+        .unwrap();
+        let lines = execute(&opts).unwrap();
+        assert!(lines[0].contains("12 vertices"));
+        assert!(lines.iter().any(|l| l.contains("certified stretch")));
+        // Output parses back as a weighted graph.
+        let file = std::fs::File::open(&output).unwrap();
+        let h =
+            usnae_graph::io::read_weighted_edge_list(std::io::BufReader::new(file), 12).unwrap();
+        assert!(h.num_edges() > 0);
+    }
+
+    #[test]
+    fn build_modes_all_work() {
+        let g = usnae_graph::generators::gnp_connected(60, 0.1, 3).unwrap();
+        for mode in [Mode::Centralized, Mode::Fast, Mode::Spanner] {
+            let opts = Options {
+                input: String::new(),
+                output: None,
+                mode,
+                epsilon: 0.5,
+                kappa: 4,
+                rho: 0.5,
+                raw_eps: false,
+                report: false,
+            };
+            let (h, alpha, beta) = run_build(&g, &opts).unwrap();
+            assert!(h.num_edges() > 0, "{mode:?}");
+            assert!(alpha >= 1.0 && beta >= 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_params_surface_as_cli_errors() {
+        let g = usnae_graph::generators::path(5).unwrap();
+        let opts = Options {
+            input: String::new(),
+            output: None,
+            mode: Mode::Centralized,
+            epsilon: 2.0, // invalid
+            kappa: 4,
+            rho: 0.5,
+            raw_eps: false,
+            report: false,
+        };
+        assert!(run_build(&g, &opts).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! The `usnae` command-line tool: build ultra-sparse near-additive
+//! emulators/spanners from edge-list files. See [`usnae_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match usnae_cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match usnae_cli::execute(&opts) {
+        Ok(lines) => {
+            for l in lines {
+                println!("{l}");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

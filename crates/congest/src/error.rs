@@ -1,0 +1,67 @@
+//! Errors raised by the CONGEST simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Violations of the CONGEST contract or resource limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CongestError {
+    /// A node attempted to send to a vertex that is not its graph neighbor.
+    NotNeighbor {
+        /// Sending vertex.
+        from: usize,
+        /// Intended recipient.
+        to: usize,
+    },
+    /// A message exceeded [`MAX_WORDS`](crate::MAX_WORDS).
+    MessageTooLarge {
+        /// Measured size in words.
+        words: usize,
+        /// The enforced cap.
+        limit: usize,
+    },
+    /// The run exceeded its round budget without quiescing.
+    RoundLimitExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::NotNeighbor { from, to } => {
+                write!(f, "vertex {from} attempted to message non-neighbor {to}")
+            }
+            CongestError::MessageTooLarge { words, limit } => {
+                write!(
+                    f,
+                    "message of {words} words exceeds the {limit}-word congest limit"
+                )
+            }
+            CongestError::RoundLimitExceeded { limit } => {
+                write!(f, "algorithm did not quiesce within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl Error for CongestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CongestError::NotNeighbor { from: 1, to: 2 }
+            .to_string()
+            .contains("non-neighbor 2"));
+        assert!(CongestError::MessageTooLarge { words: 9, limit: 4 }
+            .to_string()
+            .contains("9 words"));
+        assert!(CongestError::RoundLimitExceeded { limit: 10 }
+            .to_string()
+            .contains("10 rounds"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Deterministic synchronous CONGEST-model simulator.
+//!
+//! The distributed model of the paper (§1.5.1, after \[Pel00\]): processors
+//! sit at the vertices of the input graph and communicate with their
+//! neighbors in synchronous rounds; each round, **at most one message of
+//! `O(1)` words** crosses each edge *in each direction*. The running time of
+//! an algorithm is the number of rounds it takes.
+//!
+//! This crate enforces that contract mechanically:
+//!
+//! * every directed edge owns a FIFO queue; the engine delivers **exactly one
+//!   queued message per direction per round** (excess sends pipeline into
+//!   later rounds, exactly like a real CONGEST broadcast);
+//! * payloads declare their size in words via [`Words::words`] and the
+//!   engine rejects oversized messages;
+//! * [`Metrics`] accrue rounds, delivered messages, and peak in-flight
+//!   queue length, so experiment E4 can compare measured rounds against the
+//!   paper's `O(β·n^ρ)` budget.
+//!
+//! Algorithms implement [`NodeAlgorithm`]: one object owns the state of all
+//! `n` processors (indexed by vertex), and the engine drives it one round at
+//! a time. Multi-stage constructions run several algorithms back to back on
+//! the same [`Simulator`], accumulating a single round count.
+//!
+//! # Example: flooding the minimum id
+//!
+//! ```
+//! use usnae_congest::{NodeAlgorithm, Ctx, Simulator, Words};
+//! use usnae_graph::generators;
+//!
+//! struct MinFlood { best: Vec<u64>, dirty: Vec<bool> }
+//!
+//! impl NodeAlgorithm for MinFlood {
+//!     type Msg = u64;
+//!     fn init(&mut self, node: usize, ctx: &mut Ctx<'_, u64>) {
+//!         ctx.broadcast(self.best[node]);
+//!     }
+//!     fn round(&mut self, node: usize, inbox: &[(usize, u64)], ctx: &mut Ctx<'_, u64>) {
+//!         for &(_, id) in inbox {
+//!             if id < self.best[node] {
+//!                 self.best[node] = id;
+//!                 self.dirty[node] = true;
+//!             }
+//!         }
+//!         if self.dirty[node] {
+//!             self.dirty[node] = false;
+//!             ctx.broadcast(self.best[node]);
+//!         }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::cycle(16)?;
+//! let mut sim = Simulator::new(&g);
+//! let mut algo = MinFlood { best: (0..16u64).collect(), dirty: vec![false; 16] };
+//! sim.run(&mut algo, 1_000)?;
+//! assert!(algo.best.iter().all(|&b| b == 0));
+//! assert!(sim.metrics().rounds >= 8); // information travelled the cycle
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod metrics;
+pub mod simulator;
+
+pub use error::CongestError;
+pub use metrics::Metrics;
+pub use simulator::{Ctx, NodeAlgorithm, Simulator};
+
+/// Maximum payload size in machine words per message, the model's `O(1)`.
+///
+/// The paper's messages carry at most a couple of ids/distances; 4 words is a
+/// generous constant and every algorithm in this reproduction fits in it.
+pub const MAX_WORDS: usize = 4;
+
+/// Declares how many machine words a payload occupies on the wire.
+///
+/// The simulator enforces [`MAX_WORDS`] per message.
+pub trait Words {
+    /// Number of `O(log n)`-bit words this value occupies.
+    fn words(&self) -> usize;
+}
+
+impl Words for u64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for (u64, u64) {
+    fn words(&self) -> usize {
+        2
+    }
+}
+
+impl Words for () {
+    fn words(&self) -> usize {
+        0
+    }
+}

@@ -1,0 +1,61 @@
+//! Round/message accounting for CONGEST runs.
+
+/// Cumulative execution metrics for a [`Simulator`](crate::Simulator).
+///
+/// Metrics accumulate across successive `run` calls (a multi-stage algorithm
+/// is a single distributed execution) plus any explicitly charged rounds
+/// (substitution S2 in `DESIGN.md`: intra-cluster broadcasts whose depth the
+/// paper folds into the radius recursion).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Total synchronous rounds executed.
+    pub rounds: u64,
+    /// Rounds charged explicitly (subset of `rounds`).
+    pub charged_rounds: u64,
+    /// Total messages delivered over edges.
+    pub messages: u64,
+    /// Total payload volume in words.
+    pub words: u64,
+    /// Peak number of queued (in-flight) messages across all edges; a
+    /// congestion indicator for the pipelining analysis.
+    pub peak_in_flight: u64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Average messages per executed round (0.0 for an empty run).
+    pub fn messages_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.rounds, 0);
+        assert_eq!(m.messages, 0);
+        assert_eq!(m.messages_per_round(), 0.0);
+    }
+
+    #[test]
+    fn messages_per_round_divides() {
+        let m = Metrics {
+            rounds: 4,
+            messages: 10,
+            ..Metrics::new()
+        };
+        assert!((m.messages_per_round() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,501 @@
+//! The synchronous round engine.
+
+use crate::error::CongestError;
+use crate::metrics::Metrics;
+use crate::{Words, MAX_WORDS};
+use std::collections::VecDeque;
+use usnae_graph::Graph;
+
+/// Per-node, per-round interface handed to [`NodeAlgorithm`] callbacks.
+///
+/// Sends are validated against the CONGEST contract (recipient must be a
+/// graph neighbor; payload within [`MAX_WORDS`]); the first violation aborts
+/// the run with the corresponding [`CongestError`].
+pub struct Ctx<'a, M> {
+    node: usize,
+    round: u64,
+    graph: &'a Graph,
+    out: &'a mut Vec<(usize, usize, M)>,
+    error: &'a mut Option<CongestError>,
+}
+
+impl<'a, M: Words> Ctx<'a, M> {
+    /// Vertex this callback is executing at.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Current round number (1-based; `init` runs at round 0).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of vertices in the network.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Neighbors of the current vertex.
+    pub fn neighbors(&self) -> &'a [usize] {
+        self.graph.neighbors(self.node)
+    }
+
+    /// Queues `msg` for delivery to neighbor `to`. Messages sent in round
+    /// `r` are delivered no earlier than round `r + 1`; when several are
+    /// queued on one edge they pipeline, one per round.
+    pub fn send(&mut self, to: usize, msg: M) {
+        if self.error.is_some() {
+            return;
+        }
+        let words = msg.words();
+        if words > MAX_WORDS {
+            *self.error = Some(CongestError::MessageTooLarge {
+                words,
+                limit: MAX_WORDS,
+            });
+            return;
+        }
+        if self.graph.directed_edge_index(self.node, to).is_none() {
+            *self.error = Some(CongestError::NotNeighbor {
+                from: self.node,
+                to,
+            });
+            return;
+        }
+        self.out.push((self.node, to, msg));
+    }
+
+    /// Sends `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for &v in self.graph.neighbors(self.node) {
+            self.send(v, msg.clone());
+        }
+    }
+}
+
+/// A distributed algorithm: one object owns all `n` processors' state.
+///
+/// The engine calls [`init`](Self::init) once per node before the first
+/// round, then [`round`](Self::round) for every node in every round. The run
+/// ends when all edge queues are empty and every node reports
+/// [`is_idle`](Self::is_idle).
+pub trait NodeAlgorithm {
+    /// Message payload; must declare its wire size.
+    type Msg: Words + Clone;
+
+    /// One-time setup at `node`; may send initial messages.
+    fn init(&mut self, node: usize, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = (node, ctx);
+    }
+
+    /// Executes one synchronous round at `node`. `inbox` holds the messages
+    /// delivered this round as `(sender, payload)` pairs.
+    fn round(&mut self, node: usize, inbox: &[(usize, Self::Msg)], ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Whether `node` has no pending local work. A node waiting for a
+    /// future round boundary (stride synchronization) must return `false`,
+    /// otherwise the engine may stop early.
+    fn is_idle(&self, node: usize) -> bool {
+        let _ = node;
+        true
+    }
+
+    /// The next round at which this (non-idle) node will act even without
+    /// incoming messages, or `None` if it only reacts to messages.
+    ///
+    /// When **no** message is in flight, the engine fast-forwards to the
+    /// earliest declared wake-up instead of executing empty rounds one by
+    /// one. Skipped rounds still count toward [`Metrics::rounds`] — the
+    /// simulated execution is identical, just cheaper to simulate. Nodes
+    /// whose wake-up schedule is known (stride synchronization) should
+    /// implement this.
+    fn next_wakeup(&self, node: usize, now: u64) -> Option<u64> {
+        let _ = (node, now);
+        None
+    }
+}
+
+/// Synchronous CONGEST engine over a fixed graph.
+///
+/// Metrics accumulate across successive [`run`](Self::run) calls so a
+/// multi-stage construction is accounted as one distributed execution.
+#[derive(Debug)]
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    metrics: Metrics,
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates an engine over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        Simulator {
+            graph,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The underlying communication graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Cumulative metrics of all runs so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Explicitly charges `k` rounds to the execution without simulating
+    /// them (see substitution S2 in `DESIGN.md`: broadcasts inside clusters
+    /// whose round cost the paper folds into the radius recursion).
+    pub fn charge_rounds(&mut self, k: u64) {
+        self.metrics.rounds += k;
+        self.metrics.charged_rounds += k;
+    }
+
+    /// Runs `algo` until quiescence (no queued messages, all nodes idle).
+    ///
+    /// Returns the number of rounds this run consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::RoundLimitExceeded`] if quiescence is not reached
+    /// within `max_rounds`; [`CongestError::NotNeighbor`] /
+    /// [`CongestError::MessageTooLarge`] on contract violations.
+    pub fn run<A: NodeAlgorithm>(
+        &mut self,
+        algo: &mut A,
+        max_rounds: u64,
+    ) -> Result<u64, CongestError> {
+        let n = self.graph.num_vertices();
+        let mut queues: Vec<VecDeque<A::Msg>> = (0..self.graph.num_directed_edges())
+            .map(|_| VecDeque::new())
+            .collect();
+        let mut out: Vec<(usize, usize, A::Msg)> = Vec::new();
+        let mut error: Option<CongestError> = None;
+
+        // Init phase (round 0): nodes set up and may seed messages.
+        for node in 0..n {
+            let mut ctx = Ctx {
+                node,
+                round: 0,
+                graph: self.graph,
+                out: &mut out,
+                error: &mut error,
+            };
+            algo.init(node, &mut ctx);
+        }
+        if let Some(e) = error {
+            return Err(e);
+        }
+        let mut in_flight: u64 = 0;
+        for (from, to, msg) in out.drain(..) {
+            let idx = self
+                .graph
+                .directed_edge_index(from, to)
+                .expect("validated by ctx");
+            queues[idx].push_back(msg);
+            in_flight += 1;
+        }
+        self.metrics.peak_in_flight = self.metrics.peak_in_flight.max(in_flight);
+
+        let mut inboxes: Vec<Vec<(usize, A::Msg)>> = vec![Vec::new(); n];
+        let mut rounds_this_run: u64 = 0;
+        loop {
+            let quiescent = in_flight == 0 && (0..n).all(|v| algo.is_idle(v));
+            if quiescent {
+                return Ok(rounds_this_run);
+            }
+            if in_flight == 0 {
+                // Nothing in transit: fast-forward to the earliest declared
+                // wake-up if every busy node declares one. Skipped rounds
+                // still count — the execution is identical.
+                let mut earliest: Option<u64> = None;
+                let mut all_declared = true;
+                for v in 0..n {
+                    if algo.is_idle(v) {
+                        continue;
+                    }
+                    match algo.next_wakeup(v, rounds_this_run) {
+                        Some(w) => earliest = Some(earliest.map_or(w, |e: u64| e.min(w))),
+                        None => {
+                            all_declared = false;
+                            break;
+                        }
+                    }
+                }
+                if all_declared {
+                    if let Some(w) = earliest {
+                        if w > rounds_this_run + 1 {
+                            let skipped =
+                                (w - 1 - rounds_this_run).min(max_rounds - rounds_this_run);
+                            rounds_this_run += skipped;
+                            self.metrics.rounds += skipped;
+                        }
+                    }
+                }
+            }
+            if rounds_this_run >= max_rounds {
+                return Err(CongestError::RoundLimitExceeded { limit: max_rounds });
+            }
+            // Deliver one message per directed edge.
+            for v in 0..n {
+                inboxes[v].clear();
+                for &u in self.graph.neighbors(v) {
+                    let idx = self
+                        .graph
+                        .directed_edge_index(u, v)
+                        .expect("neighbor edge exists");
+                    if let Some(msg) = queues[idx].pop_front() {
+                        self.metrics.messages += 1;
+                        self.metrics.words += msg.words() as u64;
+                        in_flight -= 1;
+                        inboxes[v].push((u, msg));
+                    }
+                }
+            }
+            // Execute the round at every processor.
+            rounds_this_run += 1;
+            self.metrics.rounds += 1;
+            for node in 0..n {
+                let mut ctx = Ctx {
+                    node,
+                    round: rounds_this_run,
+                    graph: self.graph,
+                    out: &mut out,
+                    error: &mut error,
+                };
+                algo.round(node, &inboxes[node], &mut ctx);
+            }
+            if let Some(e) = error {
+                return Err(e);
+            }
+            for (from, to, msg) in out.drain(..) {
+                let idx = self
+                    .graph
+                    .directed_edge_index(from, to)
+                    .expect("validated by ctx");
+                queues[idx].push_back(msg);
+                in_flight += 1;
+            }
+            self.metrics.peak_in_flight = self.metrics.peak_in_flight.max(in_flight);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usnae_graph::generators;
+
+    /// Floods the minimum vertex id; classic leader election.
+    struct MinFlood {
+        best: Vec<u64>,
+        dirty: Vec<bool>,
+    }
+
+    impl MinFlood {
+        fn new(n: usize) -> Self {
+            MinFlood {
+                best: (0..n as u64).collect(),
+                dirty: vec![false; n],
+            }
+        }
+    }
+
+    impl NodeAlgorithm for MinFlood {
+        type Msg = u64;
+
+        fn init(&mut self, node: usize, ctx: &mut Ctx<'_, u64>) {
+            ctx.broadcast(self.best[node]);
+        }
+
+        fn round(&mut self, node: usize, inbox: &[(usize, u64)], ctx: &mut Ctx<'_, u64>) {
+            for &(_, id) in inbox {
+                if id < self.best[node] {
+                    self.best[node] = id;
+                    self.dirty[node] = true;
+                }
+            }
+            if self.dirty[node] {
+                self.dirty[node] = false;
+                ctx.broadcast(self.best[node]);
+            }
+        }
+    }
+
+    #[test]
+    fn min_flood_converges_in_diameter_rounds() {
+        let g = generators::path(10).unwrap();
+        let mut sim = Simulator::new(&g);
+        let mut algo = MinFlood::new(10);
+        let rounds = sim.run(&mut algo, 100).unwrap();
+        assert!(algo.best.iter().all(|&b| b == 0));
+        // Quiescence detection costs at most a couple of trailing rounds.
+        assert!((9..=12).contains(&rounds), "rounds = {rounds}");
+        assert!(sim.metrics().messages > 0);
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = generators::path(50).unwrap();
+        let mut sim = Simulator::new(&g);
+        let mut algo = MinFlood::new(50);
+        assert_eq!(
+            sim.run(&mut algo, 3),
+            Err(CongestError::RoundLimitExceeded { limit: 3 })
+        );
+    }
+
+    /// Sends to a non-neighbor to exercise validation.
+    struct BadSender;
+    impl NodeAlgorithm for BadSender {
+        type Msg = u64;
+        fn init(&mut self, node: usize, ctx: &mut Ctx<'_, u64>) {
+            if node == 0 {
+                ctx.send(2, 7); // 0 and 2 are not adjacent on a path
+            }
+        }
+        fn round(&mut self, _: usize, _: &[(usize, u64)], _: &mut Ctx<'_, u64>) {}
+    }
+
+    #[test]
+    fn non_neighbor_send_rejected() {
+        let g = generators::path(3).unwrap();
+        let mut sim = Simulator::new(&g);
+        assert_eq!(
+            sim.run(&mut BadSender, 10),
+            Err(CongestError::NotNeighbor { from: 0, to: 2 })
+        );
+    }
+
+    /// Message that lies about being huge.
+    #[derive(Clone, Debug)]
+    struct Huge;
+    impl Words for Huge {
+        fn words(&self) -> usize {
+            99
+        }
+    }
+    struct HugeSender;
+    impl NodeAlgorithm for HugeSender {
+        type Msg = Huge;
+        fn init(&mut self, node: usize, ctx: &mut Ctx<'_, Huge>) {
+            if node == 0 {
+                ctx.send(1, Huge);
+            }
+        }
+        fn round(&mut self, _: usize, _: &[(usize, Huge)], _: &mut Ctx<'_, Huge>) {}
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let g = generators::path(2).unwrap();
+        let mut sim = Simulator::new(&g);
+        assert_eq!(
+            sim.run(&mut HugeSender, 10),
+            Err(CongestError::MessageTooLarge {
+                words: 99,
+                limit: MAX_WORDS
+            })
+        );
+    }
+
+    /// Sends k messages at once over one edge; they must pipeline one per
+    /// round — the mechanism behind the paper's O(deg_i) stride costs.
+    struct Burst {
+        k: usize,
+        received_rounds: Vec<u64>,
+    }
+    impl NodeAlgorithm for Burst {
+        type Msg = u64;
+        fn init(&mut self, node: usize, ctx: &mut Ctx<'_, u64>) {
+            if node == 0 {
+                for i in 0..self.k {
+                    ctx.send(1, i as u64);
+                }
+            }
+        }
+        fn round(&mut self, node: usize, inbox: &[(usize, u64)], ctx: &mut Ctx<'_, u64>) {
+            if node == 1 {
+                for _ in inbox {
+                    self.received_rounds.push(ctx.round());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_pipeline_one_message_per_round() {
+        let g = generators::path(2).unwrap();
+        let mut sim = Simulator::new(&g);
+        let mut algo = Burst {
+            k: 5,
+            received_rounds: Vec::new(),
+        };
+        sim.run(&mut algo, 100).unwrap();
+        assert_eq!(algo.received_rounds, vec![1, 2, 3, 4, 5]);
+        assert_eq!(sim.metrics().peak_in_flight, 5);
+        assert_eq!(sim.metrics().messages, 5);
+    }
+
+    #[test]
+    fn metrics_accumulate_across_runs() {
+        let g = generators::cycle(8).unwrap();
+        let mut sim = Simulator::new(&g);
+        sim.run(&mut MinFlood::new(8), 100).unwrap();
+        let after_first = sim.metrics().rounds;
+        sim.run(&mut MinFlood::new(8), 100).unwrap();
+        assert!(sim.metrics().rounds > after_first);
+        sim.charge_rounds(17);
+        assert_eq!(sim.metrics().charged_rounds, 17);
+    }
+
+    #[test]
+    fn immediate_quiescence_costs_zero_rounds() {
+        struct Noop;
+        impl NodeAlgorithm for Noop {
+            type Msg = u64;
+            fn round(&mut self, _: usize, _: &[(usize, u64)], _: &mut Ctx<'_, u64>) {}
+        }
+        let g = generators::path(4).unwrap();
+        let mut sim = Simulator::new(&g);
+        assert_eq!(sim.run(&mut Noop, 10).unwrap(), 0);
+        assert_eq!(sim.metrics().rounds, 0);
+    }
+
+    #[test]
+    fn non_idle_node_keeps_engine_alive_until_boundary() {
+        /// Waits silently until round 5, then broadcasts once.
+        struct Waiter {
+            fired: bool,
+            heard: std::collections::HashSet<usize>,
+        }
+        impl NodeAlgorithm for Waiter {
+            type Msg = u64;
+            fn round(&mut self, node: usize, inbox: &[(usize, u64)], ctx: &mut Ctx<'_, u64>) {
+                if node == 0 && !self.fired && ctx.round() == 5 {
+                    self.fired = true;
+                    ctx.broadcast(42);
+                }
+                if !inbox.is_empty() {
+                    self.heard.insert(node);
+                }
+            }
+            fn is_idle(&self, node: usize) -> bool {
+                node != 0 || self.fired
+            }
+        }
+        let g = generators::star(5).unwrap();
+        let mut sim = Simulator::new(&g);
+        let mut algo = Waiter {
+            fired: false,
+            heard: Default::default(),
+        };
+        let rounds = sim.run(&mut algo, 100).unwrap();
+        assert_eq!(rounds, 6); // 5 waiting rounds + 1 delivery round
+        assert_eq!(algo.heard.len(), 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests for the CONGEST engine's contract: pipelining,
+//! fast-forward round accounting, and multi-run metric accumulation.
+
+use usnae_congest::{Ctx, NodeAlgorithm, Simulator};
+use usnae_graph::generators;
+
+/// Silent until a declared wake-up round, then bursts.
+struct ScheduledBurst {
+    wake: u64,
+    fired: bool,
+    received: Vec<u64>,
+}
+
+impl NodeAlgorithm for ScheduledBurst {
+    type Msg = u64;
+
+    fn round(&mut self, node: usize, inbox: &[(usize, u64)], ctx: &mut Ctx<'_, u64>) {
+        if node == 0 && !self.fired && ctx.round() == self.wake {
+            self.fired = true;
+            for i in 0..3 {
+                ctx.send(1, i);
+            }
+        }
+        if node == 1 {
+            for &(_, m) in inbox {
+                self.received.push(ctx.round() * 1000 + m);
+            }
+        }
+    }
+
+    fn is_idle(&self, node: usize) -> bool {
+        node != 0 || self.fired
+    }
+
+    fn next_wakeup(&self, node: usize, _now: u64) -> Option<u64> {
+        if node == 0 && !self.fired {
+            Some(self.wake)
+        } else {
+            None
+        }
+    }
+}
+
+#[test]
+fn fast_forward_counts_skipped_rounds() {
+    let g = generators::path(2).unwrap();
+    let mut sim = Simulator::new(&g);
+    let mut algo = ScheduledBurst {
+        wake: 500,
+        fired: false,
+        received: Vec::new(),
+    };
+    let rounds = sim.run(&mut algo, 10_000).unwrap();
+    // The engine must skip the quiet prefix but still count it, then
+    // deliver the 3-message burst pipelined over rounds 501..=503.
+    assert_eq!(rounds, 503);
+    assert_eq!(sim.metrics().rounds, 503);
+    assert_eq!(algo.received, vec![501_000, 502_001, 503_002]);
+}
+
+/// Ping-pong across a path: message latency equals distance.
+struct PingPong {
+    hops: Vec<u64>,
+}
+
+impl NodeAlgorithm for PingPong {
+    type Msg = u64;
+
+    fn init(&mut self, node: usize, ctx: &mut Ctx<'_, u64>) {
+        if node == 0 {
+            ctx.send(1, 0);
+        }
+    }
+
+    fn round(&mut self, node: usize, inbox: &[(usize, u64)], ctx: &mut Ctx<'_, u64>) {
+        for &(from, hops) in inbox {
+            self.hops[node] = hops + 1;
+            // Forward away from the sender if possible.
+            if let Some(&next) = ctx.neighbors().iter().find(|&&v| v != from) {
+                ctx.send(next, hops + 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn message_latency_equals_hop_distance() {
+    let n = 12;
+    let g = generators::path(n).unwrap();
+    let mut sim = Simulator::new(&g);
+    let mut algo = PingPong { hops: vec![0; n] };
+    let rounds = sim.run(&mut algo, 1000).unwrap();
+    assert_eq!(algo.hops[n - 1], (n - 1) as u64);
+    assert_eq!(rounds, (n - 1) as u64);
+}
+
+#[test]
+fn words_accounted() {
+    let g = generators::path(2).unwrap();
+    let mut sim = Simulator::new(&g);
+    let mut algo = PingPong { hops: vec![0; 2] };
+    sim.run(&mut algo, 100).unwrap();
+    assert_eq!(sim.metrics().messages, 1);
+    assert_eq!(sim.metrics().words, 1); // u64 payload = 1 word
+}

@@ -1,0 +1,270 @@
+//! Runtime re-check of the paper's charging argument (§2.2.1).
+//!
+//! Lemma 2.4's `|H| ≤ n^(1+1/κ)` rests on three facts about how edges are
+//! charged to vertices:
+//!
+//! 1. a center charged with interconnection edges in phase `i` is charged
+//!    with **fewer than `deg_i`** of them (it was unpopular);
+//! 2. a center is charged with **at most one** superclustering or
+//!    buffer-join edge per phase (it joins at most one supercluster);
+//! 3. no center is charged with both kinds in the same phase (it either
+//!    joined `U_i` or was superclustered).
+//!
+//! [`ChargeLedger`] replays an emulator's provenance records and certifies
+//! all three, giving the size bound a mechanical witness.
+
+use crate::emulator::{EdgeKind, Emulator};
+use std::collections::HashMap;
+use usnae_graph::VertexId;
+
+/// Per-(vertex, phase) charge counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Charges {
+    /// Interconnection edges charged.
+    pub interconnection: usize,
+    /// Superclustering + buffer-join edges charged.
+    pub superclustering: usize,
+}
+
+/// A violation of the charging discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChargeViolation {
+    /// A vertex absorbed `count ≥ deg_i` interconnection charges.
+    TooManyInterconnections {
+        /// The overloaded vertex.
+        vertex: VertexId,
+        /// The phase in which it happened.
+        phase: usize,
+        /// Charges observed.
+        count: usize,
+        /// The exclusive cap (`deg_i`, rounded up).
+        cap: usize,
+    },
+    /// A vertex was charged with more than one superclustering edge.
+    MultipleSuperclusterings {
+        /// The overloaded vertex.
+        vertex: VertexId,
+        /// The phase in which it happened.
+        phase: usize,
+        /// Charges observed.
+        count: usize,
+    },
+    /// A vertex carried both charge kinds in one phase.
+    MixedCharges {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// The phase in which it happened.
+        phase: usize,
+    },
+}
+
+impl std::fmt::Display for ChargeViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChargeViolation::TooManyInterconnections {
+                vertex,
+                phase,
+                count,
+                cap,
+            } => write!(
+                f,
+                "vertex {vertex} charged {count} interconnection edges in phase {phase} (cap {cap})"
+            ),
+            ChargeViolation::MultipleSuperclusterings {
+                vertex,
+                phase,
+                count,
+            } => write!(
+                f,
+                "vertex {vertex} charged {count} superclustering edges in phase {phase}"
+            ),
+            ChargeViolation::MixedCharges { vertex, phase } => {
+                write!(
+                    f,
+                    "vertex {vertex} carries both charge kinds in phase {phase}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChargeViolation {}
+
+/// Replayed charge table of an emulator build.
+#[derive(Debug, Clone, Default)]
+pub struct ChargeLedger {
+    charges: HashMap<(VertexId, usize), Charges>,
+    num_phases: usize,
+}
+
+impl ChargeLedger {
+    /// Replays every provenance record of `emulator`.
+    pub fn from_emulator(emulator: &Emulator) -> Self {
+        let mut ledger = ChargeLedger::default();
+        for (_, p) in emulator.provenance() {
+            let entry = ledger.charges.entry((p.charged_to, p.phase)).or_default();
+            match p.kind {
+                EdgeKind::Interconnection => entry.interconnection += 1,
+                EdgeKind::Superclustering | EdgeKind::BufferJoin => entry.superclustering += 1,
+            }
+            ledger.num_phases = ledger.num_phases.max(p.phase + 1);
+        }
+        ledger
+    }
+
+    /// Charges of `vertex` in `phase`.
+    pub fn charges(&self, vertex: VertexId, phase: usize) -> Charges {
+        self.charges
+            .get(&(vertex, phase))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Number of phases that charged anything.
+    pub fn num_phases(&self) -> usize {
+        self.num_phases
+    }
+
+    /// Total charges across all vertices and phases (equals the number of
+    /// provenance records).
+    pub fn total(&self) -> usize {
+        self.charges
+            .values()
+            .map(|c| c.interconnection + c.superclustering)
+            .sum()
+    }
+
+    /// Certifies the three charging rules. `degree_cap(i)` must return the
+    /// integer popularity threshold `⌈deg_i⌉` of phase `i`; rule 1 checks
+    /// `interconnection ≤ ⌈deg_i⌉ − 1` (i.e. strictly below `deg_i`).
+    ///
+    /// # Errors
+    ///
+    /// The first [`ChargeViolation`] found, in unspecified order.
+    pub fn verify(&self, degree_cap: impl Fn(usize) -> usize) -> Result<(), ChargeViolation> {
+        for (&(vertex, phase), c) in &self.charges {
+            let cap = degree_cap(phase);
+            if c.interconnection > cap.saturating_sub(1) {
+                return Err(ChargeViolation::TooManyInterconnections {
+                    vertex,
+                    phase,
+                    count: c.interconnection,
+                    cap,
+                });
+            }
+            if c.superclustering > 1 {
+                return Err(ChargeViolation::MultipleSuperclusterings {
+                    vertex,
+                    phase,
+                    count: c.superclustering,
+                });
+            }
+            if c.superclustering > 0 && c.interconnection > 0 {
+                return Err(ChargeViolation::MixedCharges { vertex, phase });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulator::EdgeProvenance;
+
+    fn prov(phase: usize, kind: EdgeKind, charged_to: VertexId) -> EdgeProvenance {
+        EdgeProvenance {
+            phase,
+            kind,
+            charged_to,
+        }
+    }
+
+    #[test]
+    fn ledger_counts_by_vertex_and_phase() {
+        let mut h = Emulator::new(6);
+        h.add_edge(0, 1, 1, prov(0, EdgeKind::Interconnection, 0));
+        h.add_edge(0, 2, 1, prov(0, EdgeKind::Interconnection, 0));
+        h.add_edge(3, 4, 1, prov(1, EdgeKind::Superclustering, 4));
+        let ledger = ChargeLedger::from_emulator(&h);
+        assert_eq!(ledger.charges(0, 0).interconnection, 2);
+        assert_eq!(ledger.charges(4, 1).superclustering, 1);
+        assert_eq!(ledger.charges(5, 0), Charges::default());
+        assert_eq!(ledger.total(), 3);
+        assert_eq!(ledger.num_phases(), 2);
+    }
+
+    #[test]
+    fn verify_accepts_legal_ledger() {
+        let mut h = Emulator::new(6);
+        h.add_edge(0, 1, 1, prov(0, EdgeKind::Interconnection, 0));
+        h.add_edge(2, 3, 1, prov(0, EdgeKind::BufferJoin, 3));
+        let ledger = ChargeLedger::from_emulator(&h);
+        assert!(ledger.verify(|_| 4).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_overloaded_interconnection() {
+        let mut h = Emulator::new(8);
+        for v in 1..5 {
+            h.add_edge(0, v, 1, prov(0, EdgeKind::Interconnection, 0));
+        }
+        let ledger = ChargeLedger::from_emulator(&h);
+        // Cap 4 means at most 3 interconnection charges are legal.
+        assert_eq!(
+            ledger.verify(|_| 4),
+            Err(ChargeViolation::TooManyInterconnections {
+                vertex: 0,
+                phase: 0,
+                count: 4,
+                cap: 4
+            })
+        );
+    }
+
+    #[test]
+    fn verify_rejects_double_supercluster_charge() {
+        let mut h = Emulator::new(6);
+        h.add_edge(0, 1, 1, prov(0, EdgeKind::Superclustering, 1));
+        h.add_edge(2, 1, 1, prov(0, EdgeKind::Superclustering, 1));
+        let ledger = ChargeLedger::from_emulator(&h);
+        assert!(matches!(
+            ledger.verify(|_| 10),
+            Err(ChargeViolation::MultipleSuperclusterings {
+                vertex: 1,
+                phase: 0,
+                count: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_mixed_charges() {
+        let mut h = Emulator::new(6);
+        h.add_edge(0, 1, 1, prov(0, EdgeKind::Interconnection, 1));
+        h.add_edge(2, 1, 1, prov(0, EdgeKind::BufferJoin, 1));
+        let ledger = ChargeLedger::from_emulator(&h);
+        assert!(matches!(
+            ledger.verify(|_| 10),
+            Err(ChargeViolation::MixedCharges { .. })
+        ));
+    }
+
+    #[test]
+    fn same_vertex_across_phases_is_fine() {
+        let mut h = Emulator::new(6);
+        h.add_edge(0, 1, 1, prov(0, EdgeKind::Interconnection, 1));
+        h.add_edge(2, 1, 1, prov(1, EdgeKind::Superclustering, 1));
+        let ledger = ChargeLedger::from_emulator(&h);
+        assert!(ledger.verify(|_| 10).is_ok());
+    }
+
+    #[test]
+    fn violation_display_names_vertex() {
+        let v = ChargeViolation::MixedCharges {
+            vertex: 9,
+            phase: 2,
+        };
+        assert!(v.to_string().contains("vertex 9"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Clusters and partial partitions `P_i`.
+//!
+//! Each phase `i` of the SAI construction operates on a *partial partition*
+//! `P_i` of `V` — a family of pairwise-disjoint vertex sets, each with a
+//! designated center `r_C ∈ C`. Phase 0 starts from singletons; each
+//! superclustering step merges clusters into disjoint superclusters
+//! (Lemma 2.2), so the history forms a laminar family (Lemma 2.9).
+
+use usnae_graph::VertexId;
+
+/// A cluster `C`: a designated center plus its member vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// The designated center `r_C ∈ C`.
+    pub center: VertexId,
+    /// All members, including the center.
+    pub members: Vec<VertexId>,
+}
+
+impl Cluster {
+    /// A singleton cluster `{v}` centered at `v`.
+    pub fn singleton(v: VertexId) -> Self {
+        Cluster {
+            center: v,
+            members: vec![v],
+        }
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Clusters are never empty (they contain their center).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `v` belongs to this cluster.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.members.contains(&v)
+    }
+}
+
+/// A partial partition of `V`: pairwise-disjoint clusters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Partition {
+    clusters: Vec<Cluster>,
+}
+
+impl Partition {
+    /// `P_0`: the partition of `V` into singletons.
+    pub fn singletons(n: usize) -> Self {
+        Partition {
+            clusters: (0..n).map(Cluster::singleton).collect(),
+        }
+    }
+
+    /// Builds from explicit clusters.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts pairwise disjointness and center membership.
+    pub fn from_clusters(clusters: Vec<Cluster>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = std::collections::HashSet::new();
+            for c in &clusters {
+                debug_assert!(c.members.contains(&c.center), "center must be a member");
+                for &v in &c.members {
+                    debug_assert!(seen.insert(v), "clusters must be disjoint (vertex {v})");
+                }
+            }
+        }
+        Partition { clusters }
+    }
+
+    /// The clusters, in index order.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Number of clusters `|P_i|`.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the partition has no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Cluster at `idx`.
+    pub fn cluster(&self, idx: usize) -> &Cluster {
+        &self.clusters[idx]
+    }
+
+    /// Centers of all clusters, in cluster order.
+    pub fn centers(&self) -> Vec<VertexId> {
+        self.clusters.iter().map(|c| c.center).collect()
+    }
+
+    /// Total number of clustered vertices.
+    pub fn num_covered(&self) -> usize {
+        self.clusters.iter().map(|c| c.len()).sum()
+    }
+
+    /// Map from center vertex to cluster index.
+    pub fn center_index(&self) -> std::collections::HashMap<VertexId, usize> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.center, i))
+            .collect()
+    }
+
+    /// Map from every covered vertex to its cluster index (`None` entries
+    /// for uncovered vertices); `n` is the universe size.
+    pub fn vertex_to_cluster(&self, n: usize) -> Vec<Option<usize>> {
+        let mut map = vec![None; n];
+        for (i, c) in self.clusters.iter().enumerate() {
+            for &v in &c.members {
+                map[v] = Some(i);
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_cluster() {
+        let c = Cluster::singleton(3);
+        assert_eq!(c.center, 3);
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(3));
+        assert!(!c.contains(0));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn singleton_partition_covers_everything() {
+        let p = Partition::singletons(5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.num_covered(), 5);
+        assert_eq!(p.centers(), vec![0, 1, 2, 3, 4]);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn vertex_to_cluster_maps_members() {
+        let p = Partition::from_clusters(vec![
+            Cluster {
+                center: 0,
+                members: vec![0, 1],
+            },
+            Cluster {
+                center: 4,
+                members: vec![4],
+            },
+        ]);
+        let map = p.vertex_to_cluster(6);
+        assert_eq!(map[1], Some(0));
+        assert_eq!(map[4], Some(1));
+        assert_eq!(map[5], None);
+        assert_eq!(p.num_covered(), 3);
+    }
+
+    #[test]
+    fn center_index_inverts_centers() {
+        let p = Partition::from_clusters(vec![
+            Cluster {
+                center: 2,
+                members: vec![2, 3],
+            },
+            Cluster {
+                center: 5,
+                members: vec![5],
+            },
+        ]);
+        let idx = p.center_index();
+        assert_eq!(idx[&2], 0);
+        assert_eq!(idx[&5], 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_clusters_rejected_in_debug() {
+        let _ = Partition::from_clusters(vec![
+            Cluster {
+                center: 0,
+                members: vec![0, 1],
+            },
+            Cluster {
+                center: 1,
+                members: vec![1],
+            },
+        ]);
+    }
+}

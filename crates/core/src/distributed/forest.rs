@@ -1,0 +1,189 @@
+//! Task 3a — the BFS ruling forest (§3.1.2).
+//!
+//! A synchronized multi-source BFS from the ruling set `S_i` to depth
+//! `rul_i + δ_i`: every reached vertex adopts the first exploration to
+//! arrive (ties within a round broken toward the smaller root id) and
+//! remembers its parent, depth and root. Messages are `(root, depth)`
+//! pairs; since all sources start simultaneously, each vertex forwards at
+//! most once and the run costs ≤ depth+1 rounds.
+
+use usnae_congest::{Ctx, NodeAlgorithm, Words};
+use usnae_graph::Dist;
+
+/// BFS adoption message: `(root id, adopter depth)`; 2 words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adopt {
+    /// Root of the exploration.
+    pub root: usize,
+    /// Depth the *receiver* would adopt at.
+    pub depth: Dist,
+}
+
+impl Words for Adopt {
+    fn words(&self) -> usize {
+        2
+    }
+}
+
+/// Per-vertex forest state after the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeSlot {
+    /// The adopted root.
+    pub root: usize,
+    /// Depth below the root (`= d_G(root, v)`, since explorations are
+    /// synchronized BFS waves).
+    pub depth: Dist,
+    /// BFS parent (`None` at roots).
+    pub parent: Option<usize>,
+}
+
+/// The distributed BFS-forest protocol.
+#[derive(Debug)]
+pub struct BfsForest {
+    depth_limit: Dist,
+    slot: Vec<Option<TreeSlot>>,
+    fresh: Vec<bool>,
+}
+
+impl BfsForest {
+    /// Prepares a forest growth from `roots` to `depth_limit`.
+    pub fn new(n: usize, roots: &[usize], depth_limit: Dist) -> Self {
+        let mut slot = vec![None; n];
+        for &r in roots {
+            slot[r] = Some(TreeSlot {
+                root: r,
+                depth: 0,
+                parent: None,
+            });
+        }
+        let fresh = (0..n).map(|v| slot[v].is_some()).collect();
+        BfsForest {
+            depth_limit,
+            slot,
+            fresh,
+        }
+    }
+
+    /// The adopted slot of `v`, if the forest reached it.
+    pub fn slot(&self, v: usize) -> Option<TreeSlot> {
+        self.slot[v]
+    }
+
+    /// Children lists derived from the parent pointers.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut children = vec![Vec::new(); self.slot.len()];
+        for (v, s) in self.slot.iter().enumerate() {
+            if let Some(TreeSlot {
+                parent: Some(p), ..
+            }) = s
+            {
+                children[*p].push(v);
+            }
+        }
+        children
+    }
+}
+
+impl NodeAlgorithm for BfsForest {
+    type Msg = Adopt;
+
+    fn init(&mut self, node: usize, ctx: &mut Ctx<'_, Adopt>) {
+        if self.fresh[node] {
+            self.fresh[node] = false;
+            if self.depth_limit > 0 {
+                ctx.broadcast(Adopt {
+                    root: node,
+                    depth: 1,
+                });
+            }
+        }
+    }
+
+    fn round(&mut self, node: usize, inbox: &[(usize, Adopt)], ctx: &mut Ctx<'_, Adopt>) {
+        if self.slot[node].is_none() {
+            // Adopt the smallest root offered this round (all offers share
+            // the same depth — synchronized BFS waves).
+            let best = inbox.iter().min_by_key(|(_, m)| m.root);
+            if let Some(&(from, msg)) = best {
+                self.slot[node] = Some(TreeSlot {
+                    root: msg.root,
+                    depth: msg.depth,
+                    parent: Some(from),
+                });
+                if msg.depth < self.depth_limit {
+                    ctx.broadcast(Adopt {
+                        root: msg.root,
+                        depth: msg.depth + 1,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usnae_congest::Simulator;
+    use usnae_graph::bfs::multi_source_bfs;
+    use usnae_graph::generators;
+
+    fn grow(g: &usnae_graph::Graph, roots: &[usize], depth: Dist) -> (BfsForest, u64) {
+        let mut sim = Simulator::new(g);
+        let mut algo = BfsForest::new(g.num_vertices(), roots, depth);
+        let rounds = sim.run(&mut algo, 1_000_000).unwrap();
+        (algo, rounds)
+    }
+
+    #[test]
+    fn matches_centralized_forest() {
+        let g = generators::grid2d(8, 8).unwrap();
+        let roots = [0usize, 63];
+        let (algo, _) = grow(&g, &roots, 100);
+        let reference = multi_source_bfs(&g, &roots, 100);
+        for v in 0..64 {
+            let slot = algo.slot(v).expect("connected graph fully covered");
+            assert_eq!(Some(slot.root), reference.root[v], "vertex {v}");
+            assert_eq!(slot.depth, reference.dist[v], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn respects_depth_limit() {
+        let g = generators::path(12).unwrap();
+        let (algo, rounds) = grow(&g, &[0], 4);
+        for v in 0..12 {
+            assert_eq!(algo.slot(v).is_some(), v <= 4, "vertex {v}");
+        }
+        assert!(rounds <= 6);
+    }
+
+    #[test]
+    fn ties_break_to_smaller_root() {
+        let g = generators::path(5).unwrap();
+        let (algo, _) = grow(&g, &[0, 4], 10);
+        assert_eq!(algo.slot(2).unwrap().root, 0);
+        assert_eq!(algo.slot(3).unwrap().root, 4);
+    }
+
+    #[test]
+    fn children_invert_parents() {
+        let g = generators::binary_tree(15).unwrap();
+        let (algo, _) = grow(&g, &[0], 10);
+        let children = algo.children();
+        assert_eq!(children[0].len(), 2);
+        for v in 1..15 {
+            let p = algo.slot(v).unwrap().parent.unwrap();
+            assert!(children[p].contains(&v));
+        }
+    }
+
+    #[test]
+    fn depth_zero_covers_only_roots() {
+        let g = generators::path(4).unwrap();
+        let (algo, rounds) = grow(&g, &[2], 0);
+        assert!(algo.slot(2).is_some());
+        assert!(algo.slot(1).is_none());
+        assert_eq!(rounds, 0);
+    }
+}

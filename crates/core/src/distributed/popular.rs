@@ -1,0 +1,325 @@
+//! Task 1 — detecting popular clusters (Algorithm 2, after EM19 Thm 2.1).
+//!
+//! A capped parallel Bellman-Ford from the cluster centers: `δ_i` strides of
+//! `⌈deg_i⌉ + 1` rounds each. During a stride every vertex forwards to all
+//! neighbors the (at most `⌈deg_i⌉ + 1`) center announcements it learned in
+//! the previous stride; anything beyond the cap is dropped — that is the
+//! whole trick: a vertex that *would* need to forward more has enough nearby
+//! centers around it that they are all popular anyway, so exact knowledge is
+//! only promised to (and needed by) centers that end up unpopular
+//! (Theorem 3.1).
+//!
+//! Messages are `(center, dist)` pairs: 2 words. A stride's forwards are
+//! enqueued at its first round and pipeline across the stride's rounds —
+//! exactly one message per edge-direction per round, as the CONGEST engine
+//! enforces.
+
+use std::collections::HashMap;
+use usnae_congest::{Ctx, NodeAlgorithm, Words};
+use usnae_graph::Dist;
+
+/// A center announcement: `(center id, distance to the receiving vertex)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Announce {
+    /// The cluster center being announced.
+    pub center: usize,
+    /// Distance from the receiver to that center along the announcement's
+    /// path (exact `d_G` when no cap dropped it, an overestimate never).
+    pub dist: Dist,
+}
+
+impl Words for Announce {
+    fn words(&self) -> usize {
+        2
+    }
+}
+
+/// The capped Bellman-Ford detector (Algorithm 2).
+///
+/// After [`run`](usnae_congest::Simulator::run) completes, per-node
+/// knowledge is read through [`known`](Self::known) /
+/// [`popular_centers`](Self::popular_centers).
+#[derive(Debug)]
+pub struct PopularDetect {
+    /// Popularity / forwarding cap `⌈deg_i⌉`.
+    cap: usize,
+    /// Number of strides `δ_i` (clamped by the driver to the graph size —
+    /// strides beyond the diameter are vacuous).
+    strides: u64,
+    /// Rounds per stride: `cap + 1`.
+    stride_len: u64,
+    source: Vec<bool>,
+    /// Everything each vertex has learned: center → distance.
+    known: Vec<HashMap<usize, Dist>>,
+    /// The neighbor each center was first learned from (routing pointer,
+    /// used by Theorem 3.1's "vertices on π know their distance" clause).
+    via: Vec<HashMap<usize, usize>>,
+    /// Learned during the current stride, in arrival order.
+    fresh: Vec<Vec<usize>>,
+    done: Vec<bool>,
+}
+
+impl PopularDetect {
+    /// Sets up a detection run from `sources` with popularity cap `cap`
+    /// (`= ⌈deg_i⌉`) and `strides = δ_i` (pre-clamped by the caller).
+    pub fn new(n: usize, sources: &[usize], cap: usize, strides: Dist) -> Self {
+        let mut source = vec![false; n];
+        for &s in sources {
+            source[s] = true;
+        }
+        let mut known: Vec<HashMap<usize, Dist>> = vec![HashMap::new(); n];
+        for &s in sources {
+            known[s].insert(s, 0);
+        }
+        PopularDetect {
+            cap,
+            strides,
+            stride_len: cap as u64 + 1,
+            source,
+            known,
+            via: vec![HashMap::new(); n],
+            fresh: vec![Vec::new(); n],
+            done: vec![false; n],
+        }
+    }
+
+    /// The stride a round belongs to (1-based).
+    fn stride_of(&self, round: u64) -> u64 {
+        round.div_ceil(self.stride_len)
+    }
+
+    /// Whether `round` is the last round of its stride (forwarding happens
+    /// here so the next stride's pipeline starts on its first round).
+    fn is_boundary(&self, round: u64) -> bool {
+        round.is_multiple_of(self.stride_len)
+    }
+
+    /// Everything `v` learned: `(center, dist)` pairs, including itself when
+    /// it is a source.
+    pub fn known(&self, v: usize) -> &HashMap<usize, Dist> {
+        &self.known[v]
+    }
+
+    /// The neighbor from which `v` first learned `center` (absent for `v`'s
+    /// own announcement).
+    pub fn learned_via(&self, v: usize, center: usize) -> Option<usize> {
+        self.via[v].get(&center).copied()
+    }
+
+    /// Number of *other* centers a source learned about.
+    pub fn others_known(&self, v: usize) -> usize {
+        let self_count = usize::from(self.source[v]);
+        self.known[v].len() - self_count
+    }
+
+    /// Sources that learned of at least `cap` other centers — the popular
+    /// set `W_i`.
+    pub fn popular_centers(&self) -> Vec<usize> {
+        (0..self.source.len())
+            .filter(|&v| self.source[v] && self.others_known(v) >= self.cap)
+            .collect()
+    }
+
+    fn forward(&mut self, node: usize, ctx: &mut Ctx<'_, Announce>) {
+        // Cap: at most cap + 1 of the freshly learned centers move on.
+        let take = self.fresh[node].len().min(self.cap + 1);
+        for idx in 0..take {
+            let center = self.fresh[node][idx];
+            let dist = self.known[node][&center];
+            ctx.broadcast(Announce {
+                center,
+                dist: dist + 1,
+            });
+        }
+        self.fresh[node].clear();
+    }
+}
+
+impl NodeAlgorithm for PopularDetect {
+    type Msg = Announce;
+
+    fn init(&mut self, node: usize, ctx: &mut Ctx<'_, Announce>) {
+        if self.strides == 0 {
+            self.done[node] = true;
+            return;
+        }
+        if self.source[node] {
+            // Stride 1's pipeline: announce yourself.
+            ctx.broadcast(Announce {
+                center: node,
+                dist: 1,
+            });
+        }
+    }
+
+    fn round(&mut self, node: usize, inbox: &[(usize, Announce)], ctx: &mut Ctx<'_, Announce>) {
+        if self.done[node] {
+            return;
+        }
+        let round = ctx.round();
+        for &(from, msg) in inbox {
+            if let std::collections::hash_map::Entry::Vacant(e) = self.known[node].entry(msg.center)
+            {
+                e.insert(msg.dist);
+                self.via[node].insert(msg.center, from);
+                self.fresh[node].push(msg.center);
+            }
+        }
+        if self.is_boundary(round) {
+            let stride = self.stride_of(round);
+            if stride < self.strides {
+                self.forward(node, ctx);
+            }
+            if stride >= self.strides {
+                self.done[node] = true;
+            }
+        }
+    }
+
+    fn is_idle(&self, node: usize) -> bool {
+        self.done[node] || self.fresh[node].is_empty()
+    }
+
+    fn next_wakeup(&self, node: usize, now: u64) -> Option<u64> {
+        if self.done[node] {
+            return None;
+        }
+        // A node holding fresh announcements acts at its next stride
+        // boundary; the engine may fast-forward quiet stretches to it.
+        Some((now / self.stride_len + 1) * self.stride_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usnae_congest::Simulator;
+    use usnae_graph::bfs::bfs;
+    use usnae_graph::generators;
+
+    fn run_detect(
+        g: &usnae_graph::Graph,
+        sources: &[usize],
+        cap: usize,
+        strides: Dist,
+    ) -> (PopularDetect, u64) {
+        let mut sim = Simulator::new(g);
+        let mut algo = PopularDetect::new(g.num_vertices(), sources, cap, strides);
+        let rounds = sim.run(&mut algo, 10_000_000).expect("run completes");
+        (algo, rounds)
+    }
+
+    #[test]
+    fn uncapped_detection_learns_exact_distances() {
+        // Large cap: nothing is dropped, so every vertex knows every center
+        // within δ strides at its exact BFS distance.
+        let g = generators::grid2d(6, 6).unwrap();
+        let sources: Vec<usize> = (0..36).step_by(5).collect();
+        let delta = 4;
+        let (algo, _) = run_detect(&g, &sources, 100, delta);
+        for v in 0..36 {
+            for &s in &sources {
+                let exact = bfs(&g, s)[v].unwrap();
+                let known = algo.known(v).get(&s).copied();
+                if exact <= delta {
+                    assert_eq!(known, Some(exact), "vertex {v} center {s}");
+                } else {
+                    assert_eq!(known, None, "vertex {v} center {s} beyond depth");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_threshold_applied() {
+        // Star: the hub sees all leaves within 1 stride; leaves see only the
+        // hub.
+        let g = generators::star(10).unwrap();
+        let sources: Vec<usize> = (0..10).collect();
+        let (algo, _) = run_detect(&g, &sources, 3, 1);
+        let popular = algo.popular_centers();
+        assert_eq!(popular, vec![0]);
+        assert_eq!(algo.others_known(0), 9);
+        assert_eq!(algo.others_known(5), 1);
+    }
+
+    #[test]
+    fn unpopular_centers_have_exact_knowledge() {
+        // Theorem 3.1(2): centers that do not become popular know every
+        // center within δ at the exact distance — even with capping active.
+        for seed in 0..4u64 {
+            let g = generators::gnp_connected(60, 0.07, seed).unwrap();
+            let sources: Vec<usize> = (0..60).collect();
+            let cap = 5;
+            let delta = 3;
+            let (algo, _) = run_detect(&g, &sources, cap, delta);
+            let popular: std::collections::HashSet<usize> =
+                algo.popular_centers().into_iter().collect();
+            for &c in &sources {
+                if popular.contains(&c) {
+                    continue;
+                }
+                let exact = bfs(&g, c);
+                for &other in &sources {
+                    if other == c {
+                        continue;
+                    }
+                    if let Some(d) = exact[other] {
+                        if d <= delta {
+                            assert_eq!(
+                                algo.known(c).get(&other).copied(),
+                                Some(d),
+                                "seed {seed}: unpopular {c} missing center {other}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_cost_matches_stride_budget() {
+        let g = generators::path(20).unwrap();
+        let cap = 2;
+        let delta = 5;
+        let (_, rounds) = run_detect(&g, &[0, 19], cap, delta);
+        // δ strides of (cap+1) rounds, minus whatever quiesces early.
+        assert!(rounds <= delta * (cap as u64 + 1) + 1, "rounds = {rounds}");
+        assert!(rounds >= delta, "rounds = {rounds}");
+    }
+
+    #[test]
+    fn via_pointers_trace_back_to_center() {
+        let g = generators::path(6).unwrap();
+        let (algo, _) = run_detect(&g, &[0], 4, 5);
+        // Walk the routing pointers from vertex 5 back to center 0.
+        let mut cur = 5;
+        let mut hops = 0;
+        while cur != 0 {
+            cur = algo.learned_via(cur, 0).expect("path recorded");
+            hops += 1;
+            assert!(hops <= 5);
+        }
+        assert_eq!(hops, 5);
+    }
+
+    #[test]
+    fn zero_strides_is_a_noop() {
+        let g = generators::path(4).unwrap();
+        let (algo, rounds) = run_detect(&g, &[0], 2, 0);
+        assert_eq!(rounds, 0);
+        assert_eq!(algo.others_known(0), 0);
+    }
+
+    #[test]
+    fn capping_limits_knowledge_spread() {
+        // Dense clique with tiny cap: popular centers may have incomplete
+        // knowledge, but every center still counts ≥ cap others (they are
+        // all within one hop).
+        let g = generators::complete_graph(12).unwrap();
+        let sources: Vec<usize> = (0..12).collect();
+        let (algo, _) = run_detect(&g, &sources, 3, 1);
+        assert_eq!(algo.popular_centers().len(), 12);
+    }
+}

@@ -1,0 +1,262 @@
+//! Task 2 — deterministic distributed ruling sets (substitution S1).
+//!
+//! The paper invokes \[SEW13, KMW18\] as a black box (Theorem 3.2). We
+//! implement deterministic *min-id ball carving*: repeat { every remaining
+//! candidate floods its id to depth `D = 2δ_i`; candidates that saw no
+//! smaller id join the ruling set; the winners flood a kill wave to depth
+//! `D`; dominated candidates retire } until no candidate remains.
+//!
+//! Guarantees (proved by the tests below):
+//!
+//! * **separation** ≥ `D + 1 = 2δ_i + 1 = sep_i` — two same-iteration
+//!   winners within `D` would see each other's ids and the larger would not
+//!   win; later candidates within `D` of a winner retire before winning;
+//! * **domination** ≤ `D = 2δ_i ≤ rul_i = (2/ρ)·δ_i` — a candidate only
+//!   retires when a winner is within `D`, and every candidate eventually
+//!   wins or retires (the minimum-id candidate always wins its iteration).
+//!
+//! Strictly better domination than the cited `(2/ρ)·δ_i`, so every
+//! downstream radius bound holds. Worst-case round complexity is higher
+//! (adversarial id chains force many iterations); measured rounds are
+//! reported next to the paper's Theorem 3.2 budget in experiment E4.
+
+use usnae_congest::{CongestError, Ctx, NodeAlgorithm, Simulator, Words};
+use usnae_graph::Dist;
+
+/// A flooded id with remaining time-to-live; 2 words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flood {
+    /// The (candidate or winner) id being flooded.
+    pub id: usize,
+    /// Hops this message may still travel (0 = absorb, don't forward).
+    pub ttl: Dist,
+}
+
+impl Words for Flood {
+    fn words(&self) -> usize {
+        2
+    }
+}
+
+/// One bounded min-id flood: sources flood their ids to depth `depth`;
+/// every vertex ends up knowing the minimum source id within `depth` of it.
+#[derive(Debug)]
+pub struct MinIdFlood {
+    depth: Dist,
+    /// Best (smallest) source id each vertex has seen, with the largest
+    /// remaining ttl it arrived with.
+    best: Vec<Option<(usize, Dist)>>,
+    /// Pending improvement to re-broadcast.
+    dirty: Vec<bool>,
+}
+
+impl MinIdFlood {
+    /// Floods from `sources` to depth `depth`.
+    pub fn new(n: usize, sources: &[usize], depth: Dist) -> Self {
+        let mut best = vec![None; n];
+        for &s in sources {
+            best[s] = Some((s, depth));
+        }
+        let dirty = (0..n).map(|v| best[v].is_some()).collect();
+        MinIdFlood { depth, best, dirty }
+    }
+
+    /// The smallest source id within `depth` of `v`, if any reached it.
+    pub fn min_id_near(&self, v: usize) -> Option<usize> {
+        self.best[v].map(|(id, _)| id)
+    }
+
+    /// Whether any source is within `depth` of `v`.
+    pub fn covered(&self, v: usize) -> bool {
+        self.best[v].is_some()
+    }
+}
+
+impl NodeAlgorithm for MinIdFlood {
+    type Msg = Flood;
+
+    fn init(&mut self, node: usize, ctx: &mut Ctx<'_, Flood>) {
+        if self.dirty[node] {
+            self.dirty[node] = false;
+            if self.depth > 0 {
+                let (id, ttl) = self.best[node].expect("dirty implies known");
+                ctx.broadcast(Flood { id, ttl: ttl - 1 });
+            }
+        }
+    }
+
+    fn round(&mut self, node: usize, inbox: &[(usize, Flood)], ctx: &mut Ctx<'_, Flood>) {
+        for &(_, msg) in inbox {
+            let improves = match self.best[node] {
+                None => true,
+                Some((id, ttl)) => msg.id < id || (msg.id == id && msg.ttl > ttl),
+            };
+            if improves {
+                self.best[node] = Some((msg.id, msg.ttl));
+                self.dirty[node] = true;
+            }
+        }
+        if self.dirty[node] {
+            self.dirty[node] = false;
+            let (id, ttl) = self.best[node].expect("dirty implies known");
+            if ttl > 0 {
+                ctx.broadcast(Flood { id, ttl: ttl - 1 });
+            }
+        }
+    }
+
+    fn is_idle(&self, node: usize) -> bool {
+        !self.dirty[node]
+    }
+}
+
+/// Result of a full ruling-set computation.
+#[derive(Debug, Clone)]
+pub struct RulingSet {
+    /// The chosen rulers, ascending.
+    pub rulers: Vec<usize>,
+    /// Carving iterations used.
+    pub iterations: usize,
+}
+
+/// Computes a `(2δ+1, 2δ)`-ruling set for `candidates` on `sim`'s graph by
+/// iterated min-id ball carving. Rounds accrue on `sim`.
+///
+/// # Errors
+///
+/// Propagates [`CongestError`] from the underlying runs (round budget is
+/// `max_rounds` per flood).
+pub fn compute_ruling_set(
+    sim: &mut Simulator<'_>,
+    candidates: &[usize],
+    delta: Dist,
+    max_rounds: u64,
+) -> Result<RulingSet, CongestError> {
+    let n = sim.graph().num_vertices();
+    let depth = delta.saturating_mul(2).min(n as Dist);
+    let mut remaining: Vec<usize> = candidates.to_vec();
+    remaining.sort_unstable();
+    remaining.dedup();
+    let mut rulers = Vec::new();
+    let mut iterations = 0;
+    while !remaining.is_empty() {
+        iterations += 1;
+        // Wave 1: candidates flood ids; local minima win.
+        let mut flood = MinIdFlood::new(n, &remaining, depth);
+        sim.run(&mut flood, max_rounds)?;
+        let winners: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&c| flood.min_id_near(c) == Some(c))
+            .collect();
+        debug_assert!(!winners.is_empty(), "the minimum-id candidate always wins");
+        // Wave 2: winners flood a kill wave; dominated candidates retire.
+        let mut kill = MinIdFlood::new(n, &winners, depth);
+        sim.run(&mut kill, max_rounds)?;
+        remaining.retain(|&c| !kill.covered(c));
+        rulers.extend_from_slice(&winners);
+    }
+    rulers.sort_unstable();
+    Ok(RulingSet { rulers, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usnae_graph::bfs::bfs;
+    use usnae_graph::generators;
+
+    #[test]
+    fn flood_reaches_exactly_depth() {
+        let g = generators::path(10).unwrap();
+        let mut sim = Simulator::new(&g);
+        let mut flood = MinIdFlood::new(10, &[0], 3);
+        sim.run(&mut flood, 1000).unwrap();
+        for v in 0..10 {
+            assert_eq!(flood.covered(v), v <= 3, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn flood_takes_min_over_sources() {
+        let g = generators::path(7).unwrap();
+        let mut sim = Simulator::new(&g);
+        let mut flood = MinIdFlood::new(7, &[2, 5], 10);
+        sim.run(&mut flood, 1000).unwrap();
+        assert_eq!(flood.min_id_near(0), Some(2));
+        assert_eq!(flood.min_id_near(6), Some(2)); // 2 < 5 wins everywhere it reaches
+        assert_eq!(flood.min_id_near(4), Some(2));
+    }
+
+    #[test]
+    fn ruling_set_separation_and_domination() {
+        for seed in 0..3u64 {
+            let g = generators::gnp_connected(80, 0.05, seed).unwrap();
+            let candidates: Vec<usize> = (0..80).step_by(2).collect();
+            let delta = 2;
+            let mut sim = Simulator::new(&g);
+            let rs = compute_ruling_set(&mut sim, &candidates, delta, 1_000_000).unwrap();
+            assert!(!rs.rulers.is_empty());
+            // Separation > 2δ.
+            for (i, &u) in rs.rulers.iter().enumerate() {
+                let d = bfs(&g, u);
+                for &v in rs.rulers.iter().skip(i + 1) {
+                    assert!(d[v].unwrap() > 2 * delta, "seed {seed}: rulers {u},{v}");
+                }
+            }
+            // Domination ≤ 2δ.
+            for &c in &candidates {
+                let d = bfs(&g, c);
+                assert!(
+                    rs.rulers
+                        .iter()
+                        .any(|&r| d[r].is_some_and(|x| x <= 2 * delta)),
+                    "seed {seed}: candidate {c} undominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ruling_set_on_cycle_needs_multiple_iterations() {
+        // Descending ids around a cycle force sequential carving.
+        let g = generators::cycle(20).unwrap();
+        let candidates: Vec<usize> = (0..20).collect();
+        let mut sim = Simulator::new(&g);
+        let rs = compute_ruling_set(&mut sim, &candidates, 1, 1_000_000).unwrap();
+        assert!(rs.rulers.contains(&0));
+        assert!(rs.iterations >= 1);
+        // All candidates resolved.
+        for &c in &candidates {
+            let d = bfs(&g, c);
+            assert!(rs.rulers.iter().any(|&r| d[r].is_some_and(|x| x <= 2)));
+        }
+    }
+
+    #[test]
+    fn singleton_candidate_is_its_own_ruler() {
+        let g = generators::path(5).unwrap();
+        let mut sim = Simulator::new(&g);
+        let rs = compute_ruling_set(&mut sim, &[3], 2, 1000).unwrap();
+        assert_eq!(rs.rulers, vec![3]);
+        assert_eq!(rs.iterations, 1);
+    }
+
+    #[test]
+    fn empty_candidates_empty_rulers() {
+        let g = generators::path(5).unwrap();
+        let mut sim = Simulator::new(&g);
+        let rs = compute_ruling_set(&mut sim, &[], 2, 1000).unwrap();
+        assert!(rs.rulers.is_empty());
+        assert_eq!(rs.iterations, 0);
+    }
+
+    #[test]
+    fn rounds_accumulate_on_simulator() {
+        let g = generators::cycle(16).unwrap();
+        let mut sim = Simulator::new(&g);
+        compute_ruling_set(&mut sim, &(0..16).collect::<Vec<_>>(), 2, 1_000_000).unwrap();
+        assert!(sim.metrics().rounds > 0);
+        assert!(sim.metrics().messages > 0);
+    }
+}

@@ -1,0 +1,516 @@
+//! Task 3b — forming superclusters by backtracking the BFS forest, with
+//! **hub-vertex splitting** (§3.1.2, Fig. 7).
+//!
+//! Centers spanned by a ruling tree announce themselves up the tree in
+//! depth-synchronized strides of `2·⌈deg_i⌉ + 2` rounds: a vertex at tree
+//! depth `D` forwards its collected announcements at stride `T − D`
+//! (`T = rul_i + δ_i`, clamped to `n`). A vertex that would have to forward
+//! `≥ 2·deg_i + 2` announcements is a **hub**: it splits off new
+//! superclusters instead of forwarding —
+//!
+//! * a hub that is itself a center becomes the center of one new
+//!   supercluster absorbing everything it collected;
+//! * a non-center hub partitions its children into groups of
+//!   `[2deg_i+2, 6deg_i+6]` announcements and appoints the minimum-id
+//!   center of each group as that group's supercluster center.
+//!
+//! Confirmations `(center, new-center, weight)` travel back *down* the
+//! recorded announcement routes, which is exactly what makes **both
+//! endpoints of every emulator edge know the edge** — the property no prior
+//! deterministic CONGEST construction achieved.
+
+use std::collections::HashMap;
+use usnae_congest::{Ctx, NodeAlgorithm, Words};
+use usnae_graph::Dist;
+
+use super::forest::TreeSlot;
+
+/// Protocol message: announcements go up, confirmations come down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScMsg {
+    /// A center announcing itself toward the root: `(center, d_G(root, center))`.
+    Up {
+        /// The announcing center.
+        center: usize,
+        /// Its distance from the tree root (= its tree depth).
+        dist_root: Dist,
+    },
+    /// A supercluster assignment routed down: `center` joined the
+    /// supercluster of `new_center` via an edge of weight `weight`;
+    /// `toward` is the routing target (either `center` or `new_center`).
+    Confirm {
+        /// The center being assigned.
+        center: usize,
+        /// Its new supercluster center.
+        new_center: usize,
+        /// Emulator edge weight `(new_center, center)`.
+        weight: Dist,
+        /// Which endpoint this copy is being routed to.
+        toward: usize,
+    },
+}
+
+impl Words for ScMsg {
+    fn words(&self) -> usize {
+        match self {
+            ScMsg::Up { .. } => 2,
+            ScMsg::Confirm { .. } => 4,
+        }
+    }
+}
+
+/// The backtracking/superclustering protocol for one phase.
+#[derive(Debug)]
+pub struct Supercluster {
+    /// Stride length `b = 2·⌈deg_i⌉ + 2` — also the hub threshold.
+    b: usize,
+    /// Total strides `T` (the forest depth horizon).
+    t: Dist,
+    slot: Vec<Option<TreeSlot>>,
+    is_center: Vec<bool>,
+    /// Announcements collected so far: `(center, dist_root)`.
+    collected: Vec<Vec<(usize, Dist)>>,
+    /// Routing: center → child the announcement arrived from (`None` for
+    /// the vertex's own announcement).
+    routing: Vec<HashMap<usize, Option<usize>>>,
+    done_up: Vec<bool>,
+    /// Output: per center, the supercluster it joined `(new_center, weight)`.
+    joined: Vec<Option<(usize, Dist)>>,
+    /// Output: per supercluster center, the edges it knows `(other, weight)`.
+    edges_at: Vec<Vec<(usize, Dist)>>,
+    /// Output: vertices that became supercluster centers.
+    formed_center: Vec<bool>,
+    /// Diagnostics: hub events and their group sizes (for Fig. 7 tests).
+    hub_splits: Vec<usize>,
+    group_sizes: Vec<usize>,
+}
+
+impl Supercluster {
+    /// Prepares the protocol from the forest state: `slot[v]` from
+    /// [`BfsForest`](super::forest::BfsForest), the `P_i` center bitmap,
+    /// the popularity cap `⌈deg_i⌉`, and the stride horizon `t` (same
+    /// clamped depth the forest was grown to). Child links are implicit: a
+    /// vertex learns its children from the announcements they send.
+    pub fn new(slot: Vec<Option<TreeSlot>>, is_center: Vec<bool>, cap: usize, t: Dist) -> Self {
+        let n = slot.len();
+        Supercluster {
+            b: 2 * cap + 2,
+            t,
+            slot,
+            is_center,
+            collected: vec![Vec::new(); n],
+            routing: vec![HashMap::new(); n],
+            done_up: vec![false; n],
+            joined: vec![None; n],
+            edges_at: vec![Vec::new(); n],
+            formed_center: vec![false; n],
+            hub_splits: Vec::new(),
+            group_sizes: Vec::new(),
+        }
+    }
+
+    /// The round at which `node` forwards/consumes, or `None` if it is not
+    /// in any tree. Stride `s` acts at round `s·b`; stride 0 acts at init.
+    fn send_round(&self, node: usize) -> Option<u64> {
+        let slot = self.slot[node]?;
+        let stride = self.t - slot.depth;
+        Some(stride * self.b as u64)
+    }
+
+    /// Supercluster assignment of center `c` after the run.
+    pub fn joined(&self, c: usize) -> Option<(usize, Dist)> {
+        self.joined[c]
+    }
+
+    /// Edges known at supercluster center `r`.
+    pub fn edges_at(&self, r: usize) -> &[(usize, Dist)] {
+        &self.edges_at[r]
+    }
+
+    /// Whether `v` ended up the center of a new supercluster.
+    pub fn formed_center(&self, v: usize) -> bool {
+        self.formed_center[v]
+    }
+
+    /// Group sizes produced by non-center hub splits (each must lie in
+    /// `[b, 3b]` — the paper's `[2deg+2, 6deg+6]`).
+    pub fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
+    }
+
+    /// Vertices that acted as hubs.
+    pub fn hubs(&self) -> &[usize] {
+        &self.hub_splits
+    }
+
+    /// The hub threshold `b = 2·⌈deg_i⌉ + 2`.
+    pub fn hub_threshold(&self) -> usize {
+        self.b
+    }
+
+    fn record_assignment(&mut self, center: usize, new_center: usize, weight: Dist) {
+        self.joined[center] = Some((new_center, weight));
+        if center == new_center {
+            self.formed_center[center] = true;
+        }
+    }
+
+    /// Emits the routed copies of a confirmation from consumer `node`: one
+    /// toward `center`, one toward `new_center` (just one when they
+    /// coincide). An endpoint that is `node` itself records locally instead.
+    fn send_confirms(
+        &mut self,
+        node: usize,
+        center: usize,
+        new_center: usize,
+        weight: Dist,
+        ctx: &mut Ctx<'_, ScMsg>,
+    ) {
+        let targets: &[usize] = if center == new_center {
+            &[center]
+        } else {
+            &[center, new_center]
+        };
+        for &toward in targets {
+            if toward == node {
+                // The consumer is itself this endpoint: record locally.
+                if toward == center {
+                    self.record_assignment(center, new_center, weight);
+                } else {
+                    self.edges_at[node].push((center, weight));
+                    self.formed_center[node] = true;
+                }
+                continue;
+            }
+            let child = self.routing[node]
+                .get(&toward)
+                .copied()
+                .flatten()
+                .expect("consumer routes confirmations along recorded announcement paths");
+            ctx.send(
+                child,
+                ScMsg::Confirm {
+                    center,
+                    new_center,
+                    weight,
+                    toward,
+                },
+            );
+        }
+    }
+
+    /// Consume `M` at `node` and form superclusters (hub or root logic).
+    fn consume(&mut self, node: usize, ctx: &mut Ctx<'_, ScMsg>) {
+        let m = std::mem::take(&mut self.collected[node]);
+        if self.is_center[node] {
+            // Hub-center (or root): one supercluster centered here.
+            let depth = self.slot[node].expect("consumers are in a tree").depth;
+            self.record_assignment(node, node, 0);
+            for (c, dist_root) in m {
+                if c == node {
+                    continue;
+                }
+                let weight = dist_root - depth;
+                // send_confirms records the (node, c) edge locally via the
+                // toward == new_center == node branch.
+                self.send_confirms(node, c, node, weight, ctx);
+            }
+            return;
+        }
+        // Non-center hub: group announcements by child, then greedily pack
+        // children into groups of ≥ b announcements (merging a small tail).
+        let depth = self.slot[node].expect("consumers are in a tree").depth;
+        let mut by_child: HashMap<usize, Vec<(usize, Dist)>> = HashMap::new();
+        for (c, d) in m {
+            let child = self.routing[node][&c].expect("non-center collects only from children");
+            by_child.entry(child).or_default().push((c, d));
+        }
+        let mut child_ids: Vec<usize> = by_child.keys().copied().collect();
+        child_ids.sort_unstable();
+        let mut groups: Vec<Vec<(usize, Dist)>> = Vec::new();
+        let mut current: Vec<(usize, Dist)> = Vec::new();
+        for child in child_ids {
+            current.extend(by_child.remove(&child).expect("key exists"));
+            if current.len() >= self.b {
+                groups.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            match groups.last_mut() {
+                Some(last) => last.append(&mut current),
+                None => groups.push(std::mem::take(&mut current)),
+            }
+        }
+        for group in groups {
+            self.group_sizes.push(group.len());
+            let r = group
+                .iter()
+                .map(|&(c, _)| c)
+                .min()
+                .expect("groups are nonempty");
+            let (_, dist_r) = *group
+                .iter()
+                .find(|&&(c, _)| c == r)
+                .expect("r is in the group");
+            let w_vr = dist_r - depth;
+            // Tell r it is a supercluster center.
+            self.send_confirms(node, r, r, 0, ctx);
+            for (c, dist_c) in group {
+                if c == r {
+                    continue;
+                }
+                let weight = (dist_c - depth) + w_vr;
+                self.send_confirms(node, c, r, weight, ctx);
+            }
+        }
+    }
+
+    /// Forward or consume at this node's send stride.
+    fn act(&mut self, node: usize, ctx: &mut Ctx<'_, ScMsg>) {
+        self.done_up[node] = true;
+        let slot = self.slot[node].expect("acting nodes are in a tree");
+        let is_root = slot.depth == 0;
+        let is_hub = self.collected[node].len() >= self.b;
+        if is_root {
+            // The root is a ruler, hence a center: it consumes everything.
+            debug_assert!(self.is_center[node], "rulers are cluster centers");
+            self.consume(node, ctx);
+        } else if is_hub {
+            self.hub_splits.push(node);
+            self.consume(node, ctx);
+        } else {
+            let parent = slot.parent.expect("non-root tree vertices have parents");
+            for &(c, d) in &self.collected[node] {
+                ctx.send(
+                    parent,
+                    ScMsg::Up {
+                        center: c,
+                        dist_root: d,
+                    },
+                );
+            }
+            self.collected[node].clear();
+        }
+    }
+}
+
+impl NodeAlgorithm for Supercluster {
+    type Msg = ScMsg;
+
+    fn init(&mut self, node: usize, ctx: &mut Ctx<'_, ScMsg>) {
+        match self.slot[node] {
+            None => {
+                self.done_up[node] = true;
+            }
+            Some(slot) => {
+                if self.is_center[node] {
+                    self.collected[node].push((node, slot.depth));
+                    self.routing[node].insert(node, None);
+                }
+                if self.send_round(node) == Some(0) {
+                    self.act(node, ctx);
+                }
+            }
+        }
+    }
+
+    fn round(&mut self, node: usize, inbox: &[(usize, ScMsg)], ctx: &mut Ctx<'_, ScMsg>) {
+        for &(from, msg) in inbox {
+            match msg {
+                ScMsg::Up { center, dist_root } => {
+                    debug_assert!(!self.done_up[node], "ups arrive before the send stride");
+                    self.collected[node].push((center, dist_root));
+                    self.routing[node].insert(center, Some(from));
+                }
+                ScMsg::Confirm {
+                    center,
+                    new_center,
+                    weight,
+                    toward,
+                } => {
+                    if toward == node {
+                        if toward == center {
+                            self.record_assignment(center, new_center, weight);
+                        } else {
+                            self.edges_at[node].push((center, weight));
+                            self.formed_center[node] = true;
+                        }
+                    } else {
+                        let child = self.routing[node]
+                            .get(&toward)
+                            .copied()
+                            .flatten()
+                            .expect("confirmations retrace announcement routes");
+                        ctx.send(
+                            child,
+                            ScMsg::Confirm {
+                                center,
+                                new_center,
+                                weight,
+                                toward,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if !self.done_up[node] && self.send_round(node) == Some(ctx.round()) {
+            self.act(node, ctx);
+        }
+    }
+
+    fn is_idle(&self, node: usize) -> bool {
+        self.done_up[node]
+    }
+
+    fn next_wakeup(&self, node: usize, _now: u64) -> Option<u64> {
+        if self.done_up[node] {
+            None
+        } else {
+            self.send_round(node)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::forest::BfsForest;
+    use super::*;
+    use usnae_congest::Simulator;
+    use usnae_graph::generators;
+
+    /// Grows a forest from `roots` and runs superclustering; every vertex is
+    /// a center (phase 0 conditions).
+    fn run_sc(
+        g: &usnae_graph::Graph,
+        roots: &[usize],
+        cap: usize,
+        horizon: Dist,
+    ) -> (Supercluster, u64) {
+        let n = g.num_vertices();
+        let mut sim = Simulator::new(g);
+        let mut forest = BfsForest::new(n, roots, horizon);
+        sim.run(&mut forest, 1_000_000).unwrap();
+        let slots: Vec<_> = (0..n).map(|v| forest.slot(v)).collect();
+        let mut algo = Supercluster::new(slots, vec![true; n], cap, horizon);
+        let rounds = sim.run(&mut algo, 10_000_000).unwrap();
+        (algo, rounds)
+    }
+
+    #[test]
+    fn no_hub_small_tree_everyone_joins_root() {
+        let g = generators::path(6).unwrap();
+        let (sc, _) = run_sc(&g, &[0], 10, 6);
+        for v in 0..6 {
+            let (r, w) = sc
+                .joined(v)
+                .unwrap_or_else(|| panic!("vertex {v} unassigned"));
+            assert_eq!(r, 0);
+            assert_eq!(w, v as Dist); // tree distance on a path
+        }
+        assert!(sc.formed_center(0));
+        assert_eq!(sc.edges_at(0).len(), 5);
+        assert!(sc.hubs().is_empty());
+    }
+
+    #[test]
+    fn both_endpoints_know_every_edge() {
+        let g = generators::gnp_connected(60, 0.08, 3).unwrap();
+        let (sc, _) = run_sc(&g, &[0, 59], 2, 20);
+        for c in 0..60 {
+            if let Some((r, w)) = sc.joined(c) {
+                if r != c {
+                    assert!(
+                        sc.edges_at(r).contains(&(c, w)),
+                        "edge ({r},{c},{w}) unknown at supercluster center {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_splitting_fires_on_broom() {
+        // A broom funnels many announcements through the hub vertex 0; with
+        // a small cap the hub must split.
+        let g = generators::broom(12, 2).unwrap(); // 25 vertices, hub 0
+        let horizon = 4;
+        // Root the tree at an arm end so announcements converge on vertex 0.
+        let (sc, _) = run_sc(&g, &[1], 1, horizon); // b = 4
+        assert!(!sc.hubs().is_empty(), "expected a hub split");
+        for &s in sc.group_sizes() {
+            assert!(
+                s >= sc.hub_threshold() && s <= 3 * sc.hub_threshold(),
+                "group size {s}"
+            );
+        }
+        // Every vertex within the horizon is assigned to exactly one
+        // supercluster, and all assignments are mutually known.
+        for v in 0..g.num_vertices() {
+            if let Some((r, w)) = sc.joined(v) {
+                if r != v {
+                    assert!(sc.edges_at(r).contains(&(v, w)), "vertex {v} -> {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_center_forms_single_supercluster() {
+        // Star rooted at a leaf: the hub (vertex 0) is a center and also the
+        // funnel point; it should absorb everything itself.
+        let g = generators::star(14).unwrap();
+        let (sc, _) = run_sc(&g, &[1], 2, 3); // b = 6; hub 0 collects 12 announcements
+        assert!(sc.hubs().contains(&0));
+        assert!(sc.formed_center(0));
+        // Every other leaf joined the supercluster of 0 (weight 1) except
+        // the root's own tree seed.
+        let mut joined_zero = 0;
+        for v in 2..14 {
+            if let Some((r, _)) = sc.joined(v) {
+                if r == 0 {
+                    joined_zero += 1;
+                }
+            }
+        }
+        assert!(
+            joined_zero >= 10,
+            "only {joined_zero} leaves joined the hub"
+        );
+    }
+
+    #[test]
+    fn weights_match_tree_distances() {
+        let g = generators::grid2d(7, 7).unwrap();
+        let (sc, _) = run_sc(&g, &[24], 100, 12); // generous cap: no hubs
+        let forest = usnae_graph::bfs::multi_source_bfs(&g, &[24], 12);
+        for v in 0..49 {
+            if v == 24 {
+                continue;
+            }
+            let (r, w) = sc.joined(v).unwrap();
+            assert_eq!(r, 24);
+            assert_eq!(w, forest.dist[v], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn vertices_outside_horizon_stay_unassigned() {
+        let g = generators::path(12).unwrap();
+        let (sc, _) = run_sc(&g, &[0], 10, 4);
+        for v in 0..12 {
+            assert_eq!(sc.joined(v).is_some(), v <= 4, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn round_cost_bounded_by_stride_budget() {
+        let g = generators::grid2d(6, 6).unwrap();
+        let horizon = 10;
+        let cap = 3;
+        let (_, rounds) = run_sc(&g, &[0], cap, horizon);
+        let b = (2 * cap + 2) as u64;
+        // Up-phase ≤ (T+1)·b; confirmation tail ≤ horizon + pipelining.
+        assert!(rounds <= (horizon + 2) * b + 200, "rounds = {rounds}");
+    }
+}

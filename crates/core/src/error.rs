@@ -1,0 +1,68 @@
+//! Parameter validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Rejections of the paper's parameter preconditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// ε must lie in `(0, 1)` (the rescaled condition `ε' < 1` of §2.2.4).
+    EpsilonOutOfRange {
+        /// The supplied value.
+        epsilon: f64,
+    },
+    /// κ must be at least 2.
+    KappaTooSmall {
+        /// The supplied value.
+        kappa: u32,
+    },
+    /// ρ must satisfy `1/κ < ρ < 1/2` (§3).
+    RhoOutOfRange {
+        /// The supplied value.
+        rho: f64,
+        /// The κ it was paired with.
+        kappa: u32,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::EpsilonOutOfRange { epsilon } => {
+                write!(
+                    f,
+                    "epsilon {epsilon} outside the required open interval (0, 1)"
+                )
+            }
+            ParamError::KappaTooSmall { kappa } => {
+                write!(f, "kappa {kappa} must be at least 2")
+            }
+            ParamError::RhoOutOfRange { rho, kappa } => {
+                write!(
+                    f,
+                    "rho {rho} must satisfy 1/kappa < rho < 1/2 for kappa {kappa}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(ParamError::EpsilonOutOfRange { epsilon: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        assert!(ParamError::KappaTooSmall { kappa: 1 }
+            .to_string()
+            .contains("kappa 1"));
+        assert!(ParamError::RhoOutOfRange { rho: 0.7, kappa: 4 }
+            .to_string()
+            .contains("0.7"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Hopset-style use of near-additive emulators.
+//!
+//! §1.1 recounts the strong connection between near-additive emulators and
+//! *hopsets* \[EN16a, EN17a, HP17\]: adding emulator edges to `G` lets
+//! few-hop paths approximate true distances, the workhorse of parallel and
+//! distributed approximate-shortest-path algorithms (Cohen '94 onward).
+//!
+//! This module provides the mechanism — hop-bounded distances over
+//! `G ∪ H` — and the measurement: the smallest hop budget `t` at which
+//! `d^(t)_{G∪H}(u,v) ≤ (1+ε)·d_G(u,v) + β` holds for a pair set. SAI
+//! emulators make `t` collapse far below the graph distance because one
+//! emulator edge teleports across a whole supercluster.
+
+use crate::emulator::Emulator;
+use usnae_graph::{Dist, Graph, VertexId, INF};
+
+/// Hop-bounded single-source distances over `G ∪ H`.
+///
+/// Returns `dist[t][v] = d^(t)(source, v)`: the shortest weighted distance
+/// from `source` to `v` using at most `t` edges of the union (graph edges
+/// have weight 1, emulator edges their weight), for `t ∈ 0..=hop_limit`.
+///
+/// Bellman-Ford layering: `O(hop_limit · (|E| + |H|))`.
+///
+/// # Example
+///
+/// ```
+/// use usnae_core::hopset::bounded_hop_distances;
+/// use usnae_core::Emulator;
+/// use usnae_graph::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::path(6)?;
+/// let h = Emulator::new(6); // empty emulator: hops = graph hops
+/// let d = bounded_hop_distances(&g, &h, 0, 3);
+/// assert_eq!(d[3][3], Some(3)); // reachable in 3 hops
+/// assert_eq!(d[3][5], None);    // 5 hops needed
+/// # Ok(())
+/// # }
+/// ```
+pub fn bounded_hop_distances(
+    g: &Graph,
+    h: &Emulator,
+    source: VertexId,
+    hop_limit: usize,
+) -> Vec<Vec<Option<Dist>>> {
+    let n = g.num_vertices();
+    let mut layers: Vec<Vec<Dist>> = Vec::with_capacity(hop_limit + 1);
+    let mut current = vec![INF; n];
+    current[source] = 0;
+    layers.push(current.clone());
+    for _ in 1..=hop_limit {
+        let prev = layers.last().expect("at least layer 0");
+        let mut next = prev.clone();
+        for u in 0..n {
+            let du = prev[u];
+            if du == INF {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                let nd = du + 1;
+                if nd < next[v] {
+                    next[v] = nd;
+                }
+            }
+            for (v, w) in h.graph().neighbors(u) {
+                let nd = du.saturating_add(w);
+                if nd < next[v] {
+                    next[v] = nd;
+                }
+            }
+        }
+        layers.push(next);
+    }
+    layers
+        .into_iter()
+        .map(|layer| {
+            layer
+                .into_iter()
+                .map(|d| if d == INF { None } else { Some(d) })
+                .collect()
+        })
+        .collect()
+}
+
+/// Outcome of a hopbound measurement over a pair set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopboundReport {
+    /// Pairs measured (connected in `G`).
+    pub pairs_checked: usize,
+    /// Smallest `t` such that *every* measured pair satisfied
+    /// `d^(t) ≤ α·d_G + β`; `None` if `hop_limit` was not enough.
+    pub hopbound: Option<usize>,
+    /// Per-`t` count of pairs already satisfying the bound at `t` hops.
+    pub satisfied_at: Vec<usize>,
+}
+
+/// Measures the empirical hopbound of `G ∪ H` against the `(α, β)` target.
+///
+/// Pairs disconnected in `G` are skipped. `exact[i]` must be
+/// `d_G(pairs[i].0, pairs[i].1)` (e.g. from
+/// [`exact_pair_distances`](usnae_graph::distance::exact_pair_distances)).
+pub fn measure_hopbound(
+    g: &Graph,
+    h: &Emulator,
+    pairs: &[(VertexId, VertexId)],
+    exact: &[Option<Dist>],
+    alpha: f64,
+    beta: f64,
+    hop_limit: usize,
+) -> HopboundReport {
+    let mut satisfied_at = vec![0usize; hop_limit + 1];
+    let mut pairs_checked = 0usize;
+    // Group by source.
+    let mut by_source: std::collections::HashMap<VertexId, Vec<usize>> = Default::default();
+    for (i, &(u, _)) in pairs.iter().enumerate() {
+        by_source.entry(u).or_default().push(i);
+    }
+    for (source, indices) in by_source {
+        let layers = bounded_hop_distances(g, h, source, hop_limit);
+        for i in indices {
+            let (_, v) = pairs[i];
+            let Some(dg) = exact[i] else { continue };
+            pairs_checked += 1;
+            let target = alpha * dg as f64 + beta;
+            for (t, layer) in layers.iter().enumerate() {
+                if let Some(dt) = layer[v] {
+                    if dt as f64 <= target + 1e-9 {
+                        satisfied_at[t] += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    // Prefix sums: satisfied within ≤ t hops.
+    let mut cumulative = satisfied_at.clone();
+    for t in 1..cumulative.len() {
+        cumulative[t] += cumulative[t - 1];
+    }
+    let hopbound = cumulative.iter().position(|&c| c == pairs_checked);
+    HopboundReport {
+        pairs_checked,
+        hopbound,
+        satisfied_at: cumulative,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::build_emulator;
+    use crate::params::CentralizedParams;
+    use usnae_graph::distance::{exact_pair_distances, sample_pairs};
+    use usnae_graph::generators;
+
+    #[test]
+    fn layers_are_monotone_and_converge_to_dijkstra() {
+        let g = generators::grid2d(6, 6).unwrap();
+        let p = CentralizedParams::new(0.5, 3).unwrap();
+        let h = build_emulator(&g, &p);
+        let layers = bounded_hop_distances(&g, &h, 0, 40);
+        // Monotone in t.
+        for t in 1..layers.len() {
+            for v in 0..36 {
+                match (layers[t - 1][v], layers[t][v]) {
+                    (Some(a), Some(b)) => assert!(b <= a),
+                    (Some(_), None) => panic!("distance vanished"),
+                    _ => {}
+                }
+            }
+        }
+        // At a large hop budget the distances equal min(d_G, d_{G∪H}) —
+        // which is d_G here since H never shortens.
+        let dg = usnae_graph::bfs::bfs(&g, 0);
+        let last = layers.last().unwrap();
+        for v in 0..36 {
+            assert_eq!(last[v], dg[v], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn hop_zero_reaches_only_source() {
+        let g = generators::path(5).unwrap();
+        let h = Emulator::new(5);
+        let layers = bounded_hop_distances(&g, &h, 2, 0);
+        assert_eq!(layers.len(), 1);
+        assert_eq!(layers[0][2], Some(0));
+        assert_eq!(layers[0][1], None);
+    }
+
+    #[test]
+    fn emulator_collapses_hopbound_on_high_diameter_graphs() {
+        // On a cycle, pure-G paths need d hops; with a superclustered
+        // emulator a few hops suffice for the (α, β) target.
+        let g = generators::cycle(100).unwrap();
+        let p = CentralizedParams::with_raw_epsilon(0.5, 8).unwrap();
+        // Hubs-first ordering superclusters the cycle into long-range arcs.
+        let (h, _) = crate::centralized::build_emulator_traced(
+            &g,
+            &p,
+            crate::centralized::ProcessingOrder::ByDegreeDesc,
+        );
+        let (alpha, beta) = p.certified_stretch();
+        let pairs = sample_pairs(&g, 80, 3);
+        let exact = exact_pair_distances(&g, &pairs);
+        let report = measure_hopbound(&g, &h, &pairs, &exact, alpha, beta, 60);
+        assert_eq!(report.pairs_checked, 80);
+        let hopbound = report.hopbound.expect("60 hops must suffice on C_100");
+        assert!(hopbound <= 60);
+    }
+
+    #[test]
+    fn hopbound_with_target_beta_zero_alpha_one_is_graph_diameter_hops() {
+        let g = generators::path(20).unwrap();
+        let h = Emulator::new(20); // empty emulator
+        let pairs = vec![(0usize, 19usize)];
+        let exact = exact_pair_distances(&g, &pairs);
+        let report = measure_hopbound(&g, &h, &pairs, &exact, 1.0, 0.0, 25);
+        assert_eq!(report.hopbound, Some(19));
+    }
+
+    #[test]
+    fn insufficient_hop_limit_reports_none() {
+        let g = generators::path(20).unwrap();
+        let h = Emulator::new(20);
+        let pairs = vec![(0usize, 19usize)];
+        let exact = exact_pair_distances(&g, &pairs);
+        let report = measure_hopbound(&g, &h, &pairs, &exact, 1.0, 0.0, 5);
+        assert_eq!(report.hopbound, None);
+    }
+}

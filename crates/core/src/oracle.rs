@@ -1,0 +1,177 @@
+//! Approximate distance oracle on top of an emulator.
+//!
+//! The paper motivates near-additive emulators through approximate
+//! shortest-path computation: answering `d(u, v)` queries from a structure
+//! with `n + o(n)` edges instead of the full graph. This module packages an
+//! emulator with its certified `(α, β)` guarantee and a per-source SSSP
+//! cache, so repeated queries amortize to a lookup.
+
+use crate::centralized::build_emulator;
+use crate::emulator::Emulator;
+use crate::error::ParamError;
+use crate::params::CentralizedParams;
+use std::collections::HashMap;
+use usnae_graph::{Dist, Graph, VertexId};
+
+/// A `(1+ε, β)`-approximate distance oracle.
+///
+/// Every answer `d̂` satisfies `d_G(u,v) ≤ d̂ ≤ α·d_G(u,v) + β` where
+/// `(α, β)` is the certified stretch of the underlying emulator.
+///
+/// # Example
+///
+/// ```
+/// use usnae_core::oracle::ApproxDistanceOracle;
+/// use usnae_graph::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::gnp_connected(200, 0.05, 3)?;
+/// let oracle = ApproxDistanceOracle::build(&g, 0.5, 4)?;
+/// let (alpha, beta) = oracle.guarantee();
+/// let d = oracle.query(0, 100).expect("connected");
+/// assert!(d as f64 >= 1.0 && alpha >= 1.0 && beta >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ApproxDistanceOracle {
+    emulator: Emulator,
+    alpha: f64,
+    beta: f64,
+    cache: std::cell::RefCell<HashMap<VertexId, Vec<Option<Dist>>>>,
+    cache_capacity: usize,
+}
+
+impl ApproxDistanceOracle {
+    /// Builds the emulator with [`build_emulator`] and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParamError`] from parameter validation.
+    pub fn build(g: &Graph, epsilon: f64, kappa: u32) -> Result<Self, ParamError> {
+        let params = CentralizedParams::new(epsilon, kappa)?;
+        let (alpha, beta) = params.certified_stretch();
+        Ok(Self::from_emulator(build_emulator(g, &params), alpha, beta))
+    }
+
+    /// Wraps an existing emulator with its certified stretch pair.
+    pub fn from_emulator(emulator: Emulator, alpha: f64, beta: f64) -> Self {
+        ApproxDistanceOracle {
+            emulator,
+            alpha,
+            beta,
+            cache: std::cell::RefCell::new(HashMap::new()),
+            cache_capacity: 64,
+        }
+    }
+
+    /// Sets how many SSSP trees the cache retains before being cleared.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity.max(1);
+        self
+    }
+
+    /// The certified `(α, β)` guarantee of every answer.
+    pub fn guarantee(&self) -> (f64, f64) {
+        (self.alpha, self.beta)
+    }
+
+    /// The underlying emulator.
+    pub fn emulator(&self) -> &Emulator {
+        &self.emulator
+    }
+
+    /// Size of the structure answering queries (`|H|`).
+    pub fn num_edges(&self) -> usize {
+        self.emulator.num_edges()
+    }
+
+    /// Approximate distance between `u` and `v` (`None` if disconnected).
+    ///
+    /// The first query from a source runs one Dijkstra on the emulator and
+    /// caches the tree; subsequent queries from `u` *or toward* a cached
+    /// source are lookups.
+    pub fn query(&self, u: VertexId, v: VertexId) -> Option<Dist> {
+        if u == v {
+            return Some(0);
+        }
+        {
+            let cache = self.cache.borrow();
+            if let Some(tree) = cache.get(&u) {
+                return tree[v];
+            }
+            if let Some(tree) = cache.get(&v) {
+                return tree[u];
+            }
+        }
+        let tree = self.emulator.distances_from(u);
+        let answer = tree[v];
+        let mut cache = self.cache.borrow_mut();
+        if cache.len() >= self.cache_capacity {
+            cache.clear();
+        }
+        cache.insert(u, tree);
+        answer
+    }
+
+    /// Number of cached SSSP trees (diagnostics).
+    pub fn cached_sources(&self) -> usize {
+        self.cache.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usnae_graph::distance::Apsp;
+    use usnae_graph::generators;
+
+    #[test]
+    fn answers_match_emulator_distances() {
+        let g = generators::gnp_connected(100, 0.07, 5).unwrap();
+        let oracle = ApproxDistanceOracle::build(&g, 0.5, 4).unwrap();
+        for (u, v) in usnae_graph::distance::sample_pairs(&g, 40, 3) {
+            assert_eq!(oracle.query(u, v), oracle.emulator().distance(u, v));
+        }
+    }
+
+    #[test]
+    fn answers_respect_guarantee() {
+        let g = generators::gnp_connected(120, 0.06, 7).unwrap();
+        let oracle = ApproxDistanceOracle::build(&g, 0.5, 4).unwrap();
+        let (alpha, beta) = oracle.guarantee();
+        let apsp = Apsp::new(&g);
+        for (u, v) in usnae_graph::distance::sample_pairs(&g, 60, 9) {
+            let exact = apsp.distance(u, v).unwrap();
+            let approx = oracle.query(u, v).unwrap();
+            assert!(approx >= exact);
+            assert!(approx as f64 <= alpha * exact as f64 + beta);
+        }
+    }
+
+    #[test]
+    fn identity_and_disconnected_queries() {
+        let g = usnae_graph::Graph::from_edges(4, &[(0, 1)]).unwrap();
+        let oracle = ApproxDistanceOracle::build(&g, 0.5, 2).unwrap();
+        assert_eq!(oracle.query(2, 2), Some(0));
+        assert_eq!(oracle.query(0, 3), None);
+        assert_eq!(oracle.query(0, 1), Some(1));
+    }
+
+    #[test]
+    fn caching_symmetric_and_bounded() {
+        let g = generators::grid2d(8, 8).unwrap();
+        let oracle = ApproxDistanceOracle::build(&g, 0.5, 3)
+            .unwrap()
+            .with_cache_capacity(2);
+        let a = oracle.query(0, 63);
+        assert_eq!(oracle.cached_sources(), 1);
+        // Reverse direction answered from the cached tree of 0.
+        let b = oracle.query(63, 0);
+        assert_eq!(a, b);
+        assert_eq!(oracle.cached_sources(), 1);
+        oracle.query(5, 6);
+        oracle.query(7, 8); // exceeds capacity: cache cleared then refilled
+        assert!(oracle.cached_sources() <= 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared primitives of the ruling-set-based SAI constructions (§3.3, §4).
+
+use usnae_graph::bfs::bfs_bounded;
+use usnae_graph::{Dist, Graph, VertexId};
+
+/// Bounded-BFS exploration record from one center: distances plus BFS-tree
+/// parents, so interconnection paths can be reconstructed (§4 adds the whole
+/// path to the spanner).
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Origin of the exploration.
+    pub source: VertexId,
+    /// `dist[v]` within the depth bound, else `None`.
+    pub dist: Vec<Option<Dist>>,
+    /// BFS parents toward `source`.
+    pub parent: Vec<Option<VertexId>>,
+}
+
+impl Exploration {
+    /// Runs a bounded BFS from `source` to `depth`.
+    pub fn run(g: &Graph, source: VertexId, depth: Dist) -> Self {
+        let n = g.num_vertices();
+        let mut dist = vec![None; n];
+        let mut parent = vec![None; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source] = Some(0);
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued vertices have distances");
+            if du == depth {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        Exploration {
+            source,
+            dist,
+            parent,
+        }
+    }
+
+    /// Shortest path from `source` to `v` (inclusive), or `None` if `v` was
+    /// not reached.
+    pub fn path_to(&self, v: VertexId) -> Option<Vec<VertexId>> {
+        self.dist[v]?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(*path.last().expect("path nonempty"), self.source);
+        path.reverse();
+        Some(path)
+    }
+
+    /// Centers (per `is_center`) within the exploration radius, excluding the
+    /// source, with their distances.
+    pub fn centers_found(&self, is_center: &[bool]) -> Vec<(VertexId, Dist)> {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter_map(|(v, d)| d.map(|d| (v, d)))
+            .filter(|&(v, _)| v != self.source && is_center[v])
+            .collect()
+    }
+}
+
+/// Deterministic greedy min-id ball carving (substitution S1): a ruling set
+/// for `w` with pairwise separation ≥ `2δ + 1` and domination ≤ `2δ`.
+pub fn ruling_set(g: &Graph, w: &[VertexId], delta: Dist) -> Vec<VertexId> {
+    let mut sorted = w.to_vec();
+    sorted.sort_unstable();
+    let two_delta = delta.saturating_mul(2);
+    let mut dominated = vec![false; g.num_vertices()];
+    let mut chosen = Vec::new();
+    for &cand in &sorted {
+        if dominated[cand] {
+            continue;
+        }
+        chosen.push(cand);
+        let dist = bfs_bounded(g, cand, two_delta);
+        for (v, d) in dist.iter().enumerate() {
+            if d.is_some() {
+                dominated[v] = true;
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usnae_graph::generators;
+
+    #[test]
+    fn exploration_matches_bfs() {
+        let g = generators::grid2d(6, 6).unwrap();
+        let e = Exploration::run(&g, 0, 4);
+        let d = usnae_graph::bfs::bfs_bounded(&g, 0, 4);
+        assert_eq!(e.dist, d);
+    }
+
+    #[test]
+    fn path_reconstruction_is_shortest() {
+        let g = generators::grid2d(5, 5).unwrap();
+        let e = Exploration::run(&g, 0, 10);
+        let p = e.path_to(24).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&24));
+        assert_eq!(p.len() as u64 - 1, e.dist[24].unwrap());
+        // Consecutive vertices are adjacent.
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn path_to_unreached_is_none() {
+        let g = generators::path(10).unwrap();
+        let e = Exploration::run(&g, 0, 3);
+        assert!(e.path_to(7).is_none());
+        assert!(e.path_to(3).is_some());
+    }
+
+    #[test]
+    fn centers_found_filters() {
+        let g = generators::path(6).unwrap();
+        let mut is_center = vec![false; 6];
+        is_center[0] = true;
+        is_center[2] = true;
+        is_center[5] = true;
+        let e = Exploration::run(&g, 0, 3);
+        let found = e.centers_found(&is_center);
+        assert_eq!(found, vec![(2, 2)]); // 5 beyond depth; 0 is the source
+    }
+
+    #[test]
+    fn ruling_set_on_cycle() {
+        let g = generators::cycle(30).unwrap();
+        let w: Vec<usize> = (0..30).collect();
+        let delta = 2;
+        let rulers = ruling_set(&g, &w, delta);
+        // Separation > 2δ = 4 on a cycle of 30 → at most 6 rulers; ≥ 30/5.
+        assert!(rulers.len() <= 6 && rulers.len() >= 5, "{rulers:?}");
+        assert_eq!(rulers[0], 0); // min id always chosen first
+    }
+
+    #[test]
+    fn ruling_set_empty_input() {
+        let g = generators::path(4).unwrap();
+        assert!(ruling_set(&g, &[], 3).is_empty());
+    }
+}

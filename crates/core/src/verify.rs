@@ -1,0 +1,215 @@
+//! Size and stretch certification of built emulators/spanners.
+//!
+//! Works on any weighted graph `H` over the vertices of `G`, so the same
+//! auditors serve the centralized emulator, the distributed emulator, the
+//! fast centralized simulation, the §4 spanner, and all baselines.
+
+use std::collections::HashMap;
+use usnae_graph::bfs::bfs;
+use usnae_graph::dijkstra::dijkstra;
+use usnae_graph::{Graph, VertexId, WeightedGraph};
+
+/// Outcome of a stretch audit over a set of pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StretchReport {
+    /// Pairs with finite `d_G` that were audited.
+    pub pairs_checked: usize,
+    /// Pairs violating `d_H ≤ α·d_G + β`.
+    pub violations: usize,
+    /// Pairs where `d_H < d_G` (must be 0: emulators never shorten).
+    pub shortening_violations: usize,
+    /// Pairs disconnected in `H` though connected in `G` (must be 0).
+    pub unreachable_pairs: usize,
+    /// Max observed `d_H / d_G` over audited pairs (1.0 if none).
+    pub max_ratio: f64,
+    /// Mean observed `d_H / d_G`.
+    pub mean_ratio: f64,
+    /// Max observed additive excess `max(0, d_H − d_G)`.
+    pub max_additive_error: u64,
+    /// Max observed `d_H − (1+ε)·d_G` clamped at 0 — the "β actually
+    /// needed" if the multiplicative part is fixed at `α`.
+    pub needed_beta: f64,
+    /// The `α` audited against.
+    pub alpha: f64,
+    /// The `β` audited against.
+    pub beta: f64,
+}
+
+impl StretchReport {
+    /// Whether the `(α, β)` guarantee held on every audited pair.
+    pub fn passed(&self) -> bool {
+        self.violations == 0 && self.shortening_violations == 0 && self.unreachable_pairs == 0
+    }
+}
+
+/// Audits `d_G(u,v) ≤ d_H(u,v) ≤ α·d_G(u,v) + β` over `pairs`.
+///
+/// Distances in `H` are measured in `H` alone (an emulator must certify its
+/// stretch by itself). Pairs disconnected in `G` are skipped; pairs
+/// connected in `G` but not in `H` are counted as `unreachable_pairs`.
+///
+/// # Example
+///
+/// ```
+/// use usnae_core::verify::audit_stretch;
+/// use usnae_graph::{generators, WeightedGraph};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::path(6)?;
+/// let h = WeightedGraph::from_unit_graph(&g); // H = G is a (1, 0)-emulator
+/// let pairs = usnae_graph::distance::sample_pairs(&g, 100, 1);
+/// let report = audit_stretch(&g, &h, 1.0, 0.0, &pairs);
+/// assert!(report.passed());
+/// assert_eq!(report.max_ratio, 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn audit_stretch(
+    g: &Graph,
+    h: &WeightedGraph,
+    alpha: f64,
+    beta: f64,
+    pairs: &[(VertexId, VertexId)],
+) -> StretchReport {
+    let mut report = StretchReport {
+        pairs_checked: 0,
+        violations: 0,
+        shortening_violations: 0,
+        unreachable_pairs: 0,
+        max_ratio: 1.0,
+        mean_ratio: 0.0,
+        max_additive_error: 0,
+        needed_beta: 0.0,
+        alpha,
+        beta,
+    };
+    let mut ratio_sum = 0.0;
+    // Group pairs by source: one BFS in G + one Dijkstra in H per source.
+    let mut by_source: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+    for &(u, v) in pairs {
+        by_source.entry(u).or_default().push(v);
+    }
+    for (source, targets) in by_source {
+        let dg = bfs(g, source);
+        let dh = dijkstra(h, source);
+        for v in targets {
+            let Some(dg) = dg[v] else { continue }; // disconnected in G: out of scope
+            report.pairs_checked += 1;
+            let Some(dh) = dh[v] else {
+                report.unreachable_pairs += 1;
+                continue;
+            };
+            if dh < dg {
+                report.shortening_violations += 1;
+            }
+            if (dh as f64) > alpha * dg as f64 + beta + 1e-9 {
+                report.violations += 1;
+            }
+            if dg > 0 {
+                let ratio = dh as f64 / dg as f64;
+                report.max_ratio = report.max_ratio.max(ratio);
+                ratio_sum += ratio;
+            } else {
+                ratio_sum += 1.0;
+            }
+            report.max_additive_error = report.max_additive_error.max(dh.saturating_sub(dg));
+            report.needed_beta = report.needed_beta.max(dh as f64 - alpha * dg as f64);
+        }
+    }
+    report.needed_beta = report.needed_beta.max(0.0);
+    if report.pairs_checked > 0 {
+        report.mean_ratio = ratio_sum / report.pairs_checked as f64;
+    }
+    report
+}
+
+/// Checks the size bound `|H| ≤ bound`, returning the slack `bound − |H|`
+/// (negative on violation).
+pub fn size_slack(num_edges: usize, bound: f64) -> f64 {
+    bound - num_edges as f64
+}
+
+/// Verifies that a *spanner* is a subgraph of `G` with unit weights.
+pub fn is_subgraph_spanner(g: &Graph, h: &WeightedGraph) -> bool {
+    h.edges().all(|e| e.weight == 1 && g.has_edge(e.u, e.v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usnae_graph::generators;
+
+    #[test]
+    fn identity_emulator_passes() {
+        let g = generators::gnp_connected(60, 0.1, 2).unwrap();
+        let h = WeightedGraph::from_unit_graph(&g);
+        let pairs = usnae_graph::distance::sample_pairs(&g, 200, 3);
+        let report = audit_stretch(&g, &h, 1.0, 0.0, &pairs);
+        assert!(report.passed());
+        assert_eq!(report.max_additive_error, 0);
+        assert!((report.mean_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_edges_flagged_unreachable() {
+        let g = generators::path(4).unwrap();
+        let h = WeightedGraph::new(4); // empty H
+        let report = audit_stretch(&g, &h, 1.0, 0.0, &[(0, 3)]);
+        assert_eq!(report.unreachable_pairs, 1);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn shortening_detected() {
+        let g = generators::path(4).unwrap();
+        let mut h = WeightedGraph::from_unit_graph(&g);
+        h.add_edge(0, 3, 1); // illegal shortcut: d_G(0,3) = 3
+        let report = audit_stretch(&g, &h, 2.0, 10.0, &[(0, 3)]);
+        assert_eq!(report.shortening_violations, 1);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn stretch_violation_detected_and_needed_beta_reported() {
+        let g = generators::path(5).unwrap();
+        let mut h = WeightedGraph::new(5);
+        // Path in H that doubles every distance.
+        for i in 0..4 {
+            h.add_edge(i, i + 1, 2);
+        }
+        let report = audit_stretch(&g, &h, 1.0, 1.0, &[(0, 4)]);
+        assert_eq!(report.violations, 1);
+        assert!((report.needed_beta - 4.0).abs() < 1e-9); // d_H=8, α·d_G=4
+        assert_eq!(report.max_additive_error, 4);
+        let ok = audit_stretch(&g, &h, 2.0, 0.0, &[(0, 4)]);
+        assert!(ok.passed());
+    }
+
+    #[test]
+    fn pairs_disconnected_in_g_skipped() {
+        let g = usnae_graph::Graph::from_edges(4, &[(0, 1)]).unwrap();
+        let h = WeightedGraph::from_unit_graph(&g);
+        let report = audit_stretch(&g, &h, 1.0, 0.0, &[(0, 3), (0, 1)]);
+        assert_eq!(report.pairs_checked, 1);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn size_slack_signs() {
+        assert!(size_slack(10, 12.5) > 0.0);
+        assert!(size_slack(13, 12.5) < 0.0);
+    }
+
+    #[test]
+    fn subgraph_check() {
+        let g = generators::cycle(5).unwrap();
+        let mut h = WeightedGraph::new(5);
+        h.add_edge(0, 1, 1);
+        assert!(is_subgraph_spanner(&g, &h));
+        h.add_edge(0, 2, 1); // chord not in C_5
+        assert!(!is_subgraph_spanner(&g, &h));
+        let mut w = WeightedGraph::new(5);
+        w.add_edge(0, 1, 2); // weighted edge disqualifies
+        assert!(!is_subgraph_spanner(&g, &w));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: the distributed protocols agree with their centralized
+//! reference implementations on arbitrary random graphs.
+
+use proptest::prelude::*;
+use usnae_congest::Simulator;
+use usnae_core::distributed::forest::BfsForest;
+use usnae_core::distributed::popular::PopularDetect;
+use usnae_core::distributed::supercluster::Supercluster;
+use usnae_graph::bfs::{bfs, multi_source_bfs};
+use usnae_graph::{generators, Graph};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (10usize..70, 1u64..300, 10u32..50).prop_map(|(n, seed, density)| {
+        generators::gnp_connected(n, density as f64 / 10.0 / n as f64, seed)
+            .expect("valid gnp parameters")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// With a cap larger than n, PopularDetect is plain synchronized BFS:
+    /// every vertex knows every source within δ at the exact distance.
+    #[test]
+    fn uncapped_detection_is_bfs(g in arb_graph(), delta in 1u64..6, stride in 1usize..4) {
+        let n = g.num_vertices();
+        let sources: Vec<usize> = (0..n).step_by(stride).collect();
+        let mut sim = Simulator::new(&g);
+        let mut det = PopularDetect::new(n, &sources, n + 1, delta);
+        sim.run(&mut det, 1 << 30).unwrap();
+        for &s in &sources {
+            let exact = bfs(&g, s);
+            for v in 0..n {
+                let expect = exact[v].filter(|&d| d <= delta && v != s);
+                let got = det.known(v).get(&s).copied().filter(|_| v != s);
+                prop_assert_eq!(got, expect, "vertex {} source {}", v, s);
+            }
+        }
+    }
+
+    /// The distributed BFS forest equals the centralized multi-source BFS.
+    #[test]
+    fn forest_protocol_matches_reference(g in arb_graph(), depth in 1u64..10, stride in 2usize..6) {
+        let n = g.num_vertices();
+        let roots: Vec<usize> = (0..n).step_by(stride).collect();
+        let mut sim = Simulator::new(&g);
+        let mut forest = BfsForest::new(n, &roots, depth);
+        sim.run(&mut forest, 1 << 30).unwrap();
+        let reference = multi_source_bfs(&g, &roots, depth);
+        for v in 0..n {
+            let got = forest.slot(v).map(|s| (s.root, s.depth));
+            let expect = reference.root[v].map(|r| (r, reference.dist[v]));
+            prop_assert_eq!(got, expect, "vertex {}", v);
+        }
+    }
+
+    /// Superclustering assigns every in-tree center exactly once, weights
+    /// are tree distances through the consumer, the assignment is mutually
+    /// known, and group sizes stay within the Fig. 7 window.
+    #[test]
+    fn supercluster_protocol_invariants(g in arb_graph(), cap in 1usize..6, depth in 2u64..8) {
+        let n = g.num_vertices();
+        let roots = vec![0usize];
+        let mut sim = Simulator::new(&g);
+        let mut forest = BfsForest::new(n, &roots, depth);
+        sim.run(&mut forest, 1 << 30).unwrap();
+        let slots: Vec<_> = (0..n).map(|v| forest.slot(v)).collect();
+        let in_tree: Vec<bool> = slots.iter().map(|s| s.is_some()).collect();
+        let mut sc = Supercluster::new(slots, vec![true; n], cap, depth);
+        sim.run(&mut sc, 1 << 30).unwrap();
+        let b = sc.hub_threshold();
+        for &size in sc.group_sizes() {
+            prop_assert!(size >= b && size <= 3 * b, "group size {} vs b {}", size, b);
+        }
+        for v in 0..n {
+            if in_tree[v] {
+                let (r, w) = sc.joined(v)
+                    .ok_or_else(|| TestCaseError::fail(format!("vertex {v} unassigned")))?;
+                if r != v {
+                    prop_assert!(
+                        sc.edges_at(r).contains(&(v, w)),
+                        "edge ({}, {}, {}) unknown at center", r, v, w
+                    );
+                }
+            } else {
+                prop_assert!(sc.joined(v).is_none(), "off-tree vertex {} assigned", v);
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment harness for the reproduction.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of theorems and
+//! illustrative figures. `DESIGN.md` maps each to a measurable experiment
+//! (E1–E8, F1–F7); this crate provides the runners that regenerate them:
+//!
+//! * [`workloads`] — the synthetic graph families (substitution S3);
+//! * [`table`] — plain-text table + CSV rendering;
+//! * [`experiments`] — one runner per experiment id, each returning
+//!   [`table::Table`]s whose *shape* (who wins, by what factor, where
+//!   ratios sit relative to 1.0) is the reproduced result.
+//!
+//! The `usnae-bench` crate wraps these in `exp_*` binaries; integration
+//! tests assert the headline shapes hold.
+
+pub mod experiments;
+pub mod segment_audit;
+pub mod table;
+pub mod workloads;

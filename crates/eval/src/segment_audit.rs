@@ -1,0 +1,194 @@
+//! F5/F6 — auditing the *per-level* stretch bound of Lemma 2.10.
+//!
+//! The stretch proof (Figures 5–6) is inductive: if every vertex on some
+//! shortest `u–v` path is `U^(i)`-clustered — clustered at level `i` or
+//! below — then `d_H(u,v) ≤ α_i·d_G(u,v) + β_i`, with the per-level pairs
+//! `(α_i, β_i)` from the paper's recursions. The final corollary only uses
+//! `i = ℓ`; this audit recovers each pair's *actual* level from the build
+//! trace and checks the sharper level-`i` bound — a much stronger test of
+//! the construction than the end-to-end corollary.
+
+use usnae_core::centralized::BuildTrace;
+use usnae_core::params::CentralizedParams;
+use usnae_core::Emulator;
+use usnae_graph::bfs::bfs;
+use usnae_graph::{Graph, VertexId};
+
+/// Result of a per-level stretch audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentAuditReport {
+    /// Pairs audited (connected pairs only).
+    pub pairs_checked: usize,
+    /// Pairs violating their *level* bound `α_i·d + β_i`.
+    pub level_violations: usize,
+    /// Histogram: how many audited pairs resolved at each level `i`.
+    pub level_histogram: Vec<usize>,
+    /// Max observed `d_H − d_G` among pairs that resolved at level 0
+    /// (must be 0: level-0 paths are reproduced exactly).
+    pub level0_max_error: u64,
+}
+
+impl SegmentAuditReport {
+    /// Whether every audited pair satisfied its level bound.
+    pub fn passed(&self) -> bool {
+        self.level_violations == 0 && self.level0_max_error == 0
+    }
+}
+
+/// The clustering level of each vertex: the phase `i` at which its cluster
+/// joined `U_i` (Lemma 2.8 guarantees exactly one).
+pub fn vertex_levels(trace: &BuildTrace, n: usize) -> Vec<usize> {
+    let mut level = vec![usize::MAX; n];
+    for (i, u_i) in trace.unclustered.iter().enumerate() {
+        for c in u_i {
+            for &v in &c.members {
+                debug_assert_eq!(level[v], usize::MAX, "vertex clustered twice");
+                level[v] = i;
+            }
+        }
+    }
+    debug_assert!(level.iter().all(|&l| l != usize::MAX), "U-levels cover V");
+    level
+}
+
+/// Audits the Lemma 2.10 level bound over `pairs`.
+///
+/// For each pair a shortest path is reconstructed from BFS parents; the
+/// pair's level is the maximum vertex level along it (the minimal `i` with
+/// the whole path `U^(i)`-clustered for *this* path — a sound witness since
+/// Lemma 2.10 quantifies over any shortest path).
+pub fn segment_audit(
+    g: &Graph,
+    emulator: &Emulator,
+    trace: &BuildTrace,
+    params: &CentralizedParams,
+    pairs: &[(VertexId, VertexId)],
+) -> SegmentAuditReport {
+    let n = g.num_vertices();
+    let levels = vertex_levels(trace, n);
+    let alphas = params.schedule().alpha_sequence();
+    let betas = params.schedule().beta_sequence();
+    let mut report = SegmentAuditReport {
+        pairs_checked: 0,
+        level_violations: 0,
+        level_histogram: vec![0; params.ell() + 1],
+        level0_max_error: 0,
+    };
+
+    // Group by source: one BFS (with parents) + one emulator SSSP each.
+    let mut by_source: std::collections::HashMap<VertexId, Vec<VertexId>> = Default::default();
+    for &(u, v) in pairs {
+        by_source.entry(u).or_default().push(v);
+    }
+    for (source, targets) in by_source {
+        // BFS with parent pointers for path reconstruction.
+        let dist = bfs(g, source);
+        let mut parent: Vec<Option<VertexId>> = vec![None; n];
+        for v in 0..n {
+            if let Some(dv) = dist[v] {
+                if dv > 0 {
+                    parent[v] = g
+                        .neighbors(v)
+                        .iter()
+                        .copied()
+                        .find(|&u| dist[u] == Some(dv - 1));
+                }
+            }
+        }
+        let dh = emulator.distances_from(source);
+        for v in targets {
+            let Some(dg) = dist[v] else { continue };
+            report.pairs_checked += 1;
+            // Reconstruct one shortest path and take the max level on it.
+            let mut lvl = levels[v].max(levels[source]);
+            let mut cur = v;
+            while let Some(p) = parent[cur] {
+                lvl = lvl.max(levels[p]);
+                cur = p;
+            }
+            report.level_histogram[lvl] += 1;
+            let dh = dh[v].unwrap_or(u64::MAX);
+            let bound = alphas[lvl] * dg as f64 + betas[lvl];
+            if dh as f64 > bound + 1e-9 {
+                report.level_violations += 1;
+            }
+            if lvl == 0 {
+                report.level0_max_error = report.level0_max_error.max(dh.saturating_sub(dg));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usnae_core::centralized::{build_emulator_traced, ProcessingOrder};
+    use usnae_graph::distance::sample_pairs;
+    use usnae_graph::generators;
+
+    fn audit(g: &Graph, eps: f64, kappa: u32, pairs: usize) -> SegmentAuditReport {
+        let p = CentralizedParams::with_raw_epsilon(eps, kappa).unwrap();
+        let (h, trace) = build_emulator_traced(g, &p, ProcessingOrder::ById);
+        let sampled = sample_pairs(g, pairs, 7);
+        segment_audit(g, &h, &trace, &p, &sampled)
+    }
+
+    #[test]
+    fn levels_cover_all_vertices_once() {
+        let g = generators::gnp_connected(150, 0.06, 3).unwrap();
+        let p = CentralizedParams::new(0.5, 4).unwrap();
+        let (_, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+        let levels = vertex_levels(&trace, 150);
+        assert_eq!(levels.len(), 150);
+        assert!(levels.iter().all(|&l| l <= p.ell()));
+    }
+
+    #[test]
+    fn per_level_bound_holds_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = generators::gnp_connected(200, 0.05, seed).unwrap();
+            let report = audit(&g, 0.5, 8, 200);
+            assert!(report.passed(), "seed {seed}: {report:?}");
+            assert_eq!(report.pairs_checked, 200);
+        }
+    }
+
+    #[test]
+    fn star_pairs_resolve_at_level_one() {
+        // The hub is popular in phase 0 (ById processes it first), so the
+        // whole star superclusters and joins U_1: every pair resolves at
+        // level 1 and must satisfy (α_1, β_1).
+        let g = generators::star(100).unwrap();
+        let report = audit(&g, 0.5, 4, 200);
+        assert!(report.passed(), "{report:?}");
+        assert_eq!(
+            report.level_histogram[1], report.pairs_checked,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn caveman_exercises_deep_levels() {
+        // Cliques supercluster in phase 0 under hubs-first ordering; the
+        // inter-clique structure resolves at level ≥ 1.
+        let g = generators::caveman(24, 8).unwrap();
+        let p = CentralizedParams::with_raw_epsilon(0.5, 8).unwrap();
+        let (h, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ByDegreeDesc);
+        let sampled = sample_pairs(&g, 250, 11);
+        let report = segment_audit(&g, &h, &trace, &p, &sampled);
+        assert!(report.passed(), "{report:?}");
+        let deep: usize = report.level_histogram.iter().skip(1).sum();
+        assert!(deep > 0, "expected multi-level pairs: {report:?}");
+    }
+
+    #[test]
+    fn level0_pairs_have_exact_distances() {
+        // On a path everything stays level 0 and distances are exact.
+        let g = generators::path(40).unwrap();
+        let report = audit(&g, 0.5, 4, 100);
+        assert!(report.passed());
+        assert_eq!(report.level_histogram[0], report.pairs_checked);
+        assert_eq!(report.level0_max_error, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Plain-text tables and CSV output for experiment reports.
+
+use std::fmt;
+
+/// A titled table with a header row and string cells.
+///
+/// # Example
+///
+/// ```
+/// use usnae_eval::table::Table;
+///
+/// let mut t = Table::new("sizes", &["n", "edges"]);
+/// t.push_row(vec!["100".into(), "123".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("sizes"));
+/// assert!(text.contains("123"));
+/// assert_eq!(t.to_csv(), "n,edges\n100,123\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor (row-major), `None` when out of range.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row)?.get(col).map(|s| s.as_str())
+    }
+
+    /// Column index by header name.
+    pub fn column(&self, header: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h == header)
+    }
+
+    /// Parses a whole column as `f64` (non-numeric cells skipped).
+    pub fn column_f64(&self, header: &str) -> Vec<f64> {
+        let Some(idx) = self.column(header) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter_map(|r| r[idx].parse().ok())
+            .collect()
+    }
+
+    /// RFC-4180-ish CSV (values are simple tokens in this project; no
+    /// quoting needed, commas in cells are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell contains a comma or newline.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                assert!(
+                    !c.contains(',') && !c.contains('\n'),
+                    "cell {c:?} needs quoting"
+                );
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(c);
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:>width$} |", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e6 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else if x.fract() == 0.0 && x.abs() < 1e9 {
+        format!("{x:.0}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("t", &["a", "long_header"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## t"));
+        assert!(s.contains("long_header"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("t", &["x", "y"]);
+        t.push_row(vec!["1".into(), "2.5".into()]);
+        t.push_row(vec!["3".into(), "4.5".into()]);
+        assert_eq!(t.to_csv().lines().count(), 3);
+        assert_eq!(t.column_f64("y"), vec![2.5, 4.5]);
+        assert_eq!(t.column("z"), None);
+        assert_eq!(t.cell(1, 0), Some("3"));
+        assert_eq!(t.cell(5, 0), None);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(3.25), "3.250");
+        assert!(fmt_f64(1.5e9).contains('e'));
+        assert!(fmt_f64(1e-5).contains('e'));
+    }
+}

@@ -1,0 +1,128 @@
+//! Named workload families for the experiments (substitution S3).
+//!
+//! The paper evaluates nothing empirically, so we choose families whose
+//! diameter/degree spectra exercise every code path: dense random graphs
+//! (early superclustering), grids and cycles (deep phases, large diameter),
+//! hubs and brooms (popularity order-dependence, hub splitting), clustered
+//! and small-world graphs (mixed regimes).
+
+use usnae_graph::{generators, Graph};
+
+/// A named graph instance.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Family name (stable across sizes, used as a table key).
+    pub name: &'static str,
+    /// The instance.
+    pub graph: Graph,
+}
+
+impl Workload {
+    fn new(name: &'static str, graph: Graph) -> Self {
+        Workload { name, graph }
+    }
+}
+
+/// The standard suite at `n` vertices (approximately — lattice dims are
+/// rounded). All instances are connected.
+pub fn standard_suite(n: usize, seed: u64) -> Vec<Workload> {
+    let side = (n as f64).sqrt().round() as usize;
+    vec![
+        Workload::new(
+            "gnp-dense",
+            generators::gnp_connected(n, 8.0 / n as f64, seed).expect("valid gnp"),
+        ),
+        Workload::new(
+            "gnp-sparse",
+            generators::gnp_connected(n, 2.5 / n as f64, seed + 1).expect("valid gnp"),
+        ),
+        Workload::new(
+            "grid",
+            generators::grid2d(side.max(2), side.max(2)).expect("valid grid"),
+        ),
+        Workload::new(
+            "regular",
+            generators::random_regular(if n.is_multiple_of(2) { n } else { n + 1 }, 4, seed + 2)
+                .expect("valid regular"),
+        ),
+        Workload::new(
+            "ba",
+            generators::barabasi_albert(n, 3, seed + 3).expect("valid ba"),
+        ),
+        Workload::new(
+            "ws",
+            generators::watts_strogatz(n, 6, 0.1, seed + 4).expect("valid ws"),
+        ),
+        Workload::new(
+            "caveman",
+            generators::caveman((n / 10).max(2), 10).expect("valid caveman"),
+        ),
+    ]
+}
+
+/// A smaller suite for the expensive distributed-simulation experiments.
+pub fn congest_suite(n: usize, seed: u64) -> Vec<Workload> {
+    let side = (n as f64).sqrt().round() as usize;
+    vec![
+        Workload::new(
+            "gnp-dense",
+            generators::gnp_connected(n, 8.0 / n as f64, seed).expect("valid gnp"),
+        ),
+        Workload::new(
+            "grid",
+            generators::grid2d(side.max(2), side.max(2)).expect("valid grid"),
+        ),
+        Workload::new(
+            "broom",
+            generators::broom((n / 8).max(2), 7).expect("valid broom"),
+        ),
+    ]
+}
+
+/// The structural instances behind the paper's figures.
+pub fn figure_suite(n: usize) -> Vec<Workload> {
+    vec![
+        Workload::new("star", generators::star(n).expect("valid star")),
+        Workload::new(
+            "dumbbell",
+            generators::dumbbell(n / 2, n / 8 + 1).expect("valid dumbbell"),
+        ),
+        Workload::new(
+            "broom",
+            generators::broom((n / 8).max(2), 7).expect("valid broom"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usnae_graph::connectivity::is_connected;
+
+    #[test]
+    fn standard_suite_connected_and_sized() {
+        for w in standard_suite(200, 7) {
+            assert!(is_connected(&w.graph), "{} disconnected", w.name);
+            assert!(
+                w.graph.num_vertices() >= 180 && w.graph.num_vertices() <= 220,
+                "{}: n = {}",
+                w.name,
+                w.graph.num_vertices()
+            );
+        }
+    }
+
+    #[test]
+    fn suites_have_distinct_names() {
+        let names: Vec<_> = standard_suite(100, 1).iter().map(|w| w.name).collect();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(names.len(), set.len());
+    }
+
+    #[test]
+    fn congest_and_figure_suites_connected() {
+        for w in congest_suite(96, 3).into_iter().chain(figure_suite(64)) {
+            assert!(is_connected(&w.graph), "{} disconnected", w.name);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Connected components and connectivity patching.
+//!
+//! Emulator stretch guarantees quantify over pairs in the same component;
+//! generators use [`connect_components`] to produce connected workloads so
+//! stretch audits cover all sampled pairs.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use crate::union_find::UnionFind;
+
+/// Per-vertex component labels (0-based, in order of first appearance) plus
+/// the number of components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` is the component of `v`.
+    pub label: Vec<usize>,
+    /// Number of connected components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Whether `u` and `v` share a component.
+    pub fn same(&self, u: VertexId, v: VertexId) -> bool {
+        self.label[u] == self.label[v]
+    }
+
+    /// Sizes of the components, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.label {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+}
+
+/// Labels connected components via union-find.
+pub fn components(g: &Graph) -> Components {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    let mut label = vec![usize::MAX; n];
+    let mut count = 0;
+    for v in 0..n {
+        let r = uf.find(v);
+        if label[r] == usize::MAX {
+            label[r] = count;
+            count += 1;
+        }
+        label[v] = label[r];
+    }
+    Components { label, count }
+}
+
+/// Whether `g` is connected (vacuously true for `n <= 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_vertices() <= 1 || components(g).count == 1
+}
+
+/// Returns `g` with one representative of each extra component chained to
+/// component 0 by a single new edge, making the graph connected while adding
+/// the minimum number of edges.
+pub fn connect_components(g: &Graph) -> Graph {
+    let comps = components(g);
+    if comps.count <= 1 {
+        return g.clone();
+    }
+    let mut representative = vec![None; comps.count];
+    for v in g.vertices() {
+        if representative[comps.label[v]].is_none() {
+            representative[comps.label[v]] = Some(v);
+        }
+    }
+    let mut b = GraphBuilder::new(g.num_vertices());
+    for (u, v) in g.edges() {
+        b.add_edge(u, v).expect("existing edges are valid");
+    }
+    let anchor = representative[0].expect("component 0 is nonempty");
+    for rep in representative.into_iter().skip(1).flatten() {
+        b.add_edge(anchor, rep)
+            .expect("representatives are valid vertices");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let c = components(&g);
+        assert_eq!(c.count, 1);
+        assert!(c.same(0, 2));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_components_and_isolated_vertex() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let c = components(&g);
+        assert_eq!(c.count, 3);
+        assert!(c.same(0, 1));
+        assert!(!c.same(1, 2));
+        assert_eq!(c.sizes().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn connect_components_yields_connected() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3)]).unwrap();
+        let connected = connect_components(&g);
+        assert!(is_connected(&connected));
+        // 2 original edges + 3 patch edges (components {2,3}, {4}, {5}).
+        assert_eq!(connected.num_edges(), 5);
+    }
+
+    #[test]
+    fn connect_components_noop_when_connected() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(connect_components(&g), g);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs_connected() {
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+}

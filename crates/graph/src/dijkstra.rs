@@ -1,0 +1,159 @@
+//! Dijkstra's algorithm on weighted graphs (binary heap).
+//!
+//! Used to answer distance queries in the emulator `H` — the verification
+//! side of the reproduction: `d_H(u, v)` must sit in
+//! `[d_G(u, v), (1+ε)·d_G(u, v) + β]`.
+
+use crate::weighted::WeightedGraph;
+use crate::{Dist, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Single-source Dijkstra; `None` marks unreachable vertices.
+///
+/// # Example
+///
+/// ```
+/// use usnae_graph::{WeightedGraph, dijkstra::dijkstra};
+///
+/// let mut h = WeightedGraph::new(3);
+/// h.add_edge(0, 1, 5);
+/// h.add_edge(1, 2, 7);
+/// let d = dijkstra(&h, 0);
+/// assert_eq!(d[2], Some(12));
+/// ```
+pub fn dijkstra(g: &WeightedGraph, source: usize) -> Vec<Option<Dist>> {
+    dijkstra_bounded(g, source, INF)
+}
+
+/// Dijkstra truncated at distance `bound`: vertices farther than `bound`
+/// remain `None`. The centralized Algorithm 1 uses this with `bound = δ_i`.
+pub fn dijkstra_bounded(g: &WeightedGraph, source: usize, bound: Dist) -> Vec<Option<Dist>> {
+    let n = g.num_vertices();
+    let mut dist: Vec<Dist> = vec![INF; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0;
+    heap.push(Reverse((0 as Dist, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if done[u] || d > bound {
+            continue;
+        }
+        done[u] = true;
+        for (v, w) in g.neighbors(u) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v] && nd <= bound {
+                dist[v] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist.into_iter()
+        .zip(done)
+        .map(|(d, fin)| if fin || d != INF { Some(d) } else { None })
+        .collect()
+}
+
+/// Point-to-point distance in a weighted graph.
+pub fn distance(g: &WeightedGraph, source: usize, target: usize) -> Option<Dist> {
+    // Early-exit Dijkstra: stop as soon as `target` is settled.
+    let n = g.num_vertices();
+    let mut dist: Vec<Dist> = vec![INF; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0;
+    heap.push(Reverse((0 as Dist, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        if u == target {
+            return Some(d);
+        }
+        done[u] = true;
+        for (v, w) in g.neighbors(u) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_path(weights: &[Dist]) -> WeightedGraph {
+        let mut g = WeightedGraph::new(weights.len() + 1);
+        for (i, &w) in weights.iter().enumerate() {
+            g.add_edge(i, i + 1, w);
+        }
+        g
+    }
+
+    #[test]
+    fn dijkstra_on_weighted_path() {
+        let g = weighted_path(&[2, 3, 4]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(2), Some(5), Some(9)]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_detour() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 3, 100);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 3, 1);
+        assert_eq!(dijkstra(&g, 0)[3], Some(3));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1);
+        assert_eq!(dijkstra(&g, 0)[2], None);
+    }
+
+    #[test]
+    fn bounded_dijkstra_truncates() {
+        let g = weighted_path(&[2, 3, 4]);
+        let d = dijkstra_bounded(&g, 0, 5);
+        assert_eq!(d[2], Some(5));
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn bounded_dijkstra_keeps_exact_boundary() {
+        let g = weighted_path(&[5]);
+        let d = dijkstra_bounded(&g, 0, 5);
+        assert_eq!(d[1], Some(5));
+    }
+
+    #[test]
+    fn point_to_point_matches_full() {
+        let mut g = WeightedGraph::new(5);
+        g.add_edge(0, 1, 4);
+        g.add_edge(1, 4, 6);
+        g.add_edge(0, 2, 1);
+        g.add_edge(2, 3, 1);
+        g.add_edge(3, 4, 1);
+        assert_eq!(distance(&g, 0, 4), Some(3));
+        assert_eq!(distance(&g, 0, 4), dijkstra(&g, 0)[4]);
+    }
+
+    #[test]
+    fn point_to_point_unreachable() {
+        let g = WeightedGraph::new(2);
+        assert_eq!(distance(&g, 0, 1), None);
+    }
+
+    #[test]
+    fn source_distance_zero() {
+        let g = weighted_path(&[1]);
+        assert_eq!(distance(&g, 1, 1), Some(0));
+    }
+}

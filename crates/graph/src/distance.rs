@@ -1,0 +1,159 @@
+//! Exact distance ground truth and pair sampling for stretch audits.
+//!
+//! The stretch guarantee `d_H ≤ (1+ε)·d_G + β` is verified empirically by
+//! comparing emulator distances against exact BFS distances on sampled (or
+//! exhaustive) vertex pairs.
+
+use crate::bfs::bfs;
+use crate::graph::{Graph, VertexId};
+use crate::Dist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// All-pairs shortest paths by repeated BFS. O(n·(n + m)); intended for
+/// verification on small graphs only.
+#[derive(Debug, Clone)]
+pub struct Apsp {
+    dist: Vec<Vec<Option<Dist>>>,
+}
+
+impl Apsp {
+    /// Computes exact distances from every vertex.
+    pub fn new(g: &Graph) -> Self {
+        Apsp {
+            dist: g.vertices().map(|v| bfs(g, v)).collect(),
+        }
+    }
+
+    /// Exact distance between `u` and `v` (`None` if disconnected).
+    pub fn distance(&self, u: VertexId, v: VertexId) -> Option<Dist> {
+        self.dist[u][v]
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// Exact diameter over connected pairs (0 for edgeless graphs).
+    pub fn diameter(&self) -> Dist {
+        self.dist
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Samples up to `count` distinct unordered connected pairs `(u, v)`, `u != v`.
+///
+/// Falls back to exhaustive enumeration when the graph is small enough that
+/// exhaustive checking is cheaper than sampling.
+pub fn sample_pairs(g: &Graph, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return Vec::new();
+    }
+    let total = n * (n - 1) / 2;
+    if total <= count {
+        let mut all = Vec::with_capacity(total);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                all.push((u, v));
+            }
+        }
+        return all;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(count);
+    let mut pairs = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            pairs.push(key);
+        }
+    }
+    pairs
+}
+
+/// Exact distances for a batch of pairs, grouping by source so each source
+/// needs only one BFS.
+pub fn exact_pair_distances(g: &Graph, pairs: &[(VertexId, VertexId)]) -> Vec<Option<Dist>> {
+    use std::collections::HashMap;
+    let mut by_source: HashMap<VertexId, Vec<usize>> = HashMap::new();
+    for (idx, &(u, _)) in pairs.iter().enumerate() {
+        by_source.entry(u).or_default().push(idx);
+    }
+    let mut out = vec![None; pairs.len()];
+    for (source, indices) in by_source {
+        let dist = bfs(g, source);
+        for idx in indices {
+            out[idx] = dist[pairs[idx].1];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn apsp_matches_bfs_on_grid() {
+        let g = generators::grid2d(5, 5).unwrap();
+        let apsp = Apsp::new(&g);
+        assert_eq!(apsp.num_vertices(), 25);
+        assert_eq!(apsp.distance(0, 24), Some(8));
+        assert_eq!(apsp.diameter(), 8);
+    }
+
+    #[test]
+    fn apsp_disconnected_pairs_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let apsp = Apsp::new(&g);
+        assert_eq!(apsp.distance(0, 3), None);
+        assert_eq!(apsp.distance(2, 3), Some(1));
+    }
+
+    #[test]
+    fn sample_pairs_distinct_and_in_range() {
+        let g = generators::gnp(100, 0.1, 1).unwrap();
+        let pairs = sample_pairs(&g, 50, 7);
+        assert_eq!(pairs.len(), 50);
+        let set: std::collections::HashSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), 50);
+        assert!(pairs.iter().all(|&(u, v)| u < v && v < 100));
+    }
+
+    #[test]
+    fn sample_pairs_exhaustive_on_small_graphs() {
+        let g = generators::path(5).unwrap();
+        let pairs = sample_pairs(&g, 100, 0);
+        assert_eq!(pairs.len(), 10); // C(5,2)
+    }
+
+    #[test]
+    fn sample_pairs_trivial_graphs() {
+        assert!(sample_pairs(&Graph::empty(1), 10, 0).is_empty());
+        assert!(sample_pairs(&Graph::empty(0), 10, 0).is_empty());
+    }
+
+    #[test]
+    fn exact_pair_distances_match_apsp() {
+        let g = generators::gnp_connected(60, 0.08, 5).unwrap();
+        let apsp = Apsp::new(&g);
+        let pairs = sample_pairs(&g, 40, 3);
+        let dists = exact_pair_distances(&g, &pairs);
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            assert_eq!(dists[i], apsp.distance(u, v));
+        }
+    }
+}

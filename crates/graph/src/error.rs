@@ -1,0 +1,77 @@
+//! Error types for graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph constructors and generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a vertex id `vertex` outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the paper's graphs are simple.
+    SelfLoop {
+        /// The vertex with the loop.
+        vertex: usize,
+    },
+    /// A generator received parameters it cannot satisfy
+    /// (e.g. a `d`-regular graph with `n * d` odd).
+    InvalidParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(
+                    f,
+                    "self-loop at vertex {vertex} not allowed in a simple graph"
+                )
+            }
+            GraphError::InvalidParameters { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 7, n: 4 };
+        assert_eq!(
+            e.to_string(),
+            "vertex 7 out of range for graph with 4 vertices"
+        );
+        let e = GraphError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains("self-loop at vertex 3"));
+        let e = GraphError::InvalidParameters {
+            reason: "n*d must be even".into(),
+        };
+        assert!(e.to_string().contains("n*d must be even"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,563 @@
+//! Synthetic graph families used as experiment workloads.
+//!
+//! The paper has no experimental datasets, so the reproduction exercises the
+//! constructions on families with deliberately diverse diameter/degree
+//! profiles (substitution S3 in `DESIGN.md`):
+//!
+//! * dense [`gnp`] and [`random_regular`] — superclustering fires early;
+//! * [`path`], [`cycle`], [`grid2d`], [`torus2d`] — high diameter, deep phases;
+//! * [`star`] — the paper's own §2.1.1 order-dependence example;
+//! * [`dumbbell`] — exercises buffer-set (`N_i`) joins;
+//! * [`broom`] — stars of paths, the hub-vertex splitting stress case (Fig 7);
+//! * [`barabasi_albert`], [`watts_strogatz`], [`caveman`] — heavy-tail /
+//!   small-world / clustered profiles;
+//! * [`hypercube`], [`circulant`], [`complete_graph`], [`binary_tree`].
+//!
+//! All randomized generators take an explicit seed for reproducibility.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn require(ok: bool, reason: &str) -> Result<(), GraphError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(GraphError::InvalidParameters {
+            reason: reason.to_string(),
+        })
+    }
+}
+
+/// Path graph `P_n`: `0 - 1 - … - (n-1)`.
+///
+/// # Errors
+///
+/// `n == 0` is rejected.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    require(n > 0, "path requires n >= 1")?;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge(i, i + 1)?;
+    }
+    Ok(b.build())
+}
+
+/// Cycle graph `C_n`.
+///
+/// # Errors
+///
+/// `n < 3` is rejected (smaller cycles are not simple graphs).
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    require(n >= 3, "cycle requires n >= 3")?;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n)?;
+    }
+    Ok(b.build())
+}
+
+/// Complete graph `K_n`.
+pub fn complete_graph(n: usize) -> Result<Graph, GraphError> {
+    require(n > 0, "complete graph requires n >= 1")?;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Star `K_{1,n-1}` centered at vertex 0 — the paper's §2.1.1 example where
+/// cluster-processing order decides whether the hub becomes popular.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    require(n >= 2, "star requires n >= 2")?;
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v)?;
+    }
+    Ok(b.build())
+}
+
+/// `rows × cols` grid; vertex `(r, c)` has id `r * cols + c`.
+pub fn grid2d(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    require(rows > 0 && cols > 0, "grid requires positive dimensions")?;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                b.add_edge(v, v + 1)?;
+            }
+            if r + 1 < rows {
+                b.add_edge(v, v + cols)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// `rows × cols` torus (grid with wraparound); requires both dims ≥ 3 so the
+/// wrap edges are neither loops nor duplicates.
+pub fn torus2d(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    require(
+        rows >= 3 && cols >= 3,
+        "torus requires both dimensions >= 3",
+    )?;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            b.add_edge(v, r * cols + (c + 1) % cols)?;
+            b.add_edge(v, ((r + 1) % rows) * cols + c)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// `d`-dimensional hypercube on `2^d` vertices.
+pub fn hypercube(d: u32) -> Result<Graph, GraphError> {
+    require(
+        (1..=20).contains(&d),
+        "hypercube dimension must be in 1..=20",
+    )?;
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.add_edge(v, u)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Complete binary tree with `n` vertices (heap indexing).
+pub fn binary_tree(n: usize) -> Result<Graph, GraphError> {
+    require(n > 0, "binary tree requires n >= 1")?;
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v, (v - 1) / 2)?;
+    }
+    Ok(b.build())
+}
+
+/// Circulant graph: vertex `v` adjacent to `v ± s (mod n)` for each stride in
+/// `strides`. With well-spread strides these are decent expanders.
+pub fn circulant(n: usize, strides: &[usize]) -> Result<Graph, GraphError> {
+    require(n >= 3, "circulant requires n >= 3")?;
+    require(
+        !strides.is_empty(),
+        "circulant requires at least one stride",
+    )?;
+    require(
+        strides.iter().all(|&s| s >= 1 && s < n),
+        "circulant strides must satisfy 1 <= s < n",
+    )?;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for &s in strides {
+            let u = (v + s) % n;
+            if u != v {
+                b.add_edge(v, u)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Erdős–Rényi `G(n, p)`; every pair independently present with probability `p`.
+///
+/// # Errors
+///
+/// Rejects `n == 0` or `p` outside `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    require(n > 0, "gnp requires n >= 1")?;
+    require((0.0..=1.0).contains(&p), "gnp requires p in [0, 1]")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if p >= 1.0 {
+        return complete_graph(n);
+    }
+    if p > 0.0 {
+        // Geometric skipping: O(n + |E|) expected instead of O(n^2).
+        let log_q = (1.0 - p).ln();
+        let mut v: usize = 1;
+        let mut w: i64 = -1;
+        while v < n {
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            w += 1 + (r.ln() / log_q).floor() as i64;
+            while w >= v as i64 && v < n {
+                w -= v as i64;
+                v += 1;
+            }
+            if v < n {
+                b.add_edge(w as usize, v)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Connected `G(n, p)`: `gnp` with minimal patch edges added between
+/// components so stretch audits can sample any pair.
+pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    Ok(crate::connectivity::connect_components(&gnp(n, p, seed)?))
+}
+
+/// Random `d`-regular graph via the configuration model with restarts.
+///
+/// # Errors
+///
+/// Rejects `n * d` odd, `d >= n`, or `d == 0`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
+    require(d >= 1, "random regular requires d >= 1")?;
+    require(d < n, "random regular requires d < n")?;
+    require(
+        (n * d).is_multiple_of(2),
+        "random regular requires n * d even",
+    )?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    'attempt: for _ in 0..200 {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(&mut rng);
+        let mut b = GraphBuilder::new(n);
+        let mut seen = std::collections::HashSet::new();
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || !seen.insert(if u < v { (u, v) } else { (v, u) }) {
+                continue 'attempt; // loop or multi-edge: restart
+            }
+            b.add_edge(u, v)?;
+        }
+        return Ok(b.build());
+    }
+    Err(GraphError::InvalidParameters {
+        reason: format!("failed to sample a simple {d}-regular graph on {n} vertices"),
+    })
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `m + 1` vertices, then each new vertex attaches to `m` distinct existing
+/// vertices chosen proportionally to degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
+    require(m >= 1, "barabasi-albert requires m >= 1")?;
+    require(n > m, "barabasi-albert requires n > m")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Repeated-endpoint list: sampling uniformly from it is degree-proportional.
+    let mut endpoint_pool: Vec<usize> = Vec::new();
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            b.add_edge(u, v)?;
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets = std::collections::HashSet::new();
+        while targets.len() < m {
+            let t = *endpoint_pool.choose(&mut rng).expect("pool nonempty");
+            targets.insert(t);
+        }
+        for &t in &targets {
+            b.add_edge(v, t)?;
+            endpoint_pool.push(v);
+            endpoint_pool.push(t);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Watts–Strogatz small world: ring lattice where each vertex connects to its
+/// `k/2` nearest neighbors per side, then each lattice edge is rewired with
+/// probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph, GraphError> {
+    require(
+        k >= 2 && k.is_multiple_of(2),
+        "watts-strogatz requires even k >= 2",
+    )?;
+    require(n > k, "watts-strogatz requires n > k")?;
+    require(
+        (0.0..=1.0).contains(&beta),
+        "watts-strogatz requires beta in [0, 1]",
+    )?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for v in 0..n {
+        for j in 1..=(k / 2) {
+            edges.push((v, (v + j) % n));
+        }
+    }
+    let mut present: std::collections::HashSet<(usize, usize)> = edges
+        .iter()
+        .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+        .collect();
+    let mut b = GraphBuilder::new(n);
+    for i in 0..edges.len() {
+        let (u, v) = edges[i];
+        let canon = if u < v { (u, v) } else { (v, u) };
+        if rng.gen_bool(beta) {
+            // Try to rewire (u, v) -> (u, w).
+            for _ in 0..32 {
+                let w = rng.gen_range(0..n);
+                let cand = if u < w { (u, w) } else { (w, u) };
+                if w != u && !present.contains(&cand) {
+                    present.remove(&canon);
+                    present.insert(cand);
+                    break;
+                }
+            }
+        }
+    }
+    for (u, v) in present {
+        b.add_edge(u, v)?;
+    }
+    Ok(b.build())
+}
+
+/// Connected caveman graph: `cliques` cliques of `clique_size` vertices each,
+/// chained into a ring by single inter-clique edges.
+pub fn caveman(cliques: usize, clique_size: usize) -> Result<Graph, GraphError> {
+    require(cliques >= 2, "caveman requires >= 2 cliques")?;
+    require(clique_size >= 2, "caveman requires clique size >= 2")?;
+    let n = cliques * clique_size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..cliques {
+        let base = c * clique_size;
+        for u in 0..clique_size {
+            for v in (u + 1)..clique_size {
+                b.add_edge(base + u, base + v)?;
+            }
+        }
+        // Link last vertex of this clique to first of the next.
+        let next = ((c + 1) % cliques) * clique_size;
+        b.add_edge(base + clique_size - 1, next)?;
+    }
+    Ok(b.build())
+}
+
+/// Dumbbell: two cliques of size `clique_size` joined by a path of
+/// `bridge_len` intermediate vertices. Exercises buffer-set (`N_i`) joins:
+/// bridge clusters sit just outside a supercluster's `δ_i` ball but inside
+/// `2·δ_i`.
+pub fn dumbbell(clique_size: usize, bridge_len: usize) -> Result<Graph, GraphError> {
+    require(clique_size >= 2, "dumbbell requires clique size >= 2")?;
+    let n = 2 * clique_size + bridge_len;
+    let mut b = GraphBuilder::new(n);
+    for base in [0, clique_size + bridge_len] {
+        for u in 0..clique_size {
+            for v in (u + 1)..clique_size {
+                b.add_edge(base + u, base + v)?;
+            }
+        }
+    }
+    // Bridge occupies ids clique_size .. clique_size + bridge_len.
+    let mut prev = clique_size - 1; // a vertex of the left clique
+    for i in 0..bridge_len {
+        let v = clique_size + i;
+        b.add_edge(prev, v)?;
+        prev = v;
+    }
+    b.add_edge(prev, clique_size + bridge_len)?; // first vertex of right clique
+    Ok(b.build())
+}
+
+/// Broom / star-of-paths: `arms` paths of length `arm_len` all attached to a
+/// hub vertex 0. The hub is the canonical hub-vertex-splitting stress case
+/// (Fig 7): messages from all arms funnel through it.
+pub fn broom(arms: usize, arm_len: usize) -> Result<Graph, GraphError> {
+    require(
+        arms >= 1 && arm_len >= 1,
+        "broom requires arms >= 1 and arm_len >= 1",
+    )?;
+    let n = 1 + arms * arm_len;
+    let mut b = GraphBuilder::new(n);
+    for a in 0..arms {
+        let mut prev = 0;
+        for i in 0..arm_len {
+            let v = 1 + a * arm_len + i;
+            b.add_edge(prev, v)?;
+            prev = v;
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6).unwrap();
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete_graph(5).unwrap();
+        assert_eq!(g.num_edges(), 10);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(8).unwrap();
+        assert_eq!(g.degree(0), 7);
+        assert!((1..8).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn grid_distances() {
+        let g = grid2d(4, 5).unwrap();
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), 4 * 4 + 3 * 5); // horizontal + vertical
+        let d = bfs(&g, 0);
+        assert_eq!(d[19], Some(3 + 4)); // Manhattan distance to (3,4)
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = torus2d(4, 5).unwrap();
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert_eq!(g.num_edges(), 2 * 20);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.num_vertices(), 16);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        let d = bfs(&g, 0);
+        assert_eq!(d[0b1111], Some(4));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7).unwrap();
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn circulant_expander_connected() {
+        let g = circulant(64, &[1, 9, 23]).unwrap();
+        assert!(is_connected(&g));
+        assert!(g.vertices().all(|v| g.degree(v) <= 6));
+    }
+
+    #[test]
+    fn circulant_rejects_bad_strides() {
+        assert!(circulant(10, &[]).is_err());
+        assert!(circulant(10, &[0]).is_err());
+        assert!(circulant(10, &[10]).is_err());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let g0 = gnp(20, 0.0, 1).unwrap();
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = gnp(20, 1.0, 1).unwrap();
+        assert_eq!(g1.num_edges(), 190);
+    }
+
+    #[test]
+    fn gnp_density_close_to_expectation() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, 42).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let actual = g.num_edges() as f64;
+        assert!(
+            (actual - expected).abs() < 0.25 * expected,
+            "{actual} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_deterministic_per_seed() {
+        assert_eq!(gnp(100, 0.1, 7).unwrap(), gnp(100, 0.1, 7).unwrap());
+        assert_ne!(gnp(100, 0.1, 7).unwrap(), gnp(100, 0.1, 8).unwrap());
+    }
+
+    #[test]
+    fn gnp_connected_is_connected() {
+        let g = gnp_connected(200, 0.005, 3).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn random_regular_is_regular() {
+        let g = random_regular(50, 4, 11).unwrap();
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert!(random_regular(5, 3, 0).is_err()); // n*d odd
+        assert!(random_regular(4, 4, 0).is_err()); // d >= n
+    }
+
+    #[test]
+    fn barabasi_albert_edge_count() {
+        let (n, m) = (100, 3);
+        let g = barabasi_albert(n, m, 5).unwrap();
+        let clique_edges = (m + 1) * m / 2;
+        assert_eq!(g.num_edges(), clique_edges + (n - m - 1) * m);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn watts_strogatz_basics() {
+        let g = watts_strogatz(60, 4, 0.1, 9).unwrap();
+        assert_eq!(g.num_vertices(), 60);
+        // Rewiring preserves the edge count.
+        assert_eq!(g.num_edges(), 60 * 2);
+        assert!(watts_strogatz(10, 3, 0.1, 0).is_err()); // odd k
+    }
+
+    #[test]
+    fn caveman_shape() {
+        let g = caveman(4, 5).unwrap();
+        assert_eq!(g.num_vertices(), 20);
+        assert!(is_connected(&g));
+        assert_eq!(g.num_edges(), 4 * 10 + 4);
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let g = dumbbell(4, 3).unwrap();
+        assert_eq!(g.num_vertices(), 11);
+        assert!(is_connected(&g));
+        let d = bfs(&g, 0);
+        // Left clique vertex 0 -> bridge (3 hops via v3) -> right clique.
+        assert_eq!(d[7], Some(5));
+    }
+
+    #[test]
+    fn broom_shape() {
+        let g = broom(5, 3).unwrap();
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.degree(0), 5);
+        assert!(is_connected(&g));
+        let d = bfs(&g, 0);
+        assert_eq!(d[3], Some(3)); // end of first arm
+    }
+}

@@ -1,0 +1,257 @@
+//! Plain-text edge-list I/O.
+//!
+//! A downstream user's graphs arrive as files; this module reads/writes the
+//! ubiquitous whitespace-separated edge-list format (`u v` per line, `#`
+//! comments, 0-based ids) and a weighted variant for emulators (`u v w`).
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use crate::weighted::WeightedGraph;
+use crate::Dist;
+use std::io::{BufRead, Write};
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line did not parse as `u v` (or `u v w`).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The parsed edge violated graph constraints.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o failure: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "line {line} is not a valid edge: {content:?}")
+            }
+            IoError::Graph(e) => write!(f, "invalid edge: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+/// Reads an unweighted edge list; the vertex count is
+/// `max(max endpoint + 1, min_vertices)`.
+///
+/// Lines starting with `#` and blank lines are skipped.
+///
+/// # Errors
+///
+/// [`IoError`] on read failures, malformed lines, or self-loops.
+///
+/// # Example
+///
+/// ```
+/// use usnae_graph::io::read_edge_list;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "# a triangle\n0 1\n1 2\n2 0\n";
+/// let g = read_edge_list(text.as_bytes(), 0)?;
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_edge_list<R: BufRead>(reader: R, min_vertices: usize) -> Result<Graph, IoError> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_vertex = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                content: line.clone(),
+            });
+        };
+        let (Ok(u), Ok(v)) = (a.parse::<usize>(), b.parse::<usize>()) else {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                content: line.clone(),
+            });
+        };
+        max_vertex = max_vertex.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() {
+        min_vertices
+    } else {
+        (max_vertex + 1).max(min_vertices)
+    };
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(u, v)?;
+    }
+    Ok(b.build())
+}
+
+/// Writes `g` as an edge list (one `u v` line per edge, `u < v`).
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Writes a weighted graph as `u v w` lines (emulator export).
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_weighted_edge_list<W: Write>(h: &WeightedGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# {} vertices, {} weighted edges",
+        h.num_vertices(),
+        h.num_edges()
+    )?;
+    let mut edges: Vec<_> = h.edges().collect();
+    edges.sort_by_key(|e| (e.u, e.v));
+    for e in edges {
+        writeln!(writer, "{} {} {}", e.u, e.v, e.weight)?;
+    }
+    Ok(())
+}
+
+/// Reads a weighted edge list (`u v w` per line).
+///
+/// # Errors
+///
+/// [`IoError`] on read failures or malformed lines.
+pub fn read_weighted_edge_list<R: BufRead>(
+    reader: R,
+    min_vertices: usize,
+) -> Result<WeightedGraph, IoError> {
+    let mut edges: Vec<(usize, usize, Dist)> = Vec::new();
+    let mut max_vertex = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b), Some(c)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                content: line.clone(),
+            });
+        };
+        let (Ok(u), Ok(v), Ok(w)) = (a.parse::<usize>(), b.parse::<usize>(), c.parse::<Dist>())
+        else {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                content: line.clone(),
+            });
+        };
+        max_vertex = max_vertex.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    let n = if edges.is_empty() {
+        min_vertices
+    } else {
+        (max_vertex + 1).max(min_vertices)
+    };
+    let mut h = WeightedGraph::new(n);
+    for (u, v, w) in edges {
+        h.add_edge(u, v, w);
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = generators::gnp_connected(60, 0.08, 3).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice(), g.num_vertices()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let mut h = WeightedGraph::new(5);
+        h.add_edge(0, 3, 7);
+        h.add_edge(1, 2, 9);
+        let mut buf = Vec::new();
+        write_weighted_edge_list(&h, &mut buf).unwrap();
+        let back = read_weighted_edge_list(buf.as_slice(), 5).unwrap();
+        assert_eq!(back.num_edges(), 2);
+        assert_eq!(back.weight(0, 3), Some(7));
+        assert_eq!(back.weight(2, 1), Some(9));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n0 1\n  # indented comment\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nnonsense\n";
+        match read_edge_list(text.as_bytes(), 0) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let text = "3 3\n";
+        assert!(matches!(
+            read_edge_list(text.as_bytes(), 0),
+            Err(IoError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn min_vertices_pads_isolated() {
+        let g = read_edge_list("0 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        let empty = read_edge_list("# nothing\n".as_bytes(), 4).unwrap();
+        assert_eq!(empty.num_vertices(), 4);
+    }
+}

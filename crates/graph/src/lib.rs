@@ -1,0 +1,54 @@
+//! Graph substrate for the ultra-sparse near-additive emulator reproduction.
+//!
+//! This crate provides everything the emulator/spanner constructions of
+//! Elkin & Matar (PODC 2021) need from a graph library, built from scratch:
+//!
+//! * [`Graph`] — a compact CSR (compressed sparse row) representation of an
+//!   *unweighted undirected* graph, the paper's input object `G = (V, E)`.
+//! * [`WeightedGraph`] — an adjacency-list *weighted* graph used for the
+//!   emulator `H` (emulator edges carry weights `d_G(r_C, r_C')`).
+//! * [`generators`] — synthetic workload families (the paper has no datasets,
+//!   so experiments run on Erdős–Rényi, random-regular, grids, stars,
+//!   Barabási–Albert, Watts–Strogatz, dumbbells, …).
+//! * [`bfs`] / [`dijkstra`] — single/multi-source, optionally depth-bounded
+//!   searches used both inside the constructions and for verification.
+//! * [`distance`] — exact distance ground truth (repeated BFS) and random
+//!   pair sampling for stretch audits.
+//! * [`connectivity`] / [`union_find`] — components and DSU plumbing.
+//!
+//! # Example
+//!
+//! ```
+//! use usnae_graph::{Graph, bfs};
+//!
+//! # fn main() -> Result<(), usnae_graph::GraphError> {
+//! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])?;
+//! let dist = bfs::bfs(&g, 0);
+//! assert_eq!(dist[3], Some(3));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bfs;
+pub mod connectivity;
+pub mod dijkstra;
+pub mod distance;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod metrics;
+pub mod union_find;
+pub mod weighted;
+
+pub use error::GraphError;
+pub use graph::{Graph, GraphBuilder, VertexId};
+pub use weighted::{WeightedEdge, WeightedGraph};
+
+/// Distance type used throughout: hop distances in `G` and weighted distances
+/// in emulators are both integral because `G` is unweighted and emulator edge
+/// weights are exact `G`-distances.
+pub type Dist = u64;
+
+/// A conventional "infinite" distance for dense distance arrays.
+pub const INF: Dist = Dist::MAX;

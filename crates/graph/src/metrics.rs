@@ -1,0 +1,129 @@
+//! Workload-characterization metrics: the numbers experiment tables use to
+//! describe graph instances (degree profile, diameter estimate, clustering).
+
+use crate::bfs::double_sweep_diameter;
+use crate::graph::Graph;
+use crate::Dist;
+
+/// Summary statistics of a graph instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average degree `2m/n`.
+    pub avg_degree: f64,
+    /// Double-sweep lower bound on the diameter (exact on trees).
+    pub diameter_estimate: Dist,
+    /// Global clustering coefficient (3·triangles / open wedges).
+    pub clustering: f64,
+}
+
+/// Computes all summary statistics. `O(n + m·d_max)` for the triangle count.
+///
+/// # Example
+///
+/// ```
+/// use usnae_graph::metrics::summarize;
+/// use usnae_graph::generators;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = generators::complete_graph(5)?;
+/// let s = summarize(&g);
+/// assert_eq!(s.n, 5);
+/// assert_eq!(s.m, 10);
+/// assert_eq!(s.clustering, 1.0); // cliques are fully clustered
+/// # Ok(())
+/// # }
+/// ```
+pub fn summarize(g: &Graph) -> GraphSummary {
+    let n = g.num_vertices();
+    let degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    let (mut triangles, mut wedges) = (0u64, 0u64);
+    for v in g.vertices() {
+        let nbrs = g.neighbors(v);
+        let d = nbrs.len() as u64;
+        wedges += d.saturating_sub(1) * d / 2;
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in nbrs.iter().skip(i + 1) {
+                if g.has_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    // Each triangle is counted once per corner (3 times total).
+    let clustering = if wedges == 0 {
+        0.0
+    } else {
+        triangles as f64 / wedges as f64
+    };
+    GraphSummary {
+        n,
+        m: g.num_edges(),
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        avg_degree: g.average_degree(),
+        diameter_estimate: if n == 0 {
+            0
+        } else {
+            double_sweep_diameter(g, 0)
+        },
+        clustering,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_summary() {
+        let g = generators::path(10).unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.n, 10);
+        assert_eq!(s.m, 9);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.diameter_estimate, 9);
+        assert_eq!(s.clustering, 0.0);
+    }
+
+    #[test]
+    fn clique_fully_clustered() {
+        let g = generators::complete_graph(6).unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.clustering, 1.0);
+        assert_eq!(s.diameter_estimate, 1);
+    }
+
+    #[test]
+    fn star_has_no_triangles_many_wedges() {
+        let g = generators::star(10).unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.max_degree, 9);
+        assert_eq!(s.diameter_estimate, 2);
+    }
+
+    #[test]
+    fn caveman_highly_clustered() {
+        let g = generators::caveman(5, 6).unwrap();
+        let s = summarize(&g);
+        assert!(s.clustering > 0.5, "clustering = {}", s.clustering);
+    }
+
+    #[test]
+    fn empty_graph_is_degenerate() {
+        let s = summarize(&crate::Graph::empty(3));
+        assert_eq!(s.m, 0);
+        assert_eq!(s.clustering, 0.0);
+        assert_eq!(s.diameter_estimate, 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Weighted undirected multigraph used for emulators `H`.
+//!
+//! Emulator edges carry integral weights (`d_G` distances). Unlike
+//! [`Graph`](crate::Graph), this structure is mutable (the constructions add
+//! edges phase by phase) and keeps parallel edges apart only by weight: when
+//! the same pair is inserted twice, the smaller weight wins, matching the
+//! semantics of shortest-path structures.
+
+use crate::graph::VertexId;
+use crate::Dist;
+use std::collections::HashMap;
+
+/// A weighted undirected edge of an emulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WeightedEdge {
+    /// Smaller endpoint.
+    pub u: VertexId,
+    /// Larger endpoint.
+    pub v: VertexId,
+    /// Integral weight (an exact `G`-distance in the paper's constructions).
+    pub weight: Dist,
+}
+
+impl WeightedEdge {
+    /// Canonicalizes endpoints so `u <= v`.
+    pub fn new(u: VertexId, v: VertexId, weight: Dist) -> Self {
+        if u <= v {
+            WeightedEdge { u, v, weight }
+        } else {
+            WeightedEdge { u: v, v: u, weight }
+        }
+    }
+}
+
+/// Mutable weighted undirected simple graph (adjacency-map based).
+///
+/// # Example
+///
+/// ```
+/// use usnae_graph::WeightedGraph;
+///
+/// let mut h = WeightedGraph::new(4);
+/// h.add_edge(0, 2, 5);
+/// h.add_edge(2, 0, 3); // keeps the lighter parallel edge
+/// assert_eq!(h.num_edges(), 1);
+/// assert_eq!(h.weight(0, 2), Some(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WeightedGraph {
+    adjacency: Vec<HashMap<VertexId, Dist>>,
+    num_edges: usize,
+}
+
+impl WeightedGraph {
+    /// Creates an edgeless weighted graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        WeightedGraph {
+            adjacency: vec![HashMap::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Inserts the undirected edge `(u, v)` with `weight`.
+    ///
+    /// If the edge already exists, the minimum of the old and new weight is
+    /// kept. Returns `true` if a new edge was created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (emulator constructions never produce loops) or if
+    /// an endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, weight: Dist) -> bool {
+        assert_ne!(u, v, "emulator edges are never self-loops");
+        assert!(
+            u < self.num_vertices() && v < self.num_vertices(),
+            "endpoint out of range"
+        );
+        let mut created = false;
+        let entry = self.adjacency[u].entry(v).or_insert_with(|| {
+            created = true;
+            weight
+        });
+        if weight < *entry {
+            *entry = weight;
+        }
+        let w = *entry;
+        self.adjacency[v].insert(u, w);
+        if created {
+            self.num_edges += 1;
+        }
+        created
+    }
+
+    /// Weight of edge `(u, v)` if present.
+    pub fn weight(&self, u: VertexId, v: VertexId) -> Option<Dist> {
+        self.adjacency.get(u)?.get(&v).copied()
+    }
+
+    /// Whether the edge `(u, v)` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.weight(u, v).is_some()
+    }
+
+    /// Neighbors of `v` with weights, in unspecified order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Dist)> + '_ {
+        self.adjacency[v].iter().map(|(&u, &w)| (u, w))
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// All edges in canonical `(u <= v)` form, in unspecified order.
+    pub fn edges(&self) -> impl Iterator<Item = WeightedEdge> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |(&v, _)| u <= v)
+                .map(move |(&v, &w)| WeightedEdge { u, v, weight: w })
+        })
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> u128 {
+        self.edges().map(|e| e.weight as u128).sum()
+    }
+
+    /// Builds a weighted graph that mirrors an unweighted [`Graph`](crate::Graph) with all
+    /// weights 1 (used to union `G` into spanner/emulator comparisons).
+    pub fn from_unit_graph(g: &crate::Graph) -> Self {
+        let mut h = WeightedGraph::new(g.num_vertices());
+        for (u, v) in g.edges() {
+            h.add_edge(u, v, 1);
+        }
+        h
+    }
+}
+
+impl FromIterator<WeightedEdge> for WeightedGraph {
+    /// Collects edges; the vertex count is one past the largest endpoint.
+    fn from_iter<T: IntoIterator<Item = WeightedEdge>>(iter: T) -> Self {
+        let edges: Vec<_> = iter.into_iter().collect();
+        let n = edges.iter().map(|e| e.v + 1).max().unwrap_or(0);
+        let mut g = WeightedGraph::new(n);
+        for e in edges {
+            g.add_edge(e.u, e.v, e.weight);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn add_and_query() {
+        let mut h = WeightedGraph::new(3);
+        assert!(h.add_edge(0, 1, 7));
+        assert!(!h.add_edge(1, 0, 9)); // heavier duplicate ignored
+        assert_eq!(h.weight(0, 1), Some(7));
+        assert_eq!(h.weight(1, 0), Some(7));
+        assert_eq!(h.num_edges(), 1);
+    }
+
+    #[test]
+    fn lighter_duplicate_replaces() {
+        let mut h = WeightedGraph::new(3);
+        h.add_edge(0, 1, 7);
+        h.add_edge(0, 1, 2);
+        assert_eq!(h.weight(1, 0), Some(2));
+        assert_eq!(h.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut h = WeightedGraph::new(3);
+        h.add_edge(1, 1, 1);
+    }
+
+    #[test]
+    fn edges_canonical() {
+        let mut h = WeightedGraph::new(4);
+        h.add_edge(3, 1, 4);
+        h.add_edge(0, 2, 5);
+        let mut edges: Vec<_> = h.edges().collect();
+        edges.sort_by_key(|e| (e.u, e.v));
+        assert_eq!(
+            edges,
+            vec![WeightedEdge::new(0, 2, 5), WeightedEdge::new(1, 3, 4)]
+        );
+    }
+
+    #[test]
+    fn total_weight_sums() {
+        let mut h = WeightedGraph::new(4);
+        h.add_edge(0, 1, 10);
+        h.add_edge(1, 2, 20);
+        assert_eq!(h.total_weight(), 30);
+    }
+
+    #[test]
+    fn from_unit_graph_mirrors() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let h = WeightedGraph::from_unit_graph(&g);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.weight(1, 2), Some(1));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let h: WeightedGraph = vec![WeightedEdge::new(0, 5, 2), WeightedEdge::new(1, 2, 3)]
+            .into_iter()
+            .collect();
+        assert_eq!(h.num_vertices(), 6);
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    fn weighted_edge_canonicalizes() {
+        let e = WeightedEdge::new(7, 3, 1);
+        assert_eq!((e.u, e.v), (3, 7));
+    }
+}

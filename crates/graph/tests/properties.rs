@@ -1,0 +1,182 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use usnae_graph::bfs::{bfs, bfs_bounded, multi_source_bfs};
+use usnae_graph::connectivity::{components, connect_components, is_connected};
+use usnae_graph::dijkstra::{dijkstra, distance};
+use usnae_graph::union_find::UnionFind;
+use usnae_graph::{generators, Graph, GraphBuilder, WeightedGraph};
+
+fn arb_edge_list() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..200);
+        (Just(n), edges)
+    })
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    arb_edge_list().prop_map(|(n, edges)| {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            if u != v {
+                b.add_edge(u, v).expect("in-range");
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR construction: symmetric, sorted, loop-free, deduplicated.
+    #[test]
+    fn csr_invariants(g in arb_graph()) {
+        let mut undirected = 0usize;
+        for u in g.vertices() {
+            let nbrs = g.neighbors(u);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted & deduped");
+            for &v in nbrs {
+                prop_assert_ne!(u, v, "no loops");
+                prop_assert!(g.has_edge(v, u), "symmetry");
+                undirected += 1;
+            }
+        }
+        prop_assert_eq!(undirected, 2 * g.num_edges());
+        prop_assert_eq!(g.num_directed_edges(), undirected);
+    }
+
+    /// BFS satisfies the triangle property along edges and matches the
+    /// layered definition of hop distance.
+    #[test]
+    fn bfs_is_a_metric_tree(g in arb_graph()) {
+        let d = bfs(&g, 0);
+        for (u, v) in g.edges() {
+            match (d[u], d[v]) {
+                (Some(a), Some(b)) => {
+                    prop_assert!(a.abs_diff(b) <= 1, "edge ({u},{v}): {a} vs {b}");
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "edge spans reachable/unreachable"),
+            }
+        }
+        // Every reachable non-source vertex has a predecessor one layer up.
+        for v in g.vertices() {
+            if let Some(dv) = d[v] {
+                if dv > 0 {
+                    prop_assert!(g.neighbors(v).iter().any(|&u| d[u] == Some(dv - 1)));
+                }
+            }
+        }
+    }
+
+    /// Dijkstra on a unit-weight mirror equals BFS.
+    #[test]
+    fn dijkstra_equals_bfs_on_unit_weights(g in arb_graph()) {
+        let h = WeightedGraph::from_unit_graph(&g);
+        let db = bfs(&g, 0);
+        let dd = dijkstra(&h, 0);
+        prop_assert_eq!(db, dd);
+    }
+
+    /// Point-to-point Dijkstra agrees with the full run.
+    #[test]
+    fn point_to_point_consistency(g in arb_graph(), t_pick in 0usize..60) {
+        let h = WeightedGraph::from_unit_graph(&g);
+        let t = t_pick % g.num_vertices();
+        prop_assert_eq!(distance(&h, 0, t), dijkstra(&h, 0)[t]);
+    }
+
+    /// Bounded BFS is BFS filtered by depth.
+    #[test]
+    fn bounded_bfs_is_filtered_bfs(g in arb_graph(), depth in 0u64..8) {
+        let full = bfs(&g, 0);
+        let bounded = bfs_bounded(&g, 0, depth);
+        for v in g.vertices() {
+            let expect = full[v].filter(|&d| d <= depth);
+            prop_assert_eq!(bounded[v], expect, "vertex {}", v);
+        }
+    }
+
+    /// Multi-source BFS returns the minimum over per-source BFS runs.
+    #[test]
+    fn multi_source_is_min_over_sources(g in arb_graph()) {
+        let n = g.num_vertices();
+        let sources: Vec<usize> = (0..n).step_by(3).collect();
+        let f = multi_source_bfs(&g, &sources, u64::MAX);
+        let per: Vec<_> = sources.iter().map(|&s| bfs(&g, s)).collect();
+        for v in 0..n {
+            let best = per.iter().filter_map(|d| d[v]).min();
+            let got = f.root[v].map(|_| f.dist[v]);
+            prop_assert_eq!(got, best, "vertex {}", v);
+        }
+    }
+
+    /// Components agree with BFS reachability and patching connects.
+    #[test]
+    fn components_match_reachability(g in arb_graph()) {
+        let comps = components(&g);
+        let d = bfs(&g, 0);
+        for v in g.vertices() {
+            prop_assert_eq!(comps.same(0, v), d[v].is_some(), "vertex {}", v);
+        }
+        let patched = connect_components(&g);
+        prop_assert!(is_connected(&patched));
+        prop_assert!(patched.num_edges() < g.num_edges() + comps.count);
+    }
+
+    /// Union-find agrees with graph components when fed the same edges.
+    #[test]
+    fn union_find_matches_components(g in arb_graph()) {
+        let mut uf = UnionFind::new(g.num_vertices());
+        for (u, v) in g.edges() {
+            uf.union(u, v);
+        }
+        let comps = components(&g);
+        prop_assert_eq!(uf.num_sets(), comps.count);
+        for (u, v) in g.edges() {
+            prop_assert!(uf.connected(u, v));
+        }
+    }
+
+    /// Generator contracts: sizes, degrees, determinism.
+    #[test]
+    fn generator_contracts(n in 4usize..80, seed in 0u64..100) {
+        let gnp = generators::gnp(n, 0.1, seed).unwrap();
+        prop_assert_eq!(gnp, generators::gnp(n, 0.1, seed).unwrap());
+
+        let star = generators::star(n).unwrap();
+        prop_assert_eq!(star.degree(0), n - 1);
+
+        let cycle = generators::cycle(n.max(3)).unwrap();
+        prop_assert!(cycle.vertices().all(|v| cycle.degree(v) == 2));
+
+        if n % 2 == 0 && n > 4 {
+            let rr = generators::random_regular(n, 3, seed).unwrap();
+            prop_assert!(rr.vertices().all(|v| rr.degree(v) == 3));
+        }
+    }
+
+    /// Weighted graph keeps minimum parallel weight and symmetric access.
+    #[test]
+    fn weighted_graph_min_weight(
+        edges in proptest::collection::vec((0usize..20, 0usize..20, 1u64..100), 1..100)
+    ) {
+        let mut h = WeightedGraph::new(20);
+        let mut best = std::collections::HashMap::new();
+        for (u, v, w) in edges {
+            if u == v {
+                continue;
+            }
+            h.add_edge(u, v, w);
+            let key = if u < v { (u, v) } else { (v, u) };
+            let e = best.entry(key).or_insert(w);
+            *e = (*e).min(w);
+        }
+        prop_assert_eq!(h.num_edges(), best.len());
+        for ((u, v), w) in best {
+            prop_assert_eq!(h.weight(u, v), Some(w));
+            prop_assert_eq!(h.weight(v, u), Some(w));
+        }
+    }
+}

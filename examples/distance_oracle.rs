@@ -1,0 +1,71 @@
+//! Approximate distance oracle workload: answer many point-to-point
+//! queries on a social-network-like graph from an ultra-sparse emulator,
+//! comparing work against exact BFS on the full graph.
+//!
+//! ```text
+//! cargo run --release --example distance_oracle
+//! ```
+
+use std::time::Instant;
+use usnae::core::oracle::ApproxDistanceOracle;
+use usnae::graph::distance::{exact_pair_distances, sample_pairs};
+use usnae::graph::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A heavy-tailed "social" graph.
+    let n = 4000;
+    let g = generators::barabasi_albert(n, 4, 13)?;
+    println!("graph: n={n}, |E|={}", g.num_edges());
+
+    let oracle = ApproxDistanceOracle::build(&g, 0.9, 8)?.with_cache_capacity(256);
+    let (alpha, beta) = oracle.guarantee();
+    println!(
+        "oracle structure: {} edges ({}% of G); guarantee d <= {alpha:.3}*d_G + {beta:.0}",
+        oracle.num_edges(),
+        100 * oracle.num_edges() / g.num_edges()
+    );
+
+    // Query workload: 500 pairs among 40 sources.
+    let pairs: Vec<(usize, usize)> = sample_pairs(&g, 2000, 3)
+        .into_iter()
+        .map(|(u, v)| (u % 40, v))
+        .filter(|&(u, v)| u != v)
+        .take(500)
+        .collect();
+
+    let t0 = Instant::now();
+    let approx: Vec<_> = pairs.iter().map(|&(u, v)| oracle.query(u, v)).collect();
+    let t_oracle = t0.elapsed();
+
+    let t0 = Instant::now();
+    let exact = exact_pair_distances(&g, &pairs);
+    let t_exact = t0.elapsed();
+
+    let mut worst_ratio: f64 = 1.0;
+    let mut mean_ratio = 0.0;
+    let mut counted = 0usize;
+    for (a, e) in approx.iter().zip(&exact) {
+        let (Some(a), Some(e)) = (a, e) else { continue };
+        assert!(a >= e, "oracle must never shorten");
+        assert!(*a as f64 <= alpha * *e as f64 + beta, "guarantee violated");
+        if *e > 0 {
+            let r = *a as f64 / *e as f64;
+            worst_ratio = worst_ratio.max(r);
+            mean_ratio += r;
+            counted += 1;
+        }
+    }
+    println!(
+        "{} queries: oracle {:?} (cached SSSP trees: {}), exact BFS batch {:?}",
+        pairs.len(),
+        t_oracle,
+        oracle.cached_sources(),
+        t_exact
+    );
+    println!(
+        "observed stretch: mean {:.3}, worst {:.3} (certified multiplicative cap {alpha:.3} + additive {beta:.0})",
+        mean_ratio / counted as f64,
+        worst_ratio
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: build an ultra-sparse near-additive emulator and use it for
+//! approximate distance queries.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use usnae::core::centralized::build_emulator;
+use usnae::core::params::CentralizedParams;
+use usnae::graph::distance::{exact_pair_distances, sample_pairs};
+use usnae::graph::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-size sparse random graph (the paper's input: unweighted,
+    // undirected).
+    let n = 2000;
+    let g = generators::gnp_connected(n, 6.0 / n as f64, 7)?;
+    println!(
+        "input graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // (1+ε, β)-emulator with at most n^(1+1/κ) edges (Corollary 2.14).
+    let params = CentralizedParams::new(0.5, 4)?;
+    let (alpha, beta) = params.certified_stretch();
+    let emulator = build_emulator(&g, &params);
+    println!(
+        "emulator: {} edges (bound {:.0}); certified stretch d_H <= {:.3}*d_G + {:.0}",
+        emulator.num_edges(),
+        params.size_bound(n),
+        alpha,
+        beta,
+    );
+
+    // Query approximate distances on the (much sparser) emulator and
+    // compare with exact BFS distances on G.
+    let pairs = sample_pairs(&g, 5, 99);
+    let exact = exact_pair_distances(&g, &pairs);
+    println!("\n{:>8} {:>8} {:>8} {:>8}", "u", "v", "d_G", "d_H");
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        let dg = exact[i].expect("connected instance");
+        let dh = emulator.distance(u, v).expect("emulator spans the graph");
+        println!("{u:>8} {v:>8} {dg:>8} {dh:>8}");
+        assert!(dh >= dg);
+        assert!(dh as f64 <= alpha * dg as f64 + beta);
+    }
+    println!("\nall sampled pairs within the certified stretch.");
+    Ok(())
+}

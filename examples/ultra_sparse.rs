@@ -1,0 +1,39 @@
+//! Ultra-sparse regime (Corollary 2.15): with κ = ω(log n) the emulator has
+//! `n + o(n)` edges — strictly fewer extra edges than any constant-κ
+//! setting, on *any* input graph.
+//!
+//! ```text
+//! cargo run --release --example ultra_sparse
+//! ```
+
+use usnae::core::centralized::build_emulator;
+use usnae::core::params::CentralizedParams;
+use usnae::graph::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>12} {:>12}",
+        "n", "kappa", "|E(G)|", "|H|", "|H|/n", "bound/n"
+    );
+    for exp in [8u32, 9, 10, 11] {
+        let n = 1usize << exp;
+        // A dense-ish input so sparsification is non-trivial.
+        let g = generators::gnp_connected(n, 16.0 / n as f64, 5)?;
+        // κ = log²n = ω(log n): size n^(1+1/κ) = n·2^(1/log n) = n + o(n).
+        let kappa = (exp * exp).max(2);
+        let params = CentralizedParams::new(0.5, kappa)?;
+        let h = build_emulator(&g, &params);
+        println!(
+            "{:>6} {:>8} {:>10} {:>10} {:>12.4} {:>12.4}",
+            n,
+            kappa,
+            g.num_edges(),
+            h.num_edges(),
+            h.num_edges() as f64 / n as f64,
+            params.size_bound(n) / n as f64,
+        );
+        assert!(h.num_edges() as f64 <= params.size_bound(n));
+    }
+    println!("\n|H|/n tends to 1: the emulator is ultra-sparse (n + o(n) edges).");
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Ultra-Sparse Near-Additive Emulators — facade crate.
+//!
+//! This crate re-exports the whole reproduction of Elkin & Matar,
+//! *Ultra-Sparse Near-Additive Emulators* (PODC 2021):
+//!
+//! * [`graph`] — CSR graphs, generators, BFS/Dijkstra, exact distances.
+//! * [`congest`] — deterministic synchronous CONGEST-model simulator.
+//! * [`core`] — the paper's constructions: centralized Algorithm 1,
+//!   the distributed CONGEST algorithm, the fast centralized simulation,
+//!   and the §4 spanner variant.
+//! * [`baselines`] — EP01, TZ06, EN17a emulators and the EM19 spanner.
+//! * [`eval`] — experiment harness regenerating every table/figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use usnae::core::{centralized::build_emulator, params::CentralizedParams};
+//! use usnae::graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::gnp_connected(256, 0.05, 7)?;
+//! let params = CentralizedParams::new(0.5, 4)?;
+//! let emulator = build_emulator(&g, &params);
+//! assert!(emulator.graph().num_edges() as f64 <= params.size_bound(g.num_vertices()));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use usnae_baselines as baselines;
+pub use usnae_congest as congest;
+pub use usnae_core as core;
+pub use usnae_eval as eval;
+pub use usnae_graph as graph;

@@ -1,0 +1,112 @@
+//! Integration tests for the application layer: distance oracle, hopset
+//! view, I/O roundtrips, and the distributed spanner driver — the pieces a
+//! downstream user of the library touches first.
+
+use usnae::core::distributed::spanner_driver::build_spanner_distributed;
+use usnae::core::hopset::{bounded_hop_distances, measure_hopbound};
+use usnae::core::oracle::ApproxDistanceOracle;
+use usnae::core::params::SpannerParams;
+use usnae::core::verify::is_subgraph_spanner;
+use usnae::graph::distance::{exact_pair_distances, sample_pairs, Apsp};
+use usnae::graph::{generators, io as gio};
+
+#[test]
+fn oracle_guarantee_holds_across_suite() {
+    for w in usnae::eval::workloads::standard_suite(120, 3).into_iter().take(5) {
+        let g = &w.graph;
+        let oracle = ApproxDistanceOracle::build(g, 0.5, 4).unwrap();
+        let (alpha, beta) = oracle.guarantee();
+        let apsp = Apsp::new(g);
+        for (u, v) in sample_pairs(g, 80, 9) {
+            let exact = apsp.distance(u, v).unwrap();
+            let approx = oracle.query(u, v).unwrap_or_else(|| {
+                panic!("{}: pair ({u},{v}) unanswered", w.name)
+            });
+            assert!(approx >= exact, "{}", w.name);
+            assert!(
+                approx as f64 <= alpha * exact as f64 + beta,
+                "{}: ({u},{v}) {approx} vs {alpha}*{exact}+{beta}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_structure_much_sparser_than_dense_input() {
+    let n = 600;
+    let g = generators::gnp_connected(n, 30.0 / n as f64, 7).unwrap();
+    let oracle = ApproxDistanceOracle::build(&g, 0.5, 8).unwrap();
+    assert!(
+        oracle.num_edges() * 3 < g.num_edges(),
+        "oracle {} vs graph {}",
+        oracle.num_edges(),
+        g.num_edges()
+    );
+}
+
+#[test]
+fn hopset_union_never_shortens_below_graph_distance() {
+    let g = generators::gnp_connected(100, 0.06, 5).unwrap();
+    let oracle = ApproxDistanceOracle::build(&g, 0.5, 4).unwrap();
+    let layers = bounded_hop_distances(&g, oracle.emulator(), 0, 12);
+    let exact = usnae::graph::bfs::bfs(&g, 0);
+    for layer in &layers {
+        for v in 0..100 {
+            if let (Some(hop), Some(dg)) = (layer[v], exact[v]) {
+                assert!(hop >= dg, "vertex {v}: {hop} < {dg}");
+            }
+        }
+    }
+}
+
+#[test]
+fn hopbound_improves_with_emulator_on_grid() {
+    let g = generators::grid2d(14, 14).unwrap();
+    let p = usnae::core::params::CentralizedParams::with_raw_epsilon(0.5, 8).unwrap();
+    let (h, _) = usnae::core::centralized::build_emulator_traced(
+        &g,
+        &p,
+        usnae::core::centralized::ProcessingOrder::ByDegreeDesc,
+    );
+    let (alpha, beta) = p.certified_stretch();
+    let pairs = sample_pairs(&g, 60, 3);
+    let exact = exact_pair_distances(&g, &pairs);
+    let empty = usnae::core::Emulator::new(g.num_vertices());
+    let plain = measure_hopbound(&g, &empty, &pairs, &exact, alpha, beta, 40);
+    let union = measure_hopbound(&g, &h, &pairs, &exact, alpha, beta, 40);
+    let (Some(p_hb), Some(u_hb)) = (plain.hopbound, union.hopbound) else {
+        panic!("both should resolve within 40 hops: {plain:?} {union:?}")
+    };
+    assert!(u_hb <= p_hb, "union {u_hb} vs plain {p_hb}");
+}
+
+#[test]
+fn emulator_roundtrips_through_edge_list_files() {
+    let g = generators::gnp_connected(80, 0.08, 11).unwrap();
+    let oracle = ApproxDistanceOracle::build(&g, 0.5, 4).unwrap();
+    let mut buf = Vec::new();
+    gio::write_weighted_edge_list(oracle.emulator().graph(), &mut buf).unwrap();
+    let back = gio::read_weighted_edge_list(buf.as_slice(), 80).unwrap();
+    assert_eq!(back.num_edges(), oracle.num_edges());
+    // Distances agree after the roundtrip.
+    let before = usnae::graph::dijkstra::dijkstra(oracle.emulator().graph(), 0);
+    let after = usnae::graph::dijkstra::dijkstra(&back, 0);
+    assert_eq!(before, after);
+}
+
+#[test]
+fn distributed_spanner_driver_full_contract() {
+    for w in usnae::eval::workloads::congest_suite(96, 13) {
+        let g = &w.graph;
+        let p = SpannerParams::new(0.5, 4, 0.5).unwrap();
+        let build = build_spanner_distributed(g, &p).unwrap();
+        assert!(is_subgraph_spanner(g, build.spanner.graph()), "{}", w.name);
+        assert!(build.metrics.rounds > 0, "{}", w.name);
+        let (alpha, beta) = p.certified_stretch();
+        let pairs = sample_pairs(g, 100, 5);
+        let rep =
+            usnae::core::verify::audit_stretch(g, build.spanner.graph(), alpha, beta, &pairs);
+        assert!(rep.passed(), "{}: {rep:?}", w.name);
+    }
+}

@@ -1,0 +1,174 @@
+//! Cross-crate integration: all four constructions (centralized Algorithm 1,
+//! fast centralized §3.3, distributed §3, spanner §4) on the shared workload
+//! suite, audited with the shared verifiers.
+
+use usnae::baselines::em19::build_em19_spanner;
+use usnae::core::centralized::{build_emulator_traced, ProcessingOrder};
+use usnae::core::charging::ChargeLedger;
+use usnae::core::distributed::build_emulator_distributed;
+use usnae::core::fast_centralized::build_emulator_fast;
+use usnae::core::params::{CentralizedParams, DistributedParams, SpannerParams};
+use usnae::core::spanner::build_spanner;
+use usnae::core::verify::{audit_stretch, is_subgraph_spanner};
+use usnae::eval::workloads::standard_suite;
+use usnae::graph::distance::sample_pairs;
+
+#[test]
+fn all_constructions_meet_size_and_stretch_on_suite() {
+    for w in standard_suite(160, 21) {
+        let g = &w.graph;
+        let n = g.num_vertices();
+        let pairs = sample_pairs(g, 120, 5);
+
+        // Centralized Algorithm 1.
+        let pc = CentralizedParams::new(0.5, 4).unwrap();
+        let (h, _) = build_emulator_traced(g, &pc, ProcessingOrder::ById);
+        assert!(
+            h.num_edges() as f64 <= pc.size_bound(n),
+            "{}: centralized size",
+            w.name
+        );
+        let (a, b) = pc.certified_stretch();
+        let rep = audit_stretch(g, h.graph(), a, b, &pairs);
+        assert!(rep.passed(), "{}: centralized stretch {rep:?}", w.name);
+
+        // Fast centralized (§3.3).
+        let pd = DistributedParams::new(0.5, 4, 0.5).unwrap();
+        let hf = build_emulator_fast(g, &pd);
+        assert!(
+            hf.num_edges() as f64 <= pd.size_bound(n),
+            "{}: fast size",
+            w.name
+        );
+        let (a, b) = pd.certified_stretch();
+        let rep = audit_stretch(g, hf.graph(), a, b, &pairs);
+        assert!(rep.passed(), "{}: fast stretch {rep:?}", w.name);
+
+        // §4 spanner.
+        let ps = SpannerParams::new(0.5, 4, 0.5).unwrap();
+        let s = build_spanner(g, &ps);
+        assert!(
+            is_subgraph_spanner(g, s.graph()),
+            "{}: spanner subgraph",
+            w.name
+        );
+        let (a, b) = ps.certified_stretch();
+        let rep = audit_stretch(g, s.graph(), a, b, &pairs);
+        assert!(rep.passed(), "{}: spanner stretch {rep:?}", w.name);
+    }
+}
+
+#[test]
+fn distributed_matches_guarantees_on_suite() {
+    // The CONGEST simulation is the slow one: smaller n, fewer families.
+    for w in standard_suite(80, 33).into_iter().take(4) {
+        let g = &w.graph;
+        let n = g.num_vertices();
+        let p = DistributedParams::new(0.5, 4, 0.5).unwrap();
+        let build = build_emulator_distributed(g, &p).unwrap();
+        assert_eq!(build.knowledge_violations, 0, "{}", w.name);
+        assert!(
+            build.emulator.num_edges() as f64 <= p.size_bound(n),
+            "{}",
+            w.name
+        );
+        let (a, b) = p.certified_stretch();
+        let pairs = sample_pairs(g, 80, 9);
+        let rep = audit_stretch(g, build.emulator.graph(), a, b, &pairs);
+        assert!(rep.passed(), "{}: {rep:?}", w.name);
+        // Round accounting is positive and phase-consistent.
+        assert!(build.metrics.rounds > 0);
+        assert_eq!(
+            build.phases.iter().map(|t| t.rounds).sum::<u64>(),
+            build.metrics.rounds,
+            "{}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn charging_discipline_across_constructions_and_orders() {
+    for w in standard_suite(140, 55).into_iter().take(5) {
+        let g = &w.graph;
+        let n = g.num_vertices();
+        let pc = CentralizedParams::new(0.5, 4).unwrap();
+        for order in [
+            ProcessingOrder::ById,
+            ProcessingOrder::ByIdDesc,
+            ProcessingOrder::ByDegreeDesc,
+            ProcessingOrder::ByDegreeAsc,
+        ] {
+            let (h, _) = build_emulator_traced(g, &pc, order);
+            ChargeLedger::from_emulator(&h)
+                .verify(|phase| pc.degree_cap(phase, n))
+                .unwrap_or_else(|v| panic!("{} {order:?}: {v}", w.name));
+        }
+        let pd = DistributedParams::new(0.5, 4, 0.5).unwrap();
+        let hf = build_emulator_fast(g, &pd);
+        ChargeLedger::from_emulator(&hf)
+            .verify(|phase| pd.degree_cap(phase, n))
+            .unwrap_or_else(|v| panic!("{} fast: {v}", w.name));
+    }
+}
+
+#[test]
+fn raw_epsilon_mode_certified_stretch_holds() {
+    // Raw-ε mode (no §2.2.4 rescaling) keeps multi-phase structure alive at
+    // small n; the exact-recursion certification must still hold.
+    for w in standard_suite(160, 77).into_iter().take(5) {
+        let g = &w.graph;
+        let n = g.num_vertices();
+        let p = CentralizedParams::with_raw_epsilon(0.5, 8).unwrap();
+        let (h, trace) = build_emulator_traced(g, &p, ProcessingOrder::ById);
+        assert!(h.num_edges() as f64 <= p.size_bound(n), "{}", w.name);
+        // Raw mode must actually exercise several phases on sparse families.
+        assert!(trace.phases.len() == p.ell() + 1);
+        let (a, b) = p.certified_stretch();
+        let pairs = sample_pairs(g, 120, 13);
+        let rep = audit_stretch(g, h.graph(), a, b, &pairs);
+        assert!(rep.passed(), "{}: {rep:?}", w.name);
+    }
+}
+
+#[test]
+fn spanner_beats_or_ties_em19_on_suite_raw_mode() {
+    let mut ours_total = 0usize;
+    let mut em19_total = 0usize;
+    for w in standard_suite(200, 91) {
+        let g = &w.graph;
+        let ps = SpannerParams::with_raw_epsilon(0.5, 4, 0.5).unwrap();
+        let pd = DistributedParams::with_raw_epsilon(0.5, 4, 0.5).unwrap();
+        let ours = build_spanner(g, &ps);
+        let theirs = build_em19_spanner(g, &pd);
+        ours_total += ours.num_edges();
+        em19_total += theirs.num_edges();
+    }
+    // Aggregate shape of E7: the §4 sequence never loses overall.
+    assert!(
+        ours_total <= em19_total + 200,
+        "ours {ours_total} vs em19 {em19_total}"
+    );
+}
+
+#[test]
+fn sparsest_spanner_configuration_is_n_log_log_n() {
+    // End of §4: at κ = Θ(log n / log⁽³⁾n) the spanner has O(n·log log n)
+    // edges. Check the size against that bound with a modest constant.
+    use usnae::core::params::SpannerParams;
+    for n in [512usize, 1024] {
+        let g = usnae::graph::generators::gnp_connected(n, 16.0 / n as f64, 9).unwrap();
+        let kappa = SpannerParams::sparsest_kappa(n);
+        assert!(kappa >= 4, "kappa = {kappa}");
+        let p = SpannerParams::with_raw_epsilon(0.5, kappa, 0.5).unwrap();
+        let s = usnae::core::spanner::build_spanner(&g, &p);
+        let log_log_n = (n as f64).log2().log2();
+        assert!(
+            (s.num_edges() as f64) <= 3.0 * n as f64 * log_log_n,
+            "n={n}: {} edges vs 3·n·loglog n = {}",
+            s.num_edges(),
+            3.0 * n as f64 * log_log_n
+        );
+        assert!(usnae::core::verify::is_subgraph_spanner(&g, s.graph()));
+    }
+}

@@ -1,0 +1,111 @@
+//! The headline experiment *shapes* at integration scale: the conclusions
+//! `EXPERIMENTS.md` draws must hold whenever the suite regenerates them.
+
+use usnae::eval::experiments::{
+    anatomy, e1_size, e2_ultra_sparse, e7_spanner, e8_baselines, ultra_sparse_kappa,
+};
+use usnae::eval::workloads::figure_suite;
+
+#[test]
+fn e1_shape_every_ratio_at_most_one_and_tighter_for_larger_kappa() {
+    let t = e1_size(&[200, 400], &[2, 4, 8], 0.5, 42);
+    let ratios = t.column_f64("ratio");
+    assert!(!ratios.is_empty());
+    for r in &ratios {
+        assert!(*r <= 1.0 + 1e-9, "ratio {r}");
+    }
+    // Aggregate shape: mean ratio grows with κ (the bound tightens).
+    let kappas = t.column_f64("kappa");
+    let mean = |k: f64| {
+        let xs: Vec<f64> = kappas
+            .iter()
+            .zip(&ratios)
+            .filter(|(kk, _)| **kk == k)
+            .map(|(_, r)| *r)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    assert!(mean(8.0) > mean(2.0), "{} vs {}", mean(8.0), mean(2.0));
+}
+
+#[test]
+fn e2_shape_ultra_sparse_stays_within_shrinking_bound() {
+    // edges/n approaches 1 (from below on these inputs: the emulator is a
+    // near-tree) and always sits under the bound curve n^(1/κ), which
+    // itself shrinks toward 1 as n grows.
+    let t = e2_ultra_sparse(&[128, 512], 0.5, 42);
+    let ns = t.column_f64("n");
+    let edges_over_n = t.column_f64("edges_over_n");
+    let bound_over_n = t.column_f64("bound_over_n");
+    for ((n, e), b) in ns.iter().zip(&edges_over_n).zip(&bound_over_n) {
+        assert!(e <= b, "n={n}: edges/n {e} above bound/n {b}");
+        assert!(*e <= 1.02 && *e >= 0.9, "n={n}: edges/n {e} not near 1");
+    }
+    let mean_bound = |lo: f64, hi: f64| {
+        let xs: Vec<f64> = ns
+            .iter()
+            .zip(&bound_over_n)
+            .filter(|(n, _)| **n >= lo && **n < hi)
+            .map(|(_, b)| *b)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    assert!(mean_bound(300.0, 1e9) < mean_bound(0.0, 300.0), "bound curve must shrink");
+}
+
+#[test]
+fn e7_shape_ours_never_loses_to_em19() {
+    let t = e7_spanner(&[240], &[4, 8], 0.5, 0.5, 42);
+    for f in t.column_f64("em19_over_ours") {
+        assert!(f >= 1.0 - 0.05, "EM19/ours factor {f} < 1");
+    }
+    let subgraph_col = t.column("subgraph").unwrap();
+    for i in 0..t.num_rows() {
+        assert_eq!(t.cell(i, subgraph_col), Some("true"));
+    }
+}
+
+#[test]
+fn e8_shape_ours_never_loses_to_ep01_and_wins_on_dense_families() {
+    let t = e8_baselines(300, &[4, 8], 0.5, 42);
+    let ours = t.column_f64("ours");
+    // EP01 is the deterministic comparable: same SAI skeleton plus the
+    // ground partition. Ours must never exceed it (beyond tiny noise).
+    let ep01 = t.column_f64("ep01");
+    for (o, b) in ours.iter().zip(&ep01) {
+        assert!(o <= &(b + 8.0), "ep01: ours {o} vs {b}");
+    }
+    // Against the randomized lineages the paper's win is on *dense*
+    // inputs (sparse lattices are already near-optimal emulators of
+    // themselves, and randomized bunches can undercut them at weaker
+    // stretch). Check the dense rows.
+    let fam = t.column("family").unwrap();
+    let tz = t.column_f64("tz06");
+    for i in 0..t.num_rows() {
+        if t.cell(i, fam) == Some("gnp-dense") {
+            assert!(
+                ours[i] <= tz[i] + 32.0,
+                "gnp-dense row {i}: ours {} vs tz06 {}",
+                ours[i],
+                tz[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn anatomy_shape_buffer_joins_appear_somewhere() {
+    // The buffer set must actually fire on the figure suite (Fig. 4).
+    let t = anatomy(&figure_suite(96), 2, 0.5);
+    let buffer_joins: f64 = t.column_f64("buffer_joins").into_iter().sum();
+    assert!(buffer_joins > 0.0, "no buffer joins across the figure suite");
+}
+
+#[test]
+fn ultra_sparse_kappa_is_omega_log_n() {
+    for n in [64usize, 256, 1024, 4096] {
+        let k = ultra_sparse_kappa(n) as f64;
+        let log_n = (n as f64).log2();
+        assert!(k >= log_n, "kappa {k} not >= log n {log_n}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Lemma-level audits: the building blocks of the paper's proofs, checked
+//! mechanically on random instances.
+
+use std::collections::HashSet;
+use usnae::core::centralized::{build_emulator_traced, BuildTrace, ProcessingOrder};
+use usnae::core::params::CentralizedParams;
+use usnae::graph::{generators, Graph};
+
+fn build(
+    g: &Graph,
+    eps: f64,
+    kappa: u32,
+) -> (usnae::core::Emulator, BuildTrace, CentralizedParams) {
+    let p = CentralizedParams::new(eps, kappa).unwrap();
+    let (h, t) = build_emulator_traced(g, &p, ProcessingOrder::ById);
+    (h, t, p)
+}
+
+/// Lemma 2.2: superclusters formed in a phase are pairwise disjoint.
+#[test]
+fn lemma_2_2_superclusters_disjoint() {
+    for seed in 0..4u64 {
+        let g = generators::gnp_connected(250, 0.06, seed).unwrap();
+        let (_, trace, _) = build(&g, 0.5, 4);
+        for partition in &trace.partitions {
+            let mut seen = HashSet::new();
+            for c in partition.clusters() {
+                for &v in &c.members {
+                    assert!(
+                        seen.insert(v),
+                        "seed {seed}: vertex {v} in two superclusters"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Lemma 2.3: `|P_i| ≤ n^(1 − (2^i − 1)/κ)`.
+#[test]
+fn lemma_2_3_partition_sizes() {
+    for (kappa, seed) in [(2u32, 0u64), (4, 1), (8, 2)] {
+        let g = generators::gnp_connected(350, 0.07, seed).unwrap();
+        let (_, trace, p) = build(&g, 0.5, kappa);
+        let n = g.num_vertices() as f64;
+        for (i, part) in trace.partitions.iter().enumerate().take(p.ell() + 1) {
+            let bound = n.powf(1.0 - (2f64.powi(i as i32) - 1.0) / kappa as f64);
+            assert!(
+                part.len() as f64 <= bound + 1e-6,
+                "kappa {kappa} phase {i}: {} > {bound}",
+                part.len()
+            );
+        }
+    }
+}
+
+/// Lemma 2.5: `Rad(P_i) ≤ R_i` — every cluster member is within `R_i` of
+/// its center *in the emulator H*.
+#[test]
+fn lemma_2_5_cluster_radii() {
+    for seed in 0..3u64 {
+        let g = generators::gnp_connected(200, 0.08, seed).unwrap();
+        let (h, trace, p) = build(&g, 0.5, 4);
+        for (i, partition) in trace.partitions.iter().enumerate() {
+            let r_i = p.schedule().radius[i.min(p.schedule().radius.len() - 1)];
+            for c in partition.clusters() {
+                let dist = h.distances_from(c.center);
+                for &v in &c.members {
+                    let d = dist[v].unwrap_or_else(|| {
+                        panic!("seed {seed} phase {i}: member {v} unreachable from center")
+                    });
+                    assert!(
+                        d <= r_i,
+                        "seed {seed} phase {i}: Rad violation d_H({},{v}) = {d} > R_i = {r_i}",
+                        c.center
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Lemma 2.7: a `U_i` center's emulator distance to every neighboring
+/// center equals the graph distance.
+#[test]
+fn lemma_2_7_unclustered_centers_have_exact_neighbor_distances() {
+    for seed in 0..3u64 {
+        let g = generators::gnp_connected(150, 0.07, seed).unwrap();
+        let (h, trace, p) = build(&g, 0.5, 4);
+        for (i, u_i) in trace.unclustered.iter().enumerate() {
+            let delta = p.delta(i);
+            // Collect this phase's centers (clusters of P_i).
+            let centers: Vec<usize> = trace.partitions[i]
+                .clusters()
+                .iter()
+                .map(|c| c.center)
+                .collect();
+            let center_set: HashSet<usize> = centers.iter().copied().collect();
+            for c in u_i {
+                let dg = usnae::graph::bfs::bfs_bounded(&g, c.center, delta);
+                for &other in &center_set {
+                    if other == c.center {
+                        continue;
+                    }
+                    if let Some(d) = dg[other] {
+                        let dh = h.distance(c.center, other).unwrap_or(u64::MAX);
+                        assert!(
+                            dh <= d,
+                            "seed {seed} phase {i}: d_H({},{other}) = {dh} > d_G = {d}",
+                            c.center
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lemma 2.8 + eq. (1): the union of all `U_i` partitions `V`.
+#[test]
+fn lemma_2_8_unclustered_union_partitions_v() {
+    for (name, g) in [
+        ("gnp", generators::gnp_connected(220, 0.05, 7).unwrap()),
+        ("grid", generators::grid2d(14, 14).unwrap()),
+        ("star", generators::star(150).unwrap()),
+        ("broom", generators::broom(12, 9).unwrap()),
+    ] {
+        let (_, trace, _) = build(&g, 0.5, 4);
+        let n = g.num_vertices();
+        let mut covered = vec![false; n];
+        for u_i in &trace.unclustered {
+            for c in u_i {
+                for &v in &c.members {
+                    assert!(!covered[v], "{name}: vertex {v} covered twice");
+                    covered[v] = true;
+                }
+            }
+        }
+        assert!(
+            covered.iter().all(|&b| b),
+            "{name}: some vertex never unclustered"
+        );
+    }
+}
+
+/// Lemma 2.9: the cluster history forms a laminar family — each `P_{i+1}`
+/// cluster is a union of `P_i` clusters.
+#[test]
+fn lemma_2_9_laminar_family() {
+    let g = generators::gnp_connected(300, 0.08, 3).unwrap();
+    let (_, trace, _) = build(&g, 0.5, 8);
+    let n = g.num_vertices();
+    for i in 0..trace.partitions.len() - 1 {
+        let prev = trace.partitions[i].vertex_to_cluster(n);
+        for sc in trace.partitions[i + 1].clusters() {
+            let ids: HashSet<usize> = sc
+                .members
+                .iter()
+                .map(|&v| prev[v].expect("member was clustered"))
+                .collect();
+            let member_set: HashSet<usize> = sc.members.iter().copied().collect();
+            for id in ids {
+                for &v in &trace.partitions[i].cluster(id).members {
+                    assert!(
+                        member_set.contains(&v),
+                        "phase {i}: P_i cluster {id} split across superclusters"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Lemma 2.4's accounting identity: insertions per phase are bounded by
+/// `|P_i|·deg_i − |P_{i+1}|·deg_i²` (eq. 4), which telescopes to
+/// `n^(1+1/κ)`.
+#[test]
+fn eq_4_per_phase_edge_accounting() {
+    for seed in 0..3u64 {
+        let g = generators::gnp_connected(300, 0.07, seed).unwrap();
+        let n = g.num_vertices();
+        let p = CentralizedParams::new(0.5, 4).unwrap();
+        let (_, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+        for t in &trace.phases {
+            let inserted = t.interconnection_edges + t.superclustering_edges + t.buffer_join_edges;
+            let deg = p.degree_threshold(t.phase, n);
+            let bound = t.num_clusters as f64 * deg
+                - trace.partitions[t.phase + 1].len() as f64 * deg * deg;
+            assert!(
+                inserted as f64 <= bound + 1e-6,
+                "seed {seed} phase {}: {inserted} > {bound}",
+                t.phase
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests: the paper's invariants under randomized inputs
+//! and parameters.
+
+use proptest::prelude::*;
+use usnae::core::centralized::{build_emulator_traced, ProcessingOrder};
+use usnae::core::charging::ChargeLedger;
+use usnae::core::params::{CentralizedParams, DistributedParams, SpannerParams};
+use usnae::core::spanner::build_spanner;
+use usnae::core::verify::{audit_stretch, is_subgraph_spanner};
+use usnae::graph::distance::sample_pairs;
+use usnae::graph::generators;
+
+fn arb_graph() -> impl Strategy<Value = usnae::graph::Graph> {
+    (20usize..120, 1u64..500, 15u32..60).prop_map(|(n, seed, density)| {
+        generators::gnp_connected(n, density as f64 / 10.0 / n as f64, seed)
+            .expect("valid gnp parameters")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cor 2.14 end to end: size bound, charging, stretch, never-shorten.
+    #[test]
+    fn centralized_emulator_full_contract(
+        g in arb_graph(),
+        kappa in 2u32..10,
+        eps in 0.2f64..0.95,
+        order_pick in 0usize..4,
+    ) {
+        let n = g.num_vertices();
+        let order = [
+            ProcessingOrder::ById,
+            ProcessingOrder::ByIdDesc,
+            ProcessingOrder::ByDegreeDesc,
+            ProcessingOrder::ByDegreeAsc,
+        ][order_pick];
+        let p = CentralizedParams::new(eps, kappa).unwrap();
+        let (h, trace) = build_emulator_traced(&g, &p, order);
+
+        // Size (leading constant 1).
+        prop_assert!(h.num_edges() as f64 <= p.size_bound(n) + 1e-6);
+
+        // Charging discipline (Lemma 2.4's skeleton).
+        ChargeLedger::from_emulator(&h)
+            .verify(|phase| p.degree_cap(phase, n))
+            .map_err(|v| TestCaseError::fail(v.to_string()))?;
+
+        // Stretch on a pair sample.
+        let (alpha, beta) = p.certified_stretch();
+        let pairs = sample_pairs(&g, 60, 7);
+        let rep = audit_stretch(&g, h.graph(), alpha, beta, &pairs);
+        prop_assert!(rep.passed(), "{rep:?}");
+
+        // Trace bookkeeping: insertions ≥ distinct edges.
+        prop_assert!(trace.total_insertions() >= h.num_edges());
+    }
+
+    /// Raw-ε mode keeps the same contract (certification is rescale-free).
+    #[test]
+    fn raw_epsilon_contract(
+        g in arb_graph(),
+        kappa in 2u32..12,
+        eps in 0.3f64..0.9,
+    ) {
+        let n = g.num_vertices();
+        let p = CentralizedParams::with_raw_epsilon(eps, kappa).unwrap();
+        let (h, _) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+        prop_assert!(h.num_edges() as f64 <= p.size_bound(n) + 1e-6);
+        let (alpha, beta) = p.certified_stretch();
+        let pairs = sample_pairs(&g, 50, 11);
+        let rep = audit_stretch(&g, h.graph(), alpha, beta, &pairs);
+        prop_assert!(rep.passed(), "{rep:?}");
+    }
+
+    /// Cor 4.4: the spanner is always a subgraph with certified stretch.
+    #[test]
+    fn spanner_contract(
+        g in arb_graph(),
+        kappa in 2u32..8,
+    ) {
+        let p = SpannerParams::new(0.5, kappa, 0.5).unwrap();
+        let s = build_spanner(&g, &p);
+        prop_assert!(is_subgraph_spanner(&g, s.graph()));
+        prop_assert!(s.num_edges() <= g.num_edges());
+        let (alpha, beta) = p.certified_stretch();
+        let pairs = sample_pairs(&g, 50, 13);
+        let rep = audit_stretch(&g, s.graph(), alpha, beta, &pairs);
+        prop_assert!(rep.passed(), "{rep:?}");
+    }
+
+    /// Emulator distances dominate graph distances pointwise (d_G ≤ d_H)
+    /// and every connected pair stays connected.
+    #[test]
+    fn emulator_never_shortens_or_disconnects(
+        g in arb_graph(),
+        kappa in 2u32..8,
+    ) {
+        let p = CentralizedParams::new(0.5, kappa).unwrap();
+        let (h, _) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+        let source = 0;
+        let dg = usnae::graph::bfs::bfs(&g, source);
+        let dh = h.distances_from(source);
+        for v in 0..g.num_vertices() {
+            match (dg[v], dh[v]) {
+                (Some(a), Some(b)) => prop_assert!(b >= a, "pair (0,{v}): {b} < {a}"),
+                (Some(_), None) => prop_assert!(false, "vertex {v} lost connectivity"),
+                _ => {}
+            }
+        }
+    }
+
+    /// Parameter algebra invariants: deg_{i+1} ≤ deg_i² and α within 1+ε
+    /// (rescaled mode) across the admissible space.
+    #[test]
+    fn parameter_algebra_invariants(
+        kappa in 2u32..200,
+        eps in 0.05f64..0.99,
+        rho_scale in 0.0f64..1.0,
+    ) {
+        let p = CentralizedParams::new(eps, kappa).unwrap();
+        let n = 100_000;
+        for i in 1..=p.ell() {
+            let prev = p.degree_threshold(i - 1, n);
+            prop_assert!(p.degree_threshold(i, n) <= prev * prev * (1.0 + 1e-9));
+        }
+        let (alpha, beta) = p.certified_stretch();
+        prop_assert!(alpha <= 1.0 + eps + 1e-9);
+        prop_assert!(beta.is_finite() && beta >= 0.0);
+
+        // Distributed params across the admissible ρ range.
+        let lo = 1.0 / kappa as f64;
+        let rho = (lo + rho_scale * (0.5 - lo)).clamp(lo, 0.5);
+        let pd = DistributedParams::new(eps, kappa, rho).unwrap();
+        for i in 0..pd.ell() {
+            let cur = pd.degree_threshold(i, n);
+            prop_assert!(pd.degree_threshold(i + 1, n) <= cur * cur * (1.0 + 1e-9));
+        }
+        let (alpha_d, _) = pd.certified_stretch();
+        prop_assert!(alpha_d <= 1.0 + eps + 1e-9);
+    }
+}
