@@ -17,24 +17,17 @@ use usnae_graph::{Dist, Graph, VertexId};
 
 /// Builds an EM19-style spanner: a subgraph of `G` with
 /// `O(β·n^(1+1/κ))` edges.
-///
-/// # Example
-///
-/// ```
-/// use usnae_baselines::em19::build_em19_spanner;
-/// use usnae_core::params::DistributedParams;
-/// use usnae_core::verify::is_subgraph_spanner;
-/// use usnae_graph::generators;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let g = generators::gnp_connected(120, 0.1, 1)?;
-/// let p = DistributedParams::new(0.5, 4, 0.5)?;
-/// let s = build_em19_spanner(&g, &p);
-/// assert!(is_subgraph_spanner(&g, s.graph()));
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use the \"em19\" entry of usnae_baselines::registry instead"
+)]
 pub fn build_em19_spanner(g: &Graph, params: &DistributedParams) -> Emulator {
+    build_em19(g, params)
+}
+
+/// Crate-internal entry point behind the registry adapter (and the
+/// deprecated free-function shim).
+pub(crate) fn build_em19(g: &Graph, params: &DistributedParams) -> Emulator {
     let n = g.num_vertices();
     let mut spanner = Emulator::new(n);
     let mut partition = Partition::singletons(n);
@@ -153,8 +146,7 @@ fn run_phase(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use usnae_core::params::SpannerParams;
-    use usnae_core::spanner::build_spanner;
+    use usnae_core::api::{Algorithm, Emulator};
     use usnae_core::verify::is_subgraph_spanner;
     use usnae_graph::generators;
 
@@ -162,7 +154,7 @@ mod tests {
     fn is_a_subgraph() {
         let g = generators::gnp_connected(150, 0.08, 1).unwrap();
         let p = DistributedParams::new(0.5, 4, 0.5).unwrap();
-        let s = build_em19_spanner(&g, &p);
+        let s = build_em19(&g, &p);
         assert!(is_subgraph_spanner(&g, s.graph()));
     }
 
@@ -170,7 +162,7 @@ mod tests {
     fn never_disconnects_what_g_connects() {
         let g = generators::gnp_connected(80, 0.08, 2).unwrap();
         let p = DistributedParams::new(0.5, 4, 0.5).unwrap();
-        let s = build_em19_spanner(&g, &p);
+        let s = build_em19(&g, &p);
         let d = s.distances_from(0);
         assert!(d.iter().all(|x| x.is_some()));
     }
@@ -180,8 +172,13 @@ mod tests {
         // E7's direction: §4 (EN17a sequence) ≤ EM19 (§3 sequence) sizes,
         // up to small-instance noise, on dense inputs.
         let g = generators::gnp_connected(300, 0.15, 3).unwrap();
-        let em19 = build_em19_spanner(&g, &DistributedParams::new(0.5, 8, 0.5).unwrap());
-        let ours = build_spanner(&g, &SpannerParams::new(0.5, 8, 0.5).unwrap());
+        let em19 = build_em19(&g, &DistributedParams::new(0.5, 8, 0.5).unwrap());
+        let ours = Emulator::builder(&g)
+            .algorithm(Algorithm::Spanner)
+            .kappa(8)
+            .build()
+            .unwrap()
+            .emulator;
         assert!(
             ours.num_edges() <= em19.num_edges() + 300,
             "ours {} vs em19 {}",
@@ -194,7 +191,7 @@ mod tests {
     fn path_input_reproduced() {
         let g = generators::path(20).unwrap();
         let p = DistributedParams::new(0.5, 2, 0.5).unwrap();
-        let s = build_em19_spanner(&g, &p);
+        let s = build_em19(&g, &p);
         assert_eq!(s.num_edges(), 19);
     }
 }

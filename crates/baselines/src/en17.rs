@@ -10,36 +10,29 @@
 //! ultra-sparse `n + o(n)` with leading constant 1 (§2: "it cannot be used
 //! to provide ultra-sparse emulators").
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use usnae_core::cluster::{Cluster, Partition};
 use usnae_core::emulator::{EdgeKind, EdgeProvenance, Emulator};
 use usnae_core::params::CentralizedParams;
 use usnae_graph::bfs::{bfs_bounded, multi_source_bfs};
+use usnae_graph::rng::Rng;
 use usnae_graph::{Dist, Graph, VertexId};
 
 /// Builds an EN17a-style emulator (randomized superclustering), seeded.
-///
-/// # Example
-///
-/// ```
-/// use usnae_baselines::en17::build_en17_emulator;
-/// use usnae_core::params::CentralizedParams;
-/// use usnae_graph::generators;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let g = generators::gnp_connected(100, 0.08, 1)?;
-/// let p = CentralizedParams::new(0.5, 4)?;
-/// let h = build_en17_emulator(&g, &p, 7);
-/// assert!(h.num_edges() > 0);
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use the \"en17a\" entry of usnae_baselines::registry instead"
+)]
 pub fn build_en17_emulator(g: &Graph, params: &CentralizedParams, seed: u64) -> Emulator {
+    build_en17(g, params, seed)
+}
+
+/// Crate-internal entry point behind the registry adapter (and the
+/// deprecated free-function shim).
+pub(crate) fn build_en17(g: &Graph, params: &CentralizedParams, seed: u64) -> Emulator {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
     let mut partition = Partition::singletons(n);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     for i in 0..=params.ell() {
         let last = i == params.ell();
@@ -59,7 +52,7 @@ fn run_phase(
     i: usize,
     params: &CentralizedParams,
     last: bool,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Partition {
     let n = g.num_vertices();
     let delta = params.delta(i);
@@ -170,8 +163,8 @@ mod tests {
         let g = generators::gnp_connected(80, 0.08, 1).unwrap();
         let p = CentralizedParams::new(0.5, 4).unwrap();
         assert_eq!(
-            build_en17_emulator(&g, &p, 5).num_edges(),
-            build_en17_emulator(&g, &p, 5).num_edges()
+            build_en17(&g, &p, 5).num_edges(),
+            build_en17(&g, &p, 5).num_edges()
         );
     }
 
@@ -179,7 +172,7 @@ mod tests {
     fn never_shortens_distances() {
         let g = generators::gnp_connected(60, 0.08, 3).unwrap();
         let p = CentralizedParams::new(0.5, 3).unwrap();
-        let h = build_en17_emulator(&g, &p, 9);
+        let h = build_en17(&g, &p, 9);
         let apsp = usnae_graph::distance::Apsp::new(&g);
         for (u, v) in usnae_graph::distance::sample_pairs(&g, 100, 7) {
             if let Some(dh) = h.distance(u, v) {
@@ -192,7 +185,7 @@ mod tests {
     fn path_gives_path() {
         let g = generators::path(25).unwrap();
         let p = CentralizedParams::new(0.5, 2).unwrap();
-        let h = build_en17_emulator(&g, &p, 1);
+        let h = build_en17(&g, &p, 1);
         // δ_0 = 1 interconnections reproduce the path; sampling at
         // probability 25^(-1/2) leaves mostly interconnections.
         assert!(h.num_edges() >= 20);
@@ -203,7 +196,7 @@ mod tests {
         let n = 250;
         let g = generators::gnp_connected(n, 0.06, 5).unwrap();
         let p = CentralizedParams::new(0.5, 4).unwrap();
-        let h = build_en17_emulator(&g, &p, 3);
+        let h = build_en17(&g, &p, 3);
         // Expected O(n^(1+1/κ)); allow randomness slack.
         assert!((h.num_edges() as f64) < 5.0 * p.size_bound(n));
     }

@@ -21,23 +21,17 @@ use usnae_graph::bfs::{bfs_bounded, multi_source_bfs};
 use usnae_graph::{Dist, Graph, VertexId};
 
 /// Builds an EP01-style emulator; size `O(log κ · n^(1+1/κ)) + (n − 1)`.
-///
-/// # Example
-///
-/// ```
-/// use usnae_baselines::ep01::build_ep01_emulator;
-/// use usnae_core::params::CentralizedParams;
-/// use usnae_graph::generators;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let g = generators::gnp_connected(100, 0.08, 1)?;
-/// let p = CentralizedParams::new(0.5, 4)?;
-/// let h = build_ep01_emulator(&g, &p);
-/// assert!(h.num_edges() > 0);
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use the \"ep01\" entry of usnae_baselines::registry instead"
+)]
 pub fn build_ep01_emulator(g: &Graph, params: &CentralizedParams) -> Emulator {
+    build_ep01(g, params)
+}
+
+/// Crate-internal entry point behind the registry adapter (and the
+/// deprecated free-function shim).
+pub(crate) fn build_ep01(g: &Graph, params: &CentralizedParams) -> Emulator {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
     let mut partition = Partition::singletons(n);
@@ -167,7 +161,7 @@ mod tests {
     fn includes_spanning_forest() {
         let g = generators::gnp_connected(80, 0.06, 1).unwrap();
         let p = CentralizedParams::new(0.5, 4).unwrap();
-        let h = build_ep01_emulator(&g, &p);
+        let h = build_ep01(&g, &p);
         // At least the spanning forest is present.
         assert!(h.num_edges() >= 79);
         // Connectivity in H follows from the forest.
@@ -179,7 +173,7 @@ mod tests {
     fn never_shortens_distances() {
         let g = generators::gnp_connected(60, 0.08, 2).unwrap();
         let p = CentralizedParams::new(0.5, 3).unwrap();
-        let h = build_ep01_emulator(&g, &p);
+        let h = build_ep01(&g, &p);
         let apsp = usnae_graph::distance::Apsp::new(&g);
         for (u, v) in usnae_graph::distance::sample_pairs(&g, 100, 3) {
             let dh = h.distance(u, v).unwrap();
@@ -192,7 +186,7 @@ mod tests {
         // On a path the construction degenerates to the path + forest.
         let g = generators::path(30).unwrap();
         let p = CentralizedParams::new(0.5, 2).unwrap();
-        let h = build_ep01_emulator(&g, &p);
+        let h = build_ep01(&g, &p);
         assert_eq!(h.num_edges(), 29);
     }
 
@@ -204,7 +198,7 @@ mod tests {
         // O(log κ)·bound + n.)
         let g = generators::gnp_connected(200, 0.2, 4).unwrap();
         let p = CentralizedParams::new(0.5, 4).unwrap();
-        let h = build_ep01_emulator(&g, &p);
+        let h = build_ep01(&g, &p);
         let per_phase = p.size_bound(200);
         let coarse = (p.ell() as f64 + 1.0) * per_phase + 200.0;
         assert!((h.num_edges() as f64) <= coarse);

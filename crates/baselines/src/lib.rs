@@ -17,8 +17,28 @@
 //! These are reproductions of the *constructions' structure and accounting*
 //! as described in the present paper's §1–2 comparisons (not line-by-line
 //! ports of the original papers); each module documents the simplifications.
+//!
+//! All four lineages implement [`usnae_core::api::Construction`] through
+//! [`adapter`], and [`registry::all`] serves the complete catalogue (paper
+//! constructions + baselines) that `eval`, `bench` and the CLI iterate:
+//!
+//! ```
+//! use usnae_baselines::registry;
+//! use usnae_core::api::BuildConfig;
+//! use usnae_graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::gnp_connected(80, 0.08, 1)?;
+//! let em19 = registry::find("em19").expect("baseline registered");
+//! let out = em19.build(&g, &BuildConfig::default())?;
+//! assert!(out.num_edges() > 0);
+//! # Ok(())
+//! # }
+//! ```
 
+pub mod adapter;
 pub mod em19;
 pub mod en17;
 pub mod ep01;
+pub mod registry;
 pub mod tz06;

@@ -1,0 +1,81 @@
+//! The full algorithm registry: paper constructions + baseline lineages.
+//!
+//! This is the catalogue `eval`, `bench`, the CLI and the parity tests
+//! iterate. The paper constructions come from
+//! [`usnae_core::api::registry`]; the baselines are the adapter types in
+//! [`crate::adapter`].
+
+use crate::adapter::{Em19, En17, Ep01, Tz06};
+use usnae_core::api::{registry as core_registry, Construction};
+
+/// The four baseline lineages, in paper order (§1.1 then §4).
+pub fn baselines() -> Vec<Box<dyn Construction>> {
+    vec![
+        Box::new(Ep01),
+        Box::new(Tz06),
+        Box::new(En17),
+        Box::new(Em19),
+    ]
+}
+
+/// Every construction in the workspace: the five paper entries followed by
+/// the four baselines.
+pub fn all() -> Vec<Box<dyn Construction>> {
+    let mut list = core_registry::all();
+    list.extend(baselines());
+    list
+}
+
+/// Emulator-producing constructions (paper + baselines, no spanners).
+pub fn emulators() -> Vec<Box<dyn Construction>> {
+    all()
+        .into_iter()
+        .filter(|c| !c.supports().subgraph)
+        .collect()
+}
+
+/// Spanner-producing constructions (subgraph outputs).
+pub fn spanners() -> Vec<Box<dyn Construction>> {
+    all()
+        .into_iter()
+        .filter(|c| c.supports().subgraph)
+        .collect()
+}
+
+/// Looks any construction (paper or baseline) up by registry name.
+pub fn find(name: &str) -> Option<Box<dyn Construction>> {
+    all().into_iter().find(|c| c.name() == name)
+}
+
+/// All registry names, catalogue order.
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|c| c.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_registry_has_nine_distinct_entries() {
+        let names = names();
+        assert_eq!(names.len(), 9);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn find_resolves_paper_and_baseline_names() {
+        for name in ["centralized", "spanner", "ep01", "tz06", "en17a", "em19"] {
+            assert!(find(name).is_some(), "{name}");
+        }
+        assert!(find("bogus").is_none());
+    }
+
+    #[test]
+    fn split_partitions_registry() {
+        assert_eq!(emulators().len() + spanners().len(), all().len());
+        // Spanners: the two §4 variants plus EM19.
+        assert_eq!(spanners().len(), 3);
+    }
+}

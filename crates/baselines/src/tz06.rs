@@ -11,35 +11,30 @@
 //! error. The comparison point for E8 is the size's leading factor — `κ`
 //! here versus exactly 1 in the paper's construction.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use usnae_core::emulator::{EdgeKind, EdgeProvenance, Emulator};
 use usnae_graph::bfs::{bfs_bounded, multi_source_bfs};
+use usnae_graph::rng::Rng;
 use usnae_graph::{Dist, Graph};
 
 /// Builds the TZ06 emulator with `κ` levels and sampling probability
 /// `n^(−1/κ)`, seeded for reproducibility.
-///
-/// # Example
-///
-/// ```
-/// use usnae_baselines::tz06::build_tz06_emulator;
-/// use usnae_graph::generators;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let g = generators::gnp_connected(100, 0.08, 1)?;
-/// let h = build_tz06_emulator(&g, 4, 7);
-/// assert!(h.num_edges() > 0);
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use the \"tz06\" entry of usnae_baselines::registry instead"
+)]
 pub fn build_tz06_emulator(g: &Graph, kappa: u32, seed: u64) -> Emulator {
+    build_tz06(g, kappa, seed)
+}
+
+/// Crate-internal entry point behind the registry adapter (and the
+/// deprecated free-function shim).
+pub(crate) fn build_tz06(g: &Graph, kappa: u32, seed: u64) -> Emulator {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
     if n == 0 {
         return emulator;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let p = (n as f64).powf(-1.0 / kappa as f64);
 
     let mut level: Vec<Vec<usize>> = vec![(0..n).collect()];
@@ -118,15 +113,15 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = generators::gnp_connected(80, 0.08, 1).unwrap();
-        let h1 = build_tz06_emulator(&g, 4, 7);
-        let h2 = build_tz06_emulator(&g, 4, 7);
+        let h1 = build_tz06(&g, 4, 7);
+        let h2 = build_tz06(&g, 4, 7);
         assert_eq!(h1.num_edges(), h2.num_edges());
     }
 
     #[test]
     fn never_shortens_distances() {
         let g = generators::gnp_connected(70, 0.07, 2).unwrap();
-        let h = build_tz06_emulator(&g, 3, 3);
+        let h = build_tz06(&g, 3, 3);
         let apsp = usnae_graph::distance::Apsp::new(&g);
         for (u, v) in usnae_graph::distance::sample_pairs(&g, 120, 5) {
             if let Some(dh) = h.distance(u, v) {
@@ -139,7 +134,7 @@ mod tests {
     fn connected_input_connected_output() {
         // Bunches + pivots connect everything through the top level.
         let g = generators::gnp_connected(60, 0.08, 4).unwrap();
-        let h = build_tz06_emulator(&g, 3, 11);
+        let h = build_tz06(&g, 3, 11);
         let d = h.distances_from(0);
         assert!(
             d.iter().all(|x| x.is_some()),
@@ -154,7 +149,7 @@ mod tests {
         let n = 300;
         let g = generators::gnp_connected(n, 0.05, 5).unwrap();
         let kappa = 4;
-        let h = build_tz06_emulator(&g, kappa, 13);
+        let h = build_tz06(&g, kappa, 13);
         let bound = kappa as f64 * (n as f64).powf(1.0 + 1.0 / kappa as f64);
         assert!(
             (h.num_edges() as f64) < 4.0 * bound,
@@ -166,7 +161,7 @@ mod tests {
     #[test]
     fn single_level_collapses_to_clique() {
         let g = generators::path(6).unwrap();
-        let h = build_tz06_emulator(&g, 1, 0);
+        let h = build_tz06(&g, 1, 0);
         // κ = 1: one level, clique over all vertices.
         assert_eq!(h.num_edges(), 15);
     }

@@ -2,47 +2,51 @@
 //! processing order (the §2.1.1 order-dependence) and buffer sets vs
 //! EP01's ground partition (construction cost side; the size side is E8).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use usnae_baselines::ep01::build_ep01_emulator;
-use usnae_core::centralized::{build_emulator_traced, ProcessingOrder};
-use usnae_core::params::CentralizedParams;
+use usnae_baselines::registry;
+use usnae_bench::timing::{bench, group, DEFAULT_SAMPLES};
+use usnae_core::api::{BuildConfig, Emulator, ProcessingOrder};
 use usnae_graph::generators;
 
-fn bench_processing_orders(c: &mut Criterion) {
+fn bench_processing_orders() {
     let n = 512;
     let g = generators::gnp_connected(n, 8.0 / n as f64, 42).unwrap();
-    let p = CentralizedParams::new(0.5, 4).unwrap();
-    let mut group = c.benchmark_group("processing_order_n512");
-    group.sample_size(10);
+    group("processing_order_n512");
     for (name, order) in [
         ("by_id", ProcessingOrder::ById),
         ("by_id_desc", ProcessingOrder::ByIdDesc),
         ("hubs_first", ProcessingOrder::ByDegreeDesc),
         ("hubs_last", ProcessingOrder::ByDegreeAsc),
     ] {
-        group.bench_function(name, |b| b.iter(|| build_emulator_traced(&g, &p, order)));
+        bench(
+            format!("processing_order_n512/{name}"),
+            DEFAULT_SAMPLES,
+            || {
+                Emulator::builder(&g)
+                    .kappa(4)
+                    .order(order)
+                    .traced(true)
+                    .build()
+                    .unwrap()
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_buffer_sets_vs_ground_partition(c: &mut Criterion) {
+fn bench_buffer_sets_vs_ground_partition() {
     let n = 512;
     let g = generators::gnp_connected(n, 8.0 / n as f64, 42).unwrap();
-    let p = CentralizedParams::new(0.5, 4).unwrap();
-    let mut group = c.benchmark_group("buffer_sets_ablation_n512");
-    group.sample_size(10);
-    group.bench_function("with_buffer_sets", |b| {
-        b.iter(|| build_emulator_traced(&g, &p, ProcessingOrder::ById))
+    group("buffer_sets_ablation_n512");
+    bench("with_buffer_sets", DEFAULT_SAMPLES, || {
+        Emulator::builder(&g).kappa(4).traced(true).build().unwrap()
     });
-    group.bench_function("ep01_ground_partition", |b| {
-        b.iter(|| build_ep01_emulator(&g, &p))
+    let ep01 = registry::find("ep01").expect("baseline registered");
+    let cfg = BuildConfig::default();
+    bench("ep01_ground_partition", DEFAULT_SAMPLES, || {
+        ep01.build(&g, &cfg).unwrap()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_processing_orders,
-    bench_buffer_sets_vs_ground_partition
-);
-criterion_main!(benches);
+fn main() {
+    bench_processing_orders();
+    bench_buffer_sets_vs_ground_partition();
+}

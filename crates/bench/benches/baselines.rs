@@ -1,23 +1,24 @@
-//! Construction-time comparison against the baseline lineages.
+//! Construction-time comparison across the whole registry: every emulator
+//! and spanner lineage (paper + baselines) on one input, by name.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use usnae_baselines::{en17, ep01, tz06};
-use usnae_core::centralized::build_emulator;
-use usnae_core::params::CentralizedParams;
+use usnae_baselines::registry;
+use usnae_bench::timing::{bench, group, DEFAULT_SAMPLES};
+use usnae_core::api::BuildConfig;
 use usnae_graph::generators;
 
-fn bench_lineages(c: &mut Criterion) {
+fn main() {
     let n = 512;
     let g = generators::gnp_connected(n, 8.0 / n as f64, 42).unwrap();
-    let p = CentralizedParams::new(0.5, 4).unwrap();
-    let mut group = c.benchmark_group("emulator_lineages_n512");
-    group.sample_size(10);
-    group.bench_function("ours", |b| b.iter(|| build_emulator(&g, &p)));
-    group.bench_function("ep01", |b| b.iter(|| ep01::build_ep01_emulator(&g, &p)));
-    group.bench_function("tz06", |b| b.iter(|| tz06::build_tz06_emulator(&g, 4, 7)));
-    group.bench_function("en17a", |b| b.iter(|| en17::build_en17_emulator(&g, &p, 7)));
-    group.finish();
+    let cfg = BuildConfig::default();
+    group("lineages_n512");
+    for c in registry::all() {
+        if c.supports().congest {
+            continue; // simulator-backed builds are benchmarked in substrate
+        }
+        bench(
+            format!("lineages_n512/{}", c.name()),
+            DEFAULT_SAMPLES,
+            || c.build(&g, &cfg).unwrap(),
+        );
+    }
 }
-
-criterion_group!(benches, bench_lineages);
-criterion_main!(benches);

@@ -3,76 +3,55 @@
 //! The shape to reproduce: fast-centralized time grows roughly like
 //! `|E|·n^ρ` (superlinear in n but polynomially bounded), and the
 //! centralized Algorithm 1 stays within a small factor of it at these
-//! sizes. One Criterion group per builder, parameterized by n.
+//! sizes. One group per builder, parameterized by n, all dispatched through
+//! the unified `EmulatorBuilder`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use usnae_core::centralized::build_emulator;
-use usnae_core::fast_centralized::build_emulator_fast;
-use usnae_core::params::{CentralizedParams, DistributedParams, SpannerParams};
-use usnae_core::spanner::build_spanner;
+use usnae_bench::timing::{bench, group, DEFAULT_SAMPLES};
+use usnae_core::api::{Algorithm, Emulator};
 use usnae_graph::generators;
 
-fn bench_centralized(c: &mut Criterion) {
-    let mut group = c.benchmark_group("centralized_emulator");
-    group.sample_size(10);
-    for n in [256usize, 512, 1024] {
+fn bench_algorithm(name: &str, algorithm: Algorithm, sizes: &[usize]) {
+    group(name);
+    for &n in sizes {
         let g = generators::gnp_connected(n, 8.0 / n as f64, 42).unwrap();
-        let p = CentralizedParams::new(0.5, 4).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| build_emulator(g, &p))
+        bench(format!("{name}/{n}"), DEFAULT_SAMPLES, || {
+            Emulator::builder(&g)
+                .epsilon(0.5)
+                .kappa(4)
+                .algorithm(algorithm)
+                .build()
+                .unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_fast_centralized(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fast_centralized_emulator");
-    group.sample_size(10);
-    for n in [256usize, 512, 1024] {
-        let g = generators::gnp_connected(n, 8.0 / n as f64, 42).unwrap();
-        let p = DistributedParams::new(0.5, 4, 0.5).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| build_emulator_fast(g, &p))
-        });
-    }
-    group.finish();
-}
-
-fn bench_spanner(c: &mut Criterion) {
-    let mut group = c.benchmark_group("spanner");
-    group.sample_size(10);
-    for n in [256usize, 512, 1024] {
-        let g = generators::gnp_connected(n, 8.0 / n as f64, 42).unwrap();
-        let p = SpannerParams::new(0.5, 4, 0.5).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| build_spanner(g, &p))
-        });
-    }
-    group.finish();
-}
-
-fn bench_ultra_sparse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ultra_sparse_emulator");
-    group.sample_size(10);
+fn bench_ultra_sparse() {
+    group("ultra_sparse_emulator");
     for n in [512usize, 1024] {
         let g = generators::gnp_connected(n, 8.0 / n as f64, 42).unwrap();
         let kappa = {
             let l = (n as f64).log2();
             (l * l) as u32
         };
-        let p = CentralizedParams::new(0.5, kappa).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| build_emulator(g, &p))
-        });
+        bench(
+            format!("ultra_sparse_emulator/{n}"),
+            DEFAULT_SAMPLES,
+            || Emulator::builder(&g).kappa(kappa).build().unwrap(),
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_centralized,
-    bench_fast_centralized,
-    bench_spanner,
-    bench_ultra_sparse
-);
-criterion_main!(benches);
+fn main() {
+    bench_algorithm(
+        "centralized_emulator",
+        Algorithm::Centralized,
+        &[256, 512, 1024],
+    );
+    bench_algorithm(
+        "fast_centralized_emulator",
+        Algorithm::FastCentralized,
+        &[256, 512, 1024],
+    );
+    bench_algorithm("spanner", Algorithm::Spanner, &[256, 512, 1024]);
+    bench_ultra_sparse();
+}

@@ -3,24 +3,17 @@
 //! The application story of near-additive emulators: approximate distance
 //! queries on a much smaller structure.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use usnae_core::centralized::build_emulator;
-use usnae_core::params::CentralizedParams;
+use usnae_bench::timing::{bench, group};
+use usnae_core::api::Emulator;
 use usnae_graph::{bfs, dijkstra, generators};
 
-fn bench_queries(c: &mut Criterion) {
+fn main() {
     let n = 2048;
     let g = generators::gnp_connected(n, 12.0 / n as f64, 42).unwrap();
-    let p = CentralizedParams::new(0.5, 8).unwrap();
-    let h = build_emulator(&g, &p);
-    let mut group = c.benchmark_group("sssp_query_n2048");
-    group.sample_size(20);
-    group.bench_function("bfs_on_g", |b| b.iter(|| bfs::bfs(&g, 17)));
-    group.bench_function("dijkstra_on_emulator", |b| {
-        b.iter(|| dijkstra::dijkstra(h.graph(), 17))
+    let h = Emulator::builder(&g).kappa(8).build().unwrap().emulator;
+    group("sssp_query_n2048");
+    bench("bfs_on_g", 20, || bfs::bfs(&g, 17));
+    bench("dijkstra_on_emulator", 20, || {
+        dijkstra::dijkstra(h.graph(), 17)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_queries);
-criterion_main!(benches);

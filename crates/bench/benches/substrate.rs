@@ -1,25 +1,24 @@
 //! Substrate throughput: generators, BFS, and the CONGEST engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use usnae_bench::timing::{bench, group, DEFAULT_SAMPLES};
 use usnae_congest::{Ctx, NodeAlgorithm, Simulator};
 use usnae_graph::{bfs, generators};
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generators_n4096");
-    group.sample_size(10);
-    group.bench_function("gnp", |b| b.iter(|| generators::gnp(4096, 0.002, 1)));
-    group.bench_function("barabasi_albert", |b| {
-        b.iter(|| generators::barabasi_albert(4096, 3, 1))
+fn bench_generators() {
+    group("generators_n4096");
+    bench("gnp", DEFAULT_SAMPLES, || generators::gnp(4096, 0.002, 1));
+    bench("barabasi_albert", DEFAULT_SAMPLES, || {
+        generators::barabasi_albert(4096, 3, 1)
     });
-    group.bench_function("random_regular", |b| {
-        b.iter(|| generators::random_regular(4096, 4, 1))
+    bench("random_regular", DEFAULT_SAMPLES, || {
+        generators::random_regular(4096, 4, 1)
     });
-    group.finish();
 }
 
-fn bench_bfs(c: &mut Criterion) {
+fn bench_bfs() {
     let g = generators::gnp_connected(8192, 0.0015, 3).unwrap();
-    c.bench_function("bfs_n8192", |b| b.iter(|| bfs::bfs(&g, 0)));
+    group("bfs");
+    bench("bfs_n8192", DEFAULT_SAMPLES, || bfs::bfs(&g, 0));
 }
 
 struct MinFlood {
@@ -45,19 +44,22 @@ impl NodeAlgorithm for MinFlood {
     }
 }
 
-fn bench_congest_engine(c: &mut Criterion) {
+fn bench_congest_engine() {
     let g = generators::torus2d(32, 32).unwrap();
-    c.bench_function("congest_min_flood_torus32", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(&g);
-            let mut algo = MinFlood {
-                best: (0..1024u64).collect(),
-                dirty: vec![false; 1024],
-            };
-            sim.run(&mut algo, 100_000).unwrap()
-        })
+    group("congest");
+    bench("congest_min_flood_torus32", DEFAULT_SAMPLES, || {
+        let mut sim = Simulator::new(&g);
+        let mut algo = MinFlood {
+            best: (0..1024u64).collect(),
+            dirty: vec![false; 1024],
+        };
+        sim.run(&mut algo, 100_000).unwrap();
+        sim.metrics().rounds
     });
 }
 
-criterion_group!(benches, bench_generators, bench_bfs, bench_congest_engine);
-criterion_main!(benches);
+fn main() {
+    bench_generators();
+    bench_bfs();
+    bench_congest_engine();
+}

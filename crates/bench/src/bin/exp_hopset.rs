@@ -6,10 +6,8 @@
 //! Usage: `cargo run --release -p usnae-bench --bin exp_hopset [--n <n>]`
 
 use usnae_bench::{arg_usize, emit};
-use usnae_core::centralized::{build_emulator_traced, ProcessingOrder};
+use usnae_core::api::{Emulator, ProcessingOrder};
 use usnae_core::hopset::measure_hopbound;
-use usnae_core::params::CentralizedParams;
-use usnae_core::Emulator;
 use usnae_eval::table::Table;
 use usnae_graph::distance::{exact_pair_distances, sample_pairs};
 use usnae_graph::generators;
@@ -42,9 +40,14 @@ fn main() {
     for (name, g) in workloads {
         let nv = g.num_vertices();
         for kappa in [4u32, 8] {
-            let p = CentralizedParams::with_raw_epsilon(0.5, kappa).expect("valid params");
-            let (h, _) = build_emulator_traced(&g, &p, ProcessingOrder::ByDegreeDesc);
-            let (alpha, beta) = p.certified_stretch();
+            let out = Emulator::builder(&g)
+                .kappa(kappa)
+                .raw_epsilon(true)
+                .order(ProcessingOrder::ByDegreeDesc)
+                .build()
+                .expect("valid params");
+            let (alpha, beta) = out.certified.expect("centralized certifies");
+            let h = out.emulator;
             let pairs = sample_pairs(&g, 120, 17);
             let exact = exact_pair_distances(&g, &pairs);
             let empty = Emulator::new(nv);

@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p usnae-bench --bin exp_segment [--n <n>] [--pairs <k>]`
 
 use usnae_bench::{arg_usize, emit};
-use usnae_core::centralized::{build_emulator_traced, ProcessingOrder};
+use usnae_core::api::{Emulator, ProcessingOrder};
 use usnae_core::params::CentralizedParams;
 use usnae_eval::segment_audit::segment_audit;
 use usnae_eval::table::{fmt_f64, Table};
@@ -29,7 +29,20 @@ fn main() {
     for w in standard_suite(n, 42) {
         for kappa in [4u32, 8] {
             let p = CentralizedParams::with_raw_epsilon(0.5, kappa).expect("valid params");
-            let (h, trace) = build_emulator_traced(&w.graph, &p, ProcessingOrder::ByDegreeDesc);
+            let out = Emulator::builder(&w.graph)
+                .kappa(kappa)
+                .raw_epsilon(true)
+                .order(ProcessingOrder::ByDegreeDesc)
+                .traced(true)
+                .build()
+                .expect("valid params");
+            let trace = out
+                .trace
+                .as_ref()
+                .and_then(|t| t.as_centralized())
+                .expect("centralized trace")
+                .clone();
+            let h = out.emulator;
             let sampled = sample_pairs(&w.graph, pairs, 17);
             let report = segment_audit(&w.graph, &h, &trace, &p, &sampled);
             let hist = report

@@ -1,7 +1,12 @@
-//! Shared plumbing for the `exp_*` experiment binaries.
+//! Shared plumbing for the `exp_*` experiment binaries and the wall-clock
+//! benchmark targets.
 //!
 //! Each binary prints its tables to stdout and mirrors them as CSV under
 //! `target/experiments/`, so `EXPERIMENTS.md` can reference stable files.
+//! The `benches/` targets use [`timing`], the repository's dependency-free
+//! stand-in for Criterion.
+
+pub mod timing;
 
 use std::path::PathBuf;
 use usnae_eval::table::Table;

@@ -1,0 +1,76 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The repository is dependency-free, so instead of Criterion the `benches/`
+//! targets (compiled with `harness = false`) use this: warm up once, run a
+//! fixed sample count, report min/median/mean. Good enough to read scaling
+//! *shapes* (the E6 deliverable); not a statistical benchmarking suite.
+
+use std::time::{Duration, Instant};
+
+/// Samples per measurement (after one warm-up run).
+pub const DEFAULT_SAMPLES: usize = 10;
+
+/// One measured benchmark case.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` label.
+    pub label: String,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+}
+
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<44} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}",
+            self.label, self.min, self.median, self.mean
+        )
+    }
+}
+
+/// Runs `f` `samples` times (plus one warm-up), prints and returns the
+/// measurement. The closure's return value is consumed with
+/// [`std::hint::black_box`] so the work is not optimized away.
+pub fn bench<T>(label: impl Into<String>, samples: usize, mut f: impl FnMut() -> T) -> Measurement {
+    let label = label.into();
+    std::hint::black_box(f()); // warm-up
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    let m = Measurement {
+        label,
+        min: times[0],
+        median: times[times.len() / 2],
+        mean,
+    };
+    println!("{m}");
+    m
+}
+
+/// Prints a group header, Criterion-group style.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_labels() {
+        let m = bench("test/tiny", 3, || (0..100u64).sum::<u64>());
+        assert_eq!(m.label, "test/tiny");
+        assert!(m.min <= m.median && m.median <= m.mean * 2);
+    }
+}

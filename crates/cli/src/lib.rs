@@ -2,67 +2,53 @@
 //! build pipeline, separated from `main` so they are unit-testable.
 //!
 //! ```text
-//! usnae build --input graph.txt --output emulator.txt \
-//!       [--mode centralized|fast|spanner] [--eps 0.5] [--kappa 4] [--rho 0.5]
+//! usnae run --algo <name> --input graph.txt [--output emulator.txt]
+//!       [--eps 0.5] [--kappa 4] [--rho 0.5] [--seed 0]
+//!       [--order by-id|by-id-desc|by-degree-desc|by-degree-asc]
 //!       [--raw-eps] [--report]
+//! usnae list
+//! usnae build ...            # legacy alias: --mode centralized|fast|spanner
 //! ```
+//!
+//! `run` dispatches through the unified algorithm registry
+//! ([`usnae_baselines::registry`]), so every paper construction *and* every
+//! baseline is reachable by name; `list` prints the catalogue. The older
+//! `build` subcommand with its three-valued `--mode` remains as an alias
+//! for the three original algorithms.
 //!
 //! Input is a whitespace edge list (`u v` per line, `#` comments); output is
 //! a weighted edge list (`u v w`) — the emulator `H` — plus an optional
-//! stretch/size report on stderr-friendly stdout lines.
+//! stretch/size report.
 
 use std::fmt;
 use std::io::BufReader;
 
-use usnae_core::centralized::build_emulator;
-use usnae_core::fast_centralized::build_emulator_fast;
-use usnae_core::params::{CentralizedParams, DistributedParams, SpannerParams};
-use usnae_core::spanner::build_spanner;
-use usnae_core::Emulator;
+use usnae_baselines::registry;
+use usnae_core::api::{BuildConfig, BuildOutput, ProcessingOrder};
 use usnae_graph::{io as gio, Graph};
-
-/// Which construction to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Mode {
-    /// Algorithm 1 (§2).
-    #[default]
-    Centralized,
-    /// The fast centralized simulation (§3.3).
-    Fast,
-    /// The §4 subgraph spanner.
-    Spanner,
-}
-
-impl Mode {
-    fn parse(s: &str) -> Option<Mode> {
-        match s {
-            "centralized" => Some(Mode::Centralized),
-            "fast" => Some(Mode::Fast),
-            "spanner" => Some(Mode::Spanner),
-            _ => None,
-        }
-    }
-}
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
+    /// Registry name of the construction to run.
+    pub algo: String,
     /// Input edge-list path.
     pub input: String,
     /// Output weighted-edge-list path.
     pub output: Option<String>,
-    /// Construction to run.
-    pub mode: Mode,
-    /// ε (public, unless `raw_eps`).
-    pub epsilon: f64,
-    /// κ.
-    pub kappa: u32,
-    /// ρ (fast/spanner modes).
-    pub rho: f64,
-    /// Skip the paper's rescaling.
-    pub raw_eps: bool,
+    /// The unified construction configuration.
+    pub config: BuildConfig,
     /// Print the size/stretch report.
     pub report: bool,
+}
+
+/// The commands the binary understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Build one structure (the `run` and legacy `build` subcommands).
+    Run(Options),
+    /// Print the algorithm catalogue.
+    List,
 }
 
 /// A user-facing CLI error with a message and the usage string.
@@ -78,30 +64,49 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 /// The usage banner.
-pub const USAGE: &str = "usage: usnae build --input <edge-list> [--output <path>] \
-[--mode centralized|fast|spanner] [--eps <0..1>] [--kappa <k>=4] [--rho <r>=0.5] \
-[--raw-eps] [--report]";
+pub const USAGE: &str = "usage: usnae run --algo <name> --input <edge-list> [--output <path>] \
+[--eps <0..1>] [--kappa <k>=4] [--rho <r>=0.5] [--seed <s>=0] \
+[--order by-id|by-id-desc|by-degree-desc|by-degree-asc] [--raw-eps] [--report]\n\
+       usnae list\n\
+       usnae build --input <edge-list> [--mode centralized|fast|spanner] [...]\n\
+run `usnae list` for the algorithm catalogue";
+
+fn parse_order(s: &str) -> Option<ProcessingOrder> {
+    match s {
+        "by-id" => Some(ProcessingOrder::ById),
+        "by-id-desc" => Some(ProcessingOrder::ByIdDesc),
+        "by-degree-desc" => Some(ProcessingOrder::ByDegreeDesc),
+        "by-degree-asc" => Some(ProcessingOrder::ByDegreeAsc),
+        _ => None,
+    }
+}
 
 /// Parses argv (excluding the program name).
 ///
 /// # Errors
 ///
 /// [`CliError`] with a human-readable message on any malformed input.
-pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut it = args.iter();
-    match it.next().map(String::as_str) {
-        Some("build") => {}
+    let legacy_mode = match it.next().map(String::as_str) {
+        Some("run") => false,
+        Some("build") => true,
+        Some("list") => {
+            if let Some(extra) = it.next() {
+                return Err(CliError(format!(
+                    "list takes no arguments (got {extra:?})\n{USAGE}"
+                )));
+            }
+            return Ok(Command::List);
+        }
         Some(other) => return Err(CliError(format!("unknown subcommand {other:?}\n{USAGE}"))),
         None => return Err(CliError(USAGE.to_string())),
-    }
+    };
     let mut opts = Options {
+        algo: "centralized".to_string(),
         input: String::new(),
         output: None,
-        mode: Mode::Centralized,
-        epsilon: 0.5,
-        kappa: 4,
-        rho: 0.5,
-        raw_eps: false,
+        config: BuildConfig::default(),
         report: false,
     };
     while let Some(flag) = it.next() {
@@ -111,29 +116,53 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 .ok_or_else(|| CliError(format!("{name} needs a value\n{USAGE}")))
         };
         match flag.as_str() {
+            "--algo" if !legacy_mode => {
+                let v = value("--algo")?;
+                if registry::find(&v).is_none() {
+                    return Err(CliError(format!(
+                        "unknown algorithm {v:?}; known: {}\n{USAGE}",
+                        registry::names().join(", ")
+                    )));
+                }
+                opts.algo = v;
+            }
+            "--mode" if legacy_mode => {
+                let v = value("--mode")?;
+                opts.algo = match v.as_str() {
+                    "centralized" => "centralized".to_string(),
+                    "fast" => "fast-centralized".to_string(),
+                    "spanner" => "spanner".to_string(),
+                    _ => return Err(CliError(format!("unknown mode {v:?}\n{USAGE}"))),
+                };
+            }
             "--input" => opts.input = value("--input")?,
             "--output" => opts.output = Some(value("--output")?),
-            "--mode" => {
-                let v = value("--mode")?;
-                opts.mode = Mode::parse(&v)
-                    .ok_or_else(|| CliError(format!("unknown mode {v:?}\n{USAGE}")))?;
-            }
             "--eps" => {
-                opts.epsilon = value("--eps")?
+                opts.config.epsilon = value("--eps")?
                     .parse()
                     .map_err(|_| CliError("--eps must be a float".into()))?;
             }
             "--kappa" => {
-                opts.kappa = value("--kappa")?
+                opts.config.kappa = value("--kappa")?
                     .parse()
                     .map_err(|_| CliError("--kappa must be an integer".into()))?;
             }
             "--rho" => {
-                opts.rho = value("--rho")?
+                opts.config.rho = value("--rho")?
                     .parse()
                     .map_err(|_| CliError("--rho must be a float".into()))?;
             }
-            "--raw-eps" => opts.raw_eps = true,
+            "--seed" => {
+                opts.config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| CliError("--seed must be an integer".into()))?;
+            }
+            "--order" => {
+                let v = value("--order")?;
+                opts.config.order = parse_order(&v)
+                    .ok_or_else(|| CliError(format!("unknown order {v:?}\n{USAGE}")))?;
+            }
+            "--raw-eps" => opts.config.raw_epsilon = true,
             "--report" => opts.report = true,
             other => return Err(CliError(format!("unknown flag {other:?}\n{USAGE}"))),
         }
@@ -141,48 +170,46 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     if opts.input.is_empty() {
         return Err(CliError(format!("--input is required\n{USAGE}")));
     }
-    Ok(opts)
+    Ok(Command::Run(opts))
 }
 
-/// Builds the requested structure, returning it plus the certified stretch.
+/// Builds the requested structure through the registry.
 ///
 /// # Errors
 ///
 /// [`CliError`] wrapping parameter or construction problems.
-pub fn run_build(g: &Graph, opts: &Options) -> Result<(Emulator, f64, f64), CliError> {
-    let wrap = |e: usnae_core::ParamError| CliError(e.to_string());
-    match opts.mode {
-        Mode::Centralized => {
-            let p = if opts.raw_eps {
-                CentralizedParams::with_raw_epsilon(opts.epsilon, opts.kappa)
+pub fn run_build(g: &Graph, opts: &Options) -> Result<BuildOutput, CliError> {
+    let construction = registry::find(&opts.algo)
+        .ok_or_else(|| CliError(format!("unknown algorithm {:?}", opts.algo)))?;
+    construction
+        .build(g, &opts.config)
+        .map_err(|e| CliError(e.to_string()))
+}
+
+/// The `usnae list` output: one line per registry entry.
+pub fn list_lines() -> Vec<String> {
+    registry::all()
+        .iter()
+        .map(|c| {
+            let s = c.supports();
+            let mut tags = Vec::new();
+            if s.subgraph {
+                tags.push("spanner");
             } else {
-                CentralizedParams::new(opts.epsilon, opts.kappa)
+                tags.push("emulator");
             }
-            .map_err(wrap)?;
-            let (a, b) = p.certified_stretch();
-            Ok((build_emulator(g, &p), a, b))
-        }
-        Mode::Fast => {
-            let p = if opts.raw_eps {
-                DistributedParams::with_raw_epsilon(opts.epsilon, opts.kappa, opts.rho)
-            } else {
-                DistributedParams::new(opts.epsilon, opts.kappa, opts.rho)
+            if s.congest {
+                tags.push("congest");
             }
-            .map_err(wrap)?;
-            let (a, b) = p.certified_stretch();
-            Ok((build_emulator_fast(g, &p), a, b))
-        }
-        Mode::Spanner => {
-            let p = if opts.raw_eps {
-                SpannerParams::with_raw_epsilon(opts.epsilon, opts.kappa, opts.rho)
-            } else {
-                SpannerParams::new(opts.epsilon, opts.kappa, opts.rho)
+            if s.uses_seed {
+                tags.push("randomized");
             }
-            .map_err(wrap)?;
-            let (a, b) = p.certified_stretch();
-            Ok((build_spanner(g, &p), a, b))
-        }
-    }
+            if s.certified {
+                tags.push("certified");
+            }
+            format!("{:<20} [{}] {}", c.name(), tags.join(", "), c.description())
+        })
+        .collect()
 }
 
 /// Full pipeline: read, build, optionally write and report. Returns the
@@ -196,29 +223,39 @@ pub fn execute(opts: &Options) -> Result<Vec<String>, CliError> {
         .map_err(|e| CliError(format!("cannot open {}: {e}", opts.input)))?;
     let g = gio::read_edge_list(BufReader::new(file), 0)
         .map_err(|e| CliError(format!("cannot parse {}: {e}", opts.input)))?;
-    let (h, alpha, beta) = run_build(&g, opts)?;
-    if let Some(out) = &opts.output {
-        let file = std::fs::File::create(out)
-            .map_err(|e| CliError(format!("cannot create {out}: {e}")))?;
-        gio::write_weighted_edge_list(h.graph(), std::io::BufWriter::new(file))
-            .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+    let out = run_build(&g, opts)?;
+    if let Some(path) = &opts.output {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+        gio::write_weighted_edge_list(out.emulator.graph(), std::io::BufWriter::new(file))
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
     }
     let mut lines = vec![format!(
-        "input: {} vertices, {} edges; output ({:?}): {} edges",
+        "input: {} vertices, {} edges; output ({}): {} edges",
         g.num_vertices(),
         g.num_edges(),
-        opts.mode,
-        h.num_edges()
+        out.algorithm,
+        out.num_edges()
     )];
     if opts.report {
-        let bound = (g.num_vertices() as f64).powf(1.0 + 1.0 / opts.kappa as f64);
-        lines.push(format!(
-            "size bound n^(1+1/kappa) = {bound:.1}; ratio = {:.4}",
-            h.num_edges() as f64 / bound
-        ));
-        lines.push(format!(
-            "certified stretch: d_H <= {alpha:.4} * d_G + {beta:.1}"
-        ));
+        if let Some(bound) = out.size_bound {
+            lines.push(format!(
+                "size bound = {bound:.1}; ratio = {:.4}",
+                out.num_edges() as f64 / bound
+            ));
+        }
+        match out.certified {
+            Some((alpha, beta)) => lines.push(format!(
+                "certified stretch: d_H <= {alpha:.4} * d_G + {beta:.1}"
+            )),
+            None => lines.push("certified stretch: none (baseline construction)".to_string()),
+        }
+        if let Some(stats) = &out.congest {
+            lines.push(format!(
+                "congest: {} rounds, {} messages, knowledge violations {}",
+                stats.metrics.rounds, stats.metrics.messages, stats.knowledge_violations
+            ));
+        }
     }
     Ok(lines)
 }
@@ -231,37 +268,73 @@ mod tests {
         s.split_whitespace().map(String::from).collect()
     }
 
+    fn run_opts(cmd: Command) -> Options {
+        match cmd {
+            Command::Run(o) => o,
+            Command::List => panic!("expected run command"),
+        }
+    }
+
     #[test]
-    fn parses_full_command() {
-        let o = parse_args(&args(
-            "build --input g.txt --output h.txt --mode spanner --eps 0.25 --kappa 8 --rho 0.4 --raw-eps --report",
-        ))
-        .unwrap();
-        assert_eq!(o.mode, Mode::Spanner);
-        assert_eq!(o.kappa, 8);
-        assert_eq!(o.epsilon, 0.25);
-        assert_eq!(o.rho, 0.4);
-        assert!(o.raw_eps && o.report);
+    fn parses_full_run_command() {
+        let o = run_opts(
+            parse_args(&args(
+                "run --algo spanner --input g.txt --output h.txt --eps 0.25 --kappa 8 \
+                 --rho 0.4 --seed 9 --order by-degree-desc --raw-eps --report",
+            ))
+            .unwrap(),
+        );
+        assert_eq!(o.algo, "spanner");
+        assert_eq!(o.config.kappa, 8);
+        assert_eq!(o.config.epsilon, 0.25);
+        assert_eq!(o.config.rho, 0.4);
+        assert_eq!(o.config.seed, 9);
+        assert_eq!(o.config.order, ProcessingOrder::ByDegreeDesc);
+        assert!(o.config.raw_epsilon && o.report);
         assert_eq!(o.output.as_deref(), Some("h.txt"));
     }
 
     #[test]
+    fn legacy_build_modes_map_to_registry_names() {
+        for (mode, algo) in [
+            ("centralized", "centralized"),
+            ("fast", "fast-centralized"),
+            ("spanner", "spanner"),
+        ] {
+            let o =
+                run_opts(parse_args(&args(&format!("build --input g.txt --mode {mode}"))).unwrap());
+            assert_eq!(o.algo, algo);
+        }
+    }
+
+    #[test]
     fn defaults_applied() {
-        let o = parse_args(&args("build --input g.txt")).unwrap();
-        assert_eq!(o.mode, Mode::Centralized);
-        assert_eq!(o.kappa, 4);
-        assert_eq!(o.epsilon, 0.5);
-        assert!(!o.raw_eps);
+        let o = run_opts(parse_args(&args("run --input g.txt")).unwrap());
+        assert_eq!(o.algo, "centralized");
+        assert_eq!(o.config, BuildConfig::default());
     }
 
     #[test]
     fn rejects_bad_invocations() {
         assert!(parse_args(&args("")).is_err());
         assert!(parse_args(&args("frobnicate")).is_err());
-        assert!(parse_args(&args("build")).is_err()); // missing --input
+        assert!(parse_args(&args("run")).is_err()); // missing --input
+        assert!(parse_args(&args("run --input g.txt --algo nope")).is_err());
         assert!(parse_args(&args("build --input g.txt --mode nope")).is_err());
-        assert!(parse_args(&args("build --input g.txt --kappa banana")).is_err());
-        assert!(parse_args(&args("build --input")).is_err()); // dangling value
+        assert!(parse_args(&args("run --input g.txt --kappa banana")).is_err());
+        assert!(parse_args(&args("run --input g.txt --order sideways")).is_err());
+        assert!(parse_args(&args("run --input")).is_err()); // dangling value
+        assert!(parse_args(&args("build --input g.txt --algo tz06")).is_err()); // legacy has no --algo
+    }
+
+    #[test]
+    fn list_command_and_catalogue() {
+        assert_eq!(parse_args(&args("list")).unwrap(), Command::List);
+        assert!(parse_args(&args("list --algo tz06")).is_err());
+        let lines = list_lines();
+        assert_eq!(lines.len(), 9);
+        assert!(lines.iter().any(|l| l.starts_with("centralized")));
+        assert!(lines.iter().any(|l| l.starts_with("em19")));
     }
 
     #[test]
@@ -276,12 +349,14 @@ mod tests {
             text.push_str(&format!("{} {}\n", i, (i + 1) % 12));
         }
         std::fs::write(&input, text).unwrap();
-        let opts = parse_args(&args(&format!(
-            "build --input {} --output {} --report",
-            input.display(),
-            output.display()
-        )))
-        .unwrap();
+        let opts = run_opts(
+            parse_args(&args(&format!(
+                "run --input {} --output {} --report",
+                input.display(),
+                output.display()
+            )))
+            .unwrap(),
+        );
         let lines = execute(&opts).unwrap();
         assert!(lines[0].contains("12 vertices"));
         assert!(lines.iter().any(|l| l.contains("certified stretch")));
@@ -293,22 +368,19 @@ mod tests {
     }
 
     #[test]
-    fn build_modes_all_work() {
+    fn every_registry_algorithm_runs_through_the_cli_path() {
         let g = usnae_graph::generators::gnp_connected(60, 0.1, 3).unwrap();
-        for mode in [Mode::Centralized, Mode::Fast, Mode::Spanner] {
+        for name in registry::names() {
             let opts = Options {
+                algo: name.to_string(),
                 input: String::new(),
                 output: None,
-                mode,
-                epsilon: 0.5,
-                kappa: 4,
-                rho: 0.5,
-                raw_eps: false,
+                config: BuildConfig::default(),
                 report: false,
             };
-            let (h, alpha, beta) = run_build(&g, &opts).unwrap();
-            assert!(h.num_edges() > 0, "{mode:?}");
-            assert!(alpha >= 1.0 && beta >= 0.0);
+            let out = run_build(&g, &opts).unwrap();
+            assert!(out.num_edges() > 0, "{name}");
+            assert_eq!(out.algorithm, name);
         }
     }
 
@@ -316,13 +388,13 @@ mod tests {
     fn invalid_params_surface_as_cli_errors() {
         let g = usnae_graph::generators::path(5).unwrap();
         let opts = Options {
+            algo: "centralized".to_string(),
             input: String::new(),
             output: None,
-            mode: Mode::Centralized,
-            epsilon: 2.0, // invalid
-            kappa: 4,
-            rho: 0.5,
-            raw_eps: false,
+            config: BuildConfig {
+                epsilon: 2.0, // invalid
+                ..BuildConfig::default()
+            },
             report: false,
         };
         assert!(run_build(&g, &opts).is_err());

@@ -1,19 +1,29 @@
 //! The `usnae` command-line tool: build ultra-sparse near-additive
-//! emulators/spanners from edge-list files. See [`usnae_cli::USAGE`].
+//! emulators/spanners from edge-list files via the unified algorithm
+//! registry. See [`usnae_cli::USAGE`].
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match usnae_cli::parse_args(&args) {
-        Ok(o) => o,
+    let command = match usnae_cli::parse_args(&args) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
         }
     };
-    match usnae_cli::execute(&opts) {
+    let result = match command {
+        usnae_cli::Command::List => Ok(usnae_cli::list_lines()),
+        usnae_cli::Command::Run(opts) => usnae_cli::execute(&opts),
+    };
+    match result {
         Ok(lines) => {
+            use std::io::Write;
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
             for l in lines {
-                println!("{l}");
+                if writeln!(out, "{l}").is_err() {
+                    break; // downstream closed the pipe (e.g. `usnae list | head`)
+                }
             }
         }
         Err(e) => {

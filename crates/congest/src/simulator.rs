@@ -241,8 +241,8 @@ impl<'g> Simulator<'g> {
                 return Err(CongestError::RoundLimitExceeded { limit: max_rounds });
             }
             // Deliver one message per directed edge.
-            for v in 0..n {
-                inboxes[v].clear();
+            for (v, inbox) in inboxes.iter_mut().enumerate() {
+                inbox.clear();
                 for &u in self.graph.neighbors(v) {
                     let idx = self
                         .graph
@@ -252,14 +252,14 @@ impl<'g> Simulator<'g> {
                         self.metrics.messages += 1;
                         self.metrics.words += msg.words() as u64;
                         in_flight -= 1;
-                        inboxes[v].push((u, msg));
+                        inbox.push((u, msg));
                     }
                 }
             }
             // Execute the round at every processor.
             rounds_this_run += 1;
             self.metrics.rounds += 1;
-            for node in 0..n {
+            for (node, inbox) in inboxes.iter().enumerate() {
                 let mut ctx = Ctx {
                     node,
                     round: rounds_this_run,
@@ -267,7 +267,7 @@ impl<'g> Simulator<'g> {
                     out: &mut out,
                     error: &mut error,
                 };
-                algo.round(node, &inboxes[node], &mut ctx);
+                algo.round(node, inbox, &mut ctx);
             }
             if let Some(e) = error {
                 return Err(e);

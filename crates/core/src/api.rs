@@ -1,0 +1,267 @@
+//! The unified construction API: one builder, one config, one registry.
+//!
+//! Every emulator/spanner algorithm in the workspace — the four paper
+//! constructions here, the four baselines via the adapter in
+//! `usnae-baselines` — is reachable through the same three entry points:
+//!
+//! * [`EmulatorBuilder`] — a fluent, validated front door for one-off
+//!   builds: pick an [`Algorithm`], set `ε/κ/ρ`, processing order, raw-ε
+//!   mode, tracing, and get a [`BuildOutput`] carrying the emulator, the
+//!   certified `(α, β)` pair, optional per-phase traces, and (for CONGEST
+//!   constructions) the simulator metrics.
+//! * [`Construction`] — the object-safe trait each algorithm implements, so
+//!   experiments, benchmarks and the CLI can treat all of them uniformly.
+//! * [`registry`] — the catalogue of paper constructions
+//!   ([`registry::all`]); `usnae_baselines::registry::all` extends it with
+//!   the baseline lineages.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use usnae_core::api::{Algorithm, Emulator};
+//! use usnae_graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::gnp_connected(200, 0.05, 7)?;
+//! let out = Emulator::builder(&g)
+//!     .epsilon(0.5)
+//!     .kappa(4)
+//!     .algorithm(Algorithm::Centralized)
+//!     .build()?;
+//! let (alpha, beta) = out.certified.expect("paper constructions certify stretch");
+//! assert!(alpha >= 1.0 && beta >= 0.0);
+//! assert!(out.emulator.num_edges() as f64 <= out.size_bound.unwrap());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The registry drives algorithm-generic code:
+//!
+//! ```
+//! use usnae_core::api::{registry, BuildConfig};
+//! use usnae_graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::grid2d(8, 8)?;
+//! let cfg = BuildConfig::default();
+//! for c in registry::all() {
+//!     let out = c.build(&g, &cfg)?;
+//!     assert!(out.emulator.num_edges() > 0, "{}", c.name());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod construction;
+pub mod constructions;
+pub mod output;
+pub mod registry;
+
+pub use crate::centralized::ProcessingOrder;
+pub use crate::emulator::Emulator;
+pub use config::{Algorithm, BuildConfig};
+pub use construction::{BuildError, Construction, Supports};
+pub use output::{BuildOutput, CongestStats, PhaseSummary, Trace};
+
+use usnae_graph::Graph;
+
+/// Fluent builder over the paper constructions.
+///
+/// Obtained from [`Emulator::builder`]; terminal [`build`](Self::build)
+/// validates the parameters, runs the selected [`Algorithm`], and returns a
+/// [`BuildOutput`].
+#[derive(Debug, Clone)]
+pub struct EmulatorBuilder<'g> {
+    graph: &'g Graph,
+    algorithm: Algorithm,
+    config: BuildConfig,
+}
+
+impl<'g> EmulatorBuilder<'g> {
+    /// Starts a builder over `g` with [`Algorithm::Centralized`] and the
+    /// default [`BuildConfig`].
+    pub fn new(graph: &'g Graph) -> Self {
+        EmulatorBuilder {
+            graph,
+            algorithm: Algorithm::Centralized,
+            config: BuildConfig::default(),
+        }
+    }
+
+    /// Selects the construction to run.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the stretch parameter `ε` (validated at build time).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the sparsity parameter `κ`.
+    pub fn kappa(mut self, kappa: u32) -> Self {
+        self.config.kappa = kappa;
+        self
+    }
+
+    /// Sets the round exponent `ρ` (used by the §3/§4 constructions).
+    pub fn rho(mut self, rho: f64) -> Self {
+        self.config.rho = rho;
+        self
+    }
+
+    /// Skips the paper's ε-rescaling (see
+    /// [`CentralizedParams::with_raw_epsilon`](crate::params::CentralizedParams::with_raw_epsilon)).
+    pub fn raw_epsilon(mut self, raw: bool) -> Self {
+        self.config.raw_epsilon = raw;
+        self
+    }
+
+    /// Sets the center processing order (Algorithm 1 only; others ignore it).
+    pub fn order(mut self, order: ProcessingOrder) -> Self {
+        self.config.order = order;
+        self
+    }
+
+    /// Retains the per-phase [`Trace`] on the output.
+    pub fn traced(mut self, traced: bool) -> Self {
+        self.config.traced = traced;
+        self
+    }
+
+    /// Seed for randomized constructions (the baselines; paper constructions
+    /// are deterministic and ignore it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// The accumulated configuration.
+    pub fn config(&self) -> &BuildConfig {
+        &self.config
+    }
+
+    /// Runs the selected construction.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Param`] on invalid `ε/κ/ρ`; [`BuildError::Congest`]
+    /// when a CONGEST simulation violates its contract.
+    pub fn build(self) -> Result<BuildOutput, BuildError> {
+        self.algorithm
+            .construction()
+            .build(self.graph, &self.config)
+    }
+}
+
+impl Emulator {
+    /// Entry point of the fluent construction API:
+    /// `Emulator::builder(&g).epsilon(0.5).kappa(4).build()?`.
+    pub fn builder(g: &Graph) -> EmulatorBuilder<'_> {
+        EmulatorBuilder::new(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usnae_graph::generators;
+
+    #[test]
+    fn builder_defaults_run_centralized() {
+        let g = generators::gnp_connected(120, 0.06, 3).unwrap();
+        let out = Emulator::builder(&g).build().unwrap();
+        assert_eq!(out.algorithm, "centralized");
+        assert!(out.certified.is_some());
+        assert!(out.trace.is_none(), "tracing is opt-in");
+        assert!(out.emulator.num_edges() as f64 <= out.size_bound.unwrap());
+    }
+
+    #[test]
+    fn builder_traced_exposes_phases() {
+        let g = generators::grid2d(9, 9).unwrap();
+        let out = Emulator::builder(&g).kappa(3).traced(true).build().unwrap();
+        let trace = out.trace.expect("traced build keeps its trace");
+        assert!(!trace.phase_summaries().is_empty());
+        assert!(trace.as_centralized().is_some());
+    }
+
+    #[test]
+    fn builder_order_matters_on_star() {
+        // The §2.1.1 example: hubs-first superclusters, hubs-last does not.
+        let g = generators::star(9).unwrap();
+        let first = Emulator::builder(&g)
+            .kappa(2)
+            .order(ProcessingOrder::ByDegreeDesc)
+            .traced(true)
+            .build()
+            .unwrap();
+        let last = Emulator::builder(&g)
+            .kappa(2)
+            .order(ProcessingOrder::ByDegreeAsc)
+            .traced(true)
+            .build()
+            .unwrap();
+        let sc = |o: &BuildOutput| o.trace.as_ref().unwrap().phase_summaries()[0].num_superclusters;
+        assert_eq!(sc(&first), 1);
+        assert_eq!(sc(&last), 0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_parameters() {
+        let g = generators::path(6).unwrap();
+        assert!(matches!(
+            Emulator::builder(&g).epsilon(2.0).build(),
+            Err(BuildError::Param(_))
+        ));
+        assert!(matches!(
+            Emulator::builder(&g).kappa(1).build(),
+            Err(BuildError::Param(_))
+        ));
+        assert!(matches!(
+            Emulator::builder(&g)
+                .algorithm(Algorithm::FastCentralized)
+                .rho(0.9)
+                .build(),
+            Err(BuildError::Param(_))
+        ));
+    }
+
+    #[test]
+    fn builder_runs_every_algorithm() {
+        let g = generators::gnp_connected(70, 0.08, 5).unwrap();
+        for algo in Algorithm::all() {
+            let out = Emulator::builder(&g).algorithm(algo).build().unwrap();
+            assert!(out.emulator.num_edges() > 0, "{algo:?}");
+            assert_eq!(out.algorithm, algo.name());
+            if algo.runs_on_congest() {
+                let stats = out.congest.expect("CONGEST builds carry metrics");
+                assert!(stats.metrics.rounds > 0, "{algo:?}");
+                assert_eq!(stats.knowledge_violations, 0, "{algo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_and_fast_agree_on_phase0_popularity() {
+        let g = generators::gnp_connected(90, 0.08, 17).unwrap();
+        let dist = Emulator::builder(&g)
+            .algorithm(Algorithm::Distributed)
+            .traced(true)
+            .build()
+            .unwrap();
+        let fast = Emulator::builder(&g)
+            .algorithm(Algorithm::FastCentralized)
+            .traced(true)
+            .build()
+            .unwrap();
+        let d = dist.trace.unwrap();
+        let f = fast.trace.unwrap();
+        let d0 = d.as_distributed().unwrap()[0].num_popular;
+        let f0 = f.as_fast().unwrap().phases[0].num_popular;
+        assert_eq!(d0, f0);
+    }
+}

@@ -1,0 +1,211 @@
+//! The unified build configuration and the paper-construction selector.
+
+use crate::centralized::ProcessingOrder;
+use crate::error::ParamError;
+use crate::params::{CentralizedParams, DistributedParams, SpannerParams};
+
+/// The paper constructions selectable through
+/// [`EmulatorBuilder`](crate::api::EmulatorBuilder).
+///
+/// Baselines are not variants here — they come in through the
+/// [`Construction`](crate::api::Construction) trait (see the adapter in
+/// `usnae-baselines`), which keeps this enum closed over what the paper
+/// actually proves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Algorithm 1 (§2): sequential superclustering with buffer sets.
+    #[default]
+    Centralized,
+    /// The fast centralized simulation of the distributed pipeline (§3.3).
+    FastCentralized,
+    /// The deterministic CONGEST-model construction (§3).
+    Distributed,
+    /// The §4 subgraph spanner (centralized).
+    Spanner,
+    /// The §4 subgraph spanner built in the CONGEST simulator.
+    DistributedSpanner,
+}
+
+impl Algorithm {
+    /// All paper constructions, registry order.
+    pub fn all() -> [Algorithm; 5] {
+        [
+            Algorithm::Centralized,
+            Algorithm::FastCentralized,
+            Algorithm::Distributed,
+            Algorithm::Spanner,
+            Algorithm::DistributedSpanner,
+        ]
+    }
+
+    /// The registry name of this construction.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Centralized => "centralized",
+            Algorithm::FastCentralized => "fast-centralized",
+            Algorithm::Distributed => "distributed",
+            Algorithm::Spanner => "spanner",
+            Algorithm::DistributedSpanner => "distributed-spanner",
+        }
+    }
+
+    /// Parses a registry name back into the selector.
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        Algorithm::all().into_iter().find(|a| a.name() == s)
+    }
+
+    /// Whether this construction runs on the CONGEST simulator (and hence
+    /// reports [`CongestStats`](crate::api::CongestStats)).
+    pub fn runs_on_congest(&self) -> bool {
+        matches!(self, Algorithm::Distributed | Algorithm::DistributedSpanner)
+    }
+
+    /// The trait object driving this selector.
+    pub fn construction(&self) -> Box<dyn crate::api::Construction> {
+        use crate::api::constructions::*;
+        match self {
+            Algorithm::Centralized => Box::new(Centralized),
+            Algorithm::FastCentralized => Box::new(FastCentralized),
+            Algorithm::Distributed => Box::new(Distributed),
+            Algorithm::Spanner => Box::new(Spanner),
+            Algorithm::DistributedSpanner => Box::new(DistributedSpanner),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One validated parameter set shared by every [`Construction`]
+/// (paper constructions and baselines alike).
+///
+/// Replaces the per-construction triple
+/// `CentralizedParams`/`DistributedParams`/`SpannerParams` at the API
+/// surface; each construction derives its own schedule from the fields it
+/// uses and ignores the rest ([`Supports`](crate::api::Supports) documents
+/// which is which).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildConfig {
+    /// Stretch parameter `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+    /// Sparsity parameter `κ ≥ 2` (size bound `n^(1+1/κ)`).
+    pub kappa: u32,
+    /// Round exponent `ρ ∈ [1/κ, 1/2]` for the §3/§4 schedules.
+    pub rho: f64,
+    /// Skip the paper's ε-rescaling (§2.2.4 / §3.2.4): keeps multi-phase
+    /// structure alive at simulable sizes.
+    pub raw_epsilon: bool,
+    /// Center processing order (Algorithm 1; others are order-free).
+    pub order: ProcessingOrder,
+    /// Retain the per-phase [`Trace`](crate::api::Trace) on the output.
+    pub traced: bool,
+    /// Seed for randomized constructions (TZ06/EN17a baselines).
+    pub seed: u64,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig {
+            epsilon: 0.5,
+            kappa: 4,
+            rho: 0.5,
+            raw_epsilon: false,
+            order: ProcessingOrder::ById,
+            traced: false,
+            seed: 0,
+        }
+    }
+}
+
+impl BuildConfig {
+    /// Derives the §2.1.2 parameter schedule, honoring
+    /// [`raw_epsilon`](Self::raw_epsilon).
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] when `ε` or `κ` violates its precondition.
+    pub fn centralized_params(&self) -> Result<CentralizedParams, ParamError> {
+        if self.raw_epsilon {
+            CentralizedParams::with_raw_epsilon(self.epsilon, self.kappa)
+        } else {
+            CentralizedParams::new(self.epsilon, self.kappa)
+        }
+    }
+
+    /// Derives the §3.1.1 parameter schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] when `ε`, `κ` or `ρ` violates its precondition.
+    pub fn distributed_params(&self) -> Result<DistributedParams, ParamError> {
+        if self.raw_epsilon {
+            DistributedParams::with_raw_epsilon(self.epsilon, self.kappa, self.rho)
+        } else {
+            DistributedParams::new(self.epsilon, self.kappa, self.rho)
+        }
+    }
+
+    /// Derives the §4 parameter schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError`] when `ε`, `κ` or `ρ` violates its precondition.
+    pub fn spanner_params(&self) -> Result<SpannerParams, ParamError> {
+        if self.raw_epsilon {
+            SpannerParams::with_raw_epsilon(self.epsilon, self.kappa, self.rho)
+        } else {
+            SpannerParams::new(self.epsilon, self.kappa, self.rho)
+        }
+    }
+
+    /// The headline size bound `n^(1+1/κ)` shared by all paper schedules.
+    pub fn size_bound(&self, n: usize) -> f64 {
+        (n as f64).powf(1.0 + 1.0 / self.kappa as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for a in Algorithm::all() {
+            assert_eq!(Algorithm::parse(a.name()), Some(a));
+            assert_eq!(a.to_string(), a.name());
+        }
+        assert_eq!(Algorithm::parse("nope"), None);
+    }
+
+    #[test]
+    fn default_config_is_valid_everywhere() {
+        let cfg = BuildConfig::default();
+        assert!(cfg.centralized_params().is_ok());
+        assert!(cfg.distributed_params().is_ok());
+        assert!(cfg.spanner_params().is_ok());
+    }
+
+    #[test]
+    fn raw_epsilon_flows_through() {
+        let cfg = BuildConfig {
+            raw_epsilon: true,
+            ..BuildConfig::default()
+        };
+        assert_eq!(
+            cfg.centralized_params().unwrap().schedule().eps_internal,
+            0.5
+        );
+        let rescaled = BuildConfig::default().centralized_params().unwrap();
+        assert!(rescaled.schedule().eps_internal < 0.1);
+    }
+
+    #[test]
+    fn size_bound_matches_params() {
+        let cfg = BuildConfig::default();
+        let p = cfg.centralized_params().unwrap();
+        assert!((cfg.size_bound(1000) - p.size_bound(1000)).abs() < 1e-9);
+    }
+}

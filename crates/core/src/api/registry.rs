@@ -1,0 +1,70 @@
+//! Catalogue of the paper constructions.
+//!
+//! [`all`] is what algorithm-generic consumers iterate instead of
+//! hardcoding lists. The baselines join in `usnae_baselines::registry::all`,
+//! which chains this catalogue with the adapter-wrapped lineages; `eval`,
+//! `bench`, the CLI and the parity tests all go through one of the two.
+
+use crate::api::config::Algorithm;
+use crate::api::Construction;
+
+/// Every paper construction, in [`Algorithm::all`] order.
+pub fn all() -> Vec<Box<dyn Construction>> {
+    Algorithm::all().iter().map(|a| a.construction()).collect()
+}
+
+/// The paper constructions that output *emulators* (no subgraph constraint).
+pub fn emulators() -> Vec<Box<dyn Construction>> {
+    all()
+        .into_iter()
+        .filter(|c| !c.supports().subgraph)
+        .collect()
+}
+
+/// The paper constructions that output subgraph *spanners*.
+pub fn spanners() -> Vec<Box<dyn Construction>> {
+    all()
+        .into_iter()
+        .filter(|c| c.supports().subgraph)
+        .collect()
+}
+
+/// Looks a paper construction up by registry name.
+pub fn find(name: &str) -> Option<Box<dyn Construction>> {
+    Algorithm::parse(name).map(|a| a.construction())
+}
+
+/// The registry names, in catalogue order.
+pub fn names() -> Vec<&'static str> {
+    Algorithm::all().iter().map(|a| a.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_is_complete_and_distinct() {
+        let names = names();
+        assert_eq!(names.len(), 5);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+        assert_eq!(all().len(), names.len());
+    }
+
+    #[test]
+    fn find_round_trips() {
+        for c in all() {
+            let found = find(c.name()).expect("every listed name resolves");
+            assert_eq!(found.name(), c.name());
+        }
+        assert!(find("no-such-algorithm").is_none());
+    }
+
+    #[test]
+    fn emulator_spanner_split_covers_all() {
+        assert_eq!(emulators().len() + spanners().len(), all().len());
+        assert!(spanners().iter().all(|c| c.supports().subgraph));
+        assert_eq!(spanners().len(), 2);
+    }
+}

@@ -41,7 +41,7 @@ pub enum ProcessingOrder {
 }
 
 impl ProcessingOrder {
-    fn arrange(&self, centers: &mut Vec<VertexId>, g: &Graph) {
+    fn arrange(&self, centers: &mut [VertexId], g: &Graph) {
         match self {
             ProcessingOrder::ById => centers.sort_unstable(),
             ProcessingOrder::ByIdDesc => centers.sort_unstable_by(|a, b| b.cmp(a)),
@@ -109,29 +109,31 @@ impl BuildTrace {
 
 /// Builds a `(1+ε, β)`-emulator with at most `n^(1+1/κ)` edges
 /// (Corollary 2.14), processing centers by ascending id.
-///
-/// # Example
-///
-/// ```
-/// use usnae_core::centralized::build_emulator;
-/// use usnae_core::params::CentralizedParams;
-/// use usnae_graph::generators;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let g = generators::grid2d(10, 10)?;
-/// let params = CentralizedParams::new(0.5, 3)?;
-/// let h = build_emulator(&g, &params);
-/// assert!(h.num_edges() as f64 <= params.size_bound(100));
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use usnae_core::api::EmulatorBuilder with Algorithm::Centralized instead"
+)]
 pub fn build_emulator(g: &Graph, params: &CentralizedParams) -> Emulator {
-    build_emulator_traced(g, params, ProcessingOrder::ById).0
+    build_centralized(g, params, ProcessingOrder::ById).0
 }
 
 /// [`build_emulator`] with an explicit processing order and a full
 /// [`BuildTrace`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use usnae_core::api::EmulatorBuilder with .order(..).traced(true) instead"
+)]
 pub fn build_emulator_traced(
+    g: &Graph,
+    params: &CentralizedParams,
+    order: ProcessingOrder,
+) -> (Emulator, BuildTrace) {
+    build_centralized(g, params, order)
+}
+
+/// Crate-internal entry point behind [`crate::api::EmulatorBuilder`] (and the
+/// deprecated free-function shims): runs Algorithm 1 end to end.
+pub(crate) fn build_centralized(
     g: &Graph,
     params: &CentralizedParams,
     order: ProcessingOrder,
@@ -294,8 +296,8 @@ fn run_phase(
     // Phase end (Algorithm 1 lines 22–26): leftover buffered centers join
     // the supercluster that buffered them.
     let mut buffered: Vec<(VertexId, usize, Dist)> = Vec::new();
-    for v in 0..n {
-        if let Status::InN { supercluster, dist } = status[v] {
+    for (v, st) in status.iter().enumerate() {
+        if let Status::InN { supercluster, dist } = *st {
             buffered.push((v, supercluster, dist));
         }
     }
@@ -360,7 +362,7 @@ mod tests {
         // neighbors), so H contains exactly G's edges with weight 1.
         let g = generators::path(10).unwrap();
         let p = params(0.5, 2);
-        let (h, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+        let (h, trace) = build_centralized(&g, &p, ProcessingOrder::ById);
         assert_eq!(h.num_edges(), 9);
         assert!(h.graph().edges().all(|e| e.weight == 1));
         assert_eq!(trace.phases[0].num_superclusters, 0);
@@ -374,12 +376,12 @@ mod tests {
         let g = generators::star(9).unwrap();
         let p = params(0.5, 2); // deg_0 = 3, cap 3
 
-        let (h_first, t_first) = build_emulator_traced(&g, &p, ProcessingOrder::ByDegreeDesc);
+        let (h_first, t_first) = build_centralized(&g, &p, ProcessingOrder::ByDegreeDesc);
         assert_eq!(t_first.phases[0].num_superclusters, 1);
         assert_eq!(t_first.phases[0].superclustering_edges, 8);
         assert_eq!(h_first.num_edges(), 8);
 
-        let (h_last, t_last) = build_emulator_traced(&g, &p, ProcessingOrder::ByDegreeAsc);
+        let (h_last, t_last) = build_centralized(&g, &p, ProcessingOrder::ByDegreeAsc);
         assert_eq!(t_last.phases[0].num_superclusters, 0);
         assert_eq!(t_last.phases[0].interconnection_edges, 8);
         assert_eq!(h_last.num_edges(), 8);
@@ -394,7 +396,7 @@ mod tests {
         edges.push((1, 6));
         let g = usnae_graph::Graph::from_edges(7, &edges).unwrap();
         let p = params(0.5, 2); // deg_0 = 7^{1/2} ≈ 2.65, cap 3
-        let (h, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+        let (h, trace) = build_centralized(&g, &p, ProcessingOrder::ById);
         assert_eq!(trace.phases[0].num_superclusters, 1);
         assert_eq!(trace.phases[0].num_buffered, 1);
         assert_eq!(trace.phases[0].buffer_join_edges, 1);
@@ -417,7 +419,7 @@ mod tests {
         for bridge in [2usize, 3, 4, 5, 6] {
             let g = generators::dumbbell(5, bridge).unwrap();
             let p = params(0.5, 2);
-            let (_, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+            let (_, trace) = build_centralized(&g, &p, ProcessingOrder::ById);
             let n = g.num_vertices();
             // Lemma 2.8: U^(ℓ) ∪ P_{ℓ+1} partitions V, and P_{ℓ+1} = ∅.
             let mut covered = vec![false; n];
@@ -452,7 +454,7 @@ mod tests {
                     ProcessingOrder::ByDegreeAsc,
                 ] {
                     let p = params(0.5, kappa);
-                    let (h, _) = build_emulator_traced(g, &p, order);
+                    let (h, _) = build_centralized(g, &p, order);
                     let bound = p.size_bound(g.num_vertices());
                     assert!(
                         h.num_edges() as f64 <= bound + 1e-6,
@@ -469,7 +471,7 @@ mod tests {
         for seed in 0..5u64 {
             let g = generators::gnp_connected(200, 0.04, seed).unwrap();
             let p = params(0.5, 4);
-            let h = build_emulator(&g, &p);
+            let h = build_centralized(&g, &p, ProcessingOrder::ById).0;
             let ledger = ChargeLedger::from_emulator(&h);
             ledger
                 .verify(|phase| p.degree_cap(phase, 200))
@@ -483,7 +485,7 @@ mod tests {
         // can get closer in H.
         let g = generators::gnp_connected(120, 0.06, 9).unwrap();
         let p = params(0.5, 3);
-        let h = build_emulator(&g, &p);
+        let h = build_centralized(&g, &p, ProcessingOrder::ById).0;
         let apsp = usnae_graph::distance::Apsp::new(&g);
         for (u, v) in usnae_graph::distance::sample_pairs(&g, 150, 4) {
             if let Some(dh) = h.distance(u, v) {
@@ -504,7 +506,7 @@ mod tests {
         for (g, kappa) in configs {
             let p = params(0.5, kappa);
             let (alpha, beta) = p.certified_stretch();
-            let h = build_emulator(&g, &p);
+            let h = build_centralized(&g, &p, ProcessingOrder::ById).0;
             let apsp = usnae_graph::distance::Apsp::new(&g);
             let n = g.num_vertices();
             for u in 0..n {
@@ -530,7 +532,7 @@ mod tests {
         // |P_i| ≤ n^(1 − (2^i − 1)/κ).
         let g = generators::gnp_connected(400, 0.08, 11).unwrap();
         let p = params(0.5, 4);
-        let (_, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+        let (_, trace) = build_centralized(&g, &p, ProcessingOrder::ById);
         let n = g.num_vertices() as f64;
         for (i, part) in trace.partitions.iter().enumerate().take(p.ell() + 1) {
             let bound = n.powf(1.0 - (2f64.powi(i as i32) - 1.0) / p.kappa() as f64);
@@ -547,7 +549,7 @@ mod tests {
         // Lemma 2.1: every supercluster absorbs ≥ deg_i + 1 clusters of P_i.
         let g = generators::gnp_connected(300, 0.1, 13).unwrap();
         let p = params(0.5, 3);
-        let (_, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+        let (_, trace) = build_centralized(&g, &p, ProcessingOrder::ById);
         for i in 0..trace.partitions.len() - 1 {
             let cap = p.degree_cap(i, 300);
             let prev = &trace.partitions[i];
@@ -571,7 +573,7 @@ mod tests {
     fn complete_graph_collapses_in_one_phase() {
         let g = generators::complete_graph(50).unwrap();
         let p = params(0.5, 2);
-        let (h, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+        let (h, trace) = build_centralized(&g, &p, ProcessingOrder::ById);
         // First processed vertex superclusters everything.
         assert_eq!(trace.phases[0].num_superclusters, 1);
         assert_eq!(trace.partitions[1].len(), 1);
@@ -583,7 +585,7 @@ mod tests {
         // Isolated vertices: everyone unpopular with empty Γ; H empty.
         let g = usnae_graph::Graph::empty(5);
         let p = params(0.5, 2);
-        let (h, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+        let (h, trace) = build_centralized(&g, &p, ProcessingOrder::ById);
         assert_eq!(h.num_edges(), 0);
         assert_eq!(trace.phases[0].num_unclustered, 5);
     }
@@ -592,7 +594,7 @@ mod tests {
     fn single_vertex_graph() {
         let g = usnae_graph::Graph::empty(1);
         let p = params(0.5, 2);
-        let h = build_emulator(&g, &p);
+        let h = build_centralized(&g, &p, ProcessingOrder::ById).0;
         assert_eq!(h.num_edges(), 0);
     }
 
@@ -602,7 +604,7 @@ mod tests {
         let g = generators::gnp_connected(1024, 0.01, 17).unwrap();
         let kappa = 100; // log₂²(1024) = 100
         let p = params(0.5, kappa);
-        let h = build_emulator(&g, &p);
+        let h = build_centralized(&g, &p, ProcessingOrder::ById).0;
         assert!(h.num_edges() as f64 <= p.size_bound(1024));
         assert!(h.num_edges() <= 1024 + 73); // n^(1+1/100) − n ≈ 72.6
     }

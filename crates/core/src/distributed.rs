@@ -27,4 +27,6 @@ pub mod ruling;
 pub mod spanner_driver;
 pub mod supercluster;
 
-pub use driver::{build_emulator_distributed, DistributedBuild, DistributedPhaseTrace};
+#[allow(deprecated)]
+pub use driver::build_emulator_distributed;
+pub use driver::{DistributedBuild, DistributedPhaseTrace};

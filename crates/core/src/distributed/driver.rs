@@ -84,24 +84,20 @@ pub struct DistributedBuild {
 ///
 /// Propagates [`CongestError`] from the simulator (contract violations or
 /// an exhausted round budget — both indicate bugs, not bad inputs).
-///
-/// # Example
-///
-/// ```
-/// use usnae_core::distributed::build_emulator_distributed;
-/// use usnae_core::params::DistributedParams;
-/// use usnae_graph::generators;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let g = generators::gnp_connected(80, 0.08, 3)?;
-/// let params = DistributedParams::new(0.5, 4, 0.5)?;
-/// let build = build_emulator_distributed(&g, &params)?;
-/// assert_eq!(build.knowledge_violations, 0);
-/// assert!(build.emulator.num_edges() as f64 <= params.size_bound(80));
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use usnae_core::api::EmulatorBuilder with Algorithm::Distributed instead"
+)]
 pub fn build_emulator_distributed(
+    g: &Graph,
+    params: &DistributedParams,
+) -> Result<DistributedBuild, CongestError> {
+    build_distributed(g, params)
+}
+
+/// Crate-internal entry point behind [`crate::api::EmulatorBuilder`] (and the
+/// deprecated free-function shim): runs the §3 CONGEST pipeline end to end.
+pub(crate) fn build_distributed(
     g: &Graph,
     params: &DistributedParams,
 ) -> Result<DistributedBuild, CongestError> {
@@ -312,7 +308,7 @@ mod tests {
         for seed in 0..3u64 {
             let g = generators::gnp_connected(100, 0.06, seed).unwrap();
             let p = params(0.5, 4, 0.5);
-            let build = build_emulator_distributed(&g, &p).unwrap();
+            let build = build_distributed(&g, &p).unwrap();
             assert_eq!(build.knowledge_violations, 0, "seed {seed}");
             assert!(build.knowledge_checked > 0);
             assert!(
@@ -329,7 +325,7 @@ mod tests {
         let g = generators::gnp_connected(90, 0.07, 11).unwrap();
         let p = params(0.5, 4, 0.5);
         let (alpha, beta) = p.certified_stretch();
-        let build = build_emulator_distributed(&g, &p).unwrap();
+        let build = build_distributed(&g, &p).unwrap();
         let pairs = sample_pairs(&g, 300, 7);
         let report = audit_stretch(&g, build.emulator.graph(), alpha, beta, &pairs);
         assert!(report.passed(), "{report:?}");
@@ -340,7 +336,7 @@ mod tests {
         let g = generators::grid2d(9, 9).unwrap();
         let p = params(0.9, 3, 0.5);
         let (alpha, beta) = p.certified_stretch();
-        let build = build_emulator_distributed(&g, &p).unwrap();
+        let build = build_distributed(&g, &p).unwrap();
         let pairs = sample_pairs(&g, 200, 3);
         let report = audit_stretch(&g, build.emulator.graph(), alpha, beta, &pairs);
         assert!(report.passed(), "{report:?}");
@@ -350,7 +346,7 @@ mod tests {
     fn charging_discipline_holds() {
         let g = generators::gnp_connected(100, 0.08, 5).unwrap();
         let p = params(0.5, 4, 0.5);
-        let build = build_emulator_distributed(&g, &p).unwrap();
+        let build = build_distributed(&g, &p).unwrap();
         let ledger = ChargeLedger::from_emulator(&build.emulator);
         ledger.verify(|phase| p.degree_cap(phase, 100)).unwrap();
     }
@@ -359,7 +355,7 @@ mod tests {
     fn rounds_accounted_per_phase() {
         let g = generators::gnp_connected(80, 0.08, 9).unwrap();
         let p = params(0.5, 4, 0.5);
-        let build = build_emulator_distributed(&g, &p).unwrap();
+        let build = build_distributed(&g, &p).unwrap();
         let total: u64 = build.phases.iter().map(|t| t.rounds).sum();
         assert_eq!(total, build.metrics.rounds);
         assert!(build.metrics.rounds > 0);
@@ -370,7 +366,7 @@ mod tests {
     fn star_collapses_distributedly() {
         let g = generators::star(40).unwrap();
         let p = params(0.5, 4, 0.5);
-        let build = build_emulator_distributed(&g, &p).unwrap();
+        let build = build_distributed(&g, &p).unwrap();
         assert_eq!(build.knowledge_violations, 0);
         // The hub is popular in phase 0, so a supercluster forms and P_1 has
         // a single cluster containing everything within the horizon.
@@ -382,7 +378,7 @@ mod tests {
     fn path_stays_flat() {
         let g = generators::path(30).unwrap();
         let p = params(0.5, 4, 0.5);
-        let build = build_emulator_distributed(&g, &p).unwrap();
+        let build = build_distributed(&g, &p).unwrap();
         // Nobody is popular on a path at phase 0 with deg_0 = 30^0.25 ≈ 2.3;
         // the emulator is the path itself.
         assert_eq!(build.phases[0].num_popular, 0);
@@ -393,7 +389,7 @@ mod tests {
     fn broom_exercises_hub_splitting_end_to_end() {
         let g = generators::broom(16, 2).unwrap();
         let p = params(0.5, 2, 0.5);
-        let build = build_emulator_distributed(&g, &p).unwrap();
+        let build = build_distributed(&g, &p).unwrap();
         assert_eq!(build.knowledge_violations, 0);
         let (alpha, beta) = p.certified_stretch();
         let pairs = sample_pairs(&g, 200, 5);
@@ -405,7 +401,7 @@ mod tests {
     fn partitions_cover_and_telescope() {
         let g = generators::gnp_connected(120, 0.07, 13).unwrap();
         let p = params(0.5, 4, 0.5);
-        let build = build_emulator_distributed(&g, &p).unwrap();
+        let build = build_distributed(&g, &p).unwrap();
         // eq. 15: |P_{i+1}| ≤ |P_i| / deg_i.
         for i in 0..build.partitions.len() - 1 {
             let cur = build.partitions[i].len() as f64;

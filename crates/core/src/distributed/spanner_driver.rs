@@ -66,24 +66,20 @@ pub struct DistributedSpannerBuild {
 /// # Errors
 ///
 /// Propagates [`CongestError`] from the simulator.
-///
-/// # Example
-///
-/// ```
-/// use usnae_core::distributed::spanner_driver::build_spanner_distributed;
-/// use usnae_core::params::SpannerParams;
-/// use usnae_core::verify::is_subgraph_spanner;
-/// use usnae_graph::generators;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let g = generators::gnp_connected(80, 0.08, 3)?;
-/// let params = SpannerParams::new(0.5, 4, 0.5)?;
-/// let build = build_spanner_distributed(&g, &params)?;
-/// assert!(is_subgraph_spanner(&g, build.spanner.graph()));
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use usnae_core::api::EmulatorBuilder with Algorithm::DistributedSpanner instead"
+)]
 pub fn build_spanner_distributed(
+    g: &Graph,
+    params: &SpannerParams,
+) -> Result<DistributedSpannerBuild, CongestError> {
+    build_spanner_congest(g, params)
+}
+
+/// Crate-internal entry point behind [`crate::api::EmulatorBuilder`] (and the
+/// deprecated free-function shim): runs the §4 pipeline on the simulator.
+pub(crate) fn build_spanner_congest(
     g: &Graph,
     params: &SpannerParams,
 ) -> Result<DistributedSpannerBuild, CongestError> {
@@ -258,7 +254,7 @@ mod tests {
         for seed in 0..3u64 {
             let g = generators::gnp_connected(100, 0.07, seed).unwrap();
             let p = SpannerParams::new(0.5, 4, 0.5).unwrap();
-            let build = build_spanner_distributed(&g, &p).unwrap();
+            let build = build_spanner_congest(&g, &p).unwrap();
             assert!(
                 is_subgraph_spanner(&g, build.spanner.graph()),
                 "seed {seed}"
@@ -274,7 +270,7 @@ mod tests {
     fn agrees_with_centralized_on_path() {
         let g = generators::path(30).unwrap();
         let p = SpannerParams::new(0.5, 2, 0.5).unwrap();
-        let build = build_spanner_distributed(&g, &p).unwrap();
+        let build = build_spanner_congest(&g, &p).unwrap();
         assert_eq!(build.spanner.num_edges(), 29);
         assert!(build.metrics.rounds > 0);
     }
@@ -283,7 +279,7 @@ mod tests {
     fn size_within_small_factor_of_bound() {
         let g = generators::gnp_connected(200, 0.1, 5).unwrap();
         let p = SpannerParams::new(0.5, 4, 0.5).unwrap();
-        let build = build_spanner_distributed(&g, &p).unwrap();
+        let build = build_spanner_congest(&g, &p).unwrap();
         assert!(
             (build.spanner.num_edges() as f64) <= 4.0 * p.size_bound(200),
             "{} vs {}",
@@ -297,7 +293,7 @@ mod tests {
     fn rounds_accounted_per_phase() {
         let g = generators::grid2d(9, 9).unwrap();
         let p = SpannerParams::new(0.5, 4, 0.5).unwrap();
-        let build = build_spanner_distributed(&g, &p).unwrap();
+        let build = build_spanner_congest(&g, &p).unwrap();
         assert_eq!(
             build.phases.iter().map(|t| t.rounds).sum::<u64>(),
             build.metrics.rounds
@@ -308,7 +304,7 @@ mod tests {
     fn spanner_connects_what_g_connects() {
         let g = generators::caveman(12, 8).unwrap();
         let p = SpannerParams::new(0.5, 4, 0.5).unwrap();
-        let build = build_spanner_distributed(&g, &p).unwrap();
+        let build = build_spanner_congest(&g, &p).unwrap();
         let d = build.spanner.distances_from(0);
         assert!(d.iter().all(|x| x.is_some()));
     }

@@ -62,31 +62,29 @@ pub struct FastBuildTrace {
 
 /// Builds a `(1+ε, β)`-emulator with ≤ `n^(1+1/κ)` edges in
 /// `O(|E|·β·n^ρ)`-style time (Theorem 3.13).
-///
-/// # Example
-///
-/// ```
-/// use usnae_core::fast_centralized::build_emulator_fast;
-/// use usnae_core::params::DistributedParams;
-/// use usnae_graph::generators;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let g = generators::gnp_connected(300, 0.04, 5)?;
-/// let params = DistributedParams::new(0.5, 4, 0.5)?;
-/// let h = build_emulator_fast(&g, &params);
-/// assert!(h.num_edges() as f64 <= params.size_bound(300));
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use usnae_core::api::EmulatorBuilder with Algorithm::FastCentralized instead"
+)]
 pub fn build_emulator_fast(g: &Graph, params: &DistributedParams) -> Emulator {
-    build_emulator_fast_traced(g, params).0
+    build_fast(g, params).0
 }
 
 /// [`build_emulator_fast`] with a full [`FastBuildTrace`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use usnae_core::api::EmulatorBuilder with .traced(true) instead"
+)]
 pub fn build_emulator_fast_traced(
     g: &Graph,
     params: &DistributedParams,
 ) -> (Emulator, FastBuildTrace) {
+    build_fast(g, params)
+}
+
+/// Crate-internal entry point behind [`crate::api::EmulatorBuilder`] (and the
+/// deprecated free-function shims): runs the §3.3 simulation end to end.
+pub(crate) fn build_fast(g: &Graph, params: &DistributedParams) -> (Emulator, FastBuildTrace) {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
     let mut partition = Partition::singletons(n);
@@ -266,7 +264,7 @@ mod tests {
         for (name, g) in &graphs {
             for &(kappa, rho) in &[(4u32, 0.5f64), (8, 0.4), (3, 0.5)] {
                 let p = params(0.5, kappa, rho);
-                let h = build_emulator_fast(g, &p);
+                let h = build_fast(g, &p).0;
                 let bound = p.size_bound(g.num_vertices());
                 assert!(
                     h.num_edges() as f64 <= bound + 1e-6,
@@ -282,7 +280,7 @@ mod tests {
         let g = generators::gnp_connected(250, 0.03, 7).unwrap();
         let p = params(0.5, 4, 0.5);
         let (alpha, beta) = p.certified_stretch();
-        let h = build_emulator_fast(&g, &p);
+        let h = build_fast(&g, &p).0;
         let pairs = sample_pairs(&g, 500, 11);
         let report = audit_stretch(&g, h.graph(), alpha, beta, &pairs);
         assert!(report.passed(), "{report:?}");
@@ -293,7 +291,7 @@ mod tests {
         let g = generators::grid2d(20, 10).unwrap();
         let p = params(0.9, 3, 0.5);
         let (alpha, beta) = p.certified_stretch();
-        let h = build_emulator_fast(&g, &p);
+        let h = build_fast(&g, &p).0;
         let pairs = sample_pairs(&g, 400, 13);
         let report = audit_stretch(&g, h.graph(), alpha, beta, &pairs);
         assert!(report.passed(), "{report:?}");
@@ -304,7 +302,7 @@ mod tests {
         for seed in 0..4u64 {
             let g = generators::gnp_connected(220, 0.05, seed).unwrap();
             let p = params(0.5, 4, 0.5);
-            let h = build_emulator_fast(&g, &p);
+            let h = build_fast(&g, &p).0;
             let ledger = ChargeLedger::from_emulator(&h);
             ledger
                 .verify(|phase| p.degree_cap(phase, 220))
@@ -341,7 +339,7 @@ mod tests {
         // Lemma 3.5 with one supercluster per tree: ≥ deg_i + 1 clusters.
         let g = generators::gnp_connected(400, 0.08, 5).unwrap();
         let p = params(0.5, 4, 0.5);
-        let (_, trace) = build_emulator_fast_traced(&g, &p);
+        let (_, trace) = build_fast(&g, &p);
         for i in 0..trace.partitions.len() - 1 {
             let cap = p.degree_cap(i, 400);
             let prev_map = trace.partitions[i].vertex_to_cluster(400);
@@ -364,7 +362,7 @@ mod tests {
     fn path_graph_is_reproduced() {
         let g = generators::path(12).unwrap();
         let p = params(0.5, 2, 0.5);
-        let h = build_emulator_fast(&g, &p);
+        let h = build_fast(&g, &p).0;
         // No popularity on a path at phase 0 (deg_0 ≈ 3.46 > 2 neighbors);
         // everything is interconnection of adjacent vertices.
         assert_eq!(h.num_edges(), 11);
@@ -374,7 +372,7 @@ mod tests {
     fn ultra_sparse_distributed_params() {
         let g = generators::gnp_connected(1024, 0.01, 3).unwrap();
         let p = params(0.5, 100, 0.5);
-        let h = build_emulator_fast(&g, &p);
+        let h = build_fast(&g, &p).0;
         assert!(h.num_edges() as f64 <= p.size_bound(1024));
         assert!(h.num_edges() <= 1024 + 73);
     }
@@ -383,7 +381,7 @@ mod tests {
     fn trace_is_internally_consistent() {
         let g = generators::gnp_connected(300, 0.06, 9).unwrap();
         let p = params(0.5, 4, 0.5);
-        let (h, trace) = build_emulator_fast_traced(&g, &p);
+        let (h, trace) = build_fast(&g, &p);
         let inserted: usize = trace
             .phases
             .iter()

@@ -52,8 +52,7 @@ pub fn bounded_hop_distances(
     for _ in 1..=hop_limit {
         let prev = layers.last().expect("at least layer 0");
         let mut next = prev.clone();
-        for u in 0..n {
-            let du = prev[u];
+        for (u, &du) in prev.iter().enumerate() {
             if du == INF {
                 continue;
             }
@@ -149,7 +148,7 @@ pub fn measure_hopbound(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::centralized::build_emulator;
+    use crate::centralized::{build_centralized, ProcessingOrder};
     use crate::params::CentralizedParams;
     use usnae_graph::distance::{exact_pair_distances, sample_pairs};
     use usnae_graph::generators;
@@ -158,12 +157,12 @@ mod tests {
     fn layers_are_monotone_and_converge_to_dijkstra() {
         let g = generators::grid2d(6, 6).unwrap();
         let p = CentralizedParams::new(0.5, 3).unwrap();
-        let h = build_emulator(&g, &p);
+        let h = build_centralized(&g, &p, ProcessingOrder::ById).0;
         let layers = bounded_hop_distances(&g, &h, 0, 40);
         // Monotone in t.
         for t in 1..layers.len() {
-            for v in 0..36 {
-                match (layers[t - 1][v], layers[t][v]) {
+            for (v, &cur) in layers[t].iter().enumerate().take(36) {
+                match (layers[t - 1][v], cur) {
                     (Some(a), Some(b)) => assert!(b <= a),
                     (Some(_), None) => panic!("distance vanished"),
                     _ => {}
@@ -196,11 +195,7 @@ mod tests {
         let g = generators::cycle(100).unwrap();
         let p = CentralizedParams::with_raw_epsilon(0.5, 8).unwrap();
         // Hubs-first ordering superclusters the cycle into long-range arcs.
-        let (h, _) = crate::centralized::build_emulator_traced(
-            &g,
-            &p,
-            crate::centralized::ProcessingOrder::ByDegreeDesc,
-        );
+        let (h, _) = build_centralized(&g, &p, ProcessingOrder::ByDegreeDesc);
         let (alpha, beta) = p.certified_stretch();
         let pairs = sample_pairs(&g, 80, 3);
         let exact = exact_pair_distances(&g, &pairs);

@@ -25,23 +25,35 @@
 //! output object with per-edge provenance), [`charging`] (the Lemma 2.4
 //! ledger), and [`verify`] (size/stretch certification).
 //!
+//! All constructions are reached through the unified [`api`]: a fluent
+//! [`api::EmulatorBuilder`], one validated [`api::BuildConfig`], and the
+//! [`api::registry`] catalogue that algorithm-generic consumers iterate.
+//! The old per-construction free functions remain as deprecated shims for
+//! one release.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use usnae_core::centralized::build_emulator;
-//! use usnae_core::params::CentralizedParams;
+//! use usnae_core::api::{Algorithm, Emulator};
 //! use usnae_graph::generators;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let g = generators::gnp_connected(200, 0.05, 7)?;
-//! let params = CentralizedParams::new(0.5, 4)?;
-//! let emulator = build_emulator(&g, &params);
+//! let out = Emulator::builder(&g)
+//!     .epsilon(0.5)
+//!     .kappa(4)
+//!     .algorithm(Algorithm::Centralized)
+//!     .build()?;
 //! // The headline size bound, leading constant 1:
-//! assert!(emulator.num_edges() as f64 <= params.size_bound(200));
+//! assert!(out.num_edges() as f64 <= out.size_bound.unwrap());
+//! // And the certified stretch that comes with it:
+//! let (alpha, beta) = out.certified.unwrap();
+//! assert!(alpha <= 1.5 && beta.is_finite());
 //! # Ok(())
 //! # }
 //! ```
 
+pub mod api;
 pub mod centralized;
 pub mod charging;
 pub mod cluster;
@@ -56,5 +68,6 @@ pub mod sai;
 pub mod spanner;
 pub mod verify;
 
+pub use api::{Algorithm, BuildConfig, BuildError, BuildOutput, Construction, EmulatorBuilder};
 pub use emulator::{EdgeKind, EdgeProvenance, Emulator};
 pub use error::ParamError;

@@ -6,7 +6,7 @@
 //! emulator with its certified `(α, β)` guarantee and a per-source SSSP
 //! cache, so repeated queries amortize to a lookup.
 
-use crate::centralized::build_emulator;
+use crate::centralized::{build_centralized, ProcessingOrder};
 use crate::emulator::Emulator;
 use crate::error::ParamError;
 use crate::params::CentralizedParams;
@@ -43,7 +43,7 @@ pub struct ApproxDistanceOracle {
 }
 
 impl ApproxDistanceOracle {
-    /// Builds the emulator with [`build_emulator`] and wraps it.
+    /// Builds the centralized emulator (Algorithm 1) and wraps it.
     ///
     /// # Errors
     ///
@@ -51,7 +51,8 @@ impl ApproxDistanceOracle {
     pub fn build(g: &Graph, epsilon: f64, kappa: u32) -> Result<Self, ParamError> {
         let params = CentralizedParams::new(epsilon, kappa)?;
         let (alpha, beta) = params.certified_stretch();
-        Ok(Self::from_emulator(build_emulator(g, &params), alpha, beta))
+        let (emulator, _) = build_centralized(g, &params, ProcessingOrder::ById);
+        Ok(Self::from_emulator(emulator, alpha, beta))
     }
 
     /// Wraps an existing emulator with its certified stretch pair.

@@ -62,30 +62,26 @@ pub struct SpannerTrace {
 ///
 /// The result is a subgraph of `G`: every edge has weight 1 and exists in
 /// `G` ([`crate::verify::is_subgraph_spanner`] certifies this).
-///
-/// # Example
-///
-/// ```
-/// use usnae_core::spanner::build_spanner;
-/// use usnae_core::params::SpannerParams;
-/// use usnae_core::verify::is_subgraph_spanner;
-/// use usnae_graph::generators;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let g = generators::gnp_connected(200, 0.08, 3)?;
-/// let params = SpannerParams::new(0.5, 4, 0.5)?;
-/// let spanner = build_spanner(&g, &params);
-/// assert!(is_subgraph_spanner(&g, spanner.graph()));
-/// assert!(spanner.num_edges() <= g.num_edges());
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use usnae_core::api::EmulatorBuilder with Algorithm::Spanner instead"
+)]
 pub fn build_spanner(g: &Graph, params: &SpannerParams) -> Emulator {
-    build_spanner_traced(g, params).0
+    build_spanner_impl(g, params).0
 }
 
 /// [`build_spanner`] with a full [`SpannerTrace`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use usnae_core::api::EmulatorBuilder with .traced(true) instead"
+)]
 pub fn build_spanner_traced(g: &Graph, params: &SpannerParams) -> (Emulator, SpannerTrace) {
+    build_spanner_impl(g, params)
+}
+
+/// Crate-internal entry point behind [`crate::api::EmulatorBuilder`] (and the
+/// deprecated free-function shims): runs the §4 construction end to end.
+pub(crate) fn build_spanner_impl(g: &Graph, params: &SpannerParams) -> (Emulator, SpannerTrace) {
     let n = g.num_vertices();
     let mut spanner = Emulator::new(n);
     let mut partition = Partition::singletons(n);
@@ -265,7 +261,7 @@ mod tests {
         ];
         for g in &graphs {
             let p = params(0.5, 4, 0.5);
-            let s = build_spanner(g, &p);
+            let s = build_spanner_impl(g, &p).0;
             assert!(is_subgraph_spanner(g, s.graph()));
             assert!(s.num_edges() <= g.num_edges());
         }
@@ -276,7 +272,7 @@ mod tests {
         let g = generators::gnp_connected(250, 0.04, 7).unwrap();
         let p = params(0.5, 4, 0.5);
         let (alpha, beta) = p.certified_stretch();
-        let s = build_spanner(&g, &p);
+        let s = build_spanner_impl(&g, &p).0;
         let pairs = sample_pairs(&g, 400, 5);
         let report = audit_stretch(&g, s.graph(), alpha, beta, &pairs);
         assert!(report.passed(), "{report:?}");
@@ -287,7 +283,7 @@ mod tests {
         let g = generators::grid2d(16, 12).unwrap();
         let p = params(0.9, 3, 0.5);
         let (alpha, beta) = p.certified_stretch();
-        let s = build_spanner(&g, &p);
+        let s = build_spanner_impl(&g, &p).0;
         let pairs = sample_pairs(&g, 300, 9);
         let report = audit_stretch(&g, s.graph(), alpha, beta, &pairs);
         assert!(report.passed(), "{report:?}");
@@ -298,7 +294,7 @@ mod tests {
         // On a dense G(n, p) the spanner must drop most edges.
         let g = generators::gnp_connected(300, 0.2, 11).unwrap();
         let p = params(0.5, 8, 0.5);
-        let s = build_spanner(&g, &p);
+        let s = build_spanner_impl(&g, &p).0;
         assert!(
             (s.num_edges() as f64) < 0.5 * g.num_edges() as f64,
             "{} of {}",
@@ -312,7 +308,7 @@ mod tests {
         // eq. 31: superclustering contributes ≤ n edges per phase.
         let g = generators::gnp_connected(400, 0.08, 13).unwrap();
         let p = params(0.5, 4, 0.5);
-        let (_, trace) = build_spanner_traced(&g, &p);
+        let (_, trace) = build_spanner_impl(&g, &p);
         for t in &trace.phases {
             assert!(
                 t.superclustering_edges <= 400,
@@ -327,7 +323,7 @@ mod tests {
     fn path_graph_spanner_is_path() {
         let g = generators::path(15).unwrap();
         let p = params(0.5, 2, 0.5);
-        let s = build_spanner(&g, &p);
+        let s = build_spanner_impl(&g, &p).0;
         assert_eq!(s.num_edges(), 14); // the path itself
     }
 
@@ -337,7 +333,7 @@ mod tests {
         // eq. 39 hides a modest constant).
         let g = generators::gnp_connected(400, 0.1, 17).unwrap();
         let p = params(0.5, 4, 0.5);
-        let s = build_spanner(&g, &p);
+        let s = build_spanner_impl(&g, &p).0;
         assert!(
             (s.num_edges() as f64) <= 4.0 * p.size_bound(400),
             "{} vs bound {}",
@@ -350,7 +346,7 @@ mod tests {
     fn trace_partition_laminarity() {
         let g = generators::gnp_connected(300, 0.07, 19).unwrap();
         let p = params(0.5, 4, 0.5);
-        let (_, trace) = build_spanner_traced(&g, &p);
+        let (_, trace) = build_spanner_impl(&g, &p);
         // Each P_{i+1} cluster is a union of P_i clusters (Lemma 2.9).
         for i in 0..trace.partitions.len() - 1 {
             let prev = trace.partitions[i].vertex_to_cluster(300);

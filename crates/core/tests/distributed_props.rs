@@ -1,47 +1,56 @@
-//! Property tests: the distributed protocols agree with their centralized
-//! reference implementations on arbitrary random graphs.
+//! Property-style tests: the distributed protocols agree with their
+//! centralized reference implementations on a deterministic sweep of seeded
+//! random graphs (the repository is dependency-free, so no proptest — the
+//! sweep plays its role).
 
-use proptest::prelude::*;
 use usnae_congest::Simulator;
 use usnae_core::distributed::forest::BfsForest;
 use usnae_core::distributed::popular::PopularDetect;
 use usnae_core::distributed::supercluster::Supercluster;
 use usnae_graph::bfs::{bfs, multi_source_bfs};
+use usnae_graph::rng::Rng;
 use usnae_graph::{generators, Graph};
 
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (10usize..70, 1u64..300, 10u32..50).prop_map(|(n, seed, density)| {
-        generators::gnp_connected(n, density as f64 / 10.0 / n as f64, seed)
-            .expect("valid gnp parameters")
-    })
+/// A connected random graph on `10..70` vertices from the sweep seed.
+fn random_graph(seed: u64) -> Graph {
+    let mut rng = Rng::seed_from_u64(seed);
+    let n = rng.gen_range(10, 70);
+    let density = rng.gen_range(10, 50) as f64;
+    generators::gnp_connected(n, density / 10.0 / n as f64, seed).expect("valid gnp parameters")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    /// With a cap larger than n, PopularDetect is plain synchronized BFS:
-    /// every vertex knows every source within δ at the exact distance.
-    #[test]
-    fn uncapped_detection_is_bfs(g in arb_graph(), delta in 1u64..6, stride in 1usize..4) {
+/// With a cap larger than n, PopularDetect is plain synchronized BFS:
+/// every vertex knows every source within δ at the exact distance.
+#[test]
+fn uncapped_detection_is_bfs() {
+    for seed in 0..20u64 {
+        let g = random_graph(seed);
         let n = g.num_vertices();
+        let delta = 1 + seed % 5;
+        let stride = 1 + (seed as usize) % 3;
         let sources: Vec<usize> = (0..n).step_by(stride).collect();
         let mut sim = Simulator::new(&g);
         let mut det = PopularDetect::new(n, &sources, n + 1, delta);
         sim.run(&mut det, 1 << 30).unwrap();
         for &s in &sources {
             let exact = bfs(&g, s);
-            for v in 0..n {
-                let expect = exact[v].filter(|&d| d <= delta && v != s);
+            for (v, &dv) in exact.iter().enumerate() {
+                let expect = dv.filter(|&d| d <= delta && v != s);
                 let got = det.known(v).get(&s).copied().filter(|_| v != s);
-                prop_assert_eq!(got, expect, "vertex {} source {}", v, s);
+                assert_eq!(got, expect, "seed {seed} vertex {v} source {s}");
             }
         }
     }
+}
 
-    /// The distributed BFS forest equals the centralized multi-source BFS.
-    #[test]
-    fn forest_protocol_matches_reference(g in arb_graph(), depth in 1u64..10, stride in 2usize..6) {
+/// The distributed BFS forest equals the centralized multi-source BFS.
+#[test]
+fn forest_protocol_matches_reference() {
+    for seed in 0..20u64 {
+        let g = random_graph(seed + 100);
         let n = g.num_vertices();
+        let depth = 1 + seed % 9;
+        let stride = 2 + (seed as usize) % 4;
         let roots: Vec<usize> = (0..n).step_by(stride).collect();
         let mut sim = Simulator::new(&g);
         let mut forest = BfsForest::new(n, &roots, depth);
@@ -50,16 +59,21 @@ proptest! {
         for v in 0..n {
             let got = forest.slot(v).map(|s| (s.root, s.depth));
             let expect = reference.root[v].map(|r| (r, reference.dist[v]));
-            prop_assert_eq!(got, expect, "vertex {}", v);
+            assert_eq!(got, expect, "seed {seed} vertex {v}");
         }
     }
+}
 
-    /// Superclustering assigns every in-tree center exactly once, weights
-    /// are tree distances through the consumer, the assignment is mutually
-    /// known, and group sizes stay within the Fig. 7 window.
-    #[test]
-    fn supercluster_protocol_invariants(g in arb_graph(), cap in 1usize..6, depth in 2u64..8) {
+/// Superclustering assigns every in-tree center exactly once, weights are
+/// tree distances through the consumer, the assignment is mutually known,
+/// and group sizes stay within the Fig. 7 window.
+#[test]
+fn supercluster_protocol_invariants() {
+    for seed in 0..20u64 {
+        let g = random_graph(seed + 200);
         let n = g.num_vertices();
+        let cap = 1 + (seed as usize) % 5;
+        let depth = 2 + seed % 6;
         let roots = vec![0usize];
         let mut sim = Simulator::new(&g);
         let mut forest = BfsForest::new(n, &roots, depth);
@@ -70,20 +84,27 @@ proptest! {
         sim.run(&mut sc, 1 << 30).unwrap();
         let b = sc.hub_threshold();
         for &size in sc.group_sizes() {
-            prop_assert!(size >= b && size <= 3 * b, "group size {} vs b {}", size, b);
+            assert!(
+                size >= b && size <= 3 * b,
+                "seed {seed}: group size {size} vs b {b}"
+            );
         }
-        for v in 0..n {
-            if in_tree[v] {
-                let (r, w) = sc.joined(v)
-                    .ok_or_else(|| TestCaseError::fail(format!("vertex {v} unassigned")))?;
+        for (v, &in_t) in in_tree.iter().enumerate() {
+            if in_t {
+                let (r, w) = sc
+                    .joined(v)
+                    .unwrap_or_else(|| panic!("seed {seed}: vertex {v} unassigned"));
                 if r != v {
-                    prop_assert!(
+                    assert!(
                         sc.edges_at(r).contains(&(v, w)),
-                        "edge ({}, {}, {}) unknown at center", r, v, w
+                        "seed {seed}: edge ({r}, {v}, {w}) unknown at center"
                     );
                 }
             } else {
-                prop_assert!(sc.joined(v).is_none(), "off-tree vertex {} assigned", v);
+                assert!(
+                    sc.joined(v).is_none(),
+                    "seed {seed}: off-tree vertex {v} assigned"
+                );
             }
         }
     }

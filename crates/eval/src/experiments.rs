@@ -4,15 +4,17 @@
 //! reproduced result (size ratios ≤ 1 against `n^(1+1/κ)`, edges/n → 1 in
 //! the ultra-sparse regime, measured β far below certified β, our spanner
 //! sparser than EM19, zero knowledge violations distributedly, …).
+//!
+//! All constructions are reached through the unified API: one-off builds go
+//! through [`Emulator::builder`], and the lineage comparisons (E7/E8)
+//! iterate [`usnae_baselines::registry`] instead of hardcoding algorithm
+//! lists — registering a new [`Construction`](usnae_core::api::Construction)
+//! adds it to those tables with no experiment edits.
 
 use crate::table::{fmt_f64, Table};
 use crate::workloads::{congest_suite, standard_suite, Workload};
-use usnae_baselines::{em19, en17, ep01, tz06};
-use usnae_core::centralized::{build_emulator_traced, ProcessingOrder};
-use usnae_core::distributed::build_emulator_distributed;
-use usnae_core::fast_centralized::build_emulator_fast;
-use usnae_core::params::{CentralizedParams, DistributedParams, SpannerParams};
-use usnae_core::spanner::build_spanner;
+use usnae_baselines::registry;
+use usnae_core::api::{Algorithm, BuildConfig, Emulator, ProcessingOrder};
 use usnae_core::verify::{audit_stretch, is_subgraph_spanner};
 use usnae_graph::distance::sample_pairs;
 
@@ -33,16 +35,20 @@ pub fn e1_size(sizes: &[usize], kappas: &[u32], epsilon: f64, seed: u64) -> Tabl
         for w in standard_suite(n, seed) {
             let n_actual = w.graph.num_vertices();
             for &kappa in kappas {
-                let p = CentralizedParams::new(epsilon, kappa).expect("valid params");
-                let (h, _) = build_emulator_traced(&w.graph, &p, ProcessingOrder::ById);
-                let bound = p.size_bound(n_actual);
+                let out = Emulator::builder(&w.graph)
+                    .epsilon(epsilon)
+                    .kappa(kappa)
+                    .algorithm(Algorithm::Centralized)
+                    .build()
+                    .expect("valid params");
+                let bound = out.size_bound.expect("centralized build is bounded");
                 t.push_row(vec![
                     w.name.into(),
                     n_actual.to_string(),
                     kappa.to_string(),
-                    h.num_edges().to_string(),
+                    out.num_edges().to_string(),
                     fmt_f64(bound),
-                    fmt_f64(h.num_edges() as f64 / bound),
+                    fmt_f64(out.num_edges() as f64 / bound),
                 ]);
             }
         }
@@ -68,15 +74,18 @@ pub fn e2_ultra_sparse(sizes: &[usize], epsilon: f64, seed: u64) -> Table {
         for w in standard_suite(n, seed) {
             let n_actual = w.graph.num_vertices();
             let kappa = ultra_sparse_kappa(n_actual);
-            let p = CentralizedParams::new(epsilon, kappa).expect("valid params");
-            let (h, _) = build_emulator_traced(&w.graph, &p, ProcessingOrder::ById);
+            let out = Emulator::builder(&w.graph)
+                .epsilon(epsilon)
+                .kappa(kappa)
+                .build()
+                .expect("valid params");
             t.push_row(vec![
                 w.name.into(),
                 n_actual.to_string(),
                 kappa.to_string(),
-                h.num_edges().to_string(),
-                fmt_f64(h.num_edges() as f64 / n_actual as f64),
-                fmt_f64(p.size_bound(n_actual) / n_actual as f64),
+                out.num_edges().to_string(),
+                fmt_f64(out.num_edges() as f64 / n_actual as f64),
+                fmt_f64(out.size_bound.expect("bounded") / n_actual as f64),
             ]);
         }
     }
@@ -105,17 +114,28 @@ pub fn e3_stretch(n: usize, kappas: &[u32], epsilons: &[f64], pairs: usize, seed
         let sampled = sample_pairs(&w.graph, pairs, seed + 17);
         for &kappa in kappas {
             for &eps in epsilons {
-                let p = CentralizedParams::new(eps, kappa).expect("valid params");
-                let (alpha, beta) = p.certified_stretch();
-                let (h, _) = build_emulator_traced(&w.graph, &p, ProcessingOrder::ById);
-                let report = audit_stretch(&w.graph, h.graph(), alpha, beta, &sampled);
+                let out = Emulator::builder(&w.graph)
+                    .epsilon(eps)
+                    .kappa(kappa)
+                    .build()
+                    .expect("valid params");
+                let (alpha, beta) = out.certified.expect("centralized certifies");
+                let closed_form = BuildConfig {
+                    epsilon: eps,
+                    kappa,
+                    ..BuildConfig::default()
+                }
+                .centralized_params()
+                .expect("valid params")
+                .beta_closed_form();
+                let report = audit_stretch(&w.graph, out.emulator.graph(), alpha, beta, &sampled);
                 t.push_row(vec![
                     w.name.into(),
                     kappa.to_string(),
                     fmt_f64(eps),
                     fmt_f64(alpha),
                     fmt_f64(beta),
-                    fmt_f64(p.beta_closed_form()),
+                    fmt_f64(closed_form),
                     fmt_f64(report.max_ratio),
                     fmt_f64(report.needed_beta),
                     (report.violations + report.shortening_violations + report.unreachable_pairs)
@@ -164,20 +184,33 @@ pub fn e4_congest(
             kappa
         };
         for &rho in rhos {
-            let Ok(p) = DistributedParams::new(epsilon, kappa, rho) else {
+            let cfg = BuildConfig {
+                epsilon,
+                kappa,
+                rho,
+                ..BuildConfig::default()
+            };
+            // Skip only parameter incompatibilities (rho vs kappa); a
+            // CongestError from the build is a protocol bug and must panic.
+            let Ok(params) = cfg.distributed_params() else {
                 continue;
             };
-            let build = build_emulator_distributed(&w.graph, &p).expect("protocol completes");
+            let out = Algorithm::Distributed
+                .construction()
+                .build(&w.graph, &cfg)
+                .expect("protocol completes");
+            let budget = params.round_budget(n_actual);
+            let stats = out.congest.as_ref().expect("distributed builds report");
             t.push_row(vec![
                 w.name.into(),
                 kappa.to_string(),
                 fmt_f64(rho),
-                build.metrics.rounds.to_string(),
-                fmt_f64(p.round_budget(n_actual)),
-                build.metrics.messages.to_string(),
-                build.emulator.num_edges().to_string(),
-                fmt_f64(p.size_bound(n_actual)),
-                build.knowledge_violations.to_string(),
+                stats.metrics.rounds.to_string(),
+                fmt_f64(budget),
+                stats.metrics.messages.to_string(),
+                out.num_edges().to_string(),
+                fmt_f64(out.size_bound.expect("bounded")),
+                stats.knowledge_violations.to_string(),
             ]);
         }
     }
@@ -200,20 +233,28 @@ pub fn e7_spanner(sizes: &[usize], kappas: &[u32], epsilon: f64, rho: f64, seed:
             "subgraph",
         ],
     );
+    let em19 = registry::find("em19").expect("baseline registered");
     for &n in sizes {
         for w in standard_suite(n, seed) {
             let n_actual = w.graph.num_vertices();
             for &kappa in kappas {
                 // Raw-ε mode: the rescaled ε collapses all phase structure
                 // at simulable sizes (δ_1 > diameter); see params docs.
-                let Ok(ps) = SpannerParams::with_raw_epsilon(epsilon, kappa, rho) else {
-                    continue;
+                let cfg = BuildConfig {
+                    epsilon,
+                    kappa,
+                    rho,
+                    raw_epsilon: true,
+                    ..BuildConfig::default()
                 };
-                let Ok(pd) = DistributedParams::with_raw_epsilon(epsilon, kappa, rho) else {
-                    continue;
-                };
-                let ours = build_spanner(&w.graph, &ps);
-                let theirs = em19::build_em19_spanner(&w.graph, &pd);
+                if cfg.spanner_params().is_err() || cfg.distributed_params().is_err() {
+                    continue; // kappa/rho combination out of range
+                }
+                let ours = Algorithm::Spanner
+                    .construction()
+                    .build(&w.graph, &cfg)
+                    .expect("validated above");
+                let theirs = em19.build(&w.graph, &cfg).expect("validated above");
                 t.push_row(vec![
                     w.name.into(),
                     n_actual.to_string(),
@@ -222,7 +263,7 @@ pub fn e7_spanner(sizes: &[usize], kappas: &[u32], epsilon: f64, rho: f64, seed:
                     theirs.num_edges().to_string(),
                     fmt_f64(theirs.num_edges() as f64 / ours.num_edges().max(1) as f64),
                     w.graph.num_edges().to_string(),
-                    is_subgraph_spanner(&w.graph, ours.graph()).to_string(),
+                    is_subgraph_spanner(&w.graph, ours.emulator.graph()).to_string(),
                 ]);
             }
         }
@@ -230,42 +271,42 @@ pub fn e7_spanner(sizes: &[usize], kappas: &[u32], epsilon: f64, rho: f64, seed:
     t
 }
 
-/// E8 — emulator lineage comparison (§1.1): our construction vs EP01, TZ06
-/// and EN17a at equal (ε, κ).
+/// E8 — emulator lineage comparison (§1.1): every *emulator* construction
+/// in the registry (paper and baseline alike) at equal (ε, κ), one row per
+/// (family, κ, algorithm). Registering a new construction adds its rows
+/// automatically.
 pub fn e8_baselines(n: usize, kappas: &[u32], epsilon: f64, seed: u64) -> Table {
     let mut t = Table::new(
-        "E8: emulator sizes, ours vs EP01 / TZ06 / EN17a",
-        &[
-            "family",
-            "kappa",
-            "ours",
-            "fast_centralized",
-            "ep01",
-            "tz06",
-            "en17a",
-            "bound",
-        ],
+        "E8: emulator sizes across the whole registry at equal (eps, kappa)",
+        &["family", "kappa", "algo", "edges", "bound"],
     );
+    // The CONGEST emulator is excluded on cost grounds only (it rebuilds
+    // the same structure as fast-centralized through the simulator).
+    let lineup: Vec<_> = registry::emulators()
+        .into_iter()
+        .filter(|c| !c.supports().congest)
+        .collect();
     for w in standard_suite(n, seed) {
-        let n_actual = w.graph.num_vertices();
         for &kappa in kappas {
-            let p = CentralizedParams::with_raw_epsilon(epsilon, kappa).expect("valid params");
-            let (ours, _) = build_emulator_traced(&w.graph, &p, ProcessingOrder::ById);
-            let fast = DistributedParams::with_raw_epsilon(epsilon, kappa, 0.5)
-                .map(|pd| build_emulator_fast(&w.graph, &pd).num_edges());
-            let ep = ep01::build_ep01_emulator(&w.graph, &p);
-            let tz = tz06::build_tz06_emulator(&w.graph, kappa, seed + 23);
-            let en = en17::build_en17_emulator(&w.graph, &p, seed + 29);
-            t.push_row(vec![
-                w.name.into(),
-                kappa.to_string(),
-                ours.num_edges().to_string(),
-                fast.map_or("-".into(), |e| e.to_string()),
-                ep.num_edges().to_string(),
-                tz.num_edges().to_string(),
-                en.num_edges().to_string(),
-                fmt_f64(p.size_bound(n_actual)),
-            ]);
+            let cfg = BuildConfig {
+                epsilon,
+                kappa,
+                raw_epsilon: true,
+                seed: seed + 23,
+                ..BuildConfig::default()
+            };
+            for c in &lineup {
+                let Ok(out) = c.build(&w.graph, &cfg) else {
+                    continue; // parameters out of range for this lineage
+                };
+                t.push_row(vec![
+                    w.name.into(),
+                    kappa.to_string(),
+                    c.name().into(),
+                    out.num_edges().to_string(),
+                    out.size_bound.map_or_else(|| "-".into(), fmt_f64),
+                ]);
+            }
         }
     }
     t
@@ -288,7 +329,6 @@ pub fn anatomy(workloads: &[Workload], kappa: u32, epsilon: f64) -> Table {
             "buffer_joins",
         ],
     );
-    let p = CentralizedParams::with_raw_epsilon(epsilon, kappa).expect("valid params");
     for w in workloads {
         for (order, name) in [
             (ProcessingOrder::ById, "by-id"),
@@ -296,8 +336,16 @@ pub fn anatomy(workloads: &[Workload], kappa: u32, epsilon: f64) -> Table {
             (ProcessingOrder::ByDegreeDesc, "hubs-first"),
             (ProcessingOrder::ByDegreeAsc, "hubs-last"),
         ] {
-            let (_, trace) = build_emulator_traced(&w.graph, &p, order);
-            for ph in &trace.phases {
+            let out = Emulator::builder(&w.graph)
+                .epsilon(epsilon)
+                .kappa(kappa)
+                .raw_epsilon(true)
+                .order(order)
+                .traced(true)
+                .build()
+                .expect("valid params");
+            let trace = out.trace.expect("traced build");
+            for ph in trace.phase_summaries() {
                 t.push_row(vec![
                     w.name.into(),
                     name.into(),
@@ -375,11 +423,18 @@ mod tests {
     }
 
     #[test]
-    fn e8_produces_all_columns() {
+    fn e8_covers_every_noncongesting_emulator_lineage() {
         let t = e8_baselines(100, &[4], 0.5, 13);
-        assert!(t.num_rows() >= 5);
-        assert!(!t.column_f64("ours").is_empty());
-        assert!(!t.column_f64("tz06").is_empty());
+        let algos: std::collections::HashSet<String> = {
+            let col = t.column("algo").unwrap();
+            (0..t.num_rows())
+                .filter_map(|i| t.cell(i, col).map(str::to_string))
+                .collect()
+        };
+        for expected in ["centralized", "fast-centralized", "ep01", "tz06", "en17a"] {
+            assert!(algos.contains(expected), "missing {expected}: {algos:?}");
+        }
+        assert!(!algos.contains("distributed"), "congest lineage excluded");
     }
 
     #[test]

@@ -123,13 +123,44 @@ pub fn segment_audit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use usnae_core::centralized::{build_emulator_traced, ProcessingOrder};
+    use usnae_core::api::{Emulator as ApiEmulator, ProcessingOrder};
     use usnae_graph::distance::sample_pairs;
     use usnae_graph::generators;
 
+    /// Traced centralized build through the unified API, unpacked into the
+    /// pieces this audit consumes.
+    fn traced_build(
+        g: &Graph,
+        eps: f64,
+        kappa: u32,
+        raw: bool,
+        order: ProcessingOrder,
+    ) -> (Emulator, BuildTrace, CentralizedParams) {
+        let out = ApiEmulator::builder(g)
+            .epsilon(eps)
+            .kappa(kappa)
+            .raw_epsilon(raw)
+            .order(order)
+            .traced(true)
+            .build()
+            .unwrap();
+        let trace = out
+            .trace
+            .unwrap()
+            .as_centralized()
+            .expect("centralized build")
+            .clone();
+        let params = if raw {
+            CentralizedParams::with_raw_epsilon(eps, kappa)
+        } else {
+            CentralizedParams::new(eps, kappa)
+        }
+        .unwrap();
+        (out.emulator, trace, params)
+    }
+
     fn audit(g: &Graph, eps: f64, kappa: u32, pairs: usize) -> SegmentAuditReport {
-        let p = CentralizedParams::with_raw_epsilon(eps, kappa).unwrap();
-        let (h, trace) = build_emulator_traced(g, &p, ProcessingOrder::ById);
+        let (h, trace, p) = traced_build(g, eps, kappa, true, ProcessingOrder::ById);
         let sampled = sample_pairs(g, pairs, 7);
         segment_audit(g, &h, &trace, &p, &sampled)
     }
@@ -137,8 +168,7 @@ mod tests {
     #[test]
     fn levels_cover_all_vertices_once() {
         let g = generators::gnp_connected(150, 0.06, 3).unwrap();
-        let p = CentralizedParams::new(0.5, 4).unwrap();
-        let (_, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+        let (_, trace, p) = traced_build(&g, 0.5, 4, false, ProcessingOrder::ById);
         let levels = vertex_levels(&trace, 150);
         assert_eq!(levels.len(), 150);
         assert!(levels.iter().all(|&l| l <= p.ell()));
@@ -173,8 +203,7 @@ mod tests {
         // Cliques supercluster in phase 0 under hubs-first ordering; the
         // inter-clique structure resolves at level ≥ 1.
         let g = generators::caveman(24, 8).unwrap();
-        let p = CentralizedParams::with_raw_epsilon(0.5, 8).unwrap();
-        let (h, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ByDegreeDesc);
+        let (h, trace, p) = traced_build(&g, 0.5, 8, true, ProcessingOrder::ByDegreeDesc);
         let sampled = sample_pairs(&g, 250, 11);
         let report = segment_audit(&g, &h, &trace, &p, &sampled);
         assert!(report.passed(), "{report:?}");

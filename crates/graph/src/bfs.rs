@@ -170,8 +170,8 @@ mod tests {
     fn bfs_on_path() {
         let g = path_graph(6);
         let d = bfs(&g, 0);
-        for v in 0..6 {
-            assert_eq!(d[v], Some(v as Dist));
+        for (v, &dist) in d.iter().enumerate() {
+            assert_eq!(dist, Some(v as Dist));
         }
     }
 

@@ -6,9 +6,8 @@
 
 use crate::bfs::bfs;
 use crate::graph::{Graph, VertexId};
+use crate::rng::Rng;
 use crate::Dist;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// All-pairs shortest paths by repeated BFS. O(n·(n + m)); intended for
 /// verification on small graphs only.
@@ -66,12 +65,12 @@ pub fn sample_pairs(g: &Graph, count: usize, seed: u64) -> Vec<(VertexId, Vertex
         }
         return all;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut seen = std::collections::HashSet::with_capacity(count);
     let mut pairs = Vec::with_capacity(count);
     while pairs.len() < count {
-        let u = rng.gen_range(0..n);
-        let v = rng.gen_range(0..n);
+        let u = rng.gen_range(0, n);
+        let v = rng.gen_range(0, n);
         if u == v {
             continue;
         }

@@ -17,9 +17,7 @@
 
 use crate::error::GraphError;
 use crate::graph::{Graph, GraphBuilder};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 fn require(ok: bool, reason: &str) -> Result<(), GraphError> {
     if ok {
@@ -179,7 +177,7 @@ pub fn circulant(n: usize, strides: &[usize]) -> Result<Graph, GraphError> {
 pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
     require(n > 0, "gnp requires n >= 1")?;
     require((0.0..=1.0).contains(&p), "gnp requires p in [0, 1]")?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     if p >= 1.0 {
         return complete_graph(n);
@@ -190,7 +188,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
         let mut v: usize = 1;
         let mut w: i64 = -1;
         while v < n {
-            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let r: f64 = rng.gen_f64_range(f64::EPSILON, 1.0);
             w += 1 + (r.ln() / log_q).floor() as i64;
             while w >= v as i64 && v < n {
                 w -= v as i64;
@@ -222,10 +220,10 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
         (n * d).is_multiple_of(2),
         "random regular requires n * d even",
     )?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     'attempt: for _ in 0..200 {
         let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
-        stubs.shuffle(&mut rng);
+        rng.shuffle(&mut stubs);
         let mut b = GraphBuilder::new(n);
         let mut seen = std::collections::HashSet::new();
         for pair in stubs.chunks(2) {
@@ -248,7 +246,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
     require(m >= 1, "barabasi-albert requires m >= 1")?;
     require(n > m, "barabasi-albert requires n > m")?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     // Repeated-endpoint list: sampling uniformly from it is degree-proportional.
     let mut endpoint_pool: Vec<usize> = Vec::new();
@@ -262,7 +260,7 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<Graph, GraphErro
     for v in (m + 1)..n {
         let mut targets = std::collections::HashSet::new();
         while targets.len() < m {
-            let t = *endpoint_pool.choose(&mut rng).expect("pool nonempty");
+            let t = *rng.choose(&endpoint_pool).expect("pool nonempty");
             targets.insert(t);
         }
         for &t in &targets {
@@ -287,7 +285,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph,
         (0.0..=1.0).contains(&beta),
         "watts-strogatz requires beta in [0, 1]",
     )?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut edges: Vec<(usize, usize)> = Vec::new();
     for v in 0..n {
         for j in 1..=(k / 2) {
@@ -299,13 +297,12 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph,
         .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
         .collect();
     let mut b = GraphBuilder::new(n);
-    for i in 0..edges.len() {
-        let (u, v) = edges[i];
+    for &(u, v) in &edges {
         let canon = if u < v { (u, v) } else { (v, u) };
         if rng.gen_bool(beta) {
             // Try to rewire (u, v) -> (u, w).
             for _ in 0..32 {
-                let w = rng.gen_range(0..n);
+                let w = rng.gen_range(0, n);
                 let cand = if u < w { (u, w) } else { (w, u) };
                 if w != u && !present.contains(&cand) {
                     present.remove(&canon);

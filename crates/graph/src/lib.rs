@@ -38,6 +38,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod metrics;
+pub mod rng;
 pub mod union_find;
 pub mod weighted;
 

@@ -1,0 +1,186 @@
+//! Small deterministic PRNG for the randomized generators and samplers.
+//!
+//! The repository is dependency-free, so instead of the `rand` crate the
+//! randomized pieces (G(n,p), configuration-model regular graphs, preferential
+//! attachment, pair sampling, the randomized baselines) share this
+//! xoshiro256++ generator seeded through SplitMix64 — the standard
+//! construction recommended by the xoshiro authors. Streams are fully
+//! determined by the `u64` seed, so every experiment stays reproducible.
+
+/// A seeded xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn gen_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.gen_f64() * (hi - lo)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform `usize` in `[0, bound)`. Uses Lemire-style rejection to avoid
+    /// modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound == 0`.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_index bound must be positive");
+        let bound = bound as u64;
+        // Rejection zone below 2^64 mod bound keeps the draw unbiased.
+        let zone = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= zone {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi`.
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "gen_range requires lo < hi");
+        lo + self.gen_index(hi - lo)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, or `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_index(slice.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_within_bounds_and_covers() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = rng.gen_range(0, 10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Rng::seed_from_u64(5);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        // Out-of-range probabilities are clamped, not a panic.
+        assert!(rng.gen_bool(2.0));
+        assert!(!rng.gen_bool(-1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_and_singleton() {
+        let mut rng = Rng::seed_from_u64(13);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        assert_eq!(rng.choose(&[9]), Some(&9));
+    }
+
+    #[test]
+    fn rough_uniformity_of_bernoulli() {
+        let mut rng = Rng::seed_from_u64(17);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2600..3400).contains(&hits), "hits = {hits}");
+    }
+}

@@ -1,106 +1,121 @@
-//! Property-based tests for the graph substrate.
+//! Property-style tests for the graph substrate: the invariants are checked
+//! over a deterministic sweep of seeded random instances (the repository is
+//! dependency-free, so no proptest — the sweep plays its role).
 
-use proptest::prelude::*;
 use usnae_graph::bfs::{bfs, bfs_bounded, multi_source_bfs};
 use usnae_graph::connectivity::{components, connect_components, is_connected};
 use usnae_graph::dijkstra::{dijkstra, distance};
+use usnae_graph::rng::Rng;
 use usnae_graph::union_find::UnionFind;
 use usnae_graph::{generators, Graph, GraphBuilder, WeightedGraph};
 
-fn arb_edge_list() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (2usize..60).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n, 0..n), 0..200);
-        (Just(n), edges)
-    })
-}
-
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    arb_edge_list().prop_map(|(n, edges)| {
-        let mut b = GraphBuilder::new(n);
-        for (u, v) in edges {
-            if u != v {
-                b.add_edge(u, v).expect("in-range");
-            }
+/// A random loop-free graph on `2..60` vertices from the sweep seed.
+fn random_graph(seed: u64) -> Graph {
+    let mut rng = Rng::seed_from_u64(seed);
+    let n = rng.gen_range(2, 60);
+    let m = rng.gen_range(0, 200);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0, n);
+        let v = rng.gen_range(0, n);
+        if u != v {
+            b.add_edge(u, v).expect("in-range");
         }
-        b.build()
-    })
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// CSR construction: symmetric, sorted, loop-free, deduplicated.
-    #[test]
-    fn csr_invariants(g in arb_graph()) {
+/// CSR construction: symmetric, sorted, loop-free, deduplicated.
+#[test]
+fn csr_invariants() {
+    for seed in 0..CASES {
+        let g = random_graph(seed);
         let mut undirected = 0usize;
         for u in g.vertices() {
             let nbrs = g.neighbors(u);
-            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted & deduped");
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "sorted & deduped");
             for &v in nbrs {
-                prop_assert_ne!(u, v, "no loops");
-                prop_assert!(g.has_edge(v, u), "symmetry");
+                assert_ne!(u, v, "no loops");
+                assert!(g.has_edge(v, u), "symmetry");
                 undirected += 1;
             }
         }
-        prop_assert_eq!(undirected, 2 * g.num_edges());
-        prop_assert_eq!(g.num_directed_edges(), undirected);
+        assert_eq!(undirected, 2 * g.num_edges(), "seed {seed}");
+        assert_eq!(g.num_directed_edges(), undirected);
     }
+}
 
-    /// BFS satisfies the triangle property along edges and matches the
-    /// layered definition of hop distance.
-    #[test]
-    fn bfs_is_a_metric_tree(g in arb_graph()) {
+/// BFS satisfies the triangle property along edges and matches the layered
+/// definition of hop distance.
+#[test]
+fn bfs_is_a_metric_tree() {
+    for seed in 0..CASES {
+        let g = random_graph(seed);
         let d = bfs(&g, 0);
         for (u, v) in g.edges() {
             match (d[u], d[v]) {
                 (Some(a), Some(b)) => {
-                    prop_assert!(a.abs_diff(b) <= 1, "edge ({u},{v}): {a} vs {b}");
+                    assert!(a.abs_diff(b) <= 1, "seed {seed} edge ({u},{v}): {a} vs {b}");
                 }
                 (None, None) => {}
-                _ => prop_assert!(false, "edge spans reachable/unreachable"),
+                _ => panic!("seed {seed}: edge spans reachable/unreachable"),
             }
         }
         // Every reachable non-source vertex has a predecessor one layer up.
         for v in g.vertices() {
             if let Some(dv) = d[v] {
                 if dv > 0 {
-                    prop_assert!(g.neighbors(v).iter().any(|&u| d[u] == Some(dv - 1)));
+                    assert!(g.neighbors(v).iter().any(|&u| d[u] == Some(dv - 1)));
                 }
             }
         }
     }
+}
 
-    /// Dijkstra on a unit-weight mirror equals BFS.
-    #[test]
-    fn dijkstra_equals_bfs_on_unit_weights(g in arb_graph()) {
+/// Dijkstra on a unit-weight mirror equals BFS.
+#[test]
+fn dijkstra_equals_bfs_on_unit_weights() {
+    for seed in 0..CASES {
+        let g = random_graph(seed);
         let h = WeightedGraph::from_unit_graph(&g);
-        let db = bfs(&g, 0);
-        let dd = dijkstra(&h, 0);
-        prop_assert_eq!(db, dd);
+        assert_eq!(bfs(&g, 0), dijkstra(&h, 0), "seed {seed}");
     }
+}
 
-    /// Point-to-point Dijkstra agrees with the full run.
-    #[test]
-    fn point_to_point_consistency(g in arb_graph(), t_pick in 0usize..60) {
+/// Point-to-point Dijkstra agrees with the full run.
+#[test]
+fn point_to_point_consistency() {
+    for seed in 0..CASES {
+        let g = random_graph(seed);
         let h = WeightedGraph::from_unit_graph(&g);
-        let t = t_pick % g.num_vertices();
-        prop_assert_eq!(distance(&h, 0, t), dijkstra(&h, 0)[t]);
+        let t = (seed as usize * 7) % g.num_vertices();
+        assert_eq!(distance(&h, 0, t), dijkstra(&h, 0)[t], "seed {seed}");
     }
+}
 
-    /// Bounded BFS is BFS filtered by depth.
-    #[test]
-    fn bounded_bfs_is_filtered_bfs(g in arb_graph(), depth in 0u64..8) {
+/// Bounded BFS is BFS filtered by depth.
+#[test]
+fn bounded_bfs_is_filtered_bfs() {
+    for seed in 0..CASES {
+        let g = random_graph(seed);
         let full = bfs(&g, 0);
-        let bounded = bfs_bounded(&g, 0, depth);
-        for v in g.vertices() {
-            let expect = full[v].filter(|&d| d <= depth);
-            prop_assert_eq!(bounded[v], expect, "vertex {}", v);
+        for depth in 0u64..8 {
+            let bounded = bfs_bounded(&g, 0, depth);
+            for v in g.vertices() {
+                let expect = full[v].filter(|&d| d <= depth);
+                assert_eq!(bounded[v], expect, "seed {seed} depth {depth} vertex {v}");
+            }
         }
     }
+}
 
-    /// Multi-source BFS returns the minimum over per-source BFS runs.
-    #[test]
-    fn multi_source_is_min_over_sources(g in arb_graph()) {
+/// Multi-source BFS returns the minimum over per-source BFS runs.
+#[test]
+fn multi_source_is_min_over_sources() {
+    for seed in 0..CASES {
+        let g = random_graph(seed);
         let n = g.num_vertices();
         let sources: Vec<usize> = (0..n).step_by(3).collect();
         let f = multi_source_bfs(&g, &sources, u64::MAX);
@@ -108,63 +123,76 @@ proptest! {
         for v in 0..n {
             let best = per.iter().filter_map(|d| d[v]).min();
             let got = f.root[v].map(|_| f.dist[v]);
-            prop_assert_eq!(got, best, "vertex {}", v);
+            assert_eq!(got, best, "seed {seed} vertex {v}");
         }
     }
+}
 
-    /// Components agree with BFS reachability and patching connects.
-    #[test]
-    fn components_match_reachability(g in arb_graph()) {
+/// Components agree with BFS reachability and patching connects.
+#[test]
+fn components_match_reachability() {
+    for seed in 0..CASES {
+        let g = random_graph(seed);
         let comps = components(&g);
         let d = bfs(&g, 0);
         for v in g.vertices() {
-            prop_assert_eq!(comps.same(0, v), d[v].is_some(), "vertex {}", v);
+            assert_eq!(comps.same(0, v), d[v].is_some(), "seed {seed} vertex {v}");
         }
         let patched = connect_components(&g);
-        prop_assert!(is_connected(&patched));
-        prop_assert!(patched.num_edges() < g.num_edges() + comps.count);
+        assert!(is_connected(&patched));
+        assert!(patched.num_edges() < g.num_edges() + comps.count);
     }
+}
 
-    /// Union-find agrees with graph components when fed the same edges.
-    #[test]
-    fn union_find_matches_components(g in arb_graph()) {
+/// Union-find agrees with graph components when fed the same edges.
+#[test]
+fn union_find_matches_components() {
+    for seed in 0..CASES {
+        let g = random_graph(seed);
         let mut uf = UnionFind::new(g.num_vertices());
         for (u, v) in g.edges() {
             uf.union(u, v);
         }
         let comps = components(&g);
-        prop_assert_eq!(uf.num_sets(), comps.count);
+        assert_eq!(uf.num_sets(), comps.count, "seed {seed}");
         for (u, v) in g.edges() {
-            prop_assert!(uf.connected(u, v));
+            assert!(uf.connected(u, v));
         }
     }
+}
 
-    /// Generator contracts: sizes, degrees, determinism.
-    #[test]
-    fn generator_contracts(n in 4usize..80, seed in 0u64..100) {
+/// Generator contracts: sizes, degrees, determinism.
+#[test]
+fn generator_contracts() {
+    for seed in 0..32u64 {
+        let n = 4 + (seed as usize * 3) % 76;
         let gnp = generators::gnp(n, 0.1, seed).unwrap();
-        prop_assert_eq!(gnp, generators::gnp(n, 0.1, seed).unwrap());
+        assert_eq!(gnp, generators::gnp(n, 0.1, seed).unwrap());
 
         let star = generators::star(n).unwrap();
-        prop_assert_eq!(star.degree(0), n - 1);
+        assert_eq!(star.degree(0), n - 1);
 
         let cycle = generators::cycle(n.max(3)).unwrap();
-        prop_assert!(cycle.vertices().all(|v| cycle.degree(v) == 2));
+        assert!(cycle.vertices().all(|v| cycle.degree(v) == 2));
 
-        if n % 2 == 0 && n > 4 {
+        if n.is_multiple_of(2) && n > 4 {
             let rr = generators::random_regular(n, 3, seed).unwrap();
-            prop_assert!(rr.vertices().all(|v| rr.degree(v) == 3));
+            assert!(rr.vertices().all(|v| rr.degree(v) == 3));
         }
     }
+}
 
-    /// Weighted graph keeps minimum parallel weight and symmetric access.
-    #[test]
-    fn weighted_graph_min_weight(
-        edges in proptest::collection::vec((0usize..20, 0usize..20, 1u64..100), 1..100)
-    ) {
+/// Weighted graph keeps minimum parallel weight and symmetric access.
+#[test]
+fn weighted_graph_min_weight() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
         let mut h = WeightedGraph::new(20);
         let mut best = std::collections::HashMap::new();
-        for (u, v, w) in edges {
+        for _ in 0..rng.gen_range(1, 100) {
+            let u = rng.gen_range(0, 20);
+            let v = rng.gen_range(0, 20);
+            let w = rng.gen_range(1, 100) as u64;
             if u == v {
                 continue;
             }
@@ -173,10 +201,10 @@ proptest! {
             let e = best.entry(key).or_insert(w);
             *e = (*e).min(w);
         }
-        prop_assert_eq!(h.num_edges(), best.len());
+        assert_eq!(h.num_edges(), best.len(), "seed {seed}");
         for ((u, v), w) in best {
-            prop_assert_eq!(h.weight(u, v), Some(w));
-            prop_assert_eq!(h.weight(v, u), Some(w));
+            assert_eq!(h.weight(u, v), Some(w));
+            assert_eq!(h.weight(v, u), Some(w));
         }
     }
 }

@@ -6,30 +6,29 @@
 //! cargo run --release --example distributed_emulator
 //! ```
 
-use usnae::core::distributed::build_emulator_distributed;
-use usnae::core::params::DistributedParams;
+use usnae::api::{Algorithm, Emulator};
 use usnae::graph::generators;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 256;
     let g = generators::gnp_connected(n, 8.0 / n as f64, 11)?;
-    let params = DistributedParams::new(0.5, 4, 0.5)?;
-    println!(
-        "graph: n={n}, |E|={}; parameters kappa={}, rho={}, ell={}",
-        g.num_edges(),
-        params.kappa(),
-        params.rho(),
-        params.ell()
-    );
+    println!("graph: n={n}, |E|={}; kappa=4, rho=0.5", g.num_edges());
 
-    let build = build_emulator_distributed(&g, &params)?;
+    let out = Emulator::builder(&g)
+        .epsilon(0.5)
+        .kappa(4)
+        .rho(0.5)
+        .algorithm(Algorithm::Distributed)
+        .traced(true)
+        .build()?;
 
     println!("\nper-phase execution:");
     println!(
         "{:>5} {:>9} {:>8} {:>8} {:>7} {:>7} {:>6} {:>9}",
         "phase", "clusters", "popular", "rulers", "scs", "hubs", "U_i", "rounds"
     );
-    for t in &build.phases {
+    let trace = out.trace.as_ref().expect("traced build");
+    for t in trace.as_distributed().expect("distributed trace") {
         println!(
             "{:>5} {:>9} {:>8} {:>8} {:>7} {:>7} {:>6} {:>9}",
             t.phase,
@@ -43,22 +42,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let m = &build.metrics;
+    let stats = out.congest.as_ref().expect("CONGEST build reports metrics");
+    let m = &stats.metrics;
     println!(
         "\ntotals: {} rounds ({} charged), {} messages, {} words, peak in-flight {}",
         m.rounds, m.charged_rounds, m.messages, m.words, m.peak_in_flight
     );
     println!(
         "emulator: {} edges (bound {:.0})",
-        build.emulator.num_edges(),
-        params.size_bound(n)
+        out.num_edges(),
+        out.size_bound.expect("bounded")
     );
     println!(
         "edge-knowledge cross-checks: {} checked, {} violations (must be 0)",
-        build.knowledge_checked, build.knowledge_violations
+        stats.knowledge_checked, stats.knowledge_violations
     );
-    assert_eq!(build.knowledge_violations, 0);
-    assert!(build.emulator.num_edges() as f64 <= params.size_bound(n));
+    assert_eq!(stats.knowledge_violations, 0);
+    assert!(out.num_edges() as f64 <= out.size_bound.unwrap());
     println!("\nevery emulator edge is known to both of its endpoints.");
     Ok(())
 }

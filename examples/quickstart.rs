@@ -1,12 +1,11 @@
-//! Quickstart: build an ultra-sparse near-additive emulator and use it for
-//! approximate distance queries.
+//! Quickstart: build an ultra-sparse near-additive emulator through the
+//! unified builder API and use it for approximate distance queries.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use usnae::core::centralized::build_emulator;
-use usnae::core::params::CentralizedParams;
+use usnae::api::{Algorithm, Emulator};
 use usnae::graph::distance::{exact_pair_distances, sample_pairs};
 use usnae::graph::generators;
 
@@ -21,20 +20,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.num_edges()
     );
 
-    // (1+ε, β)-emulator with at most n^(1+1/κ) edges (Corollary 2.14).
-    let params = CentralizedParams::new(0.5, 4)?;
-    let (alpha, beta) = params.certified_stretch();
-    let emulator = build_emulator(&g, &params);
+    // (1+ε, β)-emulator with at most n^(1+1/κ) edges (Corollary 2.14):
+    // one fluent chain does parameter validation, construction, and
+    // stretch certification.
+    let out = Emulator::builder(&g)
+        .epsilon(0.5)
+        .kappa(4)
+        .algorithm(Algorithm::Centralized)
+        .build()?;
+    let (alpha, beta) = out.certified.expect("paper constructions certify");
     println!(
         "emulator: {} edges (bound {:.0}); certified stretch d_H <= {:.3}*d_G + {:.0}",
-        emulator.num_edges(),
-        params.size_bound(n),
+        out.num_edges(),
+        out.size_bound.expect("bounded"),
         alpha,
         beta,
     );
 
     // Query approximate distances on the (much sparser) emulator and
     // compare with exact BFS distances on G.
+    let emulator = &out.emulator;
     let pairs = sample_pairs(&g, 5, 99);
     let exact = exact_pair_distances(&g, &pairs);
     println!("\n{:>8} {:>8} {:>8} {:>8}", "u", "v", "d_G", "d_H");

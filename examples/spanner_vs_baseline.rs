@@ -1,5 +1,6 @@
 //! The §4 near-additive spanner vs the EM19 baseline it improves
-//! (Corollary 4.4: `O(n^(1+1/κ))` edges instead of `O(β·n^(1+1/κ))`).
+//! (Corollary 4.4: `O(n^(1+1/κ))` edges instead of `O(β·n^(1+1/κ))`),
+//! both dispatched through the algorithm registry.
 //!
 //! Both outputs are *subgraphs* of `G` — usable wherever a sparse skeleton
 //! of the original network is needed (routing tables, sensor-net backbones).
@@ -8,9 +9,7 @@
 //! cargo run --release --example spanner_vs_baseline
 //! ```
 
-use usnae::baselines::em19::build_em19_spanner;
-use usnae::core::params::{DistributedParams, SpannerParams};
-use usnae::core::spanner::build_spanner;
+use usnae::api::BuildConfig;
 use usnae::core::verify::{audit_stretch, is_subgraph_spanner};
 use usnae::graph::distance::sample_pairs;
 use usnae::graph::generators;
@@ -25,13 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "kappa", "ours", "em19", "factor"
     );
 
+    let ours_c = usnae::registry::find("spanner").expect("registered");
+    let em19_c = usnae::registry::find("em19").expect("registered");
     for kappa in [4u32, 8, 16] {
-        let ps = SpannerParams::new(0.5, kappa, 0.5)?;
-        let pd = DistributedParams::new(0.5, kappa, 0.5)?;
-        let ours = build_spanner(&g, &ps);
-        let em19 = build_em19_spanner(&g, &pd);
-        assert!(is_subgraph_spanner(&g, ours.graph()));
-        assert!(is_subgraph_spanner(&g, em19.graph()));
+        let cfg = BuildConfig {
+            kappa,
+            ..BuildConfig::default()
+        };
+        let ours = ours_c.build(&g, &cfg)?;
+        let em19 = em19_c.build(&g, &cfg)?;
+        assert!(is_subgraph_spanner(&g, ours.emulator.graph()));
+        assert!(is_subgraph_spanner(&g, em19.emulator.graph()));
         println!(
             "{kappa:>6} {:>10} {:>10} {:>8.2}",
             ours.num_edges(),
@@ -39,10 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             em19.num_edges() as f64 / ours.num_edges() as f64
         );
 
-        // Spot-check the certified stretch of our spanner.
-        let (alpha, beta) = ps.certified_stretch();
+        // Spot-check the certified stretch of our spanner (the baseline
+        // certifies nothing — that asymmetry is part of the comparison).
+        let (alpha, beta) = ours.certified.expect("§4 spanner certifies");
+        assert!(em19.certified.is_none());
         let pairs = sample_pairs(&g, 200, 9);
-        let report = audit_stretch(&g, ours.graph(), alpha, beta, &pairs);
+        let report = audit_stretch(&g, ours.emulator.graph(), alpha, beta, &pairs);
         assert!(report.passed(), "stretch audit failed: {report:?}");
     }
     println!("\nboth are subgraphs of G; ours needs no O(beta) size factor.");

@@ -6,8 +6,7 @@
 //! cargo run --release --example ultra_sparse
 //! ```
 
-use usnae::core::centralized::build_emulator;
-use usnae::core::params::CentralizedParams;
+use usnae::api::Emulator;
 use usnae::graph::generators;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,18 +20,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let g = generators::gnp_connected(n, 16.0 / n as f64, 5)?;
         // κ = log²n = ω(log n): size n^(1+1/κ) = n·2^(1/log n) = n + o(n).
         let kappa = (exp * exp).max(2);
-        let params = CentralizedParams::new(0.5, kappa)?;
-        let h = build_emulator(&g, &params);
+        let out = Emulator::builder(&g).epsilon(0.5).kappa(kappa).build()?;
+        let bound = out.size_bound.expect("bounded");
         println!(
             "{:>6} {:>8} {:>10} {:>10} {:>12.4} {:>12.4}",
             n,
             kappa,
             g.num_edges(),
-            h.num_edges(),
-            h.num_edges() as f64 / n as f64,
-            params.size_bound(n) / n as f64,
+            out.num_edges(),
+            out.num_edges() as f64 / n as f64,
+            bound / n as f64,
         );
-        assert!(h.num_edges() as f64 <= params.size_bound(n));
+        assert!(out.num_edges() as f64 <= bound);
     }
     println!("\n|H|/n tends to 1: the emulator is ultra-sparse (n + o(n) edges).");
     Ok(())

@@ -7,21 +7,43 @@
 //! * [`congest`] — deterministic synchronous CONGEST-model simulator.
 //! * [`core`] — the paper's constructions: centralized Algorithm 1,
 //!   the distributed CONGEST algorithm, the fast centralized simulation,
-//!   and the §4 spanner variant.
-//! * [`baselines`] — EP01, TZ06, EN17a emulators and the EM19 spanner.
+//!   and the §4 spanner variant — all behind the unified [`api`].
+//! * [`baselines`] — EP01, TZ06, EN17a emulators and the EM19 spanner,
+//!   adapted onto the same [`api::Construction`] trait.
 //! * [`eval`] — experiment harness regenerating every table/figure.
+//! * [`registry`] — the complete algorithm catalogue (paper + baselines).
 //!
 //! # Quickstart
 //!
 //! ```
-//! use usnae::core::{centralized::build_emulator, params::CentralizedParams};
+//! use usnae::api::{Algorithm, Emulator};
 //! use usnae::graph::generators;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let g = generators::gnp_connected(256, 0.05, 7)?;
-//! let params = CentralizedParams::new(0.5, 4)?;
-//! let emulator = build_emulator(&g, &params);
-//! assert!(emulator.graph().num_edges() as f64 <= params.size_bound(g.num_vertices()));
+//! let out = Emulator::builder(&g)
+//!     .epsilon(0.5)
+//!     .kappa(4)
+//!     .algorithm(Algorithm::Centralized)
+//!     .build()?;
+//! assert!(out.num_edges() as f64 <= out.size_bound.unwrap());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Algorithm-generic code iterates the [`registry`] instead of hardcoding
+//! construction lists:
+//!
+//! ```
+//! use usnae::api::BuildConfig;
+//! use usnae::graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::grid2d(8, 8)?;
+//! for c in usnae::registry::all() {
+//!     let out = c.build(&g, &BuildConfig::default())?;
+//!     println!("{:>20}: {} edges", c.name(), out.num_edges());
+//! }
 //! # Ok(())
 //! # }
 //! ```
@@ -29,5 +51,12 @@
 pub use usnae_baselines as baselines;
 pub use usnae_congest as congest;
 pub use usnae_core as core;
+pub use usnae_core::api;
 pub use usnae_eval as eval;
 pub use usnae_graph as graph;
+
+/// The complete algorithm catalogue: five paper constructions followed by
+/// the four baseline lineages (re-export of `usnae_baselines::registry`).
+pub mod registry {
+    pub use usnae_baselines::registry::{all, baselines, emulators, find, names, spanners};
+}

@@ -2,26 +2,28 @@
 //! view, I/O roundtrips, and the distributed spanner driver — the pieces a
 //! downstream user of the library touches first.
 
-use usnae::core::distributed::spanner_driver::build_spanner_distributed;
+use usnae::api::{Algorithm, Emulator};
 use usnae::core::hopset::{bounded_hop_distances, measure_hopbound};
 use usnae::core::oracle::ApproxDistanceOracle;
-use usnae::core::params::SpannerParams;
 use usnae::core::verify::is_subgraph_spanner;
 use usnae::graph::distance::{exact_pair_distances, sample_pairs, Apsp};
 use usnae::graph::{generators, io as gio};
 
 #[test]
 fn oracle_guarantee_holds_across_suite() {
-    for w in usnae::eval::workloads::standard_suite(120, 3).into_iter().take(5) {
+    for w in usnae::eval::workloads::standard_suite(120, 3)
+        .into_iter()
+        .take(5)
+    {
         let g = &w.graph;
         let oracle = ApproxDistanceOracle::build(g, 0.5, 4).unwrap();
         let (alpha, beta) = oracle.guarantee();
         let apsp = Apsp::new(g);
         for (u, v) in sample_pairs(g, 80, 9) {
             let exact = apsp.distance(u, v).unwrap();
-            let approx = oracle.query(u, v).unwrap_or_else(|| {
-                panic!("{}: pair ({u},{v}) unanswered", w.name)
-            });
+            let approx = oracle
+                .query(u, v)
+                .unwrap_or_else(|| panic!("{}: pair ({u},{v}) unanswered", w.name));
             assert!(approx >= exact, "{}", w.name);
             assert!(
                 approx as f64 <= alpha * exact as f64 + beta,
@@ -63,13 +65,14 @@ fn hopset_union_never_shortens_below_graph_distance() {
 #[test]
 fn hopbound_improves_with_emulator_on_grid() {
     let g = generators::grid2d(14, 14).unwrap();
-    let p = usnae::core::params::CentralizedParams::with_raw_epsilon(0.5, 8).unwrap();
-    let (h, _) = usnae::core::centralized::build_emulator_traced(
-        &g,
-        &p,
-        usnae::core::centralized::ProcessingOrder::ByDegreeDesc,
-    );
-    let (alpha, beta) = p.certified_stretch();
+    let out = Emulator::builder(&g)
+        .kappa(8)
+        .raw_epsilon(true)
+        .order(usnae::api::ProcessingOrder::ByDegreeDesc)
+        .build()
+        .unwrap();
+    let (alpha, beta) = out.certified.unwrap();
+    let h = out.emulator;
     let pairs = sample_pairs(&g, 60, 3);
     let exact = exact_pair_distances(&g, &pairs);
     let empty = usnae::core::Emulator::new(g.num_vertices());
@@ -99,14 +102,16 @@ fn emulator_roundtrips_through_edge_list_files() {
 fn distributed_spanner_driver_full_contract() {
     for w in usnae::eval::workloads::congest_suite(96, 13) {
         let g = &w.graph;
-        let p = SpannerParams::new(0.5, 4, 0.5).unwrap();
-        let build = build_spanner_distributed(g, &p).unwrap();
-        assert!(is_subgraph_spanner(g, build.spanner.graph()), "{}", w.name);
-        assert!(build.metrics.rounds > 0, "{}", w.name);
-        let (alpha, beta) = p.certified_stretch();
+        let out = Emulator::builder(g)
+            .algorithm(Algorithm::DistributedSpanner)
+            .build()
+            .unwrap();
+        assert!(is_subgraph_spanner(g, out.emulator.graph()), "{}", w.name);
+        let stats = out.congest.as_ref().expect("congest build");
+        assert!(stats.metrics.rounds > 0, "{}", w.name);
+        let (alpha, beta) = out.certified.unwrap();
         let pairs = sample_pairs(g, 100, 5);
-        let rep =
-            usnae::core::verify::audit_stretch(g, build.spanner.graph(), alpha, beta, &pairs);
+        let rep = usnae::core::verify::audit_stretch(g, out.emulator.graph(), alpha, beta, &pairs);
         assert!(rep.passed(), "{}: {rep:?}", w.name);
     }
 }

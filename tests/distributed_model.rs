@@ -1,8 +1,8 @@
 //! Integration tests of the distributed construction against the paper's
 //! §3 theorems, run end to end through the CONGEST simulator.
 
+use usnae::api::{Algorithm, Emulator};
 use usnae::congest::Simulator;
-use usnae::core::distributed::build_emulator_distributed;
 use usnae::core::distributed::popular::PopularDetect;
 use usnae::core::distributed::ruling::compute_ruling_set;
 use usnae::core::params::DistributedParams;
@@ -40,11 +40,11 @@ fn theorem_3_1_exact_knowledge_for_unpopular_centers() {
                 continue;
             }
             let exact = bfs(&g, c);
-            for other in 0..n {
+            for (other, &d_other) in exact.iter().enumerate() {
                 if other == c {
                     continue;
                 }
-                if let Some(d) = exact[other] {
+                if let Some(d) = d_other {
                     if d <= delta {
                         assert_eq!(
                             det.known(c).get(&other).copied(),
@@ -100,18 +100,22 @@ fn hub_splitting_preserves_guarantees_on_brooms() {
     for arms in [8usize, 16, 24] {
         let g = generators::broom(arms, 3).unwrap();
         let n = g.num_vertices();
-        let p = DistributedParams::new(0.5, 2, 0.5).unwrap();
-        let build = build_emulator_distributed(&g, &p).unwrap();
-        assert_eq!(build.knowledge_violations, 0, "arms={arms}");
+        let out = Emulator::builder(&g)
+            .kappa(2)
+            .algorithm(Algorithm::Distributed)
+            .build()
+            .unwrap();
+        let stats = out.congest.as_ref().unwrap();
+        assert_eq!(stats.knowledge_violations, 0, "arms={arms}");
         assert!(
-            build.emulator.num_edges() as f64 <= p.size_bound(n),
+            out.num_edges() as f64 <= out.size_bound.unwrap(),
             "arms={arms}"
         );
         // Distances from the hub to arm tips must be preserved within
         // certified stretch.
-        let (alpha, beta) = p.certified_stretch();
+        let (alpha, beta) = out.certified.unwrap();
         let dg = bfs(&g, 0);
-        let dh = build.emulator.distances_from(0);
+        let dh = out.emulator.distances_from(0);
         for v in 0..n {
             let (Some(a), Some(b)) = (dg[v], dh[v]) else {
                 panic!("arms={arms}: vertex {v} unreachable in H")
@@ -130,15 +134,19 @@ fn rounds_stay_within_reasonable_multiple_of_budget() {
     let g = generators::gnp_connected(96, 0.07, 11).unwrap();
     for rho in [0.34f64, 0.5] {
         let p = DistributedParams::new(0.5, 4, rho).unwrap();
-        let build = build_emulator_distributed(&g, &p).unwrap();
+        let out = Emulator::builder(&g)
+            .rho(rho)
+            .algorithm(Algorithm::Distributed)
+            .build()
+            .unwrap();
+        let rounds = out.congest.as_ref().unwrap().metrics.rounds;
         let budget = p.round_budget(96);
         // The paper's budget hides constants; we check we are within a
         // small constant of it (and strictly positive).
-        assert!(build.metrics.rounds > 0);
+        assert!(rounds > 0);
         assert!(
-            (build.metrics.rounds as f64) < 50.0 * budget.max(1.0),
-            "rho={rho}: rounds {} vs budget {budget}",
-            build.metrics.rounds
+            (rounds as f64) < 50.0 * budget.max(1.0),
+            "rho={rho}: rounds {rounds} vs budget {budget}"
         );
     }
 }
@@ -148,12 +156,21 @@ fn rounds_stay_within_reasonable_multiple_of_budget() {
 #[test]
 fn distributed_and_fast_agree_on_phase0_popularity() {
     let g = generators::gnp_connected(90, 0.08, 17).unwrap();
-    let p = DistributedParams::new(0.5, 4, 0.5).unwrap();
-    let build = build_emulator_distributed(&g, &p).unwrap();
-    let (_, fast_trace) = usnae::core::fast_centralized::build_emulator_fast_traced(&g, &p);
+    let dist = Emulator::builder(&g)
+        .algorithm(Algorithm::Distributed)
+        .traced(true)
+        .build()
+        .unwrap();
+    let fast = Emulator::builder(&g)
+        .algorithm(Algorithm::FastCentralized)
+        .traced(true)
+        .build()
+        .unwrap();
+    let d_trace = dist.trace.unwrap();
+    let f_trace = fast.trace.unwrap();
     assert_eq!(
-        build.phases[0].num_popular,
-        fast_trace.phases[0].num_popular
+        d_trace.as_distributed().unwrap()[0].num_popular,
+        f_trace.as_fast().unwrap().phases[0].num_popular
     );
 }
 

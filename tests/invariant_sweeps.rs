@@ -1,0 +1,170 @@
+//! Property-style tests through the unified API: the paper's invariants
+//! checked over a deterministic sweep of seeded random inputs and
+//! parameters (the repository is dependency-free, so no proptest — the
+//! sweep plays its role; it replaces the former `proptest_invariants.rs`).
+
+use usnae::api::{Algorithm, BuildOutput, Emulator, ProcessingOrder};
+use usnae::core::charging::ChargeLedger;
+use usnae::core::params::{CentralizedParams, DistributedParams};
+use usnae::core::verify::{audit_stretch, is_subgraph_spanner};
+use usnae::graph::distance::sample_pairs;
+use usnae::graph::rng::Rng;
+use usnae::graph::{generators, Graph};
+
+/// A connected random graph on `20..120` vertices from the sweep seed.
+fn random_graph(seed: u64) -> Graph {
+    let mut rng = Rng::seed_from_u64(seed);
+    let n = rng.gen_range(20, 120);
+    let density = rng.gen_range(15, 60) as f64;
+    generators::gnp_connected(n, density / 10.0 / n as f64, seed).expect("valid gnp parameters")
+}
+
+const ORDERS: [ProcessingOrder; 4] = [
+    ProcessingOrder::ById,
+    ProcessingOrder::ByIdDesc,
+    ProcessingOrder::ByDegreeDesc,
+    ProcessingOrder::ByDegreeAsc,
+];
+
+/// Cor 2.14 end to end: size bound, charging, stretch, never-shorten.
+#[test]
+fn centralized_emulator_full_contract() {
+    for seed in 0..24u64 {
+        let g = random_graph(seed);
+        let n = g.num_vertices();
+        let kappa = 2 + (seed % 8) as u32;
+        let eps = 0.2 + 0.09 * (seed % 8) as f64;
+        let order = ORDERS[(seed % 4) as usize];
+        let out: BuildOutput = Emulator::builder(&g)
+            .epsilon(eps)
+            .kappa(kappa)
+            .order(order)
+            .traced(true)
+            .build()
+            .unwrap();
+
+        // Size (leading constant 1).
+        let bound = out.size_bound.unwrap();
+        assert!(out.num_edges() as f64 <= bound + 1e-6, "seed {seed}");
+
+        // Charging discipline (Lemma 2.4's skeleton).
+        let p = CentralizedParams::new(eps, kappa).unwrap();
+        ChargeLedger::from_emulator(&out.emulator)
+            .verify(|phase| p.degree_cap(phase, n))
+            .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+
+        // Stretch on a pair sample.
+        let (alpha, beta) = out.certified.unwrap();
+        let pairs = sample_pairs(&g, 60, 7);
+        let rep = audit_stretch(&g, out.emulator.graph(), alpha, beta, &pairs);
+        assert!(rep.passed(), "seed {seed}: {rep:?}");
+
+        // Trace bookkeeping: insertions ≥ distinct edges.
+        let trace = out.trace.unwrap();
+        let insertions = trace.as_centralized().unwrap().total_insertions();
+        assert!(insertions >= out.emulator.num_edges(), "seed {seed}");
+    }
+}
+
+/// Raw-ε mode keeps the same contract (certification is rescale-free).
+#[test]
+fn raw_epsilon_contract() {
+    for seed in 0..24u64 {
+        let g = random_graph(seed + 1000);
+        let n = g.num_vertices();
+        let kappa = 2 + (seed % 10) as u32;
+        let eps = 0.3 + 0.06 * (seed % 10) as f64;
+        let out = Emulator::builder(&g)
+            .epsilon(eps)
+            .kappa(kappa)
+            .raw_epsilon(true)
+            .build()
+            .unwrap();
+        assert!(
+            out.num_edges() as f64 <= out.size_bound.unwrap() + 1e-6,
+            "seed {seed} n {n}"
+        );
+        let (alpha, beta) = out.certified.unwrap();
+        let pairs = sample_pairs(&g, 50, 11);
+        let rep = audit_stretch(&g, out.emulator.graph(), alpha, beta, &pairs);
+        assert!(rep.passed(), "seed {seed}: {rep:?}");
+    }
+}
+
+/// Cor 4.4: the spanner is always a subgraph with certified stretch.
+#[test]
+fn spanner_contract() {
+    for seed in 0..24u64 {
+        let g = random_graph(seed + 2000);
+        let kappa = 2 + (seed % 6) as u32;
+        let out = Emulator::builder(&g)
+            .kappa(kappa)
+            .algorithm(Algorithm::Spanner)
+            .build()
+            .unwrap();
+        assert!(is_subgraph_spanner(&g, out.emulator.graph()), "seed {seed}");
+        assert!(out.num_edges() <= g.num_edges());
+        let (alpha, beta) = out.certified.unwrap();
+        let pairs = sample_pairs(&g, 50, 13);
+        let rep = audit_stretch(&g, out.emulator.graph(), alpha, beta, &pairs);
+        assert!(rep.passed(), "seed {seed}: {rep:?}");
+    }
+}
+
+/// Emulator distances dominate graph distances pointwise (d_G ≤ d_H) and
+/// every connected pair stays connected.
+#[test]
+fn emulator_never_shortens_or_disconnects() {
+    for seed in 0..24u64 {
+        let g = random_graph(seed + 3000);
+        let kappa = 2 + (seed % 6) as u32;
+        let out = Emulator::builder(&g).kappa(kappa).build().unwrap();
+        let source = 0;
+        let dg = usnae::graph::bfs::bfs(&g, source);
+        let dh = out.emulator.distances_from(source);
+        for v in 0..g.num_vertices() {
+            match (dg[v], dh[v]) {
+                (Some(a), Some(b)) => assert!(b >= a, "seed {seed} pair (0,{v}): {b} < {a}"),
+                (Some(_), None) => panic!("seed {seed}: vertex {v} lost connectivity"),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parameter algebra invariants: deg_{i+1} ≤ deg_i² and α within 1+ε
+/// (rescaled mode) across the admissible space.
+#[test]
+fn parameter_algebra_invariants() {
+    for seed in 0..40u64 {
+        let mut rng = Rng::seed_from_u64(seed + 4000);
+        let kappa = rng.gen_range(2, 200) as u32;
+        let eps = rng.gen_f64_range(0.05, 0.99);
+        let p = CentralizedParams::new(eps, kappa).unwrap();
+        let n = 100_000;
+        for i in 1..=p.ell() {
+            let prev = p.degree_threshold(i - 1, n);
+            assert!(
+                p.degree_threshold(i, n) <= prev * prev * (1.0 + 1e-9),
+                "seed {seed} phase {i}"
+            );
+        }
+        let (alpha, beta) = p.certified_stretch();
+        assert!(alpha <= 1.0 + eps + 1e-9, "seed {seed}");
+        assert!(beta.is_finite() && beta >= 0.0);
+
+        // Distributed params across the admissible ρ range.
+        let lo = 1.0 / kappa as f64;
+        let rho = (lo + rng.gen_f64() * (0.5 - lo)).clamp(lo, 0.5);
+        let pd = DistributedParams::new(eps, kappa, rho).unwrap();
+        for i in 0..pd.ell() {
+            let cur = pd.degree_threshold(i, n);
+            assert!(
+                pd.degree_threshold(i + 1, n) <= cur * cur * (1.0 + 1e-9),
+                "seed {seed} phase {i}"
+            );
+        }
+        let (alpha_d, _) = pd.certified_stretch();
+        assert!(alpha_d <= 1.0 + eps + 1e-9, "seed {seed}");
+    }
+}

@@ -2,7 +2,8 @@
 //! mechanically on random instances.
 
 use std::collections::HashSet;
-use usnae::core::centralized::{build_emulator_traced, BuildTrace, ProcessingOrder};
+use usnae::api::Emulator;
+use usnae::core::centralized::BuildTrace;
 use usnae::core::params::CentralizedParams;
 use usnae::graph::{generators, Graph};
 
@@ -12,8 +13,14 @@ fn build(
     kappa: u32,
 ) -> (usnae::core::Emulator, BuildTrace, CentralizedParams) {
     let p = CentralizedParams::new(eps, kappa).unwrap();
-    let (h, t) = build_emulator_traced(g, &p, ProcessingOrder::ById);
-    (h, t, p)
+    let out = Emulator::builder(g)
+        .epsilon(eps)
+        .kappa(kappa)
+        .traced(true)
+        .build()
+        .unwrap();
+    let t = out.trace.unwrap().as_centralized().unwrap().clone();
+    (out.emulator, t, p)
 }
 
 /// Lemma 2.2: superclusters formed in a phase are pairwise disjoint.
@@ -179,8 +186,7 @@ fn eq_4_per_phase_edge_accounting() {
     for seed in 0..3u64 {
         let g = generators::gnp_connected(300, 0.07, seed).unwrap();
         let n = g.num_vertices();
-        let p = CentralizedParams::new(0.5, 4).unwrap();
-        let (_, trace) = build_emulator_traced(&g, &p, ProcessingOrder::ById);
+        let (_, trace, p) = build(&g, 0.5, 4);
         for t in &trace.phases {
             let inserted = t.interconnection_edges + t.superclustering_edges + t.buffer_join_edges;
             let deg = p.degree_threshold(t.phase, n);
