@@ -7,13 +7,24 @@
 //! `certified_stretch` returns `None` and [`Supports::certified`] is false,
 //! which is itself part of the comparison the paper draws.
 
-use usnae_core::api::{BuildConfig, BuildError, BuildOutput, Construction, Supports};
+use std::time::Instant;
+use usnae_core::api::{BuildConfig, BuildError, BuildOutput, BuildStats, Construction, Supports};
 use usnae_graph::Graph;
 
 use crate::em19::build_em19;
 use crate::en17::build_en17;
 use crate::ep01::build_ep01;
 use crate::tz06::build_tz06;
+
+/// Execution stats for a baseline build timed as one block (the baselines
+/// do not record per-phase timings).
+fn timed_stats(cfg: &BuildConfig, t0: Instant) -> BuildStats {
+    BuildStats {
+        threads: cfg.threads,
+        total: t0.elapsed(),
+        phases: Vec::new(),
+    }
+}
 
 /// Elkin–Peleg STOC'01: SAI without buffer sets, plus the ground partition.
 #[derive(Debug, Clone, Copy, Default)]
@@ -29,7 +40,10 @@ impl Construction for Ep01 {
     }
 
     fn supports(&self) -> Supports {
-        Supports::none()
+        Supports {
+            parallel: true,
+            ..Supports::none()
+        }
     }
 
     fn certified_stretch(&self, _cfg: &BuildConfig) -> Option<(f64, f64)> {
@@ -44,13 +58,16 @@ impl Construction for Ep01 {
     }
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        cfg.validate()?;
         let params = cfg.centralized_params()?;
+        let t0 = Instant::now();
         Ok(BuildOutput {
-            emulator: build_ep01(g, &params),
+            emulator: build_ep01(g, &params, cfg.threads),
             certified: None,
             size_bound: self.size_bound(g.num_vertices(), cfg),
             trace: None,
             congest: None,
+            stats: timed_stats(cfg, t0),
             algorithm: self.name(),
         })
     }
@@ -85,18 +102,21 @@ impl Construction for Tz06 {
     }
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        cfg.validate()?;
         if cfg.kappa < 2 {
             // TZ06 only consumes kappa, but the BuildConfig contract
             // (kappa >= 2) still applies: kappa < 2 degenerates the
             // sampling probability and yields a clique.
             return Err(usnae_core::ParamError::KappaTooSmall { kappa: cfg.kappa }.into());
         }
+        let t0 = Instant::now();
         Ok(BuildOutput {
             emulator: build_tz06(g, cfg.kappa, cfg.seed),
             certified: None,
             size_bound: None,
             trace: None,
             congest: None,
+            stats: timed_stats(cfg, t0),
             algorithm: self.name(),
         })
     }
@@ -118,6 +138,7 @@ impl Construction for En17 {
     fn supports(&self) -> Supports {
         Supports {
             uses_seed: true,
+            parallel: true,
             ..Supports::none()
         }
     }
@@ -131,13 +152,16 @@ impl Construction for En17 {
     }
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        cfg.validate()?;
         let params = cfg.centralized_params()?;
+        let t0 = Instant::now();
         Ok(BuildOutput {
-            emulator: build_en17(g, &params, cfg.seed),
+            emulator: build_en17(g, &params, cfg.seed, cfg.threads),
             certified: None,
             size_bound: None,
             trace: None,
             congest: None,
+            stats: timed_stats(cfg, t0),
             algorithm: self.name(),
         })
     }
@@ -159,6 +183,7 @@ impl Construction for Em19 {
     fn supports(&self) -> Supports {
         Supports {
             uses_rho: true,
+            parallel: true,
             subgraph: true,
             ..Supports::none()
         }
@@ -173,13 +198,16 @@ impl Construction for Em19 {
     }
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        cfg.validate()?;
         let params = cfg.distributed_params()?;
+        let t0 = Instant::now();
         Ok(BuildOutput {
-            emulator: build_em19(g, &params),
+            emulator: build_em19(g, &params, cfg.threads),
             certified: None,
             size_bound: None,
             trace: None,
             congest: None,
+            stats: timed_stats(cfg, t0),
             algorithm: self.name(),
         })
     }
@@ -232,6 +260,43 @@ mod tests {
             let a = c.build(&g, &cfg).unwrap();
             let b = c.build(&g, &cfg).unwrap();
             assert_eq!(a.num_edges(), b.num_edges(), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn zero_threads_rejected_by_every_adapter() {
+        let g = generators::path(5).unwrap();
+        let cfg = BuildConfig {
+            threads: 0,
+            ..BuildConfig::default()
+        };
+        for c in crate::registry::baselines() {
+            assert!(c.build(&g, &cfg).is_err(), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn parallel_adapters_match_sequential_output() {
+        let g = generators::gnp_connected(120, 0.06, 4).unwrap();
+        for threads in [2usize, 4] {
+            let seq = BuildConfig {
+                seed: 11,
+                ..BuildConfig::default()
+            };
+            let par = BuildConfig {
+                threads,
+                ..seq.clone()
+            };
+            for c in crate::registry::baselines() {
+                let a = c.build(&g, &seq).unwrap();
+                let b = c.build(&g, &par).unwrap();
+                assert_eq!(
+                    a.emulator.provenance(),
+                    b.emulator.provenance(),
+                    "{} threads={threads}",
+                    c.name()
+                );
+            }
         }
     }
 

@@ -13,7 +13,7 @@ use usnae_core::emulator::{EdgeKind, EdgeProvenance, Emulator};
 use usnae_core::params::DistributedParams;
 use usnae_core::sai::{ruling_set, Exploration};
 use usnae_graph::bfs::multi_source_bfs;
-use usnae_graph::{Dist, Graph, VertexId};
+use usnae_graph::{par, Dist, Graph, VertexId};
 
 /// Builds an EM19-style spanner: a subgraph of `G` with
 /// `O(β·n^(1+1/κ))` edges.
@@ -22,18 +22,19 @@ use usnae_graph::{Dist, Graph, VertexId};
     note = "use the \"em19\" entry of usnae_baselines::registry instead"
 )]
 pub fn build_em19_spanner(g: &Graph, params: &DistributedParams) -> Emulator {
-    build_em19(g, params)
+    build_em19(g, params, 1)
 }
 
 /// Crate-internal entry point behind the registry adapter (and the
-/// deprecated free-function shim).
-pub(crate) fn build_em19(g: &Graph, params: &DistributedParams) -> Emulator {
+/// deprecated free-function shim). The Task-1 explorations shard over
+/// `threads`; output is byte-identical for every thread count.
+pub(crate) fn build_em19(g: &Graph, params: &DistributedParams, threads: usize) -> Emulator {
     let n = g.num_vertices();
     let mut spanner = Emulator::new(n);
     let mut partition = Partition::singletons(n);
     for i in 0..=params.ell() {
         let last = i == params.ell();
-        partition = run_phase(g, &mut spanner, &partition, i, params, last);
+        partition = run_phase(g, &mut spanner, &partition, i, params, last, threads);
     }
     spanner
 }
@@ -66,6 +67,7 @@ fn run_phase(
     i: usize,
     params: &DistributedParams,
     last: bool,
+    threads: usize,
 ) -> Partition {
     let n = g.num_vertices();
     let delta = params.delta(i);
@@ -77,14 +79,16 @@ fn run_phase(
         is_center[c] = true;
     }
 
-    let explorations: Vec<Exploration> = centers
-        .iter()
-        .map(|&rc| Exploration::run(g, rc, delta))
-        .collect();
-    let neighbor_lists: Vec<Vec<(VertexId, Dist)>> = explorations
-        .iter()
-        .map(|e| e.centers_found(&is_center))
-        .collect();
+    // Task-1 scans are pure per-center BFS — sharded, merged in center
+    // order (deterministic for every thread count).
+    let (explorations, neighbor_lists): (Vec<Exploration>, Vec<Vec<(VertexId, Dist)>>) =
+        par::map_indexed(threads, centers.len(), |idx| {
+            let e = Exploration::run(g, centers[idx], delta);
+            let nbrs = e.centers_found(&is_center);
+            (e, nbrs)
+        })
+        .into_iter()
+        .unzip();
     let popular: Vec<VertexId> = centers
         .iter()
         .zip(&neighbor_lists)
@@ -154,7 +158,7 @@ mod tests {
     fn is_a_subgraph() {
         let g = generators::gnp_connected(150, 0.08, 1).unwrap();
         let p = DistributedParams::new(0.5, 4, 0.5).unwrap();
-        let s = build_em19(&g, &p);
+        let s = build_em19(&g, &p, 1);
         assert!(is_subgraph_spanner(&g, s.graph()));
     }
 
@@ -162,7 +166,7 @@ mod tests {
     fn never_disconnects_what_g_connects() {
         let g = generators::gnp_connected(80, 0.08, 2).unwrap();
         let p = DistributedParams::new(0.5, 4, 0.5).unwrap();
-        let s = build_em19(&g, &p);
+        let s = build_em19(&g, &p, 1);
         let d = s.distances_from(0);
         assert!(d.iter().all(|x| x.is_some()));
     }
@@ -172,7 +176,7 @@ mod tests {
         // E7's direction: §4 (EN17a sequence) ≤ EM19 (§3 sequence) sizes,
         // up to small-instance noise, on dense inputs.
         let g = generators::gnp_connected(300, 0.15, 3).unwrap();
-        let em19 = build_em19(&g, &DistributedParams::new(0.5, 8, 0.5).unwrap());
+        let em19 = build_em19(&g, &DistributedParams::new(0.5, 8, 0.5).unwrap(), 1);
         let ours = Emulator::builder(&g)
             .algorithm(Algorithm::Spanner)
             .kappa(8)
@@ -191,7 +195,7 @@ mod tests {
     fn path_input_reproduced() {
         let g = generators::path(20).unwrap();
         let p = DistributedParams::new(0.5, 2, 0.5).unwrap();
-        let s = build_em19(&g, &p);
+        let s = build_em19(&g, &p, 1);
         assert_eq!(s.num_edges(), 19);
     }
 }

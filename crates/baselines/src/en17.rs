@@ -13,9 +13,9 @@
 use usnae_core::cluster::{Cluster, Partition};
 use usnae_core::emulator::{EdgeKind, EdgeProvenance, Emulator};
 use usnae_core::params::CentralizedParams;
-use usnae_graph::bfs::{bfs_bounded, multi_source_bfs};
+use usnae_graph::bfs::multi_source_bfs;
 use usnae_graph::rng::Rng;
-use usnae_graph::{Dist, Graph, VertexId};
+use usnae_graph::{par, Graph, VertexId};
 
 /// Builds an EN17a-style emulator (randomized superclustering), seeded.
 #[deprecated(
@@ -23,12 +23,19 @@ use usnae_graph::{Dist, Graph, VertexId};
     note = "use the \"en17a\" entry of usnae_baselines::registry instead"
 )]
 pub fn build_en17_emulator(g: &Graph, params: &CentralizedParams, seed: u64) -> Emulator {
-    build_en17(g, params, seed)
+    build_en17(g, params, seed, 1)
 }
 
 /// Crate-internal entry point behind the registry adapter (and the
-/// deprecated free-function shim).
-pub(crate) fn build_en17(g: &Graph, params: &CentralizedParams, seed: u64) -> Emulator {
+/// deprecated free-function shim). The sampling RNG runs before any
+/// sharded work, so for a fixed `seed` the build is byte-identical for
+/// every thread count.
+pub(crate) fn build_en17(
+    g: &Graph,
+    params: &CentralizedParams,
+    seed: u64,
+    threads: usize,
+) -> Emulator {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
     let mut partition = Partition::singletons(n);
@@ -36,7 +43,16 @@ pub(crate) fn build_en17(g: &Graph, params: &CentralizedParams, seed: u64) -> Em
 
     for i in 0..=params.ell() {
         let last = i == params.ell();
-        partition = run_phase(g, &mut emulator, &partition, i, params, last, &mut rng);
+        partition = run_phase(
+            g,
+            &mut emulator,
+            &partition,
+            i,
+            params,
+            last,
+            &mut rng,
+            threads,
+        );
         if partition.is_empty() {
             break;
         }
@@ -53,6 +69,7 @@ fn run_phase(
     params: &CentralizedParams,
     last: bool,
     rng: &mut Rng,
+    threads: usize,
 ) -> Partition {
     let n = g.num_vertices();
     let delta = params.delta(i);
@@ -128,18 +145,25 @@ fn run_phase(
             .filter(|&c| forest.root[c].is_some())
             .collect()
     };
-    for &rc in &centers {
-        if joined.contains(&rc) {
-            continue;
-        }
-        let dist = bfs_bounded(g, rc, delta);
-        for (v, d) in dist.iter().enumerate() {
-            if let Some(d) = *d {
+    // The interconnection scan is status-free (the joined set and center
+    // set are fixed above), so the per-center explorations shard cleanly
+    // and no prefetched ball can go stale; edges are still inserted in
+    // center order, balls sorted by vertex id. Fixed-size blocks bound the
+    // in-flight ball memory.
+    let work: Vec<VertexId> = centers
+        .iter()
+        .copied()
+        .filter(|rc| !joined.contains(rc))
+        .collect();
+    for block in work.chunks(4096) {
+        let balls = par::balls(g, block, delta, threads);
+        for (&rc, ball) in block.iter().zip(&balls) {
+            for &(v, d) in ball {
                 if v != rc && is_center[v] {
                     emulator.add_edge(
                         rc,
                         v,
-                        d as Dist,
+                        d,
                         EdgeProvenance {
                             phase: i,
                             kind: EdgeKind::Interconnection,
@@ -163,8 +187,8 @@ mod tests {
         let g = generators::gnp_connected(80, 0.08, 1).unwrap();
         let p = CentralizedParams::new(0.5, 4).unwrap();
         assert_eq!(
-            build_en17(&g, &p, 5).num_edges(),
-            build_en17(&g, &p, 5).num_edges()
+            build_en17(&g, &p, 5, 1).num_edges(),
+            build_en17(&g, &p, 5, 1).num_edges()
         );
     }
 
@@ -172,7 +196,7 @@ mod tests {
     fn never_shortens_distances() {
         let g = generators::gnp_connected(60, 0.08, 3).unwrap();
         let p = CentralizedParams::new(0.5, 3).unwrap();
-        let h = build_en17(&g, &p, 9);
+        let h = build_en17(&g, &p, 9, 1);
         let apsp = usnae_graph::distance::Apsp::new(&g);
         for (u, v) in usnae_graph::distance::sample_pairs(&g, 100, 7) {
             if let Some(dh) = h.distance(u, v) {
@@ -185,7 +209,7 @@ mod tests {
     fn path_gives_path() {
         let g = generators::path(25).unwrap();
         let p = CentralizedParams::new(0.5, 2).unwrap();
-        let h = build_en17(&g, &p, 1);
+        let h = build_en17(&g, &p, 1, 1);
         // δ_0 = 1 interconnections reproduce the path; sampling at
         // probability 25^(-1/2) leaves mostly interconnections.
         assert!(h.num_edges() >= 20);
@@ -196,7 +220,7 @@ mod tests {
         let n = 250;
         let g = generators::gnp_connected(n, 0.06, 5).unwrap();
         let p = CentralizedParams::new(0.5, 4).unwrap();
-        let h = build_en17(&g, &p, 3);
+        let h = build_en17(&g, &p, 3, 1);
         // Expected O(n^(1+1/κ)); allow randomness slack.
         assert!((h.num_edges() as f64) < 5.0 * p.size_bound(n));
     }

@@ -17,8 +17,8 @@
 use usnae_core::cluster::{Cluster, Partition};
 use usnae_core::emulator::{EdgeKind, EdgeProvenance, Emulator};
 use usnae_core::params::CentralizedParams;
-use usnae_graph::bfs::{bfs_bounded, multi_source_bfs};
-use usnae_graph::{Dist, Graph, VertexId};
+use usnae_graph::bfs::multi_source_bfs;
+use usnae_graph::{par, Dist, Graph, VertexId};
 
 /// Builds an EP01-style emulator; size `O(log κ · n^(1+1/κ)) + (n − 1)`.
 #[deprecated(
@@ -26,19 +26,20 @@ use usnae_graph::{Dist, Graph, VertexId};
     note = "use the \"ep01\" entry of usnae_baselines::registry instead"
 )]
 pub fn build_ep01_emulator(g: &Graph, params: &CentralizedParams) -> Emulator {
-    build_ep01(g, params)
+    build_ep01(g, params, 1)
 }
 
 /// Crate-internal entry point behind the registry adapter (and the
-/// deprecated free-function shim).
-pub(crate) fn build_ep01(g: &Graph, params: &CentralizedParams) -> Emulator {
+/// deprecated free-function shim). Explorations are sharded over
+/// `threads`; the build is byte-identical for every thread count.
+pub(crate) fn build_ep01(g: &Graph, params: &CentralizedParams, threads: usize) -> Emulator {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
     let mut partition = Partition::singletons(n);
 
     for i in 0..=params.ell() {
         let last = i == params.ell();
-        partition = run_phase(g, &mut emulator, &partition, i, params, last);
+        partition = run_phase(g, &mut emulator, &partition, i, params, last, threads);
     }
 
     // Ground partition: a BFS spanning forest of G (unit edges), restoring
@@ -79,6 +80,7 @@ fn run_phase(
     i: usize,
     params: &CentralizedParams,
     last: bool,
+    threads: usize,
 ) -> Partition {
     let n = g.num_vertices();
     let delta = params.delta(i);
@@ -90,53 +92,70 @@ fn run_phase(
         in_s[c] = true;
     }
 
+    // Explorations prefetched per chunk and consumed in center order (the
+    // same sharded pattern as the paper's Algorithm 1); balls are sorted by
+    // vertex id, matching the historical dense-array scan. The chunk size
+    // adapts to how many prefetched balls went stale — it never affects
+    // the output, only the wasted work.
     let mut superclusters: Vec<(VertexId, Vec<usize>)> = Vec::new();
-    for &rc in &centers {
-        if !in_s[rc] {
+    let mut policy = usnae_core::exec::ChunkPolicy::new(threads);
+    let mut pos = 0;
+    while pos < centers.len() {
+        let block = &centers[pos..(pos + policy.chunk()).min(centers.len())];
+        pos += block.len();
+        let todo: Vec<VertexId> = block.iter().copied().filter(|&c| in_s[c]).collect();
+        if todo.is_empty() {
             continue;
         }
-        in_s[rc] = false;
-        let dist = bfs_bounded(g, rc, delta);
-        let gamma: Vec<(VertexId, Dist)> = dist
-            .iter()
-            .enumerate()
-            .filter_map(|(v, d)| d.map(|d| (v, d)))
-            .filter(|&(v, _)| v != rc && in_s[v])
-            .collect();
-        let popular = gamma.len() >= cap && !last;
-        if popular {
-            let mut members = vec![center_of[&rc]];
-            for &(v, d) in &gamma {
-                emulator.add_edge(
-                    rc,
-                    v,
-                    d,
-                    EdgeProvenance {
-                        phase: i,
-                        kind: EdgeKind::Superclustering,
-                        charged_to: v,
-                    },
-                );
-                in_s[v] = false;
-                members.push(center_of[&v]);
+        let balls = par::balls(g, &todo, delta, threads);
+        let mut used = 0usize;
+        for (&rc, ball) in todo.iter().zip(&balls) {
+            if !in_s[rc] {
+                continue;
             }
-            superclusters.push((rc, members));
-        } else {
-            // Interconnect with nearby clusters still in S only (no buffer
-            // sets, no edges to already-superclustered clusters).
-            for &(v, d) in &gamma {
-                emulator.add_edge(
-                    rc,
-                    v,
-                    d,
-                    EdgeProvenance {
-                        phase: i,
-                        kind: EdgeKind::Interconnection,
-                        charged_to: rc,
-                    },
-                );
+            used += 1;
+            in_s[rc] = false;
+            let gamma: Vec<(VertexId, Dist)> = ball
+                .iter()
+                .copied()
+                .filter(|&(v, _)| v != rc && in_s[v])
+                .collect();
+            let popular = gamma.len() >= cap && !last;
+            if popular {
+                let mut members = vec![center_of[&rc]];
+                for &(v, d) in &gamma {
+                    emulator.add_edge(
+                        rc,
+                        v,
+                        d,
+                        EdgeProvenance {
+                            phase: i,
+                            kind: EdgeKind::Superclustering,
+                            charged_to: v,
+                        },
+                    );
+                    in_s[v] = false;
+                    members.push(center_of[&v]);
+                }
+                superclusters.push((rc, members));
+            } else {
+                // Interconnect with nearby clusters still in S only (no buffer
+                // sets, no edges to already-superclustered clusters).
+                for &(v, d) in &gamma {
+                    emulator.add_edge(
+                        rc,
+                        v,
+                        d,
+                        EdgeProvenance {
+                            phase: i,
+                            kind: EdgeKind::Interconnection,
+                            charged_to: rc,
+                        },
+                    );
+                }
             }
         }
+        policy.record(todo.len(), used);
     }
 
     let next: Vec<Cluster> = superclusters
@@ -161,7 +180,7 @@ mod tests {
     fn includes_spanning_forest() {
         let g = generators::gnp_connected(80, 0.06, 1).unwrap();
         let p = CentralizedParams::new(0.5, 4).unwrap();
-        let h = build_ep01(&g, &p);
+        let h = build_ep01(&g, &p, 1);
         // At least the spanning forest is present.
         assert!(h.num_edges() >= 79);
         // Connectivity in H follows from the forest.
@@ -173,7 +192,7 @@ mod tests {
     fn never_shortens_distances() {
         let g = generators::gnp_connected(60, 0.08, 2).unwrap();
         let p = CentralizedParams::new(0.5, 3).unwrap();
-        let h = build_ep01(&g, &p);
+        let h = build_ep01(&g, &p, 1);
         let apsp = usnae_graph::distance::Apsp::new(&g);
         for (u, v) in usnae_graph::distance::sample_pairs(&g, 100, 3) {
             let dh = h.distance(u, v).unwrap();
@@ -186,7 +205,7 @@ mod tests {
         // On a path the construction degenerates to the path + forest.
         let g = generators::path(30).unwrap();
         let p = CentralizedParams::new(0.5, 2).unwrap();
-        let h = build_ep01(&g, &p);
+        let h = build_ep01(&g, &p, 1);
         assert_eq!(h.num_edges(), 29);
     }
 
@@ -198,7 +217,7 @@ mod tests {
         // O(log κ)·bound + n.)
         let g = generators::gnp_connected(200, 0.2, 4).unwrap();
         let p = CentralizedParams::new(0.5, 4).unwrap();
-        let h = build_ep01(&g, &p);
+        let h = build_ep01(&g, &p, 1);
         let per_phase = p.size_bound(200);
         let coarse = (p.ell() as f64 + 1.0) * per_phase + 200.0;
         assert!((h.num_edges() as f64) <= coarse);

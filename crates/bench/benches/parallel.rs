@@ -1,0 +1,161 @@
+//! Parallel construction bench: phase-0 (exploration) speedup of the
+//! sharded build engine across thread counts, on a large sparse graph.
+//!
+//! ```text
+//! cargo bench --bench parallel                      # n = 100_000
+//! cargo bench --bench parallel -- --n 20000 \
+//!     --json target/bench-parallel.json             # CI smoke
+//! ```
+//!
+//! For each sharded algorithm the bench builds the same graph at threads
+//! {1, 2, 4, 8}, verifies the outputs are identical (the determinism
+//! contract), and reports total and phase-0 wall clock from
+//! [`BuildOutput::stats`]. The headline number is the phase-0 speedup at
+//! 4 threads over 1; it is written, with every raw timing, to the JSON
+//! artifact for CI trend tracking. (On a single-core runner the speedup
+//! degenerates to ~1.0 — the engine adds no overhead but has no cores to
+//! use.)
+
+use std::time::Duration;
+use usnae_bench::timing::json_string;
+use usnae_core::api::{Algorithm, BuildOutput, Emulator};
+use usnae_graph::generators;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Run {
+    threads: usize,
+    total: Duration,
+    phase0: Duration,
+    explorations: usize,
+}
+
+fn build(g: &usnae_graph::Graph, algorithm: Algorithm, threads: usize) -> BuildOutput {
+    Emulator::builder(g)
+        .epsilon(0.5)
+        .kappa(4)
+        .algorithm(algorithm)
+        .threads(threads)
+        .build()
+        .expect("valid bench configuration")
+}
+
+fn bench_algorithm(
+    g: &usnae_graph::Graph,
+    algorithm: Algorithm,
+    samples: usize,
+) -> (Vec<Run>, f64) {
+    println!("\n== parallel/{} ==", algorithm.name());
+    let mut runs = Vec::new();
+    let mut baseline_edges = None;
+    for &threads in &THREAD_COUNTS {
+        let mut best: Option<Run> = None;
+        for _ in 0..samples {
+            let out = build(g, algorithm, threads);
+            match baseline_edges {
+                None => baseline_edges = Some(out.num_edges()),
+                Some(e) => assert_eq!(
+                    e,
+                    out.num_edges(),
+                    "{} at {threads} threads diverged from the sequential build",
+                    algorithm.name()
+                ),
+            }
+            let run = Run {
+                threads,
+                total: out.stats.total,
+                phase0: out.stats.phase0().unwrap_or_default(),
+                explorations: out.stats.phases.first().map_or(0, |p| p.explorations),
+            };
+            if best.as_ref().is_none_or(|b| run.total < b.total) {
+                best = Some(run);
+            }
+        }
+        let best = best.expect("at least one sample");
+        println!(
+            "{:<28} total {:>10.3?}  phase0 {:>10.3?}  ({} explorations)",
+            format!("{}/threads={threads}", algorithm.name()),
+            best.total,
+            best.phase0,
+            best.explorations
+        );
+        runs.push(best);
+    }
+    let p0_1 = runs[0].phase0.as_secs_f64();
+    let p0_4 = runs
+        .iter()
+        .find(|r| r.threads == 4)
+        .expect("4-thread leg present")
+        .phase0
+        .as_secs_f64();
+    let speedup = if p0_4 > 0.0 { p0_1 / p0_4 } else { 1.0 };
+    println!(
+        "{}: phase-0 speedup at 4 threads = {speedup:.2}x",
+        algorithm.name()
+    );
+    (runs, speedup)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n = 100_000usize;
+    let mut samples = 3usize;
+    let mut json_path = "target/bench-parallel.json".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--n" => n = it.next().and_then(|v| v.parse().ok()).expect("--n <size>"),
+            "--samples" => {
+                samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples <k>")
+            }
+            "--json" => json_path = it.next().expect("--json <path>").clone(),
+            // `cargo bench` forwards its own flags (e.g. --bench); ignore.
+            _ => {}
+        }
+    }
+
+    let g = generators::gnp_connected(n, 8.0 / n as f64, 42).expect("valid gnp parameters");
+    println!(
+        "parallel bench: {} vertices, {} edges, {} hardware threads available",
+        g.num_vertices(),
+        g.num_edges(),
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+
+    let mut algo_json = Vec::new();
+    for algorithm in [Algorithm::Centralized, Algorithm::FastCentralized] {
+        let (runs, speedup) = bench_algorithm(&g, algorithm, samples);
+        let runs_json: Vec<String> = runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"threads\":{},\"total_s\":{},\"phase0_s\":{},\"explorations\":{}}}",
+                    r.threads,
+                    r.total.as_secs_f64(),
+                    r.phase0.as_secs_f64(),
+                    r.explorations
+                )
+            })
+            .collect();
+        algo_json.push(format!(
+            "{{\"name\":{},\"phase0_speedup_at_4_threads\":{speedup},\"runs\":[{}]}}",
+            json_string(algorithm.name()),
+            runs_json.join(",")
+        ));
+    }
+    let doc = format!(
+        "{{\"n\":{},\"edges\":{},\"hardware_threads\":{},\"algorithms\":[{}]}}\n",
+        g.num_vertices(),
+        g.num_edges(),
+        std::thread::available_parallelism().map_or(1, usize::from),
+        algo_json.join(",")
+    );
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&json_path, &doc).expect("write bench JSON");
+    println!("\ntiming JSON written to {json_path}");
+}

@@ -63,6 +63,50 @@ pub fn group(name: &str) {
     println!("\n== {name} ==");
 }
 
+impl Measurement {
+    /// The measurement as a JSON object (hand-rolled; the repository is
+    /// dependency-free). Durations are reported in seconds.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":{},\"min_s\":{},\"median_s\":{},\"mean_s\":{}}}",
+            json_string(&self.label),
+            self.min.as_secs_f64(),
+            self.median.as_secs_f64(),
+            self.mean.as_secs_f64()
+        )
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Writes measurements as a JSON array to `path` (CI uploads these as
+/// timing artifacts).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_json(path: &str, measurements: &[Measurement]) -> std::io::Result<()> {
+    let body: Vec<String> = measurements.iter().map(Measurement::to_json).collect();
+    std::fs::write(path, format!("[{}]\n", body.join(",")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +116,19 @@ mod tests {
         let m = bench("test/tiny", 3, || (0..100u64).sum::<u64>());
         assert_eq!(m.label, "test/tiny");
         assert!(m.min <= m.median && m.median <= m.mean * 2);
+    }
+
+    #[test]
+    fn json_escapes_and_serializes() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        let m = Measurement {
+            label: "g/x".into(),
+            min: Duration::from_millis(1),
+            median: Duration::from_millis(2),
+            mean: Duration::from_millis(2),
+        };
+        let j = m.to_json();
+        assert!(j.starts_with("{\"label\":\"g/x\""), "{j}");
+        assert!(j.contains("\"min_s\":0.001"), "{j}");
     }
 }

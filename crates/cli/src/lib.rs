@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! usnae run --algo <name> --input graph.txt [--output emulator.txt]
-//!       [--eps 0.5] [--kappa 4] [--rho 0.5] [--seed 0]
+//!       [--eps 0.5] [--kappa 4] [--rho 0.5] [--seed 0] [--threads 1]
 //!       [--order by-id|by-id-desc|by-degree-desc|by-degree-asc]
 //!       [--raw-eps] [--report]
 //! usnae list
@@ -65,7 +65,7 @@ impl std::error::Error for CliError {}
 
 /// The usage banner.
 pub const USAGE: &str = "usage: usnae run --algo <name> --input <edge-list> [--output <path>] \
-[--eps <0..1>] [--kappa <k>=4] [--rho <r>=0.5] [--seed <s>=0] \
+[--eps <0..1>] [--kappa <k>=4] [--rho <r>=0.5] [--seed <s>=0] [--threads <t>=1] \
 [--order by-id|by-id-desc|by-degree-desc|by-degree-asc] [--raw-eps] [--report]\n\
        usnae list\n\
        usnae build --input <edge-list> [--mode centralized|fast|spanner] [...]\n\
@@ -156,6 +156,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 opts.config.seed = value("--seed")?
                     .parse()
                     .map_err(|_| CliError("--seed must be an integer".into()))?;
+            }
+            "--threads" => {
+                opts.config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| CliError("--threads must be a positive integer".into()))?;
+                if opts.config.threads == 0 {
+                    return Err(CliError(format!(
+                        "--threads must be at least 1 (1 = sequential)\n{USAGE}"
+                    )));
+                }
             }
             "--order" => {
                 let v = value("--order")?;
@@ -256,6 +266,17 @@ pub fn execute(opts: &Options) -> Result<Vec<String>, CliError> {
                 stats.metrics.rounds, stats.metrics.messages, stats.knowledge_violations
             ));
         }
+        let mut timing = format!(
+            "build: {:.3?} on {} thread(s)",
+            out.stats.total, out.stats.threads
+        );
+        if let Some(p0) = out.stats.phase0() {
+            timing.push_str(&format!(
+                "; phase 0: {p0:.3?} ({} explorations)",
+                out.stats.phases[0].explorations
+            ));
+        }
+        lines.push(timing);
     }
     Ok(lines)
 }
@@ -280,7 +301,7 @@ mod tests {
         let o = run_opts(
             parse_args(&args(
                 "run --algo spanner --input g.txt --output h.txt --eps 0.25 --kappa 8 \
-                 --rho 0.4 --seed 9 --order by-degree-desc --raw-eps --report",
+                 --rho 0.4 --seed 9 --threads 4 --order by-degree-desc --raw-eps --report",
             ))
             .unwrap(),
         );
@@ -289,9 +310,52 @@ mod tests {
         assert_eq!(o.config.epsilon, 0.25);
         assert_eq!(o.config.rho, 0.4);
         assert_eq!(o.config.seed, 9);
+        assert_eq!(o.config.threads, 4);
         assert_eq!(o.config.order, ProcessingOrder::ByDegreeDesc);
         assert!(o.config.raw_epsilon && o.report);
         assert_eq!(o.output.as_deref(), Some("h.txt"));
+    }
+
+    #[test]
+    fn threads_flag_validated_at_parse_time() {
+        assert!(parse_args(&args("run --input g.txt --threads 0")).is_err());
+        assert!(parse_args(&args("run --input g.txt --threads banana")).is_err());
+        let o = run_opts(parse_args(&args("run --input g.txt --threads 8")).unwrap());
+        assert_eq!(o.config.threads, 8);
+    }
+
+    #[test]
+    fn threads_produce_identical_structures_through_the_cli_path() {
+        let g = usnae_graph::generators::gnp_connected(100, 0.06, 17).unwrap();
+        for name in registry::names() {
+            let mk = |threads: usize| Options {
+                algo: name.to_string(),
+                input: String::new(),
+                output: None,
+                config: BuildConfig {
+                    threads,
+                    ..BuildConfig::default()
+                },
+                report: false,
+            };
+            let canonical = |out: &BuildOutput| {
+                let mut edges: Vec<(usize, usize, u64)> = out
+                    .emulator
+                    .graph()
+                    .edges()
+                    .map(|e| (e.u, e.v, e.weight))
+                    .collect();
+                edges.sort_unstable();
+                edges
+            };
+            let seq = run_build(&g, &mk(1)).unwrap();
+            let par = run_build(&g, &mk(4)).unwrap();
+            assert_eq!(
+                canonical(&seq),
+                canonical(&par),
+                "{name}: CLI build diverged at 4 threads"
+            );
+        }
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //!
 //! * [`EmulatorBuilder`] — a fluent, validated front door for one-off
 //!   builds: pick an [`Algorithm`], set `ε/κ/ρ`, processing order, raw-ε
-//!   mode, tracing, and get a [`BuildOutput`] carrying the emulator, the
-//!   certified `(α, β)` pair, optional per-phase traces, and (for CONGEST
-//!   constructions) the simulator metrics.
+//!   mode, tracing, worker threads, and get a [`BuildOutput`] carrying the
+//!   emulator, the certified `(α, β)` pair, optional per-phase traces,
+//!   execution stats ([`BuildStats`]) and (for CONGEST constructions) the
+//!   simulator metrics. `.threads(n)` shards the per-center explorations
+//!   (phase 0's dominant cost) over `n` workers; the output is
+//!   byte-identical to the sequential build for every thread count.
 //! * [`Construction`] — the object-safe trait each algorithm implements, so
 //!   experiments, benchmarks and the CLI can treat all of them uniformly.
 //! * [`registry`] — the catalogue of paper constructions
@@ -26,11 +29,13 @@
 //! let out = Emulator::builder(&g)
 //!     .epsilon(0.5)
 //!     .kappa(4)
+//!     .threads(2) // shard phase-0 explorations; output identical to threads(1)
 //!     .algorithm(Algorithm::Centralized)
 //!     .build()?;
 //! let (alpha, beta) = out.certified.expect("paper constructions certify stretch");
 //! assert!(alpha >= 1.0 && beta >= 0.0);
 //! assert!(out.emulator.num_edges() as f64 <= out.size_bound.unwrap());
+//! assert_eq!(out.stats.threads, 2); // wall-clock stats ride along
 //! # Ok(())
 //! # }
 //! ```
@@ -62,7 +67,7 @@ pub use crate::centralized::ProcessingOrder;
 pub use crate::emulator::Emulator;
 pub use config::{Algorithm, BuildConfig};
 pub use construction::{BuildError, Construction, Supports};
-pub use output::{BuildOutput, CongestStats, PhaseSummary, Trace};
+pub use output::{BuildOutput, BuildStats, CongestStats, PhaseSummary, PhaseTiming, Trace};
 
 use usnae_graph::Graph;
 
@@ -139,6 +144,15 @@ impl<'g> EmulatorBuilder<'g> {
         self
     }
 
+    /// Worker threads for the sharded exploration phases (default 1 =
+    /// sequential; must be ≥ 1, validated at build time). The built
+    /// structure is byte-identical for every thread count — only
+    /// [`BuildOutput::stats`] timings change.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// The accumulated configuration.
     pub fn config(&self) -> &BuildConfig {
         &self.config
@@ -208,6 +222,35 @@ mod tests {
         let sc = |o: &BuildOutput| o.trace.as_ref().unwrap().phase_summaries()[0].num_superclusters;
         assert_eq!(sc(&first), 1);
         assert_eq!(sc(&last), 0);
+    }
+
+    #[test]
+    fn builder_threads_keep_output_identical() {
+        let g = generators::gnp_connected(150, 0.05, 8).unwrap();
+        let sequential = Emulator::builder(&g).kappa(4).build().unwrap();
+        assert_eq!(sequential.stats.threads, 1);
+        let parallel = Emulator::builder(&g).kappa(4).threads(4).build().unwrap();
+        assert_eq!(parallel.stats.threads, 4);
+        assert_eq!(
+            sequential.emulator.provenance(),
+            parallel.emulator.provenance()
+        );
+        assert!(!parallel.stats.phases.is_empty());
+        assert!(parallel.stats.phase0().is_some());
+    }
+
+    #[test]
+    fn builder_rejects_zero_threads() {
+        let g = generators::path(6).unwrap();
+        for algo in Algorithm::all() {
+            assert!(
+                matches!(
+                    Emulator::builder(&g).algorithm(algo).threads(0).build(),
+                    Err(BuildError::Param(_))
+                ),
+                "{algo:?} must reject threads = 0"
+            );
+        }
     }
 
     #[test]

@@ -104,6 +104,9 @@ pub struct BuildConfig {
     pub traced: bool,
     /// Seed for randomized constructions (TZ06/EN17a baselines).
     pub seed: u64,
+    /// Worker threads for the sharded exploration phases (1 = sequential;
+    /// must be ≥ 1). Output is byte-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for BuildConfig {
@@ -116,11 +119,28 @@ impl Default for BuildConfig {
             order: ProcessingOrder::ById,
             traced: false,
             seed: 0,
+            threads: 1,
         }
     }
 }
 
 impl BuildConfig {
+    /// Validates the construction-independent fields — today, that
+    /// `threads >= 1`. Every [`Construction`](crate::api::Construction)
+    /// calls this before deriving its parameter schedule, so `threads == 0`
+    /// surfaces as [`BuildError::Param`](crate::api::BuildError) instead of
+    /// a panic inside the sharded phase loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamError::ZeroThreads`] when `threads == 0`.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.threads == 0 {
+            return Err(ParamError::ZeroThreads);
+        }
+        Ok(())
+    }
+
     /// Derives the §2.1.2 parameter schedule, honoring
     /// [`raw_epsilon`](Self::raw_epsilon).
     ///
@@ -183,9 +203,26 @@ mod tests {
     #[test]
     fn default_config_is_valid_everywhere() {
         let cfg = BuildConfig::default();
+        assert!(cfg.validate().is_ok());
         assert!(cfg.centralized_params().is_ok());
         assert!(cfg.distributed_params().is_ok());
         assert!(cfg.spanner_params().is_ok());
+    }
+
+    #[test]
+    fn zero_threads_rejected_with_param_error() {
+        let cfg = BuildConfig {
+            threads: 0,
+            ..BuildConfig::default()
+        };
+        assert_eq!(cfg.validate(), Err(ParamError::ZeroThreads));
+        for threads in [1usize, 2, 8, 128] {
+            let cfg = BuildConfig {
+                threads,
+                ..BuildConfig::default()
+            };
+            assert!(cfg.validate().is_ok(), "threads={threads}");
+        }
     }
 
     #[test]

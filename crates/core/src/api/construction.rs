@@ -20,6 +20,10 @@ pub struct Supports {
     /// Runs on the CONGEST simulator and reports
     /// [`CongestStats`](crate::api::CongestStats).
     pub congest: bool,
+    /// Shards its per-center explorations across `BuildConfig::threads`
+    /// (constructions without this flag accept the knob but run
+    /// sequentially; output is identical either way).
+    pub parallel: bool,
     /// Output is a unit-weight subgraph of `G` (a spanner).
     pub subgraph: bool,
     /// Output carries a certified `(α, β)` stretch pair.
@@ -36,6 +40,7 @@ impl Supports {
             uses_seed: false,
             traced: false,
             congest: false,
+            parallel: false,
             subgraph: false,
             certified: false,
         }

@@ -3,11 +3,13 @@
 use crate::api::{
     BuildConfig, BuildError, BuildOutput, CongestStats, Construction, Supports, Trace,
 };
-use crate::centralized::build_centralized;
+use crate::centralized::build_centralized_exec;
 use crate::distributed::driver::build_distributed;
 use crate::distributed::spanner_driver::build_spanner_congest;
-use crate::fast_centralized::build_fast;
-use crate::spanner::build_spanner_impl;
+use crate::exec::BuildStats;
+use crate::fast_centralized::build_fast_exec;
+use crate::spanner::build_spanner_exec;
+use std::time::Instant;
 use usnae_graph::Graph;
 
 /// Algorithm 1 (§2): sequential superclustering with buffer sets.
@@ -27,6 +29,7 @@ impl Construction for Centralized {
         Supports {
             uses_order: true,
             traced: true,
+            parallel: true,
             certified: true,
             ..Supports::none()
         }
@@ -41,14 +44,21 @@ impl Construction for Centralized {
     }
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        cfg.validate()?;
         let params = cfg.centralized_params()?;
-        let (emulator, trace) = build_centralized(g, &params, cfg.order);
+        let t0 = Instant::now();
+        let (emulator, trace, phases) = build_centralized_exec(g, &params, cfg.order, cfg.threads);
         Ok(BuildOutput {
             emulator,
             certified: Some(params.certified_stretch()),
             size_bound: Some(params.size_bound(g.num_vertices())),
             trace: cfg.traced.then_some(Trace::Centralized(trace)),
             congest: None,
+            stats: BuildStats {
+                threads: cfg.threads,
+                total: t0.elapsed(),
+                phases,
+            },
             algorithm: self.name(),
         })
     }
@@ -71,6 +81,7 @@ impl Construction for FastCentralized {
         Supports {
             uses_rho: true,
             traced: true,
+            parallel: true,
             certified: true,
             ..Supports::none()
         }
@@ -85,14 +96,21 @@ impl Construction for FastCentralized {
     }
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        cfg.validate()?;
         let params = cfg.distributed_params()?;
-        let (emulator, trace) = build_fast(g, &params);
+        let t0 = Instant::now();
+        let (emulator, trace, phases) = build_fast_exec(g, &params, cfg.threads);
         Ok(BuildOutput {
             emulator,
             certified: Some(params.certified_stretch()),
             size_bound: Some(params.size_bound(g.num_vertices())),
             trace: cfg.traced.then_some(Trace::Fast(trace)),
             congest: None,
+            stats: BuildStats {
+                threads: cfg.threads,
+                total: t0.elapsed(),
+                phases,
+            },
             algorithm: self.name(),
         })
     }
@@ -130,7 +148,9 @@ impl Construction for Distributed {
     }
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        cfg.validate()?;
         let params = cfg.distributed_params()?;
+        let t0 = Instant::now();
         let build = build_distributed(g, &params)?;
         Ok(BuildOutput {
             emulator: build.emulator,
@@ -142,6 +162,11 @@ impl Construction for Distributed {
                 knowledge_checked: build.knowledge_checked,
                 knowledge_violations: build.knowledge_violations,
             }),
+            stats: BuildStats {
+                threads: cfg.threads,
+                total: t0.elapsed(),
+                phases: Vec::new(),
+            },
             algorithm: self.name(),
         })
     }
@@ -169,6 +194,7 @@ impl Construction for Spanner {
         Supports {
             uses_rho: true,
             traced: true,
+            parallel: true,
             subgraph: true,
             certified: true,
             ..Supports::none()
@@ -184,8 +210,10 @@ impl Construction for Spanner {
     }
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        cfg.validate()?;
         let params = cfg.spanner_params()?;
-        let (emulator, trace) = build_spanner_impl(g, &params);
+        let t0 = Instant::now();
+        let (emulator, trace, phases) = build_spanner_exec(g, &params, cfg.threads);
         let n = g.num_vertices();
         Ok(BuildOutput {
             emulator,
@@ -193,6 +221,11 @@ impl Construction for Spanner {
             size_bound: Some(SPANNER_SIZE_CONSTANT * params.size_bound(n) + n as f64),
             trace: cfg.traced.then_some(Trace::Spanner(trace)),
             congest: None,
+            stats: BuildStats {
+                threads: cfg.threads,
+                total: t0.elapsed(),
+                phases,
+            },
             algorithm: self.name(),
         })
     }
@@ -231,7 +264,9 @@ impl Construction for DistributedSpanner {
     }
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        cfg.validate()?;
         let params = cfg.spanner_params()?;
+        let t0 = Instant::now();
         let build = build_spanner_congest(g, &params)?;
         let n = g.num_vertices();
         Ok(BuildOutput {
@@ -246,6 +281,11 @@ impl Construction for DistributedSpanner {
                 knowledge_checked: 0,
                 knowledge_violations: 0,
             }),
+            stats: BuildStats {
+                threads: cfg.threads,
+                total: t0.elapsed(),
+                phases: Vec::new(),
+            },
             algorithm: self.name(),
         })
     }

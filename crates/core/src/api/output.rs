@@ -4,6 +4,7 @@ use crate::centralized::BuildTrace;
 use crate::distributed::driver::DistributedPhaseTrace;
 use crate::distributed::spanner_driver::SpannerDriverPhase;
 use crate::emulator::Emulator;
+pub use crate::exec::{BuildStats, PhaseTiming};
 use crate::fast_centralized::FastBuildTrace;
 use crate::spanner::SpannerTrace;
 use usnae_congest::Metrics;
@@ -149,6 +150,9 @@ pub struct BuildOutput {
     pub trace: Option<Trace>,
     /// CONGEST execution stats (present for simulator-backed builds).
     pub congest: Option<CongestStats>,
+    /// Wall-clock execution stats: thread count, total time, and per-phase
+    /// timings for the sharded constructions.
+    pub stats: BuildStats,
     /// Registry name of the construction that produced this output.
     pub algorithm: &'static str,
 }

@@ -16,11 +16,21 @@
 //! On the unweighted input the paper's "Dijkstra exploration to depth
 //! `δ_i`" is a bounded BFS; we explore once to `2·δ_i` and reuse the
 //! distances for both the `Γ(r_C)` computation and the buffer step.
+//!
+//! The explorations are the dominant cost and are pure functions of `G`,
+//! so each phase prefetches them for a chunk of centers through
+//! [`usnae_graph::par`] (sharded scoped threads). The center-processing
+//! loop itself stays sequential and consumes the prefetched balls in
+//! center order, so the build is **byte-identical for every thread
+//! count** — a ball computed for a center that gets superclustered or
+//! buffered before its turn is simply discarded, exactly as the lazy
+//! sequential loop would never have computed it.
 
 use crate::cluster::{Cluster, Partition};
 use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
+use crate::exec::{ChunkPolicy, PhaseClock, PhaseTiming};
 use crate::params::CentralizedParams;
-use usnae_graph::bfs::bfs_bounded;
+use usnae_graph::par;
 use usnae_graph::{Dist, Graph, VertexId};
 
 /// Order in which phase `i` pops centers from `S_i`.
@@ -131,13 +141,26 @@ pub fn build_emulator_traced(
     build_centralized(g, params, order)
 }
 
-/// Crate-internal entry point behind [`crate::api::EmulatorBuilder`] (and the
-/// deprecated free-function shims): runs Algorithm 1 end to end.
+/// Crate-internal sequential entry point (tests, oracle, hopset):
+/// [`build_centralized_exec`] with one thread, timings dropped.
 pub(crate) fn build_centralized(
     g: &Graph,
     params: &CentralizedParams,
     order: ProcessingOrder,
 ) -> (Emulator, BuildTrace) {
+    let (emulator, trace, _) = build_centralized_exec(g, params, order, 1);
+    (emulator, trace)
+}
+
+/// Crate-internal entry point behind [`crate::api::EmulatorBuilder`]: runs
+/// Algorithm 1 end to end, sharding the per-center explorations over
+/// `threads` and recording per-phase wall-clock timings.
+pub(crate) fn build_centralized_exec(
+    g: &Graph,
+    params: &CentralizedParams,
+    order: ProcessingOrder,
+    threads: usize,
+) -> (Emulator, BuildTrace, Vec<PhaseTiming>) {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
     let mut partition = Partition::singletons(n);
@@ -146,10 +169,22 @@ pub(crate) fn build_centralized(
         partitions: vec![partition.clone()],
         unclustered: Vec::with_capacity(params.ell() + 1),
     };
+    let mut clock = PhaseClock::new();
     for i in 0..=params.ell() {
         let last = i == params.ell();
-        let (next, phase_trace, u_i) =
-            run_phase(g, &mut emulator, &partition, i, params, last, order);
+        let (next, phase_trace, u_i) = clock.measure(i, || {
+            let (next, phase_trace, u_i, explorations) = run_phase(
+                g,
+                &mut emulator,
+                &partition,
+                i,
+                params,
+                last,
+                order,
+                threads,
+            );
+            ((next, phase_trace, u_i), explorations)
+        });
         trace.phases.push(phase_trace);
         trace.unclustered.push(u_i);
         trace.partitions.push(next.clone());
@@ -159,7 +194,7 @@ pub(crate) fn build_centralized(
         partition.is_empty(),
         "P_(ell+1) must be empty: no popular clusters in the last phase (eq. 1)"
     );
-    (emulator, trace)
+    (emulator, trace, clock.into_phases())
 }
 
 /// Status of a center during a phase.
@@ -188,7 +223,8 @@ fn run_phase(
     params: &CentralizedParams,
     last: bool,
     order: ProcessingOrder,
-) -> (Partition, PhaseTrace, Vec<Cluster>) {
+    threads: usize,
+) -> (Partition, PhaseTrace, Vec<Cluster>, usize) {
     let n = g.num_vertices();
     let delta = params.delta(i);
     let two_delta = delta.saturating_mul(2);
@@ -217,66 +253,88 @@ fn run_phase(
         buffer_join_edges: 0,
     };
 
-    for &rc in &centers {
-        if status[rc] != Status::InS {
-            continue; // superclustered or buffered since being enqueued
+    // Explorations are prefetched per chunk: pure bounded BFS, sharded over
+    // the thread pool; the sequential consumption below re-checks each
+    // center's status, so a ball that became stale (its center was
+    // superclustered or buffered mid-chunk) is discarded unused. The chunk
+    // size adapts to the observed staleness (see [`ChunkPolicy`]); it never
+    // affects the output, only the wasted work.
+    let mut explorations = 0usize;
+    let mut policy = ChunkPolicy::new(threads);
+    let mut pos = 0;
+    while pos < centers.len() {
+        let block = &centers[pos..(pos + policy.chunk()).min(centers.len())];
+        pos += block.len();
+        let todo: Vec<VertexId> = block
+            .iter()
+            .copied()
+            .filter(|&c| status[c] == Status::InS)
+            .collect();
+        if todo.is_empty() {
+            continue;
         }
-        status[rc] = Status::Out; // removed from S_i (Algorithm 1 line 6)
+        // One exploration to 2δ_i serves both Γ(r_C) and the buffer step;
+        // the ball is sorted by vertex id — the same order the historical
+        // dense distance-array scan visited vertices in.
+        let balls = par::balls(g, &todo, two_delta, threads);
+        explorations += todo.len();
+        let mut used = 0usize;
+        for (&rc, ball) in todo.iter().zip(&balls) {
+            if status[rc] != Status::InS {
+                continue; // superclustered or buffered since being prefetched
+            }
+            used += 1;
+            status[rc] = Status::Out; // removed from S_i (Algorithm 1 line 6)
 
-        // One exploration to 2δ_i serves both Γ(r_C) and the buffer step.
-        let dist = bfs_bounded(g, rc, two_delta);
-        let mut gamma: Vec<(VertexId, Dist)> = Vec::new();
-        for (v, d) in dist.iter().enumerate() {
-            if let Some(d) = *d {
+            let mut gamma: Vec<(VertexId, Dist)> = Vec::new();
+            for &(v, d) in ball {
                 if v != rc && d <= delta && status[v] != Status::Out {
                     gamma.push((v, d));
                 }
             }
-        }
 
-        let popular = gamma.len() >= cap && !last;
-        debug_assert!(
-            !last || gamma.len() < cap,
-            "phase ell must have no popular clusters (eq. 1): |Gamma| = {}, cap = {cap}",
-            gamma.len()
-        );
-        if !popular {
-            for &(v, d) in &gamma {
-                emulator.add_edge(
-                    rc,
-                    v,
-                    d,
-                    EdgeProvenance {
-                        phase: i,
-                        kind: EdgeKind::Interconnection,
-                        charged_to: rc,
-                    },
-                );
-                phase_trace.interconnection_edges += 1;
-            }
-            u_indices.push(center_of[&rc]);
-        } else {
-            let sc_idx = superclusters.len();
-            let mut member_clusters = vec![center_of[&rc]];
-            for &(v, d) in &gamma {
-                emulator.add_edge(
-                    rc,
-                    v,
-                    d,
-                    EdgeProvenance {
-                        phase: i,
-                        kind: EdgeKind::Superclustering,
-                        charged_to: v,
-                    },
-                );
-                phase_trace.superclustering_edges += 1;
-                status[v] = Status::Out; // removed from S_i or N_i
-                member_clusters.push(center_of[&v]);
-            }
-            // Buffer step (Algorithm 1 lines 18–20): S_i centers at distance
-            // in (δ_i, 2δ_i] move to N_i, remembering this supercluster.
-            for (v, d) in dist.iter().enumerate() {
-                if let Some(d) = *d {
+            let popular = gamma.len() >= cap && !last;
+            debug_assert!(
+                !last || gamma.len() < cap,
+                "phase ell must have no popular clusters (eq. 1): |Gamma| = {}, cap = {cap}",
+                gamma.len()
+            );
+            if !popular {
+                for &(v, d) in &gamma {
+                    emulator.add_edge(
+                        rc,
+                        v,
+                        d,
+                        EdgeProvenance {
+                            phase: i,
+                            kind: EdgeKind::Interconnection,
+                            charged_to: rc,
+                        },
+                    );
+                    phase_trace.interconnection_edges += 1;
+                }
+                u_indices.push(center_of[&rc]);
+            } else {
+                let sc_idx = superclusters.len();
+                let mut member_clusters = vec![center_of[&rc]];
+                for &(v, d) in &gamma {
+                    emulator.add_edge(
+                        rc,
+                        v,
+                        d,
+                        EdgeProvenance {
+                            phase: i,
+                            kind: EdgeKind::Superclustering,
+                            charged_to: v,
+                        },
+                    );
+                    phase_trace.superclustering_edges += 1;
+                    status[v] = Status::Out; // removed from S_i or N_i
+                    member_clusters.push(center_of[&v]);
+                }
+                // Buffer step (Algorithm 1 lines 18–20): S_i centers at distance
+                // in (δ_i, 2δ_i] move to N_i, remembering this supercluster.
+                for &(v, d) in ball {
                     if d > delta && status[v] == Status::InS {
                         status[v] = Status::InN {
                             supercluster: sc_idx,
@@ -285,12 +343,13 @@ fn run_phase(
                         phase_trace.num_buffered += 1;
                     }
                 }
+                superclusters.push(SuperclusterBuild {
+                    center: rc,
+                    member_clusters,
+                });
             }
-            superclusters.push(SuperclusterBuild {
-                center: rc,
-                member_clusters,
-            });
         }
+        policy.record(todo.len(), used);
     }
 
     // Phase end (Algorithm 1 lines 22–26): leftover buffered centers join
@@ -343,6 +402,7 @@ fn run_phase(
         Partition::from_clusters(next_clusters),
         phase_trace,
         u_clusters,
+        explorations,
     )
 }
 
@@ -596,6 +656,27 @@ mod tests {
         let p = params(0.5, 2);
         let h = build_centralized(&g, &p, ProcessingOrder::ById).0;
         assert_eq!(h.num_edges(), 0);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        for seed in [3u64, 8] {
+            let g = generators::gnp_connected(250, 0.05, seed).unwrap();
+            let p = params(0.5, 4);
+            for order in [ProcessingOrder::ById, ProcessingOrder::ByDegreeDesc] {
+                let (h1, t1, timings) = build_centralized_exec(&g, &p, order, 1);
+                assert_eq!(timings.len(), t1.phases.len());
+                for threads in [2usize, 4, 8] {
+                    let (ht, tt, _) = build_centralized_exec(&g, &p, order, threads);
+                    assert_eq!(
+                        h1.provenance(),
+                        ht.provenance(),
+                        "seed {seed} threads {threads}: edge stream diverged"
+                    );
+                    assert_eq!(t1.phases, tt.phases, "seed {seed} threads {threads}");
+                }
+            }
+        }
     }
 
     #[test]

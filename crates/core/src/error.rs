@@ -23,6 +23,8 @@ pub enum ParamError {
         /// The κ it was paired with.
         kappa: u32,
     },
+    /// `threads` must be at least 1 (1 = sequential build).
+    ZeroThreads,
 }
 
 impl fmt::Display for ParamError {
@@ -42,6 +44,9 @@ impl fmt::Display for ParamError {
                     f,
                     "rho {rho} must satisfy 1/kappa < rho < 1/2 for kappa {kappa}"
                 )
+            }
+            ParamError::ZeroThreads => {
+                write!(f, "threads must be at least 1 (1 = sequential build)")
             }
         }
     }
@@ -64,5 +69,6 @@ mod tests {
         assert!(ParamError::RhoOutOfRange { rho: 0.7, kappa: 4 }
             .to_string()
             .contains("0.7"));
+        assert!(ParamError::ZeroThreads.to_string().contains("threads"));
     }
 }

@@ -21,10 +21,11 @@
 
 use crate::cluster::{Cluster, Partition};
 use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
+use crate::exec::{PhaseClock, PhaseTiming};
 use crate::params::DistributedParams;
-use crate::sai::{ruling_set, Exploration};
+use crate::sai::ruling_set;
 use usnae_graph::bfs::multi_source_bfs;
-use usnae_graph::{Dist, Graph, VertexId};
+use usnae_graph::{par, Dist, Graph, VertexId};
 
 /// Per-phase statistics of a fast-centralized build.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,9 +83,21 @@ pub fn build_emulator_fast_traced(
     build_fast(g, params)
 }
 
-/// Crate-internal entry point behind [`crate::api::EmulatorBuilder`] (and the
-/// deprecated free-function shims): runs the §3.3 simulation end to end.
+/// Crate-internal sequential entry point (tests): [`build_fast_exec`] with
+/// one thread, timings dropped.
 pub(crate) fn build_fast(g: &Graph, params: &DistributedParams) -> (Emulator, FastBuildTrace) {
+    let (emulator, trace, _) = build_fast_exec(g, params, 1);
+    (emulator, trace)
+}
+
+/// Crate-internal entry point behind [`crate::api::EmulatorBuilder`]: runs
+/// the §3.3 simulation end to end, sharding the Task-1 per-center scans
+/// over `threads` and recording per-phase timings.
+pub(crate) fn build_fast_exec(
+    g: &Graph,
+    params: &DistributedParams,
+    threads: usize,
+) -> (Emulator, FastBuildTrace, Vec<PhaseTiming>) {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
     let mut partition = Partition::singletons(n);
@@ -92,25 +105,46 @@ pub(crate) fn build_fast(g: &Graph, params: &DistributedParams) -> (Emulator, Fa
         phases: Vec::with_capacity(params.ell() + 1),
         partitions: vec![partition.clone()],
     };
+    let mut clock = PhaseClock::new();
     for i in 0..=params.ell() {
         let last = i == params.ell();
-        let (next, phase_trace) = run_phase(g, &mut emulator, &partition, i, params, last);
+        let (next, phase_trace) = clock.measure(i, || {
+            let (next, phase_trace, explorations) =
+                run_phase(g, &mut emulator, &partition, i, params, last, threads);
+            ((next, phase_trace), explorations)
+        });
         trace.phases.push(phase_trace);
         trace.partitions.push(next.clone());
         partition = next;
     }
     debug_assert!(partition.is_empty(), "P_(ell+1) must be empty (eq. 17)");
-    (emulator, trace)
+    (emulator, trace, clock.into_phases())
 }
 
-/// Neighboring centers of `rc` within `delta`, over the current center set.
-fn neighbors_within(
+/// Neighboring centers of every entry of `centers` within `delta`, sharded
+/// over `threads`. Task 1 is status-free — one pure bounded BFS per center
+/// — so the whole scan fans out; each list is sorted by vertex id, the
+/// order the historical dense `Exploration` scan produced.
+fn neighbor_lists(
     g: &Graph,
-    rc: VertexId,
+    centers: &[VertexId],
     delta: Dist,
     is_center: &[bool],
-) -> Vec<(VertexId, Dist)> {
-    Exploration::run(g, rc, delta).centers_found(is_center)
+    threads: usize,
+) -> Vec<Vec<(VertexId, Dist)>> {
+    par::map_ranges(threads, centers.len(), |range| {
+        let mut scratch = par::BallScratch::new(g.num_vertices());
+        range
+            .map(|idx| {
+                let rc = centers[idx];
+                scratch
+                    .ball_sorted(g, rc, delta)
+                    .into_iter()
+                    .filter(|&(v, _)| v != rc && is_center[v])
+                    .collect()
+            })
+            .collect()
+    })
 }
 
 fn run_phase(
@@ -120,7 +154,8 @@ fn run_phase(
     i: usize,
     params: &DistributedParams,
     last: bool,
-) -> (Partition, FastPhaseTrace) {
+    threads: usize,
+) -> (Partition, FastPhaseTrace, usize) {
     let n = g.num_vertices();
     let delta = params.delta(i);
     let cap = params.degree_cap(i, n);
@@ -144,11 +179,9 @@ fn run_phase(
         superclustering_edges: 0,
     };
 
-    // Task 1: popular-cluster detection.
-    let neighbor_lists: Vec<Vec<(VertexId, Dist)>> = centers
-        .iter()
-        .map(|&rc| neighbors_within(g, rc, delta, &is_center))
-        .collect();
+    // Task 1: popular-cluster detection — the sharded per-center scan.
+    let neighbor_lists = neighbor_lists(g, &centers, delta, &is_center, threads);
+    let explorations = centers.len();
     let popular: Vec<VertexId> = centers
         .iter()
         .zip(&neighbor_lists)
@@ -238,7 +271,11 @@ fn run_phase(
         }
     }
 
-    (Partition::from_clusters(next_clusters), phase_trace)
+    (
+        Partition::from_clusters(next_clusters),
+        phase_trace,
+        explorations,
+    )
 }
 
 #[cfg(test)]
@@ -375,6 +412,25 @@ mod tests {
         let h = build_fast(&g, &p).0;
         assert!(h.num_edges() as f64 <= p.size_bound(1024));
         assert!(h.num_edges() <= 1024 + 73);
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        for seed in [2u64, 6] {
+            let g = generators::gnp_connected(260, 0.05, seed).unwrap();
+            let p = params(0.5, 4, 0.5);
+            let (h1, t1, timings) = build_fast_exec(&g, &p, 1);
+            assert_eq!(timings.len(), t1.phases.len());
+            for threads in [2usize, 4, 8] {
+                let (ht, tt, _) = build_fast_exec(&g, &p, threads);
+                assert_eq!(
+                    h1.provenance(),
+                    ht.provenance(),
+                    "seed {seed} threads {threads}: edge stream diverged"
+                );
+                assert_eq!(t1.phases, tt.phases, "seed {seed} threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod cluster;
 pub mod distributed;
 pub mod emulator;
 pub mod error;
+pub mod exec;
 pub mod fast_centralized;
 pub mod hopset;
 pub mod oracle;

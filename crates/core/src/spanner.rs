@@ -18,9 +18,10 @@
 
 use crate::cluster::{Cluster, Partition};
 use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
+use crate::exec::{PhaseClock, PhaseTiming};
 use crate::params::SpannerParams;
 use usnae_graph::bfs::multi_source_bfs;
-use usnae_graph::{Dist, Graph, VertexId};
+use usnae_graph::{par, Dist, Graph, VertexId};
 
 use crate::sai::{ruling_set, Exploration};
 
@@ -79,9 +80,21 @@ pub fn build_spanner_traced(g: &Graph, params: &SpannerParams) -> (Emulator, Spa
     build_spanner_impl(g, params)
 }
 
-/// Crate-internal entry point behind [`crate::api::EmulatorBuilder`] (and the
-/// deprecated free-function shims): runs the §4 construction end to end.
+/// Crate-internal sequential entry point (tests, shims):
+/// [`build_spanner_exec`] with one thread, timings dropped.
 pub(crate) fn build_spanner_impl(g: &Graph, params: &SpannerParams) -> (Emulator, SpannerTrace) {
+    let (spanner, trace, _) = build_spanner_exec(g, params, 1);
+    (spanner, trace)
+}
+
+/// Crate-internal entry point behind [`crate::api::EmulatorBuilder`]: runs
+/// the §4 construction end to end, sharding the Task-1 explorations over
+/// `threads` and recording per-phase timings.
+pub(crate) fn build_spanner_exec(
+    g: &Graph,
+    params: &SpannerParams,
+    threads: usize,
+) -> (Emulator, SpannerTrace, Vec<PhaseTiming>) {
     let n = g.num_vertices();
     let mut spanner = Emulator::new(n);
     let mut partition = Partition::singletons(n);
@@ -89,15 +102,20 @@ pub(crate) fn build_spanner_impl(g: &Graph, params: &SpannerParams) -> (Emulator
         phases: Vec::with_capacity(params.ell() + 1),
         partitions: vec![partition.clone()],
     };
+    let mut clock = PhaseClock::new();
     for i in 0..=params.ell() {
         let last = i == params.ell();
-        let (next, phase_trace) = run_phase(g, &mut spanner, &partition, i, params, last);
+        let (next, phase_trace) = clock.measure(i, || {
+            let (next, phase_trace, explorations) =
+                run_phase(g, &mut spanner, &partition, i, params, last, threads);
+            ((next, phase_trace), explorations)
+        });
         trace.phases.push(phase_trace);
         trace.partitions.push(next.clone());
         partition = next;
     }
     debug_assert!(partition.is_empty(), "P_(ell'+1) must be empty (eq. 37)");
-    (spanner, trace)
+    (spanner, trace, clock.into_phases())
 }
 
 /// Adds every edge of `path` to the spanner with unit weight; returns the
@@ -134,7 +152,8 @@ fn run_phase(
     i: usize,
     params: &SpannerParams,
     last: bool,
-) -> (Partition, SpannerPhaseTrace) {
+    threads: usize,
+) -> (Partition, SpannerPhaseTrace, usize) {
     let n = g.num_vertices();
     let delta = params.delta(i);
     let cap = params.degree_cap(i, n);
@@ -158,15 +177,19 @@ fn run_phase(
         interconnection_edges: 0,
     };
 
-    // Task 1: popular detection, keeping the explorations for path recovery.
-    let explorations: Vec<Exploration> = centers
-        .iter()
-        .map(|&rc| Exploration::run(g, rc, delta))
-        .collect();
-    let neighbor_lists: Vec<Vec<(VertexId, Dist)>> = explorations
-        .iter()
-        .map(|e| e.centers_found(&is_center))
-        .collect();
+    // Task 1: popular detection, keeping the explorations for path
+    // recovery. Each exploration is a pure function of G, so the whole
+    // scan (BFS + neighbor filtering) fans out over the thread pool;
+    // results merge in center order, keeping the build deterministic.
+    let (explorations, neighbor_lists): (Vec<Exploration>, Vec<Vec<(VertexId, Dist)>>) =
+        par::map_indexed(threads, centers.len(), |idx| {
+            let e = Exploration::run(g, centers[idx], delta);
+            let nbrs = e.centers_found(&is_center);
+            (e, nbrs)
+        })
+        .into_iter()
+        .unzip();
+    let num_explorations = centers.len();
     let popular: Vec<VertexId> = centers
         .iter()
         .zip(&neighbor_lists)
@@ -237,7 +260,11 @@ fn run_phase(
         }
     }
 
-    (Partition::from_clusters(next_clusters), phase_trace)
+    (
+        Partition::from_clusters(next_clusters),
+        phase_trace,
+        num_explorations,
+    )
 }
 
 #[cfg(test)]

@@ -15,6 +15,9 @@
 //! * [`distance`] — exact distance ground truth (repeated BFS) and random
 //!   pair sampling for stretch audits.
 //! * [`connectivity`] / [`union_find`] — components and DSU plumbing.
+//! * [`par`] — deterministic scoped-thread fan-out for the per-center
+//!   bounded-BFS explorations (zero external deps, byte-identical output
+//!   for every thread count).
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod metrics;
+pub mod par;
 pub mod rng;
 pub mod union_find;
 pub mod weighted;

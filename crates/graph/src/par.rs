@@ -1,0 +1,275 @@
+//! Deterministic parallel execution substrate for the per-center
+//! exploration phases.
+//!
+//! The dominant cost of every SAI construction is phase 0: one bounded BFS
+//! per cluster center, each a pure function of `G` — embarrassingly
+//! parallel. This module provides a work-stealing-free fan-out built only
+//! on [`std::thread::scope`] (the repository is dependency-free):
+//!
+//! * [`shard_ranges`] splits an index range into contiguous, disjoint
+//!   shards that cover every index exactly once;
+//! * [`map_ranges`] / [`map_indexed`] fan a pure map over those shards and
+//!   merge per-shard results **in shard order**, so the merged vector is
+//!   identical for every thread count — including 1;
+//! * [`balls`] runs one bounded BFS per source through the fan-out,
+//!   returning each ball sorted by vertex id (the iteration order the
+//!   sequential constructions use when scanning a dense distance array).
+//!
+//! Determinism contract: for any `threads >= 1`, every function here
+//! returns *bit-identical* output to its `threads == 1` run. The parity
+//! suite (`tests/parallel_determinism.rs` at the workspace root) holds the
+//! constructions built on top of this module to the same standard.
+
+use crate::graph::{Graph, VertexId};
+use crate::{Dist, INF};
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// Splits `0..len` into at most `shards` contiguous ranges of near-equal
+/// length, covering every index exactly once. The first `len % shards`
+/// ranges are one element longer; empty ranges are never returned.
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1).min(len.max(1));
+    if len == 0 {
+        return Vec::new();
+    }
+    let base = len / shards;
+    let rem = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let size = base + usize::from(s < rem);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Applies `f` to each shard of `0..len` and concatenates the per-shard
+/// vectors in shard order.
+///
+/// With `threads <= 1` (or a single shard) this is exactly `f(0..len)` on
+/// the calling thread — no spawn, no overhead. With more, each shard runs
+/// on its own scoped thread; because shards are contiguous and results are
+/// merged in shard order, the output is independent of the thread count.
+///
+/// `f` sees the *global* index range of its shard, so workers can address
+/// shared read-only slices directly and allocate per-shard scratch once.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn map_ranges<T, F>(threads: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let shards = shard_ranges(len, threads);
+    if shards.len() <= 1 {
+        return f(0..len);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|r| scope.spawn(move || f(r)))
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for h in handles {
+            out.extend(h.join().expect("parallel shard worker panicked"));
+        }
+        out
+    })
+}
+
+/// Index-wise parallel map: `out[i] == f(i)` for all `i in 0..len`,
+/// deterministically, for any `threads >= 1`.
+pub fn map_indexed<T, F>(threads: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    map_ranges(threads, len, |r| r.map(&f).collect())
+}
+
+/// Reusable bounded-BFS scratch: one dense distance array, reset sparsely
+/// (only the vertices the last search reached), so a shard of many
+/// small-ball searches pays the `O(n)` initialization once.
+#[derive(Debug, Clone)]
+pub struct BallScratch {
+    dist: Vec<Dist>,
+    queue: VecDeque<VertexId>,
+}
+
+impl BallScratch {
+    /// Scratch for searches over an `n`-vertex graph.
+    pub fn new(n: usize) -> Self {
+        BallScratch {
+            dist: vec![INF; n],
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Bounded BFS from `source` to depth `depth`, returning the reached
+    /// vertices (including `source` at distance 0) **sorted by vertex id**
+    /// — the order a scan of a dense distance array visits them, which is
+    /// what keeps the constructions' edge-emission order identical to
+    /// their historical dense-array loops.
+    pub fn ball_sorted(
+        &mut self,
+        g: &Graph,
+        source: VertexId,
+        depth: Dist,
+    ) -> Vec<(VertexId, Dist)> {
+        let mut reached: Vec<(VertexId, Dist)> = Vec::new();
+        self.dist[source] = 0;
+        self.queue.push_back(source);
+        reached.push((source, 0));
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist[u];
+            if du == depth {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                if self.dist[v] == INF {
+                    self.dist[v] = du + 1;
+                    reached.push((v, du + 1));
+                    self.queue.push_back(v);
+                }
+            }
+        }
+        for &(v, _) in &reached {
+            self.dist[v] = INF;
+        }
+        self.queue.clear();
+        reached.sort_unstable_by_key(|&(v, _)| v);
+        reached
+    }
+}
+
+/// One bounded BFS per source, fanned out over `threads` shards; `out[i]`
+/// is the ball of `sources[i]` sorted by vertex id (see
+/// [`BallScratch::ball_sorted`]). Identical output for every thread count.
+pub fn balls(
+    g: &Graph,
+    sources: &[VertexId],
+    depth: Dist,
+    threads: usize,
+) -> Vec<Vec<(VertexId, Dist)>> {
+    map_ranges(threads, sources.len(), |range| {
+        let mut scratch = BallScratch::new(g.num_vertices());
+        range
+            .map(|i| scratch.ball_sorted(g, sources[i], depth))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use crate::generators;
+
+    #[test]
+    fn shard_ranges_cover_every_index_exactly_once() {
+        for len in [0usize, 1, 2, 7, 64, 1000, 1001] {
+            for shards in [1usize, 2, 3, 4, 8, 13, 2000] {
+                let ranges = shard_ranges(len, shards);
+                let mut seen = vec![0usize; len];
+                let mut prev_end = 0;
+                for r in &ranges {
+                    assert!(!r.is_empty(), "len={len} shards={shards}: empty shard");
+                    assert_eq!(r.start, prev_end, "shards must be contiguous");
+                    prev_end = r.end;
+                    for i in r.clone() {
+                        seen[i] += 1;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "len={len} shards={shards}: index covered != once"
+                );
+                assert!(ranges.len() <= shards.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_merge_order_is_stable_across_thread_counts() {
+        let reference: Vec<usize> = (0..997).map(|i| i * i % 101).collect();
+        for threads in [1usize, 2, 3, 4, 8, 16] {
+            let got = map_indexed(threads, 997, |i| i * i % 101);
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_ranges_sees_global_indices() {
+        let data: Vec<u64> = (0..500).map(|i| i as u64 * 3).collect();
+        for threads in [1usize, 4, 7] {
+            let got = map_ranges(threads, data.len(), |r| {
+                r.map(|i| data[i] + 1).collect::<Vec<_>>()
+            });
+            let want: Vec<u64> = data.iter().map(|&x| x + 1).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn ball_sorted_matches_dense_bounded_bfs() {
+        let g = generators::gnp_connected(200, 0.04, 11).unwrap();
+        let mut scratch = BallScratch::new(200);
+        for source in [0usize, 7, 199] {
+            for depth in [0u64, 1, 2, 5, INF] {
+                let sparse = scratch.ball_sorted(&g, source, depth);
+                let dense: Vec<(VertexId, Dist)> = bfs::bfs_bounded(&g, source, depth)
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(v, d)| d.map(|d| (v, d)))
+                    .collect();
+                assert_eq!(sparse, dense, "source={source} depth={depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_leaves_no_residue() {
+        let g = generators::grid2d(12, 12).unwrap();
+        let mut scratch = BallScratch::new(144);
+        let first = scratch.ball_sorted(&g, 0, 4);
+        let _middle = scratch.ball_sorted(&g, 77, 6);
+        let again = scratch.ball_sorted(&g, 0, 4);
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn balls_fan_out_agrees_with_sequential_loop_on_seeded_graphs() {
+        for seed in [1u64, 5, 9] {
+            let g = generators::gnp_connected(150, 0.05, seed).unwrap();
+            let sources: Vec<VertexId> = (0..g.num_vertices()).collect();
+            let sequential = balls(&g, &sources, 3, 1);
+            for threads in [2usize, 4, 8] {
+                let parallel = balls(&g, &sources, 3, threads);
+                assert_eq!(sequential, parallel, "seed={seed} threads={threads}");
+            }
+            // And the sequential loop itself matches the plain dense BFS.
+            for (&s, ball) in sources.iter().zip(&sequential) {
+                let dense: Vec<(VertexId, Dist)> = bfs::bfs_bounded(&g, s, 3)
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(v, d)| d.map(|d| (v, d)))
+                    .collect();
+                assert_eq!(*ball, dense, "seed={seed} source={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let g = generators::path(4).unwrap();
+        assert!(balls(&g, &[], 3, 4).is_empty());
+        assert!(map_indexed(4, 0, |i| i).is_empty());
+        assert!(shard_ranges(0, 4).is_empty());
+    }
+}

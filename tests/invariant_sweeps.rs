@@ -132,6 +132,57 @@ fn emulator_never_shortens_or_disconnects() {
     }
 }
 
+/// Registry-wide stretch verification (the issue's checklist item): for
+/// every algorithm in the catalogue — paper constructions *and* baselines —
+/// certified stretch is audited through `verify.rs` on two random graph
+/// families (sparse Erdős–Rényi and grid), across seeds. Baselines certify
+/// no `(α, β)`; for them the same audit still enforces the never-shorten
+/// and never-disconnect halves of the contract (`α = ∞` disables only the
+/// stretch inequality).
+#[test]
+fn registry_certified_stretch_on_random_families() {
+    use usnae::core::verify::audit_stretch as audit;
+    for c in usnae::registry::all() {
+        let congest = c.supports().congest;
+        for seed in [19u64, 43] {
+            let families: Vec<(&str, Graph)> = if congest {
+                vec![
+                    (
+                        "gnp",
+                        generators::gnp_connected(70, 9.0 / 70.0, seed).unwrap(),
+                    ),
+                    ("grid", generators::grid2d(8, 8).unwrap()),
+                ]
+            } else {
+                vec![
+                    (
+                        "gnp",
+                        generators::gnp_connected(160, 7.0 / 160.0, seed).unwrap(),
+                    ),
+                    ("grid", generators::grid2d(12, 12).unwrap()),
+                ]
+            };
+            for (family, g) in families {
+                let cfg = usnae::api::BuildConfig {
+                    seed,
+                    ..usnae::api::BuildConfig::default()
+                };
+                let out = c
+                    .build(&g, &cfg)
+                    .unwrap_or_else(|e| panic!("{} on {family} seed {seed}: {e}", c.name()));
+                let pairs = sample_pairs(&g, 120, seed.wrapping_add(3));
+                let (alpha, beta) = out.certified.unwrap_or((f64::INFINITY, 0.0));
+                let rep = audit(&g, out.emulator.graph(), alpha, beta, &pairs);
+                assert!(
+                    rep.passed(),
+                    "{} on {family} seed {seed}: {rep:?}",
+                    c.name()
+                );
+            }
+        }
+    }
+}
+
 /// Parameter algebra invariants: deg_{i+1} ≤ deg_i² and α within 1+ε
 /// (rescaled mode) across the admissible space.
 #[test]
