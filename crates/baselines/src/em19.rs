@@ -11,7 +11,7 @@
 use usnae_core::cluster::{Cluster, Partition};
 use usnae_core::emulator::{EdgeKind, EdgeProvenance, Emulator};
 use usnae_core::params::DistributedParams;
-use usnae_core::sai::{ruling_set, Exploration};
+use usnae_core::sai::{ruling_set_par, Exploration};
 use usnae_graph::bfs::multi_source_bfs;
 use usnae_graph::{par, Dist, Graph, VertexId};
 
@@ -99,7 +99,7 @@ fn run_phase(
     let mut superclustered = vec![false; n];
     let mut next_clusters: Vec<Cluster> = Vec::new();
     if !last && !popular.is_empty() {
-        let rulers = ruling_set(g, &popular, delta);
+        let rulers = ruling_set_par(g, &popular, delta, threads);
         let forest = multi_source_bfs(g, &rulers, params.forest_depth(i).min(n as Dist));
         let mut members_of: std::collections::HashMap<VertexId, Vec<usize>> =
             rulers.iter().map(|&r| (r, vec![center_of[&r]])).collect();

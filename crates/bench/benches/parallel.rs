@@ -47,16 +47,16 @@ fn bench_algorithm(
 ) -> (Vec<Run>, f64) {
     println!("\n== parallel/{} ==", algorithm.name());
     let mut runs = Vec::new();
-    let mut baseline_edges = None;
+    let mut baseline_stream = None;
     for &threads in &THREAD_COUNTS {
         let mut best: Option<Run> = None;
         for _ in 0..samples {
             let out = build(g, algorithm, threads);
-            match baseline_edges {
-                None => baseline_edges = Some(out.num_edges()),
-                Some(e) => assert_eq!(
-                    e,
-                    out.num_edges(),
+            match baseline_stream {
+                None => baseline_stream = Some(out.stream_fingerprint()),
+                Some(f) => assert_eq!(
+                    f,
+                    out.stream_fingerprint(),
                     "{} at {threads} threads diverged from the sequential build",
                     algorithm.name()
                 ),

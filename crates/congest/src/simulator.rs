@@ -1,4 +1,24 @@
 //! The synchronous round engine.
+//!
+//! # Determinism
+//!
+//! The engine is fully deterministic: given the same graph and the same
+//! [`NodeAlgorithm`] behavior, every run produces the identical message
+//! schedule. Three properties guarantee it — audited because the
+//! distributed drivers' output streams depend on them:
+//!
+//! * **Send order.** Messages queue onto per-directed-edge FIFO queues in
+//!   the order `Ctx::send` was called; nodes execute `init`/`round` in
+//!   ascending node id, so the global enqueue order is defined.
+//! * **Delivery order.** Each round, a node's inbox is assembled by
+//!   scanning its neighbors in adjacency order (fixed by the graph) and
+//!   popping one message per edge — no map iteration anywhere.
+//! * **Fast-forward.** Quiet-stretch skipping only advances the round
+//!   counter; the simulated execution is unchanged.
+//!
+//! Algorithms that keep per-node state must uphold the same standard
+//! (index-keyed `Vec`s or `BTreeMap`s, never `HashMap` iteration) for the
+//! end-to-end build to be run-to-run reproducible.
 
 use crate::error::CongestError;
 use crate::metrics::Metrics;
@@ -451,6 +471,50 @@ mod tests {
         assert!(sim.metrics().rounds > after_first);
         sim.charge_rounds(17);
         assert_eq!(sim.metrics().charged_rounds, 17);
+    }
+
+    /// Broadcasts everything it hears (bounded by a TTL) and logs every
+    /// delivery `(round, receiver, sender, payload)` — a full observable
+    /// schedule of the execution.
+    struct DeliveryLogger {
+        ttl: u64,
+        log: Vec<(u64, usize, usize, u64)>,
+    }
+    impl NodeAlgorithm for DeliveryLogger {
+        type Msg = u64;
+        fn init(&mut self, node: usize, ctx: &mut Ctx<'_, u64>) {
+            ctx.broadcast(node as u64 * 1000 + self.ttl);
+        }
+        fn round(&mut self, node: usize, inbox: &[(usize, u64)], ctx: &mut Ctx<'_, u64>) {
+            for &(from, msg) in inbox {
+                self.log.push((ctx.round(), node, from, msg));
+                if msg % 1000 > 0 {
+                    ctx.broadcast(msg - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_schedule_is_identical_across_runs() {
+        // The engine's determinism contract (module docs): two runs of the
+        // same algorithm on the same graph produce the exact same delivery
+        // schedule — round, receiver, sender, and payload of every message.
+        let g = generators::gnp_connected(40, 0.15, 3).unwrap();
+        let mut reference: Option<Vec<(u64, usize, usize, u64)>> = None;
+        for _ in 0..3 {
+            let mut sim = Simulator::new(&g);
+            let mut algo = DeliveryLogger {
+                ttl: 3,
+                log: Vec::new(),
+            };
+            sim.run(&mut algo, 100_000).unwrap();
+            assert!(!algo.log.is_empty());
+            match &reference {
+                None => reference = Some(algo.log),
+                Some(r) => assert_eq!(r, &algo.log, "delivery schedule diverged"),
+            }
+        }
     }
 
     #[test]

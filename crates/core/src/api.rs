@@ -18,6 +18,26 @@
 //!   ([`registry::all`]); `usnae_baselines::registry::all` extends it with
 //!   the baseline lineages.
 //!
+//! # Determinism guarantee
+//!
+//! Every registry construction is a **pure function of
+//! `(graph, BuildConfig)`**: the built edge stream (insertion order and
+//! provenance included), the trace, and the certified `(α, β)` pair are
+//! identical for every thread count *and* for every run — including the
+//! CONGEST simulations, whose drivers emit edges in a defined order
+//! (ascending center/neighbor id) and whose simulator schedules messages
+//! deterministically. [`BuildStats`] is the one thread-sensitive corner:
+//! wall-clock durations always vary, and `stats.threads` / per-phase
+//! exploration counters reflect the requested fan-out (the adaptive
+//! prefetch launches more — wasted, output-irrelevant — explorations at
+//! higher thread counts); the counters are still *run*-invariant for a
+//! fixed thread count, so cache keys should fingerprint the edge stream
+//! ([`BuildOutput::stream_fingerprint`]), never the stats.
+//! The workspace parity suite (`tests/parallel_determinism.rs`) enforces
+//! both invariances, exact-stream, with no per-algorithm exceptions; this
+//! is the foundation for caching built emulators and validating sharded
+//! merges against a fixed reference.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -32,6 +52,14 @@
 //!     .threads(2) // shard phase-0 explorations; output identical to threads(1)
 //!     .algorithm(Algorithm::Centralized)
 //!     .build()?;
+//! // Determinism: rebuilding with the same config — at any thread count —
+//! // reproduces the exact same edge stream.
+//! let again = Emulator::builder(&g)
+//!     .epsilon(0.5)
+//!     .kappa(4)
+//!     .algorithm(Algorithm::Centralized)
+//!     .build()?;
+//! assert_eq!(out.emulator.provenance(), again.emulator.provenance());
 //! let (alpha, beta) = out.certified.expect("paper constructions certify stretch");
 //! assert!(alpha >= 1.0 && beta >= 0.0);
 //! assert!(out.emulator.num_edges() as f64 <= out.size_bound.unwrap());

@@ -165,7 +165,7 @@ impl Construction for Distributed {
             stats: BuildStats {
                 threads: cfg.threads,
                 total: t0.elapsed(),
-                phases: Vec::new(),
+                phases: build.timings,
             },
             algorithm: self.name(),
         })
@@ -284,7 +284,7 @@ impl Construction for DistributedSpanner {
             stats: BuildStats {
                 threads: cfg.threads,
                 total: t0.elapsed(),
-                phases: Vec::new(),
+                phases: build.timings,
             },
             algorithm: self.name(),
         })

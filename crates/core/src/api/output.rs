@@ -174,4 +174,29 @@ impl BuildOutput {
     pub fn beta(&self) -> f64 {
         self.certified.map_or(f64::INFINITY, |(_, b)| b)
     }
+
+    /// FNV-1a fingerprint of the exact insertion stream — every edge with
+    /// its weight and full provenance, in insertion order. Two builds
+    /// produce the same fingerprint iff they emitted the identical stream,
+    /// which the determinism guarantee (see [`crate::api`]) promises for
+    /// any two builds of the same `(graph, config)` at any thread counts.
+    /// This is the quantity to key construction caches on and to diff
+    /// across processes; it deliberately excludes [`BuildStats`], whose
+    /// exploration counters are thread-sensitive.
+    pub fn stream_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for (e, p) in self.emulator.provenance() {
+            mix(e.u as u64);
+            mix(e.v as u64);
+            mix(e.weight);
+            mix(p.phase as u64);
+            mix(p.kind as u64);
+            mix(p.charged_to as u64);
+        }
+        h
+    }
 }

@@ -19,6 +19,13 @@
 //! accumulating an honest round count, and assembles the emulator from the
 //! *per-node* knowledge maps — asserting the paper's headline distributed
 //! property: for every emulator edge `(u, v)`, **both** `u` and `v` know it.
+//!
+//! The whole pipeline is deterministic end to end: the simulator schedules
+//! messages in a defined order (see `usnae_congest::simulator` docs), all
+//! per-node state here is index-keyed (`Vec`) or id-ordered (`BTreeMap`),
+//! and both drivers emit their emulator/spanner edges in ascending
+//! center/neighbor id — so the built edge *stream* is identical run to
+//! run, which the registry-wide parity suite certifies exactly.
 
 pub mod driver;
 pub mod forest;

@@ -13,10 +13,11 @@
 //! forest BFS, and `min(R_{i+1}, n)` rounds for the intra-cluster membership
 //! broadcast the paper folds into the radius recursion.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::cluster::{Cluster, Partition};
 use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
+use crate::exec::PhaseTiming;
 use crate::params::DistributedParams;
 use usnae_congest::{CongestError, Metrics, Simulator};
 use usnae_graph::{Dist, Graph, VertexId};
@@ -76,6 +77,9 @@ pub struct DistributedBuild {
     pub knowledge_checked: usize,
     /// Cross-checks that failed — the headline guarantee demands **0**.
     pub knowledge_violations: usize,
+    /// Wall-clock per-phase timings (`explorations` counts the detection
+    /// sources simulated that phase), for [`BuildStats`](crate::exec::BuildStats).
+    pub timings: Vec<PhaseTiming>,
 }
 
 /// Runs the full distributed construction of §3 on `g`.
@@ -112,10 +116,12 @@ pub(crate) fn build_distributed(
         partitions: vec![partition.clone()],
         knowledge_checked: 0,
         knowledge_violations: 0,
+        timings: Vec::with_capacity(params.ell() + 1),
     };
 
     for i in 0..=params.ell() {
         let last = i == params.ell();
+        let phase_start = std::time::Instant::now();
         let rounds_before = sim.metrics().rounds;
         let delta = params.delta(i);
         let delta_eff = delta.min(n as Dist);
@@ -142,8 +148,11 @@ pub(crate) fn build_distributed(
         // Task 1: popular-cluster detection from all P_i centers.
         let mut detect = PopularDetect::new(n, &centers, cap, delta_eff);
         sim.run(&mut detect, RUN_BUDGET)?;
+        let mut explorations = centers.len();
 
-        let mut joined: HashMap<VertexId, (VertexId, Dist)> = HashMap::new();
+        // Supercluster assignment per center vertex, index-keyed so
+        // membership tests never touch iteration order.
+        let mut joined: Vec<Option<(VertexId, Dist)>> = vec![None; n];
         let mut next_clusters: Vec<Cluster> = Vec::new();
 
         if !last {
@@ -170,11 +179,13 @@ pub(crate) fn build_distributed(
                 trace.hub_splits = sc.hubs().len();
 
                 // Assemble superclusters from the joint knowledge, checking
-                // the both-endpoints property on every edge.
-                let mut members: HashMap<VertexId, Vec<usize>> = HashMap::new();
+                // the both-endpoints property on every edge. Grouping by
+                // root in a BTreeMap fixes the supercluster emission order
+                // (ascending root id) independently of any hashing.
+                let mut members: BTreeMap<VertexId, Vec<usize>> = BTreeMap::new();
                 for &c in &centers {
                     let Some((r, w)) = sc.joined(c) else { continue };
-                    joined.insert(c, (r, w));
+                    joined[c] = Some((r, w));
                     members.entry(r).or_default().push(center_of[&c]);
                     if c != r {
                         build.knowledge_checked += 1;
@@ -195,18 +206,16 @@ pub(crate) fn build_distributed(
                     }
                 }
                 debug_assert!(
-                    popular.iter().all(|c| joined.contains_key(c)),
+                    popular.iter().all(|&c| joined[c].is_some()),
                     "every popular cluster is superclustered (Lemma 3.4)"
                 );
-                let mut roots: Vec<VertexId> = members.keys().copied().collect();
-                roots.sort_unstable();
-                for r in roots {
+                for (r, idxs) in &members {
                     let mut cluster_members = Vec::new();
-                    for &idx in &members[&r] {
+                    for &idx in idxs {
                         cluster_members.extend_from_slice(&partition.cluster(idx).members);
                     }
                     next_clusters.push(Cluster {
-                        center: r,
+                        center: *r,
                         members: cluster_members,
                     });
                 }
@@ -218,11 +227,13 @@ pub(crate) fn build_distributed(
             }
         }
 
-        // Interconnection step (§3.1.3).
+        // Interconnection step (§3.1.3). Knowledge tables are BTreeMaps, so
+        // the edge stream below is emitted in (center, neighbor-id) order —
+        // the driver's single defined order, identical on every run.
         let u_centers: Vec<VertexId> = centers
             .iter()
             .copied()
-            .filter(|c| !joined.contains_key(c))
+            .filter(|&c| joined[c].is_none())
             .collect();
         trace.num_unclustered = u_centers.len();
         if last {
@@ -255,6 +266,7 @@ pub(crate) fn build_distributed(
             // of the new edges too.
             let mut reverse = PopularDetect::new(n, &u_centers, cap, delta_eff);
             sim.run(&mut reverse, RUN_BUDGET)?;
+            explorations += u_centers.len();
             for &u in &u_centers {
                 for (&c, &d) in detect.known(u) {
                     if c == u {
@@ -281,6 +293,11 @@ pub(crate) fn build_distributed(
 
         trace.rounds = sim.metrics().rounds - rounds_before;
         build.phases.push(trace);
+        build.timings.push(PhaseTiming {
+            phase: i,
+            duration: phase_start.elapsed(),
+            explorations,
+        });
         partition = Partition::from_clusters(next_clusters);
         build.partitions.push(partition.clone());
     }

@@ -13,8 +13,14 @@
 //! enqueued at its first round and pipeline across the stride's rounds —
 //! exactly one message per edge-direction per round, as the CONGEST engine
 //! enforces.
+//!
+//! Determinism: the per-node `known`/`via` tables are `BTreeMap`s, so every
+//! iteration over a node's knowledge — in particular the drivers' emission
+//! of interconnection edges — visits centers in ascending id order,
+//! identically on every run. (`HashMap` would randomize that order per
+//! process and per map instance.)
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use usnae_congest::{Ctx, NodeAlgorithm, Words};
 use usnae_graph::Dist;
 
@@ -49,11 +55,12 @@ pub struct PopularDetect {
     /// Rounds per stride: `cap + 1`.
     stride_len: u64,
     source: Vec<bool>,
-    /// Everything each vertex has learned: center → distance.
-    known: Vec<HashMap<usize, Dist>>,
+    /// Everything each vertex has learned: center → distance, ordered by
+    /// center id so iteration is run-independent.
+    known: Vec<BTreeMap<usize, Dist>>,
     /// The neighbor each center was first learned from (routing pointer,
     /// used by Theorem 3.1's "vertices on π know their distance" clause).
-    via: Vec<HashMap<usize, usize>>,
+    via: Vec<BTreeMap<usize, usize>>,
     /// Learned during the current stride, in arrival order.
     fresh: Vec<Vec<usize>>,
     done: Vec<bool>,
@@ -67,7 +74,7 @@ impl PopularDetect {
         for &s in sources {
             source[s] = true;
         }
-        let mut known: Vec<HashMap<usize, Dist>> = vec![HashMap::new(); n];
+        let mut known: Vec<BTreeMap<usize, Dist>> = vec![BTreeMap::new(); n];
         for &s in sources {
             known[s].insert(s, 0);
         }
@@ -77,7 +84,7 @@ impl PopularDetect {
             stride_len: cap as u64 + 1,
             source,
             known,
-            via: vec![HashMap::new(); n],
+            via: vec![BTreeMap::new(); n],
             fresh: vec![Vec::new(); n],
             done: vec![false; n],
         }
@@ -95,8 +102,9 @@ impl PopularDetect {
     }
 
     /// Everything `v` learned: `(center, dist)` pairs, including itself when
-    /// it is a source.
-    pub fn known(&self, v: usize) -> &HashMap<usize, Dist> {
+    /// it is a source. Iteration order is ascending center id — the defined
+    /// order in which the drivers emit this knowledge as emulator edges.
+    pub fn known(&self, v: usize) -> &BTreeMap<usize, Dist> {
         &self.known[v]
     }
 
@@ -158,7 +166,8 @@ impl NodeAlgorithm for PopularDetect {
         }
         let round = ctx.round();
         for &(from, msg) in inbox {
-            if let std::collections::hash_map::Entry::Vacant(e) = self.known[node].entry(msg.center)
+            if let std::collections::btree_map::Entry::Vacant(e) =
+                self.known[node].entry(msg.center)
             {
                 e.insert(msg.dist);
                 self.via[node].insert(msg.center, from);

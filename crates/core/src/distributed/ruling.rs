@@ -19,6 +19,15 @@
 //! downstream radius bound holds. Worst-case round complexity is higher
 //! (adversarial id chains force many iterations); measured rounds are
 //! reported next to the paper's Theorem 3.2 budget in experiment E4.
+//!
+//! This protocol runs *inside* the CONGEST simulator, so it never shards
+//! over host threads — fanning the floods out would fabricate the round
+//! and message metrics the drivers report. The centralized counterpart
+//! used by fast-centralized/spanner/em19 is
+//! [`crate::sai::ruling_set_par`], whose ball carving does shard over
+//! `usnae_graph::par` (byte-identically to sequential). Everything here is
+//! `Vec`-keyed; candidate and winner sets are kept sorted, so the computed
+//! ruling set and the flood schedule are identical run to run.
 
 use usnae_congest::{CongestError, Ctx, NodeAlgorithm, Simulator, Words};
 use usnae_graph::Dist;

@@ -15,10 +15,11 @@
 //! out of the per-node `via` routing state the detection run left behind —
 //! exactly the knowledge Theorem 3.1(2) promises to path vertices).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::cluster::{Cluster, Partition};
 use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
+use crate::exec::PhaseTiming;
 use crate::params::SpannerParams;
 use usnae_congest::{CongestError, Metrics, Simulator};
 use usnae_graph::{Dist, Graph, VertexId};
@@ -59,6 +60,9 @@ pub struct DistributedSpannerBuild {
     pub phases: Vec<SpannerDriverPhase>,
     /// Final CONGEST metrics.
     pub metrics: Metrics,
+    /// Wall-clock per-phase timings (`explorations` counts the detection
+    /// sources simulated that phase), for [`BuildStats`](crate::exec::BuildStats).
+    pub timings: Vec<PhaseTiming>,
 }
 
 /// Runs the §4 spanner construction distributedly on `g`.
@@ -88,9 +92,11 @@ pub(crate) fn build_spanner_congest(
     let mut spanner = Emulator::new(n);
     let mut partition = Partition::singletons(n);
     let mut phases = Vec::with_capacity(params.ell() + 1);
+    let mut timings = Vec::with_capacity(params.ell() + 1);
 
     for i in 0..=params.ell() {
         let last = i == params.ell();
+        let phase_start = std::time::Instant::now();
         let rounds_before = sim.metrics().rounds;
         let delta_eff = params.delta(i).min(n as Dist);
         let cap = params.degree_cap(i, n);
@@ -111,8 +117,9 @@ pub(crate) fn build_spanner_congest(
         // Task 1: detection (also the path knowledge for interconnection).
         let mut detect = PopularDetect::new(n, &centers, cap, delta_eff);
         sim.run(&mut detect, RUN_BUDGET)?;
+        let explorations = centers.len();
 
-        let mut superclustered: HashMap<VertexId, VertexId> = HashMap::new();
+        let mut superclustered = vec![false; n]; // indexed by center vertex
         let mut next_clusters: Vec<Cluster> = Vec::new();
 
         if !last {
@@ -126,14 +133,16 @@ pub(crate) fn build_spanner_congest(
                 sim.charge_rounds(1); // parent notification
 
                 // One supercluster per tree; members mark their tree paths.
-                let mut members: HashMap<VertexId, Vec<usize>> =
+                // The BTreeMap keeps the supercluster drain in ascending
+                // root order without a separate sort.
+                let mut members: BTreeMap<VertexId, Vec<usize>> =
                     rs.rulers.iter().map(|&r| (r, Vec::new())).collect();
                 let mut marked = vec![false; n];
                 for &rc in &centers {
                     let Some(slot) = forest.slot(rc) else {
                         continue;
                     };
-                    superclustered.insert(rc, slot.root);
+                    superclustered[rc] = true;
                     members
                         .get_mut(&slot.root)
                         .expect("roots seeded")
@@ -164,18 +173,16 @@ pub(crate) fn build_spanner_congest(
                 // Path marking travels up the trees, pipelined.
                 sim.charge_rounds(params.forest_depth(i).min(n as Dist) + cap as u64);
 
-                let mut roots: Vec<VertexId> = members.keys().copied().collect();
-                roots.sort_unstable();
-                for r in roots {
+                for (r, idxs) in &members {
                     let mut cluster_members = Vec::new();
-                    for &idx in &members[&r] {
+                    for &idx in idxs {
                         cluster_members.extend_from_slice(&partition.cluster(idx).members);
                     }
                     if cluster_members.is_empty() {
                         continue; // ruler whose cluster was claimed elsewhere
                     }
                     next_clusters.push(Cluster {
-                        center: r,
+                        center: *r,
                         members: cluster_members,
                     });
                 }
@@ -184,11 +191,13 @@ pub(crate) fn build_spanner_congest(
         }
 
         // Interconnection: unclustered centers confirm shortest paths to all
-        // neighboring centers along the detection run's via-pointers.
+        // neighboring centers along the detection run's via-pointers. The
+        // knowledge tables are BTreeMaps, so targets are visited in
+        // ascending id per center — the spanner's defined emission order.
         let u_centers: Vec<VertexId> = centers
             .iter()
             .copied()
-            .filter(|c| !superclustered.contains_key(c))
+            .filter(|&c| !superclustered[c])
             .collect();
         trace.num_unclustered = u_centers.len();
         for &rc in &u_centers {
@@ -232,6 +241,11 @@ pub(crate) fn build_spanner_congest(
 
         trace.rounds = sim.metrics().rounds - rounds_before;
         phases.push(trace);
+        timings.push(PhaseTiming {
+            phase: i,
+            duration: phase_start.elapsed(),
+            explorations,
+        });
         partition = Partition::from_clusters(next_clusters);
     }
 
@@ -239,6 +253,7 @@ pub(crate) fn build_spanner_congest(
         spanner,
         phases,
         metrics: sim.metrics().clone(),
+        timings,
     })
 }
 

@@ -18,8 +18,14 @@
 //! recorded announcement routes, which is exactly what makes **both
 //! endpoints of every emulator edge know the edge** — the property no prior
 //! deterministic CONGEST construction achieved.
+//!
+//! Determinism: routing tables and the hub grouping are `BTreeMap`s keyed
+//! by center/child id, so message emission at hubs and the recorded
+//! `edges_at` streams are identical run to run (announcement *arrival*
+//! order is already deterministic — the engine delivers inboxes in
+//! neighbor order with per-edge FIFO queues).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use usnae_congest::{Ctx, NodeAlgorithm, Words};
 use usnae_graph::Dist;
 
@@ -71,8 +77,8 @@ pub struct Supercluster {
     /// Announcements collected so far: `(center, dist_root)`.
     collected: Vec<Vec<(usize, Dist)>>,
     /// Routing: center → child the announcement arrived from (`None` for
-    /// the vertex's own announcement).
-    routing: Vec<HashMap<usize, Option<usize>>>,
+    /// the vertex's own announcement). Ordered by center id.
+    routing: Vec<BTreeMap<usize, Option<usize>>>,
     done_up: Vec<bool>,
     /// Output: per center, the supercluster it joined `(new_center, weight)`.
     joined: Vec<Option<(usize, Dist)>>,
@@ -99,7 +105,7 @@ impl Supercluster {
             slot,
             is_center,
             collected: vec![Vec::new(); n],
-            routing: vec![HashMap::new(); n],
+            routing: vec![BTreeMap::new(); n],
             done_up: vec![false; n],
             joined: vec![None; n],
             edges_at: vec![Vec::new(); n],
@@ -219,18 +225,19 @@ impl Supercluster {
         }
         // Non-center hub: group announcements by child, then greedily pack
         // children into groups of ≥ b announcements (merging a small tail).
+        // The BTreeMap drains in ascending child id — a defined order, so
+        // the packed groups (and every confirmation they trigger) are
+        // identical run to run.
         let depth = self.slot[node].expect("consumers are in a tree").depth;
-        let mut by_child: HashMap<usize, Vec<(usize, Dist)>> = HashMap::new();
+        let mut by_child: BTreeMap<usize, Vec<(usize, Dist)>> = BTreeMap::new();
         for (c, d) in m {
             let child = self.routing[node][&c].expect("non-center collects only from children");
             by_child.entry(child).or_default().push((c, d));
         }
-        let mut child_ids: Vec<usize> = by_child.keys().copied().collect();
-        child_ids.sort_unstable();
         let mut groups: Vec<Vec<(usize, Dist)>> = Vec::new();
         let mut current: Vec<(usize, Dist)> = Vec::new();
-        for child in child_ids {
-            current.extend(by_child.remove(&child).expect("key exists"));
+        for (_, mut anns) in by_child {
+            current.append(&mut anns);
             if current.len() >= self.b {
                 groups.push(std::mem::take(&mut current));
             }

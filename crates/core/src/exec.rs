@@ -20,9 +20,11 @@ pub struct PhaseTiming {
 }
 
 /// Execution statistics of one build: thread count, total wall clock, and
-/// per-phase timings where the construction records them (the sharded
-/// centralized/fast/spanner family; CONGEST simulations report the total
-/// only).
+/// per-phase timings where the construction records them — the sharded
+/// centralized/fast/spanner family *and* the CONGEST simulations (whose
+/// `explorations` count the detection sources simulated per phase), so
+/// `usnae run --report` is uniform across the registry; only the baseline
+/// adapters report the total alone.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BuildStats {
     /// Thread count the build ran with (`BuildConfig::threads`).

@@ -23,7 +23,7 @@ use crate::cluster::{Cluster, Partition};
 use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
 use crate::exec::{PhaseClock, PhaseTiming};
 use crate::params::DistributedParams;
-use crate::sai::ruling_set;
+use crate::sai::ruling_set_par;
 use usnae_graph::bfs::multi_source_bfs;
 use usnae_graph::{par, Dist, Graph, VertexId};
 
@@ -198,8 +198,9 @@ fn run_phase(
     let mut next_clusters: Vec<Cluster> = Vec::new();
 
     if !last && !popular.is_empty() {
-        // Task 2: ruling set for the popular centers.
-        let rulers = ruling_set(g, &popular, delta);
+        // Task 2: ruling set for the popular centers, its ball carving
+        // sharded over the same worker pool (byte-identical to sequential).
+        let rulers = ruling_set_par(g, &popular, delta, threads);
         phase_trace.ruling_set_size = rulers.len();
 
         // Task 3: BFS ruling forest; one supercluster per tree (§3.3 — no
@@ -352,7 +353,7 @@ mod tests {
         let g = generators::grid2d(15, 15).unwrap();
         let w: Vec<usize> = (0..225).step_by(3).collect();
         let delta = 2;
-        let rulers = ruling_set(&g, &w, delta);
+        let rulers = crate::sai::ruling_set(&g, &w, delta);
         assert!(!rulers.is_empty());
         // Separation: pairwise distance > 2δ.
         for (a, &u) in rulers.iter().enumerate() {

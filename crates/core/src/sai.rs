@@ -1,7 +1,7 @@
 //! Shared primitives of the ruling-set-based SAI constructions (§3.3, §4).
 
-use usnae_graph::bfs::bfs_bounded;
-use usnae_graph::{Dist, Graph, VertexId};
+use crate::exec::ChunkPolicy;
+use usnae_graph::{par, Dist, Graph, VertexId};
 
 /// Bounded-BFS exploration record from one center: distances plus BFS-tree
 /// parents, so interconnection paths can be reconstructed (§4 adds the whole
@@ -75,22 +75,59 @@ impl Exploration {
 /// Deterministic greedy min-id ball carving (substitution S1): a ruling set
 /// for `w` with pairwise separation ≥ `2δ + 1` and domination ≤ `2δ`.
 pub fn ruling_set(g: &Graph, w: &[VertexId], delta: Dist) -> Vec<VertexId> {
+    ruling_set_par(g, w, delta, 1)
+}
+
+/// [`ruling_set`] with the ball carving sharded over `threads` via the
+/// `usnae_graph::par` fan-out — **byte-identical** to the sequential run
+/// for every thread count.
+///
+/// The greedy selection itself is order-dependent (a candidate is skipped
+/// iff an earlier-chosen ball already dominates it), so only the *balls*
+/// parallelize: a chunk of still-undominated candidates is prefetched
+/// concurrently, then consumed strictly in ascending-id order, re-checking
+/// each candidate's domination status at consumption time. A ball whose
+/// candidate got dominated within its own chunk is discarded — wasted work
+/// only, never a different ruling set. The chunk size adapts via
+/// [`ChunkPolicy`] (pinned to 1 at `threads == 1`: exactly the historical
+/// lazy loop).
+pub fn ruling_set_par(g: &Graph, w: &[VertexId], delta: Dist, threads: usize) -> Vec<VertexId> {
     let mut sorted = w.to_vec();
     sorted.sort_unstable();
     let two_delta = delta.saturating_mul(2);
     let mut dominated = vec![false; g.num_vertices()];
     let mut chosen = Vec::new();
-    for &cand in &sorted {
-        if dominated[cand] {
+    let mut policy = ChunkPolicy::new(threads);
+    let mut next = 0;
+    while next < sorted.len() {
+        // Prefetch balls for the next chunk of currently-undominated
+        // candidates; earlier chunks' carving already pruned most of them.
+        let mut batch: Vec<VertexId> = Vec::new();
+        while next < sorted.len() && batch.len() < policy.chunk() {
+            let cand = sorted[next];
+            next += 1;
+            if !dominated[cand] {
+                batch.push(cand);
+            }
+        }
+        if batch.is_empty() {
             continue;
         }
-        chosen.push(cand);
-        let dist = bfs_bounded(g, cand, two_delta);
-        for (v, d) in dist.iter().enumerate() {
-            if d.is_some() {
+        // Sparse balls (reused per-shard scratch) keep the in-flight memory
+        // proportional to the reached vertices, not chunk × n.
+        let balls = par::balls(g, &batch, two_delta, threads);
+        let mut used = 0;
+        for (&cand, ball) in batch.iter().zip(&balls) {
+            if dominated[cand] {
+                continue; // carved away by an earlier ball in this chunk
+            }
+            used += 1;
+            chosen.push(cand);
+            for &(v, _) in ball {
                 dominated[v] = true;
             }
         }
+        policy.record(batch.len(), used);
     }
     chosen
 }
@@ -157,5 +194,37 @@ mod tests {
     fn ruling_set_empty_input() {
         let g = generators::path(4).unwrap();
         assert!(ruling_set(&g, &[], 3).is_empty());
+        for threads in [1usize, 4] {
+            assert!(ruling_set_par(&g, &[], 3, threads).is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_carving_is_byte_identical_to_sequential() {
+        for seed in [1u64, 5, 12] {
+            let g = generators::gnp_connected(240, 0.04, seed).unwrap();
+            for delta in [1u64, 2, 4] {
+                let w: Vec<usize> = (0..240).step_by(2).collect();
+                let sequential = ruling_set(&g, &w, delta);
+                for threads in [2usize, 4, 8] {
+                    assert_eq!(
+                        ruling_set_par(&g, &w, delta, threads),
+                        sequential,
+                        "seed={seed} delta={delta} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_carving_handles_duplicate_candidates() {
+        let g = generators::cycle(40).unwrap();
+        let mut w: Vec<usize> = (0..40).collect();
+        w.extend(0..40); // duplicates must not double-select
+        let sequential = ruling_set(&g, &w, 2);
+        assert_eq!(ruling_set_par(&g, &w, 2, 4), sequential);
+        let unique: std::collections::HashSet<_> = sequential.iter().collect();
+        assert_eq!(unique.len(), sequential.len());
     }
 }

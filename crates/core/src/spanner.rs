@@ -23,7 +23,7 @@ use crate::params::SpannerParams;
 use usnae_graph::bfs::multi_source_bfs;
 use usnae_graph::{par, Dist, Graph, VertexId};
 
-use crate::sai::{ruling_set, Exploration};
+use crate::sai::{ruling_set_par, Exploration};
 
 /// Per-phase statistics of a spanner build.
 #[derive(Debug, Clone, PartialEq)]
@@ -206,7 +206,7 @@ fn run_phase(
     let mut next_clusters: Vec<Cluster> = Vec::new();
 
     if !last && !popular.is_empty() {
-        let rulers = ruling_set(g, &popular, delta);
+        let rulers = ruling_set_par(g, &popular, delta, threads);
         phase_trace.ruling_set_size = rulers.len();
         let forest = multi_source_bfs(g, &rulers, params.forest_depth(i));
         let mut members_of: std::collections::HashMap<VertexId, Vec<usize>> =

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // one fluent chain does parameter validation, construction, and
     // stretch certification. `.threads(n)` shards the per-center
     // explorations (the dominant cost) over n workers — the output is
-    // byte-identical to the sequential build, only faster.
+    // byte-identical to the sequential build, only faster. More broadly,
+    // every registry construction is a pure function of (graph, config):
+    // the edge stream is identical for every thread count and every run,
+    // so built emulators can be cached and diffed byte-for-byte.
     let out = Emulator::builder(&g)
         .epsilon(0.5)
         .kappa(4)

@@ -188,3 +188,46 @@ fn round_budget_exhaustion_is_reported() {
         other => panic!("expected round-limit error, got {other:?}"),
     }
 }
+
+/// The CONGEST drivers emit their edge streams in a single defined order
+/// (ascending center/neighbor id out of `BTreeMap` knowledge tables), so
+/// two end-to-end simulator builds are indistinguishable: exact stream,
+/// trace, round/message metrics, and per-phase timing skeleton.
+///
+/// Deliberately overlaps the registry-wide run-to-run sweep in
+/// `tests/parallel_determinism.rs`: this is the builder-path twin (fluent
+/// API, explicit `rho`) kept in the model suite so the §3 contract is
+/// asserted next to the theorems it enables.
+#[test]
+fn congest_builds_are_exactly_reproducible() {
+    let g = generators::gnp_connected(80, 0.07, 21).unwrap();
+    for algo in [Algorithm::Distributed, Algorithm::DistributedSpanner] {
+        let build = || {
+            Emulator::builder(&g)
+                .rho(0.5)
+                .traced(true)
+                .algorithm(algo)
+                .build()
+                .unwrap()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(
+            a.emulator.provenance(),
+            b.emulator.provenance(),
+            "{algo:?}: edge stream diverged between runs"
+        );
+        let ca = a.congest.as_ref().expect("CONGEST build");
+        let cb = b.congest.as_ref().expect("CONGEST build");
+        assert_eq!(ca.metrics, cb.metrics, "{algo:?}: metrics diverged");
+        let phases = |o: &usnae::api::BuildOutput| {
+            o.stats
+                .phases
+                .iter()
+                .map(|p| (p.phase, p.explorations))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(phases(&a), phases(&b), "{algo:?}: phase skeleton diverged");
+        assert!(!a.stats.phases.is_empty(), "{algo:?}: no phase timings");
+    }
+}

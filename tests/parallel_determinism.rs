@@ -1,9 +1,24 @@
-//! Registry-wide parallel determinism suite: for every construction in the
-//! catalogue, the sharded build (`threads > 1`) must be **byte-identical**
-//! to the sequential build (`threads = 1`) — same weighted edge stream with
-//! the same provenance, same certified `(α, β)`, same size stats. This is
-//! the contract that makes `BuildConfig::threads` safe to flip on in any
-//! consumer.
+//! Registry-wide determinism suite: for every construction in the
+//! catalogue, the built structure is a pure function of
+//! `(graph, config)` — independent of **thread count** and of the **run**.
+//!
+//! Two contracts are enforced, with no per-algorithm special cases:
+//!
+//! * **Thread invariance.** The sharded build (`threads > 1`) must be
+//!   byte-identical to the sequential build (`threads = 1`): same weighted
+//!   edge *stream* (insertion order and provenance included), same trace,
+//!   same certified `(α, β)`, same size stats. This is what makes
+//!   `BuildConfig::threads` safe to flip on in any consumer.
+//! * **Run invariance.** Two builds with the identical config — even at
+//!   `threads = 1` — must produce the identical stream, trace, and stats
+//!   counters. This is the contract construction caching and shard merging
+//!   stand on; it would catch e.g. `HashMap`-iteration order leaking into
+//!   an emission loop, which thread parity alone can miss.
+//!
+//! The CONGEST simulations (`distributed`, `distributed-spanner`) are held
+//! to the same exact-stream standard as everyone else: their drivers emit
+//! edges in a single defined order (ascending center/neighbor id from
+//! `BTreeMap` knowledge tables).
 //!
 //! The CI thread matrix sets `USNAE_TEST_THREADS` to focus one leg on one
 //! thread count; without it the suite sweeps {2, 4, 8} against the
@@ -45,46 +60,31 @@ fn config(seed: u64, threads: usize) -> BuildConfig {
     }
 }
 
-/// The emulator's weighted edge set in canonical (sorted) form.
-fn canonical_edges(out: &BuildOutput) -> Vec<(usize, usize, u64)> {
-    let mut edges: Vec<(usize, usize, u64)> = out
-        .emulator
-        .graph()
-        .edges()
-        .map(|e| (e.u, e.v, e.weight))
-        .collect();
-    edges.sort_unstable();
-    edges
+/// The deterministic skeleton of the execution stats: everything except
+/// wall-clock durations (thread count, and per-phase indices/exploration
+/// counts).
+fn stats_counters(out: &BuildOutput) -> (usize, Vec<(usize, usize)>) {
+    (
+        out.stats.threads,
+        out.stats
+            .phases
+            .iter()
+            .map(|p| (p.phase, p.explorations))
+            .collect(),
+    )
 }
 
-/// Everything the issue's parity contract names: the emulator edge set,
-/// certified `(α, β)`, and the size stats. For the sharded constructions
-/// (`supports().parallel`) we hold the *stronger* invariant that the exact
-/// insertion stream (provenance order included) matches; the CONGEST
-/// simulations order some insertions by internal map iteration, so for
-/// them only the canonical edge set is compared — it is the output
-/// contract, and they ignore `threads` anyway.
-fn assert_outputs_identical(
-    c: &dyn usnae::api::Construction,
-    seed: u64,
-    threads: usize,
-    a: &BuildOutput,
-    b: &BuildOutput,
-) {
-    let ctx = format!("{} seed={seed} threads={threads}", c.name());
-    assert_eq!(a.num_edges(), b.num_edges(), "{ctx}: edge count diverged");
+/// Asserts the full parity contract between two builds of the same
+/// `(graph, config-modulo-threads)`: the exact weighted edge stream with
+/// provenance — **no canonical-set fallback for anyone** — plus trace,
+/// certification, size stats, and (for CONGEST builds) simulator metrics.
+fn assert_outputs_identical(ctx: &str, a: &BuildOutput, b: &BuildOutput) {
     assert_eq!(
-        canonical_edges(a),
-        canonical_edges(b),
-        "{ctx}: emulator edge set diverged"
+        a.emulator.provenance(),
+        b.emulator.provenance(),
+        "{ctx}: weighted edge stream / provenance diverged"
     );
-    if c.supports().parallel {
-        assert_eq!(
-            a.emulator.provenance(),
-            b.emulator.provenance(),
-            "{ctx}: weighted edge stream / provenance diverged"
-        );
-    }
+    assert_eq!(a.num_edges(), b.num_edges(), "{ctx}: edge count diverged");
     assert_eq!(a.certified, b.certified, "{ctx}: certified (α, β) diverged");
     assert_eq!(a.size_bound, b.size_bound, "{ctx}: size bound diverged");
     assert_eq!(
@@ -92,8 +92,24 @@ fn assert_outputs_identical(
         b.emulator.graph().total_weight(),
         "{ctx}: total weight diverged"
     );
-    // Stats must reflect the thread count actually requested.
-    assert_eq!(b.stats.threads, threads, "{ctx}: stats.threads wrong");
+    let summaries = |o: &BuildOutput| o.trace.as_ref().map(|t| t.phase_summaries());
+    assert_eq!(summaries(a), summaries(b), "{ctx}: phase trace diverged");
+    match (&a.congest, &b.congest) {
+        (None, None) => {}
+        (Some(ca), Some(cb)) => {
+            assert_eq!(ca.metrics, cb.metrics, "{ctx}: CONGEST metrics diverged");
+            assert_eq!(
+                (ca.knowledge_checked, ca.knowledge_violations),
+                (cb.knowledge_checked, cb.knowledge_violations),
+                "{ctx}: knowledge checks diverged"
+            );
+        }
+        _ => panic!("{ctx}: congest stats presence diverged"),
+    }
+    // Stats *counters* are compared only between equal-thread runs (the
+    // run-to-run test): the adaptive prefetch legitimately launches more
+    // explorations at higher thread counts — wasted work, never different
+    // output.
 }
 
 #[test]
@@ -111,8 +127,98 @@ fn every_registry_algorithm_is_thread_count_invariant() {
                 let parallel = c
                     .build(&g, &config(seed, threads))
                     .unwrap_or_else(|e| panic!("{} seed={seed} threads={threads}: {e}", c.name()));
-                assert_outputs_identical(c.as_ref(), seed, threads, &baseline, &parallel);
+                let ctx = format!("{} seed={seed} threads={threads}", c.name());
+                assert_outputs_identical(&ctx, &baseline, &parallel);
+                // Stats must reflect the thread count actually requested.
+                assert_eq!(parallel.stats.threads, threads, "{ctx}: stats.threads");
             }
+        }
+    }
+}
+
+#[test]
+fn every_registry_algorithm_is_run_to_run_deterministic() {
+    // Same graph, same config, built twice → identical edge stream, trace,
+    // and stats counters. Swept at threads 1 and 4 so a regression is
+    // caught even where the thread matrix degenerates to a self-compare.
+    //
+    // When `USNAE_FINGERPRINT_FILE` is set, the per-build stream
+    // fingerprints are also diffed across *processes*: the first
+    // invocation writes them to the file, subsequent invocations compare
+    // against it — catching nondeterminism that is stable within one
+    // process but varies between processes (per-process hash seeds,
+    // address-dependent ordering). CI's repeat-determinism leg runs this
+    // test twice with the same file.
+    let mut fingerprints = String::new();
+    for c in registry::all() {
+        let congest = c.supports().congest;
+        for seed in [3u64, 11] {
+            let g = input(seed, congest);
+            for threads in [1usize, 4] {
+                let cfg = config(seed, threads);
+                let first = c
+                    .build(&g, &cfg)
+                    .unwrap_or_else(|e| panic!("{} seed={seed} run 1: {e}", c.name()));
+                let second = c
+                    .build(&g, &cfg)
+                    .unwrap_or_else(|e| panic!("{} seed={seed} run 2: {e}", c.name()));
+                let ctx = format!("{} seed={seed} threads={threads} (repeat)", c.name());
+                assert_outputs_identical(&ctx, &first, &second);
+                assert_eq!(
+                    stats_counters(&first),
+                    stats_counters(&second),
+                    "{ctx}: stats counters diverged"
+                );
+                fingerprints.push_str(&format!(
+                    "{} seed={seed} threads={threads} {:016x}\n",
+                    c.name(),
+                    first.stream_fingerprint()
+                ));
+            }
+        }
+    }
+    if let Ok(path) = std::env::var("USNAE_FINGERPRINT_FILE") {
+        match std::fs::read_to_string(&path) {
+            Ok(previous) => assert_eq!(
+                previous, fingerprints,
+                "stream fingerprints diverged from an earlier process's run"
+            ),
+            Err(_) => std::fs::write(&path, &fingerprints)
+                .unwrap_or_else(|e| panic!("cannot write fingerprint file {path}: {e}")),
+        }
+    }
+}
+
+#[test]
+fn congest_builds_record_phase_timings() {
+    // The CONGEST constructions accept `threads` and now report per-phase
+    // timings like the sharded family, so `usnae run --report` is uniform.
+    let g = input(5, true);
+    for c in registry::all() {
+        if !c.supports().congest {
+            continue;
+        }
+        let out = c.build(&g, &config(5, 1)).unwrap();
+        assert!(
+            !out.stats.phases.is_empty(),
+            "{}: CONGEST build reports no phase timings",
+            c.name()
+        );
+        assert!(out.stats.phase0().is_some(), "{}", c.name());
+        assert!(
+            out.stats.explorations() > 0,
+            "{}: no explorations recorded",
+            c.name()
+        );
+        // One timing per simulated phase, in phase order.
+        let trace_phases = out
+            .trace
+            .as_ref()
+            .map(|t| t.phase_summaries().len())
+            .expect("traced build");
+        assert_eq!(out.stats.phases.len(), trace_phases, "{}", c.name());
+        for (i, p) in out.stats.phases.iter().enumerate() {
+            assert_eq!(p.phase, i, "{}", c.name());
         }
     }
 }
