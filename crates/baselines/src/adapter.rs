@@ -23,6 +23,7 @@ fn timed_stats(cfg: &BuildConfig, t0: Instant) -> BuildStats {
         threads: cfg.threads,
         total: t0.elapsed(),
         phases: Vec::new(),
+        ..BuildStats::default()
     }
 }
 

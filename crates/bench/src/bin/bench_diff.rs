@@ -1,0 +1,94 @@
+//! Bench-regression gate: compare a PR's `bench-parallel.json` against the
+//! merge-base's and fail when any phase regresses beyond tolerance.
+//!
+//! ```text
+//! bench_diff <base.json> <pr.json> [--tolerance 0.2] [--noise-floor-ms 20]
+//! ```
+//!
+//! Prints every matched `(algorithm, threads)` leg with its total/phase-0
+//! ratio, then exits 1 if any leg regressed — CI's `bench-regression` job
+//! is exactly this invocation on (merge-base run, PR run).
+
+use usnae_bench::trend::{compare_legs, parse_bench_document};
+
+fn read_legs(path: &str) -> Vec<usnae_bench::trend::BenchLeg> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench JSON {path}: {e}"));
+    parse_bench_document(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.20f64;
+    let mut noise_floor_ms = 20.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance <fraction>")
+            }
+            "--noise-floor-ms" => {
+                noise_floor_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--noise-floor-ms <ms>")
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [base_path, pr_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench_diff <base.json> <pr.json> [--tolerance 0.2] [--noise-floor-ms 20]"
+        );
+        std::process::exit(2);
+    };
+
+    let base = read_legs(base_path);
+    let pr = read_legs(pr_path);
+    let verdicts = compare_legs(&base, &pr, tolerance, noise_floor_ms / 1000.0);
+    if verdicts.is_empty() {
+        // No comparable legs at all would make the gate vacuous — say so
+        // loudly instead of silently passing.
+        eprintln!("bench_diff: no (algorithm, threads) legs matched between the two runs");
+        std::process::exit(2);
+    }
+
+    println!(
+        "{:<36} {:>8} {:>12} {:>12} {:>8}  verdict (tolerance {:.0}%, floor {} ms)",
+        "leg",
+        "metric",
+        "base",
+        "pr",
+        "ratio",
+        tolerance * 100.0,
+        noise_floor_ms
+    );
+    let mut regressed = 0usize;
+    for v in &verdicts {
+        println!(
+            "{:<36} {:>8} {:>10.4}s {:>10.4}s {:>7.2}x  {}",
+            v.label,
+            v.metric,
+            v.base_s,
+            v.pr_s,
+            v.ratio,
+            if v.regressed { "REGRESSED" } else { "ok" }
+        );
+        regressed += usize::from(v.regressed);
+    }
+    if regressed > 0 {
+        eprintln!(
+            "bench_diff: {regressed} leg metric(s) regressed beyond {:.0}%",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_diff: no regressions across {} leg metric(s)",
+        verdicts.len()
+    );
+}

@@ -7,6 +7,7 @@
 //! stand-in for Criterion.
 
 pub mod timing;
+pub mod trend;
 
 use std::path::PathBuf;
 use usnae_eval::table::Table;

@@ -5,8 +5,9 @@
 //! usnae run --algo <name> --input graph.txt [--output emulator.txt]
 //!       [--eps 0.5] [--kappa 4] [--rho 0.5] [--seed 0] [--threads 1]
 //!       [--order by-id|by-id-desc|by-degree-desc|by-degree-asc]
-//!       [--raw-eps] [--report]
+//!       [--raw-eps] [--report] [--cache DIR]
 //! usnae list
+//! usnae cache ls|clear|verify DIR
 //! usnae build ...            # legacy alias: --mode centralized|fast|spanner
 //! ```
 //!
@@ -15,6 +16,13 @@
 //! baseline is reachable by name; `list` prints the catalogue. The older
 //! `build` subcommand with its three-valued `--mode` remains as an alias
 //! for the three original algorithms.
+//!
+//! `--cache DIR` makes the build read-through a fingerprint-keyed
+//! construction cache (see `usnae_core::cache`): a warm, verified entry is
+//! loaded instead of rebuilt, and the run line reports `cache: hit`.
+//! `usnae cache ls` lists a cache directory, `clear` empties it, and
+//! `verify` recomputes every stored stream fingerprint — the same
+//! integrity check CI runs.
 //!
 //! Input is a whitespace edge list (`u v` per line, `#` comments); output is
 //! a weighted edge list (`u v w`) — the emulator `H` — plus an optional
@@ -25,6 +33,7 @@ use std::io::BufReader;
 
 use usnae_baselines::registry;
 use usnae_core::api::{BuildConfig, BuildOutput, ProcessingOrder};
+use usnae_core::cache::{build_cached, CacheConfig, ConstructionCache};
 use usnae_graph::{io as gio, Graph};
 
 /// Parsed command line.
@@ -40,6 +49,30 @@ pub struct Options {
     pub config: BuildConfig,
     /// Print the size/stretch report.
     pub report: bool,
+    /// Construction-cache directory (`--cache DIR`), if any.
+    pub cache_dir: Option<String>,
+}
+
+/// Maintenance actions on a cache directory (`usnae cache <action> DIR`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAction {
+    /// List every entry with its key and fingerprint.
+    Ls,
+    /// Delete every entry.
+    Clear,
+    /// Recompute every stored fingerprint; report stale/corrupt entries.
+    Verify,
+}
+
+impl CacheAction {
+    fn parse(s: &str) -> Option<CacheAction> {
+        match s {
+            "ls" => Some(CacheAction::Ls),
+            "clear" => Some(CacheAction::Clear),
+            "verify" => Some(CacheAction::Verify),
+            _ => None,
+        }
+    }
 }
 
 /// The commands the binary understands.
@@ -49,6 +82,8 @@ pub enum Command {
     Run(Options),
     /// Print the algorithm catalogue.
     List,
+    /// Maintain a construction-cache directory.
+    Cache(CacheAction, String),
 }
 
 /// A user-facing CLI error with a message and the usage string.
@@ -66,8 +101,9 @@ impl std::error::Error for CliError {}
 /// The usage banner.
 pub const USAGE: &str = "usage: usnae run --algo <name> --input <edge-list> [--output <path>] \
 [--eps <0..1>] [--kappa <k>=4] [--rho <r>=0.5] [--seed <s>=0] [--threads <t>=1] \
-[--order by-id|by-id-desc|by-degree-desc|by-degree-asc] [--raw-eps] [--report]\n\
+[--order by-id|by-id-desc|by-degree-desc|by-degree-asc] [--raw-eps] [--report] [--cache <dir>]\n\
        usnae list\n\
+       usnae cache ls|clear|verify <dir>\n\
        usnae build --input <edge-list> [--mode centralized|fast|spanner] [...]\n\
 run `usnae list` for the algorithm catalogue";
 
@@ -99,6 +135,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             return Ok(Command::List);
         }
+        Some("cache") => {
+            let action_name = it.next().cloned().ok_or_else(|| {
+                CliError(format!("cache needs an action: ls|clear|verify\n{USAGE}"))
+            })?;
+            let action = CacheAction::parse(&action_name).ok_or_else(|| {
+                CliError(format!("unknown cache action {action_name:?}\n{USAGE}"))
+            })?;
+            let dir = it.next().cloned().ok_or_else(|| {
+                CliError(format!("cache {action_name} needs a directory\n{USAGE}"))
+            })?;
+            if let Some(extra) = it.next() {
+                return Err(CliError(format!(
+                    "cache takes one directory (got extra {extra:?})\n{USAGE}"
+                )));
+            }
+            return Ok(Command::Cache(action, dir));
+        }
         Some(other) => return Err(CliError(format!("unknown subcommand {other:?}\n{USAGE}"))),
         None => return Err(CliError(USAGE.to_string())),
     };
@@ -108,6 +161,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         output: None,
         config: BuildConfig::default(),
         report: false,
+        cache_dir: None,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -174,6 +228,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--raw-eps" => opts.config.raw_epsilon = true,
             "--report" => opts.report = true,
+            "--cache" => opts.cache_dir = Some(value("--cache")?),
             other => return Err(CliError(format!("unknown flag {other:?}\n{USAGE}"))),
         }
     }
@@ -191,9 +246,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 pub fn run_build(g: &Graph, opts: &Options) -> Result<BuildOutput, CliError> {
     let construction = registry::find(&opts.algo)
         .ok_or_else(|| CliError(format!("unknown algorithm {:?}", opts.algo)))?;
-    construction
-        .build(g, &opts.config)
-        .map_err(|e| CliError(e.to_string()))
+    match &opts.cache_dir {
+        Some(dir) => build_cached(
+            construction.as_ref(),
+            g,
+            &opts.config,
+            &CacheConfig::new(dir),
+        ),
+        None => construction.build(g, &opts.config),
+    }
+    .map_err(|e| CliError(e.to_string()))
 }
 
 /// The `usnae list` output: one line per registry entry.
@@ -247,7 +309,14 @@ pub fn execute(opts: &Options) -> Result<Vec<String>, CliError> {
         out.algorithm,
         out.num_edges()
     )];
+    if opts.cache_dir.is_some() {
+        lines.push(format!("cache: {}", out.stats.cache));
+    }
     if opts.report {
+        lines.push(format!(
+            "stream fingerprint: {:016x}",
+            out.stream_fingerprint()
+        ));
         if let Some(bound) = out.size_bound {
             lines.push(format!(
                 "size bound = {bound:.1}; ratio = {:.4}",
@@ -281,9 +350,78 @@ pub fn execute(opts: &Options) -> Result<Vec<String>, CliError> {
     Ok(lines)
 }
 
+/// The `usnae cache <action> <dir>` pipeline. Returns the lines printed.
+///
+/// `verify` is the shared integrity check: it re-decodes every entry,
+/// recomputes its stream fingerprint, and **errors** (nonzero exit) when
+/// any entry is stale or corrupt — so CI and users run the same gate.
+///
+/// # Errors
+///
+/// [`CliError`] on unreadable directories or (for `verify`) broken entries.
+pub fn execute_cache(action: CacheAction, dir: &str) -> Result<Vec<String>, CliError> {
+    let cache = ConstructionCache::new(dir);
+    let describe = |e: &usnae_core::cache::CacheEntry| {
+        let name = e
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("<non-utf8>")
+            .to_string();
+        match &e.detail {
+            Ok(d) => format!(
+                "{name:<60} {:>9} B  n={:<8} records={:<8} stream={:016x}",
+                e.bytes, d.num_vertices, d.records, d.stream_fingerprint
+            ),
+            Err(err) => format!("{name:<60} BROKEN: {err}"),
+        }
+    };
+    match action {
+        CacheAction::Ls => {
+            let entries = cache
+                .ls()
+                .map_err(|e| CliError(format!("cannot list {dir}: {e}")))?;
+            let mut lines: Vec<String> = entries.iter().map(describe).collect();
+            lines.push(format!("{} entr(y/ies) in {dir}", entries.len()));
+            Ok(lines)
+        }
+        CacheAction::Clear => {
+            let n = cache
+                .clear()
+                .map_err(|e| CliError(format!("cannot clear {dir}: {e}")))?;
+            Ok(vec![format!("removed {n} entr(y/ies) from {dir}")])
+        }
+        CacheAction::Verify => {
+            let entries = cache
+                .ls()
+                .map_err(|e| CliError(format!("cannot verify {dir}: {e}")))?;
+            let broken: Vec<&usnae_core::cache::CacheEntry> =
+                entries.iter().filter(|e| e.detail.is_err()).collect();
+            if broken.is_empty() {
+                Ok(vec![format!(
+                    "verified {} entr(y/ies) in {dir}: all fingerprints match",
+                    entries.len()
+                )])
+            } else {
+                let mut msg = format!(
+                    "{} of {} entr(y/ies) in {dir} failed verification:\n",
+                    broken.len(),
+                    entries.len()
+                );
+                for e in broken {
+                    msg.push_str(&describe(e));
+                    msg.push('\n');
+                }
+                Err(CliError(msg))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use usnae_core::api::CacheStatus;
 
     fn args(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
@@ -293,6 +431,7 @@ mod tests {
         match cmd {
             Command::Run(o) => o,
             Command::List => panic!("expected run command"),
+            Command::Cache(..) => panic!("expected run command"),
         }
     }
 
@@ -337,6 +476,7 @@ mod tests {
                     ..BuildConfig::default()
                 },
                 report: false,
+                cache_dir: None,
             };
             let canonical = |out: &BuildOutput| {
                 let mut edges: Vec<(usize, usize, u64)> = out
@@ -441,11 +581,110 @@ mod tests {
                 output: None,
                 config: BuildConfig::default(),
                 report: false,
+                cache_dir: None,
             };
             let out = run_build(&g, &opts).unwrap();
             assert!(out.num_edges() > 0, "{name}");
             assert_eq!(out.algorithm, name);
         }
+    }
+
+    #[test]
+    fn cache_subcommand_parses() {
+        assert_eq!(
+            parse_args(&args("cache ls /tmp/c")).unwrap(),
+            Command::Cache(CacheAction::Ls, "/tmp/c".into())
+        );
+        assert_eq!(
+            parse_args(&args("cache clear /tmp/c")).unwrap(),
+            Command::Cache(CacheAction::Clear, "/tmp/c".into())
+        );
+        assert_eq!(
+            parse_args(&args("cache verify /tmp/c")).unwrap(),
+            Command::Cache(CacheAction::Verify, "/tmp/c".into())
+        );
+        assert!(parse_args(&args("cache")).is_err());
+        assert!(parse_args(&args("cache frob /tmp/c")).is_err());
+        assert!(parse_args(&args("cache ls")).is_err());
+        assert!(parse_args(&args("cache ls /tmp/c extra")).is_err());
+        let o = run_opts(parse_args(&args("run --input g.txt --cache /tmp/c")).unwrap());
+        assert_eq!(o.cache_dir.as_deref(), Some("/tmp/c"));
+    }
+
+    #[test]
+    fn cold_then_warm_run_through_the_cli_path() {
+        let dir = std::env::temp_dir().join(format!("usnae-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = usnae_graph::generators::gnp_connected(60, 0.1, 13).unwrap();
+        let opts = Options {
+            algo: "spanner".to_string(),
+            input: String::new(),
+            output: None,
+            config: BuildConfig::default(),
+            report: false,
+            cache_dir: Some(dir.display().to_string()),
+        };
+        let cold = run_build(&g, &opts).unwrap();
+        assert_eq!(cold.stats.cache, CacheStatus::Miss);
+        let warm = run_build(&g, &opts).unwrap();
+        assert_eq!(warm.stats.cache, CacheStatus::Hit);
+        assert_eq!(warm.stream_fingerprint(), cold.stream_fingerprint());
+
+        // The maintenance pipeline sees, verifies, and clears the entry.
+        let dir_s = dir.display().to_string();
+        let ls = execute_cache(CacheAction::Ls, &dir_s).unwrap();
+        assert!(ls.last().unwrap().starts_with("1 entr"));
+        let verify = execute_cache(CacheAction::Verify, &dir_s).unwrap();
+        assert!(verify[0].contains("all fingerprints match"));
+        // Rot the entry: verify must fail with a nonzero-exit error.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&entry, &bytes).unwrap();
+        assert!(execute_cache(CacheAction::Verify, &dir_s).is_err());
+        let cleared = execute_cache(CacheAction::Clear, &dir_s).unwrap();
+        assert!(cleared[0].starts_with("removed 1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_line_reported_when_cache_in_use() {
+        let dir = std::env::temp_dir().join(format!("usnae-cli-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let input = std::env::temp_dir().join(format!("usnae-cli-rg-{}.txt", std::process::id()));
+        let mut text = String::new();
+        for i in 0..16 {
+            text.push_str(&format!("{} {}\n", i, (i + 1) % 16));
+        }
+        std::fs::write(&input, text).unwrap();
+        let opts = Options {
+            algo: "centralized".to_string(),
+            input: input.display().to_string(),
+            output: None,
+            config: BuildConfig::default(),
+            report: true,
+            cache_dir: Some(dir.display().to_string()),
+        };
+        let cold = execute(&opts).unwrap();
+        assert!(cold.iter().any(|l| l == "cache: miss"), "{cold:?}");
+        let warm = execute(&opts).unwrap();
+        assert!(warm.iter().any(|l| l == "cache: hit"), "{warm:?}");
+        let fp = |lines: &[String]| {
+            lines
+                .iter()
+                .find(|l| l.starts_with("stream fingerprint: "))
+                .cloned()
+                .expect("report prints the fingerprint")
+        };
+        assert_eq!(fp(&cold), fp(&warm), "hit is fingerprint-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&input);
     }
 
     #[test]
@@ -460,6 +699,7 @@ mod tests {
                 ..BuildConfig::default()
             },
             report: false,
+            cache_dir: None,
         };
         assert!(run_build(&g, &opts).is_err());
     }

@@ -38,6 +38,26 @@
 //! is the foundation for caching built emulators and validating sharded
 //! merges against a fixed reference.
 //!
+//! # Caching
+//!
+//! Because every construction is a pure function of `(graph, config)`, a
+//! built output can be stored once and reused by every later process:
+//! [`EmulatorBuilder::cache_dir`] (or the CLI's `usnae run --cache DIR`)
+//! keys a directory of on-disk snapshots by **(canonical graph
+//! fingerprint, algorithm name, output-relevant config digest)** — see
+//! [`crate::cache`]. A warm hit is safe exactly when the determinism
+//! guarantee above holds, and it is *checked*, not assumed: each snapshot
+//! stores the [`stream fingerprint`](BuildOutput::stream_fingerprint) of
+//! the exact insertion stream, a load recomputes it from the decoded
+//! records (plus a whole-file checksum), and anything that fails falls
+//! back to a rebuild. Hits are visible in [`BuildStats`]: `stats.cache ==
+//! CacheStatus::Hit` with an empty phase list, because no phase work ran.
+//! Two deliberate non-keys: `threads` (any thread count produces the same
+//! stream, so one entry serves all) and `traced` (traced builds bypass the
+//! cache — snapshots store the stream, not the in-memory [`Trace`]).
+//! `usnae cache {ls,clear,verify}` manages a cache directory; `verify`
+//! recomputes every stored fingerprint, and CI runs the same check.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -85,17 +105,22 @@
 //! # }
 //! ```
 
+pub mod backend;
 pub mod config;
 pub mod construction;
 pub mod constructions;
 pub mod output;
 pub mod registry;
 
+pub use crate::cache::CacheConfig;
 pub use crate::centralized::ProcessingOrder;
 pub use crate::emulator::Emulator;
+pub use backend::{HeapBackend, OutputBackend, SnapshotBackend};
 pub use config::{Algorithm, BuildConfig};
 pub use construction::{BuildError, Construction, Supports};
-pub use output::{BuildOutput, BuildStats, CongestStats, PhaseSummary, PhaseTiming, Trace};
+pub use output::{
+    BuildOutput, BuildStats, CacheStatus, CongestStats, PhaseSummary, PhaseTiming, Trace,
+};
 
 use usnae_graph::Graph;
 
@@ -109,6 +134,7 @@ pub struct EmulatorBuilder<'g> {
     graph: &'g Graph,
     algorithm: Algorithm,
     config: BuildConfig,
+    cache: Option<CacheConfig>,
 }
 
 impl<'g> EmulatorBuilder<'g> {
@@ -119,6 +145,7 @@ impl<'g> EmulatorBuilder<'g> {
             graph,
             algorithm: Algorithm::Centralized,
             config: BuildConfig::default(),
+            cache: None,
         }
     }
 
@@ -181,21 +208,47 @@ impl<'g> EmulatorBuilder<'g> {
         self
     }
 
+    /// Consults (and fills) the read-write construction cache rooted at
+    /// `dir`: a warm entry for this `(graph, algorithm, config)` is loaded,
+    /// verified against its stored stream fingerprint, and returned without
+    /// running any phase (`stats.cache == CacheStatus::Hit`); otherwise the
+    /// construction runs and the result is stored. See [`crate::cache`].
+    pub fn cache_dir(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache(CacheConfig::new(dir))
+    }
+
+    /// Like [`cache_dir`](Self::cache_dir) with explicit read/write
+    /// control (e.g. a read-only cache for reproducibility audits).
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The accumulated configuration.
     pub fn config(&self) -> &BuildConfig {
         &self.config
     }
 
-    /// Runs the selected construction.
+    /// Runs the selected construction (through the construction cache when
+    /// one was configured — see [`cache_dir`](Self::cache_dir)).
     ///
     /// # Errors
     ///
     /// [`BuildError::Param`] on invalid `ε/κ/ρ`; [`BuildError::Congest`]
-    /// when a CONGEST simulation violates its contract.
+    /// when a CONGEST simulation violates its contract;
+    /// [`BuildError::Cache`] when a configured cache cannot store the
+    /// fresh result.
     pub fn build(self) -> Result<BuildOutput, BuildError> {
-        self.algorithm
-            .construction()
-            .build(self.graph, &self.config)
+        let construction = self.algorithm.construction();
+        match &self.cache {
+            Some(cache_cfg) => crate::cache::build_cached(
+                construction.as_ref(),
+                self.graph,
+                &self.config,
+                cache_cfg,
+            ),
+            None => construction.build(self.graph, &self.config),
+        }
     }
 }
 

@@ -1,0 +1,236 @@
+//! The multi-backend output seam: where a built structure *lives*.
+//!
+//! `BuildOutput.emulator` keeps its in-memory type — every existing
+//! consumer stays untouched — but the [`OutputBackend`] trait lets an
+//! output live somewhere other than this process's heap: today as a
+//! [`SnapshotBackend`] over the on-disk codec (see [`crate::cache`]), and
+//! by design as future mmap'd or remote-shard backends (the ROADMAP's
+//! million-vertex direction), all behind `materialize()`.
+//!
+//! The contract mirrors the cache's: a backend's `stream_fingerprint`
+//! identifies the exact insertion stream, so two backends holding "the
+//! same" output can be compared without materializing either.
+
+use crate::cache::{Snapshot, SnapshotError};
+use crate::emulator::Emulator;
+use std::path::{Path, PathBuf};
+
+/// A place a built emulator/spanner can live.
+///
+/// Cheap metadata (`num_vertices`, `num_edges`, `stream_fingerprint`) must
+/// be available without materializing; `materialize` produces the live
+/// in-memory [`Emulator`] on demand.
+pub trait OutputBackend {
+    /// Short backend tag for reports (`"heap"`, `"snapshot"`).
+    fn kind(&self) -> &'static str;
+
+    /// Registry name of the construction that produced the output.
+    fn algorithm(&self) -> &str;
+
+    /// Vertex count, without materializing.
+    fn num_vertices(&self) -> usize;
+
+    /// Distinct-edge count, without materializing.
+    fn num_edges(&self) -> usize;
+
+    /// Fingerprint of the exact insertion stream (the identity of the
+    /// output; see [`crate::emulator::stream_fingerprint`]).
+    fn stream_fingerprint(&self) -> u64;
+
+    /// Produces the live in-memory emulator.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when a persistent backend cannot be read back
+    /// (the heap backend is infallible).
+    fn materialize(&self) -> Result<Emulator, SnapshotError>;
+}
+
+/// The default backend: the output already lives on this process's heap.
+#[derive(Debug, Clone)]
+pub struct HeapBackend {
+    emulator: Emulator,
+    algorithm: String,
+    fingerprint: u64,
+}
+
+impl HeapBackend {
+    /// Wraps a live emulator (fingerprint computed once, up front).
+    pub fn new(emulator: Emulator, algorithm: impl Into<String>) -> Self {
+        let fingerprint = crate::emulator::stream_fingerprint(emulator.provenance());
+        HeapBackend {
+            emulator,
+            algorithm: algorithm.into(),
+            fingerprint,
+        }
+    }
+
+    /// The wrapped emulator, by reference (no materialization cost).
+    pub fn emulator(&self) -> &Emulator {
+        &self.emulator
+    }
+}
+
+impl OutputBackend for HeapBackend {
+    fn kind(&self) -> &'static str {
+        "heap"
+    }
+
+    fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.emulator.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.emulator.num_edges()
+    }
+
+    fn stream_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn materialize(&self) -> Result<Emulator, SnapshotError> {
+        Ok(self.emulator.clone())
+    }
+}
+
+/// A backend over one on-disk snapshot file: metadata is held from the
+/// (verified) decode at open time; `materialize` re-reads and re-verifies
+/// the file, so a backend held across processes never trusts stale bytes.
+#[derive(Debug, Clone)]
+pub struct SnapshotBackend {
+    path: PathBuf,
+    algorithm: String,
+    num_vertices: usize,
+    num_edges: usize,
+    fingerprint: u64,
+}
+
+impl SnapshotBackend {
+    /// Opens and fully verifies a snapshot file, keeping only its metadata
+    /// (the decoded records are dropped — this is the low-memory handle).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] from the decode.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, SnapshotError> {
+        let path = path.into();
+        let snap = Snapshot::decode(&std::fs::read(&path)?)?;
+        // Distinct-edge count without materializing the adjacency
+        // structure: the records are already canonicalized (u <= v), so
+        // sort + dedup on the pairs is the whole computation.
+        let mut pairs: Vec<(usize, usize)> = snap.records.iter().map(|(e, _)| (e.u, e.v)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let num_edges = pairs.len();
+        Ok(SnapshotBackend {
+            algorithm: snap.key.algorithm.clone(),
+            num_vertices: snap.num_vertices,
+            num_edges,
+            fingerprint: snap.stream_fingerprint,
+            path,
+        })
+    }
+
+    /// The snapshot file this backend reads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl OutputBackend for SnapshotBackend {
+    fn kind(&self) -> &'static str {
+        "snapshot"
+    }
+
+    fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn stream_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn materialize(&self) -> Result<Emulator, SnapshotError> {
+        let snap = Snapshot::decode(&std::fs::read(&self.path)?)?;
+        if snap.stream_fingerprint != self.fingerprint {
+            return Err(SnapshotError::FingerprintMismatch {
+                stored: self.fingerprint,
+                recomputed: snap.stream_fingerprint,
+            });
+        }
+        Ok(snap.rebuild_emulator())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Algorithm, BuildConfig};
+    use crate::cache::CacheKey;
+    use usnae_graph::generators;
+
+    #[test]
+    fn heap_and_snapshot_backends_agree() {
+        let g = generators::gnp_connected(50, 0.12, 4).unwrap();
+        let cfg = BuildConfig::default();
+        let c = Algorithm::Centralized.construction();
+        let out = c.build(&g, &cfg).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("usnae-backend-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.usnae");
+        let key = CacheKey::new(&g, c.name(), &cfg);
+        std::fs::write(&path, Snapshot::from_output(key, &out).encode()).unwrap();
+
+        let heap = HeapBackend::new(out.emulator.clone(), c.name());
+        let disk = SnapshotBackend::open(&path).unwrap();
+        for b in [&heap as &dyn OutputBackend, &disk] {
+            assert_eq!(b.algorithm(), "centralized");
+            assert_eq!(b.num_vertices(), out.emulator.num_vertices());
+            assert_eq!(b.num_edges(), out.num_edges());
+            assert_eq!(b.stream_fingerprint(), out.stream_fingerprint());
+            let live = b.materialize().unwrap();
+            assert_eq!(live.provenance(), out.emulator.provenance(), "{}", b.kind());
+        }
+        assert_eq!(heap.kind(), "heap");
+        assert_eq!(disk.kind(), "snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_backend_rejects_rot_on_materialize() {
+        let g = generators::grid2d(5, 5).unwrap();
+        let cfg = BuildConfig::default();
+        let c = Algorithm::Centralized.construction();
+        let out = c.build(&g, &cfg).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("usnae-backend-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.usnae");
+        let key = CacheKey::new(&g, c.name(), &cfg);
+        std::fs::write(&path, Snapshot::from_output(key, &out).encode()).unwrap();
+
+        let backend = SnapshotBackend::open(&path).unwrap();
+        // Rot the file after open: the handle's metadata is stale now.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(backend.materialize().is_err(), "rot must not materialize");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

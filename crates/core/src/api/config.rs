@@ -87,6 +87,14 @@ impl std::fmt::Display for Algorithm {
 /// surface; each construction derives its own schedule from the fields it
 /// uses and ignores the rest ([`Supports`](crate::api::Supports) documents
 /// which is which).
+///
+/// `BuildConfig` is a full `Eq + Hash` key: the float fields (`ε`, `ρ`)
+/// hash by their normalized bit patterns (`-0.0` folds onto `0.0`), and
+/// [`validate`](Self::validate) rejects NaN/infinite values up front, so
+/// every config a construction accepts is safely usable as a cache-map key.
+/// For cross-process keys (the on-disk construction cache) use
+/// [`stable_digest`](Self::stable_digest), which promises the same bytes on
+/// every platform and toolchain — `std`'s hashers do not.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BuildConfig {
     /// Stretch parameter `ε ∈ (0, 1)`.
@@ -124,21 +132,119 @@ impl Default for BuildConfig {
     }
 }
 
+/// Normalizes a float for hashing/digesting: `-0.0` and `0.0` compare
+/// equal, so they must fold onto one bit pattern (NaN never reaches a
+/// digest — `validate` rejects it).
+fn float_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
+// `PartialEq` is derived; the float fields are the only obstacle to `Eq`,
+// and `validate` rejects NaN (the one non-reflexive value), so promoting
+// the derived partial equivalence to a total one is sound for every config
+// a construction will accept. This is what lets `BuildConfig` key caches.
+impl Eq for BuildConfig {}
+
+impl std::hash::Hash for BuildConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Must agree with the derived PartialEq: floats hash by normalized
+        // bit pattern, everything else by value. Destructured so adding a
+        // field to BuildConfig is a compile error here until it is hashed.
+        let BuildConfig {
+            epsilon,
+            kappa,
+            rho,
+            raw_epsilon,
+            order,
+            traced,
+            seed,
+            threads,
+        } = self;
+        float_bits(*epsilon).hash(state);
+        kappa.hash(state);
+        float_bits(*rho).hash(state);
+        raw_epsilon.hash(state);
+        order.hash(state);
+        traced.hash(state);
+        seed.hash(state);
+        threads.hash(state);
+    }
+}
+
 impl BuildConfig {
-    /// Validates the construction-independent fields — today, that
-    /// `threads >= 1`. Every [`Construction`](crate::api::Construction)
+    /// Validates the construction-independent fields: `threads >= 1` and
+    /// finite `ε`/`ρ`. Every [`Construction`](crate::api::Construction)
     /// calls this before deriving its parameter schedule, so `threads == 0`
     /// surfaces as [`BuildError::Param`](crate::api::BuildError) instead of
-    /// a panic inside the sharded phase loop.
+    /// a panic inside the sharded phase loop, and a NaN float never becomes
+    /// a cache key.
     ///
     /// # Errors
     ///
-    /// [`ParamError::ZeroThreads`] when `threads == 0`.
+    /// [`ParamError::ZeroThreads`] when `threads == 0`;
+    /// [`ParamError::NonFinite`] when `ε` or `ρ` is NaN or infinite.
     pub fn validate(&self) -> Result<(), ParamError> {
         if self.threads == 0 {
             return Err(ParamError::ZeroThreads);
         }
+        if !self.epsilon.is_finite() {
+            return Err(ParamError::NonFinite {
+                field: "epsilon",
+                value: self.epsilon,
+            });
+        }
+        if !self.rho.is_finite() {
+            return Err(ParamError::NonFinite {
+                field: "rho",
+                value: self.rho,
+            });
+        }
         Ok(())
+    }
+
+    /// Cross-process digest of the *output-relevant* key fields — what the
+    /// on-disk construction cache keys on, alongside the graph fingerprint
+    /// and algorithm name.
+    ///
+    /// Two deliberate exclusions, both justified by the determinism
+    /// guarantee (see [`crate::api`]): `threads` never changes the built
+    /// stream, and `traced` only toggles whether the in-memory trace is
+    /// retained — so a warm entry built at any thread count serves every
+    /// other. Everything else (`ε`, `κ`, `ρ`, `raw_epsilon`, `order`,
+    /// `seed`) is folded in via the workspace FNV primitive, which is
+    /// stable across platforms and toolchains.
+    pub fn stable_digest(&self) -> u64 {
+        // Destructured so a future output-relevant field cannot be
+        // forgotten here silently (which would serve stale cache hits):
+        // adding a field breaks this binding until it is either folded in
+        // below or explicitly listed as output-irrelevant.
+        let BuildConfig {
+            epsilon,
+            kappa,
+            rho,
+            raw_epsilon,
+            order,
+            seed,
+            traced: _,  // retention of the in-memory trace only
+            threads: _, // never changes the built stream (determinism)
+        } = self;
+        let mut d = usnae_graph::metrics::Fnv64::new();
+        d.write_u64(float_bits(*epsilon));
+        d.write_u64(u64::from(*kappa));
+        d.write_u64(float_bits(*rho));
+        d.write_u64(u64::from(*raw_epsilon));
+        d.write_u64(match order {
+            ProcessingOrder::ById => 0,
+            ProcessingOrder::ByIdDesc => 1,
+            ProcessingOrder::ByDegreeDesc => 2,
+            ProcessingOrder::ByDegreeAsc => 3,
+        });
+        d.write_u64(*seed);
+        d.finish()
     }
 
     /// Derives the §2.1.2 parameter schedule, honoring
@@ -222,6 +328,109 @@ mod tests {
                 ..BuildConfig::default()
             };
             assert!(cfg.validate().is_ok(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_rejected_before_they_can_key_a_cache() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let eps = BuildConfig {
+                epsilon: bad,
+                ..BuildConfig::default()
+            };
+            assert!(matches!(
+                eps.validate(),
+                Err(ParamError::NonFinite {
+                    field: "epsilon",
+                    ..
+                })
+            ));
+            let rho = BuildConfig {
+                rho: bad,
+                ..BuildConfig::default()
+            };
+            assert!(matches!(
+                rho.validate(),
+                Err(ParamError::NonFinite { field: "rho", .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn config_is_a_hash_map_key() {
+        use std::collections::HashMap;
+        let mut m: HashMap<BuildConfig, &str> = HashMap::new();
+        m.insert(BuildConfig::default(), "default");
+        let again = BuildConfig::default();
+        assert_eq!(m.get(&again), Some(&"default"));
+        let other = BuildConfig {
+            kappa: 8,
+            ..BuildConfig::default()
+        };
+        assert!(!m.contains_key(&other));
+    }
+
+    #[test]
+    fn hash_respects_zero_normalization() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let pos = BuildConfig {
+            rho: 0.0,
+            ..BuildConfig::default()
+        };
+        let neg = BuildConfig {
+            rho: -0.0,
+            ..BuildConfig::default()
+        };
+        assert_eq!(pos, neg, "derived PartialEq treats ±0.0 as equal");
+        let digest = |c: &BuildConfig| {
+            let mut h = DefaultHasher::new();
+            c.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&pos), digest(&neg), "so Hash must too");
+        assert_eq!(pos.stable_digest(), neg.stable_digest());
+    }
+
+    #[test]
+    fn stable_digest_keys_on_output_relevant_fields_only() {
+        let base = BuildConfig::default();
+        // threads and traced never change the built stream — same key.
+        let threaded = BuildConfig {
+            threads: 8,
+            traced: true,
+            ..base.clone()
+        };
+        assert_eq!(base.stable_digest(), threaded.stable_digest());
+        // Every output-relevant field must move the digest.
+        let variants = [
+            BuildConfig {
+                epsilon: 0.25,
+                ..base.clone()
+            },
+            BuildConfig {
+                kappa: 6,
+                ..base.clone()
+            },
+            BuildConfig {
+                rho: 0.4,
+                ..base.clone()
+            },
+            BuildConfig {
+                raw_epsilon: true,
+                ..base.clone()
+            },
+            BuildConfig {
+                order: ProcessingOrder::ByDegreeDesc,
+                ..base.clone()
+            },
+            BuildConfig {
+                seed: 99,
+                ..base.clone()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(base.stable_digest(), v.stable_digest(), "{v:?}");
         }
     }
 

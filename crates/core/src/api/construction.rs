@@ -56,6 +56,10 @@ pub enum BuildError {
     Congest(CongestError),
     /// A registry lookup named no known construction.
     UnknownAlgorithm(String),
+    /// The construction cache could not store a fresh snapshot (see
+    /// [`build_cached`](crate::cache::build_cached); load-side problems
+    /// degrade to a rebuild instead of erroring).
+    Cache(crate::cache::SnapshotError),
 }
 
 impl std::fmt::Display for BuildError {
@@ -64,6 +68,7 @@ impl std::fmt::Display for BuildError {
             BuildError::Param(e) => write!(f, "invalid parameters: {e}"),
             BuildError::Congest(e) => write!(f, "CONGEST simulation failed: {e}"),
             BuildError::UnknownAlgorithm(name) => write!(f, "unknown algorithm {name:?}"),
+            BuildError::Cache(e) => write!(f, "construction cache failed: {e}"),
         }
     }
 }
@@ -74,6 +79,7 @@ impl std::error::Error for BuildError {
             BuildError::Param(e) => Some(e),
             BuildError::Congest(e) => Some(e),
             BuildError::UnknownAlgorithm(_) => None,
+            BuildError::Cache(e) => Some(e),
         }
     }
 }

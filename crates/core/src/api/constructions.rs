@@ -58,6 +58,7 @@ impl Construction for Centralized {
                 threads: cfg.threads,
                 total: t0.elapsed(),
                 phases,
+                ..BuildStats::default()
             },
             algorithm: self.name(),
         })
@@ -110,6 +111,7 @@ impl Construction for FastCentralized {
                 threads: cfg.threads,
                 total: t0.elapsed(),
                 phases,
+                ..BuildStats::default()
             },
             algorithm: self.name(),
         })
@@ -166,6 +168,7 @@ impl Construction for Distributed {
                 threads: cfg.threads,
                 total: t0.elapsed(),
                 phases: build.timings,
+                ..BuildStats::default()
             },
             algorithm: self.name(),
         })
@@ -225,6 +228,7 @@ impl Construction for Spanner {
                 threads: cfg.threads,
                 total: t0.elapsed(),
                 phases,
+                ..BuildStats::default()
             },
             algorithm: self.name(),
         })
@@ -285,6 +289,7 @@ impl Construction for DistributedSpanner {
                 threads: cfg.threads,
                 total: t0.elapsed(),
                 phases: build.timings,
+                ..BuildStats::default()
             },
             algorithm: self.name(),
         })

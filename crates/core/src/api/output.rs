@@ -4,7 +4,7 @@ use crate::centralized::BuildTrace;
 use crate::distributed::driver::DistributedPhaseTrace;
 use crate::distributed::spanner_driver::SpannerDriverPhase;
 use crate::emulator::Emulator;
-pub use crate::exec::{BuildStats, PhaseTiming};
+pub use crate::exec::{BuildStats, CacheStatus, PhaseTiming};
 use crate::fast_centralized::FastBuildTrace;
 use crate::spanner::SpannerTrace;
 use usnae_congest::Metrics;
@@ -184,19 +184,6 @@ impl BuildOutput {
     /// across processes; it deliberately excludes [`BuildStats`], whose
     /// exploration counters are thread-sensitive.
     pub fn stream_fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |x: u64| {
-            h ^= x;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        };
-        for (e, p) in self.emulator.provenance() {
-            mix(e.u as u64);
-            mix(e.v as u64);
-            mix(e.weight);
-            mix(p.phase as u64);
-            mix(p.kind as u64);
-            mix(p.charged_to as u64);
-        }
-        h
+        crate::emulator::stream_fingerprint(self.emulator.provenance())
     }
 }

@@ -37,7 +37,7 @@ use usnae_graph::{Dist, Graph, VertexId};
 ///
 /// The paper's bounds hold for *any* order, but the realized sets `U_i`
 /// differ (its §2.1.1 star example); experiments F1–F3 ablate this.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ProcessingOrder {
     /// Ascending vertex id (deterministic default).
     #[default]

@@ -23,6 +23,29 @@ pub enum EdgeKind {
     BufferJoin,
 }
 
+impl EdgeKind {
+    /// Stable wire code for fingerprints and the snapshot codec (the
+    /// discriminant order is a serialization contract, frozen at v1).
+    pub fn code(self) -> u8 {
+        match self {
+            EdgeKind::Interconnection => 0,
+            EdgeKind::Superclustering => 1,
+            EdgeKind::BufferJoin => 2,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for unknown bytes (a
+    /// corrupted snapshot, not a panic).
+    pub fn from_code(code: u8) -> Option<EdgeKind> {
+        match code {
+            0 => Some(EdgeKind::Interconnection),
+            1 => Some(EdgeKind::Superclustering),
+            2 => Some(EdgeKind::BufferJoin),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for EdgeKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -31,6 +54,26 @@ impl std::fmt::Display for EdgeKind {
             EdgeKind::BufferJoin => write!(f, "buffer-join"),
         }
     }
+}
+
+/// FNV-1a fingerprint of an exact insertion stream — every edge with its
+/// weight and full provenance, in insertion order. This is the one
+/// fingerprint definition in the workspace:
+/// [`BuildOutput::stream_fingerprint`](crate::api::BuildOutput::stream_fingerprint)
+/// computes it over a live build and the snapshot codec recomputes it over
+/// decoded records, so a warm cache hit can be *proven* byte-identical to
+/// the build that produced it.
+pub fn stream_fingerprint(records: &[(WeightedEdge, EdgeProvenance)]) -> u64 {
+    let mut h = usnae_graph::metrics::Fnv64::new();
+    for (e, p) in records {
+        h.write_u64(e.u as u64);
+        h.write_u64(e.v as u64);
+        h.write_u64(e.weight);
+        h.write_u64(p.phase as u64);
+        h.write_u64(u64::from(p.kind.code()));
+        h.write_u64(p.charged_to as u64);
+    }
+    h.finish()
 }
 
 /// Where an emulator edge came from.
@@ -73,6 +116,22 @@ impl Emulator {
             graph: WeightedGraph::new(n),
             provenance: Vec::new(),
         }
+    }
+
+    /// Replays a recorded insertion stream over `n` vertices — the snapshot
+    /// codec's load path. Because [`add_edge`](Self::add_edge) is
+    /// deterministic in the stream order, the rebuilt emulator is
+    /// byte-identical (graph *and* provenance) to the one that recorded the
+    /// stream.
+    pub fn from_provenance(
+        n: usize,
+        records: impl IntoIterator<Item = (WeightedEdge, EdgeProvenance)>,
+    ) -> Self {
+        let mut h = Emulator::new(n);
+        for (e, p) in records {
+            h.add_edge(e.u, e.v, e.weight, p);
+        }
+        h
     }
 
     /// Number of vertices.

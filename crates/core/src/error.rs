@@ -25,6 +25,15 @@ pub enum ParamError {
     },
     /// `threads` must be at least 1 (1 = sequential build).
     ZeroThreads,
+    /// A float parameter was NaN or infinite. Rejected up front so
+    /// [`BuildConfig`](crate::api::BuildConfig) is a total `Eq + Hash` key
+    /// (cache keys must never see NaN).
+    NonFinite {
+        /// Which field (`"epsilon"` or `"rho"`).
+        field: &'static str,
+        /// The supplied value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ParamError {
@@ -47,6 +56,9 @@ impl fmt::Display for ParamError {
             }
             ParamError::ZeroThreads => {
                 write!(f, "threads must be at least 1 (1 = sequential build)")
+            }
+            ParamError::NonFinite { field, value } => {
+                write!(f, "{field} must be finite (got {value})")
             }
         }
     }

@@ -19,12 +19,38 @@ pub struct PhaseTiming {
     pub explorations: usize,
 }
 
+/// How a build's output was obtained relative to the construction cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheStatus {
+    /// No cache was consulted (the default for direct builds).
+    #[default]
+    Uncached,
+    /// The cache was consulted, had no valid entry, and the build ran the
+    /// construction (storing the result when the cache is writable).
+    Miss,
+    /// The output was loaded from a verified snapshot; no phase work ran.
+    Hit,
+}
+
+impl std::fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheStatus::Uncached => "off",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Hit => "hit",
+        })
+    }
+}
+
 /// Execution statistics of one build: thread count, total wall clock, and
 /// per-phase timings where the construction records them — the sharded
 /// centralized/fast/spanner family *and* the CONGEST simulations (whose
 /// `explorations` count the detection sources simulated per phase), so
 /// `usnae run --report` is uniform across the registry; only the baseline
 /// adapters report the total alone.
+///
+/// A cache hit is visible here: `cache == CacheStatus::Hit` with `phases`
+/// empty (no phase work ran — `total` is just the snapshot load time).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BuildStats {
     /// Thread count the build ran with (`BuildConfig::threads`).
@@ -33,6 +59,8 @@ pub struct BuildStats {
     pub total: Duration,
     /// Per-phase timings, phase order (empty when not instrumented).
     pub phases: Vec<PhaseTiming>,
+    /// Whether this output came from the construction cache.
+    pub cache: CacheStatus,
 }
 
 impl BuildStats {
@@ -146,6 +174,7 @@ mod tests {
         let stats = BuildStats {
             threads: 4,
             total: Duration::from_millis(5),
+            cache: CacheStatus::Uncached,
             phases: vec![
                 PhaseTiming {
                     phase: 0,

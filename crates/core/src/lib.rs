@@ -23,7 +23,9 @@
 //! Supporting modules: [`params`] (the paper's parameter algebra, §2.1.2,
 //! §3.1.1, §4), [`cluster`] (partial partitions `P_i`), [`emulator`] (the
 //! output object with per-edge provenance), [`charging`] (the Lemma 2.4
-//! ledger), and [`verify`] (size/stretch certification).
+//! ledger), [`verify`] (size/stretch certification), and [`cache`] (the
+//! fingerprint-keyed construction cache with the versioned snapshot
+//! codec — see the "Caching" section of [`api`]).
 //!
 //! All constructions are reached through the unified [`api`]: a fluent
 //! [`api::EmulatorBuilder`], one validated [`api::BuildConfig`], and the
@@ -54,6 +56,7 @@
 //! ```
 
 pub mod api;
+pub mod cache;
 pub mod centralized;
 pub mod charging;
 pub mod cluster;

@@ -250,11 +250,14 @@ pub fn e7_spanner(sizes: &[usize], kappas: &[u32], epsilon: f64, rho: f64, seed:
                 if cfg.spanner_params().is_err() || cfg.distributed_params().is_err() {
                     continue; // kappa/rho combination out of range
                 }
-                let ours = Algorithm::Spanner
-                    .construction()
-                    .build(&w.graph, &cfg)
+                let ours = crate::caching::sweep_build(
+                    Algorithm::Spanner.construction().as_ref(),
+                    &w.graph,
+                    &cfg,
+                )
+                .expect("validated above");
+                let theirs = crate::caching::sweep_build(em19.as_ref(), &w.graph, &cfg)
                     .expect("validated above");
-                let theirs = em19.build(&w.graph, &cfg).expect("validated above");
                 t.push_row(vec![
                     w.name.into(),
                     n_actual.to_string(),
@@ -296,7 +299,7 @@ pub fn e8_baselines(n: usize, kappas: &[u32], epsilon: f64, seed: u64) -> Table 
                 ..BuildConfig::default()
             };
             for c in &lineup {
-                let Ok(out) = c.build(&w.graph, &cfg) else {
+                let Ok(out) = crate::caching::sweep_build(c.as_ref(), &w.graph, &cfg) else {
                     continue; // parameters out of range for this lineage
                 };
                 t.push_row(vec![

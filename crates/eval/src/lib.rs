@@ -12,7 +12,12 @@
 //!
 //! The `usnae-bench` crate wraps these in `exp_*` binaries; integration
 //! tests assert the headline shapes hold.
+//!
+//! Sweeps are cache-aware: set `USNAE_CACHE_DIR` (see [`caching`]) and the
+//! registry iterations reuse warm construction-cache entries instead of
+//! rebuilding identical cells.
 
+pub mod caching;
 pub mod experiments;
 pub mod segment_audit;
 pub mod table;

@@ -1,9 +1,103 @@
 //! Workload-characterization metrics: the numbers experiment tables use to
-//! describe graph instances (degree profile, diameter estimate, clustering).
+//! describe graph instances (degree profile, diameter estimate, clustering),
+//! plus the canonical [`fingerprint`] construction caches key on.
 
 use crate::bfs::double_sweep_diameter;
 use crate::graph::Graph;
+use crate::weighted::WeightedGraph;
 use crate::Dist;
+
+/// FNV-1a offset basis / prime, shared by every fingerprint in the
+/// workspace so digests computed in different crates agree byte-for-byte.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a folding over `u64` words — the workspace's one
+/// hashing primitive for cross-process digests (the std hashers make no
+/// cross-version stability promise; this does).
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Fresh digest at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Folds one word into the digest.
+    pub fn write_u64(&mut self, x: u64) {
+        self.0 ^= x;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Folds raw bytes into the digest (used by the snapshot codec's
+    /// whole-file checksum).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Canonical fingerprint of an input graph: FNV-1a over `n`, `m`, and the
+/// edge list in its one defined order (`u < v`, ascending — the CSR
+/// guarantees it). Two graphs fingerprint equal iff they are the same
+/// labeled graph, regardless of the order edges were inserted through
+/// [`GraphBuilder`](crate::graph::GraphBuilder), so the digest is a safe
+/// cross-process cache key for `(graph, algo, config)` construction caches.
+///
+/// # Example
+///
+/// ```
+/// use usnae_graph::metrics::fingerprint;
+/// use usnae_graph::Graph;
+///
+/// # fn main() -> Result<(), usnae_graph::GraphError> {
+/// let a = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// let b = Graph::from_edges(3, &[(1, 2), (1, 0)])?; // different insert order
+/// assert_eq!(fingerprint(&a), fingerprint(&b));
+/// # Ok(())
+/// # }
+/// ```
+pub fn fingerprint(g: &Graph) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(g.num_vertices() as u64);
+    h.write_u64(g.num_edges() as u64);
+    for (u, v) in g.edges() {
+        h.write_u64(u as u64);
+        h.write_u64(v as u64);
+    }
+    h.finish()
+}
+
+/// Canonical fingerprint of a weighted graph (emulator/spanner output),
+/// over the sorted `(u, v, w)` edge set. Insertion-order independent, so it
+/// identifies the *structure* rather than the build that produced it.
+pub fn weighted_fingerprint(h: &WeightedGraph) -> u64 {
+    let mut edges: Vec<_> = h.edges().map(|e| (e.u, e.v, e.weight)).collect();
+    edges.sort_unstable();
+    let mut d = Fnv64::new();
+    d.write_u64(h.num_vertices() as u64);
+    d.write_u64(edges.len() as u64);
+    for (u, v, w) in edges {
+        d.write_u64(u as u64);
+        d.write_u64(v as u64);
+        d.write_u64(w);
+    }
+    d.finish()
+}
 
 /// Summary statistics of a graph instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,5 +219,51 @@ mod tests {
         assert_eq!(s.m, 0);
         assert_eq!(s.clustering, 0.0);
         assert_eq!(s.diameter_estimate, 0);
+    }
+
+    #[test]
+    fn fingerprint_is_insertion_order_independent() {
+        let a = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (2, 3)]).unwrap();
+        let b = Graph::from_edges(5, &[(2, 3), (4, 3), (2, 1), (1, 0)]).unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_separates_structure_and_size() {
+        let path = generators::path(10).unwrap();
+        let cycle =
+            Graph::from_edges(10, &(0..10).map(|i| (i, (i + 1) % 10)).collect::<Vec<_>>()).unwrap();
+        assert_ne!(fingerprint(&path), fingerprint(&cycle));
+        // Same edges, different vertex count (trailing isolated vertex).
+        let padded = Graph::from_edges(11, &path.edges().collect::<Vec<_>>()).unwrap();
+        assert_ne!(fingerprint(&path), fingerprint(&padded));
+        // Stable across clones (and, by construction, across processes).
+        assert_eq!(fingerprint(&path), fingerprint(&path.clone()));
+    }
+
+    #[test]
+    fn weighted_fingerprint_ignores_insertion_order_keeps_weights() {
+        let mut a = WeightedGraph::new(4);
+        a.add_edge(0, 1, 5);
+        a.add_edge(2, 3, 7);
+        let mut b = WeightedGraph::new(4);
+        b.add_edge(3, 2, 7);
+        b.add_edge(1, 0, 5);
+        assert_eq!(weighted_fingerprint(&a), weighted_fingerprint(&b));
+        let mut c = WeightedGraph::new(4);
+        c.add_edge(0, 1, 5);
+        c.add_edge(2, 3, 8); // different weight
+        assert_ne!(weighted_fingerprint(&a), weighted_fingerprint(&c));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // FNV-1a over the byte string "a" (0x61):
+        // (offset ^ 0x61) * prime == 0xaf63dc4c8601ec8c.
+        let mut h = Fnv64::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+        // Empty input is the offset basis.
+        assert_eq!(Fnv64::new().finish(), 0xcbf29ce484222325);
     }
 }

@@ -47,6 +47,37 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Caching
+//!
+//! Builds are pure functions of `(graph, config)`, so they can be paid
+//! once: point a builder (or `usnae run --cache DIR`) at a construction
+//! cache and the warm run loads a verified snapshot instead of rebuilding
+//! — `stats.cache` reports the hit and the stream fingerprint proves the
+//! loaded output identical to a rebuild (see `usnae::core::cache`):
+//!
+//! ```
+//! use usnae::api::{Algorithm, CacheStatus, Emulator};
+//! use usnae::graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let dir = std::env::temp_dir().join(format!("usnae-doc-cache-{}", std::process::id()));
+//! let g = generators::gnp_connected(128, 0.06, 7)?;
+//! let build = |()| {
+//!     Emulator::builder(&g)
+//!         .kappa(4)
+//!         .algorithm(Algorithm::Centralized)
+//!         .cache_dir(&dir)
+//!         .build()
+//! };
+//! let cold = build(())?; // runs the construction, stores a snapshot
+//! let warm = build(())?; // loads + verifies the snapshot; no phase work
+//! assert_eq!(warm.stats.cache, CacheStatus::Hit);
+//! assert_eq!(warm.stream_fingerprint(), cold.stream_fingerprint());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
 
 pub use usnae_baselines as baselines;
 pub use usnae_congest as congest;
