@@ -11,18 +11,21 @@ use std::time::Instant;
 use usnae_core::api::{BuildConfig, BuildError, BuildOutput, BuildStats, Construction, Supports};
 use usnae_graph::Graph;
 
-use crate::em19::build_em19;
-use crate::en17::build_en17;
-use crate::ep01::build_ep01;
+use crate::em19::build_em19_sharded;
+use crate::en17::build_en17_sharded;
+use crate::ep01::build_ep01_sharded;
 use crate::tz06::build_tz06;
+use usnae_graph::partition::GraphView;
 
 /// Execution stats for a baseline build timed as one block (the baselines
-/// do not record per-phase timings).
-fn timed_stats(cfg: &BuildConfig, t0: Instant) -> BuildStats {
+/// do not record per-phase timings). A partitioned build contributes its
+/// per-shard layout records.
+fn timed_stats(cfg: &BuildConfig, t0: Instant, view: &GraphView<'_>) -> BuildStats {
     BuildStats {
         threads: cfg.threads,
         total: t0.elapsed(),
         phases: Vec::new(),
+        shards: view.shard_timings(),
         ..BuildStats::default()
     }
 }
@@ -62,13 +65,14 @@ impl Construction for Ep01 {
         cfg.validate()?;
         let params = cfg.centralized_params()?;
         let t0 = Instant::now();
+        let view = cfg.graph_view(g);
         Ok(BuildOutput {
-            emulator: build_ep01(g, &params, cfg.threads),
+            emulator: build_ep01_sharded(g, &params, cfg.threads, &view),
             certified: None,
             size_bound: self.size_bound(g.num_vertices(), cfg),
             trace: None,
             congest: None,
-            stats: timed_stats(cfg, t0),
+            stats: timed_stats(cfg, t0, &view),
             algorithm: self.name(),
         })
     }
@@ -117,7 +121,9 @@ impl Construction for Tz06 {
             size_bound: None,
             trace: None,
             congest: None,
-            stats: timed_stats(cfg, t0),
+            // TZ06 has no exploration fan-out, so a requested partition
+            // is ignored (no shard records; same stream either way).
+            stats: timed_stats(cfg, t0, &GraphView::shared(g)),
             algorithm: self.name(),
         })
     }
@@ -156,13 +162,14 @@ impl Construction for En17 {
         cfg.validate()?;
         let params = cfg.centralized_params()?;
         let t0 = Instant::now();
+        let view = cfg.graph_view(g);
         Ok(BuildOutput {
-            emulator: build_en17(g, &params, cfg.seed, cfg.threads),
+            emulator: build_en17_sharded(g, &params, cfg.seed, cfg.threads, &view),
             certified: None,
             size_bound: None,
             trace: None,
             congest: None,
-            stats: timed_stats(cfg, t0),
+            stats: timed_stats(cfg, t0, &view),
             algorithm: self.name(),
         })
     }
@@ -202,13 +209,14 @@ impl Construction for Em19 {
         cfg.validate()?;
         let params = cfg.distributed_params()?;
         let t0 = Instant::now();
+        let view = cfg.graph_view(g);
         Ok(BuildOutput {
-            emulator: build_em19(g, &params, cfg.threads),
+            emulator: build_em19_sharded(g, &params, cfg.threads, &view),
             certified: None,
             size_bound: None,
             trace: None,
             congest: None,
-            stats: timed_stats(cfg, t0),
+            stats: timed_stats(cfg, t0, &view),
             algorithm: self.name(),
         })
     }

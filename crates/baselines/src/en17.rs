@@ -14,6 +14,7 @@ use usnae_core::cluster::{Cluster, Partition};
 use usnae_core::emulator::{EdgeKind, EdgeProvenance, Emulator};
 use usnae_core::params::CentralizedParams;
 use usnae_graph::bfs::multi_source_bfs;
+use usnae_graph::partition::GraphView;
 use usnae_graph::rng::Rng;
 use usnae_graph::{par, Graph, VertexId};
 
@@ -36,6 +37,18 @@ pub(crate) fn build_en17(
     seed: u64,
     threads: usize,
 ) -> Emulator {
+    build_en17_sharded(g, params, seed, threads, &GraphView::shared(g))
+}
+
+/// [`build_en17`] with the explorations reading through `view` (shared
+/// array or partitioned CSR shards) — byte-identical either way.
+pub(crate) fn build_en17_sharded(
+    g: &Graph,
+    params: &CentralizedParams,
+    seed: u64,
+    threads: usize,
+    view: &GraphView<'_>,
+) -> Emulator {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
     let mut partition = Partition::singletons(n);
@@ -45,6 +58,7 @@ pub(crate) fn build_en17(
         let last = i == params.ell();
         partition = run_phase(
             g,
+            view,
             &mut emulator,
             &partition,
             i,
@@ -63,6 +77,7 @@ pub(crate) fn build_en17(
 #[allow(clippy::too_many_arguments)]
 fn run_phase(
     g: &Graph,
+    view: &GraphView<'_>,
     emulator: &mut Emulator,
     partition: &Partition,
     i: usize,
@@ -156,7 +171,7 @@ fn run_phase(
         .filter(|rc| !joined.contains(rc))
         .collect();
     for block in work.chunks(4096) {
-        let balls = par::balls(g, block, delta, threads);
+        let balls = par::balls(view, block, delta, threads);
         for (&rc, ball) in block.iter().zip(&balls) {
             for &(v, d) in ball {
                 if v != rc && is_center[v] {

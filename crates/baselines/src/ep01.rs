@@ -18,6 +18,7 @@ use usnae_core::cluster::{Cluster, Partition};
 use usnae_core::emulator::{EdgeKind, EdgeProvenance, Emulator};
 use usnae_core::params::CentralizedParams;
 use usnae_graph::bfs::multi_source_bfs;
+use usnae_graph::partition::GraphView;
 use usnae_graph::{par, Dist, Graph, VertexId};
 
 /// Builds an EP01-style emulator; size `O(log κ · n^(1+1/κ)) + (n − 1)`.
@@ -29,17 +30,29 @@ pub fn build_ep01_emulator(g: &Graph, params: &CentralizedParams) -> Emulator {
     build_ep01(g, params, 1)
 }
 
+/// [`build_ep01_sharded`] over the shared adjacency array.
+pub(crate) fn build_ep01(g: &Graph, params: &CentralizedParams, threads: usize) -> Emulator {
+    build_ep01_sharded(g, params, threads, &GraphView::shared(g))
+}
+
 /// Crate-internal entry point behind the registry adapter (and the
 /// deprecated free-function shim). Explorations are sharded over
-/// `threads`; the build is byte-identical for every thread count.
-pub(crate) fn build_ep01(g: &Graph, params: &CentralizedParams, threads: usize) -> Emulator {
+/// `threads` and read the graph through `view` (shared array or
+/// partitioned CSR shards); the build is byte-identical for every thread
+/// count and layout.
+pub(crate) fn build_ep01_sharded(
+    g: &Graph,
+    params: &CentralizedParams,
+    threads: usize,
+    view: &GraphView<'_>,
+) -> Emulator {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
     let mut partition = Partition::singletons(n);
 
     for i in 0..=params.ell() {
         let last = i == params.ell();
-        partition = run_phase(g, &mut emulator, &partition, i, params, last, threads);
+        partition = run_phase(g, view, &mut emulator, &partition, i, params, last, threads);
     }
 
     // Ground partition: a BFS spanning forest of G (unit edges), restoring
@@ -73,8 +86,10 @@ pub(crate) fn build_ep01(g: &Graph, params: &CentralizedParams, threads: usize) 
     emulator
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_phase(
     g: &Graph,
+    view: &GraphView<'_>,
     emulator: &mut Emulator,
     partition: &Partition,
     i: usize,
@@ -107,7 +122,7 @@ fn run_phase(
         if todo.is_empty() {
             continue;
         }
-        let balls = par::balls(g, &todo, delta, threads);
+        let balls = par::balls(view, &todo, delta, threads);
         let mut used = 0usize;
         for (&rc, ball) in todo.iter().zip(&balls) {
             if !in_s[rc] {

@@ -15,13 +15,22 @@
 //! artifact for CI trend tracking. (On a single-core runner the speedup
 //! degenerates to ~1.0 — the engine adds no overhead but has no cores to
 //! use.)
+//!
+//! A second leg per algorithm (JSON name `<algo>+sharded`) rebuilds at
+//! threads {1, 4} with the graph split into 4 degree-balanced CSR shards
+//! (`usnae_graph::partition`), so the trend tracks partitioned vs
+//! shared-array phase-0 side by side; the fingerprint check asserts the
+//! sharded stream is identical to the shared-array one. `--n` scales the
+//! input through the 100k (default) to 1M regime.
 
 use std::time::Duration;
 use usnae_bench::timing::json_string;
-use usnae_core::api::{Algorithm, BuildOutput, Emulator};
+use usnae_core::api::{Algorithm, BuildOutput, Emulator, PartitionPolicy};
 use usnae_graph::generators;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SHARDED_THREAD_COUNTS: [usize; 2] = [1, 4];
+const BENCH_SHARDS: usize = 4;
 
 struct Run {
     threads: usize,
@@ -30,34 +39,59 @@ struct Run {
     explorations: usize,
 }
 
-fn build(g: &usnae_graph::Graph, algorithm: Algorithm, threads: usize) -> BuildOutput {
+fn build(
+    g: &usnae_graph::Graph,
+    algorithm: Algorithm,
+    threads: usize,
+    shards: usize,
+) -> BuildOutput {
     Emulator::builder(g)
         .epsilon(0.5)
         .kappa(4)
         .algorithm(algorithm)
         .threads(threads)
+        .partition(PartitionPolicy::DegreeBalanced, shards)
         .build()
         .expect("valid bench configuration")
 }
 
+/// Benches one (algorithm, layout) leg. `baseline_stream` seeds the
+/// fingerprint check: passing the shared-array leg's fingerprint into the
+/// sharded leg asserts sharded-vs-shared identity, not just internal
+/// consistency. Returns the runs, the phase-0 speedup at 4 threads, and
+/// the leg's stream fingerprint.
 fn bench_algorithm(
     g: &usnae_graph::Graph,
     algorithm: Algorithm,
     samples: usize,
-) -> (Vec<Run>, f64) {
-    println!("\n== parallel/{} ==", algorithm.name());
+    shards: usize,
+    thread_counts: &[usize],
+    baseline_stream: Option<u64>,
+) -> (Vec<Run>, f64, u64) {
+    let tag = if shards > 0 { "+sharded" } else { "" };
+    println!("\n== parallel/{}{tag} ==", algorithm.name());
     let mut runs = Vec::new();
-    let mut baseline_stream = None;
-    for &threads in &THREAD_COUNTS {
+    let mut baseline_stream = baseline_stream;
+    let mut layout_printed = false;
+    for &threads in thread_counts {
         let mut best: Option<Run> = None;
         for _ in 0..samples {
-            let out = build(g, algorithm, threads);
+            let out = build(g, algorithm, threads, shards);
+            if shards > 0 && !layout_printed {
+                layout_printed = true;
+                for sh in &out.stats.shards {
+                    println!(
+                        "  shard {}: {} vertices, {} local edges, {} cut edges, built in {:.3?}",
+                        sh.shard, sh.vertices, sh.local_edges, sh.cut_edges, sh.duration
+                    );
+                }
+            }
             match baseline_stream {
                 None => baseline_stream = Some(out.stream_fingerprint()),
                 Some(f) => assert_eq!(
                     f,
                     out.stream_fingerprint(),
-                    "{} at {threads} threads diverged from the sequential build",
+                    "{}{tag} at {threads} threads / {shards} shards diverged from the baseline build",
                     algorithm.name()
                 ),
             }
@@ -74,7 +108,7 @@ fn bench_algorithm(
         let best = best.expect("at least one sample");
         println!(
             "{:<28} total {:>10.3?}  phase0 {:>10.3?}  ({} explorations)",
-            format!("{}/threads={threads}", algorithm.name()),
+            format!("{}{tag}/threads={threads}", algorithm.name()),
             best.total,
             best.phase0,
             best.explorations
@@ -90,10 +124,14 @@ fn bench_algorithm(
         .as_secs_f64();
     let speedup = if p0_4 > 0.0 { p0_1 / p0_4 } else { 1.0 };
     println!(
-        "{}: phase-0 speedup at 4 threads = {speedup:.2}x",
+        "{}{tag}: phase-0 speedup at 4 threads = {speedup:.2}x",
         algorithm.name()
     );
-    (runs, speedup)
+    (
+        runs,
+        speedup,
+        baseline_stream.expect("at least one build ran"),
+    )
 }
 
 fn main() {
@@ -127,24 +165,65 @@ fn main() {
 
     let mut algo_json = Vec::new();
     for algorithm in [Algorithm::Centralized, Algorithm::FastCentralized] {
-        let (runs, speedup) = bench_algorithm(&g, algorithm, samples);
-        let runs_json: Vec<String> = runs
+        let (runs, speedup, fingerprint) =
+            bench_algorithm(&g, algorithm, samples, 0, &THREAD_COUNTS, None);
+        // Sharded leg: same graph split into 4 degree-balanced CSR shards;
+        // the interesting diff is phase-0 sharded vs shared at 4 threads.
+        // Seeding with the shared leg's fingerprint makes every sharded
+        // build assert identity against the shared-array stream.
+        let (sharded_runs, sharded_speedup, _) = bench_algorithm(
+            &g,
+            algorithm,
+            samples,
+            BENCH_SHARDS,
+            &SHARDED_THREAD_COUNTS,
+            Some(fingerprint),
+        );
+        let shared_p0 = runs
             .iter()
-            .map(|r| {
-                format!(
-                    "{{\"threads\":{},\"total_s\":{},\"phase0_s\":{},\"explorations\":{}}}",
-                    r.threads,
-                    r.total.as_secs_f64(),
-                    r.phase0.as_secs_f64(),
-                    r.explorations
-                )
-            })
-            .collect();
-        algo_json.push(format!(
-            "{{\"name\":{},\"phase0_speedup_at_4_threads\":{speedup},\"runs\":[{}]}}",
-            json_string(algorithm.name()),
-            runs_json.join(",")
-        ));
+            .find(|r| r.threads == 4)
+            .expect("4-thread leg present")
+            .phase0
+            .as_secs_f64();
+        let sharded_p0 = sharded_runs
+            .iter()
+            .find(|r| r.threads == 4)
+            .expect("4-thread sharded leg present")
+            .phase0
+            .as_secs_f64();
+        if sharded_p0 > 0.0 {
+            println!(
+                "{}: sharded/shared phase-0 ratio at 4 threads = {:.2}x",
+                algorithm.name(),
+                sharded_p0 / shared_p0.max(f64::EPSILON)
+            );
+        }
+        for (name, legs, spd) in [
+            (algorithm.name().to_string(), &runs, speedup),
+            (
+                format!("{}+sharded", algorithm.name()),
+                &sharded_runs,
+                sharded_speedup,
+            ),
+        ] {
+            let runs_json: Vec<String> = legs
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"threads\":{},\"total_s\":{},\"phase0_s\":{},\"explorations\":{}}}",
+                        r.threads,
+                        r.total.as_secs_f64(),
+                        r.phase0.as_secs_f64(),
+                        r.explorations
+                    )
+                })
+                .collect();
+            algo_json.push(format!(
+                "{{\"name\":{},\"phase0_speedup_at_4_threads\":{spd},\"runs\":[{}]}}",
+                json_string(&name),
+                runs_json.join(",")
+            ));
+        }
     }
     let doc = format!(
         "{{\"n\":{},\"edges\":{},\"hardware_threads\":{},\"algorithms\":[{}]}}\n",

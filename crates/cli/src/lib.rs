@@ -4,6 +4,7 @@
 //! ```text
 //! usnae run --algo <name> --input graph.txt [--output emulator.txt]
 //!       [--eps 0.5] [--kappa 4] [--rho 0.5] [--seed 0] [--threads 1]
+//!       [--shards 0] [--partition range|degree-balanced]
 //!       [--order by-id|by-id-desc|by-degree-desc|by-degree-asc]
 //!       [--raw-eps] [--report] [--cache DIR]
 //! usnae list
@@ -16,6 +17,12 @@
 //! baseline is reachable by name; `list` prints the catalogue. The older
 //! `build` subcommand with its three-valued `--mode` remains as an alias
 //! for the three original algorithms.
+//!
+//! `--shards N` splits the input graph into `N` per-worker CSR shards
+//! (`--partition` picks the range or degree-balanced cut) and the
+//! sharding-capable constructions read their explorations from the local
+//! shards; the built structure is byte-identical to the unsharded run and
+//! `--report` adds a per-shard layout line.
 //!
 //! `--cache DIR` makes the build read-through a fingerprint-keyed
 //! construction cache (see `usnae_core::cache`): a warm, verified entry is
@@ -32,7 +39,7 @@ use std::fmt;
 use std::io::BufReader;
 
 use usnae_baselines::registry;
-use usnae_core::api::{BuildConfig, BuildOutput, ProcessingOrder};
+use usnae_core::api::{BuildConfig, BuildOutput, PartitionPolicy, ProcessingOrder};
 use usnae_core::cache::{build_cached, CacheConfig, ConstructionCache};
 use usnae_graph::{io as gio, Graph};
 
@@ -101,6 +108,7 @@ impl std::error::Error for CliError {}
 /// The usage banner.
 pub const USAGE: &str = "usage: usnae run --algo <name> --input <edge-list> [--output <path>] \
 [--eps <0..1>] [--kappa <k>=4] [--rho <r>=0.5] [--seed <s>=0] [--threads <t>=1] \
+[--shards <k>=0] [--partition range|degree-balanced] \
 [--order by-id|by-id-desc|by-degree-desc|by-degree-asc] [--raw-eps] [--report] [--cache <dir>]\n\
        usnae list\n\
        usnae cache ls|clear|verify <dir>\n\
@@ -221,6 +229,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     )));
                 }
             }
+            "--shards" => {
+                opts.config.shards = value("--shards")?.parse().map_err(|_| {
+                    CliError("--shards must be an integer (0 = shared array)".into())
+                })?;
+            }
+            "--partition" => {
+                let v = value("--partition")?;
+                opts.config.partition = PartitionPolicy::parse(&v)
+                    .ok_or_else(|| CliError(format!("unknown partition policy {v:?}\n{USAGE}")))?;
+            }
             "--order" => {
                 let v = value("--order")?;
                 opts.config.order = parse_order(&v)
@@ -333,6 +351,15 @@ pub fn execute(opts: &Options) -> Result<Vec<String>, CliError> {
             lines.push(format!(
                 "congest: {} rounds, {} messages, knowledge violations {}",
                 stats.metrics.rounds, stats.metrics.messages, stats.knowledge_violations
+            ));
+        }
+        if !out.stats.shards.is_empty() {
+            let cut: usize = out.stats.shards.iter().map(|s| s.cut_edges).sum();
+            lines.push(format!(
+                "partition: {} x{} shard(s), {} cut edge(s)",
+                opts.config.partition,
+                out.stats.shards.len(),
+                cut / 2
             ));
         }
         let mut timing = format!(
@@ -495,6 +522,50 @@ mod tests {
                 canonical(&par),
                 "{name}: CLI build diverged at 4 threads"
             );
+        }
+    }
+
+    #[test]
+    fn shards_and_partition_flags_parse_and_validate() {
+        let o = run_opts(
+            parse_args(&args(
+                "run --input g.txt --shards 4 --partition degree-balanced",
+            ))
+            .unwrap(),
+        );
+        assert_eq!(o.config.shards, 4);
+        assert_eq!(o.config.partition, PartitionPolicy::DegreeBalanced);
+        let default = run_opts(parse_args(&args("run --input g.txt")).unwrap());
+        assert_eq!(default.config.shards, 0, "shared array by default");
+        assert!(parse_args(&args("run --input g.txt --shards nope")).is_err());
+        assert!(parse_args(&args("run --input g.txt --partition mesh")).is_err());
+    }
+
+    #[test]
+    fn sharded_builds_are_identical_through_the_cli_path() {
+        let g = usnae_graph::generators::gnp_connected(90, 0.07, 31).unwrap();
+        for name in registry::names() {
+            let mk = |shards: usize, partition: PartitionPolicy| Options {
+                algo: name.to_string(),
+                input: String::new(),
+                output: None,
+                config: BuildConfig {
+                    shards,
+                    partition,
+                    ..BuildConfig::default()
+                },
+                report: false,
+                cache_dir: None,
+            };
+            let shared = run_build(&g, &mk(0, PartitionPolicy::Range)).unwrap();
+            for policy in PartitionPolicy::all() {
+                let sharded = run_build(&g, &mk(4, policy)).unwrap();
+                assert_eq!(
+                    shared.emulator.provenance(),
+                    sharded.emulator.provenance(),
+                    "{name} diverged under {policy} shards"
+                );
+            }
         }
     }
 

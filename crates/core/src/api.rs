@@ -58,6 +58,30 @@
 //! `usnae cache {ls,clear,verify}` manages a cache directory; `verify`
 //! recomputes every stored fingerprint, and CI runs the same check.
 //!
+//! # Partitioned builds
+//!
+//! [`EmulatorBuilder::partition`] (CLI: `usnae run --shards N
+//! [--partition range|degree-balanced]`) splits the input graph into
+//! per-worker **CSR shards** — contiguous vertex ranges with their own
+//! local adjacency arrays and cut-edge frontier lists (see
+//! `usnae_graph::partition`) — and the per-center explorations of
+//! `centralized`, `fast-centralized`, `spanner`, `ep01`, `en17a`, and
+//! `em19` then read from the local shards instead of the one shared
+//! adjacency array. Because each shard stores its owned neighbor lists
+//! verbatim, the sharded build is **byte-identical** (stream, trace, and
+//! fingerprint) to the unsharded one for every shard count and both
+//! partition policies — enforced registry-wide by
+//! `tests/partition_conformance.rs` and a CI `shard-matrix` leg, with
+//! golden reference streams in `tests/data/` catching shard-merge
+//! regressions without rebuilding the oracle. A partitioned build reports
+//! one [`ShardTiming`](crate::exec::ShardTiming) per shard in
+//! [`BuildStats::shards`] (owned vertices, local/cut edges, layout build
+//! time); the CONGEST simulations and `tz06` accept the knobs but keep
+//! the shared array — they run no sharded exploration phase. `shards`
+//! and the policy are deliberately **not** part of the cache key
+//! ([`BuildConfig::stable_digest`]): one cached entry serves every
+//! layout, exactly like `threads`.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -115,12 +139,13 @@ pub mod registry;
 pub use crate::cache::CacheConfig;
 pub use crate::centralized::ProcessingOrder;
 pub use crate::emulator::Emulator;
-pub use backend::{HeapBackend, OutputBackend, SnapshotBackend};
+pub use backend::{HeapBackend, OutputBackend, PartitionedBackend, SnapshotBackend};
 pub use config::{Algorithm, BuildConfig};
 pub use construction::{BuildError, Construction, Supports};
 pub use output::{
     BuildOutput, BuildStats, CacheStatus, CongestStats, PhaseSummary, PhaseTiming, Trace,
 };
+pub use usnae_graph::partition::{PartitionPolicy, ShardTiming};
 
 use usnae_graph::Graph;
 
@@ -205,6 +230,22 @@ impl<'g> EmulatorBuilder<'g> {
     /// [`BuildOutput::stats`] timings change.
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Partitioned-graph layout: split the input into `shards` per-worker
+    /// CSR shards under `policy` and run the per-center explorations
+    /// against the local shards instead of the shared adjacency array
+    /// (`shards == 0`, the default, keeps the shared array). The built
+    /// structure is byte-identical for every `(policy, shards)`; the
+    /// per-shard layout records land in [`BuildStats::shards`].
+    pub fn partition(
+        mut self,
+        policy: usnae_graph::partition::PartitionPolicy,
+        shards: usize,
+    ) -> Self {
+        self.config.partition = policy;
+        self.config.shards = shards;
         self
     }
 
@@ -318,6 +359,38 @@ mod tests {
         );
         assert!(!parallel.stats.phases.is_empty());
         assert!(parallel.stats.phase0().is_some());
+    }
+
+    #[test]
+    fn builder_partition_keeps_output_identical_and_records_shards() {
+        use usnae_graph::partition::PartitionPolicy;
+        let g = generators::gnp_connected(150, 0.05, 12).unwrap();
+        let shared = Emulator::builder(&g).kappa(4).build().unwrap();
+        assert!(shared.stats.shards.is_empty(), "shared-array build");
+        for policy in PartitionPolicy::all() {
+            let sharded = Emulator::builder(&g)
+                .kappa(4)
+                .threads(2)
+                .partition(policy, 4)
+                .build()
+                .unwrap();
+            assert_eq!(
+                shared.emulator.provenance(),
+                sharded.emulator.provenance(),
+                "{policy}"
+            );
+            assert_eq!(sharded.stats.shards.len(), 4, "{policy}");
+            assert_eq!(
+                sharded
+                    .stats
+                    .shards
+                    .iter()
+                    .map(|s| s.vertices)
+                    .sum::<usize>(),
+                g.num_vertices(),
+                "{policy}: shards own every vertex exactly once"
+            );
+        }
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! `BuildOutput.emulator` keeps its in-memory type — every existing
 //! consumer stays untouched — but the [`OutputBackend`] trait lets an
 //! output live somewhere other than this process's heap: today as a
-//! [`SnapshotBackend`] over the on-disk codec (see [`crate::cache`]), and
-//! by design as future mmap'd or remote-shard backends (the ROADMAP's
+//! [`SnapshotBackend`] over the on-disk codec (see [`crate::cache`]), as
+//! a [`PartitionedBackend`] holding the insertion stream as per-shard
+//! partitions (the in-memory prototype of a remote-shard backend), and by
+//! design as future mmap'd or fully remote backends (the ROADMAP's
 //! million-vertex direction), all behind `materialize()`.
 //!
 //! The contract mirrors the cache's: a backend's `stream_fingerprint`
@@ -12,8 +14,10 @@
 //! same" output can be compared without materializing either.
 
 use crate::cache::{Snapshot, SnapshotError};
-use crate::emulator::Emulator;
+use crate::emulator::{EdgeProvenance, Emulator};
 use std::path::{Path, PathBuf};
+use usnae_graph::partition::PartitionPolicy;
+use usnae_graph::WeightedEdge;
 
 /// A place a built emulator/spanner can live.
 ///
@@ -174,6 +178,115 @@ impl OutputBackend for SnapshotBackend {
     }
 }
 
+/// A backend that holds a built output's insertion stream partitioned
+/// into per-shard lists by the owning shard of each edge's lower
+/// endpoint — the same contiguous-range ownership [`ShardedCsr`]
+/// (`usnae_graph::partition`) uses for the input graph. This is the
+/// in-memory prototype of a remote-shard backend: each shard's records
+/// are independently addressable (and could live in another process),
+/// while `materialize()` merges them back in original insertion order,
+/// reproducing the exact stream — same fingerprint as the heap backend.
+#[derive(Debug, Clone)]
+pub struct PartitionedBackend {
+    algorithm: String,
+    num_vertices: usize,
+    num_edges: usize,
+    fingerprint: u64,
+    policy: PartitionPolicy,
+    /// Per shard: `(original stream index, record)`, index-ascending.
+    shards: Vec<Vec<(usize, (WeightedEdge, EdgeProvenance))>>,
+}
+
+impl PartitionedBackend {
+    /// Partitions `out`'s insertion stream into `shards` per-shard lists.
+    /// Ownership boundaries are computed over the *output* structure
+    /// (degree-balanced policies weight by emulator degree), so a hub-heavy
+    /// emulator does not overload shard 0.
+    pub fn from_output(
+        out: &crate::api::BuildOutput,
+        policy: PartitionPolicy,
+        shards: usize,
+    ) -> Self {
+        let n = out.emulator.num_vertices();
+        let bounds = usnae_graph::partition::weighted_boundaries(
+            n,
+            |v| out.emulator.graph().degree(v),
+            policy,
+            shards,
+        );
+        let owner = |v: usize| -> usize { bounds.partition_point(|&b| b <= v).saturating_sub(1) };
+        let mut parts: Vec<Vec<(usize, (WeightedEdge, EdgeProvenance))>> =
+            vec![Vec::new(); bounds.len() - 1];
+        for (idx, rec) in out.emulator.provenance().iter().enumerate() {
+            parts[owner(rec.0.u)].push((idx, *rec));
+        }
+        PartitionedBackend {
+            algorithm: out.algorithm.to_string(),
+            num_vertices: n,
+            num_edges: out.num_edges(),
+            fingerprint: out.stream_fingerprint(),
+            policy,
+            shards: parts,
+        }
+    }
+
+    /// The policy the stream was partitioned under.
+    pub fn policy(&self) -> PartitionPolicy {
+        self.policy
+    }
+
+    /// Number of stream shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's records: `(original stream index, record)`, ascending.
+    pub fn shard_records(&self, shard: usize) -> &[(usize, (WeightedEdge, EdgeProvenance))] {
+        &self.shards[shard]
+    }
+}
+
+impl OutputBackend for PartitionedBackend {
+    fn kind(&self) -> &'static str {
+        "partitioned"
+    }
+
+    fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn stream_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn materialize(&self) -> Result<Emulator, SnapshotError> {
+        // Merge the per-shard lists back into insertion order. Each list
+        // is index-ascending, so this is a k-way merge; the recomputed
+        // fingerprint proves the merge reproduced the original stream.
+        let mut records: Vec<(usize, (WeightedEdge, EdgeProvenance))> =
+            self.shards.iter().flatten().cloned().collect();
+        records.sort_unstable_by_key(|&(idx, _)| idx);
+        let merged: Vec<(WeightedEdge, EdgeProvenance)> =
+            records.into_iter().map(|(_, r)| r).collect();
+        let recomputed = crate::emulator::stream_fingerprint(&merged);
+        if recomputed != self.fingerprint {
+            return Err(SnapshotError::FingerprintMismatch {
+                stored: self.fingerprint,
+                recomputed,
+            });
+        }
+        Ok(Emulator::from_provenance(self.num_vertices, merged))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +321,44 @@ mod tests {
         assert_eq!(heap.kind(), "heap");
         assert_eq!(disk.kind(), "snapshot");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partitioned_backend_merges_back_to_the_exact_stream() {
+        let g = generators::gnp_connected(80, 0.08, 7).unwrap();
+        let cfg = BuildConfig::default();
+        for algo in [Algorithm::Centralized, Algorithm::Spanner] {
+            let c = algo.construction();
+            let out = c.build(&g, &cfg).unwrap();
+            let heap = HeapBackend::new(out.emulator.clone(), c.name());
+            for policy in PartitionPolicy::all() {
+                for shards in [1usize, 2, 4, 7] {
+                    let part = PartitionedBackend::from_output(&out, policy, shards);
+                    assert_eq!(part.kind(), "partitioned");
+                    assert_eq!(part.num_shards(), shards.min(g.num_vertices()));
+                    assert_eq!(part.policy(), policy);
+                    assert_eq!(part.algorithm(), c.name());
+                    assert_eq!(part.num_vertices(), heap.num_vertices());
+                    assert_eq!(part.num_edges(), heap.num_edges());
+                    assert_eq!(part.stream_fingerprint(), heap.stream_fingerprint());
+                    // Every record lands in exactly one shard, ascending.
+                    let total: usize = (0..part.num_shards())
+                        .map(|s| part.shard_records(s).len())
+                        .sum();
+                    assert_eq!(total, out.emulator.provenance().len());
+                    for s in 0..part.num_shards() {
+                        assert!(part.shard_records(s).windows(2).all(|w| w[0].0 < w[1].0));
+                    }
+                    // The merge reproduces the original insertion stream.
+                    let live = part.materialize().unwrap();
+                    assert_eq!(
+                        live.provenance(),
+                        out.emulator.provenance(),
+                        "{policy} shards={shards}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

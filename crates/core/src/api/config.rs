@@ -3,6 +3,7 @@
 use crate::centralized::ProcessingOrder;
 use crate::error::ParamError;
 use crate::params::{CentralizedParams, DistributedParams, SpannerParams};
+use usnae_graph::partition::PartitionPolicy;
 
 /// The paper constructions selectable through
 /// [`EmulatorBuilder`](crate::api::EmulatorBuilder).
@@ -115,6 +116,13 @@ pub struct BuildConfig {
     /// Worker threads for the sharded exploration phases (1 = sequential;
     /// must be ≥ 1). Output is byte-identical for every thread count.
     pub threads: usize,
+    /// Partitioned-graph layout: CSR shards the input is split into for
+    /// the exploration phases (0 = the shared adjacency array; ≥ 1 builds
+    /// that many per-worker shards, clamped to `n`). Output is
+    /// byte-identical for every shard count and policy.
+    pub shards: usize,
+    /// Partitioning strategy used when `shards >= 1`.
+    pub partition: PartitionPolicy,
 }
 
 impl Default for BuildConfig {
@@ -128,6 +136,8 @@ impl Default for BuildConfig {
             traced: false,
             seed: 0,
             threads: 1,
+            shards: 0,
+            partition: PartitionPolicy::Range,
         }
     }
 }
@@ -163,6 +173,8 @@ impl std::hash::Hash for BuildConfig {
             traced,
             seed,
             threads,
+            shards,
+            partition,
         } = self;
         float_bits(*epsilon).hash(state);
         kappa.hash(state);
@@ -172,6 +184,8 @@ impl std::hash::Hash for BuildConfig {
         traced.hash(state);
         seed.hash(state);
         threads.hash(state);
+        shards.hash(state);
+        partition.hash(state);
     }
 }
 
@@ -229,8 +243,10 @@ impl BuildConfig {
             raw_epsilon,
             order,
             seed,
-            traced: _,  // retention of the in-memory trace only
-            threads: _, // never changes the built stream (determinism)
+            traced: _,    // retention of the in-memory trace only
+            threads: _,   // never changes the built stream (determinism)
+            shards: _,    // sharded layout is byte-identical to shared
+            partition: _, // ditto — enforced by partition_conformance.rs
         } = self;
         let mut d = usnae_graph::metrics::Fnv64::new();
         d.write_u64(float_bits(*epsilon));
@@ -290,6 +306,17 @@ impl BuildConfig {
     /// The headline size bound `n^(1+1/κ)` shared by all paper schedules.
     pub fn size_bound(&self, n: usize) -> f64 {
         (n as f64).powf(1.0 + 1.0 / self.kappa as f64)
+    }
+
+    /// The graph view this config's exploration phases read from: the
+    /// shared adjacency array (`shards == 0`) or a freshly partitioned
+    /// [`ShardedCsr`](usnae_graph::partition::ShardedCsr) under
+    /// [`partition`](Self::partition).
+    pub fn graph_view<'g>(
+        &self,
+        g: &'g usnae_graph::Graph,
+    ) -> usnae_graph::partition::GraphView<'g> {
+        usnae_graph::partition::GraphView::new(g, self.partition, self.shards)
     }
 }
 
@@ -395,10 +422,13 @@ mod tests {
     #[test]
     fn stable_digest_keys_on_output_relevant_fields_only() {
         let base = BuildConfig::default();
-        // threads and traced never change the built stream — same key.
+        // threads, traced, and the partitioned layout never change the
+        // built stream — same key.
         let threaded = BuildConfig {
             threads: 8,
             traced: true,
+            shards: 4,
+            partition: PartitionPolicy::DegreeBalanced,
             ..base.clone()
         };
         assert_eq!(base.stable_digest(), threaded.stable_digest());

@@ -47,7 +47,9 @@ impl Construction for Centralized {
         cfg.validate()?;
         let params = cfg.centralized_params()?;
         let t0 = Instant::now();
-        let (emulator, trace, phases) = build_centralized_exec(g, &params, cfg.order, cfg.threads);
+        let view = cfg.graph_view(g);
+        let (emulator, trace, phases) =
+            build_centralized_exec(g, &params, cfg.order, cfg.threads, &view);
         Ok(BuildOutput {
             emulator,
             certified: Some(params.certified_stretch()),
@@ -58,6 +60,7 @@ impl Construction for Centralized {
                 threads: cfg.threads,
                 total: t0.elapsed(),
                 phases,
+                shards: view.shard_timings(),
                 ..BuildStats::default()
             },
             algorithm: self.name(),
@@ -100,7 +103,8 @@ impl Construction for FastCentralized {
         cfg.validate()?;
         let params = cfg.distributed_params()?;
         let t0 = Instant::now();
-        let (emulator, trace, phases) = build_fast_exec(g, &params, cfg.threads);
+        let view = cfg.graph_view(g);
+        let (emulator, trace, phases) = build_fast_exec(g, &params, cfg.threads, &view);
         Ok(BuildOutput {
             emulator,
             certified: Some(params.certified_stretch()),
@@ -111,6 +115,7 @@ impl Construction for FastCentralized {
                 threads: cfg.threads,
                 total: t0.elapsed(),
                 phases,
+                shards: view.shard_timings(),
                 ..BuildStats::default()
             },
             algorithm: self.name(),
@@ -216,7 +221,8 @@ impl Construction for Spanner {
         cfg.validate()?;
         let params = cfg.spanner_params()?;
         let t0 = Instant::now();
-        let (emulator, trace, phases) = build_spanner_exec(g, &params, cfg.threads);
+        let view = cfg.graph_view(g);
+        let (emulator, trace, phases) = build_spanner_exec(g, &params, cfg.threads, &view);
         let n = g.num_vertices();
         Ok(BuildOutput {
             emulator,
@@ -228,6 +234,7 @@ impl Construction for Spanner {
                 threads: cfg.threads,
                 total: t0.elapsed(),
                 phases,
+                shards: view.shard_timings(),
                 ..BuildStats::default()
             },
             algorithm: self.name(),

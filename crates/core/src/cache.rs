@@ -36,7 +36,7 @@
 
 use crate::api::{BuildConfig, BuildError, BuildOutput, CongestStats, Construction};
 use crate::emulator::{stream_fingerprint, EdgeKind, EdgeProvenance, Emulator};
-use crate::exec::{BuildStats, CacheStatus, PhaseTiming};
+use crate::exec::{BuildStats, CacheStatus, PhaseTiming, ShardTiming};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 use usnae_congest::Metrics;
@@ -48,7 +48,8 @@ pub const MAGIC: &[u8; 8] = b"USNAESNP";
 
 /// Current codec version. Bump on any layout change; old files then fail
 /// with [`SnapshotError::UnsupportedVersion`] instead of misparsing.
-pub const VERSION: u32 = 1;
+/// (v2 added the per-shard timing section of partitioned builds.)
+pub const VERSION: u32 = 2;
 
 /// Extension of snapshot files inside a cache directory.
 pub const EXTENSION: &str = "usnae";
@@ -343,7 +344,7 @@ impl Snapshot {
         }
     }
 
-    /// Serializes to the version-1 wire format (trailing FNV-64 checksum
+    /// Serializes to the version-2 wire format (trailing FNV-64 checksum
     /// over everything before it).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
@@ -393,6 +394,14 @@ impl Snapshot {
             w.u64(p.phase as u64);
             w.u64(p.duration.as_nanos().min(u128::from(u64::MAX)) as u64);
             w.u64(p.explorations as u64);
+        }
+        w.u64(self.stats.shards.len() as u64);
+        for sh in &self.stats.shards {
+            w.u64(sh.shard as u64);
+            w.u64(sh.vertices as u64);
+            w.u64(sh.local_edges as u64);
+            w.u64(sh.cut_edges as u64);
+            w.u64(sh.duration.as_nanos().min(u128::from(u64::MAX)) as u64);
         }
         w.finish()
     }
@@ -526,6 +535,17 @@ impl Snapshot {
                 explorations: r.u64()? as usize,
             });
         }
+        let shard_count = r.count()?;
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            shards.push(ShardTiming {
+                shard: r.u64()? as usize,
+                vertices: r.u64()? as usize,
+                local_edges: r.u64()? as usize,
+                cut_edges: r.u64()? as usize,
+                duration: Duration::from_nanos(r.u64()?),
+            });
+        }
         if r.pos != content.len() {
             return Err(SnapshotError::Corrupt {
                 reason: format!(
@@ -557,6 +577,7 @@ impl Snapshot {
                 threads,
                 total,
                 phases,
+                shards,
                 cache: CacheStatus::Miss,
             },
         })
@@ -588,6 +609,7 @@ impl Snapshot {
                 threads,
                 total: load_time,
                 phases: Vec::new(),
+                shards: Vec::new(),
                 cache: CacheStatus::Hit,
             },
             algorithm,
@@ -727,6 +749,11 @@ impl ConstructionCache {
     /// consistency. This is the one integrity pass `ls` and `verify` share
     /// with CI.
     ///
+    /// Entries are returned sorted by **(algorithm, stream fingerprint,
+    /// path)** — decoded content, not directory order — so `usnae cache
+    /// ls` output is stable across filesystems and CI log diffs are
+    /// byte-comparable. Broken entries sort last, by path.
+    ///
     /// # Errors
     ///
     /// [`SnapshotError::Io`] when the directory itself is unreadable;
@@ -768,6 +795,18 @@ impl ConstructionCache {
                 detail,
             });
         }
+        // Filesystem read order (and even the path sort above) is not the
+        // contract: sort by decoded (algo, stream fingerprint) so two
+        // caches holding the same entries always list identically.
+        out.sort_by_cached_key(|e| match &e.detail {
+            Ok(d) => (
+                0u8,
+                d.key.algorithm.clone(),
+                d.stream_fingerprint,
+                e.path.clone(),
+            ),
+            Err(_) => (1u8, String::new(), 0, e.path.clone()),
+        });
         Ok(out)
     }
 
@@ -900,6 +939,28 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_build_stats_survive_the_codec() {
+        let g = generators::gnp_connected(60, 0.1, 3).unwrap();
+        let cfg = BuildConfig {
+            shards: 4,
+            partition: usnae_graph::partition::PartitionPolicy::DegreeBalanced,
+            ..BuildConfig::default()
+        };
+        let c = Algorithm::Centralized.construction();
+        let out = c.build(&g, &cfg).unwrap();
+        assert_eq!(
+            out.stats.shards.len(),
+            4,
+            "partitioned build records shards"
+        );
+        let key = CacheKey::new(&g, c.name(), &cfg);
+        let snap = Snapshot::from_output(key, &out);
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded.stats.shards, out.stats.shards);
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
     fn decode_rejects_garbage_with_typed_errors() {
         let (_, out, key) = sample_output();
         let good = Snapshot::from_output(key, &out).encode();
@@ -991,6 +1052,40 @@ mod tests {
         assert_eq!(cache.clear().unwrap(), 1);
         assert!(!stale.exists(), "stale tmp file must be swept");
         assert!(cache.ls().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ls_orders_entries_by_algo_then_fingerprint() {
+        let dir = temp_dir("ls-order");
+        let cache = ConstructionCache::new(&dir);
+        // Multiple algorithms x multiple graphs, stored in scrambled order.
+        for seed in [9u64, 2, 5] {
+            let g = generators::gnp_connected(40, 0.15, seed).unwrap();
+            let cfg = BuildConfig::default();
+            for algo in [Algorithm::Spanner, Algorithm::Centralized] {
+                let c = algo.construction();
+                let out = c.build(&g, &cfg).unwrap();
+                cache
+                    .store(&Snapshot::from_output(
+                        CacheKey::new(&g, c.name(), &cfg),
+                        &out,
+                    ))
+                    .unwrap();
+            }
+        }
+        let entries = cache.ls().unwrap();
+        assert_eq!(entries.len(), 6);
+        let keys: Vec<(String, u64)> = entries
+            .iter()
+            .map(|e| {
+                let d = e.detail.as_ref().unwrap();
+                (d.key.algorithm.clone(), d.stream_fingerprint)
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "ls must sort by (algo, fingerprint)");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

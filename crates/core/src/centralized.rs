@@ -31,6 +31,7 @@ use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
 use crate::exec::{ChunkPolicy, PhaseClock, PhaseTiming};
 use crate::params::CentralizedParams;
 use usnae_graph::par;
+use usnae_graph::partition::GraphView;
 use usnae_graph::{Dist, Graph, VertexId};
 
 /// Order in which phase `i` pops centers from `S_i`.
@@ -148,18 +149,21 @@ pub(crate) fn build_centralized(
     params: &CentralizedParams,
     order: ProcessingOrder,
 ) -> (Emulator, BuildTrace) {
-    let (emulator, trace, _) = build_centralized_exec(g, params, order, 1);
+    let (emulator, trace, _) = build_centralized_exec(g, params, order, 1, &GraphView::shared(g));
     (emulator, trace)
 }
 
 /// Crate-internal entry point behind [`crate::api::EmulatorBuilder`]: runs
 /// Algorithm 1 end to end, sharding the per-center explorations over
-/// `threads` and recording per-phase wall-clock timings.
+/// `threads` and recording per-phase wall-clock timings. The explorations
+/// read the graph through `view` — the shared adjacency array or
+/// partitioned CSR shards, byte-identical either way.
 pub(crate) fn build_centralized_exec(
     g: &Graph,
     params: &CentralizedParams,
     order: ProcessingOrder,
     threads: usize,
+    view: &GraphView<'_>,
 ) -> (Emulator, BuildTrace, Vec<PhaseTiming>) {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
@@ -175,6 +179,7 @@ pub(crate) fn build_centralized_exec(
         let (next, phase_trace, u_i) = clock.measure(i, || {
             let (next, phase_trace, u_i, explorations) = run_phase(
                 g,
+                view,
                 &mut emulator,
                 &partition,
                 i,
@@ -217,6 +222,7 @@ struct SuperclusterBuild {
 #[allow(clippy::too_many_arguments)]
 fn run_phase(
     g: &Graph,
+    view: &GraphView<'_>,
     emulator: &mut Emulator,
     partition: &Partition,
     i: usize,
@@ -275,8 +281,9 @@ fn run_phase(
         }
         // One exploration to 2δ_i serves both Γ(r_C) and the buffer step;
         // the ball is sorted by vertex id — the same order the historical
-        // dense distance-array scan visited vertices in.
-        let balls = par::balls(g, &todo, two_delta, threads);
+        // dense distance-array scan visited vertices in. Reads go through
+        // the view: local CSR shards when the build is partitioned.
+        let balls = par::balls(view, &todo, two_delta, threads);
         explorations += todo.len();
         let mut used = 0usize;
         for (&rc, ball) in todo.iter().zip(&balls) {
@@ -664,16 +671,40 @@ mod tests {
             let g = generators::gnp_connected(250, 0.05, seed).unwrap();
             let p = params(0.5, 4);
             for order in [ProcessingOrder::ById, ProcessingOrder::ByDegreeDesc] {
-                let (h1, t1, timings) = build_centralized_exec(&g, &p, order, 1);
+                let shared = GraphView::shared(&g);
+                let (h1, t1, timings) = build_centralized_exec(&g, &p, order, 1, &shared);
                 assert_eq!(timings.len(), t1.phases.len());
                 for threads in [2usize, 4, 8] {
-                    let (ht, tt, _) = build_centralized_exec(&g, &p, order, threads);
+                    let (ht, tt, _) = build_centralized_exec(&g, &p, order, threads, &shared);
                     assert_eq!(
                         h1.provenance(),
                         ht.provenance(),
                         "seed {seed} threads {threads}: edge stream diverged"
                     );
                     assert_eq!(t1.phases, tt.phases, "seed {seed} threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_build_is_byte_identical_to_shared_array() {
+        use usnae_graph::partition::PartitionPolicy;
+        let g = generators::gnp_connected(220, 0.05, 6).unwrap();
+        let p = params(0.5, 4);
+        let order = ProcessingOrder::ById;
+        let (h1, t1, _) = build_centralized_exec(&g, &p, order, 1, &GraphView::shared(&g));
+        for policy in PartitionPolicy::all() {
+            for shards in [1usize, 2, 4, 7] {
+                let view = GraphView::new(&g, policy, shards);
+                for threads in [1usize, 4] {
+                    let (ht, tt, _) = build_centralized_exec(&g, &p, order, threads, &view);
+                    assert_eq!(
+                        h1.provenance(),
+                        ht.provenance(),
+                        "policy {policy} shards {shards} threads {threads}"
+                    );
+                    assert_eq!(t1.phases, tt.phases, "policy {policy} shards {shards}");
                 }
             }
         }

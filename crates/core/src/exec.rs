@@ -8,6 +8,8 @@
 
 use std::time::{Duration, Instant};
 
+pub use usnae_graph::partition::ShardTiming;
+
 /// Wall-clock record of one construction phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseTiming {
@@ -51,6 +53,11 @@ impl std::fmt::Display for CacheStatus {
 ///
 /// A cache hit is visible here: `cache == CacheStatus::Hit` with `phases`
 /// empty (no phase work ran — `total` is just the snapshot load time).
+///
+/// A partitioned build (`BuildConfig::shards >= 1` on a construction that
+/// shards its explorations) additionally records one [`ShardTiming`] per
+/// CSR shard: owned vertices, local/cut edge counts, and the wall clock of
+/// that shard's layout construction.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BuildStats {
     /// Thread count the build ran with (`BuildConfig::threads`).
@@ -59,6 +66,10 @@ pub struct BuildStats {
     pub total: Duration,
     /// Per-phase timings, phase order (empty when not instrumented).
     pub phases: Vec<PhaseTiming>,
+    /// Per-shard records of the partitioned graph layout, shard order
+    /// (empty for shared-array builds and for constructions that do not
+    /// read from shards).
+    pub shards: Vec<ShardTiming>,
     /// Whether this output came from the construction cache.
     pub cache: CacheStatus,
 }
@@ -175,6 +186,7 @@ mod tests {
             threads: 4,
             total: Duration::from_millis(5),
             cache: CacheStatus::Uncached,
+            shards: Vec::new(),
             phases: vec![
                 PhaseTiming {
                     phase: 0,

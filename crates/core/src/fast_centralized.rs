@@ -25,6 +25,7 @@ use crate::exec::{PhaseClock, PhaseTiming};
 use crate::params::DistributedParams;
 use crate::sai::ruling_set_par;
 use usnae_graph::bfs::multi_source_bfs;
+use usnae_graph::partition::{GraphView, ShardView};
 use usnae_graph::{par, Dist, Graph, VertexId};
 
 /// Per-phase statistics of a fast-centralized build.
@@ -86,17 +87,19 @@ pub fn build_emulator_fast_traced(
 /// Crate-internal sequential entry point (tests): [`build_fast_exec`] with
 /// one thread, timings dropped.
 pub(crate) fn build_fast(g: &Graph, params: &DistributedParams) -> (Emulator, FastBuildTrace) {
-    let (emulator, trace, _) = build_fast_exec(g, params, 1);
+    let (emulator, trace, _) = build_fast_exec(g, params, 1, &GraphView::shared(g));
     (emulator, trace)
 }
 
 /// Crate-internal entry point behind [`crate::api::EmulatorBuilder`]: runs
 /// the §3.3 simulation end to end, sharding the Task-1 per-center scans
-/// over `threads` and recording per-phase timings.
+/// over `threads` and recording per-phase timings. The per-center scans
+/// and the ruling-set ball carving read the graph through `view`.
 pub(crate) fn build_fast_exec(
     g: &Graph,
     params: &DistributedParams,
     threads: usize,
+    view: &GraphView<'_>,
 ) -> (Emulator, FastBuildTrace, Vec<PhaseTiming>) {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
@@ -110,7 +113,7 @@ pub(crate) fn build_fast_exec(
         let last = i == params.ell();
         let (next, phase_trace) = clock.measure(i, || {
             let (next, phase_trace, explorations) =
-                run_phase(g, &mut emulator, &partition, i, params, last, threads);
+                run_phase(g, view, &mut emulator, &partition, i, params, last, threads);
             ((next, phase_trace), explorations)
         });
         trace.phases.push(phase_trace);
@@ -125,8 +128,8 @@ pub(crate) fn build_fast_exec(
 /// over `threads`. Task 1 is status-free — one pure bounded BFS per center
 /// — so the whole scan fans out; each list is sorted by vertex id, the
 /// order the historical dense `Exploration` scan produced.
-fn neighbor_lists(
-    g: &Graph,
+fn neighbor_lists<V: ShardView + ?Sized>(
+    g: &V,
     centers: &[VertexId],
     delta: Dist,
     is_center: &[bool],
@@ -147,8 +150,10 @@ fn neighbor_lists(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_phase(
     g: &Graph,
+    view: &GraphView<'_>,
     emulator: &mut Emulator,
     partition: &Partition,
     i: usize,
@@ -179,8 +184,9 @@ fn run_phase(
         superclustering_edges: 0,
     };
 
-    // Task 1: popular-cluster detection — the sharded per-center scan.
-    let neighbor_lists = neighbor_lists(g, &centers, delta, &is_center, threads);
+    // Task 1: popular-cluster detection — the sharded per-center scan,
+    // reading local CSR shards when the build is partitioned.
+    let neighbor_lists = neighbor_lists(view, &centers, delta, &is_center, threads);
     let explorations = centers.len();
     let popular: Vec<VertexId> = centers
         .iter()
@@ -200,7 +206,7 @@ fn run_phase(
     if !last && !popular.is_empty() {
         // Task 2: ruling set for the popular centers, its ball carving
         // sharded over the same worker pool (byte-identical to sequential).
-        let rulers = ruling_set_par(g, &popular, delta, threads);
+        let rulers = ruling_set_par(view, &popular, delta, threads);
         phase_trace.ruling_set_size = rulers.len();
 
         // Task 3: BFS ruling forest; one supercluster per tree (§3.3 — no
@@ -420,16 +426,24 @@ mod tests {
         for seed in [2u64, 6] {
             let g = generators::gnp_connected(260, 0.05, seed).unwrap();
             let p = params(0.5, 4, 0.5);
-            let (h1, t1, timings) = build_fast_exec(&g, &p, 1);
+            let shared = GraphView::shared(&g);
+            let (h1, t1, timings) = build_fast_exec(&g, &p, 1, &shared);
             assert_eq!(timings.len(), t1.phases.len());
             for threads in [2usize, 4, 8] {
-                let (ht, tt, _) = build_fast_exec(&g, &p, threads);
+                let (ht, tt, _) = build_fast_exec(&g, &p, threads, &shared);
                 assert_eq!(
                     h1.provenance(),
                     ht.provenance(),
                     "seed {seed} threads {threads}: edge stream diverged"
                 );
                 assert_eq!(t1.phases, tt.phases, "seed {seed} threads {threads}");
+            }
+            // And the partitioned layout reproduces the same stream.
+            for policy in usnae_graph::partition::PartitionPolicy::all() {
+                let view = GraphView::new(&g, policy, 4);
+                let (hp, tp, _) = build_fast_exec(&g, &p, 2, &view);
+                assert_eq!(h1.provenance(), hp.provenance(), "seed {seed} {policy}");
+                assert_eq!(t1.phases, tp.phases, "seed {seed} {policy}");
             }
         }
     }

@@ -1,6 +1,7 @@
 //! Shared primitives of the ruling-set-based SAI constructions (§3.3, §4).
 
 use crate::exec::ChunkPolicy;
+use usnae_graph::partition::ShardView;
 use usnae_graph::{par, Dist, Graph, VertexId};
 
 /// Bounded-BFS exploration record from one center: distances plus BFS-tree
@@ -18,7 +19,11 @@ pub struct Exploration {
 
 impl Exploration {
     /// Runs a bounded BFS from `source` to `depth`.
-    pub fn run(g: &Graph, source: VertexId, depth: Dist) -> Self {
+    ///
+    /// Generic over [`ShardView`]: the exploration reads the shared
+    /// adjacency array or per-worker CSR shards interchangeably, with
+    /// identical output.
+    pub fn run<V: ShardView + ?Sized>(g: &V, source: VertexId, depth: Dist) -> Self {
         let n = g.num_vertices();
         let mut dist = vec![None; n];
         let mut parent = vec![None; n];
@@ -90,8 +95,14 @@ pub fn ruling_set(g: &Graph, w: &[VertexId], delta: Dist) -> Vec<VertexId> {
 /// candidate got dominated within its own chunk is discarded — wasted work
 /// only, never a different ruling set. The chunk size adapts via
 /// [`ChunkPolicy`] (pinned to 1 at `threads == 1`: exactly the historical
-/// lazy loop).
-pub fn ruling_set_par(g: &Graph, w: &[VertexId], delta: Dist, threads: usize) -> Vec<VertexId> {
+/// lazy loop). Generic over [`ShardView`]: the carving reads local CSR
+/// shards or the shared array with identical output.
+pub fn ruling_set_par<V: ShardView + ?Sized>(
+    g: &V,
+    w: &[VertexId],
+    delta: Dist,
+    threads: usize,
+) -> Vec<VertexId> {
     let mut sorted = w.to_vec();
     sorted.sort_unstable();
     let two_delta = delta.saturating_mul(2);

@@ -21,6 +21,7 @@ use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
 use crate::exec::{PhaseClock, PhaseTiming};
 use crate::params::SpannerParams;
 use usnae_graph::bfs::multi_source_bfs;
+use usnae_graph::partition::GraphView;
 use usnae_graph::{par, Dist, Graph, VertexId};
 
 use crate::sai::{ruling_set_par, Exploration};
@@ -83,7 +84,7 @@ pub fn build_spanner_traced(g: &Graph, params: &SpannerParams) -> (Emulator, Spa
 /// Crate-internal sequential entry point (tests, shims):
 /// [`build_spanner_exec`] with one thread, timings dropped.
 pub(crate) fn build_spanner_impl(g: &Graph, params: &SpannerParams) -> (Emulator, SpannerTrace) {
-    let (spanner, trace, _) = build_spanner_exec(g, params, 1);
+    let (spanner, trace, _) = build_spanner_exec(g, params, 1, &GraphView::shared(g));
     (spanner, trace)
 }
 
@@ -94,6 +95,7 @@ pub(crate) fn build_spanner_exec(
     g: &Graph,
     params: &SpannerParams,
     threads: usize,
+    view: &GraphView<'_>,
 ) -> (Emulator, SpannerTrace, Vec<PhaseTiming>) {
     let n = g.num_vertices();
     let mut spanner = Emulator::new(n);
@@ -107,7 +109,7 @@ pub(crate) fn build_spanner_exec(
         let last = i == params.ell();
         let (next, phase_trace) = clock.measure(i, || {
             let (next, phase_trace, explorations) =
-                run_phase(g, &mut spanner, &partition, i, params, last, threads);
+                run_phase(g, view, &mut spanner, &partition, i, params, last, threads);
             ((next, phase_trace), explorations)
         });
         trace.phases.push(phase_trace);
@@ -145,8 +147,10 @@ fn add_path(
     created
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_phase(
     g: &Graph,
+    view: &GraphView<'_>,
     spanner: &mut Emulator,
     partition: &Partition,
     i: usize,
@@ -183,7 +187,7 @@ fn run_phase(
     // results merge in center order, keeping the build deterministic.
     let (explorations, neighbor_lists): (Vec<Exploration>, Vec<Vec<(VertexId, Dist)>>) =
         par::map_indexed(threads, centers.len(), |idx| {
-            let e = Exploration::run(g, centers[idx], delta);
+            let e = Exploration::run(view, centers[idx], delta);
             let nbrs = e.centers_found(&is_center);
             (e, nbrs)
         })
@@ -206,7 +210,7 @@ fn run_phase(
     let mut next_clusters: Vec<Cluster> = Vec::new();
 
     if !last && !popular.is_empty() {
-        let rulers = ruling_set_par(g, &popular, delta, threads);
+        let rulers = ruling_set_par(view, &popular, delta, threads);
         phase_trace.ruling_set_size = rulers.len();
         let forest = multi_source_bfs(g, &rulers, params.forest_depth(i));
         let mut members_of: std::collections::HashMap<VertexId, Vec<usize>> =

@@ -18,6 +18,11 @@
 //! * [`par`] — deterministic scoped-thread fan-out for the per-center
 //!   bounded-BFS explorations (zero external deps, byte-identical output
 //!   for every thread count).
+//! * [`partition`] — partitioned CSR graph shards: contiguous per-worker
+//!   vertex ranges with local CSR arrays and cut-edge frontier lists,
+//!   behind the [`partition::ShardView`] read seam (sharded reads are
+//!   pointwise identical to the shared array, so builds over either
+//!   layout are byte-identical).
 //!
 //! # Example
 //!
@@ -42,6 +47,7 @@ pub mod graph;
 pub mod io;
 pub mod metrics;
 pub mod par;
+pub mod partition;
 pub mod rng;
 pub mod union_find;
 pub mod weighted;

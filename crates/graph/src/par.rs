@@ -20,7 +20,8 @@
 //! suite (`tests/parallel_determinism.rs` at the workspace root) holds the
 //! constructions built on top of this module to the same standard.
 
-use crate::graph::{Graph, VertexId};
+use crate::graph::VertexId;
+use crate::partition::ShardView;
 use crate::{Dist, INF};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -116,9 +117,13 @@ impl BallScratch {
     /// — the order a scan of a dense distance array visits them, which is
     /// what keeps the constructions' edge-emission order identical to
     /// their historical dense-array loops.
-    pub fn ball_sorted(
+    ///
+    /// Generic over [`ShardView`], so the same search runs over the shared
+    /// adjacency array or over per-worker CSR shards (identical output —
+    /// the views are pointwise identical by contract).
+    pub fn ball_sorted<V: ShardView + ?Sized>(
         &mut self,
-        g: &Graph,
+        g: &V,
         source: VertexId,
         depth: Dist,
     ) -> Vec<(VertexId, Dist)> {
@@ -150,9 +155,10 @@ impl BallScratch {
 
 /// One bounded BFS per source, fanned out over `threads` shards; `out[i]`
 /// is the ball of `sources[i]` sorted by vertex id (see
-/// [`BallScratch::ball_sorted`]). Identical output for every thread count.
-pub fn balls(
-    g: &Graph,
+/// [`BallScratch::ball_sorted`]). Identical output for every thread count
+/// and for every [`ShardView`] layout (shared array or CSR shards).
+pub fn balls<V: ShardView + ?Sized>(
+    g: &V,
     sources: &[VertexId],
     depth: Dist,
     threads: usize,
@@ -261,6 +267,24 @@ mod tests {
                     .filter_map(|(v, d)| d.map(|d| (v, d)))
                     .collect();
                 assert_eq!(*ball, dense, "seed={seed} source={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn balls_over_csr_shards_match_the_shared_array() {
+        use crate::partition::{PartitionPolicy, ShardedCsr};
+        let g = generators::gnp_connected(160, 0.05, 7).unwrap();
+        let sources: Vec<VertexId> = (0..g.num_vertices()).step_by(3).collect();
+        let shared = balls(&g, &sources, 4, 2);
+        for policy in PartitionPolicy::all() {
+            for shards in [1usize, 2, 4, 7] {
+                let layout = ShardedCsr::build(&g, policy, shards);
+                assert_eq!(
+                    balls(&layout, &sources, 4, 2),
+                    shared,
+                    "policy={policy} shards={shards}"
+                );
             }
         }
     }

@@ -78,6 +78,38 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Partitioned builds
+//!
+//! For the million-vertex regime the input graph can be split into
+//! per-worker **CSR shards** (contiguous vertex ranges with local
+//! adjacency arrays and cut-edge frontier lists — `usnae::graph::partition`);
+//! the sharding-capable constructions then read their per-center
+//! explorations from the local shards instead of one shared array. The
+//! built structure is byte-identical for every shard count and both
+//! partition policies (enforced registry-wide by
+//! `tests/partition_conformance.rs`):
+//!
+//! ```
+//! use usnae::api::{Emulator, PartitionPolicy};
+//! use usnae::graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::gnp_connected(256, 0.05, 7)?;
+//! let shared = Emulator::builder(&g).kappa(4).build()?;
+//! let sharded = Emulator::builder(&g)
+//!     .kappa(4)
+//!     .threads(2)
+//!     .partition(PartitionPolicy::DegreeBalanced, 4)
+//!     .build()?;
+//! assert_eq!(
+//!     sharded.emulator.provenance(),
+//!     shared.emulator.provenance(),
+//! );
+//! assert_eq!(sharded.stats.shards.len(), 4); // per-shard layout records
+//! # Ok(())
+//! # }
+//! ```
 
 pub use usnae_baselines as baselines;
 pub use usnae_congest as congest;

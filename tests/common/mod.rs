@@ -1,0 +1,81 @@
+#![allow(dead_code)]
+
+//! Shared fixtures for the golden-stream and partition-conformance
+//! suites: two small fixed graphs, a canonical text serialization of a
+//! build's insertion stream, and the `tests/data/` path conventions.
+
+use std::path::PathBuf;
+use usnae::api::{BuildConfig, BuildOutput};
+use usnae::graph::{generators, Graph, GraphBuilder};
+
+/// The two fixed fixture graphs the golden streams are recorded on.
+///
+/// * `ring48` — a 48-vertex ring with `+7` chords (the same deterministic
+///   input CI's cold/warm cache sweep uses);
+/// * `grid8x8` — an 8×8 grid.
+///
+/// Both are small enough for the CONGEST simulations and fully
+/// deterministic: no seeds, no environment dependence.
+pub fn fixture_graphs() -> Vec<(&'static str, Graph)> {
+    let mut b = GraphBuilder::new(48);
+    for i in 0..48usize {
+        b.add_edge(i, (i + 1) % 48).expect("ring edge");
+        b.add_edge(i, (i + 7) % 48).expect("chord edge");
+    }
+    vec![
+        ("ring48", b.build()),
+        ("grid8x8", generators::grid2d(8, 8).expect("valid grid")),
+    ]
+}
+
+/// The config every golden stream is recorded under (the default config;
+/// spelled out so a future default change fails loudly here instead of
+/// silently invalidating the fixtures).
+pub fn golden_config() -> BuildConfig {
+    BuildConfig::default()
+}
+
+/// Canonical text form of a build's exact insertion stream: a commented
+/// header (graph, algorithm, stream fingerprint, record count) followed by
+/// one `u v w phase kind charged_to` line per insertion, in insertion
+/// order. Two builds serialize identically iff their streams are
+/// byte-identical.
+pub fn stream_text(graph_tag: &str, algo: &str, out: &BuildOutput) -> String {
+    let mut s = String::new();
+    s.push_str("# usnae golden stream v1\n");
+    s.push_str(&format!(
+        "# graph={graph_tag} algo={algo} n={}\n",
+        out.emulator.num_vertices()
+    ));
+    s.push_str(&format!(
+        "# fingerprint={:016x}\n",
+        out.stream_fingerprint()
+    ));
+    s.push_str(&format!("# records={}\n", out.emulator.provenance().len()));
+    for (e, p) in out.emulator.provenance() {
+        s.push_str(&format!(
+            "{} {} {} {} {} {}\n",
+            e.u,
+            e.v,
+            e.weight,
+            p.phase,
+            p.kind.code(),
+            p.charged_to
+        ));
+    }
+    s
+}
+
+/// `tests/data/<graph>.<algo>.stream` under the workspace root.
+pub fn golden_path(graph_tag: &str, algo: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(format!("{graph_tag}.{algo}.stream"))
+}
+
+/// Parses the `# fingerprint=` header line of a golden stream file.
+pub fn golden_fingerprint(text: &str) -> Option<u64> {
+    text.lines()
+        .find_map(|l| l.strip_prefix("# fingerprint="))
+        .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+}

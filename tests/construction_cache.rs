@@ -202,6 +202,94 @@ fn damaged_snapshots_are_rejected_with_typed_errors_for_every_algorithm() {
 }
 
 #[test]
+fn seeded_corruption_sweep_never_panics_and_never_serves_a_wrong_hit() {
+    // Satellite of the partition PR: a seeded bit-flip + truncation sweep
+    // over **every snapshot section**. The builds are chosen to populate
+    // them all: `distributed` carries CONGEST stats + certification +
+    // per-phase timings, a partitioned `centralized` build carries the v2
+    // per-shard section, and `tz06` leaves the optional sections empty
+    // (exercising the None tags). Every corruption must decode to a
+    // *typed* `SnapshotError` — never a panic, and never a silently wrong
+    // snapshot.
+    use usnae::graph::rng::Rng;
+
+    let mut cases: Vec<(String, Snapshot)> = Vec::new();
+    for (name, cfg) in [
+        ("distributed", BuildConfig::default()),
+        (
+            "centralized",
+            BuildConfig {
+                shards: 4,
+                partition: usnae::api::PartitionPolicy::DegreeBalanced,
+                ..BuildConfig::default()
+            },
+        ),
+        ("tz06", BuildConfig::default()),
+    ] {
+        let c = registry::find(name).unwrap();
+        let g = input(7, c.supports().congest);
+        let out = c.build(&g, &cfg).unwrap();
+        let key = CacheKey::new(&g, name, &cfg);
+        cases.push((name.to_string(), Snapshot::from_output(key, &out)));
+    }
+    // The partitioned case must actually populate the shard section.
+    assert!(!cases[1].1.stats.shards.is_empty(), "shard section empty");
+    assert!(cases[0].1.congest.is_some(), "congest section empty");
+
+    for (name, snap) in &cases {
+        let good = snap.encode();
+        assert_eq!(&Snapshot::decode(&good).unwrap(), snap, "{name}: clean");
+
+        let mut rng = Rng::seed_from_u64(0xC0FFEE ^ good.len() as u64);
+        // Bit flips: seeded positions across the whole file (header, key,
+        // records, optional sections, stats, shard section, checksum).
+        for i in 0..500 {
+            let pos = rng.gen_index(good.len());
+            let bit = 1u8 << rng.gen_index(8);
+            let mut bad = good.clone();
+            bad[pos] ^= bit;
+            match Snapshot::decode(&bad) {
+                Err(_) => {} // typed error — the only acceptable outcome
+                Ok(decoded) => assert_eq!(
+                    &decoded, snap,
+                    "{name}: flip #{i} at byte {pos} decoded to a DIFFERENT snapshot \
+                     — a silent wrong hit"
+                ),
+            }
+        }
+        // Truncations: every 7th prefix plus all short prefixes, so each
+        // section boundary is crossed.
+        for cut in (0..good.len().min(64)).chain((0..good.len()).step_by(7)) {
+            let err = Snapshot::decode(&good[..cut])
+                .expect_err(&format!("{name}: truncation at {cut} must fail"));
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. }
+                        | SnapshotError::ChecksumMismatch { .. }
+                        | SnapshotError::BadMagic
+                        | SnapshotError::UnsupportedVersion { .. }
+                        | SnapshotError::Corrupt { .. }
+                ),
+                "{name}: truncation at {cut} gave {err:?}"
+            );
+        }
+        // Seeded byte-range zeroing: wipes whole fields, not just bits.
+        for _ in 0..100 {
+            let start = rng.gen_index(good.len());
+            let len = 1 + rng.gen_index(16).min(good.len() - start - 1);
+            let mut bad = good.clone();
+            for b in &mut bad[start..start + len] {
+                *b = 0;
+            }
+            if let Ok(decoded) = Snapshot::decode(&bad) {
+                assert_eq!(&decoded, snap, "{name}: zeroing [{start}, {start}+{len})");
+            }
+        }
+    }
+}
+
+#[test]
 fn stale_entry_for_a_different_key_is_not_served() {
     // A snapshot renamed onto another key's file name must be refused:
     // the decoded key disagrees with the requested one.

@@ -1,0 +1,97 @@
+//! Golden-stream fixtures: the exact, fingerprinted insertion streams of
+//! all 9 registry algorithms on two small fixed graphs, checked into
+//! `tests/data/`.
+//!
+//! The determinism guarantee (see `usnae_core::api`) says every
+//! construction is a pure function of `(graph, config)`; these fixtures
+//! pin that function's *value* across commits. Any change that moves an
+//! edge stream — a reordered emission loop, a changed tie-break, a codec
+//! bug — fails here loudly, pointing at the exact drifted algorithm,
+//! instead of surfacing as a mysterious cache invalidation or a
+//! shard-merge mismatch three layers up. The partition-conformance suite
+//! reuses the same fixtures as its fixed oracle: sharded builds are
+//! checked against these files without rebuilding the unsharded baseline.
+//!
+//! To regenerate after an *intentional* stream change:
+//!
+//! ```text
+//! USNAE_REGEN_GOLDEN=1 cargo test --test golden_streams
+//! git add tests/data && git commit
+//! ```
+
+mod common;
+
+use common::{fixture_graphs, golden_config, golden_fingerprint, golden_path, stream_text};
+use usnae::registry;
+
+fn regen_requested() -> bool {
+    std::env::var("USNAE_REGEN_GOLDEN").is_ok_and(|v| v == "1")
+}
+
+#[test]
+fn every_registry_algorithm_matches_its_golden_stream() {
+    let cfg = golden_config();
+    for (tag, g) in fixture_graphs() {
+        for c in registry::all() {
+            let out = c
+                .build(&g, &cfg)
+                .unwrap_or_else(|e| panic!("{} on {tag}: {e}", c.name()));
+            let got = stream_text(tag, c.name(), &out);
+            let path = golden_path(tag, c.name());
+            if regen_requested() {
+                std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/data");
+                std::fs::write(&path, &got)
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            }
+            let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "missing golden stream {} ({e}); regenerate with \
+                     `USNAE_REGEN_GOLDEN=1 cargo test --test golden_streams` and commit tests/data",
+                    path.display()
+                )
+            });
+            assert_eq!(
+                got,
+                want,
+                "{} on {tag}: construction drifted from its golden reference stream \
+                 ({}). If the change is intentional, regenerate with \
+                 `USNAE_REGEN_GOLDEN=1 cargo test --test golden_streams` and commit tests/data; \
+                 otherwise this is a determinism regression.",
+                c.name(),
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_headers_are_self_consistent() {
+    // The recorded fingerprint must match the stream the file itself
+    // carries — a hand-edited or truncated fixture fails here, not as a
+    // confusing diff in the drift test.
+    let cfg = golden_config();
+    for (tag, g) in fixture_graphs() {
+        for c in registry::all() {
+            let path = golden_path(tag, c.name());
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue; // the drift test reports missing files
+            };
+            let header = golden_fingerprint(&text)
+                .unwrap_or_else(|| panic!("{}: no fingerprint header", path.display()));
+            let out = c.build(&g, &cfg).unwrap();
+            assert_eq!(
+                header,
+                out.stream_fingerprint(),
+                "{}: header fingerprint disagrees with the rebuilt stream",
+                path.display()
+            );
+            let records: usize = text
+                .lines()
+                .find_map(|l| l.strip_prefix("# records="))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or_else(|| panic!("{}: no records header", path.display()));
+            let body = text.lines().filter(|l| !l.starts_with('#')).count();
+            assert_eq!(records, body, "{}: record count header", path.display());
+        }
+    }
+}

@@ -134,9 +134,12 @@ fn emulator_never_shortens_or_disconnects() {
 
 /// Registry-wide stretch verification (the issue's checklist item): for
 /// every algorithm in the catalogue — paper constructions *and* baselines —
-/// certified stretch is audited through `verify.rs` on two random graph
-/// families (sparse Erdős–Rényi and grid), across seeds. Baselines certify
-/// no `(α, β)`; for them the same audit still enforces the never-shorten
+/// certified stretch is audited through `verify.rs` on six graph families:
+/// sparse Erdős–Rényi and grid (the original pair) plus torus, hypercube,
+/// circulant, and binary tree, so the size/stretch invariants are exercised
+/// on non-mesh topologies (wrap-around symmetry, log-diameter expanders,
+/// chorded rings, and trees with pendant leaves). Baselines certify no
+/// `(α, β)`; for them the same audit still enforces the never-shorten
 /// and never-disconnect halves of the contract (`α = ∞` disables only the
 /// stretch inequality).
 #[test]
@@ -152,6 +155,10 @@ fn registry_certified_stretch_on_random_families() {
                         generators::gnp_connected(70, 9.0 / 70.0, seed).unwrap(),
                     ),
                     ("grid", generators::grid2d(8, 8).unwrap()),
+                    ("torus2d", generators::torus2d(6, 6).unwrap()),
+                    ("hypercube", generators::hypercube(5).unwrap()),
+                    ("circulant", generators::circulant(36, &[1, 2, 5]).unwrap()),
+                    ("binary_tree", generators::binary_tree(40).unwrap()),
                 ]
             } else {
                 vec![
@@ -160,6 +167,10 @@ fn registry_certified_stretch_on_random_families() {
                         generators::gnp_connected(160, 7.0 / 160.0, seed).unwrap(),
                     ),
                     ("grid", generators::grid2d(12, 12).unwrap()),
+                    ("torus2d", generators::torus2d(10, 12).unwrap()),
+                    ("hypercube", generators::hypercube(7).unwrap()),
+                    ("circulant", generators::circulant(120, &[1, 3, 9]).unwrap()),
+                    ("binary_tree", generators::binary_tree(127).unwrap()),
                 ]
             };
             for (family, g) in families {
