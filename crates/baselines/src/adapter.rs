@@ -9,23 +9,26 @@
 
 use std::time::Instant;
 use usnae_core::api::{BuildConfig, BuildError, BuildOutput, BuildStats, Construction, Supports};
+use usnae_core::engine::{verify_partitioned_merge, Engine, EngineReport};
 use usnae_graph::Graph;
 
-use crate::em19::build_em19_sharded;
-use crate::en17::build_en17_sharded;
-use crate::ep01::build_ep01_sharded;
+use crate::em19::build_em19_exec;
+use crate::en17::build_en17_exec;
+use crate::ep01::build_ep01_exec;
 use crate::tz06::build_tz06;
-use usnae_graph::partition::GraphView;
 
 /// Execution stats for a baseline build timed as one block (the baselines
 /// do not record per-phase timings). A partitioned build contributes its
-/// per-shard layout records.
-fn timed_stats(cfg: &BuildConfig, t0: Instant, view: &GraphView<'_>) -> BuildStats {
+/// per-shard layout records; a worker build its transport and measured
+/// message statistics.
+fn timed_stats(cfg: &BuildConfig, t0: Instant, report: EngineReport) -> BuildStats {
     BuildStats {
         threads: cfg.threads,
         total: t0.elapsed(),
         phases: Vec::new(),
-        shards: view.shard_timings(),
+        shards: report.shards,
+        transport: report.transport,
+        messages: report.messages,
         ..BuildStats::default()
     }
 }
@@ -65,16 +68,20 @@ impl Construction for Ep01 {
         cfg.validate()?;
         let params = cfg.centralized_params()?;
         let t0 = Instant::now();
-        let view = cfg.graph_view(g);
-        Ok(BuildOutput {
-            emulator: build_ep01_sharded(g, &params, cfg.threads, &view),
+        let engine = Engine::new(g, cfg);
+        let emulator = build_ep01_exec(g, &params, &engine);
+        let report = engine.finish()?;
+        let out = BuildOutput {
+            emulator,
             certified: None,
             size_bound: self.size_bound(g.num_vertices(), cfg),
             trace: None,
             congest: None,
-            stats: timed_stats(cfg, t0, &view),
+            stats: timed_stats(cfg, t0, report),
             algorithm: self.name(),
-        })
+        };
+        verify_partitioned_merge(&out, cfg)?;
+        Ok(out)
     }
 }
 
@@ -115,15 +122,16 @@ impl Construction for Tz06 {
             return Err(usnae_core::ParamError::KappaTooSmall { kappa: cfg.kappa }.into());
         }
         let t0 = Instant::now();
+        // TZ06 has no exploration fan-out, so a requested partition or
+        // transport is ignored (no shard records; same stream either way).
+        let report = Engine::inproc(g, cfg.threads).finish()?;
         Ok(BuildOutput {
             emulator: build_tz06(g, cfg.kappa, cfg.seed),
             certified: None,
             size_bound: None,
             trace: None,
             congest: None,
-            // TZ06 has no exploration fan-out, so a requested partition
-            // is ignored (no shard records; same stream either way).
-            stats: timed_stats(cfg, t0, &GraphView::shared(g)),
+            stats: timed_stats(cfg, t0, report),
             algorithm: self.name(),
         })
     }
@@ -162,16 +170,20 @@ impl Construction for En17 {
         cfg.validate()?;
         let params = cfg.centralized_params()?;
         let t0 = Instant::now();
-        let view = cfg.graph_view(g);
-        Ok(BuildOutput {
-            emulator: build_en17_sharded(g, &params, cfg.seed, cfg.threads, &view),
+        let engine = Engine::new(g, cfg);
+        let emulator = build_en17_exec(g, &params, cfg.seed, &engine);
+        let report = engine.finish()?;
+        let out = BuildOutput {
+            emulator,
             certified: None,
             size_bound: None,
             trace: None,
             congest: None,
-            stats: timed_stats(cfg, t0, &view),
+            stats: timed_stats(cfg, t0, report),
             algorithm: self.name(),
-        })
+        };
+        verify_partitioned_merge(&out, cfg)?;
+        Ok(out)
     }
 }
 
@@ -209,16 +221,20 @@ impl Construction for Em19 {
         cfg.validate()?;
         let params = cfg.distributed_params()?;
         let t0 = Instant::now();
-        let view = cfg.graph_view(g);
-        Ok(BuildOutput {
-            emulator: build_em19_sharded(g, &params, cfg.threads, &view),
+        let engine = Engine::new(g, cfg);
+        let emulator = build_em19_exec(g, &params, &engine);
+        let report = engine.finish()?;
+        let out = BuildOutput {
+            emulator,
             certified: None,
             size_bound: None,
             trace: None,
             congest: None,
-            stats: timed_stats(cfg, t0, &view),
+            stats: timed_stats(cfg, t0, report),
             algorithm: self.name(),
-        })
+        };
+        verify_partitioned_merge(&out, cfg)?;
+        Ok(out)
     }
 }
 

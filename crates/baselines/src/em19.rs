@@ -10,11 +10,11 @@
 
 use usnae_core::cluster::{Cluster, Partition};
 use usnae_core::emulator::{EdgeKind, EdgeProvenance, Emulator};
+use usnae_core::engine::Engine;
 use usnae_core::params::DistributedParams;
-use usnae_core::sai::{ruling_set_par, Exploration};
+use usnae_core::sai::Exploration;
 use usnae_graph::bfs::multi_source_bfs;
-use usnae_graph::partition::GraphView;
-use usnae_graph::{par, Dist, Graph, VertexId};
+use usnae_graph::{Dist, Graph, VertexId};
 
 /// Builds an EM19-style spanner: a subgraph of `G` with
 /// `O(β·n^(1+1/κ))` edges.
@@ -30,24 +30,23 @@ pub fn build_em19_spanner(g: &Graph, params: &DistributedParams) -> Emulator {
 /// deprecated free-function shim). The Task-1 explorations shard over
 /// `threads`; output is byte-identical for every thread count.
 pub(crate) fn build_em19(g: &Graph, params: &DistributedParams, threads: usize) -> Emulator {
-    build_em19_sharded(g, params, threads, &GraphView::shared(g))
+    build_em19_exec(g, params, &Engine::inproc(g, threads))
 }
 
 /// [`build_em19`] with the Task-1 explorations and ruling-set carving
-/// reading through `view` (shared array or partitioned CSR shards) —
-/// byte-identical either way.
-pub(crate) fn build_em19_sharded(
+/// running through `engine` (shared array, partitioned shards, or a
+/// worker pool) — byte-identical either way.
+pub(crate) fn build_em19_exec(
     g: &Graph,
     params: &DistributedParams,
-    threads: usize,
-    view: &GraphView<'_>,
+    engine: &Engine<'_>,
 ) -> Emulator {
     let n = g.num_vertices();
     let mut spanner = Emulator::new(n);
     let mut partition = Partition::singletons(n);
     for i in 0..=params.ell() {
         let last = i == params.ell();
-        partition = run_phase(g, view, &mut spanner, &partition, i, params, last, threads);
+        partition = run_phase(g, engine, &mut spanner, &partition, i, params, last);
     }
     spanner
 }
@@ -73,16 +72,14 @@ fn add_path(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn run_phase(
     g: &Graph,
-    view: &GraphView<'_>,
+    engine: &Engine<'_>,
     spanner: &mut Emulator,
     partition: &Partition,
     i: usize,
     params: &DistributedParams,
     last: bool,
-    threads: usize,
 ) -> Partition {
     let n = g.num_vertices();
     let delta = params.delta(i);
@@ -95,15 +92,12 @@ fn run_phase(
     }
 
     // Task-1 scans are pure per-center BFS — sharded, merged in center
-    // order (deterministic for every thread count).
-    let (explorations, neighbor_lists): (Vec<Exploration>, Vec<Vec<(VertexId, Dist)>>) =
-        par::map_indexed(threads, centers.len(), |idx| {
-            let e = Exploration::run(view, centers[idx], delta);
-            let nbrs = e.centers_found(&is_center);
-            (e, nbrs)
-        })
-        .into_iter()
-        .unzip();
+    // order (deterministic for every thread count and transport).
+    let explorations: Vec<Exploration> = engine.explorations(&centers, delta);
+    let neighbor_lists: Vec<Vec<(VertexId, Dist)>> = explorations
+        .iter()
+        .map(|e| e.centers_found(&is_center))
+        .collect();
     let popular: Vec<VertexId> = centers
         .iter()
         .zip(&neighbor_lists)
@@ -114,7 +108,7 @@ fn run_phase(
     let mut superclustered = vec![false; n];
     let mut next_clusters: Vec<Cluster> = Vec::new();
     if !last && !popular.is_empty() {
-        let rulers = ruling_set_par(view, &popular, delta, threads);
+        let rulers = engine.ruling_set(&popular, delta);
         let forest = multi_source_bfs(g, &rulers, params.forest_depth(i).min(n as Dist));
         let mut members_of: std::collections::HashMap<VertexId, Vec<usize>> =
             rulers.iter().map(|&r| (r, vec![center_of[&r]])).collect();

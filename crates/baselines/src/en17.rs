@@ -12,11 +12,11 @@
 
 use usnae_core::cluster::{Cluster, Partition};
 use usnae_core::emulator::{EdgeKind, EdgeProvenance, Emulator};
+use usnae_core::engine::Engine;
 use usnae_core::params::CentralizedParams;
 use usnae_graph::bfs::multi_source_bfs;
-use usnae_graph::partition::GraphView;
 use usnae_graph::rng::Rng;
-use usnae_graph::{par, Graph, VertexId};
+use usnae_graph::{Graph, VertexId};
 
 /// Builds an EN17a-style emulator (randomized superclustering), seeded.
 #[deprecated(
@@ -37,17 +37,17 @@ pub(crate) fn build_en17(
     seed: u64,
     threads: usize,
 ) -> Emulator {
-    build_en17_sharded(g, params, seed, threads, &GraphView::shared(g))
+    build_en17_exec(g, params, seed, &Engine::inproc(g, threads))
 }
 
-/// [`build_en17`] with the explorations reading through `view` (shared
-/// array or partitioned CSR shards) — byte-identical either way.
-pub(crate) fn build_en17_sharded(
+/// [`build_en17`] with the explorations running through `engine` (shared
+/// array, partitioned shards, or a worker pool) — byte-identical either
+/// way.
+pub(crate) fn build_en17_exec(
     g: &Graph,
     params: &CentralizedParams,
     seed: u64,
-    threads: usize,
-    view: &GraphView<'_>,
+    engine: &Engine<'_>,
 ) -> Emulator {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
@@ -58,14 +58,13 @@ pub(crate) fn build_en17_sharded(
         let last = i == params.ell();
         partition = run_phase(
             g,
-            view,
+            engine,
             &mut emulator,
             &partition,
             i,
             params,
             last,
             &mut rng,
-            threads,
         );
         if partition.is_empty() {
             break;
@@ -77,14 +76,13 @@ pub(crate) fn build_en17_sharded(
 #[allow(clippy::too_many_arguments)]
 fn run_phase(
     g: &Graph,
-    view: &GraphView<'_>,
+    engine: &Engine<'_>,
     emulator: &mut Emulator,
     partition: &Partition,
     i: usize,
     params: &CentralizedParams,
     last: bool,
     rng: &mut Rng,
-    threads: usize,
 ) -> Partition {
     let n = g.num_vertices();
     let delta = params.delta(i);
@@ -171,7 +169,7 @@ fn run_phase(
         .filter(|rc| !joined.contains(rc))
         .collect();
     for block in work.chunks(4096) {
-        let balls = par::balls(view, block, delta, threads);
+        let balls = engine.balls(block, delta);
         for (&rc, ball) in block.iter().zip(&balls) {
             for &(v, d) in ball {
                 if v != rc && is_center[v] {

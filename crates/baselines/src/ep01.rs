@@ -16,10 +16,10 @@
 
 use usnae_core::cluster::{Cluster, Partition};
 use usnae_core::emulator::{EdgeKind, EdgeProvenance, Emulator};
+use usnae_core::engine::Engine;
 use usnae_core::params::CentralizedParams;
 use usnae_graph::bfs::multi_source_bfs;
-use usnae_graph::partition::GraphView;
-use usnae_graph::{par, Dist, Graph, VertexId};
+use usnae_graph::{Dist, Graph, VertexId};
 
 /// Builds an EP01-style emulator; size `O(log κ · n^(1+1/κ)) + (n − 1)`.
 #[deprecated(
@@ -30,21 +30,20 @@ pub fn build_ep01_emulator(g: &Graph, params: &CentralizedParams) -> Emulator {
     build_ep01(g, params, 1)
 }
 
-/// [`build_ep01_sharded`] over the shared adjacency array.
+/// [`build_ep01_exec`] over an in-process shared-array engine.
 pub(crate) fn build_ep01(g: &Graph, params: &CentralizedParams, threads: usize) -> Emulator {
-    build_ep01_sharded(g, params, threads, &GraphView::shared(g))
+    build_ep01_exec(g, params, &Engine::inproc(g, threads))
 }
 
 /// Crate-internal entry point behind the registry adapter (and the
-/// deprecated free-function shim). Explorations are sharded over
-/// `threads` and read the graph through `view` (shared array or
-/// partitioned CSR shards); the build is byte-identical for every thread
-/// count and layout.
-pub(crate) fn build_ep01_sharded(
+/// deprecated free-function shim). Explorations run through `engine`
+/// (in-process fan-out over a shared array or partitioned shards, or a
+/// worker pool); the build is byte-identical for every thread count,
+/// layout, and transport.
+pub(crate) fn build_ep01_exec(
     g: &Graph,
     params: &CentralizedParams,
-    threads: usize,
-    view: &GraphView<'_>,
+    engine: &Engine<'_>,
 ) -> Emulator {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
@@ -52,7 +51,7 @@ pub(crate) fn build_ep01_sharded(
 
     for i in 0..=params.ell() {
         let last = i == params.ell();
-        partition = run_phase(g, view, &mut emulator, &partition, i, params, last, threads);
+        partition = run_phase(g, engine, &mut emulator, &partition, i, params, last);
     }
 
     // Ground partition: a BFS spanning forest of G (unit edges), restoring
@@ -89,13 +88,12 @@ pub(crate) fn build_ep01_sharded(
 #[allow(clippy::too_many_arguments)]
 fn run_phase(
     g: &Graph,
-    view: &GraphView<'_>,
+    engine: &Engine<'_>,
     emulator: &mut Emulator,
     partition: &Partition,
     i: usize,
     params: &CentralizedParams,
     last: bool,
-    threads: usize,
 ) -> Partition {
     let n = g.num_vertices();
     let delta = params.delta(i);
@@ -113,7 +111,7 @@ fn run_phase(
     // adapts to how many prefetched balls went stale — it never affects
     // the output, only the wasted work.
     let mut superclusters: Vec<(VertexId, Vec<usize>)> = Vec::new();
-    let mut policy = usnae_core::exec::ChunkPolicy::new(threads);
+    let mut policy = usnae_core::exec::ChunkPolicy::new(engine.threads());
     let mut pos = 0;
     while pos < centers.len() {
         let block = &centers[pos..(pos + policy.chunk()).min(centers.len())];
@@ -122,7 +120,7 @@ fn run_phase(
         if todo.is_empty() {
             continue;
         }
-        let balls = par::balls(view, &todo, delta, threads);
+        let balls = engine.balls(&todo, delta);
         let mut used = 0usize;
         for (&rc, ball) in todo.iter().zip(&balls) {
             if !in_s[rc] {

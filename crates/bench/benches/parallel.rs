@@ -20,12 +20,18 @@
 //! threads {1, 4} with the graph split into 4 degree-balanced CSR shards
 //! (`usnae_graph::partition`), so the trend tracks partitioned vs
 //! shared-array phase-0 side by side; the fingerprint check asserts the
-//! sharded stream is identical to the shared-array one. `--n` scales the
-//! input through the 100k (default) to 1M regime.
+//! sharded stream is identical to the shared-array one. A third leg
+//! (`<algo>+workers`) reruns the 4-shard layout on the channel worker
+//! transport and emits the measured message complexity (rounds, messages,
+//! bytes) into the JSON, so the trend also tracks worker-protocol
+//! traffic. `--n` scales the input through the 100k (default) to 1M
+//! regime.
 
 use std::time::Duration;
 use usnae_bench::timing::json_string;
-use usnae_core::api::{Algorithm, BuildOutput, Emulator, PartitionPolicy};
+use usnae_core::api::{
+    Algorithm, BuildOutput, Emulator, MessageStats, PartitionPolicy, TransportKind,
+};
 use usnae_graph::generators;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -44,6 +50,7 @@ fn build(
     algorithm: Algorithm,
     threads: usize,
     shards: usize,
+    transport: TransportKind,
 ) -> BuildOutput {
     Emulator::builder(g)
         .epsilon(0.5)
@@ -51,6 +58,7 @@ fn build(
         .algorithm(algorithm)
         .threads(threads)
         .partition(PartitionPolicy::DegreeBalanced, shards)
+        .transport(transport)
         .build()
         .expect("valid bench configuration")
 }
@@ -65,18 +73,29 @@ fn bench_algorithm(
     algorithm: Algorithm,
     samples: usize,
     shards: usize,
+    transport: TransportKind,
     thread_counts: &[usize],
     baseline_stream: Option<u64>,
-) -> (Vec<Run>, f64, u64) {
-    let tag = if shards > 0 { "+sharded" } else { "" };
+) -> (Vec<Run>, f64, u64, Option<MessageStats>) {
+    let tag = if transport != TransportKind::Inproc {
+        "+workers"
+    } else if shards > 0 {
+        "+sharded"
+    } else {
+        ""
+    };
     println!("\n== parallel/{}{tag} ==", algorithm.name());
     let mut runs = Vec::new();
     let mut baseline_stream = baseline_stream;
     let mut layout_printed = false;
+    let mut messages = None;
     for &threads in thread_counts {
         let mut best: Option<Run> = None;
         for _ in 0..samples {
-            let out = build(g, algorithm, threads, shards);
+            let out = build(g, algorithm, threads, shards, transport);
+            if messages.is_none() {
+                messages = out.stats.messages.clone();
+            }
             if shards > 0 && !layout_printed {
                 layout_printed = true;
                 for sh in &out.stats.shards {
@@ -127,10 +146,21 @@ fn bench_algorithm(
         "{}{tag}: phase-0 speedup at 4 threads = {speedup:.2}x",
         algorithm.name()
     );
+    if let Some(m) = &messages {
+        println!(
+            "{}{tag}: measured {} round(s), {} message(s), {} byte(s) over {} shard pair(s)",
+            algorithm.name(),
+            m.rounds,
+            m.messages,
+            m.bytes,
+            m.pairs.len()
+        );
+    }
     (
         runs,
         speedup,
         baseline_stream.expect("at least one build ran"),
+        messages,
     )
 }
 
@@ -165,20 +195,41 @@ fn main() {
 
     let mut algo_json = Vec::new();
     for algorithm in [Algorithm::Centralized, Algorithm::FastCentralized] {
-        let (runs, speedup, fingerprint) =
-            bench_algorithm(&g, algorithm, samples, 0, &THREAD_COUNTS, None);
+        let (runs, speedup, fingerprint, _) = bench_algorithm(
+            &g,
+            algorithm,
+            samples,
+            0,
+            TransportKind::Inproc,
+            &THREAD_COUNTS,
+            None,
+        );
         // Sharded leg: same graph split into 4 degree-balanced CSR shards;
         // the interesting diff is phase-0 sharded vs shared at 4 threads.
         // Seeding with the shared leg's fingerprint makes every sharded
         // build assert identity against the shared-array stream.
-        let (sharded_runs, sharded_speedup, _) = bench_algorithm(
+        let (sharded_runs, sharded_speedup, _, _) = bench_algorithm(
             &g,
             algorithm,
             samples,
             BENCH_SHARDS,
+            TransportKind::Inproc,
             &SHARDED_THREAD_COUNTS,
             Some(fingerprint),
         );
+        // Worker leg: the same 4-shard layout with each shard's
+        // explorations on its own channel worker; measures the wire
+        // traffic the process transport would pay.
+        let (worker_runs, worker_speedup, _, worker_messages) = bench_algorithm(
+            &g,
+            algorithm,
+            samples,
+            BENCH_SHARDS,
+            TransportKind::Channel,
+            &SHARDED_THREAD_COUNTS,
+            Some(fingerprint),
+        );
+        let worker_messages = worker_messages.expect("worker leg measures messages");
         let shared_p0 = runs
             .iter()
             .find(|r| r.threads == 4)
@@ -198,12 +249,26 @@ fn main() {
                 sharded_p0 / shared_p0.max(f64::EPSILON)
             );
         }
-        for (name, legs, spd) in [
-            (algorithm.name().to_string(), &runs, speedup),
+        let message_json = format!(
+            "{{\"rounds\":{},\"messages\":{},\"bytes\":{},\"pairs\":{}}}",
+            worker_messages.rounds,
+            worker_messages.messages,
+            worker_messages.bytes,
+            worker_messages.pairs.len()
+        );
+        for (name, legs, spd, messages) in [
+            (algorithm.name().to_string(), &runs, speedup, None),
             (
                 format!("{}+sharded", algorithm.name()),
                 &sharded_runs,
                 sharded_speedup,
+                None,
+            ),
+            (
+                format!("{}+workers", algorithm.name()),
+                &worker_runs,
+                worker_speedup,
+                Some(message_json),
             ),
         ] {
             let runs_json: Vec<String> = legs
@@ -218,8 +283,9 @@ fn main() {
                     )
                 })
                 .collect();
+            let messages_field = messages.map_or(String::new(), |m| format!(",\"messages\":{m}"));
             algo_json.push(format!(
-                "{{\"name\":{},\"phase0_speedup_at_4_threads\":{spd},\"runs\":[{}]}}",
+                "{{\"name\":{},\"phase0_speedup_at_4_threads\":{spd}{messages_field},\"runs\":[{}]}}",
                 json_string(&name),
                 runs_json.join(",")
             ));

@@ -5,6 +5,7 @@
 //! usnae run --algo <name> --input graph.txt [--output emulator.txt]
 //!       [--eps 0.5] [--kappa 4] [--rho 0.5] [--seed 0] [--threads 1]
 //!       [--shards 0] [--partition range|degree-balanced]
+//!       [--transport inproc|channel|process]
 //!       [--order by-id|by-id-desc|by-degree-desc|by-degree-asc]
 //!       [--raw-eps] [--report] [--cache DIR]
 //! usnae list
@@ -24,6 +25,12 @@
 //! shards; the built structure is byte-identical to the unsharded run and
 //! `--report` adds a per-shard layout line.
 //!
+//! `--transport channel|process` (requires `--shards`) moves the sharded
+//! explorations to one worker per shard — OS threads with bounded channels,
+//! or child `usnae-worker` processes speaking a checksummed binary protocol
+//! — still byte-identical to the in-process run; `--report` then adds a
+//! `transport:` line with the measured round/message/byte totals.
+//!
 //! `--cache DIR` makes the build read-through a fingerprint-keyed
 //! construction cache (see `usnae_core::cache`): a warm, verified entry is
 //! loaded instead of rebuilt, and the run line reports `cache: hit`.
@@ -39,7 +46,7 @@ use std::fmt;
 use std::io::BufReader;
 
 use usnae_baselines::registry;
-use usnae_core::api::{BuildConfig, BuildOutput, PartitionPolicy, ProcessingOrder};
+use usnae_core::api::{BuildConfig, BuildOutput, PartitionPolicy, ProcessingOrder, TransportKind};
 use usnae_core::cache::{build_cached, CacheConfig, ConstructionCache};
 use usnae_graph::{io as gio, Graph};
 
@@ -108,7 +115,7 @@ impl std::error::Error for CliError {}
 /// The usage banner.
 pub const USAGE: &str = "usage: usnae run --algo <name> --input <edge-list> [--output <path>] \
 [--eps <0..1>] [--kappa <k>=4] [--rho <r>=0.5] [--seed <s>=0] [--threads <t>=1] \
-[--shards <k>=0] [--partition range|degree-balanced] \
+[--shards <k>=0] [--partition range|degree-balanced] [--transport inproc|channel|process] \
 [--order by-id|by-id-desc|by-degree-desc|by-degree-asc] [--raw-eps] [--report] [--cache <dir>]\n\
        usnae list\n\
        usnae cache ls|clear|verify <dir>\n\
@@ -239,6 +246,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 opts.config.partition = PartitionPolicy::parse(&v)
                     .ok_or_else(|| CliError(format!("unknown partition policy {v:?}\n{USAGE}")))?;
             }
+            "--transport" => {
+                let v = value("--transport")?;
+                opts.config.transport = TransportKind::parse(&v)
+                    .ok_or_else(|| CliError(format!("unknown transport {v:?}\n{USAGE}")))?;
+            }
             "--order" => {
                 let v = value("--order")?;
                 opts.config.order = parse_order(&v)
@@ -361,6 +373,13 @@ pub fn execute(opts: &Options) -> Result<Vec<String>, CliError> {
                 out.stats.shards.len(),
                 cut / 2
             ));
+        }
+        match &out.stats.messages {
+            Some(m) => lines.push(format!(
+                "transport: {} — {} round(s), {} message(s), {} byte(s)",
+                out.stats.transport, m.rounds, m.messages, m.bytes
+            )),
+            None => lines.push(format!("transport: {}", out.stats.transport)),
         }
         let mut timing = format!(
             "build: {:.3?} on {} thread(s)",
@@ -567,6 +586,73 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn transport_flag_parses_and_validates() {
+        let o = run_opts(
+            parse_args(&args("run --input g.txt --shards 2 --transport channel")).unwrap(),
+        );
+        assert_eq!(o.config.transport, TransportKind::Channel);
+        let o = run_opts(
+            parse_args(&args("run --input g.txt --shards 2 --transport process")).unwrap(),
+        );
+        assert_eq!(o.config.transport, TransportKind::Process);
+        let default = run_opts(parse_args(&args("run --input g.txt")).unwrap());
+        assert_eq!(default.config.transport, TransportKind::Inproc);
+        assert!(parse_args(&args("run --input g.txt --transport carrier-pigeon")).is_err());
+        // A worker transport without shards parses but fails validation
+        // at build time.
+        let g = usnae_graph::generators::path(6).unwrap();
+        let o = run_opts(parse_args(&args("run --input g.txt --transport channel")).unwrap());
+        assert!(run_build(&g, &o).is_err());
+    }
+
+    #[test]
+    fn worker_build_reports_transport_and_measured_messages() {
+        let input = std::env::temp_dir().join(format!("usnae-cli-wk-{}.txt", std::process::id()));
+        let mut text = String::new();
+        for i in 0..40 {
+            text.push_str(&format!("{} {}\n", i, (i + 1) % 40));
+            text.push_str(&format!("{} {}\n", i, (i + 5) % 40));
+        }
+        std::fs::write(&input, text).unwrap();
+        let mk = |transport| Options {
+            algo: "centralized".to_string(),
+            input: input.display().to_string(),
+            output: None,
+            config: BuildConfig {
+                shards: 2,
+                transport,
+                ..BuildConfig::default()
+            },
+            report: true,
+            cache_dir: None,
+        };
+        let inproc = execute(&mk(TransportKind::Inproc)).unwrap();
+        assert!(
+            inproc.iter().any(|l| l == "transport: inproc"),
+            "{inproc:?}"
+        );
+        let channel = execute(&mk(TransportKind::Channel)).unwrap();
+        let line = channel
+            .iter()
+            .find(|l| l.starts_with("transport: channel"))
+            .expect("worker run reports its transport");
+        assert!(
+            line.contains("round(s)") && line.contains("message(s)"),
+            "{line}"
+        );
+        // Byte-identical across transports, visible in the fingerprints.
+        let fp = |lines: &[String]| {
+            lines
+                .iter()
+                .find(|l| l.starts_with("stream fingerprint: "))
+                .cloned()
+                .unwrap()
+        };
+        assert_eq!(fp(&inproc), fp(&channel));
+        let _ = std::fs::remove_file(&input);
     }
 
     #[test]

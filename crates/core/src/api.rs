@@ -82,6 +82,38 @@
 //! ([`BuildConfig::stable_digest`]): one cached entry serves every
 //! layout, exactly like `threads`.
 //!
+//! # Distributed execution
+//!
+//! [`EmulatorBuilder::transport`] (CLI: `usnae run --transport
+//! {inproc,channel,process}`) moves the sharded exploration phases from
+//! the in-process fan-out to a **worker pool**: one worker per CSR shard,
+//! each owning its shard's adjacency and answering typed frontier
+//! messages through a [`TransportKind`] —
+//!
+//! * [`TransportKind::Inproc`] (default) — no pool; the explorations read
+//!   the layout directly, as in a plain partitioned build.
+//! * [`TransportKind::Channel`] — one OS thread per shard, bounded
+//!   channels, a deterministic round barrier.
+//! * [`TransportKind::Process`] — one child process per shard speaking a
+//!   length-prefixed, checksummed binary protocol over stdin/stdout (the
+//!   `usnae-worker` binary; see `usnae_workers`).
+//!
+//! A worker transport requires a partitioned layout (`shards >= 1`;
+//! validated as [`ParamError::TransportNeedsShards`](crate::error::ParamError)).
+//! The round protocol is deterministic — per-round results are merged in
+//! shard order before the driver consumes them — so the built stream,
+//! trace, and fingerprint are **byte-identical** to the shared-array
+//! build for every transport; `tests/worker_conformance.rs` enforces this
+//! registry-wide, including under randomized worker delays. What *does*
+//! change is [`BuildStats`]: `stats.transport` records the transport that
+//! ran and `stats.messages` carries the measured [`MessageStats`]
+//! (rounds, messages, bytes, per-shard-pair breakdown). Worker failures
+//! never corrupt an output — the phases fall back in-process and the
+//! build fails loudly with [`BuildError::Worker`] — and every worker
+//! build re-merges the partitioned layout before returning. Like
+//! `threads` and `shards`, the transport is **not** part of the cache
+//! key: one cached entry serves every execution strategy.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -139,6 +171,7 @@ pub mod registry;
 pub use crate::cache::CacheConfig;
 pub use crate::centralized::ProcessingOrder;
 pub use crate::emulator::Emulator;
+pub use crate::exec::{MessageStats, PairStats, TransportKind};
 pub use backend::{HeapBackend, OutputBackend, PartitionedBackend, SnapshotBackend};
 pub use config::{Algorithm, BuildConfig};
 pub use construction::{BuildError, Construction, Supports};
@@ -246,6 +279,18 @@ impl<'g> EmulatorBuilder<'g> {
     ) -> Self {
         self.config.partition = policy;
         self.config.shards = shards;
+        self
+    }
+
+    /// Execution transport for the sharded exploration phases (default
+    /// [`TransportKind::Inproc`]; worker transports require
+    /// [`partition`](Self::partition) with `shards >= 1`, validated at
+    /// build time). The built structure is byte-identical for every
+    /// transport; a worker build additionally reports its measured
+    /// [`MessageStats`] in [`BuildStats::messages`]. See the
+    /// [module docs](self#distributed-execution).
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.config.transport = transport;
         self
     }
 
@@ -391,6 +436,37 @@ mod tests {
                 "{policy}: shards own every vertex exactly once"
             );
         }
+    }
+
+    #[test]
+    fn builder_transport_keeps_output_identical_and_measures_messages() {
+        use usnae_graph::partition::PartitionPolicy;
+        let g = generators::gnp_connected(120, 0.05, 23).unwrap();
+        let shared = Emulator::builder(&g).kappa(4).build().unwrap();
+        assert_eq!(shared.stats.transport, TransportKind::Inproc);
+        assert!(shared.stats.messages.is_none());
+        let workers = Emulator::builder(&g)
+            .kappa(4)
+            .threads(2)
+            .partition(PartitionPolicy::Range, 3)
+            .transport(TransportKind::Channel)
+            .build()
+            .unwrap();
+        assert_eq!(shared.emulator.provenance(), workers.emulator.provenance());
+        assert_eq!(workers.stats.transport, TransportKind::Channel);
+        let stats = workers.stats.messages.as_ref().expect("measured stats");
+        assert!(stats.rounds > 0 && stats.messages > 0 && stats.bytes > 0);
+    }
+
+    #[test]
+    fn builder_rejects_worker_transport_without_shards() {
+        let g = generators::path(6).unwrap();
+        assert!(matches!(
+            Emulator::builder(&g)
+                .transport(TransportKind::Channel)
+                .build(),
+            Err(BuildError::Param(_))
+        ));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::centralized::ProcessingOrder;
 use crate::error::ParamError;
 use crate::params::{CentralizedParams, DistributedParams, SpannerParams};
 use usnae_graph::partition::PartitionPolicy;
+use usnae_workers::TransportKind;
 
 /// The paper constructions selectable through
 /// [`EmulatorBuilder`](crate::api::EmulatorBuilder).
@@ -123,6 +124,13 @@ pub struct BuildConfig {
     pub shards: usize,
     /// Partitioning strategy used when `shards >= 1`.
     pub partition: PartitionPolicy,
+    /// Execution substrate for the sharded exploration phases:
+    /// [`TransportKind::Inproc`] (default) runs the in-process fan-out;
+    /// `Channel`/`Process` move each shard's work to its owning worker
+    /// (requires `shards >= 1`) and record measured
+    /// [`MessageStats`](crate::api::MessageStats). Output is
+    /// byte-identical for every transport.
+    pub transport: TransportKind,
 }
 
 impl Default for BuildConfig {
@@ -138,6 +146,7 @@ impl Default for BuildConfig {
             threads: 1,
             shards: 0,
             partition: PartitionPolicy::Range,
+            transport: TransportKind::Inproc,
         }
     }
 }
@@ -175,6 +184,7 @@ impl std::hash::Hash for BuildConfig {
             threads,
             shards,
             partition,
+            transport,
         } = self;
         float_bits(*epsilon).hash(state);
         kappa.hash(state);
@@ -186,6 +196,7 @@ impl std::hash::Hash for BuildConfig {
         threads.hash(state);
         shards.hash(state);
         partition.hash(state);
+        transport.hash(state);
     }
 }
 
@@ -200,10 +211,17 @@ impl BuildConfig {
     /// # Errors
     ///
     /// [`ParamError::ZeroThreads`] when `threads == 0`;
-    /// [`ParamError::NonFinite`] when `ε` or `ρ` is NaN or infinite.
+    /// [`ParamError::NonFinite`] when `ε` or `ρ` is NaN or infinite;
+    /// [`ParamError::TransportNeedsShards`] when a worker transport is
+    /// requested without a partitioned layout (`shards == 0`).
     pub fn validate(&self) -> Result<(), ParamError> {
         if self.threads == 0 {
             return Err(ParamError::ZeroThreads);
+        }
+        if self.transport != TransportKind::Inproc && self.shards == 0 {
+            return Err(ParamError::TransportNeedsShards {
+                transport: self.transport.name(),
+            });
         }
         if !self.epsilon.is_finite() {
             return Err(ParamError::NonFinite {
@@ -247,6 +265,7 @@ impl BuildConfig {
             threads: _,   // never changes the built stream (determinism)
             shards: _,    // sharded layout is byte-identical to shared
             partition: _, // ditto — enforced by partition_conformance.rs
+            transport: _, // ditto — enforced by worker_conformance.rs
         } = self;
         let mut d = usnae_graph::metrics::Fnv64::new();
         d.write_u64(float_bits(*epsilon));
@@ -429,6 +448,7 @@ mod tests {
             traced: true,
             shards: 4,
             partition: PartitionPolicy::DegreeBalanced,
+            transport: TransportKind::Channel,
             ..base.clone()
         };
         assert_eq!(base.stable_digest(), threaded.stable_digest());
@@ -461,6 +481,28 @@ mod tests {
         ];
         for v in &variants {
             assert_ne!(base.stable_digest(), v.stable_digest(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn worker_transports_require_a_partitioned_layout() {
+        for kind in [TransportKind::Channel, TransportKind::Process] {
+            let unsharded = BuildConfig {
+                transport: kind,
+                ..BuildConfig::default()
+            };
+            assert_eq!(
+                unsharded.validate(),
+                Err(ParamError::TransportNeedsShards {
+                    transport: kind.name()
+                })
+            );
+            let sharded = BuildConfig {
+                transport: kind,
+                shards: 2,
+                ..BuildConfig::default()
+            };
+            assert!(sharded.validate().is_ok());
         }
     }
 

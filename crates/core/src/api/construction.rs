@@ -60,6 +60,12 @@ pub enum BuildError {
     /// [`build_cached`](crate::cache::build_cached); load-side problems
     /// degrade to a rebuild instead of erroring).
     Cache(crate::cache::SnapshotError),
+    /// A worker-pool build (`BuildConfig::transport` = channel/process)
+    /// failed: the pool could not be spawned, a worker died or sent a
+    /// corrupt frame mid-build, or shutdown was unclean. The phases fall
+    /// back in-process, but the requested worker build did not happen, so
+    /// the build fails loudly instead of silently reporting one.
+    Worker(usnae_workers::WorkerError),
 }
 
 impl std::fmt::Display for BuildError {
@@ -69,6 +75,7 @@ impl std::fmt::Display for BuildError {
             BuildError::Congest(e) => write!(f, "CONGEST simulation failed: {e}"),
             BuildError::UnknownAlgorithm(name) => write!(f, "unknown algorithm {name:?}"),
             BuildError::Cache(e) => write!(f, "construction cache failed: {e}"),
+            BuildError::Worker(e) => write!(f, "worker transport failed: {e}"),
         }
     }
 }
@@ -80,6 +87,7 @@ impl std::error::Error for BuildError {
             BuildError::Congest(e) => Some(e),
             BuildError::UnknownAlgorithm(_) => None,
             BuildError::Cache(e) => Some(e),
+            BuildError::Worker(e) => Some(e),
         }
     }
 }
@@ -93,6 +101,12 @@ impl From<ParamError> for BuildError {
 impl From<CongestError> for BuildError {
     fn from(e: CongestError) -> Self {
         BuildError::Congest(e)
+    }
+}
+
+impl From<usnae_workers::WorkerError> for BuildError {
+    fn from(e: usnae_workers::WorkerError) -> Self {
+        BuildError::Worker(e)
     }
 }
 

@@ -6,6 +6,7 @@ use crate::api::{
 use crate::centralized::build_centralized_exec;
 use crate::distributed::driver::build_distributed;
 use crate::distributed::spanner_driver::build_spanner_congest;
+use crate::engine::{verify_partitioned_merge, Engine};
 use crate::exec::BuildStats;
 use crate::fast_centralized::build_fast_exec;
 use crate::spanner::build_spanner_exec;
@@ -47,10 +48,10 @@ impl Construction for Centralized {
         cfg.validate()?;
         let params = cfg.centralized_params()?;
         let t0 = Instant::now();
-        let view = cfg.graph_view(g);
-        let (emulator, trace, phases) =
-            build_centralized_exec(g, &params, cfg.order, cfg.threads, &view);
-        Ok(BuildOutput {
+        let engine = Engine::new(g, cfg);
+        let (emulator, trace, phases) = build_centralized_exec(g, &params, cfg.order, &engine);
+        let report = engine.finish()?;
+        let out = BuildOutput {
             emulator,
             certified: Some(params.certified_stretch()),
             size_bound: Some(params.size_bound(g.num_vertices())),
@@ -60,11 +61,15 @@ impl Construction for Centralized {
                 threads: cfg.threads,
                 total: t0.elapsed(),
                 phases,
-                shards: view.shard_timings(),
+                shards: report.shards,
+                transport: report.transport,
+                messages: report.messages,
                 ..BuildStats::default()
             },
             algorithm: self.name(),
-        })
+        };
+        verify_partitioned_merge(&out, cfg)?;
+        Ok(out)
     }
 }
 
@@ -103,9 +108,10 @@ impl Construction for FastCentralized {
         cfg.validate()?;
         let params = cfg.distributed_params()?;
         let t0 = Instant::now();
-        let view = cfg.graph_view(g);
-        let (emulator, trace, phases) = build_fast_exec(g, &params, cfg.threads, &view);
-        Ok(BuildOutput {
+        let engine = Engine::new(g, cfg);
+        let (emulator, trace, phases) = build_fast_exec(g, &params, &engine);
+        let report = engine.finish()?;
+        let out = BuildOutput {
             emulator,
             certified: Some(params.certified_stretch()),
             size_bound: Some(params.size_bound(g.num_vertices())),
@@ -115,11 +121,15 @@ impl Construction for FastCentralized {
                 threads: cfg.threads,
                 total: t0.elapsed(),
                 phases,
-                shards: view.shard_timings(),
+                shards: report.shards,
+                transport: report.transport,
+                messages: report.messages,
                 ..BuildStats::default()
             },
             algorithm: self.name(),
-        })
+        };
+        verify_partitioned_merge(&out, cfg)?;
+        Ok(out)
     }
 }
 
@@ -221,10 +231,11 @@ impl Construction for Spanner {
         cfg.validate()?;
         let params = cfg.spanner_params()?;
         let t0 = Instant::now();
-        let view = cfg.graph_view(g);
-        let (emulator, trace, phases) = build_spanner_exec(g, &params, cfg.threads, &view);
+        let engine = Engine::new(g, cfg);
+        let (emulator, trace, phases) = build_spanner_exec(g, &params, &engine);
+        let report = engine.finish()?;
         let n = g.num_vertices();
-        Ok(BuildOutput {
+        let out = BuildOutput {
             emulator,
             certified: Some(params.certified_stretch()),
             size_bound: Some(SPANNER_SIZE_CONSTANT * params.size_bound(n) + n as f64),
@@ -234,11 +245,15 @@ impl Construction for Spanner {
                 threads: cfg.threads,
                 total: t0.elapsed(),
                 phases,
-                shards: view.shard_timings(),
+                shards: report.shards,
+                transport: report.transport,
+                messages: report.messages,
                 ..BuildStats::default()
             },
             algorithm: self.name(),
-        })
+        };
+        verify_partitioned_merge(&out, cfg)?;
+        Ok(out)
     }
 }
 

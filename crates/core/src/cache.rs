@@ -36,7 +36,9 @@
 
 use crate::api::{BuildConfig, BuildError, BuildOutput, CongestStats, Construction};
 use crate::emulator::{stream_fingerprint, EdgeKind, EdgeProvenance, Emulator};
-use crate::exec::{BuildStats, CacheStatus, PhaseTiming, ShardTiming};
+use crate::exec::{
+    BuildStats, CacheStatus, MessageStats, PairStats, PhaseTiming, ShardTiming, TransportKind,
+};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 use usnae_congest::Metrics;
@@ -48,8 +50,14 @@ pub const MAGIC: &[u8; 8] = b"USNAESNP";
 
 /// Current codec version. Bump on any layout change; old files then fail
 /// with [`SnapshotError::UnsupportedVersion`] instead of misparsing.
-/// (v2 added the per-shard timing section of partitioned builds.)
-pub const VERSION: u32 = 2;
+/// (v2 added the per-shard timing section of partitioned builds; v3 added
+/// the transport byte and the measured [`MessageStats`] of worker-pool
+/// builds. v2 files remain readable: their transport is `inproc`, their
+/// message stats `None`.)
+pub const VERSION: u32 = 3;
+
+/// Oldest codec version [`Snapshot::decode`] still reads.
+pub const MIN_VERSION: u32 = 2;
 
 /// Extension of snapshot files inside a cache directory.
 pub const EXTENSION: &str = "usnae";
@@ -344,12 +352,23 @@ impl Snapshot {
         }
     }
 
-    /// Serializes to the version-2 wire format (trailing FNV-64 checksum
+    /// Serializes to the version-3 wire format (trailing FNV-64 checksum
     /// over everything before it).
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_version(VERSION)
+    }
+
+    /// [`encode`](Self::encode) pinned to an older readable version —
+    /// kept so the forward-compat suite can produce genuine old files.
+    /// Versions below [`MIN_VERSION`] are not encodable.
+    pub fn encode_version(&self, version: u32) -> Vec<u8> {
+        assert!(
+            (MIN_VERSION..=VERSION).contains(&version),
+            "cannot encode codec version {version}"
+        );
         let mut w = Writer::new();
         w.bytes(MAGIC);
-        w.u32(VERSION);
+        w.u32(version);
         w.u64(self.key.graph_fingerprint);
         w.u64(self.key.config_digest);
         w.u32(self.key.algorithm.len() as u32);
@@ -403,6 +422,27 @@ impl Snapshot {
             w.u64(sh.cut_edges as u64);
             w.u64(sh.duration.as_nanos().min(u128::from(u64::MAX)) as u64);
         }
+        if version >= 3 {
+            // v3: the transport the build ran on plus its measured message
+            // statistics (worker-pool builds only).
+            w.u8(self.stats.transport.code());
+            match &self.stats.messages {
+                Some(m) => {
+                    w.u8(1);
+                    w.u64(m.rounds);
+                    w.u64(m.messages);
+                    w.u64(m.bytes);
+                    w.u64(m.pairs.len() as u64);
+                    for p in &m.pairs {
+                        w.u64(p.src as u64);
+                        w.u64(p.dst as u64);
+                        w.u64(p.messages);
+                        w.u64(p.bytes);
+                    }
+                }
+                None => w.u8(0),
+            }
+        }
         w.finish()
     }
 
@@ -429,7 +469,7 @@ impl Snapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = r.u32()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
                 supported: VERSION,
@@ -546,6 +586,47 @@ impl Snapshot {
                 duration: Duration::from_nanos(r.u64()?),
             });
         }
+        // v3 tail; v2 files predate worker transports, so they ran inproc
+        // with no message exchange.
+        let (transport, messages) = if version >= 3 {
+            let code = r.u8()?;
+            let transport =
+                TransportKind::from_code(code).ok_or_else(|| SnapshotError::Corrupt {
+                    reason: format!("invalid transport byte {code}"),
+                })?;
+            let messages = match r.u8()? {
+                0 => None,
+                1 => {
+                    let rounds = r.u64()?;
+                    let total_messages = r.u64()?;
+                    let bytes = r.u64()?;
+                    let pair_count = r.count()?;
+                    let mut pairs = Vec::with_capacity(pair_count);
+                    for _ in 0..pair_count {
+                        pairs.push(PairStats {
+                            src: r.u64()? as usize,
+                            dst: r.u64()? as usize,
+                            messages: r.u64()?,
+                            bytes: r.u64()?,
+                        });
+                    }
+                    Some(MessageStats {
+                        rounds,
+                        messages: total_messages,
+                        bytes,
+                        pairs,
+                    })
+                }
+                b => {
+                    return Err(SnapshotError::Corrupt {
+                        reason: format!("invalid message-stats tag {b}"),
+                    })
+                }
+            };
+            (transport, messages)
+        } else {
+            (TransportKind::Inproc, None)
+        };
         if r.pos != content.len() {
             return Err(SnapshotError::Corrupt {
                 reason: format!(
@@ -578,6 +659,8 @@ impl Snapshot {
                 total,
                 phases,
                 shards,
+                transport,
+                messages,
                 cache: CacheStatus::Miss,
             },
         })
@@ -610,6 +693,10 @@ impl Snapshot {
                 total: load_time,
                 phases: Vec::new(),
                 shards: Vec::new(),
+                // The stored transport/messages describe the producing
+                // build — kept on a hit so reports still show what ran.
+                transport: self.stats.transport,
+                messages: self.stats.messages.clone(),
                 cache: CacheStatus::Hit,
             },
             algorithm,
@@ -958,6 +1045,62 @@ mod tests {
         let decoded = Snapshot::decode(&snap.encode()).unwrap();
         assert_eq!(decoded.stats.shards, out.stats.shards);
         assert_eq!(decoded, snap);
+    }
+
+    fn worker_output() -> (Graph, BuildOutput, CacheKey) {
+        let g = generators::gnp_connected(60, 0.1, 3).unwrap();
+        let cfg = BuildConfig {
+            shards: 3,
+            threads: 2,
+            transport: TransportKind::Channel,
+            ..BuildConfig::default()
+        };
+        let c = Algorithm::Centralized.construction();
+        let out = c.build(&g, &cfg).unwrap();
+        let key = CacheKey::new(&g, c.name(), &cfg);
+        (g, out, key)
+    }
+
+    #[test]
+    fn worker_build_stats_survive_the_codec() {
+        let (_, out, key) = worker_output();
+        assert_eq!(out.stats.transport, TransportKind::Channel);
+        let measured = out.stats.messages.clone().expect("worker build measures");
+        assert!(measured.rounds > 0 && measured.messages > 0);
+        let snap = Snapshot::from_output(key, &out);
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded.stats.transport, TransportKind::Channel);
+        assert_eq!(decoded.stats.messages, Some(measured));
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn v2_snapshots_remain_readable_without_worker_stats() {
+        // A genuine version-2 file (pre-transport codec): everything
+        // round-trips except the v3 tail, which decodes to its v2
+        // defaults — transport `inproc`, no message stats.
+        let (_, out, key) = worker_output();
+        let snap = Snapshot::from_output(key, &out);
+        let v2 = snap.encode_version(2);
+        assert_eq!(v2[8], 2, "version byte is little-endian 2");
+        let decoded = Snapshot::decode(&v2).unwrap();
+        assert_eq!(decoded.stats.transport, TransportKind::Inproc);
+        assert_eq!(decoded.stats.messages, None);
+        assert_eq!(decoded.records, snap.records);
+        assert_eq!(decoded.stream_fingerprint, snap.stream_fingerprint);
+        assert_eq!(decoded.stats.shards, snap.stats.shards);
+        assert_eq!(
+            decoded.rebuild_emulator().provenance(),
+            out.emulator.provenance()
+        );
+    }
+
+    #[test]
+    fn encoding_below_min_version_is_refused() {
+        let (_, out, key) = sample_output();
+        let snap = Snapshot::from_output(key, &out);
+        let err = std::panic::catch_unwind(|| snap.encode_version(MIN_VERSION - 1));
+        assert!(err.is_err(), "v1 is not encodable");
     }
 
     #[test]

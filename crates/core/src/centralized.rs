@@ -28,10 +28,9 @@
 
 use crate::cluster::{Cluster, Partition};
 use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
+use crate::engine::Engine;
 use crate::exec::{ChunkPolicy, PhaseClock, PhaseTiming};
 use crate::params::CentralizedParams;
-use usnae_graph::par;
-use usnae_graph::partition::GraphView;
 use usnae_graph::{Dist, Graph, VertexId};
 
 /// Order in which phase `i` pops centers from `S_i`.
@@ -149,21 +148,21 @@ pub(crate) fn build_centralized(
     params: &CentralizedParams,
     order: ProcessingOrder,
 ) -> (Emulator, BuildTrace) {
-    let (emulator, trace, _) = build_centralized_exec(g, params, order, 1, &GraphView::shared(g));
+    let (emulator, trace, _) = build_centralized_exec(g, params, order, &Engine::inproc(g, 1));
     (emulator, trace)
 }
 
 /// Crate-internal entry point behind [`crate::api::EmulatorBuilder`]: runs
 /// Algorithm 1 end to end, sharding the per-center explorations over
-/// `threads` and recording per-phase wall-clock timings. The explorations
-/// read the graph through `view` — the shared adjacency array or
-/// partitioned CSR shards, byte-identical either way.
+/// `engine.threads()` and recording per-phase wall-clock timings. The
+/// explorations run through the [`Engine`] — the in-process fan-out over
+/// the shared array or CSR shards, or a worker pool exchanging typed
+/// frontier messages — byte-identical either way.
 pub(crate) fn build_centralized_exec(
     g: &Graph,
     params: &CentralizedParams,
     order: ProcessingOrder,
-    threads: usize,
-    view: &GraphView<'_>,
+    engine: &Engine<'_>,
 ) -> (Emulator, BuildTrace, Vec<PhaseTiming>) {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
@@ -177,17 +176,8 @@ pub(crate) fn build_centralized_exec(
     for i in 0..=params.ell() {
         let last = i == params.ell();
         let (next, phase_trace, u_i) = clock.measure(i, || {
-            let (next, phase_trace, u_i, explorations) = run_phase(
-                g,
-                view,
-                &mut emulator,
-                &partition,
-                i,
-                params,
-                last,
-                order,
-                threads,
-            );
+            let (next, phase_trace, u_i, explorations) =
+                run_phase(g, engine, &mut emulator, &partition, i, params, last, order);
             ((next, phase_trace, u_i), explorations)
         });
         trace.phases.push(phase_trace);
@@ -222,14 +212,13 @@ struct SuperclusterBuild {
 #[allow(clippy::too_many_arguments)]
 fn run_phase(
     g: &Graph,
-    view: &GraphView<'_>,
+    engine: &Engine<'_>,
     emulator: &mut Emulator,
     partition: &Partition,
     i: usize,
     params: &CentralizedParams,
     last: bool,
     order: ProcessingOrder,
-    threads: usize,
 ) -> (Partition, PhaseTrace, Vec<Cluster>, usize) {
     let n = g.num_vertices();
     let delta = params.delta(i);
@@ -266,7 +255,7 @@ fn run_phase(
     // size adapts to the observed staleness (see [`ChunkPolicy`]); it never
     // affects the output, only the wasted work.
     let mut explorations = 0usize;
-    let mut policy = ChunkPolicy::new(threads);
+    let mut policy = ChunkPolicy::new(engine.threads());
     let mut pos = 0;
     while pos < centers.len() {
         let block = &centers[pos..(pos + policy.chunk()).min(centers.len())];
@@ -282,8 +271,9 @@ fn run_phase(
         // One exploration to 2δ_i serves both Γ(r_C) and the buffer step;
         // the ball is sorted by vertex id — the same order the historical
         // dense distance-array scan visited vertices in. Reads go through
-        // the view: local CSR shards when the build is partitioned.
-        let balls = par::balls(view, &todo, two_delta, threads);
+        // the engine: local CSR shards when the build is partitioned, a
+        // worker pool when a transport is configured.
+        let balls = engine.balls(&todo, two_delta);
         explorations += todo.len();
         let mut used = 0usize;
         for (&rc, ball) in todo.iter().zip(&balls) {
@@ -671,11 +661,12 @@ mod tests {
             let g = generators::gnp_connected(250, 0.05, seed).unwrap();
             let p = params(0.5, 4);
             for order in [ProcessingOrder::ById, ProcessingOrder::ByDegreeDesc] {
-                let shared = GraphView::shared(&g);
-                let (h1, t1, timings) = build_centralized_exec(&g, &p, order, 1, &shared);
+                let (h1, t1, timings) =
+                    build_centralized_exec(&g, &p, order, &Engine::inproc(&g, 1));
                 assert_eq!(timings.len(), t1.phases.len());
                 for threads in [2usize, 4, 8] {
-                    let (ht, tt, _) = build_centralized_exec(&g, &p, order, threads, &shared);
+                    let (ht, tt, _) =
+                        build_centralized_exec(&g, &p, order, &Engine::inproc(&g, threads));
                     assert_eq!(
                         h1.provenance(),
                         ht.provenance(),
@@ -693,12 +684,18 @@ mod tests {
         let g = generators::gnp_connected(220, 0.05, 6).unwrap();
         let p = params(0.5, 4);
         let order = ProcessingOrder::ById;
-        let (h1, t1, _) = build_centralized_exec(&g, &p, order, 1, &GraphView::shared(&g));
+        let (h1, t1, _) = build_centralized_exec(&g, &p, order, &Engine::inproc(&g, 1));
         for policy in PartitionPolicy::all() {
             for shards in [1usize, 2, 4, 7] {
-                let view = GraphView::new(&g, policy, shards);
                 for threads in [1usize, 4] {
-                    let (ht, tt, _) = build_centralized_exec(&g, &p, order, threads, &view);
+                    let cfg = crate::api::BuildConfig {
+                        partition: policy,
+                        shards,
+                        threads,
+                        ..crate::api::BuildConfig::default()
+                    };
+                    let engine = Engine::new(&g, &cfg);
+                    let (ht, tt, _) = build_centralized_exec(&g, &p, order, &engine);
                     assert_eq!(
                         h1.provenance(),
                         ht.provenance(),

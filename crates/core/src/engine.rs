@@ -1,0 +1,363 @@
+//! The exploration engine: one object that decides *where* a
+//! construction's sharded exploration phases run.
+//!
+//! Every sharded construction (centralized / fast-centralized / spanner
+//! and the EP01/EN17a/EM19 baselines) funnels its bulk graph work through
+//! three primitives — sorted distance balls, full BFS explorations with
+//! parents, and ruling-set carving. [`Engine`] owns the dispatch:
+//!
+//! * **Inproc** (the default): the primitives run against the build's
+//!   [`GraphView`] via the `usnae_graph::par` fan-out — the shared
+//!   adjacency array or local CSR shards, exactly as before.
+//! * **Channel / Process** ([`TransportKind`]): the engine spawns a
+//!   [`WorkerPool`] over the partitioned layout and ships each shard's
+//!   work to its owning worker, exchanging cut-edge frontiers as typed
+//!   messages. The pool's rank protocol reproduces the sequential FIFO
+//!   BFS exactly, so the primitives return **byte-identical** results —
+//!   the pool only changes where the work runs and adds **measured**
+//!   [`MessageStats`] to the build's report.
+//!
+//! Worker failures never corrupt a build: on the first transport error the
+//! engine stashes the typed [`WorkerError`], drops the pool, finishes the
+//! build in-process (keeping the inner phase loops infallible), and
+//! surfaces the error from [`Engine::finish`] so callers fail loudly
+//! instead of silently reporting a worker build that did not happen.
+
+use std::cell::RefCell;
+
+use crate::api::{BuildConfig, BuildError};
+use crate::sai::{self, Exploration};
+use usnae_graph::partition::{GraphView, ShardView, ShardedCsr};
+use usnae_graph::{par, Dist, Graph, VertexId};
+use usnae_workers::{MessageStats, ShardInit, TransportKind, WorkerError, WorkerPool};
+
+/// What [`Engine::finish`] hands back to the build driver: the transport
+/// that actually ran, its measured message statistics (worker transports
+/// only), and the per-shard layout timings.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// The transport the exploration phases ran on.
+    pub transport: TransportKind,
+    /// Measured exchange statistics (`Some` iff a worker pool ran).
+    pub messages: Option<MessageStats>,
+    /// Per-shard layout records (empty for shared-array builds).
+    pub shards: Vec<usnae_graph::partition::ShardTiming>,
+}
+
+/// Dispatches a construction's exploration primitives to the in-process
+/// fan-out or a [`WorkerPool`], per [`BuildConfig::transport`].
+///
+/// Interior mutability (`RefCell`) keeps the primitive methods `&self`, so
+/// the exec functions thread one shared `&Engine` through their phase
+/// loops exactly like they used to thread `(threads, &GraphView)`.
+pub struct Engine<'g> {
+    view: GraphView<'g>,
+    threads: usize,
+    kind: TransportKind,
+    pool: RefCell<Option<WorkerPool>>,
+    error: RefCell<Option<WorkerError>>,
+}
+
+impl<'g> Engine<'g> {
+    /// Builds the engine for one construction run: partitions the graph
+    /// per `cfg` and, for a worker transport on a partitioned layout,
+    /// spawns the pool. A pool that cannot be spawned (e.g. the worker
+    /// binary is missing) stashes its error and the build runs in-process;
+    /// [`finish`](Self::finish) surfaces the failure.
+    pub fn new(g: &'g Graph, cfg: &BuildConfig) -> Engine<'g> {
+        let view = cfg.graph_view(g);
+        let mut engine = Engine {
+            view,
+            threads: cfg.threads,
+            kind: TransportKind::Inproc,
+            pool: RefCell::new(None),
+            error: RefCell::new(None),
+        };
+        if cfg.transport != TransportKind::Inproc {
+            if let Some(sharded) = engine.view.as_sharded() {
+                let inits = shard_inits(sharded, g.num_vertices());
+                match WorkerPool::new(cfg.transport, inits) {
+                    Ok(pool) => {
+                        engine.kind = cfg.transport;
+                        engine.pool = RefCell::new(Some(pool));
+                    }
+                    Err(e) => engine.error = RefCell::new(Some(e)),
+                }
+            }
+        }
+        engine
+    }
+
+    /// A plain in-process engine over the shared adjacency array — the
+    /// sequential wrappers' entry point.
+    pub fn inproc(g: &'g Graph, threads: usize) -> Engine<'g> {
+        Engine {
+            view: GraphView::shared(g),
+            threads,
+            kind: TransportKind::Inproc,
+            pool: RefCell::new(None),
+            error: RefCell::new(None),
+        }
+    }
+
+    /// Worker threads of the in-process fan-out.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` against the pool if one is live; on a worker error the
+    /// pool is dropped and the error stashed for [`finish`](Self::finish),
+    /// returning `None` so the caller falls back in-process.
+    fn with_pool<T>(&self, f: impl FnOnce(&mut WorkerPool) -> Result<T, WorkerError>) -> Option<T> {
+        let mut slot = self.pool.borrow_mut();
+        let pool = slot.as_mut()?;
+        match f(pool) {
+            Ok(out) => Some(out),
+            Err(e) => {
+                *slot = None; // the transport is unusable after an error
+                *self.error.borrow_mut() = Some(e);
+                None
+            }
+        }
+    }
+
+    /// Sorted distance balls of every source (the [`par::balls`]
+    /// contract): per source, every `(v, dist)` with `dist <= depth`,
+    /// ascending by vertex id, the source included at distance 0.
+    pub fn balls(&self, sources: &[VertexId], depth: Dist) -> Vec<Vec<(VertexId, Dist)>> {
+        if let Some(out) = self.with_pool(|pool| pool.balls(sources, depth)) {
+            return out;
+        }
+        par::balls(&self.view, sources, depth, self.threads)
+    }
+
+    /// Full bounded explorations of every source — the
+    /// [`Exploration::run`] contract, FIFO-exact BFS parents included.
+    pub fn explorations(&self, sources: &[VertexId], depth: Dist) -> Vec<Exploration> {
+        let n = self.view.num_vertices();
+        if let Some(outcomes) = self.with_pool(|pool| pool.explorations(sources, depth)) {
+            return sources
+                .iter()
+                .zip(outcomes)
+                .map(|(&source, outcome)| {
+                    let mut dist = vec![None; n];
+                    let mut parent = vec![None; n];
+                    for (v, d, p) in outcome.settled {
+                        dist[v] = Some(d);
+                        parent[v] = p;
+                    }
+                    Exploration {
+                        source,
+                        dist,
+                        parent,
+                    }
+                })
+                .collect();
+        }
+        // Capture only the view: the closure must be Sync, the RefCells
+        // in `self` are not.
+        let view = &self.view;
+        par::map_indexed(self.threads, sources.len(), move |idx| {
+            Exploration::run(view, sources[idx], depth)
+        })
+    }
+
+    /// Deterministic greedy ruling-set carving (the
+    /// [`sai::ruling_set_par`] contract), with the candidate balls
+    /// computed wherever this engine runs them.
+    pub fn ruling_set(&self, w: &[VertexId], delta: Dist) -> Vec<VertexId> {
+        sai::ruling_set_impl(
+            self.view.num_vertices(),
+            w,
+            delta,
+            self.threads,
+            |batch, depth| self.balls(batch, depth),
+        )
+    }
+
+    /// Tears the engine down: shuts the pool down (collecting the final
+    /// [`MessageStats`]) and reports transport + shard timings.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Worker`] when the pool could not be spawned, a
+    /// transport exchange failed mid-build, or shutdown was unclean — the
+    /// in-process fallback keeps the phases running, but the requested
+    /// worker build did not happen, so the build must not succeed
+    /// silently.
+    pub fn finish(self) -> Result<EngineReport, BuildError> {
+        let shards = self.view.shard_timings();
+        if let Some(e) = self.error.into_inner() {
+            return Err(BuildError::Worker(e));
+        }
+        let messages = match self.pool.into_inner() {
+            Some(pool) => Some(pool.shutdown().map_err(BuildError::Worker)?),
+            None => None,
+        };
+        Ok(EngineReport {
+            transport: self.kind,
+            messages,
+            shards,
+        })
+    }
+}
+
+/// Per-shard init payloads from the partitioned layout: each worker gets
+/// its owned vertex range plus the shard's local CSR (which stores owned
+/// neighbor lists verbatim, preserving the global adjacency order the
+/// rank protocol depends on).
+fn shard_inits(sharded: &ShardedCsr, num_vertices: usize) -> Vec<ShardInit> {
+    let shards = sharded.shards();
+    shards
+        .iter()
+        .enumerate()
+        .map(|(i, shard)| {
+            let range = shard.range();
+            let mut offsets = Vec::with_capacity(range.len() + 1);
+            let mut adjacency = Vec::new();
+            offsets.push(0);
+            for v in range.clone() {
+                adjacency.extend_from_slice(shard.neighbors(v));
+                offsets.push(adjacency.len());
+            }
+            ShardInit {
+                shard: i,
+                num_shards: shards.len(),
+                num_vertices,
+                start: range.start,
+                end: range.end,
+                offsets,
+                adjacency,
+            }
+        })
+        .collect()
+}
+
+/// Cross-checks a worker build's output partitions: routes the finished
+/// stream through [`PartitionedBackend`](crate::api::PartitionedBackend)
+/// under the build's own layout and materializes the merge. Only runs for
+/// worker builds (`stats.messages` present) — the shared-array path is
+/// already covered by the partition-conformance suite.
+///
+/// # Errors
+///
+/// [`BuildError::Worker`] with a [`WorkerError::Corrupt`] payload when the
+/// merged partitions do not reproduce the built stream.
+pub fn verify_partitioned_merge(
+    out: &crate::api::BuildOutput,
+    cfg: &BuildConfig,
+) -> Result<(), BuildError> {
+    use crate::api::OutputBackend;
+    if out.stats.messages.is_none() {
+        return Ok(());
+    }
+    crate::api::PartitionedBackend::from_output(out, cfg.partition, cfg.shards.max(1))
+        .materialize()
+        .map(|_| ())
+        .map_err(|e| {
+            BuildError::Worker(WorkerError::Corrupt {
+                reason: format!("worker build failed the partitioned merge check: {e}"),
+            })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usnae_graph::generators;
+    use usnae_graph::partition::PartitionPolicy;
+
+    fn config(kind: TransportKind, shards: usize) -> BuildConfig {
+        BuildConfig {
+            transport: kind,
+            shards,
+            threads: 2,
+            ..BuildConfig::default()
+        }
+    }
+
+    #[test]
+    fn inproc_engine_matches_the_direct_primitives() {
+        let g = generators::gnp_connected(80, 0.06, 9).unwrap();
+        let engine = Engine::inproc(&g, 2);
+        let sources = [0, 7, 33];
+        assert_eq!(engine.balls(&sources, 3), par::balls(&g, &sources, 3, 2));
+        let explorations = engine.explorations(&sources, 4);
+        for (&s, e) in sources.iter().zip(&explorations) {
+            let reference = Exploration::run(&g, s, 4);
+            assert_eq!(e.source, reference.source);
+            assert_eq!(e.dist, reference.dist);
+            assert_eq!(e.parent, reference.parent);
+        }
+        let w: Vec<VertexId> = (0..80).step_by(3).collect();
+        assert_eq!(engine.ruling_set(&w, 2), sai::ruling_set(&g, &w, 2));
+        let report = engine.finish().unwrap();
+        assert_eq!(report.transport, TransportKind::Inproc);
+        assert!(report.messages.is_none());
+    }
+
+    #[test]
+    fn channel_engine_is_byte_identical_and_measures_messages() {
+        let g = generators::gnp_connected(90, 0.05, 21).unwrap();
+        let cfg = BuildConfig {
+            partition: PartitionPolicy::DegreeBalanced,
+            ..config(TransportKind::Channel, 3)
+        };
+        let engine = Engine::new(&g, &cfg);
+        let sources = [1, 40, 77];
+        assert_eq!(engine.balls(&sources, 4), par::balls(&g, &sources, 4, 2));
+        let explorations = engine.explorations(&sources, 5);
+        for (&s, e) in sources.iter().zip(&explorations) {
+            let reference = Exploration::run(&g, s, 5);
+            assert_eq!(
+                (e.source, &e.dist, &e.parent),
+                (s, &reference.dist, &reference.parent)
+            );
+        }
+        let w: Vec<VertexId> = (0..90).step_by(2).collect();
+        assert_eq!(engine.ruling_set(&w, 2), sai::ruling_set(&g, &w, 2));
+        let report = engine.finish().unwrap();
+        assert_eq!(report.transport, TransportKind::Channel);
+        let stats = report.messages.expect("worker build measures messages");
+        assert!(stats.rounds > 0 && stats.messages > 0 && stats.bytes > 0);
+        assert_eq!(report.shards.len(), 3);
+    }
+
+    #[test]
+    fn unsharded_worker_request_stays_inproc() {
+        // `validate()` rejects this config, but the engine itself must not
+        // spawn a pool without a partitioned layout.
+        let g = generators::path(12).unwrap();
+        let cfg = config(TransportKind::Channel, 0);
+        let engine = Engine::new(&g, &cfg);
+        assert_eq!(engine.balls(&[0], 2), par::balls(&g, &[0], 2, 2));
+        let report = engine.finish().unwrap();
+        assert_eq!(report.transport, TransportKind::Inproc);
+        assert!(report.messages.is_none());
+    }
+
+    #[test]
+    fn missing_worker_binary_surfaces_at_finish() {
+        // The only test in this binary touching the worker-bin env var, so
+        // no cross-test race.
+        let g = generators::path(16).unwrap();
+        let cfg = config(TransportKind::Process, 2);
+        let previous = std::env::var_os(usnae_workers::process::WORKER_BIN_ENV);
+        std::env::set_var(
+            usnae_workers::process::WORKER_BIN_ENV,
+            "/nonexistent/usnae-worker",
+        );
+        let engine = Engine::new(&g, &cfg);
+        match previous {
+            Some(v) => std::env::set_var(usnae_workers::process::WORKER_BIN_ENV, v),
+            None => std::env::remove_var(usnae_workers::process::WORKER_BIN_ENV),
+        }
+        // The build still completes in-process...
+        assert_eq!(engine.balls(&[0, 9], 3), par::balls(&g, &[0, 9], 3, 2));
+        // ...but finish refuses to pretend the worker build happened.
+        match engine.finish() {
+            Err(BuildError::Worker(WorkerError::Io(_))) => {}
+            other => panic!("expected a worker spawn error, got {other:?}"),
+        }
+    }
+}

@@ -25,6 +25,12 @@ pub enum ParamError {
     },
     /// `threads` must be at least 1 (1 = sequential build).
     ZeroThreads,
+    /// A worker transport (`channel`/`process`) needs a partitioned
+    /// layout: `shards` must be at least 1 so there are shards to own.
+    TransportNeedsShards {
+        /// The transport name that was requested.
+        transport: &'static str,
+    },
     /// A float parameter was NaN or infinite. Rejected up front so
     /// [`BuildConfig`](crate::api::BuildConfig) is a total `Eq + Hash` key
     /// (cache keys must never see NaN).
@@ -56,6 +62,12 @@ impl fmt::Display for ParamError {
             }
             ParamError::ZeroThreads => {
                 write!(f, "threads must be at least 1 (1 = sequential build)")
+            }
+            ParamError::TransportNeedsShards { transport } => {
+                write!(
+                    f,
+                    "the {transport} transport needs a partitioned layout: set shards >= 1"
+                )
             }
             ParamError::NonFinite { field, value } => {
                 write!(f, "{field} must be finite (got {value})")

@@ -9,6 +9,7 @@
 use std::time::{Duration, Instant};
 
 pub use usnae_graph::partition::ShardTiming;
+pub use usnae_workers::{MessageStats, PairStats, TransportKind};
 
 /// Wall-clock record of one construction phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +71,13 @@ pub struct BuildStats {
     /// (empty for shared-array builds and for constructions that do not
     /// read from shards).
     pub shards: Vec<ShardTiming>,
+    /// Which transport ran the sharded exploration phases
+    /// ([`TransportKind::Inproc`] for the shared in-process fan-out).
+    pub transport: TransportKind,
+    /// **Measured** message statistics of a worker-pool build (`Some` only
+    /// when `transport` is channel/process on a sharded construction):
+    /// exchange rounds driven, frontier messages and bytes per shard pair.
+    pub messages: Option<MessageStats>,
     /// Whether this output came from the construction cache.
     pub cache: CacheStatus,
 }
@@ -187,6 +195,8 @@ mod tests {
             total: Duration::from_millis(5),
             cache: CacheStatus::Uncached,
             shards: Vec::new(),
+            transport: TransportKind::Inproc,
+            messages: None,
             phases: vec![
                 PhaseTiming {
                     phase: 0,

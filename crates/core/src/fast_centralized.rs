@@ -21,12 +21,11 @@
 
 use crate::cluster::{Cluster, Partition};
 use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
+use crate::engine::Engine;
 use crate::exec::{PhaseClock, PhaseTiming};
 use crate::params::DistributedParams;
-use crate::sai::ruling_set_par;
 use usnae_graph::bfs::multi_source_bfs;
-use usnae_graph::partition::{GraphView, ShardView};
-use usnae_graph::{par, Dist, Graph, VertexId};
+use usnae_graph::{Dist, Graph, VertexId};
 
 /// Per-phase statistics of a fast-centralized build.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,19 +86,19 @@ pub fn build_emulator_fast_traced(
 /// Crate-internal sequential entry point (tests): [`build_fast_exec`] with
 /// one thread, timings dropped.
 pub(crate) fn build_fast(g: &Graph, params: &DistributedParams) -> (Emulator, FastBuildTrace) {
-    let (emulator, trace, _) = build_fast_exec(g, params, 1, &GraphView::shared(g));
+    let (emulator, trace, _) = build_fast_exec(g, params, &Engine::inproc(g, 1));
     (emulator, trace)
 }
 
 /// Crate-internal entry point behind [`crate::api::EmulatorBuilder`]: runs
 /// the §3.3 simulation end to end, sharding the Task-1 per-center scans
-/// over `threads` and recording per-phase timings. The per-center scans
-/// and the ruling-set ball carving read the graph through `view`.
+/// over `engine.threads()` and recording per-phase timings. The per-center
+/// scans and the ruling-set ball carving run through the [`Engine`] — the
+/// in-process fan-out or a worker pool, byte-identical either way.
 pub(crate) fn build_fast_exec(
     g: &Graph,
     params: &DistributedParams,
-    threads: usize,
-    view: &GraphView<'_>,
+    engine: &Engine<'_>,
 ) -> (Emulator, FastBuildTrace, Vec<PhaseTiming>) {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
@@ -113,7 +112,7 @@ pub(crate) fn build_fast_exec(
         let last = i == params.ell();
         let (next, phase_trace) = clock.measure(i, || {
             let (next, phase_trace, explorations) =
-                run_phase(g, view, &mut emulator, &partition, i, params, last, threads);
+                run_phase(g, engine, &mut emulator, &partition, i, params, last);
             ((next, phase_trace), explorations)
         });
         trace.phases.push(phase_trace);
@@ -124,42 +123,37 @@ pub(crate) fn build_fast_exec(
     (emulator, trace, clock.into_phases())
 }
 
-/// Neighboring centers of every entry of `centers` within `delta`, sharded
-/// over `threads`. Task 1 is status-free — one pure bounded BFS per center
-/// — so the whole scan fans out; each list is sorted by vertex id, the
+/// Neighboring centers of every entry of `centers` within `delta`. Task 1
+/// is status-free — one pure bounded BFS per center — so the whole scan
+/// fans out through the engine; each list is sorted by vertex id, the
 /// order the historical dense `Exploration` scan produced.
-fn neighbor_lists<V: ShardView + ?Sized>(
-    g: &V,
+fn neighbor_lists(
+    engine: &Engine<'_>,
     centers: &[VertexId],
     delta: Dist,
     is_center: &[bool],
-    threads: usize,
 ) -> Vec<Vec<(VertexId, Dist)>> {
-    par::map_ranges(threads, centers.len(), |range| {
-        let mut scratch = par::BallScratch::new(g.num_vertices());
-        range
-            .map(|idx| {
-                let rc = centers[idx];
-                scratch
-                    .ball_sorted(g, rc, delta)
-                    .into_iter()
-                    .filter(|&(v, _)| v != rc && is_center[v])
-                    .collect()
-            })
-            .collect()
-    })
+    engine
+        .balls(centers, delta)
+        .into_iter()
+        .zip(centers)
+        .map(|(ball, &rc)| {
+            ball.into_iter()
+                .filter(|&(v, _)| v != rc && is_center[v])
+                .collect()
+        })
+        .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
 fn run_phase(
     g: &Graph,
-    view: &GraphView<'_>,
+    engine: &Engine<'_>,
     emulator: &mut Emulator,
     partition: &Partition,
     i: usize,
     params: &DistributedParams,
     last: bool,
-    threads: usize,
 ) -> (Partition, FastPhaseTrace, usize) {
     let n = g.num_vertices();
     let delta = params.delta(i);
@@ -185,8 +179,8 @@ fn run_phase(
     };
 
     // Task 1: popular-cluster detection — the sharded per-center scan,
-    // reading local CSR shards when the build is partitioned.
-    let neighbor_lists = neighbor_lists(view, &centers, delta, &is_center, threads);
+    // reading local CSR shards (or a worker pool) when partitioned.
+    let neighbor_lists = neighbor_lists(engine, &centers, delta, &is_center);
     let explorations = centers.len();
     let popular: Vec<VertexId> = centers
         .iter()
@@ -205,8 +199,8 @@ fn run_phase(
 
     if !last && !popular.is_empty() {
         // Task 2: ruling set for the popular centers, its ball carving
-        // sharded over the same worker pool (byte-identical to sequential).
-        let rulers = ruling_set_par(view, &popular, delta, threads);
+        // sharded over the same engine (byte-identical to sequential).
+        let rulers = engine.ruling_set(&popular, delta);
         phase_trace.ruling_set_size = rulers.len();
 
         // Task 3: BFS ruling forest; one supercluster per tree (§3.3 — no
@@ -426,11 +420,10 @@ mod tests {
         for seed in [2u64, 6] {
             let g = generators::gnp_connected(260, 0.05, seed).unwrap();
             let p = params(0.5, 4, 0.5);
-            let shared = GraphView::shared(&g);
-            let (h1, t1, timings) = build_fast_exec(&g, &p, 1, &shared);
+            let (h1, t1, timings) = build_fast_exec(&g, &p, &Engine::inproc(&g, 1));
             assert_eq!(timings.len(), t1.phases.len());
             for threads in [2usize, 4, 8] {
-                let (ht, tt, _) = build_fast_exec(&g, &p, threads, &shared);
+                let (ht, tt, _) = build_fast_exec(&g, &p, &Engine::inproc(&g, threads));
                 assert_eq!(
                     h1.provenance(),
                     ht.provenance(),
@@ -440,8 +433,13 @@ mod tests {
             }
             // And the partitioned layout reproduces the same stream.
             for policy in usnae_graph::partition::PartitionPolicy::all() {
-                let view = GraphView::new(&g, policy, 4);
-                let (hp, tp, _) = build_fast_exec(&g, &p, 2, &view);
+                let cfg = crate::api::BuildConfig {
+                    partition: policy,
+                    shards: 4,
+                    threads: 2,
+                    ..crate::api::BuildConfig::default()
+                };
+                let (hp, tp, _) = build_fast_exec(&g, &p, &Engine::new(&g, &cfg));
                 assert_eq!(h1.provenance(), hp.provenance(), "seed {seed} {policy}");
                 assert_eq!(t1.phases, tp.phases, "seed {seed} {policy}");
             }

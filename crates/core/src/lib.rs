@@ -62,6 +62,7 @@ pub mod charging;
 pub mod cluster;
 pub mod distributed;
 pub mod emulator;
+pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod fast_centralized;

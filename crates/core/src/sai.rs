@@ -103,10 +103,27 @@ pub fn ruling_set_par<V: ShardView + ?Sized>(
     delta: Dist,
     threads: usize,
 ) -> Vec<VertexId> {
+    ruling_set_impl(g.num_vertices(), w, delta, threads, |batch, depth| {
+        par::balls(g, batch, depth, threads)
+    })
+}
+
+/// The carving loop itself, parameterized over the ball provider so the
+/// same greedy selection runs against the in-process fan-out
+/// ([`ruling_set_par`]) or a worker pool (`Engine::ruling_set`) with
+/// byte-identical output — the provider only changes *where* the balls
+/// are computed, never their contents.
+pub(crate) fn ruling_set_impl(
+    n: usize,
+    w: &[VertexId],
+    delta: Dist,
+    threads: usize,
+    mut balls_of: impl FnMut(&[VertexId], Dist) -> Vec<Vec<(VertexId, Dist)>>,
+) -> Vec<VertexId> {
     let mut sorted = w.to_vec();
     sorted.sort_unstable();
     let two_delta = delta.saturating_mul(2);
-    let mut dominated = vec![false; g.num_vertices()];
+    let mut dominated = vec![false; n];
     let mut chosen = Vec::new();
     let mut policy = ChunkPolicy::new(threads);
     let mut next = 0;
@@ -126,7 +143,7 @@ pub fn ruling_set_par<V: ShardView + ?Sized>(
         }
         // Sparse balls (reused per-shard scratch) keep the in-flight memory
         // proportional to the reached vertices, not chunk × n.
-        let balls = par::balls(g, &batch, two_delta, threads);
+        let balls = balls_of(&batch, two_delta);
         let mut used = 0;
         for (&cand, ball) in batch.iter().zip(&balls) {
             if dominated[cand] {

@@ -18,13 +18,13 @@
 
 use crate::cluster::{Cluster, Partition};
 use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
+use crate::engine::Engine;
 use crate::exec::{PhaseClock, PhaseTiming};
 use crate::params::SpannerParams;
 use usnae_graph::bfs::multi_source_bfs;
-use usnae_graph::partition::GraphView;
-use usnae_graph::{par, Dist, Graph, VertexId};
+use usnae_graph::{Dist, Graph, VertexId};
 
-use crate::sai::{ruling_set_par, Exploration};
+use crate::sai::Exploration;
 
 /// Per-phase statistics of a spanner build.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,18 +84,17 @@ pub fn build_spanner_traced(g: &Graph, params: &SpannerParams) -> (Emulator, Spa
 /// Crate-internal sequential entry point (tests, shims):
 /// [`build_spanner_exec`] with one thread, timings dropped.
 pub(crate) fn build_spanner_impl(g: &Graph, params: &SpannerParams) -> (Emulator, SpannerTrace) {
-    let (spanner, trace, _) = build_spanner_exec(g, params, 1, &GraphView::shared(g));
+    let (spanner, trace, _) = build_spanner_exec(g, params, &Engine::inproc(g, 1));
     (spanner, trace)
 }
 
 /// Crate-internal entry point behind [`crate::api::EmulatorBuilder`]: runs
 /// the §4 construction end to end, sharding the Task-1 explorations over
-/// `threads` and recording per-phase timings.
+/// `engine.threads()` and recording per-phase timings.
 pub(crate) fn build_spanner_exec(
     g: &Graph,
     params: &SpannerParams,
-    threads: usize,
-    view: &GraphView<'_>,
+    engine: &Engine<'_>,
 ) -> (Emulator, SpannerTrace, Vec<PhaseTiming>) {
     let n = g.num_vertices();
     let mut spanner = Emulator::new(n);
@@ -109,7 +108,7 @@ pub(crate) fn build_spanner_exec(
         let last = i == params.ell();
         let (next, phase_trace) = clock.measure(i, || {
             let (next, phase_trace, explorations) =
-                run_phase(g, view, &mut spanner, &partition, i, params, last, threads);
+                run_phase(g, engine, &mut spanner, &partition, i, params, last);
             ((next, phase_trace), explorations)
         });
         trace.phases.push(phase_trace);
@@ -150,13 +149,12 @@ fn add_path(
 #[allow(clippy::too_many_arguments)]
 fn run_phase(
     g: &Graph,
-    view: &GraphView<'_>,
+    engine: &Engine<'_>,
     spanner: &mut Emulator,
     partition: &Partition,
     i: usize,
     params: &SpannerParams,
     last: bool,
-    threads: usize,
 ) -> (Partition, SpannerPhaseTrace, usize) {
     let n = g.num_vertices();
     let delta = params.delta(i);
@@ -183,16 +181,13 @@ fn run_phase(
 
     // Task 1: popular detection, keeping the explorations for path
     // recovery. Each exploration is a pure function of G, so the whole
-    // scan (BFS + neighbor filtering) fans out over the thread pool;
+    // scan fans out through the engine (thread pool or worker pool);
     // results merge in center order, keeping the build deterministic.
-    let (explorations, neighbor_lists): (Vec<Exploration>, Vec<Vec<(VertexId, Dist)>>) =
-        par::map_indexed(threads, centers.len(), |idx| {
-            let e = Exploration::run(view, centers[idx], delta);
-            let nbrs = e.centers_found(&is_center);
-            (e, nbrs)
-        })
-        .into_iter()
-        .unzip();
+    let explorations: Vec<Exploration> = engine.explorations(&centers, delta);
+    let neighbor_lists: Vec<Vec<(VertexId, Dist)>> = explorations
+        .iter()
+        .map(|e| e.centers_found(&is_center))
+        .collect();
     let num_explorations = centers.len();
     let popular: Vec<VertexId> = centers
         .iter()
@@ -210,7 +205,7 @@ fn run_phase(
     let mut next_clusters: Vec<Cluster> = Vec::new();
 
     if !last && !popular.is_empty() {
-        let rulers = ruling_set_par(view, &popular, delta, threads);
+        let rulers = engine.ruling_set(&popular, delta);
         phase_trace.ruling_set_size = rulers.len();
         let forest = multi_source_bfs(g, &rulers, params.forest_depth(i));
         let mut members_of: std::collections::HashMap<VertexId, Vec<usize>> =

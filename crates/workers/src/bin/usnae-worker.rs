@@ -1,0 +1,54 @@
+//! The per-shard worker process: reads framed [`Request`]s from stdin,
+//! answers framed [`Response`]s on stdout, and exits nonzero with a
+//! diagnostic on stderr for any protocol violation — the driver's
+//! teardown path turns that into a typed `WorkerExited` error.
+
+use std::io::{StdinLock, StdoutLock, Write};
+use std::process::ExitCode;
+
+use usnae_workers::proto::{read_request, write_response, Request, Response};
+use usnae_workers::{ShardWorker, WorkerError};
+
+fn serve(stdin: &mut StdinLock<'_>, stdout: &mut StdoutLock<'_>) -> Result<(), WorkerError> {
+    // First frame must be Init: it carries the shard layout this worker
+    // owns for the rest of its life.
+    let worker = match read_request(stdin)? {
+        None => return Ok(()), // driver went away before initialising us
+        Some(Request::Init(init)) => ShardWorker::new(init),
+        Some(other) => {
+            return Err(WorkerError::Corrupt {
+                reason: format!("first request must be Init, got {other:?}"),
+            })
+        }
+    };
+    write_response(stdout, &Response::Ready)?;
+    let mut worker = worker;
+    loop {
+        let req = match read_request(stdin)? {
+            // Clean EOF at a frame boundary: driver closed our stdin
+            // after (or instead of) a graceful shutdown.
+            None => return Ok(()),
+            Some(req) => req,
+        };
+        let stop = matches!(req, Request::Shutdown);
+        let resp = worker.handle(req)?;
+        write_response(stdout, &resp)?;
+        if stop {
+            return Ok(());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut stdin = stdin.lock();
+    let mut stdout = stdout.lock();
+    match serve(&mut stdin, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "usnae-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Channel workers: one OS thread per shard, bounded mpsc channels, and a
+//! deterministic round barrier (requests sent to every worker, responses
+//! drained in ascending shard id).
+//!
+//! # Interleaving stress
+//!
+//! When `USNAE_WORKER_DELAY_SEED` is set (to a `u64`) at transport
+//! construction, every worker sleeps a seeded pseudo-random 0–500 µs
+//! before each response. The delays scramble thread scheduling without
+//! touching any message content, so a build under any seed must still be
+//! byte-identical — the conformance suite's adversarial-scheduling leg.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::error::WorkerError;
+use crate::proto::{Request, Response, ShardInit};
+use crate::worker::ShardWorker;
+use crate::Transport;
+
+/// Tiny xorshift64 for the delay injector (no external RNG crates).
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+struct ChannelWorker {
+    // Both channel ends live in Options so teardown can drop them before
+    // joining: a closed request channel unblocks a worker waiting for
+    // work, a closed response channel unblocks one waiting to reply.
+    tx: Option<SyncSender<Request>>,
+    rx: Option<Receiver<Result<Response, WorkerError>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// One thread per shard; the driver is the only peer every thread talks
+/// to, so the exchange barrier is a plain send-all-then-receive-in-order.
+pub struct ChannelTransport {
+    workers: Vec<ChannelWorker>,
+}
+
+impl ChannelTransport {
+    /// Spawns one worker thread per shard layout.
+    pub fn new(inits: Vec<ShardInit>) -> Self {
+        let delay_seed = std::env::var("USNAE_WORKER_DELAY_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok());
+        let workers = inits
+            .into_iter()
+            .enumerate()
+            .map(|(shard, init)| {
+                let (req_tx, req_rx) = sync_channel::<Request>(1);
+                let (resp_tx, resp_rx) = sync_channel::<Result<Response, WorkerError>>(1);
+                let mut rng = delay_seed.map(|s| {
+                    // Distinct nonzero stream per worker.
+                    Xorshift(s.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (shard as u64 + 1))
+                });
+                let handle = std::thread::spawn(move || {
+                    let mut worker = ShardWorker::new(init);
+                    while let Ok(req) = req_rx.recv() {
+                        let stop = matches!(req, Request::Shutdown);
+                        let resp = worker.handle(req);
+                        if let Some(rng) = rng.as_mut() {
+                            std::thread::sleep(Duration::from_micros(rng.next() % 500));
+                        }
+                        if resp_tx.send(resp).is_err() || stop {
+                            break;
+                        }
+                    }
+                });
+                ChannelWorker {
+                    tx: Some(req_tx),
+                    rx: Some(resp_rx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ChannelTransport { workers }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+
+    fn exchange(&mut self, reqs: Vec<Request>) -> Result<Vec<Response>, WorkerError> {
+        assert_eq!(reqs.len(), self.workers.len(), "one request per shard");
+        for (shard, (w, req)) in self.workers.iter().zip(reqs).enumerate() {
+            w.tx.as_ref()
+                .ok_or(WorkerError::Disconnected { shard })?
+                .send(req)
+                .map_err(|_| WorkerError::Disconnected { shard })?;
+        }
+        let mut resps = Vec::with_capacity(self.workers.len());
+        for (shard, w) in self.workers.iter().enumerate() {
+            let resp =
+                w.rx.as_ref()
+                    .ok_or(WorkerError::Disconnected { shard })?
+                    .recv()
+                    .map_err(|_| WorkerError::Disconnected { shard })??;
+            resps.push(resp);
+        }
+        Ok(resps)
+    }
+
+    fn shutdown(&mut self) -> Result<(), WorkerError> {
+        let resps = self.exchange(vec![Request::Shutdown; self.workers.len()])?;
+        for (shard, resp) in resps.into_iter().enumerate() {
+            if !matches!(resp, Response::Stopping) {
+                return Err(WorkerError::Protocol {
+                    shard,
+                    reason: format!("expected Stopping, got {resp:?}"),
+                });
+            }
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        // Dropping both channel ends unblocks a worker whether it is
+        // waiting for a request or to deliver a response; joining
+        // afterwards cannot hang.
+        for w in &mut self.workers {
+            w.tx = None;
+            w.rx = None;
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Typed worker-runtime errors.
+//!
+//! Mirrors the `SnapshotError` taxonomy of the core snapshot codec: frame
+//! corruption surfaces as the same kind of typed variant (bad magic,
+//! unsupported version, truncation with an offset, checksum mismatch)
+//! rather than a hang or a panic, plus worker-lifecycle variants for dead
+//! or misbehaving peers.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong between the driver and its shard workers.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// An OS-level pipe / spawn failure.
+    Io(io::Error),
+    /// A frame did not start with the `USNAEWKR` magic.
+    BadMagic,
+    /// A frame advertised a protocol version this build does not speak.
+    UnsupportedVersion {
+        /// Version found in the frame header.
+        found: u32,
+        /// Version this build speaks.
+        supported: u32,
+    },
+    /// A frame ended early (short read) at the given byte offset.
+    Truncated {
+        /// Offset into the frame where the data ran out.
+        offset: usize,
+    },
+    /// The frame's FNV-64 trailer did not match its contents.
+    ChecksumMismatch {
+        /// Checksum stored in the frame trailer.
+        stored: u64,
+        /// Checksum recomputed over the received bytes.
+        computed: u64,
+    },
+    /// A structurally invalid frame or an out-of-protocol reply.
+    Corrupt {
+        /// Human-readable description of the malformation.
+        reason: String,
+    },
+    /// A channel worker's thread is gone (its channel disconnected).
+    Disconnected {
+        /// Shard whose worker vanished.
+        shard: usize,
+    },
+    /// A worker process died; carries its exit code and captured stderr.
+    WorkerExited {
+        /// Shard whose worker process exited.
+        shard: usize,
+        /// Process exit code, if the OS reported one.
+        code: Option<i32>,
+        /// Captured stderr of the dead worker (best effort).
+        stderr: String,
+    },
+    /// A worker answered with the wrong response kind for the request.
+    Protocol {
+        /// Shard that broke protocol.
+        shard: usize,
+        /// What was expected vs what arrived.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::Io(e) => write!(f, "worker i/o error: {e}"),
+            WorkerError::BadMagic => write!(f, "worker frame is missing the USNAEWKR magic"),
+            WorkerError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "worker protocol version {found} is unsupported (this build speaks {supported})"
+            ),
+            WorkerError::Truncated { offset } => {
+                write!(f, "worker frame truncated at byte {offset}")
+            }
+            WorkerError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "worker frame checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            WorkerError::Corrupt { reason } => write!(f, "corrupt worker frame: {reason}"),
+            WorkerError::Disconnected { shard } => {
+                write!(f, "worker thread for shard {shard} disconnected")
+            }
+            WorkerError::WorkerExited {
+                shard,
+                code,
+                stderr,
+            } => {
+                match code {
+                    Some(c) => write!(f, "worker process for shard {shard} exited with code {c}")?,
+                    None => write!(f, "worker process for shard {shard} was killed by a signal")?,
+                }
+                if !stderr.trim().is_empty() {
+                    write!(f, "; stderr: {}", stderr.trim())?;
+                }
+                Ok(())
+            }
+            WorkerError::Protocol { shard, reason } => {
+                write!(f, "worker for shard {shard} broke protocol: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WorkerError {
+    fn from(e: io::Error) -> Self {
+        WorkerError::Io(e)
+    }
+}

@@ -10,6 +10,9 @@
 //!   and the §4 spanner variant — all behind the unified [`api`].
 //! * [`baselines`] — EP01, TZ06, EN17a emulators and the EM19 spanner,
 //!   adapted onto the same [`api::Construction`] trait.
+//! * [`workers`] — per-shard worker execution: typed frontier messages
+//!   over a channel (threads) or process (child `usnae-worker`)
+//!   transport, with measured message statistics.
 //! * [`eval`] — experiment harness regenerating every table/figure.
 //! * [`registry`] — the complete algorithm catalogue (paper + baselines).
 //!
@@ -110,6 +113,38 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Distributed execution
+//!
+//! A partitioned build can hand each shard to its own **worker** — an OS
+//! thread (`channel` transport) or a child `usnae-worker` process
+//! (`process` transport) — that owns the shard's adjacency and answers
+//! typed frontier messages behind a deterministic round barrier. The
+//! built structure stays byte-identical to the in-process build
+//! (enforced registry-wide by `tests/worker_conformance.rs`), and the
+//! measured message complexity lands in `stats.messages`:
+//!
+//! ```
+//! use usnae::api::{Emulator, PartitionPolicy, TransportKind};
+//! use usnae::graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::gnp_connected(256, 0.05, 7)?;
+//! let shared = Emulator::builder(&g).kappa(4).build()?;
+//! let workers = Emulator::builder(&g)
+//!     .kappa(4)
+//!     .partition(PartitionPolicy::Range, 4)
+//!     .transport(TransportKind::Channel) // one worker thread per shard
+//!     .build()?;
+//! assert_eq!(
+//!     workers.emulator.provenance(),
+//!     shared.emulator.provenance(),
+//! );
+//! let stats = workers.stats.messages.expect("worker builds are measured");
+//! assert!(stats.rounds > 0 && stats.messages > 0 && stats.bytes > 0);
+//! # Ok(())
+//! # }
+//! ```
 
 pub use usnae_baselines as baselines;
 pub use usnae_congest as congest;
@@ -117,6 +152,7 @@ pub use usnae_core as core;
 pub use usnae_core::api;
 pub use usnae_eval as eval;
 pub use usnae_graph as graph;
+pub use usnae_workers as workers;
 
 /// The complete algorithm catalogue: five paper constructions followed by
 /// the four baseline lineages (re-export of `usnae_baselines::registry`).
