@@ -1,30 +1,209 @@
-//! Distance-query cost: Dijkstra on the sparse emulator vs BFS on G.
+//! Query serving across the registry: sustained QPS and per-query latency
+//! of a `QueryEngine` over every construction's output.
 //!
-//! The application story of near-additive emulators: approximate distance
-//! queries on a much smaller structure. This is the build-once/query-many
-//! shape the construction cache serves: with `USNAE_CACHE_DIR` set, the
-//! emulator build is paid on the first invocation and loaded (verified)
-//! on every later one, so only the queries are re-measured.
+//! ```text
+//! cargo bench --bench queries                        # n = 2048
+//! cargo bench --bench queries -- --n 512 --samples 2 \
+//!     --queries 200 --json target/bench-queries.json # CI smoke
+//! ```
+//!
+//! One fixed, seeded query set is served by every algorithm in the
+//! registry, so the table answers "which construction should production
+//! use" empirically: per algorithm it reports the structure size, the
+//! sustained throughput of one batched `distances()` call (trees shared
+//! across the batch), and the p50/p99 latency of serving the same pairs
+//! one `distance()` call at a time through the bounded LRU. A BFS-on-G
+//! reference leg prices the alternative of querying the input graph
+//! directly. Every leg lands in the JSON artifact (`--json`) that CI's
+//! `query-bench` job uploads into the `BENCH_<sha>.json` trend series.
+//!
+//! This is the build-once/query-many shape the construction cache serves:
+//! with `USNAE_CACHE_DIR` set, each build is paid on the first invocation
+//! and loaded (verified) on every later one, so only queries re-measure.
 
-use usnae_bench::timing::{bench, group};
-use usnae_core::api::{CacheStatus, Emulator};
-use usnae_graph::{bfs, dijkstra, generators};
+use std::time::{Duration, Instant};
+use usnae_baselines::registry;
+use usnae_bench::timing::json_string;
+use usnae_core::api::{BuildConfig, QueryEngine};
+use usnae_graph::distance::sample_pairs;
+use usnae_graph::{bfs, generators};
+
+const KAPPA: u32 = 8;
+const PAIR_SEED: u64 = 42;
+
+struct Leg {
+    name: String,
+    edges: usize,
+    qps: f64,
+    batch: Duration,
+    p50: Duration,
+    p99: Duration,
+    tree_builds: u64,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Serves `pairs` through a fresh engine twice — once batched (sustained
+/// throughput), once a query at a time (latency distribution) — keeping
+/// the fastest of `samples` passes for each.
+fn bench_engine(
+    name: &str,
+    edges: usize,
+    make_engine: &dyn Fn() -> QueryEngine,
+    pairs: &[(usize, usize)],
+    samples: usize,
+) -> Leg {
+    let mut batch = Duration::MAX;
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut tree_builds = 0;
+    for _ in 0..samples.max(1) {
+        let engine = make_engine();
+        let t0 = Instant::now();
+        std::hint::black_box(engine.distances(pairs));
+        batch = batch.min(t0.elapsed());
+
+        let engine = make_engine();
+        let mut pass: Vec<Duration> = Vec::with_capacity(pairs.len());
+        for &(u, v) in pairs {
+            let t0 = Instant::now();
+            std::hint::black_box(engine.distance(u, v));
+            pass.push(t0.elapsed());
+        }
+        let total: Duration = pass.iter().sum();
+        if latencies.is_empty() || total < latencies.iter().sum() {
+            latencies = pass;
+            tree_builds = engine.stats().tree_builds;
+        }
+    }
+    latencies.sort_unstable();
+    let qps = pairs.len() as f64 / batch.as_secs_f64().max(f64::EPSILON);
+    let leg = Leg {
+        name: name.to_string(),
+        edges,
+        qps,
+        batch,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        tree_builds,
+    };
+    println!(
+        "{:<24} {:>8} edges  batch {:>10.3?} ({:>10.0} q/s)  p50 {:>9.3?}  p99 {:>9.3?}  {} tree build(s)",
+        leg.name, leg.edges, leg.batch, leg.qps, leg.p50, leg.p99, leg.tree_builds
+    );
+    leg
+}
 
 fn main() {
-    let n = 2048;
-    let g = generators::gnp_connected(n, 12.0 / n as f64, 42).unwrap();
-    let mut builder = Emulator::builder(&g).kappa(8);
-    if let Some(dir) = std::env::var_os(usnae_eval::caching::CACHE_ENV) {
-        builder = builder.cache_dir(std::path::PathBuf::from(dir));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n = 2048usize;
+    let mut samples = 3usize;
+    let mut queries = 400usize;
+    let mut json_path = "target/bench-queries.json".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--n" => n = it.next().and_then(|v| v.parse().ok()).expect("--n <size>"),
+            "--samples" => {
+                samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples <k>")
+            }
+            "--queries" => {
+                queries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queries <k>")
+            }
+            "--json" => json_path = it.next().expect("--json <path>").clone(),
+            // `cargo bench` forwards its own flags (e.g. --bench); ignore.
+            _ => {}
+        }
     }
-    let out = builder.build().unwrap();
-    if out.stats.cache != CacheStatus::Uncached {
-        println!("emulator build: cache {}", out.stats.cache);
+
+    let g = generators::gnp_connected(n, 12.0 / n as f64, PAIR_SEED).expect("valid gnp");
+    let pairs = sample_pairs(&g, queries, PAIR_SEED);
+    println!(
+        "query bench: {} vertices, {} edges, {} fixed seeded pairs, kappa {KAPPA}",
+        g.num_vertices(),
+        g.num_edges(),
+        pairs.len()
+    );
+
+    let cfg = BuildConfig {
+        kappa: KAPPA,
+        raw_epsilon: true,
+        ..BuildConfig::default()
+    };
+    let mut legs = Vec::new();
+    for c in registry::all() {
+        let out = match usnae_eval::caching::sweep_build(c.as_ref(), &g, &cfg) {
+            Ok(out) => out,
+            Err(e) => {
+                println!("{:<24} skipped: {e}", c.name());
+                continue;
+            }
+        };
+        let certified = out.certified;
+        let edges = out.num_edges();
+        let emulator = out.emulator;
+        let name = c.name();
+        let make = move || QueryEngine::new(emulator.clone(), name, certified);
+        legs.push(bench_engine(c.name(), edges, &make, &pairs, samples));
     }
-    let h = out.emulator;
-    group("sssp_query_n2048");
-    bench("bfs_on_g", 20, || bfs::bfs(&g, 17));
-    bench("dijkstra_on_emulator", 20, || {
-        dijkstra::dijkstra(h.graph(), 17)
-    });
+    assert!(!legs.is_empty(), "registry served no algorithm");
+
+    // Reference: answering the same pairs with one BFS per distinct source
+    // on the input graph — what querying G directly costs.
+    let mut bfs_batch = Duration::MAX;
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        let mut last_source = usize::MAX;
+        for &(u, _) in &pairs {
+            if u != last_source {
+                std::hint::black_box(bfs::bfs(&g, u));
+                last_source = u;
+            }
+        }
+        bfs_batch = bfs_batch.min(t0.elapsed());
+    }
+    println!(
+        "{:<24} {:>8} edges  batch {:>10.3?} ({:>10.0} q/s)",
+        "bfs_on_g",
+        g.num_edges(),
+        bfs_batch,
+        pairs.len() as f64 / bfs_batch.as_secs_f64().max(f64::EPSILON)
+    );
+
+    let legs_json: Vec<String> = legs
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"name\":{},\"edges\":{},\"qps\":{},\"batch_s\":{},\"p50_s\":{},\"p99_s\":{},\"tree_builds\":{}}}",
+                json_string(&l.name),
+                l.edges,
+                l.qps,
+                l.batch.as_secs_f64(),
+                l.p50.as_secs_f64(),
+                l.p99.as_secs_f64(),
+                l.tree_builds
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\"n\":{},\"edges\":{},\"queries\":{},\"kappa\":{KAPPA},\"bfs_on_g_batch_s\":{},\"algorithms\":[{}]}}\n",
+        g.num_vertices(),
+        g.num_edges(),
+        pairs.len(),
+        bfs_batch.as_secs_f64(),
+        legs_json.join(",")
+    );
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&json_path, &doc).expect("write bench JSON");
+    println!("\ntiming JSON written to {json_path}");
 }

@@ -1,0 +1,18 @@
+//! E9: query accuracy — observed vs certified stretch through the
+//! `QueryEngine`, exact paths and landmark routing, across the registry.
+//!
+//! Usage: `cargo run --release -p usnae-bench --bin exp_queries
+//! [--n <n>] [--pairs <k>] [--landmarks <k>]`
+
+use usnae_bench::{arg_usize, emit};
+use usnae_eval::experiments::e9_query_accuracy;
+
+fn main() {
+    let n = arg_usize("--n", 256);
+    let pairs = arg_usize("--pairs", 200);
+    let landmarks = arg_usize("--landmarks", 8);
+    let table = e9_query_accuracy(n, 4, 0.5, pairs, landmarks, 42);
+    emit("e9_queries", &table);
+    let violations: f64 = table.column_f64("violations").into_iter().sum();
+    println!("total violations: {violations} (must be 0)");
+}

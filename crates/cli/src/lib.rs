@@ -8,6 +8,8 @@
 //!       [--transport inproc|channel|process]
 //!       [--order by-id|by-id-desc|by-degree-desc|by-degree-asc]
 //!       [--raw-eps] [--report] [--cache DIR]
+//! usnae query --algo <name> --input graph.txt --pairs pairs.txt
+//!       [--landmarks K] [--cache DIR] [--report] [build flags...]
 //! usnae list
 //! usnae cache ls|clear|verify DIR
 //! usnae build ...            # legacy alias: --mode centralized|fast|spanner
@@ -38,6 +40,16 @@
 //! `verify` recomputes every stored stream fingerprint — the same
 //! integrity check CI runs.
 //!
+//! `query` is the serving verb: it obtains the structure (through the
+//! same cache — a warm hit answers **without rebuilding**, visible as
+//! `cache: hit`), wraps it in a `QueryEngine`
+//! (`usnae_core::oracle`), and answers a file of `u v` pairs in one
+//! batch, one `u v distance` line per pair, each certified by the
+//! construction's `(α, β)`. `--landmarks K` routes answers through a
+//! precomputed K-landmark index instead (certified at `(α, β + 2R)`);
+//! `--report` appends the guarantee and the engine's tree/cache
+//! counters.
+//!
 //! Input is a whitespace edge list (`u v` per line, `#` comments); output is
 //! a weighted edge list (`u v w`) — the emulator `H` — plus an optional
 //! stretch/size report.
@@ -67,6 +79,18 @@ pub struct Options {
     pub cache_dir: Option<String>,
 }
 
+/// Parsed `usnae query` command line: the build half (reused verbatim —
+/// same flags, same cache) plus the serving knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOptions {
+    /// How to obtain the structure to serve (algorithm, input, cache...).
+    pub build: Options,
+    /// Path of the query-pairs file (`u v` per line, `#` comments).
+    pub pairs: String,
+    /// Landmarks to precompute (0 = answer along exact emulator paths).
+    pub landmarks: usize,
+}
+
 /// Maintenance actions on a cache directory (`usnae cache <action> DIR`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheAction {
@@ -94,6 +118,8 @@ impl CacheAction {
 pub enum Command {
     /// Build one structure (the `run` and legacy `build` subcommands).
     Run(Options),
+    /// Answer distance queries over a built structure.
+    Query(QueryOptions),
     /// Print the algorithm catalogue.
     List,
     /// Maintain a construction-cache directory.
@@ -117,6 +143,8 @@ pub const USAGE: &str = "usage: usnae run --algo <name> --input <edge-list> [--o
 [--eps <0..1>] [--kappa <k>=4] [--rho <r>=0.5] [--seed <s>=0] [--threads <t>=1] \
 [--shards <k>=0] [--partition range|degree-balanced] [--transport inproc|channel|process] \
 [--order by-id|by-id-desc|by-degree-desc|by-degree-asc] [--raw-eps] [--report] [--cache <dir>]\n\
+       usnae query --algo <name> --input <edge-list> --pairs <pairs-file> \
+[--landmarks <k>=0] [--cache <dir>] [--report] [build flags]\n\
        usnae list\n\
        usnae cache ls|clear|verify <dir>\n\
        usnae build --input <edge-list> [--mode centralized|fast|spanner] [...]\n\
@@ -138,10 +166,17 @@ fn parse_order(s: &str) -> Option<ProcessingOrder> {
 ///
 /// [`CliError`] with a human-readable message on any malformed input.
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    #[derive(PartialEq)]
+    enum Mode {
+        Run,
+        LegacyBuild,
+        Query,
+    }
     let mut it = args.iter();
-    let legacy_mode = match it.next().map(String::as_str) {
-        Some("run") => false,
-        Some("build") => true,
+    let mode = match it.next().map(String::as_str) {
+        Some("run") => Mode::Run,
+        Some("build") => Mode::LegacyBuild,
+        Some("query") => Mode::Query,
         Some("list") => {
             if let Some(extra) = it.next() {
                 return Err(CliError(format!(
@@ -178,6 +213,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         report: false,
         cache_dir: None,
     };
+    let mut pairs = String::new();
+    let mut landmarks = 0usize;
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next()
@@ -185,7 +222,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| CliError(format!("{name} needs a value\n{USAGE}")))
         };
         match flag.as_str() {
-            "--algo" if !legacy_mode => {
+            "--pairs" if mode == Mode::Query => pairs = value("--pairs")?,
+            "--landmarks" if mode == Mode::Query => {
+                landmarks = value("--landmarks")?
+                    .parse()
+                    .map_err(|_| CliError("--landmarks must be an integer".into()))?;
+            }
+            "--algo" if mode != Mode::LegacyBuild => {
                 let v = value("--algo")?;
                 if registry::find(&v).is_none() {
                     return Err(CliError(format!(
@@ -195,7 +238,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
                 opts.algo = v;
             }
-            "--mode" if legacy_mode => {
+            "--mode" if mode == Mode::LegacyBuild => {
                 let v = value("--mode")?;
                 opts.algo = match v.as_str() {
                     "centralized" => "centralized".to_string(),
@@ -265,7 +308,151 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     if opts.input.is_empty() {
         return Err(CliError(format!("--input is required\n{USAGE}")));
     }
+    if mode == Mode::Query {
+        if pairs.is_empty() {
+            return Err(CliError(format!("query requires --pairs\n{USAGE}")));
+        }
+        if opts.output.is_some() {
+            return Err(CliError(format!(
+                "query answers pairs; --output belongs to run\n{USAGE}"
+            )));
+        }
+        return Ok(Command::Query(QueryOptions {
+            build: opts,
+            pairs,
+            landmarks,
+        }));
+    }
     Ok(Command::Run(opts))
+}
+
+/// Reads a query-pairs file: one `u v` pair per whitespace-separated line,
+/// `#` starts a comment, vertex ids must be `< n`.
+///
+/// # Errors
+///
+/// [`CliError`] on unreadable files, malformed lines, or out-of-range ids.
+pub fn read_pairs(path: &str, n: usize) -> Result<Vec<(usize, usize)>, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    let mut pairs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let mut id = |name: &str| -> Result<usize, CliError> {
+            let tok = tokens
+                .next()
+                .ok_or_else(|| CliError(format!("{path}:{}: expected `u v`", lineno + 1)))?;
+            let v: usize = tok.parse().map_err(|_| {
+                CliError(format!(
+                    "{path}:{}: {name} {tok:?} is not a vertex id",
+                    lineno + 1
+                ))
+            })?;
+            if v >= n {
+                return Err(CliError(format!(
+                    "{path}:{}: vertex {v} out of range (graph has {n} vertices)",
+                    lineno + 1
+                )));
+            }
+            Ok(v)
+        };
+        let pair = (id("u")?, id("v")?);
+        if let Some(extra) = tokens.next() {
+            return Err(CliError(format!(
+                "{path}:{}: expected `u v`, got extra {extra:?}",
+                lineno + 1
+            )));
+        }
+        pairs.push(pair);
+    }
+    if pairs.is_empty() {
+        return Err(CliError(format!("{path}: no query pairs")));
+    }
+    Ok(pairs)
+}
+
+/// The `usnae query` pipeline: obtain the structure (through the
+/// construction cache when `--cache` was given — a warm hit never
+/// re-runs the construction), answer every pair in one batch, and return
+/// the printed lines: a header, the `cache:` line when caching, one
+/// `u v distance` line per pair, and (with `--report`) the certified
+/// guarantee plus the engine's counters.
+///
+/// # Errors
+///
+/// [`CliError`] on any I/O, parse, parameter, or out-of-range failure.
+pub fn execute_query(qopts: &QueryOptions) -> Result<Vec<String>, CliError> {
+    let opts = &qopts.build;
+    let file = std::fs::File::open(&opts.input)
+        .map_err(|e| CliError(format!("cannot open {}: {e}", opts.input)))?;
+    let g = gio::read_edge_list(BufReader::new(file), 0)
+        .map_err(|e| CliError(format!("cannot parse {}: {e}", opts.input)))?;
+    let pairs = read_pairs(&qopts.pairs, g.num_vertices())?;
+    let out = run_build(&g, opts)?;
+    let cache_status = out.stats.cache;
+    let engine = out.into_query_engine().with_landmarks(qopts.landmarks);
+
+    let mut lines = vec![format!(
+        "input: {} vertices, {} edges; serving {} ({} edges), {} pair(s)",
+        g.num_vertices(),
+        g.num_edges(),
+        engine.algorithm(),
+        engine.num_edges(),
+        pairs.len()
+    )];
+    if opts.cache_dir.is_some() {
+        lines.push(format!("cache: {cache_status}"));
+    }
+    let answers: Vec<_> = if qopts.landmarks > 0 {
+        pairs
+            .iter()
+            .map(|&(u, v)| engine.approx_distance(u, v))
+            .collect()
+    } else {
+        engine.distances(&pairs)
+    };
+    for (&(u, v), a) in pairs.iter().zip(&answers) {
+        match a.value {
+            Some(d) => lines.push(format!("{u} {v} {d}")),
+            None => lines.push(format!("{u} {v} unreachable")),
+        }
+    }
+    if opts.report {
+        let (alpha, beta) = if qopts.landmarks > 0 {
+            engine.landmark_guarantee()
+        } else {
+            engine.guarantee()
+        };
+        if beta.is_finite() {
+            lines.push(format!(
+                "certified stretch: d_hat <= {alpha:.4} * d_G + {beta:.1}"
+            ));
+        } else {
+            lines.push("certified stretch: lower bound only (uncertified construction)".into());
+        }
+        let stats = engine.stats();
+        lines.push(format!(
+            "engine: {} quer(y/ies), {} tree build(s), {} cache hit(s), {} eviction(s), {} landmark quer(y/ies)",
+            stats.queries, stats.tree_builds, stats.cache_hits, stats.evictions, stats.landmark_queries
+        ));
+        if let Some(index) = engine.landmark_index() {
+            match index.radius() {
+                Some(r) => lines.push(format!(
+                    "landmarks: {} (covering radius {r})",
+                    index.landmarks().len()
+                )),
+                None => lines.push(format!(
+                    "landmarks: {} (some vertex uncovered — no additive bound)",
+                    index.landmarks().len()
+                )),
+            }
+        }
+    }
+    Ok(lines)
 }
 
 /// Builds the requested structure through the registry.
@@ -476,8 +663,7 @@ mod tests {
     fn run_opts(cmd: Command) -> Options {
         match cmd {
             Command::Run(o) => o,
-            Command::List => panic!("expected run command"),
-            Command::Cache(..) => panic!("expected run command"),
+            other => panic!("expected run command, got {other:?}"),
         }
     }
 
@@ -842,6 +1028,135 @@ mod tests {
         assert_eq!(fp(&cold), fp(&warm), "hit is fingerprint-identical");
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_file(&input);
+    }
+
+    #[test]
+    fn query_command_parses_and_validates() {
+        let q = match parse_args(&args(
+            "query --algo spanner --input g.txt --pairs p.txt --landmarks 4 --kappa 3 --report",
+        ))
+        .unwrap()
+        {
+            Command::Query(q) => q,
+            other => panic!("expected query command, got {other:?}"),
+        };
+        assert_eq!(q.build.algo, "spanner");
+        assert_eq!(q.build.config.kappa, 3);
+        assert_eq!(q.pairs, "p.txt");
+        assert_eq!(q.landmarks, 4);
+        assert!(q.build.report);
+        assert!(parse_args(&args("query --input g.txt")).is_err()); // missing --pairs
+        assert!(parse_args(&args("query --pairs p.txt")).is_err()); // missing --input
+        assert!(parse_args(&args("query --input g.txt --pairs p.txt --output h.txt")).is_err());
+        assert!(parse_args(&args("query --input g.txt --pairs p.txt --landmarks no")).is_err());
+        // Query-only flags stay query-only.
+        assert!(parse_args(&args("run --input g.txt --pairs p.txt")).is_err());
+        assert!(parse_args(&args("run --input g.txt --landmarks 4")).is_err());
+    }
+
+    #[test]
+    fn read_pairs_parses_comments_and_rejects_garbage() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("usnae-cli-pairs-{}.txt", std::process::id()));
+        std::fs::write(&path, "# queries\n0 5\n3 2 # inline comment\n\n1 1\n").unwrap();
+        let p = path.display().to_string();
+        assert_eq!(read_pairs(&p, 6).unwrap(), vec![(0, 5), (3, 2), (1, 1)]);
+        assert!(read_pairs(&p, 5).is_err(), "vertex 5 out of range");
+        std::fs::write(&path, "0 1 2\n").unwrap();
+        assert!(read_pairs(&p, 6).is_err(), "three tokens");
+        std::fs::write(&path, "0\n").unwrap();
+        assert!(read_pairs(&p, 6).is_err(), "one token");
+        std::fs::write(&path, "# nothing\n").unwrap();
+        assert!(read_pairs(&p, 6).is_err(), "no pairs");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn query_answers_pairs_and_warm_cache_hits_without_rebuild() {
+        let tmp = std::env::temp_dir();
+        let pid = std::process::id();
+        let input = tmp.join(format!("usnae-cli-qg-{pid}.txt"));
+        let pairs = tmp.join(format!("usnae-cli-qp-{pid}.txt"));
+        let cache = tmp.join(format!("usnae-cli-qc-{pid}"));
+        let _ = std::fs::remove_dir_all(&cache);
+        let mut text = String::new();
+        for i in 0..24 {
+            text.push_str(&format!("{} {}\n", i, (i + 1) % 24));
+        }
+        std::fs::write(&input, text).unwrap();
+        std::fs::write(&pairs, "0 12\n5 5\n3 20\n").unwrap();
+        let qopts = QueryOptions {
+            build: Options {
+                algo: "centralized".to_string(),
+                input: input.display().to_string(),
+                output: None,
+                config: BuildConfig::default(),
+                report: true,
+                cache_dir: Some(cache.display().to_string()),
+            },
+            pairs: pairs.display().to_string(),
+            landmarks: 0,
+        };
+        let cold = execute_query(&qopts).unwrap();
+        assert!(cold.iter().any(|l| l == "cache: miss"), "{cold:?}");
+        let warm = execute_query(&qopts).unwrap();
+        assert!(warm.iter().any(|l| l == "cache: hit"), "{warm:?}");
+        // Answer lines are identical cold vs warm, and certified: the ring
+        // distance 0..12 is 12, identity is 0.
+        let answer_lines = |lines: &[String]| {
+            lines
+                .iter()
+                .filter(|l| {
+                    let mut t = l.split_whitespace();
+                    t.next().is_some_and(|w| w.parse::<usize>().is_ok())
+                })
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(answer_lines(&cold), answer_lines(&warm));
+        assert_eq!(answer_lines(&cold).len(), 3);
+        assert!(cold.iter().any(|l| l == "5 5 0"), "{cold:?}");
+        assert!(cold.iter().any(|l| l.starts_with("certified stretch:")));
+        assert!(cold.iter().any(|l| l.starts_with("engine:")));
+
+        // Landmark serving over the same warm cache: still a hit, still
+        // certified (weaker pair), still answers every pair.
+        let with_landmarks = QueryOptions {
+            landmarks: 3,
+            ..qopts.clone()
+        };
+        let lm = execute_query(&with_landmarks).unwrap();
+        assert!(lm.iter().any(|l| l == "cache: hit"), "{lm:?}");
+        assert_eq!(answer_lines(&lm).len(), 3);
+        assert!(lm.iter().any(|l| l.starts_with("landmarks: 3")), "{lm:?}");
+        let _ = std::fs::remove_dir_all(&cache);
+        let _ = std::fs::remove_file(&input);
+        let _ = std::fs::remove_file(&pairs);
+    }
+
+    #[test]
+    fn query_rejects_out_of_range_pairs() {
+        let tmp = std::env::temp_dir();
+        let pid = std::process::id();
+        let input = tmp.join(format!("usnae-cli-qr-{pid}.txt"));
+        let pairs = tmp.join(format!("usnae-cli-qrp-{pid}.txt"));
+        std::fs::write(&input, "0 1\n1 2\n").unwrap();
+        std::fs::write(&pairs, "0 9\n").unwrap();
+        let qopts = QueryOptions {
+            build: Options {
+                algo: "centralized".to_string(),
+                input: input.display().to_string(),
+                output: None,
+                config: BuildConfig::default(),
+                report: false,
+                cache_dir: None,
+            },
+            pairs: pairs.display().to_string(),
+            landmarks: 0,
+        };
+        assert!(execute_query(&qopts).is_err());
+        let _ = std::fs::remove_file(&input);
+        let _ = std::fs::remove_file(&pairs);
     }
 
     #[test]

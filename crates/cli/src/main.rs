@@ -14,6 +14,7 @@ fn main() {
     let result = match command {
         usnae_cli::Command::List => Ok(usnae_cli::list_lines()),
         usnae_cli::Command::Run(opts) => usnae_cli::execute(&opts),
+        usnae_cli::Command::Query(opts) => usnae_cli::execute_query(&opts),
         usnae_cli::Command::Cache(action, dir) => usnae_cli::execute_cache(action, &dir),
     };
     match result {

@@ -114,6 +114,41 @@
 //! `threads` and `shards`, the transport is **not** part of the cache
 //! key: one cached entry serves every execution strategy.
 //!
+//! # Query serving
+//!
+//! The construction side ends at a [`BuildOutput`]; the serving side
+//! starts at a [`QueryEngine`] (see [`crate::oracle`]). The builder's
+//! terminal [`EmulatorBuilder::query_engine`] is the one-liner — build
+//! (through the cache when configured) and serve:
+//!
+//! ```
+//! use usnae_core::api::Emulator;
+//! use usnae_graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::grid2d(8, 8)?;
+//! let engine = Emulator::builder(&g).kappa(4).query_engine()?;
+//! let d = engine.distance(0, 63);
+//! // Every answer is certified: d_G(u,v) <= d.value <= α·d_G(u,v) + β.
+//! assert!(d.value.is_some() && d.alpha >= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! An engine can also be opened over any [`OutputBackend`] — in
+//! particular a [`SnapshotBackend`] over a cache entry, so a stored
+//! build answers queries in a later process **without re-running the
+//! construction** ([`QueryEngine::open`]); the backend carries the
+//! certified `(α, β)` pair with the stream ([`OutputBackend::certified`]).
+//! Batched lookups ([`QueryEngine::distances`]) share SSSP trees across
+//! the batch, single lookups go through a bounded, deterministic
+//! per-source LRU, and [`QueryEngine::with_landmarks`] precomputes a
+//! highest-degree-first landmark index for O(k) approximate answers
+//! under a *measured* certificate `(α, β + 2R)` (`R` = covering
+//! radius). Answers are a pure function of the pair queried — cache
+//! state, batching, backends, and thread counts never change them
+//! (`tests/query_conformance.rs` enforces this registry-wide).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -172,6 +207,7 @@ pub use crate::cache::CacheConfig;
 pub use crate::centralized::ProcessingOrder;
 pub use crate::emulator::Emulator;
 pub use crate::exec::{MessageStats, PairStats, TransportKind};
+pub use crate::oracle::{Certified, LandmarkIndex, QueryEngine, QueryStats};
 pub use backend::{HeapBackend, OutputBackend, PartitionedBackend, SnapshotBackend};
 pub use config::{Algorithm, BuildConfig};
 pub use construction::{BuildError, Construction, Supports};
@@ -335,6 +371,18 @@ impl<'g> EmulatorBuilder<'g> {
             ),
             None => construction.build(self.graph, &self.config),
         }
+    }
+
+    /// Like [`build`](Self::build), but hands the result straight to the
+    /// serving side: a [`QueryEngine`] over the built structure, carrying
+    /// the certified `(α, β)` pair. See the
+    /// [module docs](self#query-serving).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`build`](Self::build) errors.
+    pub fn query_engine(self) -> Result<QueryEngine, BuildError> {
+        Ok(self.build()?.into_query_engine())
     }
 }
 

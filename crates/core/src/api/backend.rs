@@ -41,6 +41,14 @@ pub trait OutputBackend {
     /// output; see [`crate::emulator::stream_fingerprint`]).
     fn stream_fingerprint(&self) -> u64;
 
+    /// Certified stretch pair `(α, β)` of the stored output, when the
+    /// producing construction certified one — this is what lets a
+    /// [`QueryEngine`](crate::oracle::QueryEngine) opened over a backend
+    /// serve *certified* answers without re-running the construction.
+    fn certified(&self) -> Option<(f64, f64)> {
+        None
+    }
+
     /// Produces the live in-memory emulator.
     ///
     /// # Errors
@@ -56,6 +64,7 @@ pub struct HeapBackend {
     emulator: Emulator,
     algorithm: String,
     fingerprint: u64,
+    certified: Option<(f64, f64)>,
 }
 
 impl HeapBackend {
@@ -66,7 +75,20 @@ impl HeapBackend {
             emulator,
             algorithm: algorithm.into(),
             fingerprint,
+            certified: None,
         }
+    }
+
+    /// Wraps a build result, carrying its certified stretch pair so an
+    /// engine opened over this backend serves certified answers.
+    pub fn from_output(out: &crate::api::BuildOutput) -> Self {
+        HeapBackend::new(out.emulator.clone(), out.algorithm).with_certified(out.certified)
+    }
+
+    /// Attaches (or clears) the certified `(α, β)` pair.
+    pub fn with_certified(mut self, certified: Option<(f64, f64)>) -> Self {
+        self.certified = certified;
+        self
     }
 
     /// The wrapped emulator, by reference (no materialization cost).
@@ -96,6 +118,10 @@ impl OutputBackend for HeapBackend {
         self.fingerprint
     }
 
+    fn certified(&self) -> Option<(f64, f64)> {
+        self.certified
+    }
+
     fn materialize(&self) -> Result<Emulator, SnapshotError> {
         Ok(self.emulator.clone())
     }
@@ -111,6 +137,7 @@ pub struct SnapshotBackend {
     num_vertices: usize,
     num_edges: usize,
     fingerprint: u64,
+    certified: Option<(f64, f64)>,
 }
 
 impl SnapshotBackend {
@@ -135,6 +162,7 @@ impl SnapshotBackend {
             num_vertices: snap.num_vertices,
             num_edges,
             fingerprint: snap.stream_fingerprint,
+            certified: snap.certified,
             path,
         })
     }
@@ -166,6 +194,10 @@ impl OutputBackend for SnapshotBackend {
         self.fingerprint
     }
 
+    fn certified(&self) -> Option<(f64, f64)> {
+        self.certified
+    }
+
     fn materialize(&self) -> Result<Emulator, SnapshotError> {
         let snap = Snapshot::decode(&std::fs::read(&self.path)?)?;
         if snap.stream_fingerprint != self.fingerprint {
@@ -192,6 +224,7 @@ pub struct PartitionedBackend {
     num_vertices: usize,
     num_edges: usize,
     fingerprint: u64,
+    certified: Option<(f64, f64)>,
     policy: PartitionPolicy,
     /// Per shard: `(original stream index, record)`, index-ascending.
     shards: Vec<Vec<(usize, (WeightedEdge, EdgeProvenance))>>,
@@ -225,6 +258,7 @@ impl PartitionedBackend {
             num_vertices: n,
             num_edges: out.num_edges(),
             fingerprint: out.stream_fingerprint(),
+            certified: out.certified,
             policy,
             shards: parts,
         }
@@ -265,6 +299,10 @@ impl OutputBackend for PartitionedBackend {
 
     fn stream_fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    fn certified(&self) -> Option<(f64, f64)> {
+        self.certified
     }
 
     fn materialize(&self) -> Result<Emulator, SnapshotError> {
@@ -308,16 +346,18 @@ mod tests {
         let key = CacheKey::new(&g, c.name(), &cfg);
         std::fs::write(&path, Snapshot::from_output(key, &out).encode()).unwrap();
 
-        let heap = HeapBackend::new(out.emulator.clone(), c.name());
+        let heap = HeapBackend::from_output(&out);
         let disk = SnapshotBackend::open(&path).unwrap();
         for b in [&heap as &dyn OutputBackend, &disk] {
             assert_eq!(b.algorithm(), "centralized");
             assert_eq!(b.num_vertices(), out.emulator.num_vertices());
             assert_eq!(b.num_edges(), out.num_edges());
             assert_eq!(b.stream_fingerprint(), out.stream_fingerprint());
+            assert_eq!(b.certified(), out.certified, "{}", b.kind());
             let live = b.materialize().unwrap();
             assert_eq!(live.provenance(), out.emulator.provenance(), "{}", b.kind());
         }
+        assert!(out.certified.is_some(), "centralized certifies a pair");
         assert_eq!(heap.kind(), "heap");
         assert_eq!(disk.kind(), "snapshot");
         let _ = std::fs::remove_dir_all(&dir);
@@ -341,6 +381,7 @@ mod tests {
                     assert_eq!(part.num_vertices(), heap.num_vertices());
                     assert_eq!(part.num_edges(), heap.num_edges());
                     assert_eq!(part.stream_fingerprint(), heap.stream_fingerprint());
+                    assert_eq!(part.certified(), out.certified);
                     // Every record lands in exactly one shard, ascending.
                     let total: usize = (0..part.num_shards())
                         .map(|s| part.shard_records(s).len())

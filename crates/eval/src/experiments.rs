@@ -14,9 +14,9 @@
 use crate::table::{fmt_f64, Table};
 use crate::workloads::{congest_suite, standard_suite, Workload};
 use usnae_baselines::registry;
-use usnae_core::api::{Algorithm, BuildConfig, Emulator, ProcessingOrder};
+use usnae_core::api::{Algorithm, BuildConfig, Emulator, ProcessingOrder, QueryEngine};
 use usnae_core::verify::{audit_stretch, is_subgraph_spanner};
-use usnae_graph::distance::sample_pairs;
+use usnae_graph::distance::{sample_pairs, Apsp};
 
 /// κ in the ultra-sparse regime: `log₂²n = ω(log n)` (Corollary 2.15).
 pub fn ultra_sparse_kappa(n: usize) -> u32 {
@@ -315,6 +315,114 @@ pub fn e8_baselines(n: usize, kappas: &[u32], epsilon: f64, seed: u64) -> Table 
     t
 }
 
+/// E9 — query accuracy (the serving half): every emulator lineage in the
+/// registry answers the same seeded query set through a
+/// [`QueryEngine`], and the observed worst case (max multiplicative
+/// ratio, needed additive β) is tabled against the certified `(α, β)` —
+/// for the exact-path engine and for a `landmarks`-landmark index
+/// (certified at `(α, β + 2R)`). Violation counts must be zero wherever
+/// a bound is certified; uncertified baselines show `-` and are checked
+/// for the lower bound only.
+pub fn e9_query_accuracy(
+    n: usize,
+    kappa: u32,
+    epsilon: f64,
+    pairs: usize,
+    landmarks: usize,
+    seed: u64,
+) -> Table {
+    let mut t = Table::new(
+        "E9: observed vs certified stretch through the query engine",
+        &[
+            "family",
+            "algo",
+            "edges",
+            "alpha_cert",
+            "beta_cert",
+            "max_ratio",
+            "needed_beta",
+            "lm_beta_cert",
+            "lm_needed_beta",
+            "violations",
+        ],
+    );
+    // The CONGEST lineages are excluded on cost grounds only, as in E8
+    // (they rebuild fast-centralized's structure through the simulator);
+    // `tests/query_conformance.rs` serves the full registry.
+    let lineup: Vec<_> = registry::all()
+        .into_iter()
+        .filter(|c| !c.supports().congest)
+        .collect();
+    for w in standard_suite(n, seed) {
+        let sampled = sample_pairs(&w.graph, pairs, seed + 17);
+        let apsp = Apsp::new(&w.graph);
+        let cfg = BuildConfig {
+            epsilon,
+            kappa,
+            raw_epsilon: true,
+            seed: seed + 23,
+            ..BuildConfig::default()
+        };
+        for c in &lineup {
+            let Ok(out) = crate::caching::sweep_build(c.as_ref(), &w.graph, &cfg) else {
+                continue; // parameters out of range for this lineage
+            };
+            let certified = out.certified;
+            let engine = out.into_query_engine();
+            let lm_engine =
+                QueryEngine::new(engine.emulator().clone(), engine.algorithm(), certified)
+                    .with_landmarks(landmarks);
+            let (alpha, beta) = engine.guarantee();
+            let (_, lm_beta) = lm_engine.landmark_guarantee();
+            let answers = engine.distances(&sampled);
+            let mut max_ratio = 1.0f64;
+            let mut needed_beta = 0.0f64;
+            let mut lm_needed_beta = 0.0f64;
+            let mut violations = 0usize;
+            for (&(u, v), a) in sampled.iter().zip(&answers) {
+                let exact = apsp.distance(u, v);
+                if !a.holds_against(exact) {
+                    violations += 1;
+                }
+                let lm = lm_engine.approx_distance(u, v);
+                if !lm.holds_against(exact) {
+                    violations += 1;
+                }
+                let (Some(d), Some(got)) = (exact, a.value) else {
+                    continue;
+                };
+                if d > 0 {
+                    max_ratio = max_ratio.max(got as f64 / d as f64);
+                }
+                needed_beta = needed_beta.max(got as f64 - alpha * d as f64);
+                if let Some(lm_got) = lm.value {
+                    lm_needed_beta = lm_needed_beta.max(lm_got as f64 - alpha * d as f64);
+                }
+            }
+            let show_beta = |b: f64| {
+                if b.is_finite() {
+                    fmt_f64(b)
+                } else {
+                    "-".to_string()
+                }
+            };
+            t.push_row(vec![
+                w.name.into(),
+                c.name().into(),
+                engine.num_edges().to_string(),
+                fmt_f64(alpha),
+                show_beta(beta),
+                fmt_f64(max_ratio),
+                fmt_f64(needed_beta),
+                show_beta(lm_beta),
+                fmt_f64(lm_needed_beta),
+                violations.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 /// F1–F3 anatomy: edge kinds per phase under different processing orders
 /// (the star example's order-dependence is visible in the `star` rows).
 pub fn anatomy(workloads: &[Workload], kappa: u32, epsilon: f64) -> Table {
@@ -438,6 +546,48 @@ mod tests {
             assert!(algos.contains(expected), "missing {expected}: {algos:?}");
         }
         assert!(!algos.contains("distributed"), "congest lineage excluded");
+    }
+
+    #[test]
+    fn e9_zero_violations_and_certified_dominates_needed() {
+        let t = e9_query_accuracy(96, 3, 0.5, 60, 4, 7);
+        assert!(t.num_rows() > 0);
+        for v in t.column_f64("violations") {
+            assert_eq!(v, 0.0);
+        }
+        for r in t.column_f64("max_ratio") {
+            assert!(r >= 1.0, "answers never undershoot: {r}");
+        }
+        // Wherever a β is certified, the measured requirement sits under it,
+        // and the landmark certificate is at least the exact one.
+        let beta_col = t.column("beta_cert").unwrap();
+        let lm_beta_col = t.column("lm_beta_cert").unwrap();
+        let needed = t.column_f64("needed_beta");
+        let lm_needed = t.column_f64("lm_needed_beta");
+        let mut certified_rows = 0;
+        for i in 0..t.num_rows() {
+            let Some(beta) = t.cell(i, beta_col).and_then(|s| s.parse::<f64>().ok()) else {
+                continue;
+            };
+            certified_rows += 1;
+            assert!(
+                needed[i] <= beta,
+                "row {i}: needed {} > certified {beta}",
+                needed[i]
+            );
+            let lm_beta: f64 = t.cell(i, lm_beta_col).unwrap().parse().unwrap();
+            assert!(lm_beta >= beta);
+            assert!(lm_needed[i] <= lm_beta);
+        }
+        assert!(certified_rows > 0, "paper lineages certify");
+        // The sweep covers paper constructions and baselines alike.
+        let algo_col = t.column("algo").unwrap();
+        let algos: std::collections::HashSet<&str> = (0..t.num_rows())
+            .filter_map(|i| t.cell(i, algo_col))
+            .collect();
+        for expected in ["centralized", "spanner", "tz06", "em19"] {
+            assert!(algos.contains(expected), "missing {expected}: {algos:?}");
+        }
     }
 
     #[test]

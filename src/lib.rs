@@ -82,6 +82,40 @@
 //! # }
 //! ```
 //!
+//! # Query serving
+//!
+//! A build is half the product; the other half is answering distance
+//! queries from it. [`api::QueryEngine`] serves certified answers —
+//! `d_G ≤ d̂ ≤ α·d_G + β` with `(α, β)` threaded from the construction's
+//! proof object — from a live [`api::BuildOutput`] or straight from a
+//! stored snapshot ([`QueryEngine::open`](api::QueryEngine::open) over any
+//! [`api::OutputBackend`], no rebuild). Batched queries share one SSSP
+//! tree per distinct source, single queries go through a bounded
+//! deterministic LRU, and [`with_landmarks`](api::QueryEngine::with_landmarks)
+//! precomputes a landmark index for O(k) approximate answers under the
+//! widened certificate `(α, β + 2R)`. Answers are pure functions of the
+//! pair — identical across backends, batching, and thread counts
+//! (enforced registry-wide by `tests/query_conformance.rs` against golden
+//! fixtures; `usnae query` is the CLI form, `cargo bench --bench queries`
+//! the QPS/latency table):
+//!
+//! ```
+//! use usnae::api::Emulator;
+//! use usnae::graph::generators;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = generators::grid2d(8, 8)?;
+//! let engine = Emulator::builder(&g).kappa(4).query_engine()?;
+//! let (alpha, beta) = engine.guarantee();
+//! for a in engine.distances(&[(0, 63), (0, 7), (0, 56)]) {
+//!     let d = a.value.expect("grid is connected") as f64;
+//!     assert!(d <= alpha * 14.0 + beta); // diameter 14
+//! }
+//! assert_eq!(engine.stats().tree_builds, 1); // one source, one Dijkstra
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Partitioned builds
 //!
 //! For the million-vertex regime the input graph can be split into

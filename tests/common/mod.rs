@@ -5,7 +5,7 @@
 //! build's insertion stream, and the `tests/data/` path conventions.
 
 use std::path::PathBuf;
-use usnae::api::{BuildConfig, BuildOutput};
+use usnae::api::{BuildConfig, BuildOutput, QueryEngine};
 use usnae::graph::{generators, Graph, GraphBuilder};
 
 /// The two fixed fixture graphs the golden streams are recorded on.
@@ -78,4 +78,52 @@ pub fn golden_fingerprint(text: &str) -> Option<u64> {
     text.lines()
         .find_map(|l| l.strip_prefix("# fingerprint="))
         .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+}
+
+/// Seed of the fixed query sets the golden query fixtures are recorded on.
+pub const QUERY_SEED: u64 = 0xE7;
+
+/// Queries per fixture graph.
+pub const QUERY_COUNT: usize = 40;
+
+/// The fixed, seeded query set for one fixture graph — the same pairs for
+/// every algorithm, so fixture diffs isolate the serving structure.
+pub fn query_pairs(g: &Graph) -> Vec<(usize, usize)> {
+    usnae::graph::distance::sample_pairs(g, QUERY_COUNT, QUERY_SEED)
+}
+
+/// Canonical text form of one engine's answers to the fixture query set:
+/// a commented header (graph, algorithm, certified pair, query seed)
+/// followed by one `u v answer` line per pair, in pair order (`-` =
+/// unreachable). Two engines serialize identically iff their answers are
+/// byte-identical.
+pub fn queries_text(
+    graph_tag: &str,
+    algo: &str,
+    engine: &QueryEngine,
+    pairs: &[(usize, usize)],
+) -> String {
+    let (alpha, beta) = engine.guarantee();
+    let mut s = String::new();
+    s.push_str("# usnae golden queries v1\n");
+    s.push_str(&format!(
+        "# graph={graph_tag} algo={algo} n={}\n",
+        engine.emulator().num_vertices()
+    ));
+    s.push_str(&format!("# alpha={alpha} beta={beta}\n"));
+    s.push_str(&format!("# seed={QUERY_SEED:#x} pairs={}\n", pairs.len()));
+    for (&(u, v), a) in pairs.iter().zip(engine.distances(pairs)) {
+        match a.value {
+            Some(d) => s.push_str(&format!("{u} {v} {d}\n")),
+            None => s.push_str(&format!("{u} {v} -\n")),
+        }
+    }
+    s
+}
+
+/// `tests/data/<graph>.<algo>.queries` under the workspace root.
+pub fn golden_queries_path(graph_tag: &str, algo: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(format!("{graph_tag}.{algo}.queries"))
 }
