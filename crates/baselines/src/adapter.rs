@@ -8,7 +8,9 @@
 //! which is itself part of the comparison the paper draws.
 
 use std::time::Instant;
-use usnae_core::api::{BuildConfig, BuildError, BuildOutput, BuildStats, Construction, Supports};
+use usnae_core::api::{
+    require_inproc, BuildConfig, BuildError, BuildOutput, BuildStats, Construction, Supports,
+};
 use usnae_core::engine::{verify_partitioned_merge, Engine, EngineReport};
 use usnae_graph::Graph;
 
@@ -121,9 +123,11 @@ impl Construction for Tz06 {
             // sampling probability and yields a clique.
             return Err(usnae_core::ParamError::KappaTooSmall { kappa: cfg.kappa }.into());
         }
+        // TZ06 has no exploration fan-out to hand workers, so a worker
+        // transport request is refused outright (a requested partition is
+        // still harmless: no shard records, same stream either way).
+        require_inproc(self.name(), cfg)?;
         let t0 = Instant::now();
-        // TZ06 has no exploration fan-out, so a requested partition or
-        // transport is ignored (no shard records; same stream either way).
         let report = Engine::inproc(g, cfg.threads).finish()?;
         Ok(BuildOutput {
             emulator: build_tz06(g, cfg.kappa, cfg.seed),
@@ -323,6 +327,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tz06_refuses_worker_transports() {
+        let g = generators::gnp_connected(40, 0.15, 1).unwrap();
+        for transport in [
+            usnae_core::api::TransportKind::Channel,
+            usnae_core::api::TransportKind::Process,
+        ] {
+            let cfg = BuildConfig {
+                shards: 2,
+                transport,
+                ..BuildConfig::default()
+            };
+            match Tz06.build(&g, &cfg) {
+                Err(BuildError::Param(usnae_core::ParamError::TransportUnsupported {
+                    algorithm,
+                    transport: t,
+                })) => {
+                    assert_eq!(algorithm, "tz06");
+                    assert_eq!(t, transport.name());
+                }
+                other => panic!("tz06 must refuse {}: got {other:?}", transport.name()),
+            }
+        }
+        assert!(Tz06.build(&g, &BuildConfig::default()).is_ok());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! regime.
 
 use std::time::Duration;
+use usnae_bench::rss;
 use usnae_bench::timing::json_string;
 use usnae_core::api::{
     Algorithm, BuildOutput, Emulator, MessageStats, PartitionPolicy, TransportKind,
@@ -43,6 +44,8 @@ struct Run {
     total: Duration,
     phase0: Duration,
     explorations: usize,
+    /// Peak RSS (`VmHWM`) over this sample's build, MiB; `None` off-procfs.
+    peak_rss_mb: Option<f64>,
 }
 
 fn build(
@@ -92,7 +95,13 @@ fn bench_algorithm(
     for &threads in thread_counts {
         let mut best: Option<Run> = None;
         for _ in 0..samples {
+            // Per-sample peak: reset the high-water mark so the reading
+            // covers this build alone (best-effort; a denied reset
+            // degrades to a whole-process peak, still comparable
+            // between the base and PR runs of the same CI image).
+            rss::reset_peak();
             let out = build(g, algorithm, threads, shards, transport);
+            let peak_rss_mb = rss::peak_rss_mb();
             if messages.is_none() {
                 messages = out.stats.messages.clone();
             }
@@ -119,6 +128,7 @@ fn bench_algorithm(
                 total: out.stats.total,
                 phase0: out.stats.phase0().unwrap_or_default(),
                 explorations: out.stats.phases.first().map_or(0, |p| p.explorations),
+                peak_rss_mb,
             };
             if best.as_ref().is_none_or(|b| run.total < b.total) {
                 best = Some(run);
@@ -126,11 +136,13 @@ fn bench_algorithm(
         }
         let best = best.expect("at least one sample");
         println!(
-            "{:<28} total {:>10.3?}  phase0 {:>10.3?}  ({} explorations)",
+            "{:<28} total {:>10.3?}  phase0 {:>10.3?}  ({} explorations{})",
             format!("{}{tag}/threads={threads}", algorithm.name()),
             best.total,
             best.phase0,
-            best.explorations
+            best.explorations,
+            best.peak_rss_mb
+                .map_or(String::new(), |mb| format!(", peak rss {mb:.1} MB"))
         );
         runs.push(best);
     }
@@ -274,8 +286,11 @@ fn main() {
             let runs_json: Vec<String> = legs
                 .iter()
                 .map(|r| {
+                    let rss_field = r
+                        .peak_rss_mb
+                        .map_or(String::new(), |mb| format!(",\"peak_rss_mb\":{mb}"));
                     format!(
-                        "{{\"threads\":{},\"total_s\":{},\"phase0_s\":{},\"explorations\":{}}}",
+                        "{{\"threads\":{},\"total_s\":{},\"phase0_s\":{},\"explorations\":{}{rss_field}}}",
                         r.threads,
                         r.total.as_secs_f64(),
                         r.phase0.as_secs_f64(),

@@ -1,13 +1,17 @@
 //! Bench-regression gate: compare a PR's `bench-parallel.json` against the
-//! merge-base's and fail when any phase regresses beyond tolerance.
+//! merge-base's and fail when any phase timing or the peak RSS regresses
+//! beyond tolerance.
 //!
 //! ```text
 //! bench_diff <base.json> <pr.json> [--tolerance 0.2] [--noise-floor-ms 20]
+//!     [--rss-floor-mb 32]
 //! ```
 //!
 //! Prints every matched `(algorithm, threads)` leg with its total/phase-0
-//! ratio, then exits 1 if any leg regressed — CI's `bench-regression` job
-//! is exactly this invocation on (merge-base run, PR run).
+//! time ratio and — when both documents carry the `peak_rss_mb` column —
+//! its peak-RSS ratio, then exits 1 if any row regressed. CI's
+//! `bench-regression` job is exactly this invocation on (merge-base run,
+//! PR run).
 
 use usnae_bench::trend::{compare_legs, parse_bench_document};
 
@@ -22,6 +26,7 @@ fn main() {
     let mut paths = Vec::new();
     let mut tolerance = 0.20f64;
     let mut noise_floor_ms = 20.0f64;
+    let mut rss_floor_mb = 32.0f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -37,19 +42,26 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--noise-floor-ms <ms>")
             }
+            "--rss-floor-mb" => {
+                rss_floor_mb = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rss-floor-mb <MiB>")
+            }
             p => paths.push(p.to_string()),
         }
     }
     let [base_path, pr_path] = paths.as_slice() else {
         eprintln!(
-            "usage: bench_diff <base.json> <pr.json> [--tolerance 0.2] [--noise-floor-ms 20]"
+            "usage: bench_diff <base.json> <pr.json> [--tolerance 0.2] \
+             [--noise-floor-ms 20] [--rss-floor-mb 32]"
         );
         std::process::exit(2);
     };
 
     let base = read_legs(base_path);
     let pr = read_legs(pr_path);
-    let verdicts = compare_legs(&base, &pr, tolerance, noise_floor_ms / 1000.0);
+    let verdicts = compare_legs(&base, &pr, tolerance, noise_floor_ms / 1000.0, rss_floor_mb);
     if verdicts.is_empty() {
         // No comparable legs at all would make the gate vacuous — say so
         // loudly instead of silently passing.
@@ -58,23 +70,26 @@ fn main() {
     }
 
     println!(
-        "{:<36} {:>8} {:>12} {:>12} {:>8}  verdict (tolerance {:.0}%, floor {} ms)",
+        "{:<36} {:>8} {:>12} {:>12} {:>8}  verdict (tolerance {:.0}%, floor {} ms / {} MB)",
         "leg",
         "metric",
         "base",
         "pr",
         "ratio",
         tolerance * 100.0,
-        noise_floor_ms
+        noise_floor_ms,
+        rss_floor_mb
     );
     let mut regressed = 0usize;
     for v in &verdicts {
         println!(
-            "{:<36} {:>8} {:>10.4}s {:>10.4}s {:>7.2}x  {}",
+            "{:<36} {:>8} {:>10.4}{:<2} {:>10.4}{:<2} {:>7.2}x  {}",
             v.label,
             v.metric,
-            v.base_s,
-            v.pr_s,
+            v.base,
+            v.unit,
+            v.pr,
+            v.unit,
             v.ratio,
             if v.regressed { "REGRESSED" } else { "ok" }
         );

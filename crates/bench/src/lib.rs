@@ -6,6 +6,7 @@
 //! The `benches/` targets use [`timing`], the repository's dependency-free
 //! stand-in for Criterion.
 
+pub mod rss;
 pub mod timing;
 pub mod trend;
 

@@ -8,10 +8,29 @@
 //!
 //! The comparison contract (enforced by CI's `bench-regression` job via
 //! the `bench_diff` binary): for every `(algorithm, threads)` leg present
-//! in both runs, neither `total_s` nor `phase0_s` may exceed the base by
-//! more than the tolerance (default 20%) — small absolute times are
-//! exempted by a noise floor, since a 3 ms phase jumping to 4 ms on a
-//! shared runner is scheduling jitter, not a regression.
+//! in both runs, neither `total_s` nor `phase0_s` nor `peak_rss_mb` may
+//! exceed the base by more than the tolerance (default 20%) — small
+//! absolute deltas are exempted by per-unit noise floors, since a 3 ms
+//! phase jumping to 4 ms on a shared runner is scheduling jitter and a
+//! few MiB of allocator slack is not a memory regression.
+//!
+//! # Bench JSON schema notes
+//!
+//! Each run object inside an algorithm's `runs` array carries:
+//!
+//! | field          | unit | since | meaning                               |
+//! |----------------|------|-------|---------------------------------------|
+//! | `threads`      | —    | PR 4  | thread count of the leg               |
+//! | `total_s`      | s    | PR 4  | best total build wall clock           |
+//! | `phase0_s`     | s    | PR 4  | best phase-0 (exploration) wall clock |
+//! | `explorations` | —    | PR 4  | phase-0 exploration count             |
+//! | `peak_rss_mb`  | MiB  | PR 8  | peak RSS (`VmHWM`) of the best sample |
+//!
+//! `peak_rss_mb` is optional twice over: documents from before PR 8 lack
+//! the field, and runs on platforms without procfs omit it. The
+//! comparison only scores the metric when *both* legs carry it, and —
+//! like the timing metrics — a >20% growth fails only past an absolute
+//! noise floor (allocator and page-cache jitter; default 32 MiB).
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -235,6 +254,9 @@ pub struct BenchLeg {
     pub total_s: f64,
     /// Best phase-0 time, seconds.
     pub phase0_s: f64,
+    /// Peak RSS of the best sample, MiB. `None` when the document
+    /// predates the column or the run's platform lacks procfs.
+    pub peak_rss_mb: Option<f64>,
 }
 
 impl BenchLeg {
@@ -276,6 +298,7 @@ pub fn parse_bench_document(text: &str) -> Result<Vec<BenchLeg>, String> {
                 threads: field("threads")? as u64,
                 total_s: field("total_s")?,
                 phase0_s: field("phase0_s")?,
+                peak_rss_mb: run.get("peak_rss_mb").and_then(Json::as_f64),
             });
         }
     }
@@ -287,13 +310,16 @@ pub fn parse_bench_document(text: &str) -> Result<Vec<BenchLeg>, String> {
 pub struct Verdict {
     /// `algorithm/threads=N`.
     pub label: String,
-    /// `"total"` or `"phase0"`.
+    /// `"total"`, `"phase0"`, or `"peak_rss"`.
     pub metric: &'static str,
-    /// Merge-base seconds.
-    pub base_s: f64,
-    /// PR seconds.
-    pub pr_s: f64,
-    /// `pr / base` (`inf` when the base leg took 0 s).
+    /// Unit of `base`/`pr`: `"s"` for the timing metrics, `"MB"` for
+    /// `peak_rss`.
+    pub unit: &'static str,
+    /// Merge-base value.
+    pub base: f64,
+    /// PR value.
+    pub pr: f64,
+    /// `pr / base` (`inf` when the base value is 0).
     pub ratio: f64,
     /// Whether this row breaches the tolerance.
     pub regressed: bool,
@@ -302,12 +328,15 @@ pub struct Verdict {
 /// Compares PR legs against base legs (matched by `(algorithm, threads)`;
 /// legs present in only one run are skipped — a new algorithm has no
 /// baseline yet). A row regresses when `pr > base * (1 + tolerance)` *and*
-/// `pr - base > noise_floor_s`.
+/// the absolute delta clears that metric's noise floor (`noise_floor_s`
+/// for the timing metrics, `noise_floor_mb` for peak RSS). The RSS row
+/// appears only when both legs carry the column.
 pub fn compare_legs(
     base: &[BenchLeg],
     pr: &[BenchLeg],
     tolerance: f64,
     noise_floor_s: f64,
+    noise_floor_mb: f64,
 ) -> Vec<Verdict> {
     let mut verdicts = Vec::new();
     for p in pr {
@@ -317,21 +346,26 @@ pub fn compare_legs(
         else {
             continue;
         };
-        for (metric, base_s, pr_s) in [
-            ("total", b.total_s, p.total_s),
-            ("phase0", b.phase0_s, p.phase0_s),
-        ] {
-            let ratio = if base_s > 0.0 {
-                pr_s / base_s
+        let mut rows = vec![
+            ("total", "s", b.total_s, p.total_s, noise_floor_s),
+            ("phase0", "s", b.phase0_s, p.phase0_s, noise_floor_s),
+        ];
+        if let (Some(base_mb), Some(pr_mb)) = (b.peak_rss_mb, p.peak_rss_mb) {
+            rows.push(("peak_rss", "MB", base_mb, pr_mb, noise_floor_mb));
+        }
+        for (metric, unit, base_v, pr_v, floor) in rows {
+            let ratio = if base_v > 0.0 {
+                pr_v / base_v
             } else {
                 f64::INFINITY
             };
-            let regressed = pr_s > base_s * (1.0 + tolerance) && (pr_s - base_s) > noise_floor_s;
+            let regressed = pr_v > base_v * (1.0 + tolerance) && (pr_v - base_v) > floor;
             verdicts.push(Verdict {
                 label: p.label(),
                 metric,
-                base_s,
-                pr_s,
+                unit,
+                base: base_v,
+                pr: pr_v,
                 ratio,
                 regressed,
             });
@@ -346,8 +380,8 @@ mod tests {
 
     const SAMPLE: &str = r#"{"n":20000,"edges":80000,"hardware_threads":4,"algorithms":[
         {"name":"centralized","phase0_speedup_at_4_threads":2.5,"runs":[
-            {"threads":1,"total_s":1.0,"phase0_s":0.8,"explorations":100},
-            {"threads":4,"total_s":0.5,"phase0_s":0.32,"explorations":120}]},
+            {"threads":1,"total_s":1.0,"phase0_s":0.8,"explorations":100,"peak_rss_mb":200.0},
+            {"threads":4,"total_s":0.5,"phase0_s":0.32,"explorations":120,"peak_rss_mb":260.0}]},
         {"name":"fast-centralized","phase0_speedup_at_4_threads":2.0,"runs":[
             {"threads":1,"total_s":2.0,"phase0_s":1.5,"explorations":90}]}]}"#;
 
@@ -358,6 +392,9 @@ mod tests {
         assert_eq!(legs[0].algorithm, "centralized");
         assert_eq!(legs[0].threads, 1);
         assert!((legs[1].phase0_s - 0.32).abs() < 1e-12);
+        assert_eq!(legs[0].peak_rss_mb, Some(200.0));
+        // Documents predating the RSS column still parse.
+        assert_eq!(legs[2].peak_rss_mb, None);
         assert_eq!(legs[2].label(), "fast-centralized/threads=1");
     }
 
@@ -378,12 +415,46 @@ mod tests {
         let mut pr = base.clone();
         pr[0].total_s = 1.3; // +30% on a 1 s leg: regression
         pr[1].phase0_s = 0.33; // +3%: within tolerance
-        let verdicts = compare_legs(&base, &pr, 0.2, 0.02);
+        let verdicts = compare_legs(&base, &pr, 0.2, 0.02, 32.0);
         let bad: Vec<_> = verdicts.iter().filter(|v| v.regressed).collect();
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].label, "centralized/threads=1");
         assert_eq!(bad[0].metric, "total");
+        assert_eq!(bad[0].unit, "s");
         assert!((bad[0].ratio - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rss_regression_detected_and_floored() {
+        let base = parse_bench_document(SAMPLE).unwrap();
+        let mut pr = base.clone();
+        pr[0].peak_rss_mb = Some(300.0); // +50% and +100 MB: regression
+        pr[1].peak_rss_mb = Some(280.0); // +7.7%: within tolerance
+        let verdicts = compare_legs(&base, &pr, 0.2, 0.02, 32.0);
+        let bad: Vec<_> = verdicts.iter().filter(|v| v.regressed).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "peak_rss");
+        assert_eq!(bad[0].unit, "MB");
+        assert!((bad[0].ratio - 1.5).abs() < 1e-9);
+        // A blow-up under the absolute floor is allocator jitter.
+        let mut tiny_base = base.clone();
+        tiny_base[0].peak_rss_mb = Some(10.0);
+        let mut tiny_pr = tiny_base.clone();
+        tiny_pr[0].peak_rss_mb = Some(30.0); // 3x, but only +20 MB
+        let verdicts = compare_legs(&tiny_base, &tiny_pr, 0.2, 0.02, 32.0);
+        assert!(verdicts.iter().all(|v| !v.regressed));
+    }
+
+    #[test]
+    fn rss_rows_require_both_legs_to_carry_the_column() {
+        let base = parse_bench_document(SAMPLE).unwrap();
+        let mut pr = base.clone();
+        pr[0].peak_rss_mb = None; // e.g. PR run on a procfs-less platform
+        let verdicts = compare_legs(&base, &pr, 0.2, 0.02, 32.0);
+        let rss_rows: Vec<_> = verdicts.iter().filter(|v| v.metric == "peak_rss").collect();
+        // Leg 0 contributes no RSS row; leg 1 still does.
+        assert_eq!(rss_rows.len(), 1);
+        assert_eq!(rss_rows[0].label, "centralized/threads=4");
     }
 
     #[test]
@@ -393,10 +464,11 @@ mod tests {
             threads: 1,
             total_s: 0.003,
             phase0_s: 0.002,
+            peak_rss_mb: None,
         }];
         let mut pr = base.clone();
         pr[0].total_s = 0.005; // +66%, but only 2 ms — jitter
-        let verdicts = compare_legs(&base, &pr, 0.2, 0.02);
+        let verdicts = compare_legs(&base, &pr, 0.2, 0.02, 32.0);
         assert!(verdicts.iter().all(|v| !v.regressed));
     }
 
@@ -408,7 +480,8 @@ mod tests {
             threads: 1,
             total_s: 9.0,
             phase0_s: 9.0,
+            peak_rss_mb: None,
         }];
-        assert!(compare_legs(&base, &pr, 0.2, 0.02).is_empty());
+        assert!(compare_legs(&base, &pr, 0.2, 0.02, 32.0).is_empty());
     }
 }

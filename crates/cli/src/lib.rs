@@ -10,6 +10,7 @@
 //!       [--raw-eps] [--report] [--cache DIR]
 //! usnae query --algo <name> --input graph.txt --pairs pairs.txt
 //!       [--landmarks K] [--cache DIR] [--report] [build flags...]
+//! usnae query --mapped snapshot.usnae --pairs pairs.txt [--landmarks K]
 //! usnae list
 //! usnae cache ls|clear|verify DIR
 //! usnae build ...            # legacy alias: --mode centralized|fast|spanner
@@ -32,6 +33,20 @@
 //! or child `usnae-worker` processes speaking a checksummed binary protocol
 //! — still byte-identical to the in-process run; `--report` then adds a
 //! `transport:` line with the measured round/message/byte totals.
+//!
+//! `--graph-file <csr>` is the out-of-core build path: with `--input`
+//! the edge list is first **streamed** into the CSR file (two passes over
+//! the text, never materializing the graph), without it the file must
+//! already exist; either way the graph is then memory-mapped and the
+//! construction runs over it through `build_mapped` — byte-identical to
+//! the heap run, with peak memory bounded by the output structure rather
+//! than the input graph.
+//!
+//! `usnae query --mapped <snapshot>` is the zero-copy serving path: the
+//! codec-v4 snapshot file is mapped, its section directory is used to
+//! serve the stored emulator CSR directly, and certified answers are
+//! produced **without building anything and without decoding the record
+//! stream** — no `--input`, no `--algo`, no construction run.
 //!
 //! `--cache DIR` makes the build read-through a fingerprint-keyed
 //! construction cache (see `usnae_core::cache`): a warm, verified entry is
@@ -58,9 +73,13 @@ use std::fmt;
 use std::io::BufReader;
 
 use usnae_baselines::registry;
-use usnae_core::api::{BuildConfig, BuildOutput, PartitionPolicy, ProcessingOrder, TransportKind};
+use usnae_core::api::{
+    BuildConfig, BuildOutput, MappedBackend, OutputBackend, PartitionPolicy, ProcessingOrder,
+    QueryEngine, TransportKind,
+};
 use usnae_core::cache::{build_cached, CacheConfig, ConstructionCache};
-use usnae_graph::{io as gio, Graph};
+use usnae_graph::io::StreamOptions;
+use usnae_graph::{io as gio, Graph, MappedGraph};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +88,11 @@ pub struct Options {
     pub algo: String,
     /// Input edge-list path.
     pub input: String,
+    /// Out-of-core path (`--graph-file <csr>`): build over a mapped CSR
+    /// graph file instead of a heap graph. With `--input` the edge list
+    /// is first streamed into this file (two passes, bounded memory);
+    /// without it the file must already exist.
+    pub graph_file: Option<String>,
     /// Output weighted-edge-list path.
     pub output: Option<String>,
     /// The unified construction configuration.
@@ -89,6 +113,10 @@ pub struct QueryOptions {
     pub pairs: String,
     /// Landmarks to precompute (0 = answer along exact emulator paths).
     pub landmarks: usize,
+    /// Serve a stored codec-v4 snapshot file zero-copy (`--mapped
+    /// <snapshot>`): no graph is read and no construction runs — the
+    /// engine answers straight from the mapped emulator CSR section.
+    pub mapped: Option<String>,
 }
 
 /// Maintenance actions on a cache directory (`usnae cache <action> DIR`).
@@ -140,11 +168,13 @@ impl std::error::Error for CliError {}
 
 /// The usage banner.
 pub const USAGE: &str = "usage: usnae run --algo <name> --input <edge-list> [--output <path>] \
+[--graph-file <csr-file>] \
 [--eps <0..1>] [--kappa <k>=4] [--rho <r>=0.5] [--seed <s>=0] [--threads <t>=1] \
 [--shards <k>=0] [--partition range|degree-balanced] [--transport inproc|channel|process] \
 [--order by-id|by-id-desc|by-degree-desc|by-degree-asc] [--raw-eps] [--report] [--cache <dir>]\n\
        usnae query --algo <name> --input <edge-list> --pairs <pairs-file> \
 [--landmarks <k>=0] [--cache <dir>] [--report] [build flags]\n\
+       usnae query --mapped <snapshot> --pairs <pairs-file> [--landmarks <k>=0] [--report]\n\
        usnae list\n\
        usnae cache ls|clear|verify <dir>\n\
        usnae build --input <edge-list> [--mode centralized|fast|spanner] [...]\n\
@@ -208,6 +238,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut opts = Options {
         algo: "centralized".to_string(),
         input: String::new(),
+        graph_file: None,
         output: None,
         config: BuildConfig::default(),
         report: false,
@@ -215,6 +246,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     };
     let mut pairs = String::new();
     let mut landmarks = 0usize;
+    let mut mapped: Option<String> = None;
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next()
@@ -223,6 +255,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         };
         match flag.as_str() {
             "--pairs" if mode == Mode::Query => pairs = value("--pairs")?,
+            "--mapped" if mode == Mode::Query => mapped = Some(value("--mapped")?),
+            "--graph-file" if mode != Mode::Query => {
+                opts.graph_file = Some(value("--graph-file")?);
+            }
             "--landmarks" if mode == Mode::Query => {
                 landmarks = value("--landmarks")?
                     .parse()
@@ -305,8 +341,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             other => return Err(CliError(format!("unknown flag {other:?}\n{USAGE}"))),
         }
     }
-    if opts.input.is_empty() {
+    if opts.input.is_empty() && opts.graph_file.is_none() && mapped.is_none() {
         return Err(CliError(format!("--input is required\n{USAGE}")));
+    }
+    if opts.graph_file.is_some() && opts.cache_dir.is_some() {
+        // The cache key fingerprints a heap graph; keying it would
+        // materialize exactly what --graph-file avoids.
+        return Err(CliError(format!(
+            "--graph-file runs out-of-core and cannot use --cache\n{USAGE}"
+        )));
     }
     if mode == Mode::Query {
         if pairs.is_empty() {
@@ -317,10 +360,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 "query answers pairs; --output belongs to run\n{USAGE}"
             )));
         }
+        if mapped.is_some() && !opts.input.is_empty() {
+            return Err(CliError(format!(
+                "--mapped serves a stored snapshot; it takes no --input\n{USAGE}"
+            )));
+        }
+        if mapped.is_some() && opts.cache_dir.is_some() {
+            return Err(CliError(format!(
+                "--mapped serves one snapshot file; it takes no --cache\n{USAGE}"
+            )));
+        }
         return Ok(Command::Query(QueryOptions {
             build: opts,
             pairs,
             landmarks,
+            mapped,
         }));
     }
     Ok(Command::Run(opts))
@@ -387,26 +441,48 @@ pub fn read_pairs(path: &str, n: usize) -> Result<Vec<(usize, usize)>, CliError>
 /// [`CliError`] on any I/O, parse, parameter, or out-of-range failure.
 pub fn execute_query(qopts: &QueryOptions) -> Result<Vec<String>, CliError> {
     let opts = &qopts.build;
-    let file = std::fs::File::open(&opts.input)
-        .map_err(|e| CliError(format!("cannot open {}: {e}", opts.input)))?;
-    let g = gio::read_edge_list(BufReader::new(file), 0)
-        .map_err(|e| CliError(format!("cannot parse {}: {e}", opts.input)))?;
-    let pairs = read_pairs(&qopts.pairs, g.num_vertices())?;
-    let out = run_build(&g, opts)?;
-    let cache_status = out.stats.cache;
-    let engine = out.into_query_engine().with_landmarks(qopts.landmarks);
+    let (engine, pairs, header) = if let Some(snap_path) = &qopts.mapped {
+        // Zero-copy serving: the engine answers straight from the mapped
+        // snapshot's emulator CSR section — no graph read, no build, no
+        // heap copy of the structure.
+        let backend = MappedBackend::open(snap_path)
+            .map_err(|e| CliError(format!("cannot map snapshot {snap_path}: {e}")))?;
+        let pairs = read_pairs(&qopts.pairs, backend.num_vertices())?;
+        let engine = QueryEngine::open(&backend)
+            .map_err(|e| CliError(format!("cannot serve {snap_path}: {e}")))?
+            .with_landmarks(qopts.landmarks);
+        let header = format!(
+            "mapped: {snap_path}; serving {} ({} vertices, {} edges), {} pair(s)",
+            engine.algorithm(),
+            engine.num_vertices(),
+            engine.num_edges(),
+            pairs.len()
+        );
+        (engine, pairs, header)
+    } else {
+        let file = std::fs::File::open(&opts.input)
+            .map_err(|e| CliError(format!("cannot open {}: {e}", opts.input)))?;
+        let g = gio::read_edge_list(BufReader::new(file), 0)
+            .map_err(|e| CliError(format!("cannot parse {}: {e}", opts.input)))?;
+        let pairs = read_pairs(&qopts.pairs, g.num_vertices())?;
+        let out = run_build(&g, opts)?;
+        let cache_status = out.stats.cache;
+        let engine = out.into_query_engine().with_landmarks(qopts.landmarks);
+        let mut header = format!(
+            "input: {} vertices, {} edges; serving {} ({} edges), {} pair(s)",
+            g.num_vertices(),
+            g.num_edges(),
+            engine.algorithm(),
+            engine.num_edges(),
+            pairs.len()
+        );
+        if opts.cache_dir.is_some() {
+            header.push_str(&format!("\ncache: {cache_status}"));
+        }
+        (engine, pairs, header)
+    };
 
-    let mut lines = vec![format!(
-        "input: {} vertices, {} edges; serving {} ({} edges), {} pair(s)",
-        g.num_vertices(),
-        g.num_edges(),
-        engine.algorithm(),
-        engine.num_edges(),
-        pairs.len()
-    )];
-    if opts.cache_dir.is_some() {
-        lines.push(format!("cache: {cache_status}"));
-    }
+    let mut lines: Vec<String> = header.lines().map(String::from).collect();
     let answers: Vec<_> = if qopts.landmarks > 0 {
         pairs
             .iter()
@@ -475,6 +551,49 @@ pub fn run_build(g: &Graph, opts: &Options) -> Result<BuildOutput, CliError> {
     .map_err(|e| CliError(e.to_string()))
 }
 
+/// The `--graph-file` pipeline: obtain the mapped CSR graph file (streamed
+/// from `--input` when one was given — two passes, never materializing the
+/// edge list — otherwise the file must already exist), open it, and run
+/// the construction out-of-core through `build_mapped`. Returns the build,
+/// the mapped graph's `(num_vertices, num_edges)`, and an optional
+/// streaming report line.
+///
+/// # Errors
+///
+/// [`CliError`] on any I/O, codec, or construction failure.
+pub fn run_build_mapped(
+    opts: &Options,
+) -> Result<(BuildOutput, usize, usize, Option<String>), CliError> {
+    let path = opts
+        .graph_file
+        .as_ref()
+        .expect("run_build_mapped requires --graph-file");
+    let mut stream_line = None;
+    if !opts.input.is_empty() {
+        let stats = gio::stream_edge_list_to_csr_file(
+            std::path::Path::new(&opts.input),
+            std::path::Path::new(path),
+            &StreamOptions {
+                policy: opts.config.partition,
+                ..StreamOptions::default()
+            },
+        )
+        .map_err(|e| CliError(format!("cannot stream {} into {path}: {e}", opts.input)))?;
+        stream_line = Some(format!(
+            "streamed: {} line(s) -> {path} ({} duplicate(s) collapsed)",
+            stats.lines, stats.duplicate_edges
+        ));
+    }
+    let g = MappedGraph::open(std::path::Path::new(path))
+        .map_err(|e| CliError(format!("cannot map graph file {path}: {e}")))?;
+    let construction = registry::find(&opts.algo)
+        .ok_or_else(|| CliError(format!("unknown algorithm {:?}", opts.algo)))?;
+    let out = construction
+        .build_mapped(&g, &opts.config)
+        .map_err(|e| CliError(e.to_string()))?;
+    Ok((out, g.num_vertices(), g.num_edges(), stream_line))
+}
+
 /// The `usnae list` output: one line per registry entry.
 pub fn list_lines() -> Vec<String> {
     registry::all()
@@ -508,24 +627,29 @@ pub fn list_lines() -> Vec<String> {
 ///
 /// [`CliError`] on any I/O, parse, or parameter failure.
 pub fn execute(opts: &Options) -> Result<Vec<String>, CliError> {
-    let file = std::fs::File::open(&opts.input)
-        .map_err(|e| CliError(format!("cannot open {}: {e}", opts.input)))?;
-    let g = gio::read_edge_list(BufReader::new(file), 0)
-        .map_err(|e| CliError(format!("cannot parse {}: {e}", opts.input)))?;
-    let out = run_build(&g, opts)?;
+    let (out, n, m, stream_line) = if opts.graph_file.is_some() {
+        run_build_mapped(opts)?
+    } else {
+        let file = std::fs::File::open(&opts.input)
+            .map_err(|e| CliError(format!("cannot open {}: {e}", opts.input)))?;
+        let g = gio::read_edge_list(BufReader::new(file), 0)
+            .map_err(|e| CliError(format!("cannot parse {}: {e}", opts.input)))?;
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        (run_build(&g, opts)?, n, m, None)
+    };
     if let Some(path) = &opts.output {
         let file = std::fs::File::create(path)
             .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
         gio::write_weighted_edge_list(out.emulator.graph(), std::io::BufWriter::new(file))
             .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
     }
-    let mut lines = vec![format!(
-        "input: {} vertices, {} edges; output ({}): {} edges",
-        g.num_vertices(),
-        g.num_edges(),
+    let mut lines = Vec::new();
+    lines.extend(stream_line);
+    lines.push(format!(
+        "input: {n} vertices, {m} edges; output ({}): {} edges",
         out.algorithm,
         out.num_edges()
-    )];
+    ));
     if opts.cache_dir.is_some() {
         lines.push(format!("cache: {}", out.stats.cache));
     }
@@ -702,6 +826,7 @@ mod tests {
             let mk = |threads: usize| Options {
                 algo: name.to_string(),
                 input: String::new(),
+                graph_file: None,
                 output: None,
                 config: BuildConfig {
                     threads,
@@ -753,6 +878,7 @@ mod tests {
             let mk = |shards: usize, partition: PartitionPolicy| Options {
                 algo: name.to_string(),
                 input: String::new(),
+                graph_file: None,
                 output: None,
                 config: BuildConfig {
                     shards,
@@ -806,6 +932,7 @@ mod tests {
         let mk = |transport| Options {
             algo: "centralized".to_string(),
             input: input.display().to_string(),
+            graph_file: None,
             output: None,
             config: BuildConfig {
                 shards: 2,
@@ -915,12 +1042,160 @@ mod tests {
     }
 
     #[test]
+    fn graph_file_flag_parses_and_validates() {
+        let o = run_opts(parse_args(&args("run --input g.txt --graph-file g.csr")).unwrap());
+        assert_eq!(o.graph_file.as_deref(), Some("g.csr"));
+        // A pre-built CSR file needs no edge list.
+        let o = run_opts(parse_args(&args("run --graph-file g.csr")).unwrap());
+        assert!(o.input.is_empty());
+        // Out-of-core runs cannot key the heap-graph cache.
+        assert!(parse_args(&args("run --graph-file g.csr --cache /tmp/c")).is_err());
+        // The flag belongs to run, not query.
+        assert!(parse_args(&args("query --graph-file g.csr --pairs p.txt")).is_err());
+    }
+
+    #[test]
+    fn mapped_query_flag_parses_and_validates() {
+        let cmd = parse_args(&args("query --mapped snap.usnae --pairs p.txt")).unwrap();
+        match cmd {
+            Command::Query(q) => {
+                assert_eq!(q.mapped.as_deref(), Some("snap.usnae"));
+                assert!(q.build.input.is_empty());
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+        // Mapped serving reads one snapshot: no graph input, no cache.
+        assert!(parse_args(&args("query --mapped s.usnae --input g.txt --pairs p.txt")).is_err());
+        assert!(parse_args(&args("query --mapped s.usnae --cache /tmp/c --pairs p.txt")).is_err());
+        // Run mode does not know the flag.
+        assert!(parse_args(&args("run --input g.txt --mapped s.usnae")).is_err());
+    }
+
+    #[test]
+    fn graph_file_run_matches_the_heap_run_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!("usnae-cli-oc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("g.txt");
+        let csr = dir.join("g.csr");
+        let mut text = String::new();
+        for i in 0..50usize {
+            text.push_str(&format!("{} {}\n", i, (i + 1) % 50));
+            text.push_str(&format!("{} {}\n", i, (i + 7) % 50));
+        }
+        std::fs::write(&input, text).unwrap();
+        let heap = execute(&run_opts(
+            parse_args(&args(&format!("run --input {} --report", input.display()))).unwrap(),
+        ))
+        .unwrap();
+        let mapped = execute(&run_opts(
+            parse_args(&args(&format!(
+                "run --input {} --graph-file {} --report",
+                input.display(),
+                csr.display()
+            )))
+            .unwrap(),
+        ))
+        .unwrap();
+        assert!(mapped[0].starts_with("streamed:"), "{:?}", mapped[0]);
+        let fp = |lines: &[String]| {
+            lines
+                .iter()
+                .find(|l| l.starts_with("stream fingerprint"))
+                .unwrap()
+                .clone()
+        };
+        assert_eq!(fp(&heap), fp(&mapped), "out-of-core build diverged");
+        // Second run: the CSR file already exists, no --input needed.
+        let reopened = execute(&run_opts(
+            parse_args(&args(&format!(
+                "run --graph-file {} --report",
+                csr.display()
+            )))
+            .unwrap(),
+        ))
+        .unwrap();
+        assert_eq!(fp(&heap), fp(&reopened));
+        assert!(!reopened[0].starts_with("streamed:"), "no stream pass");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mapped_query_answers_match_the_build_path() {
+        use usnae_core::cache::{CacheKey, Snapshot};
+        let dir = std::env::temp_dir().join(format!("usnae-cli-mq-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("g.txt");
+        let pairs = dir.join("p.txt");
+        let snap_path = dir.join("entry.usnae");
+        let mut text = String::new();
+        for i in 0..30usize {
+            text.push_str(&format!("{} {}\n", i, (i + 1) % 30));
+        }
+        std::fs::write(&input, text).unwrap();
+        std::fs::write(&pairs, "0 15\n3 4\n7 22\n").unwrap();
+
+        // Reference: build-and-serve through the normal query path.
+        let build_q = QueryOptions {
+            build: run_opts(
+                parse_args(&args(&format!("run --input {}", input.display()))).unwrap(),
+            ),
+            pairs: pairs.display().to_string(),
+            landmarks: 0,
+            mapped: None,
+        };
+        let reference = execute_query(&build_q).unwrap();
+
+        // Store the same build as a v4 snapshot, serve it with --mapped.
+        let g = {
+            let file = std::fs::File::open(&input).unwrap();
+            gio::read_edge_list(std::io::BufReader::new(file), 0).unwrap()
+        };
+        let out = run_build(&g, &build_q.build).unwrap();
+        let key = CacheKey::new(&g, "centralized", &build_q.build.config);
+        std::fs::write(&snap_path, Snapshot::from_output(key, &out).encode()).unwrap();
+        let mapped_q = match parse_args(&args(&format!(
+            "query --mapped {} --pairs {} --report",
+            snap_path.display(),
+            pairs.display()
+        )))
+        .unwrap()
+        {
+            Command::Query(q) => q,
+            other => panic!("expected query, got {other:?}"),
+        };
+        let served = execute_query(&mapped_q).unwrap();
+        assert!(served[0].starts_with("mapped:"), "{:?}", served[0]);
+        // Identical answer lines, certified identically.
+        let answers = |lines: &[String]| -> Vec<String> {
+            lines
+                .iter()
+                .filter(|l| {
+                    l.split_whitespace().count() == 3
+                        && l.split_whitespace()
+                            .next()
+                            .unwrap()
+                            .parse::<usize>()
+                            .is_ok()
+                })
+                .cloned()
+                .collect()
+        };
+        assert_eq!(answers(&reference), answers(&served));
+        assert!(!answers(&reference).is_empty());
+        assert!(served.iter().any(|l| l.contains("certified stretch")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn every_registry_algorithm_runs_through_the_cli_path() {
         let g = usnae_graph::generators::gnp_connected(60, 0.1, 3).unwrap();
         for name in registry::names() {
             let opts = Options {
                 algo: name.to_string(),
                 input: String::new(),
+                graph_file: None,
                 output: None,
                 config: BuildConfig::default(),
                 report: false,
@@ -962,6 +1237,7 @@ mod tests {
         let opts = Options {
             algo: "spanner".to_string(),
             input: String::new(),
+            graph_file: None,
             output: None,
             config: BuildConfig::default(),
             report: false,
@@ -1009,6 +1285,7 @@ mod tests {
         let opts = Options {
             algo: "centralized".to_string(),
             input: input.display().to_string(),
+            graph_file: None,
             output: None,
             config: BuildConfig::default(),
             report: true,
@@ -1089,6 +1366,7 @@ mod tests {
             build: Options {
                 algo: "centralized".to_string(),
                 input: input.display().to_string(),
+                graph_file: None,
                 output: None,
                 config: BuildConfig::default(),
                 report: true,
@@ -1096,6 +1374,7 @@ mod tests {
             },
             pairs: pairs.display().to_string(),
             landmarks: 0,
+            mapped: None,
         };
         let cold = execute_query(&qopts).unwrap();
         assert!(cold.iter().any(|l| l == "cache: miss"), "{cold:?}");
@@ -1146,6 +1425,7 @@ mod tests {
             build: Options {
                 algo: "centralized".to_string(),
                 input: input.display().to_string(),
+                graph_file: None,
                 output: None,
                 config: BuildConfig::default(),
                 report: false,
@@ -1153,6 +1433,7 @@ mod tests {
             },
             pairs: pairs.display().to_string(),
             landmarks: 0,
+            mapped: None,
         };
         assert!(execute_query(&qopts).is_err());
         let _ = std::fs::remove_file(&input);
@@ -1165,6 +1446,7 @@ mod tests {
         let opts = Options {
             algo: "centralized".to_string(),
             input: String::new(),
+            graph_file: None,
             output: None,
             config: BuildConfig {
                 epsilon: 2.0, // invalid

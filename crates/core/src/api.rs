@@ -149,6 +149,60 @@
 //! state, batching, backends, and thread counts never change them
 //! (`tests/query_conformance.rs` enforces this registry-wide).
 //!
+//! # Out-of-core storage
+//!
+//! Neither end of that pipeline needs its big array on the heap. Every
+//! graph view in `usnae_graph` is generic over an `AdjStorage` backend:
+//! [`Graph`](usnae_graph::Graph) is the heap CSR,
+//! [`MappedGraph`](usnae_graph::MappedGraph) the file-backed one
+//! (`Graph::write_csr_file` → `MappedGraph::open`, or
+//! `usnae_graph::io::stream_edge_list_to_csr_file`, which two-passes a
+//! text edge list straight into a CSR file without ever materializing
+//! the graph). [`Construction::build_mapped`] runs a construction over
+//! the mapped file — the output is byte-identical to the heap build, and
+//! the cache key fingerprints identically, so one cache serves both
+//! storages. On the serving end, [`MappedBackend`] opens a stored v4
+//! snapshot and [`QueryEngine::open`] answers queries **zero-copy** from
+//! its mmap'd `EMU_CSR` section: no record decode, no heap emulator,
+//! resident memory bounded by the (ultra-sparse) snapshot rather than
+//! the graph. `tests/out_of_core_conformance.rs` locks both identities
+//! registry-wide; CI's `out-of-core` job additionally enforces the
+//! peak-RSS ceilings on an 800k-vertex, degree-32 pipeline.
+//!
+//! ```
+//! use usnae_core::api::{registry, BuildConfig, MappedBackend, QueryEngine};
+//! use usnae_core::cache::{CacheKey, Snapshot};
+//! use usnae_graph::{generators, MappedGraph};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = std::env::temp_dir().join(format!("usnae-ooc-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! // A CSR file on disk (the streaming loader writes these straight
+//! // from a text edge list; here one is spelled from a small graph).
+//! let g = generators::grid2d(8, 8)?;
+//! let csr = dir.join("grid.csr");
+//! g.write_csr_file(&csr)?;
+//!
+//! // Build over the file-backed graph; store the snapshot.
+//! let mg = MappedGraph::open(&csr)?;
+//! let cfg = BuildConfig::default();
+//! let c = registry::find("centralized").expect("registered");
+//! let out = c.build_mapped(&mg, &cfg)?;
+//! let snap = dir.join("grid.usnae");
+//! let entry = Snapshot::from_output(CacheKey::new(&mg, c.name(), &cfg), &out);
+//! std::fs::write(&snap, entry.encode())?;
+//!
+//! // Serve it zero-copy: no graph, no decode, no heap emulator.
+//! let backend = MappedBackend::open(&snap)?;
+//! let engine = QueryEngine::open(&backend)?;
+//! assert!(engine.emulator().is_none());
+//! let served = engine.distance(0, 63);
+//! assert_eq!(served.value, out.into_query_engine().distance(0, 63).value);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Quickstart
 //!
 //! ```
@@ -204,13 +258,14 @@ pub mod output;
 pub mod registry;
 
 pub use crate::cache::CacheConfig;
+pub use crate::cache::{MappedEmulator, MappedSnapshot};
 pub use crate::centralized::ProcessingOrder;
 pub use crate::emulator::Emulator;
 pub use crate::exec::{MessageStats, PairStats, TransportKind};
-pub use crate::oracle::{Certified, LandmarkIndex, QueryEngine, QueryStats};
-pub use backend::{HeapBackend, OutputBackend, PartitionedBackend, SnapshotBackend};
+pub use crate::oracle::{Certified, EmStore, LandmarkIndex, QueryEngine, QueryStats};
+pub use backend::{HeapBackend, MappedBackend, OutputBackend, PartitionedBackend, SnapshotBackend};
 pub use config::{Algorithm, BuildConfig};
-pub use construction::{BuildError, Construction, Supports};
+pub use construction::{require_inproc, BuildError, Construction, Supports};
 pub use output::{
     BuildOutput, BuildStats, CacheStatus, CongestStats, PhaseSummary, PhaseTiming, Trace,
 };

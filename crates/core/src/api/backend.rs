@@ -13,8 +13,9 @@
 //! identifies the exact insertion stream, so two backends holding "the
 //! same" output can be compared without materializing either.
 
-use crate::cache::{Snapshot, SnapshotError};
+use crate::cache::{MappedSnapshot, Snapshot, SnapshotError};
 use crate::emulator::{EdgeProvenance, Emulator};
+use crate::oracle::EmStore;
 use std::path::{Path, PathBuf};
 use usnae_graph::partition::PartitionPolicy;
 use usnae_graph::WeightedEdge;
@@ -56,6 +57,21 @@ pub trait OutputBackend {
     /// [`SnapshotError`] when a persistent backend cannot be read back
     /// (the heap backend is infallible).
     fn materialize(&self) -> Result<Emulator, SnapshotError>;
+
+    /// Produces the store a [`QueryEngine`](crate::oracle::QueryEngine)
+    /// holds for answering queries. The default materializes onto the heap
+    /// — correct for every backend. Out-of-core backends
+    /// ([`MappedBackend`]) override this to serve the structure straight
+    /// from the mapped snapshot file, so opening an engine never copies the
+    /// emulator into process memory; answers are byte-identical either way
+    /// (distances are unique functions of the stored structure).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`OutputBackend::materialize`].
+    fn serve(&self) -> Result<EmStore, SnapshotError> {
+        Ok(EmStore::Heap(self.materialize()?))
+    }
 }
 
 /// The default backend: the output already lives on this process's heap.
@@ -207,6 +223,85 @@ impl OutputBackend for SnapshotBackend {
             });
         }
         Ok(snap.rebuild_emulator())
+    }
+}
+
+/// The out-of-core backend: a [`MappedSnapshot`] handle over a codec-v4
+/// snapshot file. Metadata comes from the section directory at open time
+/// (the record stream is never decoded); `serve()` hands a
+/// [`QueryEngine`](crate::oracle::QueryEngine) the mapped emulator CSR
+/// section directly, so query serving holds no heap copy of the
+/// structure. `materialize()` still works — it fully decodes the file —
+/// for consumers that genuinely need a live [`Emulator`].
+#[derive(Debug)]
+pub struct MappedBackend {
+    snap: MappedSnapshot,
+}
+
+impl MappedBackend {
+    /// Maps and structurally validates a codec-v4 snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] from [`MappedSnapshot::open`] — including
+    /// [`SnapshotError::UnsupportedVersion`] for pre-v4 files, which have
+    /// no section directory to serve from (decode them and re-encode, or
+    /// use [`SnapshotBackend`]).
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, SnapshotError> {
+        Ok(MappedBackend {
+            snap: MappedSnapshot::open(path.into())?,
+        })
+    }
+
+    /// The underlying mapped snapshot handle.
+    pub fn snapshot(&self) -> &MappedSnapshot {
+        &self.snap
+    }
+
+    /// The snapshot file this backend serves from.
+    pub fn path(&self) -> &Path {
+        self.snap.path()
+    }
+}
+
+impl OutputBackend for MappedBackend {
+    fn kind(&self) -> &'static str {
+        "mapped"
+    }
+
+    fn algorithm(&self) -> &str {
+        &self.snap.key().algorithm
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.snap.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.snap.num_edges()
+    }
+
+    fn stream_fingerprint(&self) -> u64 {
+        self.snap.stream_fingerprint()
+    }
+
+    fn certified(&self) -> Option<(f64, f64)> {
+        self.snap.certified()
+    }
+
+    fn materialize(&self) -> Result<Emulator, SnapshotError> {
+        let full = Snapshot::decode(&std::fs::read(self.snap.path())?)?;
+        if full.stream_fingerprint != self.snap.stream_fingerprint() {
+            return Err(SnapshotError::FingerprintMismatch {
+                stored: self.snap.stream_fingerprint(),
+                recomputed: full.stream_fingerprint,
+            });
+        }
+        Ok(full.rebuild_emulator())
+    }
+
+    fn serve(&self) -> Result<EmStore, SnapshotError> {
+        Ok(EmStore::Mapped(self.snap.emulator()?))
     }
 }
 
@@ -400,6 +495,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mapped_backend_agrees_with_heap_and_serves_without_materializing() {
+        let g = generators::gnp_connected(60, 0.1, 11).unwrap();
+        let cfg = BuildConfig::default();
+        let c = Algorithm::Centralized.construction();
+        let out = c.build(&g, &cfg).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("usnae-backend-map-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.usnae");
+        let key = CacheKey::new(&g, c.name(), &cfg);
+        std::fs::write(&path, Snapshot::from_output(key, &out).encode()).unwrap();
+
+        let heap = HeapBackend::from_output(&out);
+        let mapped = MappedBackend::open(&path).unwrap();
+        assert_eq!(mapped.kind(), "mapped");
+        assert_eq!(mapped.algorithm(), heap.algorithm());
+        assert_eq!(mapped.num_vertices(), heap.num_vertices());
+        assert_eq!(mapped.num_edges(), heap.num_edges());
+        assert_eq!(mapped.stream_fingerprint(), heap.stream_fingerprint());
+        assert_eq!(mapped.certified(), heap.certified());
+        let live = mapped.materialize().unwrap();
+        assert_eq!(live.provenance(), out.emulator.provenance());
+
+        // Serving: the engine holds the mapped CSR, not a heap emulator,
+        // and answers are byte-identical to the heap-backed engine's.
+        let heap_engine = crate::oracle::QueryEngine::open(&heap).unwrap();
+        let map_engine = crate::oracle::QueryEngine::open(&mapped).unwrap();
+        assert!(heap_engine.emulator().is_some());
+        assert!(map_engine.emulator().is_none(), "no heap copy when mapped");
+        assert_eq!(map_engine.num_vertices(), heap_engine.num_vertices());
+        assert_eq!(map_engine.num_edges(), heap_engine.num_edges());
+        for (u, v) in usnae_graph::distance::sample_pairs(&g, 30, 3) {
+            assert_eq!(map_engine.distance(u, v), heap_engine.distance(u, v));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -331,10 +331,10 @@ impl BuildConfig {
     /// shared adjacency array (`shards == 0`) or a freshly partitioned
     /// [`ShardedCsr`](usnae_graph::partition::ShardedCsr) under
     /// [`partition`](Self::partition).
-    pub fn graph_view<'g>(
+    pub fn graph_view<'g, S: usnae_graph::AdjStorage>(
         &self,
-        g: &'g usnae_graph::Graph,
-    ) -> usnae_graph::partition::GraphView<'g> {
+        g: &'g usnae_graph::GraphCore<S>,
+    ) -> usnae_graph::partition::GraphView<'g, S> {
         usnae_graph::partition::GraphView::new(g, self.partition, self.shards)
     }
 }

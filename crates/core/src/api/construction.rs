@@ -3,7 +3,7 @@
 use crate::api::{BuildConfig, BuildOutput};
 use crate::error::ParamError;
 use usnae_congest::CongestError;
-use usnae_graph::Graph;
+use usnae_graph::{Graph, MappedGraph};
 
 /// What a [`Construction`] consumes from the [`BuildConfig`] and what its
 /// output provides — the capability sheet generic consumers branch on.
@@ -110,6 +110,22 @@ impl From<usnae_workers::WorkerError> for BuildError {
     }
 }
 
+/// Guard for constructions that run in-process only (the CONGEST
+/// simulations and whole-graph baselines have no shardable exploration
+/// fan-out): a worker transport request is rejected with a typed
+/// [`ParamError::TransportUnsupported`] instead of being silently
+/// ignored, so a requested worker build never quietly reports an
+/// in-process one.
+pub fn require_inproc(algorithm: &'static str, cfg: &BuildConfig) -> Result<(), BuildError> {
+    match cfg.transport {
+        usnae_workers::TransportKind::Inproc => Ok(()),
+        other => Err(BuildError::Param(ParamError::TransportUnsupported {
+            algorithm,
+            transport: other.name(),
+        })),
+    }
+}
+
 /// One emulator/spanner algorithm behind the unified API.
 ///
 /// Implemented by the five paper constructions
@@ -141,4 +157,21 @@ pub trait Construction {
     /// [`BuildError::Param`] on invalid configuration,
     /// [`BuildError::Congest`] on simulator contract violations.
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError>;
+
+    /// Runs the construction over a mapped (out-of-core) CSR file graph.
+    ///
+    /// The provided default materializes `g` onto the heap and delegates to
+    /// [`Construction::build`], which is correct — and byte-identical by
+    /// definition — for every algorithm. The sequential/parallel paper
+    /// constructions override this to run the execution engine directly
+    /// over the mapped adjacency arrays, so the input graph is never copied
+    /// onto the heap; overrides must stay byte-identical to the heap path
+    /// (the out-of-core conformance suite enforces this registry-wide).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Construction::build`].
+    fn build_mapped(&self, g: &MappedGraph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        self.build(&g.to_heap(), cfg)
+    }
 }

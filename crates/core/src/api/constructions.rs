@@ -1,5 +1,6 @@
 //! [`Construction`] implementations for the paper's own algorithms.
 
+use crate::api::construction::require_inproc;
 use crate::api::{
     BuildConfig, BuildError, BuildOutput, CongestStats, Construction, Supports, Trace,
 };
@@ -11,11 +12,45 @@ use crate::exec::BuildStats;
 use crate::fast_centralized::build_fast_exec;
 use crate::spanner::build_spanner_exec;
 use std::time::Instant;
-use usnae_graph::Graph;
+use usnae_graph::{AdjStorage, Graph, GraphCore, MappedGraph};
 
 /// Algorithm 1 (§2): sequential superclustering with buffer sets.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Centralized;
+
+impl Centralized {
+    fn build_impl<S: AdjStorage>(
+        &self,
+        g: &GraphCore<S>,
+        cfg: &BuildConfig,
+    ) -> Result<BuildOutput, BuildError> {
+        cfg.validate()?;
+        let params = cfg.centralized_params()?;
+        let t0 = Instant::now();
+        let engine = Engine::new(g, cfg);
+        let (emulator, trace, phases) = build_centralized_exec(g, &params, cfg.order, &engine);
+        let report = engine.finish()?;
+        let out = BuildOutput {
+            emulator,
+            certified: Some(params.certified_stretch()),
+            size_bound: Some(params.size_bound(g.num_vertices())),
+            trace: cfg.traced.then_some(Trace::Centralized(trace)),
+            congest: None,
+            stats: BuildStats {
+                threads: cfg.threads,
+                total: t0.elapsed(),
+                phases,
+                shards: report.shards,
+                transport: report.transport,
+                messages: report.messages,
+                ..BuildStats::default()
+            },
+            algorithm: self.name(),
+        };
+        verify_partitioned_merge(&out, cfg)?;
+        Ok(out)
+    }
+}
 
 impl Construction for Centralized {
     fn name(&self) -> &'static str {
@@ -45,17 +80,35 @@ impl Construction for Centralized {
     }
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        self.build_impl(g, cfg)
+    }
+
+    fn build_mapped(&self, g: &MappedGraph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        self.build_impl(g, cfg)
+    }
+}
+
+/// The fast centralized simulation (§3.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastCentralized;
+
+impl FastCentralized {
+    fn build_impl<S: AdjStorage>(
+        &self,
+        g: &GraphCore<S>,
+        cfg: &BuildConfig,
+    ) -> Result<BuildOutput, BuildError> {
         cfg.validate()?;
-        let params = cfg.centralized_params()?;
+        let params = cfg.distributed_params()?;
         let t0 = Instant::now();
         let engine = Engine::new(g, cfg);
-        let (emulator, trace, phases) = build_centralized_exec(g, &params, cfg.order, &engine);
+        let (emulator, trace, phases) = build_fast_exec(g, &params, &engine);
         let report = engine.finish()?;
         let out = BuildOutput {
             emulator,
             certified: Some(params.certified_stretch()),
             size_bound: Some(params.size_bound(g.num_vertices())),
-            trace: cfg.traced.then_some(Trace::Centralized(trace)),
+            trace: cfg.traced.then_some(Trace::Fast(trace)),
             congest: None,
             stats: BuildStats {
                 threads: cfg.threads,
@@ -72,10 +125,6 @@ impl Construction for Centralized {
         Ok(out)
     }
 }
-
-/// The fast centralized simulation (§3.3).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FastCentralized;
 
 impl Construction for FastCentralized {
     fn name(&self) -> &'static str {
@@ -105,31 +154,11 @@ impl Construction for FastCentralized {
     }
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
-        cfg.validate()?;
-        let params = cfg.distributed_params()?;
-        let t0 = Instant::now();
-        let engine = Engine::new(g, cfg);
-        let (emulator, trace, phases) = build_fast_exec(g, &params, &engine);
-        let report = engine.finish()?;
-        let out = BuildOutput {
-            emulator,
-            certified: Some(params.certified_stretch()),
-            size_bound: Some(params.size_bound(g.num_vertices())),
-            trace: cfg.traced.then_some(Trace::Fast(trace)),
-            congest: None,
-            stats: BuildStats {
-                threads: cfg.threads,
-                total: t0.elapsed(),
-                phases,
-                shards: report.shards,
-                transport: report.transport,
-                messages: report.messages,
-                ..BuildStats::default()
-            },
-            algorithm: self.name(),
-        };
-        verify_partitioned_merge(&out, cfg)?;
-        Ok(out)
+        self.build_impl(g, cfg)
+    }
+
+    fn build_mapped(&self, g: &MappedGraph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        self.build_impl(g, cfg)
     }
 }
 
@@ -166,6 +195,7 @@ impl Construction for Distributed {
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
         cfg.validate()?;
+        require_inproc(self.name(), cfg)?;
         let params = cfg.distributed_params()?;
         let t0 = Instant::now();
         let build = build_distributed(g, &params)?;
@@ -199,6 +229,41 @@ pub struct Spanner;
 /// `SPANNER_SIZE_CONSTANT · n^(1+1/κ) + n` on every family it runs.
 pub const SPANNER_SIZE_CONSTANT: f64 = 4.0;
 
+impl Spanner {
+    fn build_impl<S: AdjStorage>(
+        &self,
+        g: &GraphCore<S>,
+        cfg: &BuildConfig,
+    ) -> Result<BuildOutput, BuildError> {
+        cfg.validate()?;
+        let params = cfg.spanner_params()?;
+        let t0 = Instant::now();
+        let engine = Engine::new(g, cfg);
+        let (emulator, trace, phases) = build_spanner_exec(g, &params, &engine);
+        let report = engine.finish()?;
+        let n = g.num_vertices();
+        let out = BuildOutput {
+            emulator,
+            certified: Some(params.certified_stretch()),
+            size_bound: Some(SPANNER_SIZE_CONSTANT * params.size_bound(n) + n as f64),
+            trace: cfg.traced.then_some(Trace::Spanner(trace)),
+            congest: None,
+            stats: BuildStats {
+                threads: cfg.threads,
+                total: t0.elapsed(),
+                phases,
+                shards: report.shards,
+                transport: report.transport,
+                messages: report.messages,
+                ..BuildStats::default()
+            },
+            algorithm: self.name(),
+        };
+        verify_partitioned_merge(&out, cfg)?;
+        Ok(out)
+    }
+}
+
 impl Construction for Spanner {
     fn name(&self) -> &'static str {
         "spanner"
@@ -228,32 +293,11 @@ impl Construction for Spanner {
     }
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
-        cfg.validate()?;
-        let params = cfg.spanner_params()?;
-        let t0 = Instant::now();
-        let engine = Engine::new(g, cfg);
-        let (emulator, trace, phases) = build_spanner_exec(g, &params, &engine);
-        let report = engine.finish()?;
-        let n = g.num_vertices();
-        let out = BuildOutput {
-            emulator,
-            certified: Some(params.certified_stretch()),
-            size_bound: Some(SPANNER_SIZE_CONSTANT * params.size_bound(n) + n as f64),
-            trace: cfg.traced.then_some(Trace::Spanner(trace)),
-            congest: None,
-            stats: BuildStats {
-                threads: cfg.threads,
-                total: t0.elapsed(),
-                phases,
-                shards: report.shards,
-                transport: report.transport,
-                messages: report.messages,
-                ..BuildStats::default()
-            },
-            algorithm: self.name(),
-        };
-        verify_partitioned_merge(&out, cfg)?;
-        Ok(out)
+        self.build_impl(g, cfg)
+    }
+
+    fn build_mapped(&self, g: &MappedGraph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
+        self.build_impl(g, cfg)
     }
 }
 
@@ -291,6 +335,7 @@ impl Construction for DistributedSpanner {
 
     fn build(&self, g: &Graph, cfg: &BuildConfig) -> Result<BuildOutput, BuildError> {
         cfg.validate()?;
+        require_inproc(self.name(), cfg)?;
         let params = cfg.spanner_params()?;
         let t0 = Instant::now();
         let build = build_spanner_congest(g, &params)?;
@@ -351,6 +396,39 @@ mod tests {
     }
 
     #[test]
+    fn congest_constructions_refuse_worker_transports() {
+        let g = generators::grid2d(5, 5).unwrap();
+        for c in [&Distributed as &dyn Construction, &DistributedSpanner] {
+            for transport in [
+                usnae_workers::TransportKind::Channel,
+                usnae_workers::TransportKind::Process,
+            ] {
+                let cfg = BuildConfig {
+                    shards: 2,
+                    transport,
+                    ..BuildConfig::default()
+                };
+                match c.build(&g, &cfg) {
+                    Err(BuildError::Param(crate::ParamError::TransportUnsupported {
+                        algorithm,
+                        transport: t,
+                    })) => {
+                        assert_eq!(algorithm, c.name());
+                        assert_eq!(t, transport.name());
+                    }
+                    other => panic!(
+                        "{} must refuse the {} transport, got {other:?}",
+                        c.name(),
+                        transport.name()
+                    ),
+                }
+            }
+            // The explicit in-process default still builds.
+            assert!(c.build(&g, &BuildConfig::default()).is_ok(), "{}", c.name());
+        }
+    }
+
+    #[test]
     fn traced_flag_respected() {
         let g = generators::grid2d(7, 7).unwrap();
         let cfg = BuildConfig {
@@ -361,6 +439,39 @@ mod tests {
         assert!(out.trace.is_some());
         let untraced = Spanner.build(&g, &BuildConfig::default()).unwrap();
         assert!(untraced.trace.is_none());
+    }
+
+    #[test]
+    fn mapped_builds_match_heap_builds() {
+        let g = generators::gnp_connected(70, 0.09, 4).unwrap();
+        let dir = std::env::temp_dir().join(format!("usnae-ctor-mapped-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.csr");
+        g.write_csr_file(&path).unwrap();
+        let mg = MappedGraph::open(&path).unwrap();
+        let cfg = BuildConfig {
+            traced: true,
+            ..BuildConfig::default()
+        };
+        let list: Vec<Box<dyn Construction>> = vec![
+            Box::new(Centralized),
+            Box::new(FastCentralized),
+            Box::new(Distributed),
+            Box::new(Spanner),
+            Box::new(DistributedSpanner),
+        ];
+        for c in list {
+            let heap = c.build(&g, &cfg).unwrap();
+            let mapped = c.build_mapped(&mg, &cfg).unwrap();
+            assert_eq!(
+                heap.emulator.provenance(),
+                mapped.emulator.provenance(),
+                "{}: mapped build diverged from heap build",
+                c.name()
+            );
+            assert_eq!(heap.certified, mapped.certified, "{}", c.name());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -39,11 +39,12 @@ use crate::emulator::{stream_fingerprint, EdgeKind, EdgeProvenance, Emulator};
 use crate::exec::{
     BuildStats, CacheStatus, MessageStats, PairStats, PhaseTiming, ShardTiming, TransportKind,
 };
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 use usnae_congest::Metrics;
 use usnae_graph::metrics::Fnv64;
-use usnae_graph::{Graph, WeightedEdge};
+use usnae_graph::{ByteMap, Dist, Graph, StorageError, VertexId, WeightedEdge};
 
 /// Snapshot file magic: identifies the format before any parsing.
 pub const MAGIC: &[u8; 8] = b"USNAESNP";
@@ -52,12 +53,44 @@ pub const MAGIC: &[u8; 8] = b"USNAESNP";
 /// with [`SnapshotError::UnsupportedVersion`] instead of misparsing.
 /// (v2 added the per-shard timing section of partitioned builds; v3 added
 /// the transport byte and the measured [`MessageStats`] of worker-pool
-/// builds. v2 files remain readable: their transport is `inproc`, their
-/// message stats `None`.)
-pub const VERSION: u32 = 3;
+/// builds; v4 restructured the file into a **section directory** — five
+/// 8-aligned sections located by an offset/length table right after the
+/// header — and added the [`SECTION_EMU_CSR`] weighted-CSR image of the
+/// emulator, so a snapshot can be indexed and served ([`MappedSnapshot`],
+/// [`MappedEmulator`]) without decoding the record stream. v2/v3 files
+/// remain readable: v2's transport decodes as `inproc` with no message
+/// stats.)
+pub const VERSION: u32 = 4;
 
 /// Oldest codec version [`Snapshot::decode`] still reads.
 pub const MIN_VERSION: u32 = 2;
+
+/// v4 section id: cache key (graph fingerprint, config digest, algorithm).
+pub const SECTION_KEY: u64 = 1;
+/// v4 section id: stream fingerprint, vertex count, certification,
+/// size bound, CONGEST stats.
+pub const SECTION_META: u64 = 2;
+/// v4 section id: the exact insertion stream with provenance.
+pub const SECTION_RECORDS: u64 = 3;
+/// v4 section id: build stats (threads, timings, shards, transport,
+/// messages).
+pub const SECTION_STATS: u64 = 4;
+/// v4 section id: the emulator's weighted adjacency as an all-`u64` CSR
+/// (the [`MappedEmulator`] Dijkstra substrate).
+pub const SECTION_EMU_CSR: u64 = 5;
+
+/// The five v4 sections, directory order.
+const SECTION_IDS: [u64; 5] = [
+    SECTION_KEY,
+    SECTION_META,
+    SECTION_RECORDS,
+    SECTION_STATS,
+    SECTION_EMU_CSR,
+];
+/// Bytes per section-directory entry: id, absolute offset, length.
+const DIR_ENTRY: usize = 24;
+/// Bytes before the v4 section directory: magic, version, section count.
+const V4_HEADER: usize = 16;
 
 /// Extension of snapshot files inside a cache directory.
 pub const EXTENSION: &str = "usnae";
@@ -170,8 +203,13 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
-    /// Derives the key for one build request.
-    pub fn new(g: &Graph, algorithm: &str, cfg: &BuildConfig) -> Self {
+    /// Derives the key for one build request. Storage-generic: a
+    /// file-backed graph keys identically to its heap materialization.
+    pub fn new<S: usnae_graph::AdjStorage>(
+        g: &usnae_graph::GraphCore<S>,
+        algorithm: &str,
+        cfg: &BuildConfig,
+    ) -> Self {
         CacheKey {
             graph_fingerprint: usnae_graph::metrics::fingerprint(g),
             algorithm: algorithm.to_string(),
@@ -332,6 +370,367 @@ fn read_opt_f64(r: &mut Reader) -> Result<Option<f64>, SnapshotError> {
     }
 }
 
+fn write_records(w: &mut Writer, records: &[(WeightedEdge, EdgeProvenance)]) {
+    w.u64(records.len() as u64);
+    for (e, p) in records {
+        w.u64(e.u as u64);
+        w.u64(e.v as u64);
+        w.u64(e.weight);
+        w.u64(p.phase as u64);
+        w.u8(p.kind.code());
+        w.u64(p.charged_to as u64);
+    }
+}
+
+fn read_records(
+    r: &mut Reader,
+    num_vertices: usize,
+) -> Result<Vec<(WeightedEdge, EdgeProvenance)>, SnapshotError> {
+    let record_count = r.count()?;
+    let mut records = Vec::with_capacity(record_count);
+    for i in 0..record_count {
+        let u = r.u64()? as usize;
+        let v = r.u64()? as usize;
+        let weight = r.u64()?;
+        let phase = r.u64()? as usize;
+        let kind_byte = r.u8()?;
+        let charged_to = r.u64()? as usize;
+        let kind = EdgeKind::from_code(kind_byte).ok_or_else(|| SnapshotError::Corrupt {
+            reason: format!("record {i}: invalid edge-kind byte {kind_byte}"),
+        })?;
+        if u >= num_vertices || v >= num_vertices || u == v || charged_to >= num_vertices {
+            return Err(SnapshotError::Corrupt {
+                reason: format!(
+                    "record {i}: endpoints ({u}, {v}) out of range for n={num_vertices}"
+                ),
+            });
+        }
+        records.push((
+            WeightedEdge::new(u, v, weight),
+            EdgeProvenance {
+                phase,
+                kind,
+                charged_to,
+            },
+        ));
+    }
+    Ok(records)
+}
+
+fn write_certified(w: &mut Writer, certified: Option<(f64, f64)>) {
+    match certified {
+        Some((a, b)) => {
+            w.u8(1);
+            w.u64(a.to_bits());
+            w.u64(b.to_bits());
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_certified(r: &mut Reader) -> Result<Option<(f64, f64)>, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let a = r.f64()?;
+            let b = r.f64()?;
+            if a.is_nan() || b.is_nan() {
+                return Err(SnapshotError::Corrupt {
+                    reason: "certified stretch is NaN".into(),
+                });
+            }
+            Ok(Some((a, b)))
+        }
+        b => Err(SnapshotError::Corrupt {
+            reason: format!("invalid certified tag {b}"),
+        }),
+    }
+}
+
+fn write_congest(w: &mut Writer, congest: &Option<CongestStats>) {
+    match congest {
+        Some(c) => {
+            w.u8(1);
+            w.u64(c.metrics.rounds);
+            w.u64(c.metrics.charged_rounds);
+            w.u64(c.metrics.messages);
+            w.u64(c.metrics.words);
+            w.u64(c.metrics.peak_in_flight);
+            w.u64(c.knowledge_checked as u64);
+            w.u64(c.knowledge_violations as u64);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_congest(r: &mut Reader) -> Result<Option<CongestStats>, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(CongestStats {
+            metrics: Metrics {
+                rounds: r.u64()?,
+                charged_rounds: r.u64()?,
+                messages: r.u64()?,
+                words: r.u64()?,
+                peak_in_flight: r.u64()?,
+            },
+            knowledge_checked: r.u64()? as usize,
+            knowledge_violations: r.u64()? as usize,
+        })),
+        b => Err(SnapshotError::Corrupt {
+            reason: format!("invalid congest tag {b}"),
+        }),
+    }
+}
+
+/// Threads, wall clock, per-phase and per-shard timings — the stats head
+/// every codec version shares.
+fn write_core_stats(w: &mut Writer, stats: &BuildStats) {
+    w.u64(stats.threads as u64);
+    w.u64(stats.total.as_nanos().min(u128::from(u64::MAX)) as u64);
+    w.u64(stats.phases.len() as u64);
+    for p in &stats.phases {
+        w.u64(p.phase as u64);
+        w.u64(p.duration.as_nanos().min(u128::from(u64::MAX)) as u64);
+        w.u64(p.explorations as u64);
+    }
+    w.u64(stats.shards.len() as u64);
+    for sh in &stats.shards {
+        w.u64(sh.shard as u64);
+        w.u64(sh.vertices as u64);
+        w.u64(sh.local_edges as u64);
+        w.u64(sh.cut_edges as u64);
+        w.u64(sh.duration.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn read_core_stats(
+    r: &mut Reader,
+) -> Result<(usize, Duration, Vec<PhaseTiming>, Vec<ShardTiming>), SnapshotError> {
+    let threads = r.u64()? as usize;
+    let total = Duration::from_nanos(r.u64()?);
+    let phase_count = r.count()?;
+    let mut phases = Vec::with_capacity(phase_count);
+    for _ in 0..phase_count {
+        phases.push(PhaseTiming {
+            phase: r.u64()? as usize,
+            duration: Duration::from_nanos(r.u64()?),
+            explorations: r.u64()? as usize,
+        });
+    }
+    let shard_count = r.count()?;
+    let mut shards = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        shards.push(ShardTiming {
+            shard: r.u64()? as usize,
+            vertices: r.u64()? as usize,
+            local_edges: r.u64()? as usize,
+            cut_edges: r.u64()? as usize,
+            duration: Duration::from_nanos(r.u64()?),
+        });
+    }
+    Ok((threads, total, phases, shards))
+}
+
+/// The transport byte plus measured message stats (v3 and later).
+fn write_transport_stats(w: &mut Writer, stats: &BuildStats) {
+    w.u8(stats.transport.code());
+    match &stats.messages {
+        Some(m) => {
+            w.u8(1);
+            w.u64(m.rounds);
+            w.u64(m.messages);
+            w.u64(m.bytes);
+            w.u64(m.pairs.len() as u64);
+            for p in &m.pairs {
+                w.u64(p.src as u64);
+                w.u64(p.dst as u64);
+                w.u64(p.messages);
+                w.u64(p.bytes);
+            }
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_transport_stats(
+    r: &mut Reader,
+) -> Result<(TransportKind, Option<MessageStats>), SnapshotError> {
+    let code = r.u8()?;
+    let transport = TransportKind::from_code(code).ok_or_else(|| SnapshotError::Corrupt {
+        reason: format!("invalid transport byte {code}"),
+    })?;
+    let messages = match r.u8()? {
+        0 => None,
+        1 => {
+            let rounds = r.u64()?;
+            let total_messages = r.u64()?;
+            let bytes = r.u64()?;
+            let pair_count = r.count()?;
+            let mut pairs = Vec::with_capacity(pair_count);
+            for _ in 0..pair_count {
+                pairs.push(PairStats {
+                    src: r.u64()? as usize,
+                    dst: r.u64()? as usize,
+                    messages: r.u64()?,
+                    bytes: r.u64()?,
+                });
+            }
+            Some(MessageStats {
+                rounds,
+                messages: total_messages,
+                bytes,
+                pairs,
+            })
+        }
+        b => {
+            return Err(SnapshotError::Corrupt {
+                reason: format!("invalid message-stats tag {b}"),
+            })
+        }
+    };
+    Ok((transport, messages))
+}
+
+/// Serializes the emulator adjacency implied by `records` as an all-`u64`
+/// weighted CSR: `n`, `m` (distinct undirected edges), `adj_len = 2m`, the
+/// `(n+1)`-entry offset array, then `(neighbor, weight)` pairs with every
+/// vertex's neighbors ascending. The weight of a pair is the minimum over
+/// the stream (the emulator's lighter-parallel-edge-wins rule), so the
+/// section is a pure function of the records: decode byte-compares it
+/// against a recomputation, and [`MappedEmulator`] runs Dijkstra over it
+/// without ever touching the record stream.
+fn emu_csr_section(n: usize, records: &[(WeightedEdge, EdgeProvenance)]) -> Vec<u8> {
+    let mut weights: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    for (e, _) in records {
+        let w = weights.entry((e.u, e.v)).or_insert(e.weight);
+        if e.weight < *w {
+            *w = e.weight;
+        }
+    }
+    let mut offsets = vec![0u64; n + 1];
+    for &(u, v) in weights.keys() {
+        offsets[u + 1] += 1;
+        offsets[v + 1] += 1;
+    }
+    for v in 0..n {
+        offsets[v + 1] += offsets[v];
+    }
+    let adj_len = offsets[n] as usize;
+    // Pairs iterate in ascending (u, v) order with u < v, so each row
+    // receives first its smaller neighbors (ascending u) and then its
+    // larger ones (ascending v) — sorted without an explicit sort.
+    let mut adj = vec![(0u64, 0u64); adj_len];
+    let mut cursor: Vec<usize> = offsets[..n].iter().map(|&o| o as usize).collect();
+    for (&(u, v), &wt) in &weights {
+        adj[cursor[u]] = (v as u64, wt);
+        cursor[u] += 1;
+        adj[cursor[v]] = (u as u64, wt);
+        cursor[v] += 1;
+    }
+    let mut w = Writer::new();
+    w.u64(n as u64);
+    w.u64(weights.len() as u64);
+    w.u64(adj_len as u64);
+    for o in &offsets {
+        w.u64(*o);
+    }
+    for (nb, wt) in adj {
+        w.u64(nb);
+        w.u64(wt);
+    }
+    w.buf
+}
+
+/// Byte ranges of the five v4 sections inside the checksummed content.
+struct SectionTable {
+    key: std::ops::Range<usize>,
+    meta: std::ops::Range<usize>,
+    records: std::ops::Range<usize>,
+    stats: std::ops::Range<usize>,
+    emu: std::ops::Range<usize>,
+}
+
+/// Parses and validates the v4 section directory over the checksummed
+/// content (magic and version already checked): exactly the five known
+/// ids in order, every section 8-aligned, in-bounds, and non-overlapping.
+fn parse_directory(content: &[u8]) -> Result<SectionTable, SnapshotError> {
+    let mut r = Reader::new(content);
+    r.take(MAGIC.len() + 4)?;
+    let count = r.u32()? as usize;
+    if count != SECTION_IDS.len() {
+        return Err(SnapshotError::Corrupt {
+            reason: format!(
+                "section directory declares {count} sections, expected {}",
+                SECTION_IDS.len()
+            ),
+        });
+    }
+    let mut ranges = Vec::with_capacity(count);
+    let mut prev_end = V4_HEADER + count * DIR_ENTRY;
+    if prev_end > content.len() {
+        return Err(SnapshotError::Truncated {
+            offset: content.len(),
+        });
+    }
+    for (i, &expected_id) in SECTION_IDS.iter().enumerate() {
+        let id = r.u64()?;
+        let off = r.u64()?;
+        let len = r.u64()?;
+        if id != expected_id {
+            return Err(SnapshotError::Corrupt {
+                reason: format!("directory entry {i} has id {id}, expected {expected_id}"),
+            });
+        }
+        let off = usize::try_from(off).map_err(|_| SnapshotError::Corrupt {
+            reason: format!("section {id} offset {off} overflows"),
+        })?;
+        let len = usize::try_from(len).map_err(|_| SnapshotError::Corrupt {
+            reason: format!("section {id} length {len} overflows"),
+        })?;
+        if off % 8 != 0 {
+            return Err(SnapshotError::Corrupt {
+                reason: format!("section {id} offset {off} is not 8-aligned"),
+            });
+        }
+        if off < prev_end {
+            return Err(SnapshotError::Corrupt {
+                reason: format!("section {id} at {off} overlaps the previous section"),
+            });
+        }
+        let end = off
+            .checked_add(len)
+            .filter(|&e| e <= content.len())
+            .ok_or_else(|| SnapshotError::Corrupt {
+                reason: format!("section {id} ({off}+{len}) extends past the file"),
+            })?;
+        ranges.push(off..end);
+        prev_end = end;
+    }
+    let mut it = ranges.into_iter();
+    Ok(SectionTable {
+        key: it.next().unwrap(),
+        meta: it.next().unwrap(),
+        records: it.next().unwrap(),
+        stats: it.next().unwrap(),
+        emu: it.next().unwrap(),
+    })
+}
+
+/// A section reader must consume its slice exactly.
+fn section_end(r: &Reader, name: &str) -> Result<(), SnapshotError> {
+    if r.pos != r.buf.len() {
+        return Err(SnapshotError::Corrupt {
+            reason: format!(
+                "{} trailing bytes after the {name} section content",
+                r.buf.len() - r.pos
+            ),
+        });
+    }
+    Ok(())
+}
+
 impl Snapshot {
     /// Captures a build output under its key. The stream fingerprint is
     /// computed here, from the same records that are stored, so encode →
@@ -352,8 +751,9 @@ impl Snapshot {
         }
     }
 
-    /// Serializes to the version-3 wire format (trailing FNV-64 checksum
-    /// over everything before it).
+    /// Serializes to the version-4 wire format: section directory, five
+    /// 8-aligned sections, trailing FNV-64 checksum over everything before
+    /// it.
     pub fn encode(&self) -> Vec<u8> {
         self.encode_version(VERSION)
     }
@@ -366,6 +766,10 @@ impl Snapshot {
             (MIN_VERSION..=VERSION).contains(&version),
             "cannot encode codec version {version}"
         );
+        if version >= 4 {
+            return self.encode_v4();
+        }
+        // v2/v3: one sequential stream, no directory.
         let mut w = Writer::new();
         w.bytes(MAGIC);
         w.u32(version);
@@ -375,73 +779,66 @@ impl Snapshot {
         w.bytes(self.key.algorithm.as_bytes());
         w.u64(self.stream_fingerprint);
         w.u64(self.num_vertices as u64);
-        w.u64(self.records.len() as u64);
-        for (e, p) in &self.records {
-            w.u64(e.u as u64);
-            w.u64(e.v as u64);
-            w.u64(e.weight);
-            w.u64(p.phase as u64);
-            w.u8(p.kind.code());
-            w.u64(p.charged_to as u64);
-        }
-        match self.certified {
-            Some((a, b)) => {
-                w.u8(1);
-                w.u64(a.to_bits());
-                w.u64(b.to_bits());
-            }
-            None => w.u8(0),
-        }
+        write_records(&mut w, &self.records);
+        write_certified(&mut w, self.certified);
         opt_f64(&mut w, self.size_bound);
-        match &self.congest {
-            Some(c) => {
-                w.u8(1);
-                w.u64(c.metrics.rounds);
-                w.u64(c.metrics.charged_rounds);
-                w.u64(c.metrics.messages);
-                w.u64(c.metrics.words);
-                w.u64(c.metrics.peak_in_flight);
-                w.u64(c.knowledge_checked as u64);
-                w.u64(c.knowledge_violations as u64);
-            }
-            None => w.u8(0),
-        }
-        w.u64(self.stats.threads as u64);
-        w.u64(self.stats.total.as_nanos().min(u128::from(u64::MAX)) as u64);
-        w.u64(self.stats.phases.len() as u64);
-        for p in &self.stats.phases {
-            w.u64(p.phase as u64);
-            w.u64(p.duration.as_nanos().min(u128::from(u64::MAX)) as u64);
-            w.u64(p.explorations as u64);
-        }
-        w.u64(self.stats.shards.len() as u64);
-        for sh in &self.stats.shards {
-            w.u64(sh.shard as u64);
-            w.u64(sh.vertices as u64);
-            w.u64(sh.local_edges as u64);
-            w.u64(sh.cut_edges as u64);
-            w.u64(sh.duration.as_nanos().min(u128::from(u64::MAX)) as u64);
-        }
+        write_congest(&mut w, &self.congest);
+        write_core_stats(&mut w, &self.stats);
         if version >= 3 {
             // v3: the transport the build ran on plus its measured message
             // statistics (worker-pool builds only).
-            w.u8(self.stats.transport.code());
-            match &self.stats.messages {
-                Some(m) => {
-                    w.u8(1);
-                    w.u64(m.rounds);
-                    w.u64(m.messages);
-                    w.u64(m.bytes);
-                    w.u64(m.pairs.len() as u64);
-                    for p in &m.pairs {
-                        w.u64(p.src as u64);
-                        w.u64(p.dst as u64);
-                        w.u64(p.messages);
-                        w.u64(p.bytes);
-                    }
-                }
-                None => w.u8(0),
+            write_transport_stats(&mut w, &self.stats);
+        }
+        w.finish()
+    }
+
+    /// The v4 layout: `MAGIC | version | section count | directory
+    /// (id, offset, length per section) | sections | checksum`, every
+    /// section starting on an 8-byte boundary so the all-`u64`
+    /// [`SECTION_EMU_CSR`] payload is alignment-safe under mmap.
+    fn encode_v4(&self) -> Vec<u8> {
+        let mut key = Writer::new();
+        key.u64(self.key.graph_fingerprint);
+        key.u64(self.key.config_digest);
+        key.u32(self.key.algorithm.len() as u32);
+        key.bytes(self.key.algorithm.as_bytes());
+
+        let mut meta = Writer::new();
+        meta.u64(self.stream_fingerprint);
+        meta.u64(self.num_vertices as u64);
+        write_certified(&mut meta, self.certified);
+        opt_f64(&mut meta, self.size_bound);
+        write_congest(&mut meta, &self.congest);
+
+        let mut records = Writer::new();
+        write_records(&mut records, &self.records);
+
+        let mut stats = Writer::new();
+        write_core_stats(&mut stats, &self.stats);
+        write_transport_stats(&mut stats, &self.stats);
+
+        let emu = emu_csr_section(self.num_vertices, &self.records);
+
+        let bodies = [key.buf, meta.buf, records.buf, stats.buf, emu];
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u32(4);
+        w.u32(SECTION_IDS.len() as u32);
+        let mut starts = [0usize; 5];
+        let mut offset = V4_HEADER + SECTION_IDS.len() * DIR_ENTRY;
+        for (i, body) in bodies.iter().enumerate() {
+            let start = (offset + 7) & !7;
+            starts[i] = start;
+            w.u64(SECTION_IDS[i]);
+            w.u64(start as u64);
+            w.u64(body.len() as u64);
+            offset = start + body.len();
+        }
+        for (i, body) in bodies.iter().enumerate() {
+            while w.buf.len() < starts[i] {
+                w.u8(0);
             }
+            w.bytes(body);
         }
         w.finish()
     }
@@ -486,7 +883,23 @@ impl Snapshot {
                 computed,
             });
         }
-        // Re-read over the checksummed content only, past magic+version.
+        let snap = if version >= 4 {
+            Self::decode_v4(content)?
+        } else {
+            Self::decode_legacy(content, version)?
+        };
+        let recomputed = stream_fingerprint(&snap.records);
+        if recomputed != snap.stream_fingerprint {
+            return Err(SnapshotError::FingerprintMismatch {
+                stored: snap.stream_fingerprint,
+                recomputed,
+            });
+        }
+        Ok(snap)
+    }
+
+    /// v2/v3: one sequential stream past magic+version.
+    fn decode_legacy(content: &[u8], version: u32) -> Result<Snapshot, SnapshotError> {
         let mut r = Reader::new(content);
         r.take(MAGIC.len() + 4)?;
         let graph_fingerprint = r.u64()?;
@@ -498,150 +911,83 @@ impl Snapshot {
             })?;
         let stream_fp = r.u64()?;
         let num_vertices = r.u64()? as usize;
-        let record_count = r.count()?;
-        let mut records = Vec::with_capacity(record_count);
-        for i in 0..record_count {
-            let u = r.u64()? as usize;
-            let v = r.u64()? as usize;
-            let weight = r.u64()?;
-            let phase = r.u64()? as usize;
-            let kind_byte = r.u8()?;
-            let charged_to = r.u64()? as usize;
-            let kind = EdgeKind::from_code(kind_byte).ok_or_else(|| SnapshotError::Corrupt {
-                reason: format!("record {i}: invalid edge-kind byte {kind_byte}"),
-            })?;
-            if u >= num_vertices || v >= num_vertices || u == v || charged_to >= num_vertices {
-                return Err(SnapshotError::Corrupt {
-                    reason: format!(
-                        "record {i}: endpoints ({u}, {v}) out of range for n={num_vertices}"
-                    ),
-                });
-            }
-            records.push((
-                WeightedEdge::new(u, v, weight),
-                EdgeProvenance {
-                    phase,
-                    kind,
-                    charged_to,
-                },
-            ));
-        }
-        let certified = match r.u8()? {
-            0 => None,
-            1 => {
-                let a = r.f64()?;
-                let b = r.f64()?;
-                if a.is_nan() || b.is_nan() {
-                    return Err(SnapshotError::Corrupt {
-                        reason: "certified stretch is NaN".into(),
-                    });
-                }
-                Some((a, b))
-            }
-            b => {
-                return Err(SnapshotError::Corrupt {
-                    reason: format!("invalid certified tag {b}"),
-                })
-            }
-        };
+        let records = read_records(&mut r, num_vertices)?;
+        let certified = read_certified(&mut r)?;
         let size_bound = read_opt_f64(&mut r)?;
-        let congest = match r.u8()? {
-            0 => None,
-            1 => Some(CongestStats {
-                metrics: Metrics {
-                    rounds: r.u64()?,
-                    charged_rounds: r.u64()?,
-                    messages: r.u64()?,
-                    words: r.u64()?,
-                    peak_in_flight: r.u64()?,
-                },
-                knowledge_checked: r.u64()? as usize,
-                knowledge_violations: r.u64()? as usize,
-            }),
-            b => {
-                return Err(SnapshotError::Corrupt {
-                    reason: format!("invalid congest tag {b}"),
-                })
-            }
-        };
-        let threads = r.u64()? as usize;
-        let total = Duration::from_nanos(r.u64()?);
-        let phase_count = r.count()?;
-        let mut phases = Vec::with_capacity(phase_count);
-        for _ in 0..phase_count {
-            phases.push(PhaseTiming {
-                phase: r.u64()? as usize,
-                duration: Duration::from_nanos(r.u64()?),
-                explorations: r.u64()? as usize,
-            });
-        }
-        let shard_count = r.count()?;
-        let mut shards = Vec::with_capacity(shard_count);
-        for _ in 0..shard_count {
-            shards.push(ShardTiming {
-                shard: r.u64()? as usize,
-                vertices: r.u64()? as usize,
-                local_edges: r.u64()? as usize,
-                cut_edges: r.u64()? as usize,
-                duration: Duration::from_nanos(r.u64()?),
-            });
-        }
+        let congest = read_congest(&mut r)?;
+        let (threads, total, phases, shards) = read_core_stats(&mut r)?;
         // v3 tail; v2 files predate worker transports, so they ran inproc
         // with no message exchange.
         let (transport, messages) = if version >= 3 {
-            let code = r.u8()?;
-            let transport =
-                TransportKind::from_code(code).ok_or_else(|| SnapshotError::Corrupt {
-                    reason: format!("invalid transport byte {code}"),
-                })?;
-            let messages = match r.u8()? {
-                0 => None,
-                1 => {
-                    let rounds = r.u64()?;
-                    let total_messages = r.u64()?;
-                    let bytes = r.u64()?;
-                    let pair_count = r.count()?;
-                    let mut pairs = Vec::with_capacity(pair_count);
-                    for _ in 0..pair_count {
-                        pairs.push(PairStats {
-                            src: r.u64()? as usize,
-                            dst: r.u64()? as usize,
-                            messages: r.u64()?,
-                            bytes: r.u64()?,
-                        });
-                    }
-                    Some(MessageStats {
-                        rounds,
-                        messages: total_messages,
-                        bytes,
-                        pairs,
-                    })
-                }
-                b => {
-                    return Err(SnapshotError::Corrupt {
-                        reason: format!("invalid message-stats tag {b}"),
-                    })
-                }
-            };
-            (transport, messages)
+            read_transport_stats(&mut r)?
         } else {
             (TransportKind::Inproc, None)
         };
-        if r.pos != content.len() {
+        section_end(&r, "declared")?;
+        Ok(Snapshot {
+            key: CacheKey {
+                graph_fingerprint,
+                algorithm,
+                config_digest,
+            },
+            stream_fingerprint: stream_fp,
+            num_vertices,
+            records,
+            certified,
+            size_bound,
+            congest,
+            stats: BuildStats {
+                threads,
+                total,
+                phases,
+                shards,
+                transport,
+                messages,
+                cache: CacheStatus::Miss,
+            },
+        })
+    }
+
+    /// v4: locate every section through the directory, decode each, and
+    /// byte-compare the stored [`SECTION_EMU_CSR`] against a recomputation
+    /// from the records — a served section that drifted from the stream it
+    /// claims to index is corruption, not a quirk.
+    fn decode_v4(content: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let table = parse_directory(content)?;
+
+        let mut r = Reader::new(&content[table.key.clone()]);
+        let graph_fingerprint = r.u64()?;
+        let config_digest = r.u64()?;
+        let name_len = r.u32()? as usize;
+        let algorithm =
+            String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| SnapshotError::Corrupt {
+                reason: "algorithm name is not UTF-8".into(),
+            })?;
+        section_end(&r, "key")?;
+
+        let mut r = Reader::new(&content[table.meta.clone()]);
+        let stream_fp = r.u64()?;
+        let num_vertices = r.u64()? as usize;
+        let certified = read_certified(&mut r)?;
+        let size_bound = read_opt_f64(&mut r)?;
+        let congest = read_congest(&mut r)?;
+        section_end(&r, "meta")?;
+
+        let mut r = Reader::new(&content[table.records.clone()]);
+        let records = read_records(&mut r, num_vertices)?;
+        section_end(&r, "records")?;
+
+        let mut r = Reader::new(&content[table.stats.clone()]);
+        let (threads, total, phases, shards) = read_core_stats(&mut r)?;
+        let (transport, messages) = read_transport_stats(&mut r)?;
+        section_end(&r, "stats")?;
+
+        if content[table.emu.clone()] != emu_csr_section(num_vertices, &records)[..] {
             return Err(SnapshotError::Corrupt {
-                reason: format!(
-                    "{} trailing bytes after declared content",
-                    content.len() - r.pos
-                ),
+                reason: "emulator CSR section does not match the record stream".into(),
             });
         }
-        let recomputed = stream_fingerprint(&records);
-        if recomputed != stream_fp {
-            return Err(SnapshotError::FingerprintMismatch {
-                stored: stream_fp,
-                recomputed,
-            });
-        }
+
         Ok(Snapshot {
             key: CacheKey {
                 graph_fingerprint,
@@ -701,6 +1047,354 @@ impl Snapshot {
             },
             algorithm,
         }
+    }
+}
+
+fn storage_to_snapshot_error(e: StorageError) -> SnapshotError {
+    match e {
+        StorageError::Io(e) => SnapshotError::Io(e),
+        other => SnapshotError::Corrupt {
+            reason: other.to_string(),
+        },
+    }
+}
+
+/// A v4 snapshot file held open through the section directory — the
+/// serving side of the codec. The file is mapped ([`ByteMap`]: mmap where
+/// available, a paged read elsewhere) and **indexed, not decoded**: open
+/// verifies the whole-file checksum, parses the small KEY/META sections,
+/// and structurally validates the [`SECTION_EMU_CSR`] index (monotone
+/// offsets, in-range neighbors) so later reads can never go out of
+/// bounds — but the record stream is never materialized. v2/v3 files are
+/// refused with [`SnapshotError::UnsupportedVersion`]; decode them with
+/// [`Snapshot::decode`] instead.
+#[derive(Debug)]
+pub struct MappedSnapshot {
+    map: ByteMap,
+    path: PathBuf,
+    key: CacheKey,
+    stream_fingerprint: u64,
+    num_vertices: usize,
+    num_edges: usize,
+    num_records: usize,
+    certified: Option<(f64, f64)>,
+    size_bound: Option<f64>,
+    /// Absolute byte offset of the EMU_CSR `(n+1)`-entry offset array.
+    emu_offsets_at: usize,
+    /// Absolute byte offset of the EMU_CSR `(neighbor, weight)` pairs.
+    emu_adj_at: usize,
+}
+
+impl MappedSnapshot {
+    /// Opens and indexes a v4 snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnsupportedVersion`] for pre-v4 files (they carry
+    /// no section directory), otherwise any integrity failure of the
+    /// header, checksum, directory, or the served sections.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, SnapshotError> {
+        let path = path.into();
+        let map = ByteMap::open(&path).map_err(storage_to_snapshot_error)?;
+        let bytes = map.bytes();
+        if bytes.len() < V4_HEADER + 8 {
+            return Err(SnapshotError::Truncated {
+                offset: bytes.len(),
+            });
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let (content, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored_checksum = u64::from_le_bytes(trailer.try_into().unwrap());
+        let mut h = Fnv64::new();
+        h.write_bytes(content);
+        let computed = h.finish();
+        if computed != stored_checksum {
+            return Err(SnapshotError::ChecksumMismatch {
+                stored: stored_checksum,
+                computed,
+            });
+        }
+        let table = parse_directory(content)?;
+
+        let mut r = Reader::new(&content[table.key.clone()]);
+        let graph_fingerprint = r.u64()?;
+        let config_digest = r.u64()?;
+        let name_len = r.u32()? as usize;
+        let algorithm =
+            String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| SnapshotError::Corrupt {
+                reason: "algorithm name is not UTF-8".into(),
+            })?;
+        section_end(&r, "key")?;
+
+        let mut r = Reader::new(&content[table.meta.clone()]);
+        let stream_fingerprint = r.u64()?;
+        let num_vertices = r.u64()? as usize;
+        let certified = read_certified(&mut r)?;
+        let size_bound = read_opt_f64(&mut r)?;
+        read_congest(&mut r)?;
+        section_end(&r, "meta")?;
+
+        // Record count without decoding the stream: the section's leading
+        // u64.
+        let mut r = Reader::new(&content[table.records.clone()]);
+        let num_records = r.count()?;
+
+        // Structural validation of the served index, so Dijkstra over it
+        // can never read out of bounds: declared lengths consistent,
+        // offsets monotone and ending at the adjacency length, every
+        // neighbor id in range.
+        let emu = table.emu.clone();
+        let mut r = Reader::new(&content[emu.clone()]);
+        let n = r.u64()? as usize;
+        let m = r.u64()? as usize;
+        let adj_len = r.u64()? as usize;
+        if n != num_vertices {
+            return Err(SnapshotError::Corrupt {
+                reason: format!("emulator CSR has {n} vertices, meta declares {num_vertices}"),
+            });
+        }
+        if Some(adj_len) != m.checked_mul(2) {
+            return Err(SnapshotError::Corrupt {
+                reason: format!("emulator CSR adjacency length {adj_len} is not 2·{m}"),
+            });
+        }
+        let expected_len = 24 + 8 * (n + 1) + 16 * adj_len;
+        if emu.len() != expected_len {
+            return Err(SnapshotError::Corrupt {
+                reason: format!(
+                    "emulator CSR section is {} bytes, layout requires {expected_len}",
+                    emu.len()
+                ),
+            });
+        }
+        let emu_offsets_at = emu.start + 24;
+        let emu_adj_at = emu_offsets_at + 8 * (n + 1);
+        let mut prev = 0u64;
+        for i in 0..=n {
+            let o = map.u64_at(emu_offsets_at + 8 * i);
+            if o < prev || o > adj_len as u64 {
+                return Err(SnapshotError::Corrupt {
+                    reason: format!("emulator CSR offset {i} is not monotone"),
+                });
+            }
+            prev = o;
+        }
+        if prev != adj_len as u64 {
+            return Err(SnapshotError::Corrupt {
+                reason: format!(
+                    "emulator CSR offsets end at {prev}, adjacency length is {adj_len}"
+                ),
+            });
+        }
+        for i in 0..adj_len {
+            let nb = map.u64_at(emu_adj_at + 16 * i);
+            if nb >= n as u64 {
+                return Err(SnapshotError::Corrupt {
+                    reason: format!("emulator CSR neighbor {nb} out of range for n={n}"),
+                });
+            }
+        }
+
+        Ok(MappedSnapshot {
+            map,
+            path,
+            key: CacheKey {
+                graph_fingerprint,
+                algorithm,
+                config_digest,
+            },
+            stream_fingerprint,
+            num_vertices,
+            num_edges: m,
+            num_records,
+            certified,
+            size_bound,
+            emu_offsets_at,
+            emu_adj_at,
+        })
+    }
+
+    /// The file this snapshot is served from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The entry's key, straight from the KEY section.
+    pub fn key(&self) -> &CacheKey {
+        &self.key
+    }
+
+    /// Stored stream fingerprint (the identity of the output).
+    pub fn stream_fingerprint(&self) -> u64 {
+        self.stream_fingerprint
+    }
+
+    /// Emulator vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Distinct-edge count, from the EMU_CSR header — no record decode.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Insertion-record count, from the RECORDS section header.
+    pub fn num_records(&self) -> usize {
+        self.num_records
+    }
+
+    /// Certified `(α, β)`, when the producing construction certified one.
+    pub fn certified(&self) -> Option<(f64, f64)> {
+        self.certified
+    }
+
+    /// Proven size bound, when known.
+    pub fn size_bound(&self) -> Option<f64> {
+        self.size_bound
+    }
+
+    /// Whether the file is OS-mapped (`false`: the paged fallback).
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Full verification — the same decode the cache integrity pass runs,
+    /// including the record-stream fingerprint and the byte-compare of the
+    /// served EMU_CSR section against the records.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] the full decode reports.
+    pub fn verify(&self) -> Result<(), SnapshotError> {
+        Snapshot::decode(self.map.bytes()).map(|_| ())
+    }
+
+    /// Converts this handle into its Dijkstra-ready [`MappedEmulator`].
+    pub fn into_emulator(self) -> MappedEmulator {
+        MappedEmulator {
+            map: self.map,
+            num_vertices: self.num_vertices,
+            num_edges: self.num_edges,
+            offsets_at: self.emu_offsets_at,
+            adj_at: self.emu_adj_at,
+        }
+    }
+
+    /// Opens an independent [`MappedEmulator`] over the same file,
+    /// re-validating it (a file swapped out under this handle is caught,
+    /// never trusted).
+    ///
+    /// # Errors
+    ///
+    /// Any open-time failure, plus [`SnapshotError::FingerprintMismatch`]
+    /// when the file no longer holds the stream this handle indexed.
+    pub fn emulator(&self) -> Result<MappedEmulator, SnapshotError> {
+        let reopened = MappedSnapshot::open(&self.path)?;
+        if reopened.stream_fingerprint != self.stream_fingerprint {
+            return Err(SnapshotError::FingerprintMismatch {
+                stored: self.stream_fingerprint,
+                recomputed: reopened.stream_fingerprint,
+            });
+        }
+        Ok(reopened.into_emulator())
+    }
+}
+
+/// An emulator served straight from a v4 snapshot's [`SECTION_EMU_CSR`]
+/// bytes: Dijkstra walks the mapped offset/adjacency arrays, so answering
+/// queries holds `O(n)` distance state but never the `O(m)` structure on
+/// the heap. Distances are shortest-path distances over exactly the edge
+/// set the heap [`Emulator`] holds, and shortest distances are unique —
+/// answers are byte-identical to the heap path (the out-of-core
+/// conformance suite locks this registry-wide).
+#[derive(Debug)]
+pub struct MappedEmulator {
+    map: ByteMap,
+    num_vertices: usize,
+    num_edges: usize,
+    offsets_at: usize,
+    adj_at: usize,
+}
+
+impl MappedEmulator {
+    /// Opens a v4 snapshot file directly as a served emulator.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MappedSnapshot::open`] failure.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, SnapshotError> {
+        Ok(MappedSnapshot::open(path)?.into_emulator())
+    }
+
+    fn off(&self, v: VertexId) -> usize {
+        self.map.u64_at(self.offsets_at + 8 * v) as usize
+    }
+
+    /// Emulator vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Distinct-edge count.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `v` in the emulator (distinct neighbors — the same count
+    /// the heap emulator's adjacency map reports).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.off(v + 1) - self.off(v)
+    }
+
+    /// Neighbors of `v` with weights, ascending by neighbor id.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Dist)> + '_ {
+        (self.off(v)..self.off(v + 1)).map(move |i| {
+            let at = self.adj_at + 16 * i;
+            (self.map.u64_at(at) as usize, self.map.u64_at(at + 8))
+        })
+    }
+
+    /// Whether the underlying file is OS-mapped.
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Single-source distances in `H` — Dijkstra over the mapped CSR.
+    /// Identical output to [`Emulator::distances_from`]: shortest
+    /// distances are unique, so the storage layout cannot change them.
+    pub fn distances_from(&self, source: VertexId) -> Vec<Option<Dist>> {
+        let mut dist: Vec<Option<Dist>> = vec![None; self.num_vertices];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[source] = Some(0);
+        heap.push(std::cmp::Reverse((0, source)));
+        while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+            if dist[v] != Some(d) {
+                continue;
+            }
+            for (nb, w) in self.neighbors(v) {
+                let nd = d + w;
+                if dist[nb].is_none_or(|cur| nd < cur) {
+                    dist[nb] = Some(nd);
+                    heap.push(std::cmp::Reverse((nd, nb)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Distance between `u` and `v` in `H` (`None` when disconnected).
+    pub fn distance(&self, u: VertexId, v: VertexId) -> Option<Dist> {
+        self.distances_from(u)[v]
     }
 }
 
@@ -1137,6 +1831,187 @@ mod tests {
             Snapshot::decode(&good[..good.len() / 2]),
             Err(SnapshotError::Truncated { .. }) | Err(SnapshotError::ChecksumMismatch { .. })
         ));
+    }
+
+    /// Recomputes the trailing whole-file checksum after a tamper, so the
+    /// corruption reaches the section parsers instead of the checksum gate.
+    fn repatch_checksum(bytes: &mut [u8]) {
+        let body = bytes.len() - 8;
+        let mut h = Fnv64::new();
+        h.write_bytes(&bytes[..body]);
+        let sum = h.finish().to_le_bytes();
+        bytes[body..].copy_from_slice(&sum);
+    }
+
+    #[test]
+    fn v3_snapshots_round_trip_fully() {
+        // v3 (pre-directory) carries everything v4 does except the
+        // emulator CSR section; the decoded value is identical.
+        let (_, out, key) = worker_output();
+        let snap = Snapshot::from_output(key, &out);
+        let v3 = snap.encode_version(3);
+        assert_eq!(v3[8], 3, "version byte is little-endian 3");
+        let decoded = Snapshot::decode(&v3).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn v4_layout_has_a_well_formed_directory() {
+        let (_, out, key) = sample_output();
+        let good = Snapshot::from_output(key, &out).encode();
+        assert_eq!(good[8], 4, "default encoding is v4");
+        let count = u32::from_le_bytes(good[12..16].try_into().unwrap());
+        assert_eq!(count, 5);
+        let mut prev_end = (V4_HEADER + 5 * DIR_ENTRY) as u64;
+        for (i, &id) in SECTION_IDS.iter().enumerate() {
+            let at = V4_HEADER + i * DIR_ENTRY;
+            let entry_id = u64::from_le_bytes(good[at..at + 8].try_into().unwrap());
+            let off = u64::from_le_bytes(good[at + 8..at + 16].try_into().unwrap());
+            let len = u64::from_le_bytes(good[at + 16..at + 24].try_into().unwrap());
+            assert_eq!(entry_id, id);
+            assert_eq!(off % 8, 0, "section {id} is 8-aligned");
+            assert!(off >= prev_end, "section {id} does not overlap");
+            prev_end = off + len;
+        }
+        assert_eq!(
+            prev_end as usize + 8,
+            good.len(),
+            "last section runs to the checksum trailer"
+        );
+    }
+
+    #[test]
+    fn v4_section_directory_corruption_is_typed() {
+        let (_, out, key) = sample_output();
+        let good = Snapshot::from_output(key, &out).encode();
+
+        // Each tamper is re-checksummed so the directory parser, not the
+        // checksum gate, must catch it.
+        let corrupt = |mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut bytes = good.clone();
+            mutate(&mut bytes);
+            repatch_checksum(&mut bytes);
+            Snapshot::decode(&bytes)
+        };
+        type Tamper = Box<dyn Fn(&mut Vec<u8>)>;
+        let cases: Vec<(&str, Tamper)> = vec![
+            ("wrong section count", Box::new(|b: &mut Vec<u8>| b[12] = 7)),
+            (
+                "wrong section id",
+                Box::new(|b: &mut Vec<u8>| b[V4_HEADER] = 0x99),
+            ),
+            (
+                "misaligned offset",
+                Box::new(|b: &mut Vec<u8>| b[V4_HEADER + 8] ^= 0x01),
+            ),
+            (
+                "overlapping sections",
+                Box::new(|b: &mut Vec<u8>| {
+                    // Pull the META section's offset back onto KEY's range.
+                    let at = V4_HEADER + DIR_ENTRY + 8;
+                    let off = u64::from_le_bytes(b[at..at + 8].try_into().unwrap());
+                    b[at..at + 8].copy_from_slice(&(off - 8).to_le_bytes());
+                }),
+            ),
+            (
+                "length past end of file",
+                Box::new(|b: &mut Vec<u8>| {
+                    let at = V4_HEADER + 4 * DIR_ENTRY + 16;
+                    let len = u64::from_le_bytes(b[at..at + 8].try_into().unwrap());
+                    b[at..at + 8].copy_from_slice(&(len + 8).to_le_bytes());
+                }),
+            ),
+            (
+                "emulator CSR drifted from the records",
+                Box::new(|b: &mut Vec<u8>| {
+                    let at = V4_HEADER + 4 * DIR_ENTRY + 8;
+                    let emu_off = u64::from_le_bytes(b[at..at + 8].try_into().unwrap()) as usize;
+                    // Flip a neighbor byte inside the CSR body.
+                    b[emu_off + 24] ^= 0x01;
+                }),
+            ),
+        ];
+        for (what, mutate) in &cases {
+            assert!(
+                matches!(corrupt(mutate.as_ref()), Err(SnapshotError::Corrupt { .. })),
+                "{what} must decode to a typed Corrupt error"
+            );
+        }
+        // Control: the repatch helper itself keeps a good file good.
+        let mut untouched = good.clone();
+        repatch_checksum(&mut untouched);
+        assert!(Snapshot::decode(&untouched).is_ok());
+    }
+
+    #[test]
+    fn mapped_snapshot_round_trips_and_serves_identical_distances() {
+        let dir = temp_dir("mapped-snap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, out, key) = sample_output();
+        let snap = Snapshot::from_output(key, &out);
+        let path = dir.join("entry.usnae");
+        std::fs::write(&path, snap.encode()).unwrap();
+
+        let mapped = MappedSnapshot::open(&path).unwrap();
+        assert_eq!(mapped.key(), &snap.key);
+        assert_eq!(mapped.stream_fingerprint(), snap.stream_fingerprint);
+        assert_eq!(mapped.num_vertices(), snap.num_vertices);
+        assert_eq!(mapped.num_records(), snap.records.len());
+        assert_eq!(mapped.certified(), snap.certified);
+        assert_eq!(mapped.size_bound(), snap.size_bound);
+        mapped.verify().unwrap();
+
+        let heap = out.emulator;
+        let em = mapped.emulator().unwrap();
+        assert_eq!(em.num_vertices(), heap.num_vertices());
+        assert_eq!(em.num_edges(), heap.num_edges());
+        for v in 0..heap.num_vertices() {
+            assert_eq!(em.degree(v), heap.graph().degree(v), "degree({v})");
+            assert_eq!(em.distances_from(v), heap.distances_from(v), "sssp({v})");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mapped_snapshot_refuses_pre_v4_and_tampered_files() {
+        let dir = temp_dir("mapped-refuse");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, out, key) = sample_output();
+        let snap = Snapshot::from_output(key, &out);
+
+        // Pre-v4 files have no directory to serve from.
+        let v3_path = dir.join("v3.usnae");
+        std::fs::write(&v3_path, snap.encode_version(3)).unwrap();
+        assert!(matches!(
+            MappedSnapshot::open(&v3_path),
+            Err(SnapshotError::UnsupportedVersion { found: 3, .. })
+        ));
+
+        // Bit rot anywhere fails the open-time checksum.
+        let mut bytes = snap.encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        let rot_path = dir.join("rot.usnae");
+        std::fs::write(&rot_path, &bytes).unwrap();
+        assert!(matches!(
+            MappedSnapshot::open(&rot_path),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+
+        // A drifted CSR body that survives re-checksumming is still caught
+        // by the open-time structural scan or the serve-time byte compare.
+        let mut drifted = snap.encode();
+        let at = V4_HEADER + 4 * DIR_ENTRY + 8;
+        let emu_off = u64::from_le_bytes(drifted[at..at + 8].try_into().unwrap()) as usize;
+        drifted[emu_off] ^= 0x01; // corrupt the stored vertex count
+        repatch_checksum(&mut drifted);
+        let drift_path = dir.join("drift.usnae");
+        std::fs::write(&drift_path, &drifted).unwrap();
+        assert!(matches!(
+            MappedSnapshot::open(&drift_path),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
 use crate::engine::Engine;
 use crate::exec::{ChunkPolicy, PhaseClock, PhaseTiming};
 use crate::params::CentralizedParams;
-use usnae_graph::{Dist, Graph, VertexId};
+use usnae_graph::{AdjStorage, Dist, Graph, GraphCore, VertexId};
 
 /// Order in which phase `i` pops centers from `S_i`.
 ///
@@ -51,7 +51,7 @@ pub enum ProcessingOrder {
 }
 
 impl ProcessingOrder {
-    fn arrange(&self, centers: &mut [VertexId], g: &Graph) {
+    fn arrange<S: AdjStorage>(&self, centers: &mut [VertexId], g: &GraphCore<S>) {
         match self {
             ProcessingOrder::ById => centers.sort_unstable(),
             ProcessingOrder::ByIdDesc => centers.sort_unstable_by(|a, b| b.cmp(a)),
@@ -158,11 +158,11 @@ pub(crate) fn build_centralized(
 /// explorations run through the [`Engine`] — the in-process fan-out over
 /// the shared array or CSR shards, or a worker pool exchanging typed
 /// frontier messages — byte-identical either way.
-pub(crate) fn build_centralized_exec(
-    g: &Graph,
+pub(crate) fn build_centralized_exec<S: AdjStorage>(
+    g: &GraphCore<S>,
     params: &CentralizedParams,
     order: ProcessingOrder,
-    engine: &Engine<'_>,
+    engine: &Engine<'_, S>,
 ) -> (Emulator, BuildTrace, Vec<PhaseTiming>) {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
@@ -210,9 +210,9 @@ struct SuperclusterBuild {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_phase(
-    g: &Graph,
-    engine: &Engine<'_>,
+fn run_phase<S: AdjStorage>(
+    g: &GraphCore<S>,
+    engine: &Engine<'_, S>,
     emulator: &mut Emulator,
     partition: &Partition,
     i: usize,

@@ -28,7 +28,7 @@ use std::cell::RefCell;
 use crate::api::{BuildConfig, BuildError};
 use crate::sai::{self, Exploration};
 use usnae_graph::partition::{GraphView, ShardView, ShardedCsr};
-use usnae_graph::{par, Dist, Graph, VertexId};
+use usnae_graph::{par, AdjStorage, Dist, GraphCore, HeapAdj, VertexId};
 use usnae_workers::{MessageStats, ShardInit, TransportKind, WorkerError, WorkerPool};
 
 /// What [`Engine::finish`] hands back to the build driver: the transport
@@ -50,21 +50,21 @@ pub struct EngineReport {
 /// Interior mutability (`RefCell`) keeps the primitive methods `&self`, so
 /// the exec functions thread one shared `&Engine` through their phase
 /// loops exactly like they used to thread `(threads, &GraphView)`.
-pub struct Engine<'g> {
-    view: GraphView<'g>,
+pub struct Engine<'g, S: AdjStorage = HeapAdj> {
+    view: GraphView<'g, S>,
     threads: usize,
     kind: TransportKind,
     pool: RefCell<Option<WorkerPool>>,
     error: RefCell<Option<WorkerError>>,
 }
 
-impl<'g> Engine<'g> {
+impl<'g, S: AdjStorage> Engine<'g, S> {
     /// Builds the engine for one construction run: partitions the graph
     /// per `cfg` and, for a worker transport on a partitioned layout,
     /// spawns the pool. A pool that cannot be spawned (e.g. the worker
     /// binary is missing) stashes its error and the build runs in-process;
     /// [`finish`](Self::finish) surfaces the failure.
-    pub fn new(g: &'g Graph, cfg: &BuildConfig) -> Engine<'g> {
+    pub fn new(g: &'g GraphCore<S>, cfg: &BuildConfig) -> Engine<'g, S> {
         let view = cfg.graph_view(g);
         let mut engine = Engine {
             view,
@@ -90,7 +90,7 @@ impl<'g> Engine<'g> {
 
     /// A plain in-process engine over the shared adjacency array — the
     /// sequential wrappers' entry point.
-    pub fn inproc(g: &'g Graph, threads: usize) -> Engine<'g> {
+    pub fn inproc(g: &'g GraphCore<S>, threads: usize) -> Engine<'g, S> {
         Engine {
             view: GraphView::shared(g),
             threads,

@@ -31,6 +31,18 @@ pub enum ParamError {
         /// The transport name that was requested.
         transport: &'static str,
     },
+    /// A worker transport (`channel`/`process`) was requested from a
+    /// construction that cannot shard its execution (the CONGEST
+    /// simulations and whole-graph baselines run in-process only).
+    /// Rejected loudly instead of silently running in-process, so a
+    /// requested worker build never quietly reports one that did not
+    /// happen.
+    TransportUnsupported {
+        /// Registry name of the refusing construction.
+        algorithm: &'static str,
+        /// The transport name that was requested.
+        transport: &'static str,
+    },
     /// A float parameter was NaN or infinite. Rejected up front so
     /// [`BuildConfig`](crate::api::BuildConfig) is a total `Eq + Hash` key
     /// (cache keys must never see NaN).
@@ -67,6 +79,16 @@ impl fmt::Display for ParamError {
                 write!(
                     f,
                     "the {transport} transport needs a partitioned layout: set shards >= 1"
+                )
+            }
+            ParamError::TransportUnsupported {
+                algorithm,
+                transport,
+            } => {
+                write!(
+                    f,
+                    "{algorithm} runs in-process only and cannot honor the \
+                     {transport} transport (use transport=inproc)"
                 )
             }
             ParamError::NonFinite { field, value } => {

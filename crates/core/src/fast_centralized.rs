@@ -25,7 +25,7 @@ use crate::engine::Engine;
 use crate::exec::{PhaseClock, PhaseTiming};
 use crate::params::DistributedParams;
 use usnae_graph::bfs::multi_source_bfs;
-use usnae_graph::{Dist, Graph, VertexId};
+use usnae_graph::{AdjStorage, Dist, Graph, GraphCore, VertexId};
 
 /// Per-phase statistics of a fast-centralized build.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,10 +95,10 @@ pub(crate) fn build_fast(g: &Graph, params: &DistributedParams) -> (Emulator, Fa
 /// over `engine.threads()` and recording per-phase timings. The per-center
 /// scans and the ruling-set ball carving run through the [`Engine`] — the
 /// in-process fan-out or a worker pool, byte-identical either way.
-pub(crate) fn build_fast_exec(
-    g: &Graph,
+pub(crate) fn build_fast_exec<S: AdjStorage>(
+    g: &GraphCore<S>,
     params: &DistributedParams,
-    engine: &Engine<'_>,
+    engine: &Engine<'_, S>,
 ) -> (Emulator, FastBuildTrace, Vec<PhaseTiming>) {
     let n = g.num_vertices();
     let mut emulator = Emulator::new(n);
@@ -127,8 +127,8 @@ pub(crate) fn build_fast_exec(
 /// is status-free — one pure bounded BFS per center — so the whole scan
 /// fans out through the engine; each list is sorted by vertex id, the
 /// order the historical dense `Exploration` scan produced.
-fn neighbor_lists(
-    engine: &Engine<'_>,
+fn neighbor_lists<S: AdjStorage>(
+    engine: &Engine<'_, S>,
     centers: &[VertexId],
     delta: Dist,
     is_center: &[bool],
@@ -146,9 +146,9 @@ fn neighbor_lists(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_phase(
-    g: &Graph,
-    engine: &Engine<'_>,
+fn run_phase<S: AdjStorage>(
+    g: &GraphCore<S>,
+    engine: &Engine<'_, S>,
     emulator: &mut Emulator,
     partition: &Partition,
     i: usize,

@@ -76,4 +76,4 @@ pub mod verify;
 pub use api::{Algorithm, BuildConfig, BuildError, BuildOutput, Construction, EmulatorBuilder};
 pub use emulator::{EdgeKind, EdgeProvenance, Emulator};
 pub use error::ParamError;
-pub use oracle::{Certified, QueryEngine};
+pub use oracle::{Certified, EmStore, QueryEngine};

@@ -32,7 +32,7 @@
 
 use crate::api::backend::OutputBackend;
 use crate::api::BuildOutput;
-use crate::cache::SnapshotError;
+use crate::cache::{MappedEmulator, SnapshotError};
 use crate::centralized::{build_centralized, ProcessingOrder};
 use crate::emulator::Emulator;
 use crate::error::ParamError;
@@ -170,6 +170,64 @@ impl TreeCache {
     }
 }
 
+/// Where a [`QueryEngine`]'s structure lives: on this process's heap (the
+/// default — every live build) or served straight from a mapped v4
+/// snapshot file ([`MappedEmulator`]), which is how
+/// [`QueryEngine::open`] over a
+/// [`MappedBackend`](crate::api::MappedBackend) answers certified queries
+/// without ever materializing the structure. Both stores answer every
+/// query identically — shortest distances are unique, so the storage
+/// layout cannot change an answer.
+#[derive(Debug)]
+pub enum EmStore {
+    /// A live in-memory emulator.
+    Heap(Emulator),
+    /// A served v4 snapshot (Dijkstra over the mapped CSR section).
+    Mapped(MappedEmulator),
+}
+
+impl EmStore {
+    /// Vertex count of the structure.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            EmStore::Heap(h) => h.num_vertices(),
+            EmStore::Mapped(m) => m.num_vertices(),
+        }
+    }
+
+    /// Distinct-edge count of the structure.
+    pub fn num_edges(&self) -> usize {
+        match self {
+            EmStore::Heap(h) => h.num_edges(),
+            EmStore::Mapped(m) => m.num_edges(),
+        }
+    }
+
+    /// Degree of `v` (distinct neighbors — identical across stores).
+    pub fn degree(&self, v: VertexId) -> usize {
+        match self {
+            EmStore::Heap(h) => h.graph().degree(v),
+            EmStore::Mapped(m) => m.degree(v),
+        }
+    }
+
+    /// Single-source distances in `H`.
+    pub fn distances_from(&self, source: VertexId) -> Vec<Option<Dist>> {
+        match self {
+            EmStore::Heap(h) => h.distances_from(source),
+            EmStore::Mapped(m) => m.distances_from(source),
+        }
+    }
+
+    /// The live emulator, when this store holds one on the heap.
+    pub fn as_heap(&self) -> Option<&Emulator> {
+        match self {
+            EmStore::Heap(h) => Some(h),
+            EmStore::Mapped(_) => None,
+        }
+    }
+}
+
 /// Deterministic landmark index over an emulator: `k` landmarks chosen
 /// highest-degree-first (ties broken by ascending vertex id — the seeded,
 /// reproducible tie-break), one precomputed SSSP tree each, and the
@@ -193,12 +251,18 @@ impl LandmarkIndex {
     /// Builds the index: picks `min(k, n)` landmarks by descending
     /// emulator degree (ascending id on ties) and runs one Dijkstra each.
     pub fn build(h: &Emulator, k: usize) -> Self {
-        let n = h.num_vertices();
+        Self::build_store(&EmStore::Heap(h.clone()), k)
+    }
+
+    /// [`build`](Self::build) over either store. Degrees and distances are
+    /// identical across stores, so so is the index.
+    pub(crate) fn build_store(store: &EmStore, k: usize) -> Self {
+        let n = store.num_vertices();
         let mut by_degree: Vec<VertexId> = (0..n).collect();
-        by_degree.sort_by_key(|&v| (std::cmp::Reverse(h.graph().degree(v)), v));
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(store.degree(v)), v));
         let landmarks: Vec<VertexId> = by_degree.into_iter().take(k).collect();
         let trees: Vec<Vec<Option<Dist>>> =
-            landmarks.iter().map(|&l| h.distances_from(l)).collect();
+            landmarks.iter().map(|&l| store.distances_from(l)).collect();
         let mut radius: Option<Dist> = Some(0);
         for v in 0..n {
             let nearest = trees.iter().filter_map(|t| t[v]).min();
@@ -291,7 +355,7 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 64;
 /// ```
 #[derive(Debug)]
 pub struct QueryEngine {
-    emulator: Emulator,
+    store: EmStore,
     algorithm: String,
     alpha: f64,
     beta: f64,
@@ -311,9 +375,19 @@ impl QueryEngine {
         algorithm: impl Into<String>,
         certified: Option<(f64, f64)>,
     ) -> Self {
+        QueryEngine::from_store(EmStore::Heap(emulator), algorithm, certified)
+    }
+
+    /// An engine over either store — how [`open`](Self::open) serves a
+    /// mapped snapshot without materializing it.
+    pub fn from_store(
+        store: EmStore,
+        algorithm: impl Into<String>,
+        certified: Option<(f64, f64)>,
+    ) -> Self {
         let (alpha, beta) = certified.unwrap_or((1.0, f64::INFINITY));
         QueryEngine {
-            emulator,
+            store,
             algorithm: algorithm.into(),
             alpha,
             beta,
@@ -331,17 +405,21 @@ impl QueryEngine {
         QueryEngine::new(out.emulator.clone(), out.algorithm, out.certified)
     }
 
-    /// Opens an engine over any output backend — materializes the emulator
-    /// once (for a [`SnapshotBackend`](crate::api::SnapshotBackend) this
-    /// decodes and verifies the stored snapshot; the construction itself
-    /// never re-runs) and threads through the backend's certified pair.
+    /// Opens an engine over any output backend, threading through the
+    /// backend's certified pair. Heap-style backends materialize the
+    /// emulator once (for a
+    /// [`SnapshotBackend`](crate::api::SnapshotBackend) this decodes and
+    /// verifies the stored snapshot; the construction itself never
+    /// re-runs); a [`MappedBackend`](crate::api::MappedBackend) is served
+    /// straight from its snapshot file — certified answers with **no full
+    /// materialization** (see [`OutputBackend::serve`]).
     ///
     /// # Errors
     ///
     /// [`SnapshotError`] when a persistent backend cannot be read back.
     pub fn open(backend: &dyn OutputBackend) -> Result<Self, SnapshotError> {
-        Ok(QueryEngine::new(
-            backend.materialize()?,
+        Ok(QueryEngine::from_store(
+            backend.serve()?,
             backend.algorithm().to_string(),
             backend.certified(),
         ))
@@ -364,7 +442,7 @@ impl QueryEngine {
 
     /// Precomputes a [`LandmarkIndex`] of `k` landmarks (0 removes it).
     pub fn with_landmarks(mut self, k: usize) -> Self {
-        self.landmarks = (k > 0).then(|| LandmarkIndex::build(&self.emulator, k));
+        self.landmarks = (k > 0).then(|| LandmarkIndex::build_store(&self.store, k));
         self
     }
 
@@ -388,14 +466,26 @@ impl QueryEngine {
         &self.algorithm
     }
 
-    /// The underlying emulator.
-    pub fn emulator(&self) -> &Emulator {
-        &self.emulator
+    /// The underlying emulator, when this engine holds one on the heap
+    /// (`None` for an engine served from a mapped snapshot — the whole
+    /// point is that no live emulator exists).
+    pub fn emulator(&self) -> Option<&Emulator> {
+        self.store.as_heap()
+    }
+
+    /// Where the structure answering queries lives.
+    pub fn store(&self) -> &EmStore {
+        &self.store
+    }
+
+    /// Vertex count of the structure answering queries.
+    pub fn num_vertices(&self) -> usize {
+        self.store.num_vertices()
     }
 
     /// Size of the structure answering queries (`|H|`).
     pub fn num_edges(&self) -> usize {
-        self.emulator.num_edges()
+        self.store.num_edges()
     }
 
     /// The landmark index, when one was precomputed.
@@ -423,7 +513,7 @@ impl QueryEngine {
 
     fn sssp_tree(&self, source: VertexId) -> Vec<Option<Dist>> {
         self.tree_builds.set(self.tree_builds.get() + 1);
-        self.emulator.distances_from(source)
+        self.store.distances_from(source)
     }
 
     fn certified(&self, value: Option<Dist>) -> Certified<Option<Dist>> {
@@ -609,9 +699,11 @@ impl ApproxDistanceOracle {
         self.engine.guarantee()
     }
 
-    /// The underlying emulator.
+    /// The underlying emulator (oracles always build on the heap).
     pub fn emulator(&self) -> &Emulator {
-        self.engine.emulator()
+        self.engine
+            .emulator()
+            .expect("oracle engines are heap-backed")
     }
 
     /// The engine answering this oracle's queries.

@@ -22,7 +22,7 @@ use crate::engine::Engine;
 use crate::exec::{PhaseClock, PhaseTiming};
 use crate::params::SpannerParams;
 use usnae_graph::bfs::multi_source_bfs;
-use usnae_graph::{Dist, Graph, VertexId};
+use usnae_graph::{AdjStorage, Dist, Graph, GraphCore, VertexId};
 
 use crate::sai::Exploration;
 
@@ -91,10 +91,10 @@ pub(crate) fn build_spanner_impl(g: &Graph, params: &SpannerParams) -> (Emulator
 /// Crate-internal entry point behind [`crate::api::EmulatorBuilder`]: runs
 /// the §4 construction end to end, sharding the Task-1 explorations over
 /// `engine.threads()` and recording per-phase timings.
-pub(crate) fn build_spanner_exec(
-    g: &Graph,
+pub(crate) fn build_spanner_exec<S: AdjStorage>(
+    g: &GraphCore<S>,
     params: &SpannerParams,
-    engine: &Engine<'_>,
+    engine: &Engine<'_, S>,
 ) -> (Emulator, SpannerTrace, Vec<PhaseTiming>) {
     let n = g.num_vertices();
     let mut spanner = Emulator::new(n);
@@ -147,9 +147,9 @@ fn add_path(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_phase(
-    g: &Graph,
-    engine: &Engine<'_>,
+fn run_phase<S: AdjStorage>(
+    g: &GraphCore<S>,
+    engine: &Engine<'_, S>,
     spanner: &mut Emulator,
     partition: &Partition,
     i: usize,

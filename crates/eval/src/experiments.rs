@@ -369,9 +369,12 @@ pub fn e9_query_accuracy(
             };
             let certified = out.certified;
             let engine = out.into_query_engine();
-            let lm_engine =
-                QueryEngine::new(engine.emulator().clone(), engine.algorithm(), certified)
-                    .with_landmarks(landmarks);
+            let lm_engine = QueryEngine::new(
+                engine.emulator().expect("heap-backed engine").clone(),
+                engine.algorithm(),
+                certified,
+            )
+            .with_landmarks(landmarks);
             let (alpha, beta) = engine.guarantee();
             let (_, lm_beta) = lm_engine.landmark_guarantee();
             let answers = engine.distances(&sampled);

@@ -8,7 +8,8 @@
 //! * multi-source BFS ([`multi_source_bfs`]) that also reports the closest
 //!   source and parent pointers — the BFS ruling forest of §3.1.2 Task 3.
 
-use crate::graph::{Graph, VertexId};
+use crate::graph::{GraphCore, VertexId};
+use crate::storage::AdjStorage;
 use crate::{Dist, INF};
 use std::collections::VecDeque;
 
@@ -27,12 +28,16 @@ use std::collections::VecDeque;
 /// # Ok(())
 /// # }
 /// ```
-pub fn bfs(g: &Graph, source: VertexId) -> Vec<Option<Dist>> {
+pub fn bfs<S: AdjStorage>(g: &GraphCore<S>, source: VertexId) -> Vec<Option<Dist>> {
     bfs_bounded(g, source, INF)
 }
 
 /// BFS truncated at `depth`: vertices farther than `depth` stay `None`.
-pub fn bfs_bounded(g: &Graph, source: VertexId, depth: Dist) -> Vec<Option<Dist>> {
+pub fn bfs_bounded<S: AdjStorage>(
+    g: &GraphCore<S>,
+    source: VertexId,
+    depth: Dist,
+) -> Vec<Option<Dist>> {
     let mut dist = vec![None; g.num_vertices()];
     let mut queue = VecDeque::new();
     dist[source] = Some(0);
@@ -54,7 +59,11 @@ pub fn bfs_bounded(g: &Graph, source: VertexId, depth: Dist) -> Vec<Option<Dist>
 
 /// Vertices within hop distance `depth` of `source` (including `source`),
 /// paired with their distances, in BFS order.
-pub fn ball(g: &Graph, source: VertexId, depth: Dist) -> Vec<(VertexId, Dist)> {
+pub fn ball<S: AdjStorage>(
+    g: &GraphCore<S>,
+    source: VertexId,
+    depth: Dist,
+) -> Vec<(VertexId, Dist)> {
     let dist = bfs_bounded(g, source, depth);
     let mut out: Vec<(VertexId, Dist)> = dist
         .iter()
@@ -107,7 +116,11 @@ impl Forest {
 /// distributed BFS forest of the paper's Task 3: explorations from all
 /// sources start simultaneously and a vertex joins the tree of the first
 /// exploration to reach it.
-pub fn multi_source_bfs(g: &Graph, sources: &[VertexId], depth: Dist) -> Forest {
+pub fn multi_source_bfs<S: AdjStorage>(
+    g: &GraphCore<S>,
+    sources: &[VertexId],
+    depth: Dist,
+) -> Forest {
     let n = g.num_vertices();
     let mut dist = vec![INF; n];
     let mut root = vec![None; n];
@@ -138,13 +151,13 @@ pub fn multi_source_bfs(g: &Graph, sources: &[VertexId], depth: Dist) -> Forest 
 }
 
 /// Eccentricity of `source` (max distance to a reachable vertex).
-pub fn eccentricity(g: &Graph, source: VertexId) -> Dist {
+pub fn eccentricity<S: AdjStorage>(g: &GraphCore<S>, source: VertexId) -> Dist {
     bfs(g, source).into_iter().flatten().max().unwrap_or(0)
 }
 
 /// Lower bound on the diameter via a double-sweep BFS heuristic; exact on
 /// trees, and a cheap scale estimate for workload reporting.
-pub fn double_sweep_diameter(g: &Graph, start: VertexId) -> Dist {
+pub fn double_sweep_diameter<S: AdjStorage>(g: &GraphCore<S>, start: VertexId) -> Dist {
     let d1 = bfs(g, start);
     let far = d1
         .iter()
@@ -159,7 +172,7 @@ pub fn double_sweep_diameter(g: &Graph, start: VertexId) -> Dist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators;
+    use crate::{generators, Graph};
 
     fn path_graph(n: usize) -> Graph {
         let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();

@@ -3,13 +3,35 @@
 //! This is the paper's input object `G = (V, E)`. Vertices are dense ids
 //! `0..n`. The representation is immutable after construction; algorithms
 //! that need mutation build a new graph through [`GraphBuilder`].
+//!
+//! The CSR arrays live behind the [`AdjStorage`] seam: [`Graph`] is the
+//! heap-owned default (`GraphCore<HeapAdj>`, byte-identical to the
+//! pre-seam layout) and [`MappedGraph`] (`GraphCore<MappedAdj>`) serves
+//! the same read API straight from a CSR file without materializing the
+//! arrays on the heap.
 
 use crate::error::GraphError;
+use crate::storage::{AdjStorage, HeapAdj, MappedAdj, StorageError};
+use std::path::Path;
 
 /// Dense vertex identifier, `0..n`.
 pub type VertexId = usize;
 
-/// An unweighted undirected simple graph in CSR form.
+/// An unweighted undirected simple graph in CSR form, generic over
+/// where its offset/adjacency arrays live.
+///
+/// Use the [`Graph`] alias for the heap-owned default and
+/// [`MappedGraph`] for the file-backed variant; all read accessors are
+/// shared and behave identically.
+#[derive(Debug, Clone)]
+pub struct GraphCore<S: AdjStorage = HeapAdj> {
+    /// Offset + adjacency arrays (see [`AdjStorage`]).
+    storage: S,
+    /// Number of undirected edges.
+    num_edges: usize,
+}
+
+/// Heap-owned graph — the workspace-wide default.
 ///
 /// Construction deduplicates parallel edges and rejects self-loops, so the
 /// result is always simple, matching the paper's setting.
@@ -27,15 +49,22 @@ pub type VertexId = usize;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Graph {
-    /// `offsets[v]..offsets[v+1]` indexes `adjacency` for vertex `v`.
-    offsets: Vec<usize>,
-    /// Concatenated sorted neighbor lists.
-    adjacency: Vec<VertexId>,
-    /// Number of undirected edges.
-    num_edges: usize,
+pub type Graph = GraphCore<HeapAdj>;
+
+/// File-backed graph: same read API as [`Graph`], arrays served from a
+/// mapped CSR file (see [`crate::storage`]).
+pub type MappedGraph = GraphCore<MappedAdj>;
+
+impl<S: AdjStorage, T: AdjStorage> PartialEq<GraphCore<T>> for GraphCore<S> {
+    fn eq(&self, other: &GraphCore<T>) -> bool {
+        // Storage-independent equality: two graphs are equal iff their
+        // CSR arrays are, regardless of where those arrays live.
+        self.storage.offsets() == other.storage.offsets()
+            && self.storage.adjacency() == other.storage.adjacency()
+    }
 }
+
+impl<S: AdjStorage> Eq for GraphCore<S> {}
 
 impl Graph {
     /// Builds a graph with `n` vertices from an undirected edge list.
@@ -56,16 +85,80 @@ impl Graph {
 
     /// Builds the empty graph on `n` vertices (no edges).
     pub fn empty(n: usize) -> Self {
-        Graph {
-            offsets: vec![0; n + 1],
-            adjacency: Vec::new(),
+        GraphCore {
+            storage: HeapAdj::new(vec![0; n + 1], Vec::new()),
             num_edges: 0,
         }
     }
 
+    /// Writes this graph as a whole-graph CSR file readable by
+    /// [`MappedGraph::open`].
+    pub fn write_csr_file(&self, path: &Path) -> Result<(), StorageError> {
+        crate::storage::write_csr_file(
+            path,
+            self.num_edges,
+            self.storage.offsets(),
+            self.storage.adjacency(),
+        )
+    }
+}
+
+impl MappedGraph {
+    /// Opens a whole-graph CSR file (written by [`Graph::write_csr_file`]
+    /// or the streaming loader) without materializing its arrays.
+    ///
+    /// Structure (magic, lengths, monotone offsets) is validated here;
+    /// call [`MappedGraph::verify`] for the full payload checksum.
+    pub fn open(path: &Path) -> Result<Self, StorageError> {
+        let (storage, _n, m) = MappedAdj::open(path)?;
+        Ok(GraphCore {
+            storage,
+            num_edges: m,
+        })
+    }
+
+    /// As [`MappedGraph::open`] but forcing the portable paged reader.
+    pub fn open_paged(path: &Path) -> Result<Self, StorageError> {
+        let (storage, _n, m) = MappedAdj::open_paged(path)?;
+        Ok(GraphCore {
+            storage,
+            num_edges: m,
+        })
+    }
+
+    /// Full payload checksum verification (touches every page once).
+    pub fn verify(&self, path: &Path) -> Result<(), StorageError> {
+        self.storage.verify(path)
+    }
+
+    /// True when served by a live memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.storage.is_mapped()
+    }
+
+    /// Copies the CSR arrays onto the heap, producing a [`Graph`] equal
+    /// to this one. Used by callers that need an owned graph (e.g. the
+    /// default mapped-build fallback).
+    pub fn to_heap(&self) -> Graph {
+        GraphCore {
+            storage: HeapAdj::new(
+                self.storage.offsets().to_vec(),
+                self.storage.adjacency().to_vec(),
+            ),
+            num_edges: self.num_edges,
+        }
+    }
+}
+
+impl<S: AdjStorage> GraphCore<S> {
+    /// The underlying storage.
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
     /// Number of vertices `n`.
     pub fn num_vertices(&self) -> usize {
-        self.offsets.len() - 1
+        self.storage.offsets().len() - 1
     }
 
     /// Number of undirected edges `|E|`.
@@ -79,7 +172,8 @@ impl Graph {
     ///
     /// Panics if `v >= n`.
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
+        let offsets = self.storage.offsets();
+        &self.storage.adjacency()[offsets[v]..offsets[v + 1]]
     }
 
     /// Degree of `v`.
@@ -88,7 +182,8 @@ impl Graph {
     ///
     /// Panics if `v >= n`.
     pub fn degree(&self, v: VertexId) -> usize {
-        self.offsets[v + 1] - self.offsets[v]
+        let offsets = self.storage.offsets();
+        offsets[v + 1] - offsets[v]
     }
 
     /// Whether the undirected edge `(u, v)` is present (binary search).
@@ -132,7 +227,7 @@ impl Graph {
     /// Number of *directed* edges (`2|E|`), the index space of
     /// [`directed_edge_index`](Self::directed_edge_index).
     pub fn num_directed_edges(&self) -> usize {
-        self.adjacency.len()
+        self.storage.adjacency().len()
     }
 
     /// Dense index of the directed edge `u -> v` in `0..2|E|`, or `None` if
@@ -146,7 +241,7 @@ impl Graph {
         slice
             .binary_search(&v)
             .ok()
-            .map(|pos| self.offsets[u] + pos)
+            .map(|pos| self.storage.offsets()[u] + pos)
     }
 }
 
@@ -239,10 +334,10 @@ impl GraphBuilder {
         for v in 0..self.n {
             adjacency[offsets[v]..offsets[v + 1]].sort_unstable();
         }
-        Graph {
-            offsets,
-            adjacency,
-            num_edges: self.edges.len(),
+        let num_edges = self.edges.len();
+        GraphCore {
+            storage: HeapAdj::new(offsets, adjacency),
+            num_edges,
         }
     }
 }
@@ -353,5 +448,30 @@ mod tests {
         assert_eq!(g.num_edges(), 9);
         assert_eq!(g.degree(0), 1);
         assert_eq!(g.degree(5), 2);
+    }
+
+    #[test]
+    fn mapped_graph_round_trips_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("usnae-graph-map-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.csr");
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)])
+            .unwrap();
+        g.write_csr_file(&path).unwrap();
+        for m in [
+            MappedGraph::open(&path).unwrap(),
+            MappedGraph::open_paged(&path).unwrap(),
+        ] {
+            m.verify(&path).unwrap();
+            assert_eq!(m, g);
+            assert_eq!(m.num_vertices(), g.num_vertices());
+            assert_eq!(m.num_edges(), g.num_edges());
+            for v in g.vertices() {
+                assert_eq!(m.neighbors(v), g.neighbors(v));
+            }
+            assert_eq!(m.to_heap(), g);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

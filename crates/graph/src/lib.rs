@@ -23,6 +23,12 @@
 //!   behind the [`partition::ShardView`] read seam (sharded reads are
 //!   pointwise identical to the shared array, so builds over either
 //!   layout are byte-identical).
+//! * [`storage`] — the [`storage::AdjStorage`] seam under every CSR
+//!   array: heap `Vec`s by default ([`Graph`]), or a mapped CSR file
+//!   ([`MappedGraph`], mmap with a portable paged fallback) so
+//!   million-vertex graphs are read without heap materialization; the
+//!   streaming loader in [`io`] writes those files directly from an
+//!   edge list, two-passing the input.
 //!
 //! # Example
 //!
@@ -49,11 +55,13 @@ pub mod metrics;
 pub mod par;
 pub mod partition;
 pub mod rng;
+pub mod storage;
 pub mod union_find;
 pub mod weighted;
 
 pub use error::GraphError;
-pub use graph::{Graph, GraphBuilder, VertexId};
+pub use graph::{Graph, GraphBuilder, GraphCore, MappedGraph, VertexId};
+pub use storage::{AdjStorage, ByteMap, HeapAdj, MappedAdj, StorageError};
 pub use weighted::{WeightedEdge, WeightedGraph};
 
 /// Distance type used throughout: hop distances in `G` and weighted distances

@@ -57,6 +57,8 @@ impl Default for Fnv64 {
 /// labeled graph, regardless of the order edges were inserted through
 /// [`GraphBuilder`](crate::graph::GraphBuilder), so the digest is a safe
 /// cross-process cache key for `(graph, algo, config)` construction caches.
+/// Storage-generic: a file-backed [`MappedGraph`](crate::MappedGraph)
+/// fingerprints identically to its heap materialization.
 ///
 /// # Example
 ///
@@ -71,7 +73,7 @@ impl Default for Fnv64 {
 /// # Ok(())
 /// # }
 /// ```
-pub fn fingerprint(g: &Graph) -> u64 {
+pub fn fingerprint<S: crate::storage::AdjStorage>(g: &crate::graph::GraphCore<S>) -> u64 {
     let mut h = Fnv64::new();
     h.write_u64(g.num_vertices() as u64);
     h.write_u64(g.num_edges() as u64);

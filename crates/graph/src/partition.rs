@@ -33,8 +33,18 @@
 //! [`GraphView`] packages the choice for the constructions: build it once
 //! per build from the configured `(policy, shards)` and pass it to every
 //! per-center exploration.
+//!
+//! Shards are generic over the [`AdjStorage`] seam: [`CsrShard`] /
+//! [`ShardedCsr`] default to heap arrays (identical to the pre-seam
+//! layout), while `ShardedCsr<MappedAdj>` ([`MappedShardedCsr`]) serves
+//! the same `ShardView` reads from per-shard CSR files written by
+//! [`ShardedCsr::write_dir`] or the streaming loader
+//! (`io::stream_edge_list_to_shards`), opened via
+//! [`ShardedCsr::open_dir`].
 
-use crate::graph::{Graph, VertexId};
+use crate::graph::{GraphCore, VertexId};
+use crate::storage::{AdjStorage, CsrShardFile, HeapAdj, MappedAdj, ShardManifest, StorageError};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Deterministic strategy for cutting `0..n` into contiguous shard ranges.
@@ -95,17 +105,17 @@ pub trait ShardView: Sync {
     }
 }
 
-impl ShardView for Graph {
+impl<S: AdjStorage> ShardView for GraphCore<S> {
     fn num_vertices(&self) -> usize {
-        Graph::num_vertices(self)
+        GraphCore::num_vertices(self)
     }
 
     fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        Graph::neighbors(self, v)
+        GraphCore::neighbors(self, v)
     }
 
     fn degree(&self, v: VertexId) -> usize {
-        Graph::degree(self, v)
+        GraphCore::degree(self, v)
     }
 }
 
@@ -127,16 +137,15 @@ pub struct ShardTiming {
 }
 
 /// One shard of a [`ShardedCsr`]: a contiguous vertex range with its own
-/// CSR arrays and cut-edge frontier list. Self-contained — no references
-/// into the source graph.
+/// CSR arrays (behind the [`AdjStorage`] seam) and cut-edge frontier
+/// list. Self-contained — no references into the source graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CsrShard {
+pub struct CsrShard<S: AdjStorage = HeapAdj> {
     start: VertexId,
     end: VertexId,
-    /// `offsets[v - start]..offsets[v - start + 1]` indexes `adjacency`.
-    offsets: Vec<usize>,
-    /// Concatenated sorted neighbor lists (global vertex ids).
-    adjacency: Vec<VertexId>,
+    /// Local CSR arrays: `offsets[v - start]..offsets[v - start + 1]`
+    /// indexes the concatenated sorted neighbor lists (global ids).
+    storage: S,
     /// Cut edges `(owned u, remote v)`, ascending `(u, v)` — what this
     /// shard would exchange with its peers in a distributed run.
     frontier: Vec<(VertexId, VertexId)>,
@@ -146,8 +155,8 @@ pub struct CsrShard {
     build_time: Duration,
 }
 
-impl CsrShard {
-    fn build(g: &Graph, start: VertexId, end: VertexId) -> CsrShard {
+impl CsrShard<HeapAdj> {
+    fn build<Src: AdjStorage>(g: &GraphCore<Src>, start: VertexId, end: VertexId) -> CsrShard {
         let t0 = Instant::now();
         let mut offsets = Vec::with_capacity(end - start + 1);
         offsets.push(0);
@@ -169,14 +178,15 @@ impl CsrShard {
         CsrShard {
             start,
             end,
-            offsets,
-            adjacency,
+            storage: HeapAdj::new(offsets, adjacency),
             frontier,
             local_edges,
             build_time: t0.elapsed(),
         }
     }
+}
 
+impl<S: AdjStorage> CsrShard<S> {
     /// The contiguous vertex range this shard owns.
     pub fn range(&self) -> std::ops::Range<VertexId> {
         self.start..self.end
@@ -210,26 +220,36 @@ impl CsrShard {
             self.end
         );
         let local = v - self.start;
-        &self.adjacency[self.offsets[local]..self.offsets[local + 1]]
+        let offsets = self.storage.offsets();
+        &self.storage.adjacency()[offsets[local]..offsets[local + 1]]
     }
 }
 
 /// The partitioned layout: per-worker CSR shards over contiguous vertex
-/// ranges. See the [module docs](self) for the determinism and
-/// pointwise-identity contracts.
+/// ranges, generic over where each shard's arrays live. See the
+/// [module docs](self) for the determinism and pointwise-identity
+/// contracts.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ShardedCsr {
+pub struct ShardedCsr<S: AdjStorage = HeapAdj> {
     /// `boundaries[s]..boundaries[s + 1]` is shard `s`'s range;
     /// `boundaries[0] == 0`, `boundaries[num_shards()] == n`.
     boundaries: Vec<VertexId>,
-    shards: Vec<CsrShard>,
+    shards: Vec<CsrShard<S>>,
     policy: PartitionPolicy,
 }
+
+/// File-backed partitioned layout: every shard served from its own CSR
+/// file (see [`ShardedCsr::open_dir`]).
+pub type MappedShardedCsr = ShardedCsr<MappedAdj>;
 
 /// Shard-range boundaries for `policy` over `g`: `shards + 1` ascending
 /// values from `0` to `n`, every range nonempty. `shards` is clamped to
 /// `[1, max(n, 1)]`.
-pub fn boundaries(g: &Graph, policy: PartitionPolicy, shards: usize) -> Vec<VertexId> {
+pub fn boundaries<S: AdjStorage>(
+    g: &GraphCore<S>,
+    policy: PartitionPolicy,
+    shards: usize,
+) -> Vec<VertexId> {
     weighted_boundaries(g.num_vertices(), |v| g.degree(v), policy, shards)
 }
 
@@ -273,12 +293,17 @@ pub fn weighted_boundaries(
     }
 }
 
-impl ShardedCsr {
+impl ShardedCsr<HeapAdj> {
     /// Partitions `g` into `shards` per-worker CSR shards under `policy`.
     /// Each shard is built on its own scoped thread; the result is a pure
     /// function of `(g, policy, shards)`. `shards` is clamped to
-    /// `[1, max(n, 1)]`.
-    pub fn build(g: &Graph, policy: PartitionPolicy, shards: usize) -> ShardedCsr {
+    /// `[1, max(n, 1)]`. Works over any source storage (heap or mapped);
+    /// the shards themselves are heap-owned.
+    pub fn build<Src: AdjStorage>(
+        g: &GraphCore<Src>,
+        policy: PartitionPolicy,
+        shards: usize,
+    ) -> ShardedCsr {
         let bounds = boundaries(g, policy, shards);
         let count = bounds.len() - 1;
         let shards = crate::par::map_indexed(count, count, |s| {
@@ -291,6 +316,78 @@ impl ShardedCsr {
         }
     }
 
+    /// Writes this layout as per-shard CSR files + manifest into `dir`
+    /// (created if missing), re-openable via [`ShardedCsr::open_dir`].
+    /// `num_edges` is the global undirected edge count for the manifest.
+    pub fn write_dir(&self, dir: &Path, num_edges: usize) -> Result<(), StorageError> {
+        std::fs::create_dir_all(dir)?;
+        for (i, sh) in self.shards.iter().enumerate() {
+            CsrShardFile::write(
+                &ShardManifest::shard_path(dir, i),
+                sh.start,
+                sh.end,
+                sh.local_edges,
+                sh.storage.offsets(),
+                sh.storage.adjacency(),
+                &sh.frontier,
+            )?;
+        }
+        ShardManifest {
+            num_vertices: ShardView::num_vertices(self),
+            num_edges,
+            policy: self.policy.name().to_string(),
+            boundaries: self.boundaries.clone(),
+        }
+        .write(dir)
+    }
+}
+
+impl ShardedCsr<MappedAdj> {
+    /// Opens a sharded-CSR directory (manifest + `shard-<i>.csr` files)
+    /// written by [`ShardedCsr::write_dir`] or the streaming loader,
+    /// serving every shard from its file without heap materialization.
+    pub fn open_dir(dir: &Path) -> Result<MappedShardedCsr, StorageError> {
+        let manifest = ShardManifest::read(dir)?;
+        let manifest_path = dir.join(crate::storage::MANIFEST_NAME);
+        let policy =
+            PartitionPolicy::parse(&manifest.policy).ok_or_else(|| StorageError::BadManifest {
+                path: manifest_path.clone(),
+                detail: format!("unknown policy {:?}", manifest.policy),
+            })?;
+        let mut shards = Vec::with_capacity(manifest.num_shards());
+        for i in 0..manifest.num_shards() {
+            let t0 = Instant::now();
+            let file = CsrShardFile::open(&ShardManifest::shard_path(dir, i))?;
+            if file.start != manifest.boundaries[i] || file.end != manifest.boundaries[i + 1] {
+                return Err(StorageError::BadManifest {
+                    path: manifest_path.clone(),
+                    detail: format!(
+                        "shard {i} covers {}..{} but manifest says {}..{}",
+                        file.start,
+                        file.end,
+                        manifest.boundaries[i],
+                        manifest.boundaries[i + 1]
+                    ),
+                });
+            }
+            shards.push(CsrShard {
+                start: file.start,
+                end: file.end,
+                storage: file.storage,
+                frontier: file.frontier,
+                local_edges: file.local_edges,
+                build_time: t0.elapsed(),
+            });
+        }
+        Ok(ShardedCsr {
+            boundaries: manifest.boundaries,
+            shards,
+            policy,
+        })
+    }
+}
+
+impl<S: AdjStorage> ShardedCsr<S> {
     /// The policy that produced this layout.
     pub fn policy(&self) -> PartitionPolicy {
         self.policy
@@ -302,7 +399,7 @@ impl ShardedCsr {
     }
 
     /// The shards, index order.
-    pub fn shards(&self) -> &[CsrShard] {
+    pub fn shards(&self) -> &[CsrShard<S>] {
         &self.shards
     }
 
@@ -346,7 +443,7 @@ impl ShardedCsr {
     }
 }
 
-impl ShardView for ShardedCsr {
+impl<S: AdjStorage> ShardView for ShardedCsr<S> {
     fn num_vertices(&self) -> usize {
         *self.boundaries.last().expect("boundaries nonempty")
     }
@@ -358,19 +455,31 @@ impl ShardView for ShardedCsr {
 
 /// The per-build choice between the shared adjacency array and the
 /// partitioned layout — what the constructions thread through their
-/// per-center exploration phases.
-#[derive(Debug, Clone)]
-pub enum GraphView<'g> {
-    /// Read from the source graph's shared CSR (the historical path).
-    Shared(&'g Graph),
+/// per-center exploration phases. Generic over the source graph's
+/// storage; the partitioned layout's shards are always heap-owned.
+#[derive(Debug)]
+pub enum GraphView<'g, S: AdjStorage = HeapAdj> {
+    /// Read from the source graph's CSR (the historical path).
+    Shared(&'g GraphCore<S>),
     /// Read from per-worker CSR shards.
     Partitioned(ShardedCsr),
 }
 
-impl<'g> GraphView<'g> {
+impl<S: AdjStorage> Clone for GraphView<'_, S> {
+    fn clone(&self) -> Self {
+        // Manual impl: the Shared arm is a reference copy, so no
+        // S: Clone bound is needed (MappedAdj is not Clone).
+        match self {
+            GraphView::Shared(g) => GraphView::Shared(g),
+            GraphView::Partitioned(s) => GraphView::Partitioned(s.clone()),
+        }
+    }
+}
+
+impl<'g, S: AdjStorage> GraphView<'g, S> {
     /// `shards == 0` selects the shared array; `shards >= 1` builds a
     /// [`ShardedCsr`] under `policy` (clamped to at most `n` shards).
-    pub fn new(g: &'g Graph, policy: PartitionPolicy, shards: usize) -> GraphView<'g> {
+    pub fn new(g: &'g GraphCore<S>, policy: PartitionPolicy, shards: usize) -> GraphView<'g, S> {
         if shards == 0 {
             GraphView::Shared(g)
         } else {
@@ -379,7 +488,7 @@ impl<'g> GraphView<'g> {
     }
 
     /// The shared-array view (no partitioning).
-    pub fn shared(g: &'g Graph) -> GraphView<'g> {
+    pub fn shared(g: &'g GraphCore<S>) -> GraphView<'g, S> {
         GraphView::Shared(g)
     }
 
@@ -401,18 +510,18 @@ impl<'g> GraphView<'g> {
     }
 }
 
-impl ShardView for GraphView<'_> {
+impl<S: AdjStorage> ShardView for GraphView<'_, S> {
     fn num_vertices(&self) -> usize {
         match self {
-            GraphView::Shared(g) => Graph::num_vertices(g),
-            GraphView::Partitioned(s) => s.num_vertices(),
+            GraphView::Shared(g) => GraphCore::num_vertices(g),
+            GraphView::Partitioned(s) => ShardView::num_vertices(s),
         }
     }
 
     fn neighbors(&self, v: VertexId) -> &[VertexId] {
         match self {
-            GraphView::Shared(g) => Graph::neighbors(g, v),
-            GraphView::Partitioned(s) => s.neighbors(v),
+            GraphView::Shared(g) => GraphCore::neighbors(g, v),
+            GraphView::Partitioned(s) => ShardView::neighbors(s, v),
         }
     }
 }
@@ -421,6 +530,7 @@ impl ShardView for GraphView<'_> {
 mod tests {
     use super::*;
     use crate::generators;
+    use crate::Graph;
 
     fn views_agree(g: &Graph, policy: PartitionPolicy, shards: usize) {
         let sharded = ShardedCsr::build(g, policy, shards);
@@ -571,8 +681,7 @@ mod tests {
             // Timings differ run to run; everything structural must not.
             assert_eq!(a.boundaries, b.boundaries);
             for (x, y) in a.shards().iter().zip(b.shards()) {
-                assert_eq!(x.offsets, y.offsets);
-                assert_eq!(x.adjacency, y.adjacency);
+                assert_eq!(x.storage, y.storage);
                 assert_eq!(x.frontier, y.frontier);
             }
         }
@@ -594,6 +703,31 @@ mod tests {
         assert!(GraphView::new(&g, PartitionPolicy::Range, 0)
             .as_sharded()
             .is_none());
+    }
+
+    #[test]
+    fn sharded_dir_round_trips_and_serves_identical_reads() {
+        let dir = std::env::temp_dir().join(format!("usnae-shards-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = generators::gnp_connected(120, 0.06, 5).unwrap();
+        for policy in PartitionPolicy::all() {
+            let heap = ShardedCsr::build(&g, policy, 4);
+            heap.write_dir(&dir, g.num_edges()).unwrap();
+            let mapped = ShardedCsr::open_dir(&dir).unwrap();
+            assert_eq!(mapped.policy(), policy);
+            assert_eq!(mapped.num_shards(), heap.num_shards());
+            assert_eq!(ShardView::num_vertices(&mapped), g.num_vertices());
+            for (h, m) in heap.shards().iter().zip(mapped.shards()) {
+                assert_eq!(h.range(), m.range());
+                assert_eq!(h.local_edges(), m.local_edges());
+                assert_eq!(h.frontier(), m.frontier());
+            }
+            for v in g.vertices() {
+                assert_eq!(ShardView::neighbors(&mapped, v), g.neighbors(v));
+            }
+            assert_eq!(mapped.cut_edges(), heap.cut_edges());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

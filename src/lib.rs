@@ -179,6 +179,50 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Out-of-core storage
+//!
+//! Past the heap's reach, the whole pipeline runs file-backed: the
+//! streaming loader (`usnae::graph::io::stream_edge_list_to_csr_file`)
+//! two-passes a text edge list into an on-disk CSR without materializing
+//! the graph, [`MappedGraph`](graph::MappedGraph) opens that file
+//! zero-copy, `build_mapped` produces the byte-identical output of a
+//! heap build, and a stored snapshot serves queries through
+//! [`api::MappedBackend`] + [`QueryEngine::open`](api::QueryEngine::open)
+//! with no record decode and no heap emulator — resident memory is
+//! bounded by the ultra-sparse snapshot, not the graph
+//! (`tests/out_of_core_conformance.rs` locks the identities
+//! registry-wide; CI's `out-of-core` job enforces the RSS ceilings at
+//! 800k vertices, and `exp_out_of_core` reproduces the 2M-vertex
+//! demonstration):
+//!
+//! ```
+//! use usnae::api::{BuildConfig, MappedBackend, QueryEngine};
+//! use usnae::core::cache::{CacheKey, Snapshot};
+//! use usnae::graph::{generators, MappedGraph};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let dir = std::env::temp_dir().join(format!("usnae-doc-ooc-{}", std::process::id()));
+//! # std::fs::create_dir_all(&dir)?;
+//! let g = generators::grid2d(8, 8)?;
+//! g.write_csr_file(&dir.join("g.csr"))?;
+//! let mg = MappedGraph::open(&dir.join("g.csr"))?;          // zero-copy input
+//! let cfg = BuildConfig::default();
+//! let c = usnae::registry::find("centralized").expect("registered");
+//! let out = c.build_mapped(&mg, &cfg)?;                     // identical to heap build
+//! let snap = Snapshot::from_output(CacheKey::new(&mg, c.name(), &cfg), &out);
+//! std::fs::write(dir.join("g.usnae"), snap.encode())?;
+//! let backend = MappedBackend::open(&dir.join("g.usnae"))?; // zero-copy serving
+//! let engine = QueryEngine::open(&backend)?;
+//! assert!(engine.emulator().is_none()); // no heap emulator materialized
+//! assert_eq!(
+//!     engine.distance(0, 63).value,
+//!     out.into_query_engine().distance(0, 63).value,
+//! );
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
 
 pub use usnae_baselines as baselines;
 pub use usnae_congest as congest;

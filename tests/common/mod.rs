@@ -108,7 +108,7 @@ pub fn queries_text(
     s.push_str("# usnae golden queries v1\n");
     s.push_str(&format!(
         "# graph={graph_tag} algo={algo} n={}\n",
-        engine.emulator().num_vertices()
+        engine.num_vertices()
     ));
     s.push_str(&format!("# alpha={alpha} beta={beta}\n"));
     s.push_str(&format!("# seed={QUERY_SEED:#x} pairs={}\n", pairs.len()));

@@ -290,6 +290,43 @@ fn seeded_corruption_sweep_never_panics_and_never_serves_a_wrong_hit() {
 }
 
 #[test]
+fn every_section_directory_byte_is_corruption_covered() {
+    // Exhaustive (not sampled) corruption of the v4 header + section
+    // directory: every byte of `MAGIC | version | count | (id, offset,
+    // len) × 5` is flipped with every single-bit pattern. A directory
+    // entry steering a reader out of bounds, into another section, or
+    // over the checksum must surface as a typed error — or, where the
+    // flip is provably immaterial, decode to the identical snapshot.
+    let c = registry::find("centralized").unwrap();
+    let g = input(11, false);
+    let cfg = BuildConfig::default();
+    let out = c.build(&g, &cfg).unwrap();
+    let snap = Snapshot::from_output(CacheKey::new(&g, "centralized", &cfg), &out);
+    let good = snap.encode();
+    assert_eq!(
+        u32::from_le_bytes(good[8..12].try_into().unwrap()),
+        VERSION,
+        "sweep must run on the directory-bearing v4 layout"
+    );
+    // 8 magic + 4 version + 4 count + 5 × 24 directory bytes.
+    let directory_end = 16 + 5 * 24;
+    for pos in 0..directory_end {
+        for bit in 0..8 {
+            let mut bad = good.clone();
+            bad[pos] ^= 1u8 << bit;
+            match Snapshot::decode(&bad) {
+                Err(_) => {} // typed rejection — the expected outcome
+                Ok(decoded) => assert_eq!(
+                    decoded, snap,
+                    "directory byte {pos} bit {bit}: corrupt directory decoded \
+                     to a DIFFERENT snapshot — a silent wrong hit"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
 fn stale_entry_for_a_different_key_is_not_served() {
     // A snapshot renamed onto another key's file name must be refused:
     // the decoded key disagrees with the requested one.

@@ -35,7 +35,8 @@
 mod common;
 
 use common::{fixture_graphs, golden_config, golden_fingerprint, golden_path};
-use usnae::api::{BuildConfig, BuildOutput, PartitionPolicy, TransportKind};
+use usnae::api::{BuildConfig, BuildError, BuildOutput, PartitionPolicy, TransportKind};
+use usnae::core::ParamError;
 use usnae::graph::{generators, Graph};
 use usnae::registry;
 
@@ -126,20 +127,24 @@ fn every_registry_algorithm_is_transport_invariant() {
             assert!(baseline.stats.messages.is_none());
             for transport in transports() {
                 for shards in [2usize, 4] {
-                    let out = c
-                        .build(&g, &config(seed, shards, transport))
-                        .unwrap_or_else(|e| {
-                            panic!("{} seed={seed} {transport} x{shards}: {e}", c.name())
-                        });
                     let ctx = format!("{} seed={seed} {transport} x{shards}", c.name());
-                    assert_outputs_identical(&ctx, &baseline, &out);
+                    let result = c.build(&g, &config(seed, shards, transport));
                     if SHARDED.contains(&c.name()) {
+                        let out = result.unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                        assert_outputs_identical(&ctx, &baseline, &out);
                         assert_eq!(out.stats.transport, transport, "{ctx}");
                     } else {
-                        // No sharded exploration phase ran, so no pool
-                        // was spawned: the stats honestly say inproc.
-                        assert_eq!(out.stats.transport, TransportKind::Inproc, "{ctx}");
-                        assert!(out.stats.messages.is_none(), "{ctx}");
+                        // No sharded exploration phase to hand workers:
+                        // the requested worker build cannot happen, and
+                        // silently running in-process would misreport it
+                        // — the build must refuse with a typed error.
+                        match result {
+                            Err(BuildError::Param(ParamError::TransportUnsupported {
+                                algorithm,
+                                ..
+                            })) => assert_eq!(algorithm, c.name(), "{ctx}"),
+                            other => panic!("{ctx}: expected TransportUnsupported, got {other:?}"),
+                        }
                     }
                 }
             }
@@ -165,6 +170,11 @@ fn worker_builds_match_the_golden_reference_streams() {
             });
             let golden = golden_fingerprint(&text)
                 .unwrap_or_else(|| panic!("{}: no fingerprint header", path.display()));
+            if !SHARDED.contains(&c.name()) {
+                // In-process-only algorithms refuse worker transports
+                // (covered by every_registry_algorithm_is_transport_invariant).
+                continue;
+            }
             for transport in transports() {
                 let out = c
                     .build(
