@@ -1,0 +1,212 @@
+//! Daemon serving overhead: what `usnae serve` costs on top of an
+//! in-process build and query.
+//!
+//! ```text
+//! cargo bench --bench serve                          # n = 1024
+//! cargo bench --bench serve -- --n 256 --samples 2 \
+//!     --queries 100 --json target/bench-serve.json   # CI smoke
+//! ```
+//!
+//! One daemon is started on a scratch Unix socket with a scratch cache
+//! directory; a client then measures, per algorithm: the **cold** build
+//! round-trip (construction + snapshot publish + wire), the best **warm**
+//! build round-trip (zero-copy mapped cache hit — this is the number the
+//! always-on service exists for), and the sustained **QPS** of one
+//! batched distance query over the warm structure. The daemon's own
+//! `stats` counters (hit rate, evictions) close the report, and every
+//! leg lands in the JSON artifact (`--json`) that CI's `serve-smoke` job
+//! uploads into the `BENCH_<sha>.json` trend series.
+//!
+//! Windows builds have no Unix-socket daemon; there this bench is an
+//! empty binary.
+
+#[cfg(not(unix))]
+fn main() {}
+
+#[cfg(unix)]
+fn main() {
+    unix::main()
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use usnae_bench::timing::json_string;
+    use usnae_core::api::BuildConfig;
+    use usnae_core::serve::{Client, JobSpec, ServeConfig, Server};
+    use usnae_graph::distance::sample_pairs;
+    use usnae_graph::generators;
+
+    const KAPPA: u32 = 8;
+    const PAIR_SEED: u64 = 42;
+
+    /// The service-shaped subset of the registry: the paper's two
+    /// centralized constructions plus its strongest baseline — enough to
+    /// price the daemon without a nine-way cold-build sweep per run.
+    const ALGOS: [&str; 3] = ["centralized", "spanner", "em19"];
+
+    struct Leg {
+        name: String,
+        edges: u64,
+        cold: Duration,
+        warm: Duration,
+        qps: f64,
+    }
+
+    pub fn main() {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut n = 1024usize;
+        let mut samples = 3usize;
+        let mut queries = 200usize;
+        let mut json_path = "target/bench-serve.json".to_string();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--n" => n = it.next().and_then(|v| v.parse().ok()).expect("--n <size>"),
+                "--samples" => {
+                    samples = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--samples <k>")
+                }
+                "--queries" => {
+                    queries = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--queries <k>")
+                }
+                "--json" => json_path = it.next().expect("--json <path>").clone(),
+                // `cargo bench` forwards its own flags (e.g. --bench); ignore.
+                _ => {}
+            }
+        }
+
+        // Scratch world: graph file, cache dir, socket.
+        let dir = std::env::temp_dir().join(format!("usnae-bench-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        let g = generators::gnp_connected(n, 12.0 / n as f64, PAIR_SEED).expect("valid gnp");
+        let graph_path = dir.join("graph.txt");
+        let file = std::fs::File::create(&graph_path).expect("create graph file");
+        usnae_graph::io::write_edge_list(&g, std::io::BufWriter::new(file)).expect("write graph");
+        let pairs: Vec<(u64, u64)> = sample_pairs(&g, queries, PAIR_SEED)
+            .into_iter()
+            .map(|(u, v)| (u as u64, v as u64))
+            .collect();
+        println!(
+            "serve bench: {} vertices, {} edges, {} fixed seeded pairs, kappa {KAPPA}",
+            g.num_vertices(),
+            g.num_edges(),
+            pairs.len()
+        );
+
+        let cfg = ServeConfig::new(dir.join("d.sock"), dir.join("cache"));
+        let socket = cfg.socket.clone();
+        let server = Server::bind(
+            cfg,
+            Arc::new(|name: &str| usnae_baselines::registry::find(name)),
+        )
+        .expect("bind daemon");
+        let daemon = std::thread::spawn(move || server.run().expect("daemon run"));
+        let mut client = Client::connect(&socket).expect("connect");
+
+        let build_cfg = BuildConfig {
+            kappa: KAPPA,
+            raw_epsilon: true,
+            ..BuildConfig::default()
+        };
+        let mut legs = Vec::new();
+        for name in ALGOS {
+            let job = JobSpec::new(graph_path.display().to_string(), name, &build_cfg);
+
+            // Cold: first submission pays construction + publish + wire.
+            let t0 = Instant::now();
+            let meta = client.build(&job, |_, _, _| {}).expect("cold build");
+            let cold = t0.elapsed();
+            assert_eq!(
+                meta.cache.to_string(),
+                "miss",
+                "{name}: scratch cache was warm"
+            );
+
+            // Warm: every later submission is a mapped cache hit.
+            let mut warm = Duration::MAX;
+            for _ in 0..samples.max(1) {
+                let t0 = Instant::now();
+                let meta = client.build(&job, |_, _, _| {}).expect("warm build");
+                warm = warm.min(t0.elapsed());
+                assert_eq!(meta.cache.to_string(), "hit", "{name}: warm build missed");
+            }
+
+            // QPS of one batched query round-trip over the warm entry.
+            let mut batch = Duration::MAX;
+            for _ in 0..samples.max(1) {
+                let t0 = Instant::now();
+                let answers = client.query(&job, &pairs, 0).expect("batched query");
+                batch = batch.min(t0.elapsed());
+                assert_eq!(answers.distances.len(), pairs.len());
+            }
+            let qps = pairs.len() as f64 / batch.as_secs_f64().max(f64::EPSILON);
+
+            println!(
+                "{:<24} {:>8} edges  cold {:>10.3?}  warm {:>10.3?}  batch {:>10.3?} ({:>10.0} q/s)",
+                name, meta.num_edges, cold, warm, batch, qps
+            );
+            legs.push(Leg {
+                name: name.to_string(),
+                edges: meta.num_edges,
+                cold,
+                warm,
+                qps,
+            });
+        }
+
+        let stats = client.stats().expect("stats");
+        let probes = stats.cache_hits + stats.cache_misses;
+        let hit_rate = stats.cache_hits as f64 / (probes.max(1)) as f64;
+        println!(
+            "daemon: {} job(s) done, {} rejected; cache {:.1}% hit ({} hit / {} miss), {} eviction(s), {} byte(s) resident",
+            stats.jobs_done,
+            stats.jobs_rejected,
+            100.0 * hit_rate,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_evictions,
+            stats.bytes_resident
+        );
+        client.shutdown().expect("shutdown");
+        daemon.join().expect("daemon thread");
+
+        let legs_json: Vec<String> = legs
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"name\":{},\"edges\":{},\"cold_s\":{},\"warm_s\":{},\"qps\":{}}}",
+                    json_string(&l.name),
+                    l.edges,
+                    l.cold.as_secs_f64(),
+                    l.warm.as_secs_f64(),
+                    l.qps
+                )
+            })
+            .collect();
+        let doc = format!(
+            "{{\"n\":{},\"edges\":{},\"queries\":{},\"kappa\":{KAPPA},\"jobs_done\":{},\"hit_rate\":{},\"evictions\":{},\"algorithms\":[{}]}}\n",
+            g.num_vertices(),
+            g.num_edges(),
+            pairs.len(),
+            stats.jobs_done,
+            hit_rate,
+            stats.cache_evictions,
+            legs_json.join(",")
+        );
+        if let Some(parent) = std::path::Path::new(&json_path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&json_path, &doc).expect("write bench JSON");
+        println!("\ntiming JSON written to {json_path}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -74,10 +74,11 @@ use std::io::BufReader;
 
 use usnae_baselines::registry;
 use usnae_core::api::{
-    BuildConfig, BuildOutput, MappedBackend, OutputBackend, PartitionPolicy, ProcessingOrder,
-    QueryEngine, TransportKind,
+    BuildConfig, BuildOutput, CacheStatus, MappedBackend, OutputBackend, PartitionPolicy,
+    ProcessingOrder, QueryEngine, TransportKind,
 };
-use usnae_core::cache::{build_cached, CacheConfig, ConstructionCache};
+use usnae_core::cache::{build_cached, CacheConfig, CacheKey, ConstructionCache};
+use usnae_core::serve::JobSpec;
 use usnae_graph::io::StreamOptions;
 use usnae_graph::{io as gio, Graph, MappedGraph};
 
@@ -101,6 +102,11 @@ pub struct Options {
     pub report: bool,
     /// Construction-cache directory (`--cache DIR`), if any.
     pub cache_dir: Option<String>,
+    /// Thin-client mode (`--connect SOCKET`): ship the job to a running
+    /// `usnae serve` daemon instead of building locally. The daemon
+    /// resolves `--input` on *its* filesystem and serves warm hits from
+    /// its shared cache.
+    pub connect: Option<String>,
 }
 
 /// Parsed `usnae query` command line: the build half (reused verbatim —
@@ -141,6 +147,30 @@ impl CacheAction {
     }
 }
 
+/// Parsed `usnae serve` command line.
+///
+/// Three mutually exclusive modes share the verb: run the daemon
+/// (`--cache` required), print a running daemon's counters (`--stats`),
+/// or stop it (`--stop`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Unix socket path the daemon listens on / the client dials.
+    pub socket: String,
+    /// Shared snapshot-cache directory (daemon mode).
+    pub cache_dir: Option<String>,
+    /// Cache byte budget (`--budget BYTES`; absent = unbounded).
+    pub budget: Option<u64>,
+    /// Build worker threads (`--workers N`).
+    pub workers: usize,
+    /// Bounded job-queue capacity (`--queue-cap N`); a cold build
+    /// arriving on a full queue is refused with a typed busy error.
+    pub queue_cap: usize,
+    /// Client mode: print the daemon's `stats` report and exit.
+    pub stats: bool,
+    /// Client mode: ask the daemon to shut down and exit.
+    pub stop: bool,
+}
+
 /// The commands the binary understands.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -152,6 +182,8 @@ pub enum Command {
     List,
     /// Maintain a construction-cache directory.
     Cache(CacheAction, String),
+    /// Run (or talk to) the always-on build-and-query daemon.
+    Serve(ServeOptions),
 }
 
 /// A user-facing CLI error with a message and the usage string.
@@ -175,6 +207,10 @@ pub const USAGE: &str = "usage: usnae run --algo <name> --input <edge-list> [--o
        usnae query --algo <name> --input <edge-list> --pairs <pairs-file> \
 [--landmarks <k>=0] [--cache <dir>] [--report] [build flags]\n\
        usnae query --mapped <snapshot> --pairs <pairs-file> [--landmarks <k>=0] [--report]\n\
+       usnae run|query ... --connect <socket>   # ship the job to a running daemon\n\
+       usnae serve --socket <path> --cache <dir> [--budget <bytes>] [--workers <n>=2] \
+[--queue-cap <n>=8]\n\
+       usnae serve --socket <path> --stats|--stop\n\
        usnae list\n\
        usnae cache ls|clear|verify <dir>\n\
        usnae build --input <edge-list> [--mode centralized|fast|spanner] [...]\n\
@@ -232,6 +268,71 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             return Ok(Command::Cache(action, dir));
         }
+        Some("serve") => {
+            let mut sopts = ServeOptions {
+                socket: String::new(),
+                cache_dir: None,
+                budget: None,
+                workers: 2,
+                queue_cap: 8,
+                stats: false,
+                stop: false,
+            };
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError(format!("{name} needs a value\n{USAGE}")))
+                };
+                match flag.as_str() {
+                    "--socket" => sopts.socket = value("--socket")?,
+                    "--cache" => sopts.cache_dir = Some(value("--cache")?),
+                    "--budget" => {
+                        sopts.budget = Some(
+                            value("--budget")?
+                                .parse()
+                                .map_err(|_| CliError("--budget must be a byte count".into()))?,
+                        );
+                    }
+                    "--workers" => {
+                        sopts.workers = value("--workers")?
+                            .parse()
+                            .map_err(|_| CliError("--workers must be a positive integer".into()))?;
+                        if sopts.workers == 0 {
+                            return Err(CliError(format!("--workers must be at least 1\n{USAGE}")));
+                        }
+                    }
+                    "--queue-cap" => {
+                        sopts.queue_cap = value("--queue-cap")?
+                            .parse()
+                            .map_err(|_| CliError("--queue-cap must be an integer".into()))?;
+                    }
+                    "--stats" => sopts.stats = true,
+                    "--stop" => sopts.stop = true,
+                    other => return Err(CliError(format!("unknown flag {other:?}\n{USAGE}"))),
+                }
+            }
+            if sopts.socket.is_empty() {
+                return Err(CliError(format!("serve requires --socket\n{USAGE}")));
+            }
+            if sopts.stats && sopts.stop {
+                return Err(CliError(format!(
+                    "--stats and --stop are mutually exclusive\n{USAGE}"
+                )));
+            }
+            if sopts.stats || sopts.stop {
+                if sopts.cache_dir.is_some() || sopts.budget.is_some() {
+                    return Err(CliError(format!(
+                        "--stats/--stop talk to a running daemon; daemon flags don't apply\n{USAGE}"
+                    )));
+                }
+            } else if sopts.cache_dir.is_none() {
+                return Err(CliError(format!(
+                    "serve (daemon mode) requires --cache <dir>\n{USAGE}"
+                )));
+            }
+            return Ok(Command::Serve(sopts));
+        }
         Some(other) => return Err(CliError(format!("unknown subcommand {other:?}\n{USAGE}"))),
         None => return Err(CliError(USAGE.to_string())),
     };
@@ -243,6 +344,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         config: BuildConfig::default(),
         report: false,
         cache_dir: None,
+        connect: None,
     };
     let mut pairs = String::new();
     let mut landmarks = 0usize;
@@ -338,6 +440,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--raw-eps" => opts.config.raw_epsilon = true,
             "--report" => opts.report = true,
             "--cache" => opts.cache_dir = Some(value("--cache")?),
+            "--connect" if mode != Mode::LegacyBuild => {
+                opts.connect = Some(value("--connect")?);
+            }
             other => return Err(CliError(format!("unknown flag {other:?}\n{USAGE}"))),
         }
     }
@@ -350,6 +455,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         return Err(CliError(format!(
             "--graph-file runs out-of-core and cannot use --cache\n{USAGE}"
         )));
+    }
+    if opts.connect.is_some() {
+        // The daemon owns the cache, the graph file resolution, and the
+        // execution layout; the thin client only ships the job.
+        if opts.input.is_empty() {
+            return Err(CliError(format!(
+                "--connect ships a job by graph path; --input is required\n{USAGE}"
+            )));
+        }
+        if opts.graph_file.is_some() || opts.cache_dir.is_some() || opts.output.is_some() {
+            return Err(CliError(format!(
+                "--connect defers building to the daemon; \
+                 --graph-file/--cache/--output don't apply\n{USAGE}"
+            )));
+        }
     }
     if mode == Mode::Query {
         if pairs.is_empty() {
@@ -368,6 +488,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         if mapped.is_some() && opts.cache_dir.is_some() {
             return Err(CliError(format!(
                 "--mapped serves one snapshot file; it takes no --cache\n{USAGE}"
+            )));
+        }
+        if mapped.is_some() && opts.connect.is_some() {
+            return Err(CliError(format!(
+                "--mapped serves a local snapshot; --connect queries a daemon\n{USAGE}"
             )));
         }
         return Ok(Command::Query(QueryOptions {
@@ -441,6 +566,9 @@ pub fn read_pairs(path: &str, n: usize) -> Result<Vec<(usize, usize)>, CliError>
 /// [`CliError`] on any I/O, parse, parameter, or out-of-range failure.
 pub fn execute_query(qopts: &QueryOptions) -> Result<Vec<String>, CliError> {
     let opts = &qopts.build;
+    if let Some(socket) = &opts.connect {
+        return execute_query_connect(qopts, socket);
+    }
     let (engine, pairs, header) = if let Some(snap_path) = &qopts.mapped {
         // Zero-copy serving: the engine answers straight from the mapped
         // snapshot's emulator CSR section — no graph read, no build, no
@@ -465,9 +593,29 @@ pub fn execute_query(qopts: &QueryOptions) -> Result<Vec<String>, CliError> {
         let g = gio::read_edge_list(BufReader::new(file), 0)
             .map_err(|e| CliError(format!("cannot parse {}: {e}", opts.input)))?;
         let pairs = read_pairs(&qopts.pairs, g.num_vertices())?;
-        let out = run_build(&g, opts)?;
-        let cache_status = out.stats.cache;
-        let engine = out.into_query_engine().with_landmarks(qopts.landmarks);
+        // Warm-hit fast path: when the cached entry is a codec-v4
+        // snapshot, serve its emulator CSR section zero-copy instead of
+        // decoding the record stream into a heap build. Anything that
+        // doesn't map cleanly (legacy v2/v3 entry, cold cache, key
+        // drift) falls back to the ordinary cached build.
+        let mapped_engine = opts.cache_dir.as_ref().and_then(|dir| {
+            let construction = registry::find(&opts.algo)?;
+            let key = CacheKey::new(&g, construction.name(), &opts.config);
+            let backend = MappedBackend::open(ConstructionCache::new(dir).entry_path(&key)).ok()?;
+            if backend.snapshot().key() != &key {
+                return None;
+            }
+            QueryEngine::open(&backend).ok()
+        });
+        let (engine, cache_status) = match mapped_engine {
+            Some(engine) => (engine, CacheStatus::Hit),
+            None => {
+                let out = run_build(&g, opts)?;
+                let status = out.stats.cache;
+                (out.into_query_engine(), status)
+            }
+        };
+        let engine = engine.with_landmarks(qopts.landmarks);
         let mut header = format!(
             "input: {} vertices, {} edges; serving {} ({} edges), {} pair(s)",
             g.num_vertices(),
@@ -529,6 +677,171 @@ pub fn execute_query(qopts: &QueryOptions) -> Result<Vec<String>, CliError> {
         }
     }
     Ok(lines)
+}
+
+/// The `run --connect` thin client: ship the job to a running daemon,
+/// stream its phase progress, and report the built structure — same
+/// `cache:` and `stream fingerprint:` line formats as a local run, so
+/// scripts (and CI) grep both paths identically.
+#[cfg(unix)]
+fn execute_run_connect(opts: &Options, socket: &str) -> Result<Vec<String>, CliError> {
+    use usnae_core::serve::Client;
+    let job = JobSpec::new(&opts.input, &opts.algo, &opts.config);
+    let mut client = Client::connect(socket)
+        .map_err(|e| CliError(format!("cannot reach daemon at {socket}: {e}")))?;
+    let mut phase_lines = Vec::new();
+    let meta = client
+        .build(&job, |phase, micros, explorations| {
+            phase_lines.push(format!(
+                "phase {phase}: {micros} us ({explorations} explorations)"
+            ));
+        })
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut lines = vec![format!(
+        "daemon: {socket}; built {} ({} vertices): {} edges",
+        meta.algorithm, meta.num_vertices, meta.num_edges
+    )];
+    lines.push(format!("cache: {}", meta.cache));
+    if opts.report {
+        lines.push(format!(
+            "stream fingerprint: {:016x}",
+            meta.stream_fingerprint
+        ));
+        lines.extend(phase_lines);
+        lines.push(format!("daemon build: {} us", meta.total_micros));
+    }
+    Ok(lines)
+}
+
+#[cfg(not(unix))]
+fn execute_run_connect(_opts: &Options, _socket: &str) -> Result<Vec<String>, CliError> {
+    Err(CliError(
+        "--connect requires Unix domain sockets (unavailable on this platform)".into(),
+    ))
+}
+
+/// The `query --connect` thin client: the daemon ensures the structure
+/// is built (read-through its shared cache) and answers the batch;
+/// pair range checking happens daemon-side against the actual graph.
+#[cfg(unix)]
+fn execute_query_connect(qopts: &QueryOptions, socket: &str) -> Result<Vec<String>, CliError> {
+    use usnae_core::serve::Client;
+    let opts = &qopts.build;
+    let pairs = read_pairs(&qopts.pairs, usize::MAX)?;
+    let wire_pairs: Vec<(u64, u64)> = pairs.iter().map(|&(u, v)| (u as u64, v as u64)).collect();
+    let job = JobSpec::new(&opts.input, &opts.algo, &opts.config);
+    let mut client = Client::connect(socket)
+        .map_err(|e| CliError(format!("cannot reach daemon at {socket}: {e}")))?;
+    let answers = client
+        .query(&job, &wire_pairs, qopts.landmarks as u64)
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut lines = vec![format!(
+        "daemon: {socket}; serving {}, {} pair(s)",
+        opts.algo,
+        pairs.len()
+    )];
+    lines.push(format!("cache: {}", answers.cache));
+    for (&(u, v), d) in pairs.iter().zip(&answers.distances) {
+        match d {
+            Some(d) => lines.push(format!("{u} {v} {d}")),
+            None => lines.push(format!("{u} {v} unreachable")),
+        }
+    }
+    if opts.report {
+        if answers.beta.is_finite() {
+            lines.push(format!(
+                "certified stretch: d_hat <= {:.4} * d_G + {:.1}",
+                answers.alpha, answers.beta
+            ));
+        } else {
+            lines.push("certified stretch: lower bound only (uncertified construction)".into());
+        }
+    }
+    Ok(lines)
+}
+
+#[cfg(not(unix))]
+fn execute_query_connect(_qopts: &QueryOptions, _socket: &str) -> Result<Vec<String>, CliError> {
+    Err(CliError(
+        "--connect requires Unix domain sockets (unavailable on this platform)".into(),
+    ))
+}
+
+/// The `usnae serve` pipeline: run the daemon (blocking until a client
+/// sends `--stop`), or talk to a running one (`--stats` / `--stop`).
+/// Returns the lines printed after the verb completes.
+///
+/// # Errors
+///
+/// [`CliError`] on bind/connect failures or daemon-reported errors.
+#[cfg(unix)]
+pub fn execute_serve(sopts: &ServeOptions) -> Result<Vec<String>, CliError> {
+    use usnae_core::serve::{Client, Resolver, ServeConfig, Server};
+    if sopts.stop {
+        let mut client = Client::connect(&sopts.socket)
+            .map_err(|e| CliError(format!("cannot reach daemon at {}: {e}", sopts.socket)))?;
+        client.shutdown().map_err(|e| CliError(e.to_string()))?;
+        return Ok(vec![format!("daemon at {} stopping", sopts.socket)]);
+    }
+    if sopts.stats {
+        let mut client = Client::connect(&sopts.socket)
+            .map_err(|e| CliError(format!("cannot reach daemon at {}: {e}", sopts.socket)))?;
+        let stats = client.stats().map_err(|e| CliError(e.to_string()))?;
+        let mut lines = vec![
+            format!(
+                "queue: {} queued / cap {}; {} worker(s)",
+                stats.queue_depth, stats.queue_cap, stats.workers
+            ),
+            format!(
+                "jobs: {} done, {} rejected",
+                stats.jobs_done, stats.jobs_rejected
+            ),
+            format!(
+                "cache: {} hit(s), {} miss(es), {} store(s), {} eviction(s)",
+                stats.cache_hits, stats.cache_misses, stats.cache_stores, stats.cache_evictions
+            ),
+            format!(
+                "resident: {} entr(y/ies), {} byte(s){}",
+                stats.cache_entries,
+                stats.bytes_resident,
+                match stats.budget {
+                    0 => "; budget: unbounded".to_string(),
+                    b => format!("; budget: {b} byte(s)"),
+                }
+            ),
+        ];
+        for job in &stats.recent {
+            lines.push(format!(
+                "job: {} {:016x} cache={} {} us, {} phase(s)",
+                job.algorithm,
+                job.stream_fingerprint,
+                job.cache,
+                job.total_micros,
+                job.phases.len()
+            ));
+        }
+        return Ok(lines);
+    }
+    let cache_dir = sopts
+        .cache_dir
+        .as_ref()
+        .expect("parse_args enforces --cache in daemon mode");
+    let mut cfg = ServeConfig::new(&sopts.socket, cache_dir);
+    cfg.budget = sopts.budget;
+    cfg.workers = sopts.workers;
+    cfg.queue_cap = sopts.queue_cap;
+    let resolver: Resolver = std::sync::Arc::new(|name: &str| registry::find(name));
+    let server = Server::bind(cfg, resolver)
+        .map_err(|e| CliError(format!("cannot start daemon on {}: {e}", sopts.socket)))?;
+    server.run().map_err(|e| CliError(e.to_string()))?;
+    Ok(vec![format!("daemon at {} stopped", sopts.socket)])
+}
+
+#[cfg(not(unix))]
+pub fn execute_serve(_sopts: &ServeOptions) -> Result<Vec<String>, CliError> {
+    Err(CliError(
+        "usnae serve requires Unix domain sockets (unavailable on this platform)".into(),
+    ))
 }
 
 /// Builds the requested structure through the registry.
@@ -627,6 +940,9 @@ pub fn list_lines() -> Vec<String> {
 ///
 /// [`CliError`] on any I/O, parse, or parameter failure.
 pub fn execute(opts: &Options) -> Result<Vec<String>, CliError> {
+    if let Some(socket) = &opts.connect {
+        return execute_run_connect(opts, socket);
+    }
     let (out, n, m, stream_line) = if opts.graph_file.is_some() {
         run_build_mapped(opts)?
     } else {
@@ -834,6 +1150,7 @@ mod tests {
                 },
                 report: false,
                 cache_dir: None,
+                connect: None,
             };
             let canonical = |out: &BuildOutput| {
                 let mut edges: Vec<(usize, usize, u64)> = out
@@ -887,6 +1204,7 @@ mod tests {
                 },
                 report: false,
                 cache_dir: None,
+                connect: None,
             };
             let shared = run_build(&g, &mk(0, PartitionPolicy::Range)).unwrap();
             for policy in PartitionPolicy::all() {
@@ -941,6 +1259,7 @@ mod tests {
             },
             report: true,
             cache_dir: None,
+            connect: None,
         };
         let inproc = execute(&mk(TransportKind::Inproc)).unwrap();
         assert!(
@@ -1200,6 +1519,7 @@ mod tests {
                 config: BuildConfig::default(),
                 report: false,
                 cache_dir: None,
+                connect: None,
             };
             let out = run_build(&g, &opts).unwrap();
             assert!(out.num_edges() > 0, "{name}");
@@ -1242,6 +1562,7 @@ mod tests {
             config: BuildConfig::default(),
             report: false,
             cache_dir: Some(dir.display().to_string()),
+            connect: None,
         };
         let cold = run_build(&g, &opts).unwrap();
         assert_eq!(cold.stats.cache, CacheStatus::Miss);
@@ -1290,6 +1611,7 @@ mod tests {
             config: BuildConfig::default(),
             report: true,
             cache_dir: Some(dir.display().to_string()),
+            connect: None,
         };
         let cold = execute(&opts).unwrap();
         assert!(cold.iter().any(|l| l == "cache: miss"), "{cold:?}");
@@ -1371,6 +1693,7 @@ mod tests {
                 config: BuildConfig::default(),
                 report: true,
                 cache_dir: Some(cache.display().to_string()),
+                connect: None,
             },
             pairs: pairs.display().to_string(),
             landmarks: 0,
@@ -1430,6 +1753,7 @@ mod tests {
                 config: BuildConfig::default(),
                 report: false,
                 cache_dir: None,
+                connect: None,
             },
             pairs: pairs.display().to_string(),
             landmarks: 0,
@@ -1438,6 +1762,63 @@ mod tests {
         assert!(execute_query(&qopts).is_err());
         let _ = std::fs::remove_file(&input);
         let _ = std::fs::remove_file(&pairs);
+    }
+
+    #[test]
+    fn serve_command_parses_and_validates() {
+        let s = match parse_args(&args(
+            "serve --socket /tmp/u.sock --cache /tmp/c --budget 4096 --workers 3 --queue-cap 2",
+        ))
+        .unwrap()
+        {
+            Command::Serve(s) => s,
+            other => panic!("expected serve, got {other:?}"),
+        };
+        assert_eq!(s.socket, "/tmp/u.sock");
+        assert_eq!(s.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(s.budget, Some(4096));
+        assert_eq!(s.workers, 3);
+        assert_eq!(s.queue_cap, 2);
+        assert!(!s.stats && !s.stop);
+        // Client modes take just the socket.
+        let s = match parse_args(&args("serve --socket /tmp/u.sock --stats")).unwrap() {
+            Command::Serve(s) => s,
+            other => panic!("expected serve, got {other:?}"),
+        };
+        assert!(s.stats && s.cache_dir.is_none());
+        assert!(matches!(
+            parse_args(&args("serve --socket /tmp/u.sock --stop")).unwrap(),
+            Command::Serve(ServeOptions { stop: true, .. })
+        ));
+        // Rejections: no socket, daemon mode without cache, mixed modes,
+        // daemon flags on a client mode, bad numbers.
+        assert!(parse_args(&args("serve --cache /tmp/c")).is_err());
+        assert!(parse_args(&args("serve --socket /tmp/u.sock")).is_err());
+        assert!(parse_args(&args("serve --socket s --stats --stop")).is_err());
+        assert!(parse_args(&args("serve --socket s --stats --cache /tmp/c")).is_err());
+        assert!(parse_args(&args("serve --socket s --cache c --workers 0")).is_err());
+        assert!(parse_args(&args("serve --socket s --cache c --budget big")).is_err());
+    }
+
+    #[test]
+    fn connect_flag_parses_and_validates() {
+        let o = run_opts(parse_args(&args("run --input g.txt --connect /tmp/u.sock")).unwrap());
+        assert_eq!(o.connect.as_deref(), Some("/tmp/u.sock"));
+        match parse_args(&args(
+            "query --input g.txt --pairs p.txt --connect /tmp/u.sock",
+        ))
+        .unwrap()
+        {
+            Command::Query(q) => assert_eq!(q.build.connect.as_deref(), Some("/tmp/u.sock")),
+            other => panic!("expected query, got {other:?}"),
+        }
+        // The daemon resolves the graph path and owns cache/output/layout.
+        assert!(parse_args(&args("run --connect /tmp/u.sock")).is_err());
+        assert!(parse_args(&args("run --input g.txt --connect s --cache /tmp/c")).is_err());
+        assert!(parse_args(&args("run --input g.txt --connect s --output h.txt")).is_err());
+        assert!(parse_args(&args("run --input g.txt --connect s --graph-file g.csr")).is_err());
+        assert!(parse_args(&args("query --mapped s.usnae --pairs p --connect s")).is_err());
+        assert!(parse_args(&args("build --input g.txt --connect s")).is_err());
     }
 
     #[test]
@@ -1454,6 +1835,7 @@ mod tests {
             },
             report: false,
             cache_dir: None,
+            connect: None,
         };
         assert!(run_build(&g, &opts).is_err());
     }

@@ -16,6 +16,7 @@ fn main() {
         usnae_cli::Command::Run(opts) => usnae_cli::execute(&opts),
         usnae_cli::Command::Query(opts) => usnae_cli::execute_query(&opts),
         usnae_cli::Command::Cache(action, dir) => usnae_cli::execute_cache(action, &dir),
+        usnae_cli::Command::Serve(opts) => usnae_cli::execute_serve(&opts),
     };
     match result {
         Ok(lines) => {

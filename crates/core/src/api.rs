@@ -57,6 +57,14 @@
 //! cache — snapshots store the stream, not the in-memory [`Trace`]).
 //! `usnae cache {ls,clear,verify}` manages a cache directory; `verify`
 //! recomputes every stored fingerprint, and CI runs the same check.
+//! The builder's directory cache is unbounded and append-only — right
+//! for one-shot runs, wrong for a long-running process. Services use
+//! [`EvictingCache`](crate::cache::EvictingCache), the byte-budgeted
+//! view of the same directory format: deterministic LRU-by-bytes
+//! eviction, atomic publication (temp file + rename), lock-free
+//! concurrent readers, and counters for the `usnae serve` daemon's
+//! `stats` endpoint ([`crate::serve`]) — an evicted entry simply
+//! rebuilds read-through on its next use, provably byte-identical.
 //!
 //! # Partitioned builds
 //!

@@ -10,7 +10,7 @@
 //! stored [`stream fingerprint`](crate::emulator::stream_fingerprint) lets
 //! a load prove it.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * [`Snapshot`] + the zero-dependency binary codec
 //!   ([`Snapshot::encode`] / [`Snapshot::decode`]): magic, version, key
@@ -27,6 +27,12 @@
 //!   (builder `.cache_dir(..)`, CLI `--cache`, eval/bench sweeps). A hit is
 //!   accepted only after the decoded stream's recomputed fingerprint
 //!   matches the stored one; anything less rebuilds.
+//! * [`EvictingCache`]: the byte-budgeted, LRU-evicting, concurrency-safe
+//!   view the always-on `usnae serve` daemon shares across jobs —
+//!   deterministic eviction order, atomic publication (temp file +
+//!   rename), lock-free concurrent readers, and hit/miss/eviction
+//!   counters for the service `stats` endpoint. One-shot consumers keep
+//!   the unbounded directory cache; a long-running server bounds it.
 //!
 //! Traced builds (`BuildConfig::traced`) bypass the cache: snapshots
 //! deliberately store the insertion stream, not the in-memory [`Trace`](crate::api::Trace)
@@ -1495,13 +1501,21 @@ impl ConstructionCache {
     /// Atomically stores `snapshot` (write to a temp file, then rename), so
     /// a concurrent reader never observes a half-written entry.
     ///
+    /// Safe under concurrent writers: the temp name carries the pid *and* a
+    /// process-wide sequence number, so two threads storing the same key
+    /// never interleave writes into one temp file — each publishes a
+    /// complete image and the later rename wins (both images are
+    /// byte-identical for a deterministic construction anyway).
+    ///
     /// # Errors
     ///
     /// [`SnapshotError::Io`] on filesystem failures.
     pub fn store(&self, snapshot: &Snapshot) -> Result<PathBuf, SnapshotError> {
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         std::fs::create_dir_all(&self.dir)?;
         let path = self.entry_path(&snapshot.key);
-        let tmp = path.with_extension(format!("{EXTENSION}.tmp-{}", std::process::id()));
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("{EXTENSION}.tmp-{}-{seq}", std::process::id()));
         std::fs::write(&tmp, snapshot.encode())?;
         std::fs::rename(&tmp, &path)?;
         Ok(path)
@@ -1634,6 +1648,277 @@ impl ConstructionCache {
             }
         }
         Ok(n)
+    }
+}
+
+/// Point-in-time usage and counter snapshot of an [`EvictingCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheUsage {
+    /// Entries currently resident (tracked by this handle).
+    pub entries: usize,
+    /// Bytes currently resident across those entries.
+    pub bytes_resident: u64,
+    /// Configured byte budget (`None` = unbounded).
+    pub budget: Option<u64>,
+    /// Warm lookups answered from a resident entry.
+    pub hits: u64,
+    /// Lookups that found no (valid) entry.
+    pub misses: u64,
+    /// Snapshots published through this handle.
+    pub stores: u64,
+    /// Entries unlinked to get back under the budget.
+    pub evictions: u64,
+}
+
+/// Recency index + counters behind the [`EvictingCache`] mutex.
+#[derive(Debug, Default)]
+struct EvictState {
+    /// Entry file name → size in bytes, for every resident entry.
+    sizes: BTreeMap<String, u64>,
+    /// Entry file names, least-recently-used first.
+    recency: std::collections::VecDeque<String>,
+    hits: u64,
+    misses: u64,
+    stores: u64,
+    evictions: u64,
+}
+
+impl EvictState {
+    /// Moves `name` to the most-recently-used position (inserting it if
+    /// unseen).
+    fn touch(&mut self, name: &str) {
+        if let Some(i) = self.recency.iter().position(|n| n == name) {
+            self.recency.remove(i);
+        }
+        self.recency.push_back(name.to_string());
+    }
+
+    fn bytes_resident(&self) -> u64 {
+        self.sizes.values().sum()
+    }
+}
+
+/// A byte-budgeted, LRU-evicting view of a [`ConstructionCache`] — the
+/// shared cache the `usnae serve` daemon keeps warm across jobs.
+///
+/// Three properties the serving layer needs that the plain directory
+/// cache deliberately does not provide:
+///
+/// * **Eviction**: entries are ranked least-recently-used (every `load`,
+///   mapped open, or `store` refreshes recency under one mutex, so the
+///   order is a deterministic function of the access sequence) and the
+///   LRU entry is unlinked whenever resident bytes exceed the budget.
+///   The most recently touched entry is never evicted, even when it
+///   alone exceeds the budget — a cache that evicted what it just
+///   stored could never serve a warm hit.
+/// * **Lock-free readers**: the mutex guards only the in-memory index.
+///   Readers open published snapshot files directly; eviction unlinks a
+///   file, which on POSIX leaves already-open handles (including mmaps)
+///   valid. A reader that races an unlink sees a clean miss and
+///   rebuilds — read-through, never an error.
+/// * **Concurrent-writer safety**: publication is atomic
+///   (unique-named temp file + rename, see
+///   [`ConstructionCache::store`]), so no reader ever observes a torn
+///   snapshot, and same-key writers each publish a complete image.
+///
+/// Counters (hits/misses/stores/evictions) feed the daemon's `stats`
+/// response. The index tracks entries this handle has seen; entries
+/// published by other processes join it when first loaded.
+#[derive(Debug)]
+pub struct EvictingCache {
+    inner: ConstructionCache,
+    budget: Option<u64>,
+    state: std::sync::Mutex<EvictState>,
+}
+
+impl EvictingCache {
+    /// Opens a budgeted cache over `dir`, seeding the recency index from
+    /// the entries already on disk (file-name order — deterministic on
+    /// every filesystem) and evicting down to `budget` immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the directory exists but is unreadable.
+    pub fn open(dir: impl Into<PathBuf>, budget: Option<u64>) -> Result<Self, SnapshotError> {
+        let inner = ConstructionCache::new(dir);
+        let mut state = EvictState::default();
+        for path in inner.entry_paths()? {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let bytes = std::fs::metadata(&path)?.len();
+            state.sizes.insert(name.to_string(), bytes);
+            state.recency.push_back(name.to_string());
+        }
+        let cache = EvictingCache {
+            inner,
+            budget,
+            state: std::sync::Mutex::new(state),
+        };
+        {
+            let mut state = cache.state.lock().expect("cache state lock");
+            cache.evict_to_budget(&mut state);
+        }
+        Ok(cache)
+    }
+
+    /// The underlying directory cache.
+    pub fn inner(&self) -> &ConstructionCache {
+        &self.inner
+    }
+
+    /// Absolute path of the entry for `key` (whether or not resident).
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.inner.entry_path(key)
+    }
+
+    /// Unlinks LRU entries until resident bytes fit the budget, always
+    /// sparing the most-recently-used entry. Caller holds the lock.
+    fn evict_to_budget(&self, state: &mut EvictState) {
+        let Some(budget) = self.budget else { return };
+        while state.bytes_resident() > budget && state.recency.len() > 1 {
+            let Some(name) = state.recency.pop_front() else {
+                break;
+            };
+            state.sizes.remove(&name);
+            state.evictions += 1;
+            // A missing file just means a concurrent clear got there
+            // first; the index entry is gone either way.
+            let _ = std::fs::remove_file(self.inner.dir().join(&name));
+        }
+    }
+
+    /// Loads and fully verifies the entry for `key`, refreshing its
+    /// recency on a hit. `Ok(None)` is a clean miss.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] for a present-but-invalid entry.
+    pub fn load(&self, key: &CacheKey) -> Result<Option<Snapshot>, SnapshotError> {
+        let loaded = self.inner.load(key);
+        let mut state = self.state.lock().expect("cache state lock");
+        match &loaded {
+            Ok(Some(_)) => {
+                let name = key.file_name();
+                if !state.sizes.contains_key(&name) {
+                    // Published by another handle/process: adopt it.
+                    if let Ok(meta) = std::fs::metadata(self.inner.entry_path(key)) {
+                        state.sizes.insert(name.clone(), meta.len());
+                    }
+                }
+                state.touch(&name);
+                state.hits += 1;
+            }
+            _ => state.misses += 1,
+        }
+        loaded
+    }
+
+    /// Opens the entry for `key` as a zero-copy [`MappedSnapshot`]
+    /// (structural validation only — no record decode), refreshing its
+    /// recency. `Ok(None)` is a clean miss; a present-but-unmappable
+    /// entry (legacy v2/v3 codec, corruption) also counts as a miss so
+    /// the caller rebuilds read-through.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::KeyMismatch`] when the file maps cleanly but
+    /// belongs to a different key than its name promised.
+    pub fn open_mapped(&self, key: &CacheKey) -> Result<Option<MappedSnapshot>, SnapshotError> {
+        let path = self.inner.entry_path(key);
+        let mapped = match MappedSnapshot::open(&path) {
+            Ok(m) => m,
+            Err(_) => {
+                self.state.lock().expect("cache state lock").misses += 1;
+                return Ok(None);
+            }
+        };
+        if mapped.key() != key {
+            return Err(SnapshotError::KeyMismatch {
+                entry: mapped.key().to_string(),
+                requested: key.to_string(),
+            });
+        }
+        let mut state = self.state.lock().expect("cache state lock");
+        let name = key.file_name();
+        if !state.sizes.contains_key(&name) {
+            if let Ok(meta) = std::fs::metadata(&path) {
+                state.sizes.insert(name.clone(), meta.len());
+            }
+        }
+        state.touch(&name);
+        state.hits += 1;
+        Ok(Some(mapped))
+    }
+
+    /// Atomically publishes `snapshot`, indexes it as most recently used,
+    /// and evicts LRU entries until the budget holds again.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] on filesystem failures.
+    pub fn store(&self, snapshot: &Snapshot) -> Result<PathBuf, SnapshotError> {
+        let path = self.inner.store(snapshot)?;
+        // A concurrent store of another key can evict this entry between
+        // our rename and this stat; index the encoded size then — the
+        // entry just becomes an ordinary read-through miss later.
+        let bytes = std::fs::metadata(&path)
+            .map(|m| m.len())
+            .unwrap_or_else(|_| snapshot.encode().len() as u64);
+        let name = snapshot.key.file_name();
+        let mut state = self.state.lock().expect("cache state lock");
+        state.sizes.insert(name.clone(), bytes);
+        state.touch(&name);
+        state.stores += 1;
+        self.evict_to_budget(&mut state);
+        Ok(path)
+    }
+
+    /// The current usage/counter snapshot (what the daemon's `stats`
+    /// response reports).
+    pub fn usage(&self) -> CacheUsage {
+        let state = self.state.lock().expect("cache state lock");
+        CacheUsage {
+            entries: state.sizes.len(),
+            bytes_resident: state.bytes_resident(),
+            budget: self.budget,
+            hits: state.hits,
+            misses: state.misses,
+            stores: state.stores,
+            evictions: state.evictions,
+        }
+    }
+
+    /// Read-through cached build honoring the budget: a verified warm
+    /// entry is loaded (refreshing recency), anything else — cold,
+    /// evicted, or rotten — rebuilds and republishes, evicting as
+    /// needed. Semantics otherwise match [`build_cached`]; traced
+    /// configs bypass the cache entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] from the underlying construction, or
+    /// [`BuildError::Cache`] when the fresh snapshot cannot be stored.
+    pub fn build_cached(
+        &self,
+        construction: &dyn Construction,
+        g: &Graph,
+        cfg: &BuildConfig,
+    ) -> Result<BuildOutput, BuildError> {
+        cfg.validate().map_err(BuildError::Param)?;
+        if cfg.traced {
+            return construction.build(g, cfg);
+        }
+        let t0 = Instant::now();
+        let key = CacheKey::new(g, construction.name(), cfg);
+        if let Ok(Some(snap)) = self.load(&key) {
+            return Ok(snap.into_output(construction.name(), cfg.threads, t0.elapsed()));
+        }
+        let mut out = construction.build(g, cfg)?;
+        out.stats.cache = CacheStatus::Miss;
+        self.store(&Snapshot::from_output(key, &out))
+            .map_err(BuildError::Cache)?;
+        Ok(out)
     }
 }
 

@@ -70,6 +70,7 @@ pub mod hopset;
 pub mod oracle;
 pub mod params;
 pub mod sai;
+pub mod serve;
 pub mod spanner;
 pub mod verify;
 

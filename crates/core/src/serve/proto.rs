@@ -1,0 +1,970 @@
+//! The serve daemon's typed message vocabulary and binary wire codec.
+//!
+//! Frames reuse the workspace grammar ([`usnae_workers::frame`]) under
+//! the daemon's own magic, so a serve socket can never be confused with
+//! a worker pipe or a cache file:
+//!
+//! ```text
+//! +----------+---------+------+-------------+-----------+----------+
+//! | USNAESRV | version | kind | payload_len | payload.. | checksum |
+//! |  8 bytes |   u32   |  u8  |     u64     |           |   u64    |
+//! +----------+---------+------+-------------+-----------+----------+
+//! ```
+//!
+//! All integers are little-endian; corrupt, truncated, or
+//! version-skewed frames surface as a typed [`ServeError`], never a
+//! hang. The request/response vocabulary, error codes, and version
+//! negotiation are documented operator-facing in `docs/PROTOCOL.md`.
+
+use std::io::{Read, Write};
+
+use usnae_workers::frame::{self, FrameError, Payload, Slice};
+
+use crate::api::BuildConfig;
+use crate::centralized::ProcessingOrder;
+use crate::exec::PhaseTiming;
+
+/// Frame magic of the serve protocol: distinct from the snapshot codec's
+/// `USNAESNP` and the worker transport's `USNAEWKR`.
+pub const MAGIC: &[u8; 8] = b"USNAESRV";
+
+/// Serve protocol version. The client opens with
+/// [`ServeRequest::Hello`] carrying its version; the daemon answers
+/// [`ServeResponse::HelloOk`] with its own, and the frame layer rejects
+/// any later skew with [`ServeError::UnsupportedVersion`].
+pub const VERSION: u32 = 1;
+
+/// Daemon-reported failure categories (the `code` of
+/// [`ServeResponse::Error`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed job: unknown algorithm or invalid parameters.
+    BadRequest,
+    /// The graph reference could not be read or parsed daemon-side.
+    GraphUnavailable,
+    /// The construction itself failed.
+    BuildFailed,
+    /// A query pair names a vertex outside the graph.
+    QueryOutOfRange,
+    /// Anything else (cache I/O, internal invariant).
+    Internal,
+}
+
+impl ErrorCode {
+    fn code(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 0,
+            ErrorCode::GraphUnavailable => 1,
+            ErrorCode::BuildFailed => 2,
+            ErrorCode::QueryOutOfRange => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    fn from_code(b: u8) -> Option<ErrorCode> {
+        match b {
+            0 => Some(ErrorCode::BadRequest),
+            1 => Some(ErrorCode::GraphUnavailable),
+            2 => Some(ErrorCode::BuildFailed),
+            3 => Some(ErrorCode::QueryOutOfRange),
+            4 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case name (what the CLI prints).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::GraphUnavailable => "graph-unavailable",
+            ErrorCode::BuildFailed => "build-failed",
+            ErrorCode::QueryOutOfRange => "query-out-of-range",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// Everything that can go wrong between a serve client and the daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An OS-level socket failure.
+    Io(std::io::Error),
+    /// A frame did not start with the `USNAESRV` magic.
+    BadMagic,
+    /// A frame advertised a protocol version this build does not speak.
+    UnsupportedVersion {
+        /// Version found in the frame header.
+        found: u32,
+        /// Version this build speaks.
+        supported: u32,
+    },
+    /// A frame ended early (short read) at the given byte offset.
+    Truncated {
+        /// Offset into the frame where the data ran out.
+        offset: usize,
+    },
+    /// A frame's FNV-64 trailer did not match its contents.
+    ChecksumMismatch {
+        /// Checksum stored in the frame trailer.
+        stored: u64,
+        /// Checksum recomputed over the received bytes.
+        computed: u64,
+    },
+    /// A structurally invalid frame or payload.
+    Corrupt {
+        /// Human-readable description of the malformation.
+        reason: String,
+    },
+    /// The daemon refused admission: its build queue is full.
+    Busy {
+        /// The queue capacity that was exhausted.
+        queue_cap: usize,
+    },
+    /// The daemon reported a typed job failure.
+    Rejected {
+        /// Failure category.
+        code: ErrorCode,
+        /// Daemon-side message.
+        message: String,
+    },
+    /// The peer answered with an out-of-protocol response kind.
+    Protocol {
+        /// What was expected vs what arrived.
+        reason: String,
+    },
+    /// The peer closed the connection mid-exchange.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve i/o error: {e}"),
+            ServeError::BadMagic => write!(f, "serve frame is missing the USNAESRV magic"),
+            ServeError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "serve protocol version {found} is unsupported (this build speaks {supported})"
+            ),
+            ServeError::Truncated { offset } => {
+                write!(f, "serve frame truncated at byte {offset}")
+            }
+            ServeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "serve frame checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            ServeError::Corrupt { reason } => write!(f, "corrupt serve frame: {reason}"),
+            ServeError::Busy { queue_cap } => write!(
+                f,
+                "daemon busy: build queue full ({queue_cap} job(s) queued); retry later"
+            ),
+            ServeError::Rejected { code, message } => {
+                write!(f, "daemon rejected the job ({}): {message}", code.name())
+            }
+            ServeError::Protocol { reason } => write!(f, "serve protocol violation: {reason}"),
+            ServeError::Disconnected => write!(f, "daemon closed the connection mid-exchange"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ServeError::Io(e),
+            FrameError::BadMagic => ServeError::BadMagic,
+            FrameError::UnsupportedVersion { found, supported } => {
+                ServeError::UnsupportedVersion { found, supported }
+            }
+            FrameError::Truncated { offset } => ServeError::Truncated { offset },
+            FrameError::ChecksumMismatch { stored, computed } => {
+                ServeError::ChecksumMismatch { stored, computed }
+            }
+            FrameError::Corrupt { reason } => ServeError::Corrupt { reason },
+        }
+    }
+}
+
+/// One build job as shipped over the wire: a graph *reference* (a path
+/// the daemon resolves on its own filesystem), the registry algorithm
+/// name, and the output-relevant [`BuildConfig`] fields plus `threads`.
+///
+/// The sharded-layout fields (`shards`, `partition`, `transport`) are
+/// deliberately not part of the job: they never change the built stream
+/// (the determinism contract), so the daemon picks its own execution
+/// layout. `traced` is not shippable either — traces are in-memory
+/// structures the cache cannot serve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Path of the edge-list file, resolved by the *daemon*.
+    pub graph: String,
+    /// Registry name of the construction.
+    pub algorithm: String,
+    /// Stretch parameter `ε`.
+    pub epsilon: f64,
+    /// Sparsity parameter `κ`.
+    pub kappa: u32,
+    /// Round exponent `ρ`.
+    pub rho: f64,
+    /// Skip the paper's ε-rescaling.
+    pub raw_epsilon: bool,
+    /// Center processing order.
+    pub order: ProcessingOrder,
+    /// Seed for randomized constructions.
+    pub seed: u64,
+    /// Worker threads the daemon should build with.
+    pub threads: u64,
+}
+
+impl JobSpec {
+    /// Assembles a job from CLI-style parts.
+    pub fn new(graph: impl Into<String>, algorithm: impl Into<String>, cfg: &BuildConfig) -> Self {
+        JobSpec {
+            graph: graph.into(),
+            algorithm: algorithm.into(),
+            epsilon: cfg.epsilon,
+            kappa: cfg.kappa,
+            rho: cfg.rho,
+            raw_epsilon: cfg.raw_epsilon,
+            order: cfg.order,
+            seed: cfg.seed,
+            threads: cfg.threads as u64,
+        }
+    }
+
+    /// The daemon-side [`BuildConfig`] this job builds with.
+    pub fn to_config(&self) -> BuildConfig {
+        BuildConfig {
+            epsilon: self.epsilon,
+            kappa: self.kappa,
+            rho: self.rho,
+            raw_epsilon: self.raw_epsilon,
+            order: self.order,
+            seed: self.seed,
+            threads: (self.threads as usize).max(1),
+            ..BuildConfig::default()
+        }
+    }
+}
+
+fn order_code(o: ProcessingOrder) -> u8 {
+    match o {
+        ProcessingOrder::ById => 0,
+        ProcessingOrder::ByIdDesc => 1,
+        ProcessingOrder::ByDegreeDesc => 2,
+        ProcessingOrder::ByDegreeAsc => 3,
+    }
+}
+
+fn order_from_code(b: u8) -> Option<ProcessingOrder> {
+    match b {
+        0 => Some(ProcessingOrder::ById),
+        1 => Some(ProcessingOrder::ByIdDesc),
+        2 => Some(ProcessingOrder::ByDegreeDesc),
+        3 => Some(ProcessingOrder::ByDegreeAsc),
+        _ => None,
+    }
+}
+
+fn put_job(w: &mut Payload, job: &JobSpec) {
+    w.str(&job.graph);
+    w.str(&job.algorithm);
+    w.f64(job.epsilon);
+    w.u32(job.kappa);
+    w.f64(job.rho);
+    w.u8(u8::from(job.raw_epsilon));
+    w.u8(order_code(job.order));
+    w.u64(job.seed);
+    w.u64(job.threads);
+}
+
+fn get_job(r: &mut Slice<'_>) -> Result<JobSpec, FrameError> {
+    let graph = r.str()?;
+    let algorithm = r.str()?;
+    let epsilon = r.f64()?;
+    let kappa = r.u32()?;
+    let rho = r.f64()?;
+    let raw_epsilon = r.u8()? != 0;
+    let order_byte = r.u8()?;
+    let order = order_from_code(order_byte).ok_or_else(|| FrameError::Corrupt {
+        reason: format!("unknown processing-order code {order_byte}"),
+    })?;
+    Ok(JobSpec {
+        graph,
+        algorithm,
+        epsilon,
+        kappa,
+        rho,
+        raw_epsilon,
+        order,
+        seed: r.u64()?,
+        threads: r.u64()?,
+    })
+}
+
+/// Client → daemon messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeRequest {
+    /// Opening handshake: the client's protocol version. The daemon
+    /// answers [`ServeResponse::HelloOk`].
+    Hello {
+        /// Client protocol version.
+        version: u32,
+    },
+    /// Submit one build job. Warm hits answer [`ServeResponse::Built`]
+    /// directly; misses answer [`ServeResponse::Accepted`], stream zero
+    /// or more [`ServeResponse::Phase`] frames, then `Built` (or a
+    /// typed `Busy`/`Error`).
+    Build {
+        /// The job.
+        job: JobSpec,
+    },
+    /// Answer a batch of distance queries over the job's output
+    /// (building it read-through first if needed). One response frame:
+    /// [`ServeResponse::Answers`], `Busy`, or `Error`.
+    Query {
+        /// The job whose output serves the queries.
+        job: JobSpec,
+        /// Query pairs `(u, v)`.
+        pairs: Vec<(u64, u64)>,
+        /// Landmarks to route through (0 = exact emulator paths).
+        landmarks: u64,
+    },
+    /// Report service observability counters.
+    Stats,
+    /// Stop the daemon; it answers [`ServeResponse::Stopping`] and
+    /// exits its accept loop.
+    Shutdown,
+}
+
+/// How a daemon build was satisfied (mirrors
+/// [`CacheStatus`](crate::exec::CacheStatus), wire-stable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobCache {
+    /// Served from the shared evicting cache; no phase work ran.
+    Warm,
+    /// The construction ran (and the snapshot was published).
+    Cold,
+}
+
+impl JobCache {
+    /// `true` for a warm hit.
+    pub fn is_warm(self) -> bool {
+        matches!(self, JobCache::Warm)
+    }
+}
+
+impl std::fmt::Display for JobCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            JobCache::Warm => "hit",
+            JobCache::Cold => "miss",
+        })
+    }
+}
+
+/// The daemon's summary of one completed build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuiltMeta {
+    /// Registry name of the construction.
+    pub algorithm: String,
+    /// Fingerprint of the built insertion stream — byte-identity proof
+    /// against any other build of the same `(graph, algo, config)`.
+    pub stream_fingerprint: u64,
+    /// Vertex count of the output.
+    pub num_vertices: u64,
+    /// Edge count of the output.
+    pub num_edges: u64,
+    /// Warm hit or cold build.
+    pub cache: JobCache,
+    /// Daemon-side wall clock of satisfying the job, microseconds.
+    pub total_micros: u64,
+}
+
+/// One per-job record in the `stats` response, phase timings included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Registry name of the construction.
+    pub algorithm: String,
+    /// Stream fingerprint of the job's output.
+    pub stream_fingerprint: u64,
+    /// Warm hit or cold build.
+    pub cache: JobCache,
+    /// Total daemon-side microseconds.
+    pub total_micros: u64,
+    /// `(phase, micros, explorations)` per recorded phase (empty for
+    /// warm hits — no phase work ran).
+    pub phases: Vec<(u64, u64, u64)>,
+}
+
+impl JobRecord {
+    /// Converts recorded [`PhaseTiming`]s into the wire shape.
+    pub fn wire_phases(phases: &[PhaseTiming]) -> Vec<(u64, u64, u64)> {
+        phases
+            .iter()
+            .map(|p| {
+                (
+                    p.phase as u64,
+                    p.duration.as_micros() as u64,
+                    p.explorations as u64,
+                )
+            })
+            .collect()
+    }
+}
+
+/// The daemon's observability counters ([`ServeRequest::Stats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Build jobs currently queued (admitted, not yet running).
+    pub queue_depth: u64,
+    /// Admission-control queue capacity.
+    pub queue_cap: u64,
+    /// Build worker threads.
+    pub workers: u64,
+    /// Jobs completed (warm and cold).
+    pub jobs_done: u64,
+    /// Jobs refused admission ([`ServeResponse::Busy`]).
+    pub jobs_rejected: u64,
+    /// Shared-cache warm lookups.
+    pub cache_hits: u64,
+    /// Shared-cache misses.
+    pub cache_misses: u64,
+    /// Snapshots published.
+    pub cache_stores: u64,
+    /// Entries evicted to hold the byte budget.
+    pub cache_evictions: u64,
+    /// Entries currently resident.
+    pub cache_entries: u64,
+    /// Bytes currently resident.
+    pub bytes_resident: u64,
+    /// Configured byte budget (0 = unbounded).
+    pub budget: u64,
+    /// Most recent completed jobs, oldest first (bounded window).
+    pub recent: Vec<JobRecord>,
+}
+
+/// Daemon → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeResponse {
+    /// Handshake acknowledged; carries the daemon's protocol version.
+    HelloOk {
+        /// Daemon protocol version.
+        version: u32,
+    },
+    /// Build admitted to the queue at the given depth (position behind
+    /// the jobs already waiting).
+    Accepted {
+        /// Jobs ahead of this one when it was admitted.
+        queue_depth: u64,
+    },
+    /// One recorded build phase, streamed to the submitting client
+    /// after the construction finishes (cold builds only).
+    Phase {
+        /// Phase index.
+        phase: u64,
+        /// Phase wall clock, microseconds.
+        micros: u64,
+        /// Bounded-BFS explorations launched this phase.
+        explorations: u64,
+    },
+    /// The job's output summary (terminal frame of a build exchange).
+    Built(BuiltMeta),
+    /// Certified batched answers, pair order. `dist == u64::MAX` encodes
+    /// "unreachable".
+    Answers {
+        /// Certified multiplicative stretch `α`.
+        alpha: f64,
+        /// Certified additive stretch `β`.
+        beta: f64,
+        /// Warm hit or cold build satisfied the serving structure.
+        cache: JobCache,
+        /// One distance per requested pair (`u64::MAX` = unreachable).
+        distances: Vec<u64>,
+    },
+    /// The observability report.
+    Stats(ServiceStats),
+    /// Admission refused: the build queue is at capacity.
+    Busy {
+        /// The exhausted queue capacity.
+        queue_cap: u64,
+    },
+    /// Typed job failure.
+    Error {
+        /// Failure category.
+        code: ErrorCode,
+        /// Human-readable daemon-side message.
+        message: String,
+    },
+    /// Shutdown acknowledged; the daemon is exiting.
+    Stopping,
+}
+
+impl ServeRequest {
+    fn kind(&self) -> u8 {
+        match self {
+            ServeRequest::Hello { .. } => 0,
+            ServeRequest::Build { .. } => 1,
+            ServeRequest::Query { .. } => 2,
+            ServeRequest::Stats => 3,
+            ServeRequest::Shutdown => 4,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut w = Payload::new();
+        match self {
+            ServeRequest::Hello { version } => w.u32(*version),
+            ServeRequest::Build { job } => put_job(&mut w, job),
+            ServeRequest::Query {
+                job,
+                pairs,
+                landmarks,
+            } => {
+                put_job(&mut w, job);
+                w.u64(*landmarks);
+                w.usize(pairs.len());
+                for &(u, v) in pairs {
+                    w.u64(u);
+                    w.u64(v);
+                }
+            }
+            ServeRequest::Stats | ServeRequest::Shutdown => {}
+        }
+        w.into_bytes()
+    }
+
+    fn decode(kind: u8, payload: &[u8]) -> Result<ServeRequest, ServeError> {
+        let mut r = Slice::new(payload);
+        let req = match kind {
+            0 => ServeRequest::Hello { version: r.u32()? },
+            1 => ServeRequest::Build {
+                job: get_job(&mut r)?,
+            },
+            2 => {
+                let job = get_job(&mut r)?;
+                let landmarks = r.u64()?;
+                let n = r.count(16)?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push((r.u64()?, r.u64()?));
+                }
+                ServeRequest::Query {
+                    job,
+                    pairs,
+                    landmarks,
+                }
+            }
+            3 => ServeRequest::Stats,
+            4 => ServeRequest::Shutdown,
+            _ => {
+                return Err(ServeError::Corrupt {
+                    reason: format!("unknown request kind {kind}"),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+fn put_cache(w: &mut Payload, c: JobCache) {
+    w.u8(u8::from(c.is_warm()));
+}
+
+fn get_cache(r: &mut Slice<'_>) -> Result<JobCache, FrameError> {
+    Ok(if r.u8()? != 0 {
+        JobCache::Warm
+    } else {
+        JobCache::Cold
+    })
+}
+
+fn put_record(w: &mut Payload, rec: &JobRecord) {
+    w.str(&rec.algorithm);
+    w.u64(rec.stream_fingerprint);
+    put_cache(w, rec.cache);
+    w.u64(rec.total_micros);
+    w.usize(rec.phases.len());
+    for &(phase, micros, explorations) in &rec.phases {
+        w.u64(phase);
+        w.u64(micros);
+        w.u64(explorations);
+    }
+}
+
+fn get_record(r: &mut Slice<'_>) -> Result<JobRecord, FrameError> {
+    let algorithm = r.str()?;
+    let stream_fingerprint = r.u64()?;
+    let cache = get_cache(r)?;
+    let total_micros = r.u64()?;
+    let n = r.count(24)?;
+    let mut phases = Vec::with_capacity(n);
+    for _ in 0..n {
+        phases.push((r.u64()?, r.u64()?, r.u64()?));
+    }
+    Ok(JobRecord {
+        algorithm,
+        stream_fingerprint,
+        cache,
+        total_micros,
+        phases,
+    })
+}
+
+impl ServeResponse {
+    fn kind(&self) -> u8 {
+        match self {
+            ServeResponse::HelloOk { .. } => 0,
+            ServeResponse::Accepted { .. } => 1,
+            ServeResponse::Phase { .. } => 2,
+            ServeResponse::Built(_) => 3,
+            ServeResponse::Answers { .. } => 4,
+            ServeResponse::Stats(_) => 5,
+            ServeResponse::Busy { .. } => 6,
+            ServeResponse::Error { .. } => 7,
+            ServeResponse::Stopping => 8,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut w = Payload::new();
+        match self {
+            ServeResponse::HelloOk { version } => w.u32(*version),
+            ServeResponse::Accepted { queue_depth } => w.u64(*queue_depth),
+            ServeResponse::Phase {
+                phase,
+                micros,
+                explorations,
+            } => {
+                w.u64(*phase);
+                w.u64(*micros);
+                w.u64(*explorations);
+            }
+            ServeResponse::Built(meta) => {
+                w.str(&meta.algorithm);
+                w.u64(meta.stream_fingerprint);
+                w.u64(meta.num_vertices);
+                w.u64(meta.num_edges);
+                put_cache(&mut w, meta.cache);
+                w.u64(meta.total_micros);
+            }
+            ServeResponse::Answers {
+                alpha,
+                beta,
+                cache,
+                distances,
+            } => {
+                w.f64(*alpha);
+                w.f64(*beta);
+                put_cache(&mut w, *cache);
+                w.usize(distances.len());
+                for &d in distances {
+                    w.u64(d);
+                }
+            }
+            ServeResponse::Stats(s) => {
+                w.u64(s.queue_depth);
+                w.u64(s.queue_cap);
+                w.u64(s.workers);
+                w.u64(s.jobs_done);
+                w.u64(s.jobs_rejected);
+                w.u64(s.cache_hits);
+                w.u64(s.cache_misses);
+                w.u64(s.cache_stores);
+                w.u64(s.cache_evictions);
+                w.u64(s.cache_entries);
+                w.u64(s.bytes_resident);
+                w.u64(s.budget);
+                w.usize(s.recent.len());
+                for rec in &s.recent {
+                    put_record(&mut w, rec);
+                }
+            }
+            ServeResponse::Busy { queue_cap } => w.u64(*queue_cap),
+            ServeResponse::Error { code, message } => {
+                w.u8(code.code());
+                w.str(message);
+            }
+            ServeResponse::Stopping => {}
+        }
+        w.into_bytes()
+    }
+
+    fn decode(kind: u8, payload: &[u8]) -> Result<ServeResponse, ServeError> {
+        let mut r = Slice::new(payload);
+        let resp = match kind {
+            0 => ServeResponse::HelloOk { version: r.u32()? },
+            1 => ServeResponse::Accepted {
+                queue_depth: r.u64()?,
+            },
+            2 => ServeResponse::Phase {
+                phase: r.u64()?,
+                micros: r.u64()?,
+                explorations: r.u64()?,
+            },
+            3 => ServeResponse::Built(BuiltMeta {
+                algorithm: r.str()?,
+                stream_fingerprint: r.u64()?,
+                num_vertices: r.u64()?,
+                num_edges: r.u64()?,
+                cache: get_cache(&mut r)?,
+                total_micros: r.u64()?,
+            }),
+            4 => {
+                let alpha = r.f64()?;
+                let beta = r.f64()?;
+                let cache = get_cache(&mut r)?;
+                let n = r.count(8)?;
+                let mut distances = Vec::with_capacity(n);
+                for _ in 0..n {
+                    distances.push(r.u64()?);
+                }
+                ServeResponse::Answers {
+                    alpha,
+                    beta,
+                    cache,
+                    distances,
+                }
+            }
+            5 => {
+                let mut s = ServiceStats {
+                    queue_depth: r.u64()?,
+                    queue_cap: r.u64()?,
+                    workers: r.u64()?,
+                    jobs_done: r.u64()?,
+                    jobs_rejected: r.u64()?,
+                    cache_hits: r.u64()?,
+                    cache_misses: r.u64()?,
+                    cache_stores: r.u64()?,
+                    cache_evictions: r.u64()?,
+                    cache_entries: r.u64()?,
+                    bytes_resident: r.u64()?,
+                    budget: r.u64()?,
+                    recent: Vec::new(),
+                };
+                let n = r.count(8)?;
+                s.recent.reserve(n);
+                for _ in 0..n {
+                    s.recent.push(get_record(&mut r)?);
+                }
+                ServeResponse::Stats(s)
+            }
+            6 => ServeResponse::Busy {
+                queue_cap: r.u64()?,
+            },
+            7 => {
+                let code_byte = r.u8()?;
+                let code = ErrorCode::from_code(code_byte).ok_or_else(|| ServeError::Corrupt {
+                    reason: format!("unknown error code {code_byte}"),
+                })?;
+                ServeResponse::Error {
+                    code,
+                    message: r.str()?,
+                }
+            }
+            8 => ServeResponse::Stopping,
+            _ => {
+                return Err(ServeError::Corrupt {
+                    reason: format!("unknown response kind {kind}"),
+                })
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Writes one request frame.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on socket failures.
+pub fn write_request(out: &mut impl Write, req: &ServeRequest) -> Result<(), ServeError> {
+    frame::write_frame(out, MAGIC, VERSION, req.kind(), &req.payload()).map_err(ServeError::from)
+}
+
+/// Writes one response frame.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on socket failures.
+pub fn write_response(out: &mut impl Write, resp: &ServeResponse) -> Result<(), ServeError> {
+    frame::write_frame(out, MAGIC, VERSION, resp.kind(), &resp.payload()).map_err(ServeError::from)
+}
+
+/// Reads one request frame; `Ok(None)` on clean EOF (the client closed
+/// between requests).
+///
+/// # Errors
+///
+/// Any framing/codec [`ServeError`].
+pub fn read_request(input: &mut impl Read) -> Result<Option<ServeRequest>, ServeError> {
+    match frame::read_frame(input, MAGIC, VERSION)? {
+        None => Ok(None),
+        Some((kind, payload)) => ServeRequest::decode(kind, &payload).map(Some),
+    }
+}
+
+/// Reads one response frame; clean EOF is [`ServeError::Disconnected`]
+/// (the daemon must answer every request).
+///
+/// # Errors
+///
+/// Any framing/codec [`ServeError`].
+pub fn read_response(input: &mut impl Read) -> Result<ServeResponse, ServeError> {
+    match frame::read_frame(input, MAGIC, VERSION)? {
+        None => Err(ServeError::Disconnected),
+        Some((kind, payload)) => ServeResponse::decode(kind, &payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_job() -> JobSpec {
+        JobSpec::new(
+            "/tmp/g.txt",
+            "centralized",
+            &BuildConfig {
+                kappa: 6,
+                seed: 9,
+                threads: 3,
+                ..BuildConfig::default()
+            },
+        )
+    }
+
+    fn round_trip_request(req: ServeRequest) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let got = read_request(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(got, req);
+    }
+
+    fn round_trip_response(resp: ServeResponse) {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let got = read_response(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        round_trip_request(ServeRequest::Hello { version: VERSION });
+        round_trip_request(ServeRequest::Build { job: sample_job() });
+        round_trip_request(ServeRequest::Query {
+            job: sample_job(),
+            pairs: vec![(0, 5), (3, 3)],
+            landmarks: 2,
+        });
+        round_trip_request(ServeRequest::Stats);
+        round_trip_request(ServeRequest::Shutdown);
+
+        round_trip_response(ServeResponse::HelloOk { version: VERSION });
+        round_trip_response(ServeResponse::Accepted { queue_depth: 2 });
+        round_trip_response(ServeResponse::Phase {
+            phase: 1,
+            micros: 420,
+            explorations: 17,
+        });
+        round_trip_response(ServeResponse::Built(BuiltMeta {
+            algorithm: "spanner".into(),
+            stream_fingerprint: 0xDEAD_BEEF,
+            num_vertices: 48,
+            num_edges: 96,
+            cache: JobCache::Warm,
+            total_micros: 1234,
+        }));
+        round_trip_response(ServeResponse::Answers {
+            alpha: 1.5,
+            beta: 4.0,
+            cache: JobCache::Cold,
+            distances: vec![0, 7, u64::MAX],
+        });
+        round_trip_response(ServeResponse::Stats(ServiceStats {
+            queue_depth: 1,
+            queue_cap: 8,
+            workers: 2,
+            jobs_done: 3,
+            jobs_rejected: 1,
+            cache_hits: 2,
+            cache_misses: 1,
+            cache_stores: 1,
+            cache_evictions: 1,
+            cache_entries: 1,
+            bytes_resident: 4096,
+            budget: 8192,
+            recent: vec![JobRecord {
+                algorithm: "em19".into(),
+                stream_fingerprint: 7,
+                cache: JobCache::Cold,
+                total_micros: 99,
+                phases: vec![(0, 50, 12), (1, 30, 4)],
+            }],
+        }));
+        round_trip_response(ServeResponse::Busy { queue_cap: 8 });
+        round_trip_response(ServeResponse::Error {
+            code: ErrorCode::GraphUnavailable,
+            message: "no such file".into(),
+        });
+        round_trip_response(ServeResponse::Stopping);
+    }
+
+    #[test]
+    fn job_spec_round_trips_through_build_config() {
+        let cfg = BuildConfig {
+            epsilon: 0.25,
+            kappa: 8,
+            rho: 0.4,
+            raw_epsilon: true,
+            order: ProcessingOrder::ByDegreeDesc,
+            seed: 42,
+            threads: 4,
+            ..BuildConfig::default()
+        };
+        let job = JobSpec::new("g.txt", "spanner", &cfg);
+        let back = job.to_config();
+        // Exactly the output-relevant fields (plus threads) survive the
+        // trip — the daemon must key the cache identically to a local run.
+        assert_eq!(back.stable_digest(), cfg.stable_digest());
+        assert_eq!(back.threads, cfg.threads);
+    }
+
+    #[test]
+    fn corrupt_frames_surface_typed_errors() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &ServeRequest::Stats).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_request(&mut bad.as_slice()),
+            Err(ServeError::BadMagic)
+        ));
+        let cut = &buf[..buf.len() - 2];
+        assert!(matches!(
+            read_request(&mut { cut }),
+            Err(ServeError::Truncated { .. })
+        ));
+        let empty: &[u8] = &[];
+        assert!(read_request(&mut { empty }).unwrap().is_none());
+        assert!(matches!(
+            read_response(&mut { empty }),
+            Err(ServeError::Disconnected)
+        ));
+    }
+}

@@ -118,3 +118,21 @@ impl From<io::Error> for WorkerError {
         WorkerError::Io(e)
     }
 }
+
+impl From<crate::frame::FrameError> for WorkerError {
+    fn from(e: crate::frame::FrameError) -> Self {
+        use crate::frame::FrameError;
+        match e {
+            FrameError::Io(e) => WorkerError::Io(e),
+            FrameError::BadMagic => WorkerError::BadMagic,
+            FrameError::UnsupportedVersion { found, supported } => {
+                WorkerError::UnsupportedVersion { found, supported }
+            }
+            FrameError::Truncated { offset } => WorkerError::Truncated { offset },
+            FrameError::ChecksumMismatch { stored, computed } => {
+                WorkerError::ChecksumMismatch { stored, computed }
+            }
+            FrameError::Corrupt { reason } => WorkerError::Corrupt { reason },
+        }
+    }
+}

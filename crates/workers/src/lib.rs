@@ -47,6 +47,7 @@
 
 pub mod channel;
 pub mod error;
+pub mod frame;
 pub mod pool;
 pub mod process;
 pub mod proto;

@@ -20,10 +20,10 @@
 
 use std::io::{Read, Write as IoWrite};
 
-use usnae_graph::metrics::Fnv64;
 use usnae_graph::{Dist, VertexId};
 
 use crate::error::WorkerError;
+use crate::frame;
 
 /// Frame magic: fixed 8 bytes, distinct from the snapshot codec's
 /// `USNAESNP` so a worker pipe can never be confused with a cache file.
@@ -33,7 +33,7 @@ pub const MAGIC: &[u8; 8] = b"USNAEWKR";
 pub const VERSION: u32 = 1;
 
 /// Frame header length: magic (8) + version (4) + kind (1) + payload len (8).
-pub const HEADER_LEN: usize = 21;
+pub const HEADER_LEN: usize = frame::HEADER_LEN;
 
 /// Wire size of one routed frontier [`Candidate`]: ball (4) + vertex (8) +
 /// dist (8) + parent (8) + parent rank (8). Message statistics multiply
@@ -553,21 +553,10 @@ impl Response {
     }
 }
 
-/// Frames and writes one message: header, payload, FNV-64 trailer over
-/// everything before it.
+/// Frames and writes one message under the worker magic/version via the
+/// shared grammar ([`crate::frame`]).
 fn write_frame(out: &mut impl IoWrite, kind: u8, payload: &[u8]) -> Result<(), WorkerError> {
-    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + 8);
-    frame.extend_from_slice(MAGIC);
-    frame.extend_from_slice(&VERSION.to_le_bytes());
-    frame.push(kind);
-    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    frame.extend_from_slice(payload);
-    let mut h = Fnv64::new();
-    h.write_bytes(&frame);
-    frame.extend_from_slice(&h.finish().to_le_bytes());
-    out.write_all(&frame)?;
-    out.flush()?;
-    Ok(())
+    frame::write_frame(out, MAGIC, VERSION, kind, payload).map_err(WorkerError::from)
 }
 
 /// Writes one [`Request`] frame.
@@ -580,74 +569,12 @@ pub fn write_response(out: &mut impl IoWrite, resp: &Response) -> Result<(), Wor
     write_frame(out, resp.kind(), &resp.payload())
 }
 
-/// Reads exactly `n` bytes, reporting a short read as
-/// [`WorkerError::Truncated`] at `base + bytes_read`.
-fn read_exact_or_truncated(
-    input: &mut impl Read,
-    buf: &mut [u8],
-    base: usize,
-) -> Result<(), WorkerError> {
-    let mut read = 0;
-    while read < buf.len() {
-        match input.read(&mut buf[read..]) {
-            Ok(0) => {
-                return Err(WorkerError::Truncated {
-                    offset: base + read,
-                })
-            }
-            Ok(k) => read += k,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(WorkerError::Io(e)),
-        }
-    }
-    Ok(())
-}
-
-/// Reads and validates one frame, returning `(kind, payload)`. `Ok(None)`
-/// means clean EOF at a frame boundary (the peer closed its pipe between
-/// messages). Anything else malformed is a typed error.
+/// Reads and validates one frame via the shared grammar, returning
+/// `(kind, payload)`. `Ok(None)` means clean EOF at a frame boundary
+/// (the peer closed its pipe between messages). Anything else malformed
+/// is a typed error.
 fn read_frame(input: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, WorkerError> {
-    let mut header = [0u8; HEADER_LEN];
-    // Distinguish clean EOF (no bytes at all) from a truncated header.
-    let mut first = [0u8; 1];
-    loop {
-        match input.read(&mut first) {
-            Ok(0) => return Ok(None),
-            Ok(_) => break,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(WorkerError::Io(e)),
-        }
-    }
-    header[0] = first[0];
-    read_exact_or_truncated(input, &mut header[1..], 1)?;
-    if &header[..8] != MAGIC {
-        return Err(WorkerError::BadMagic);
-    }
-    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-    if version != VERSION {
-        return Err(WorkerError::UnsupportedVersion {
-            found: version,
-            supported: VERSION,
-        });
-    }
-    let kind = header[12];
-    let len = u64::from_le_bytes(header[13..21].try_into().expect("8 bytes"));
-    let len = usize::try_from(len).map_err(|_| WorkerError::Corrupt {
-        reason: format!("frame payload length {len} does not fit in usize"),
-    })?;
-    let mut payload = vec![0u8; len];
-    read_exact_or_truncated(input, &mut payload, HEADER_LEN)?;
-    let mut trailer = [0u8; 8];
-    read_exact_or_truncated(input, &mut trailer, HEADER_LEN + len)?;
-    let stored = u64::from_le_bytes(trailer);
-    let mut h = Fnv64::new();
-    h.write_bytes(&header);
-    h.write_bytes(&payload);
-    let computed = h.finish();
-    if stored != computed {
-        return Err(WorkerError::ChecksumMismatch { stored, computed });
-    }
-    Ok(Some((kind, payload)))
+    frame::read_frame(input, MAGIC, VERSION).map_err(WorkerError::from)
 }
 
 /// Reads one [`Request`] frame; `Ok(None)` on clean EOF.
@@ -671,6 +598,7 @@ pub fn read_response(input: &mut impl Read) -> Result<Response, WorkerError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use usnae_graph::metrics::Fnv64;
 
     fn round_trip_request(req: Request) {
         let mut buf = Vec::new();

@@ -15,6 +15,10 @@
 //!   transport, with measured message statistics.
 //! * [`eval`] — experiment harness regenerating every table/figure.
 //! * [`registry`] — the complete algorithm catalogue (paper + baselines).
+//! * [`book`] — the architecture book: the layer map
+//!   ([`book::architecture`]), the serve wire protocol
+//!   ([`book::protocol`]), and the daemon operator guide
+//!   ([`book::serving`]), with every code example compiled as a doctest.
 //!
 //! # Quickstart
 //!
@@ -57,7 +61,12 @@
 //! once: point a builder (or `usnae run --cache DIR`) at a construction
 //! cache and the warm run loads a verified snapshot instead of rebuilding
 //! — `stats.cache` reports the hit and the stream fingerprint proves the
-//! loaded output identical to a rebuild (see `usnae::core::cache`):
+//! loaded output identical to a rebuild (see `usnae::core::cache`). The
+//! builder's directory cache is unbounded; long-running services use the
+//! byte-budgeted [`core::cache::EvictingCache`] view of the same
+//! directory format instead — deterministic LRU eviction, atomic
+//! publication, lock-free concurrent readers (see
+//! [`book::serving`]):
 //!
 //! ```
 //! use usnae::api::{Algorithm, CacheStatus, Emulator};
@@ -114,6 +123,36 @@
 //! assert_eq!(engine.stats().tree_builds, 1); // one source, one Dijkstra
 //! # Ok(())
 //! # }
+//! ```
+//!
+//! # Always-on serving
+//!
+//! `usnae serve` keeps one process warm behind a framed Unix-socket
+//! protocol: builds and query batches ship to the daemon
+//! (`usnae run|query ... --connect SOCKET`), warm jobs are answered
+//! zero-copy from a shared byte-budgeted cache without ever queueing,
+//! and cold builds run on a bounded worker pool behind typed admission
+//! control. A daemon-built snapshot is byte-identical to a local build
+//! (enforced registry-wide by `tests/serve_conformance.rs`); operator
+//! guidance lives in [`book::serving`], the wire grammar in
+//! [`book::protocol`]:
+//!
+//! ```no_run
+//! # #[cfg(unix)]
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use usnae::api::BuildConfig;
+//! use usnae::core::serve::{Client, JobSpec};
+//!
+//! let mut client = Client::connect("/run/usnae.sock")?;
+//! let job = JobSpec::new("/data/graph.txt", "centralized", &BuildConfig::default());
+//! let meta = client.build(&job, |_, _, _| {})?;
+//! println!("{} ({}): {:016x}", meta.algorithm, meta.cache, meta.stream_fingerprint);
+//! let answers = client.query(&job, &[(0, 9)], 0)?;
+//! assert_eq!(answers.distances.len(), 1); // certified: d ≤ α·d_G + β
+//! # Ok(())
+//! # }
+//! # #[cfg(not(unix))]
+//! # fn main() {}
 //! ```
 //!
 //! # Partitioned builds
@@ -236,4 +275,18 @@ pub use usnae_workers as workers;
 /// the four baseline lineages (re-export of `usnae_baselines::registry`).
 pub mod registry {
     pub use usnae_baselines::registry::{all, baselines, emulators, find, names, spanners};
+}
+
+/// The architecture book, compiled into the docs: each chapter is a
+/// `docs/*.md` file included verbatim, so its code examples are
+/// doctests — the book cannot drift from the API it describes.
+pub mod book {
+    #[doc = include_str!("../docs/ARCHITECTURE.md")]
+    pub mod architecture {}
+
+    #[doc = include_str!("../docs/PROTOCOL.md")]
+    pub mod protocol {}
+
+    #[doc = include_str!("../docs/SERVING.md")]
+    pub mod serving {}
 }

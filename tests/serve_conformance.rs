@@ -1,0 +1,274 @@
+//! Registry-wide conformance suite for the `usnae serve` daemon: a
+//! daemon-built structure is **the same bytes** as a direct in-process
+//! build, warm hits run no phase work, queries agree with a local
+//! [`QueryEngine`], and the service's admission control and eviction are
+//! observable through `stats`.
+//!
+//! Each test runs its own daemon on its own socket + cache directory,
+//! talks to it through the public [`Client`], and shuts it down
+//! explicitly — the full client path CI's serve-smoke job drives through
+//! the CLI binary, exercised here in-process for every registry
+//! algorithm.
+#![cfg(unix)]
+
+use std::path::PathBuf;
+
+use usnae::api::BuildConfig;
+use usnae::core::serve::{Client, JobCache, JobSpec, ServeConfig, ServeError, Server};
+use usnae::registry;
+
+mod common;
+use common::fixture_graphs;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("usnae-serveconf-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Writes the ring48 fixture graph as an edge-list file the daemon can
+/// resolve, and returns (path, graph).
+fn fixture_on_disk(dir: &std::path::Path) -> (String, usnae::graph::Graph) {
+    let (_, g) = fixture_graphs().remove(0);
+    let path = dir.join("ring48.txt");
+    let file = std::fs::File::create(&path).expect("create graph file");
+    usnae::graph::io::write_edge_list(&g, std::io::BufWriter::new(file)).expect("write graph");
+    (path.display().to_string(), g)
+}
+
+/// Starts a daemon on its own thread; returns the socket path and the
+/// join handle (joined after a client `shutdown`).
+fn spawn_daemon(mut cfg: ServeConfig) -> (PathBuf, std::thread::JoinHandle<()>) {
+    cfg.workers = 2;
+    let socket = cfg.socket.clone();
+    let server = Server::bind(cfg, std::sync::Arc::new(|name: &str| registry::find(name)))
+        .expect("bind daemon");
+    let handle = std::thread::spawn(move || server.run().expect("daemon run"));
+    (socket, handle)
+}
+
+#[test]
+fn daemon_builds_are_byte_identical_to_direct_builds_for_every_algorithm() {
+    let dir = scratch("registry");
+    let (graph_path, g) = fixture_on_disk(&dir);
+    let cfg = ServeConfig::new(dir.join("d.sock"), dir.join("cache"));
+    let (socket, daemon) = spawn_daemon(cfg);
+    let mut client = Client::connect(&socket).expect("connect");
+
+    for construction in registry::all() {
+        let name = construction.name();
+        let job = JobSpec::new(&graph_path, name, &BuildConfig::default());
+
+        // Cold: the daemon runs the construction and streams its phases.
+        let mut phases = 0u32;
+        let cold = client
+            .build(&job, |_, _, _| phases += 1)
+            .unwrap_or_else(|e| panic!("{name}: cold daemon build failed: {e}"));
+        assert_eq!(cold.cache, JobCache::Cold, "{name}");
+        assert_eq!(cold.algorithm, name);
+
+        // Reference: the same job built directly in this process.
+        let direct = construction
+            .build(&g, &BuildConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: direct build failed: {e}"));
+        assert_eq!(
+            cold.stream_fingerprint,
+            direct.stream_fingerprint(),
+            "{name}: daemon build diverged from the direct build"
+        );
+        assert_eq!(cold.num_edges as usize, direct.num_edges(), "{name}");
+        assert_eq!(
+            cold.num_vertices as usize,
+            direct.emulator.num_vertices(),
+            "{name}"
+        );
+
+        // Warm: resubmitting is a hit — no phases streamed, same bytes.
+        let mut warm_phases = 0u32;
+        let warm = client
+            .build(&job, |_, _, _| warm_phases += 1)
+            .unwrap_or_else(|e| panic!("{name}: warm daemon build failed: {e}"));
+        assert_eq!(warm.cache, JobCache::Warm, "{name}: expected a warm hit");
+        assert_eq!(warm_phases, 0, "{name}: warm hit must run no phase work");
+        assert_eq!(warm.stream_fingerprint, cold.stream_fingerprint, "{name}");
+    }
+
+    // The stats window saw every job, warm hits included.
+    let stats = client.stats().expect("stats");
+    let n_algos = registry::all().len() as u64;
+    assert_eq!(stats.jobs_done, 2 * n_algos);
+    assert!(stats.cache_hits >= n_algos, "one warm hit per algorithm");
+    assert_eq!(stats.cache_stores, n_algos, "one publish per algorithm");
+    assert_eq!(stats.cache_evictions, 0, "unbounded cache never evicts");
+    assert!(stats
+        .recent
+        .iter()
+        .any(|r| r.cache == JobCache::Warm && r.phases.is_empty()));
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_queries_agree_with_a_local_engine_and_range_check() {
+    let dir = scratch("query");
+    let (graph_path, g) = fixture_on_disk(&dir);
+    let cfg = ServeConfig::new(dir.join("d.sock"), dir.join("cache"));
+    let (socket, daemon) = spawn_daemon(cfg);
+    let mut client = Client::connect(&socket).expect("connect");
+
+    let job = JobSpec::new(&graph_path, "centralized", &BuildConfig::default());
+    let pairs: Vec<(u64, u64)> = vec![(0, 24), (3, 3), (7, 40), (1, 47)];
+
+    // First query builds read-through (cold), second serves warm.
+    let cold = client.query(&job, &pairs, 0).expect("cold query");
+    assert_eq!(cold.cache, JobCache::Cold);
+    let warm = client.query(&job, &pairs, 0).expect("warm query");
+    assert_eq!(warm.cache, JobCache::Warm);
+    assert_eq!(cold.distances, warm.distances);
+
+    // Reference answers from a local engine over the same build.
+    let construction = registry::find("centralized").unwrap();
+    let engine = construction
+        .build(&g, &BuildConfig::default())
+        .unwrap()
+        .into_query_engine();
+    let native: Vec<(usize, usize)> = pairs
+        .iter()
+        .map(|&(u, v)| (u as usize, v as usize))
+        .collect();
+    let local: Vec<Option<u64>> = engine
+        .distances(&native)
+        .into_iter()
+        .map(|c| c.value)
+        .collect();
+    assert_eq!(cold.distances, local, "daemon answers diverged");
+    let (alpha, beta) = engine.guarantee();
+    assert_eq!((cold.alpha, cold.beta), (alpha, beta), "certificate drift");
+
+    // Landmark routing answers every pair too (weaker certificate).
+    let lm = client.query(&job, &pairs, 3).expect("landmark query");
+    assert_eq!(lm.distances.len(), pairs.len());
+    assert!(lm.distances.iter().all(Option::is_some));
+
+    // Out-of-range pairs are refused with the typed code, not a crash.
+    let err = client.query(&job, &[(0, 480)], 0).unwrap_err();
+    match err {
+        ServeError::Rejected { code, .. } => {
+            assert_eq!(code, usnae::core::serve::ErrorCode::QueryOutOfRange);
+        }
+        other => panic!("expected a typed range rejection, got {other}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_refuses_admission_with_a_typed_busy() {
+    let dir = scratch("busy");
+    let (graph_path, _) = fixture_on_disk(&dir);
+    let mut cfg = ServeConfig::new(dir.join("d.sock"), dir.join("cache"));
+    cfg.queue_cap = 0; // every cold build is refused
+    let (socket, daemon) = spawn_daemon(cfg);
+    let mut client = Client::connect(&socket).expect("connect");
+
+    let job = JobSpec::new(&graph_path, "centralized", &BuildConfig::default());
+    match client.build(&job, |_, _, _| {}) {
+        Err(ServeError::Busy { queue_cap: 0 }) => {}
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.jobs_rejected, 1);
+    assert_eq!(stats.jobs_done, 0);
+    assert_eq!(stats.queue_cap, 0);
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_eviction_is_observable_in_stats_and_jobs_still_serve() {
+    let dir = scratch("evict");
+    let (graph_path, _) = fixture_on_disk(&dir);
+    let mut cfg = ServeConfig::new(dir.join("d.sock"), dir.join("cache"));
+    // Budget below any snapshot: every new algorithm evicts the
+    // previous one, but the MRU entry always survives to serve warm.
+    cfg.budget = Some(1);
+    let (socket, daemon) = spawn_daemon(cfg);
+    let mut client = Client::connect(&socket).expect("connect");
+
+    let algos = ["centralized", "spanner", "em19"];
+    for name in algos {
+        let job = JobSpec::new(&graph_path, name, &BuildConfig::default());
+        let built = client.build(&job, |_, _, _| {}).expect(name);
+        assert_eq!(built.cache, JobCache::Cold, "{name}");
+        // Immediate resubmission is warm even under the tiny budget:
+        // the most recent entry is never evicted.
+        let warm = client.build(&job, |_, _, _| {}).expect(name);
+        assert_eq!(warm.cache, JobCache::Warm, "{name}");
+    }
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.cache_evictions >= (algos.len() - 1) as u64,
+        "expected evictions under the 1-byte budget, saw {}",
+        stats.cache_evictions
+    );
+    assert_eq!(stats.budget, 1);
+    assert!(stats.bytes_resident > 0);
+    // An evicted job rebuilds transparently: cold again, then warm.
+    let first = JobSpec::new(&graph_path, "centralized", &BuildConfig::default());
+    let rebuilt = client.build(&first, |_, _, _| {}).expect("rebuild");
+    assert_eq!(rebuilt.cache, JobCache::Cold, "evicted entry rebuilds");
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Several clients issuing overlapping builds of the *same* job: exactly
+/// one construction should publish, the rest serve warm or rebuild
+/// race-free, and every reported fingerprint is identical.
+#[test]
+fn concurrent_clients_converge_on_one_snapshot() {
+    let dir = scratch("mclient");
+    let (graph_path, _) = fixture_on_disk(&dir);
+    let cfg = ServeConfig::new(dir.join("d.sock"), dir.join("cache"));
+    let (socket, daemon) = spawn_daemon(cfg);
+
+    let fingerprints: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let socket = socket.clone();
+                let graph_path = graph_path.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&socket).expect("connect");
+                    let job = JobSpec::new(&graph_path, "spanner", &BuildConfig::default());
+                    client
+                        .build(&job, |_, _, _| {})
+                        .expect("build")
+                        .stream_fingerprint
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    assert!(
+        fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "{fingerprints:?}"
+    );
+
+    let mut client = Client::connect(&socket).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.jobs_done, 4);
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
