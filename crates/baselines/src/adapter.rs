@@ -11,7 +11,7 @@ use std::time::Instant;
 use usnae_core::api::{
     require_inproc, BuildConfig, BuildError, BuildOutput, BuildStats, Construction, Supports,
 };
-use usnae_core::engine::{verify_partitioned_merge, Engine, EngineReport};
+use usnae_core::engine::{finalize_worker_build, Engine, EngineReport};
 use usnae_graph::Graph;
 
 use crate::em19::build_em19_exec;
@@ -72,8 +72,8 @@ impl Construction for Ep01 {
         let t0 = Instant::now();
         let engine = Engine::new(g, cfg);
         let emulator = build_ep01_exec(g, &params, &engine);
-        let report = engine.finish()?;
-        let out = BuildOutput {
+        let (report, held) = engine.finish_retaining(emulator.provenance())?;
+        let mut out = BuildOutput {
             emulator,
             certified: None,
             size_bound: self.size_bound(g.num_vertices(), cfg),
@@ -82,7 +82,7 @@ impl Construction for Ep01 {
             stats: timed_stats(cfg, t0, report),
             algorithm: self.name(),
         };
-        verify_partitioned_merge(&out, cfg)?;
+        finalize_worker_build(&mut out, held, cfg)?;
         Ok(out)
     }
 }
@@ -176,8 +176,8 @@ impl Construction for En17 {
         let t0 = Instant::now();
         let engine = Engine::new(g, cfg);
         let emulator = build_en17_exec(g, &params, cfg.seed, &engine);
-        let report = engine.finish()?;
-        let out = BuildOutput {
+        let (report, held) = engine.finish_retaining(emulator.provenance())?;
+        let mut out = BuildOutput {
             emulator,
             certified: None,
             size_bound: None,
@@ -186,7 +186,7 @@ impl Construction for En17 {
             stats: timed_stats(cfg, t0, report),
             algorithm: self.name(),
         };
-        verify_partitioned_merge(&out, cfg)?;
+        finalize_worker_build(&mut out, held, cfg)?;
         Ok(out)
     }
 }
@@ -227,8 +227,8 @@ impl Construction for Em19 {
         let t0 = Instant::now();
         let engine = Engine::new(g, cfg);
         let emulator = build_em19_exec(g, &params, &engine);
-        let report = engine.finish()?;
-        let out = BuildOutput {
+        let (report, held) = engine.finish_retaining(emulator.provenance())?;
+        let mut out = BuildOutput {
             emulator,
             certified: None,
             size_bound: None,
@@ -237,7 +237,7 @@ impl Construction for Em19 {
             stats: timed_stats(cfg, t0, report),
             algorithm: self.name(),
         };
-        verify_partitioned_merge(&out, cfg)?;
+        finalize_worker_build(&mut out, held, cfg)?;
         Ok(out)
     }
 }
@@ -335,6 +335,7 @@ mod tests {
         for transport in [
             usnae_core::api::TransportKind::Channel,
             usnae_core::api::TransportKind::Process,
+            usnae_core::api::TransportKind::Socket,
         ] {
             let cfg = BuildConfig {
                 shards: 2,

@@ -26,6 +26,13 @@
 //! bytes) into the JSON, so the trend also tracks worker-protocol
 //! traffic. `--n` scales the input through the 100k (default) to 1M
 //! regime.
+//!
+//! A final `message_ratio` field compares the measured worker traffic
+//! against the CONGEST simulator's idealized counts for the same
+//! construction on a bounded side graph (the simulator must not dominate
+//! the bench at 100k vertices) — the E10 eval experiment's ratio, kept in
+//! the `BENCH_<sha>.json` trend so worker-protocol overhead regressions
+//! are visible next to the timing legs.
 
 use std::time::Duration;
 use usnae_bench::rss;
@@ -306,8 +313,47 @@ fn main() {
             ));
         }
     }
+    // Measured vs simulated message complexity (the E10 ratio) on a
+    // bounded side graph: real channel-worker traffic for the
+    // fast-centralized build against the CONGEST simulator's idealized
+    // counts for the distributed build of the same input.
+    let ratio_n = n.min(2048);
+    let rg =
+        generators::gnp_connected(ratio_n, 8.0 / ratio_n as f64, 42).expect("valid gnp parameters");
+    let measured = build(
+        &rg,
+        Algorithm::FastCentralized,
+        1,
+        BENCH_SHARDS,
+        TransportKind::Channel,
+    )
+    .stats
+    .messages
+    .expect("worker builds measure messages");
+    let sim = Emulator::builder(&rg)
+        .epsilon(0.5)
+        .kappa(4)
+        .rho(0.5)
+        .algorithm(Algorithm::Distributed)
+        .build()
+        .expect("valid bench configuration");
+    let sim_metrics = &sim
+        .congest
+        .as_ref()
+        .expect("distributed builds report")
+        .metrics;
+    let msg_ratio = measured.messages as f64 / sim_metrics.messages.max(1) as f64;
+    println!(
+        "message ratio at n={ratio_n}: measured {} vs simulated {} = {msg_ratio:.2}x",
+        measured.messages, sim_metrics.messages
+    );
+    let ratio_json = format!(
+        "{{\"n\":{ratio_n},\"measured_rounds\":{},\"measured_messages\":{},\"measured_bytes\":{},\"sim_rounds\":{},\"sim_messages\":{},\"ratio\":{msg_ratio}}}",
+        measured.rounds, measured.messages, measured.bytes, sim_metrics.rounds, sim_metrics.messages
+    );
+
     let doc = format!(
-        "{{\"n\":{},\"edges\":{},\"hardware_threads\":{},\"algorithms\":[{}]}}\n",
+        "{{\"n\":{},\"edges\":{},\"hardware_threads\":{},\"message_ratio\":{ratio_json},\"algorithms\":[{}]}}\n",
         g.num_vertices(),
         g.num_edges(),
         std::thread::available_parallelism().map_or(1, usize::from),

@@ -1,10 +1,12 @@
 //! E4/E5 (Cor 3.11/3.12): distributed CONGEST construction — rounds vs the
-//! paper's budget, size bound, both-endpoint knowledge.
+//! paper's budget, size bound, both-endpoint knowledge — plus E10: the
+//! measured worker-transport message complexity against the simulator's
+//! idealized counts on the same inputs.
 //!
 //! Usage: `cargo run --release -p usnae-bench --bin exp_congest [--n <n>] [--ultra]`
 
 use usnae_bench::{arg_usize, emit, has_flag};
-use usnae_eval::experiments::e4_congest;
+use usnae_eval::experiments::{e10_message_ratio, e4_congest};
 
 fn main() {
     let n = arg_usize("--n", 256);
@@ -20,4 +22,8 @@ fn main() {
     );
     let bad: f64 = table.column_f64("knowledge_bad").into_iter().sum();
     println!("knowledge violations: {bad} (must be 0)");
+    if !ultra {
+        let ratio = e10_message_ratio(n, 4, 0.5, 0.5, 4, 42);
+        emit("e10_message_ratio", &ratio);
+    }
 }

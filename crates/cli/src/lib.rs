@@ -5,7 +5,8 @@
 //! usnae run --algo <name> --input graph.txt [--output emulator.txt]
 //!       [--eps 0.5] [--kappa 4] [--rho 0.5] [--seed 0] [--threads 1]
 //!       [--shards 0] [--partition range|degree-balanced]
-//!       [--transport inproc|channel|process]
+//!       [--transport inproc|channel|process|socket]
+//!       [--workers-addr host:port,host:port,...]
 //!       [--order by-id|by-id-desc|by-degree-desc|by-degree-asc]
 //!       [--raw-eps] [--report] [--cache DIR]
 //! usnae query --algo <name> --input graph.txt --pairs pairs.txt
@@ -28,10 +29,13 @@
 //! shards; the built structure is byte-identical to the unsharded run and
 //! `--report` adds a per-shard layout line.
 //!
-//! `--transport channel|process` (requires `--shards`) moves the sharded
-//! explorations to one worker per shard — OS threads with bounded channels,
-//! or child `usnae-worker` processes speaking a checksummed binary protocol
-//! — still byte-identical to the in-process run; `--report` then adds a
+//! `--transport channel|process|socket` (requires `--shards`) moves the
+//! sharded explorations to one worker per shard — OS threads with bounded
+//! channels, child `usnae-worker` processes speaking a checksummed binary
+//! protocol, or the same framed protocol over TCP (loopback children by
+//! default; `--workers-addr host:port,...` dials pre-started remote
+//! `usnae-worker --listen` processes, one address per shard) — still
+//! byte-identical to the in-process run; `--report` then adds a
 //! `transport:` line with the measured round/message/byte totals.
 //!
 //! `--graph-file <csr>` is the out-of-core build path: with `--input`
@@ -107,6 +111,13 @@ pub struct Options {
     /// resolves `--input` on *its* filesystem and serves warm hits from
     /// its shared cache.
     pub connect: Option<String>,
+    /// Pre-started remote workers for `--transport socket`
+    /// (`--workers-addr host:port,host:port,...`, one address per shard
+    /// in shard order). Exported as `USNAE_WORKERS_ADDR` before the
+    /// build; without it the socket transport spawns loopback
+    /// `usnae-worker --listen` children. Kept off [`BuildConfig`] so the
+    /// cache digest is deployment-independent.
+    pub workers_addr: Option<String>,
 }
 
 /// Parsed `usnae query` command line: the build half (reused verbatim —
@@ -202,7 +213,8 @@ impl std::error::Error for CliError {}
 pub const USAGE: &str = "usage: usnae run --algo <name> --input <edge-list> [--output <path>] \
 [--graph-file <csr-file>] \
 [--eps <0..1>] [--kappa <k>=4] [--rho <r>=0.5] [--seed <s>=0] [--threads <t>=1] \
-[--shards <k>=0] [--partition range|degree-balanced] [--transport inproc|channel|process] \
+[--shards <k>=0] [--partition range|degree-balanced] [--transport inproc|channel|process|socket] \
+[--workers-addr <host:port,...>] \
 [--order by-id|by-id-desc|by-degree-desc|by-degree-asc] [--raw-eps] [--report] [--cache <dir>]\n\
        usnae query --algo <name> --input <edge-list> --pairs <pairs-file> \
 [--landmarks <k>=0] [--cache <dir>] [--report] [build flags]\n\
@@ -345,6 +357,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         report: false,
         cache_dir: None,
         connect: None,
+        workers_addr: None,
     };
     let mut pairs = String::new();
     let mut landmarks = 0usize;
@@ -432,6 +445,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 opts.config.transport = TransportKind::parse(&v)
                     .ok_or_else(|| CliError(format!("unknown transport {v:?}\n{USAGE}")))?;
             }
+            "--workers-addr" => {
+                opts.workers_addr = Some(value("--workers-addr")?);
+            }
             "--order" => {
                 let v = value("--order")?;
                 opts.config.order = parse_order(&v)
@@ -448,6 +464,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     }
     if opts.input.is_empty() && opts.graph_file.is_none() && mapped.is_none() {
         return Err(CliError(format!("--input is required\n{USAGE}")));
+    }
+    if opts.workers_addr.is_some() && opts.config.transport != TransportKind::Socket {
+        return Err(CliError(format!(
+            "--workers-addr names remote socket workers; it requires --transport socket\n{USAGE}"
+        )));
     }
     if opts.graph_file.is_some() && opts.cache_dir.is_some() {
         // The cache key fingerprints a heap graph; keying it would
@@ -809,6 +830,10 @@ pub fn execute_serve(sopts: &ServeOptions) -> Result<Vec<String>, CliError> {
                     b => format!("; budget: {b} byte(s)"),
                 }
             ),
+            format!(
+                "engines: {} open, {} reuse(s)",
+                stats.engines_open, stats.engine_reuses
+            ),
         ];
         for job in &stats.recent {
             lines.push(format!(
@@ -844,6 +869,16 @@ pub fn execute_serve(_sopts: &ServeOptions) -> Result<Vec<String>, CliError> {
     ))
 }
 
+/// Exports `--workers-addr` as `USNAE_WORKERS_ADDR` so the socket
+/// transport dials the named pre-started workers instead of spawning
+/// loopback children. The address list rides the environment, not
+/// [`BuildConfig`], so the cache digest stays deployment-independent.
+fn export_workers_addr(opts: &Options) {
+    if let Some(addr) = &opts.workers_addr {
+        std::env::set_var(usnae_core::api::WORKERS_ADDR_ENV, addr);
+    }
+}
+
 /// Builds the requested structure through the registry.
 ///
 /// # Errors
@@ -852,6 +887,7 @@ pub fn execute_serve(_sopts: &ServeOptions) -> Result<Vec<String>, CliError> {
 pub fn run_build(g: &Graph, opts: &Options) -> Result<BuildOutput, CliError> {
     let construction = registry::find(&opts.algo)
         .ok_or_else(|| CliError(format!("unknown algorithm {:?}", opts.algo)))?;
+    export_workers_addr(opts);
     match &opts.cache_dir {
         Some(dir) => build_cached(
             construction.as_ref(),
@@ -901,6 +937,7 @@ pub fn run_build_mapped(
         .map_err(|e| CliError(format!("cannot map graph file {path}: {e}")))?;
     let construction = registry::find(&opts.algo)
         .ok_or_else(|| CliError(format!("unknown algorithm {:?}", opts.algo)))?;
+    export_workers_addr(opts);
     let out = construction
         .build_mapped(&g, &opts.config)
         .map_err(|e| CliError(e.to_string()))?;
@@ -1151,6 +1188,7 @@ mod tests {
                 report: false,
                 cache_dir: None,
                 connect: None,
+                workers_addr: None,
             };
             let canonical = |out: &BuildOutput| {
                 let mut edges: Vec<(usize, usize, u64)> = out
@@ -1205,6 +1243,7 @@ mod tests {
                 report: false,
                 cache_dir: None,
                 connect: None,
+                workers_addr: None,
             };
             let shared = run_build(&g, &mk(0, PartitionPolicy::Range)).unwrap();
             for policy in PartitionPolicy::all() {
@@ -1239,6 +1278,33 @@ mod tests {
     }
 
     #[test]
+    fn workers_addr_parses_with_socket_and_is_refused_otherwise() {
+        let o = run_opts(
+            parse_args(&args(
+                "run --input g.txt --shards 2 --transport socket \
+                 --workers-addr 10.0.0.1:9001,10.0.0.2:9001",
+            ))
+            .unwrap(),
+        );
+        assert_eq!(o.config.transport, TransportKind::Socket);
+        assert_eq!(
+            o.workers_addr.as_deref(),
+            Some("10.0.0.1:9001,10.0.0.2:9001")
+        );
+        // The address list requires the socket transport: every other
+        // transport has no remote end to dial.
+        for transport in ["inproc", "channel", "process"] {
+            let err = parse_args(&args(&format!(
+                "run --input g.txt --shards 2 --transport {transport} --workers-addr h:1"
+            )))
+            .unwrap_err();
+            assert!(err.0.contains("--transport socket"), "{transport}: {err}");
+        }
+        let err = parse_args(&args("run --input g.txt --workers-addr h:1")).unwrap_err();
+        assert!(err.0.contains("--transport socket"), "{err}");
+    }
+
+    #[test]
     fn worker_build_reports_transport_and_measured_messages() {
         let input = std::env::temp_dir().join(format!("usnae-cli-wk-{}.txt", std::process::id()));
         let mut text = String::new();
@@ -1260,6 +1326,7 @@ mod tests {
             report: true,
             cache_dir: None,
             connect: None,
+            workers_addr: None,
         };
         let inproc = execute(&mk(TransportKind::Inproc)).unwrap();
         assert!(
@@ -1520,6 +1587,7 @@ mod tests {
                 report: false,
                 cache_dir: None,
                 connect: None,
+                workers_addr: None,
             };
             let out = run_build(&g, &opts).unwrap();
             assert!(out.num_edges() > 0, "{name}");
@@ -1563,6 +1631,7 @@ mod tests {
             report: false,
             cache_dir: Some(dir.display().to_string()),
             connect: None,
+            workers_addr: None,
         };
         let cold = run_build(&g, &opts).unwrap();
         assert_eq!(cold.stats.cache, CacheStatus::Miss);
@@ -1612,6 +1681,7 @@ mod tests {
             report: true,
             cache_dir: Some(dir.display().to_string()),
             connect: None,
+            workers_addr: None,
         };
         let cold = execute(&opts).unwrap();
         assert!(cold.iter().any(|l| l == "cache: miss"), "{cold:?}");
@@ -1694,6 +1764,7 @@ mod tests {
                 report: true,
                 cache_dir: Some(cache.display().to_string()),
                 connect: None,
+                workers_addr: None,
             },
             pairs: pairs.display().to_string(),
             landmarks: 0,
@@ -1754,6 +1825,7 @@ mod tests {
                 report: false,
                 cache_dir: None,
                 connect: None,
+                workers_addr: None,
             },
             pairs: pairs.display().to_string(),
             landmarks: 0,
@@ -1836,6 +1908,7 @@ mod tests {
             report: false,
             cache_dir: None,
             connect: None,
+            workers_addr: None,
         };
         assert!(run_build(&g, &opts).is_err());
     }

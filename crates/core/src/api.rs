@@ -269,9 +269,12 @@ pub use crate::cache::CacheConfig;
 pub use crate::cache::{MappedEmulator, MappedSnapshot};
 pub use crate::centralized::ProcessingOrder;
 pub use crate::emulator::Emulator;
-pub use crate::exec::{MessageStats, PairStats, TransportKind};
+pub use crate::exec::{MessageStats, PairStats, TransportKind, WORKERS_ADDR_ENV};
 pub use crate::oracle::{Certified, EmStore, LandmarkIndex, QueryEngine, QueryStats};
-pub use backend::{HeapBackend, MappedBackend, OutputBackend, PartitionedBackend, SnapshotBackend};
+pub use backend::{
+    HeapBackend, MappedBackend, OutputBackend, PartitionedBackend, RemotePartitionedBackend,
+    SnapshotBackend, REMOTE_FETCH_CHUNK,
+};
 pub use config::{Algorithm, BuildConfig};
 pub use construction::{require_inproc, BuildError, Construction, Supports};
 pub use output::{

@@ -14,11 +14,14 @@
 //! same" output can be compared without materializing either.
 
 use crate::cache::{MappedSnapshot, Snapshot, SnapshotError};
-use crate::emulator::{EdgeProvenance, Emulator};
+use crate::emulator::{EdgeKind, EdgeProvenance, Emulator};
+use crate::engine::HeldOutputs;
 use crate::oracle::EmStore;
+use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 use usnae_graph::partition::PartitionPolicy;
 use usnae_graph::WeightedEdge;
+use usnae_workers::{MessageStats, OutputRecord, WorkerError, WorkerPool};
 
 /// A place a built emulator/spanner can live.
 ///
@@ -417,6 +420,210 @@ impl OutputBackend for PartitionedBackend {
             });
         }
         Ok(Emulator::from_provenance(self.num_vertices, merged))
+    }
+}
+
+/// Records fetched per worker per exchange when a
+/// [`RemotePartitionedBackend`] streams its partitions back.
+pub const REMOTE_FETCH_CHUNK: usize = 4096;
+
+/// The remote sibling of [`PartitionedBackend`]: the output partitions
+/// live in the *workers* (shipped by `Engine::finish_retaining` at round
+/// end), and this backend holds only metadata plus the live
+/// [`WorkerPool`]. `materialize()` streams every partition back lazily in
+/// [`REMOTE_FETCH_CHUNK`]-sized slices, merges by original stream index,
+/// re-verifies the merge by stream fingerprint — exactly the
+/// [`PartitionedBackend`] contract, but over a real transport — and shuts
+/// the pool down, keeping the merged records so repeat materializes need
+/// no workers.
+pub struct RemotePartitionedBackend {
+    algorithm: String,
+    num_vertices: usize,
+    num_edges: usize,
+    fingerprint: u64,
+    certified: Option<(f64, f64)>,
+    count: usize,
+    pool: RefCell<Option<WorkerPool>>,
+    merged: RefCell<Option<Vec<(WeightedEdge, EdgeProvenance)>>>,
+    final_stats: RefCell<Option<MessageStats>>,
+    worker_error: RefCell<Option<WorkerError>>,
+}
+
+impl std::fmt::Debug for RemotePartitionedBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemotePartitionedBackend")
+            .field("algorithm", &self.algorithm)
+            .field("num_vertices", &self.num_vertices)
+            .field("num_edges", &self.num_edges)
+            .field("fingerprint", &self.fingerprint)
+            .field("count", &self.count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemotePartitionedBackend {
+    /// Adopts the worker-held partitions of `out`'s build: metadata from
+    /// the finished output, records from the pool inside `held`.
+    pub fn from_held(out: &crate::api::BuildOutput, held: HeldOutputs) -> Self {
+        RemotePartitionedBackend {
+            algorithm: out.algorithm.to_string(),
+            num_vertices: out.emulator.num_vertices(),
+            num_edges: out.num_edges(),
+            fingerprint: out.stream_fingerprint(),
+            certified: out.certified,
+            count: held.count,
+            pool: RefCell::new(Some(held.pool)),
+            merged: RefCell::new(None),
+            final_stats: RefCell::new(None),
+            worker_error: RefCell::new(None),
+        }
+    }
+
+    /// Total records across all worker-held partitions.
+    pub fn num_records(&self) -> usize {
+        self.count
+    }
+
+    /// The pool's final [`MessageStats`] — retain + fetch traffic and all
+    /// build rounds — available once `materialize()` has drained the
+    /// workers and shut the pool down.
+    pub fn final_stats(&self) -> Option<MessageStats> {
+        self.final_stats.borrow().clone()
+    }
+
+    /// Takes the typed [`WorkerError`] behind the last failed
+    /// `materialize()`, when the failure was the transport's (a dead
+    /// worker mid-fetch) rather than a bad merge.
+    pub fn take_worker_error(&self) -> Option<WorkerError> {
+        self.worker_error.borrow_mut().take()
+    }
+
+    /// Streams the partitions back, merges them, and shuts the pool down.
+    fn fetch_and_merge(&self) -> Result<(), SnapshotError> {
+        let Some(mut pool) = self.pool.borrow_mut().take() else {
+            return Err(SnapshotError::Corrupt {
+                reason: "remote partitions already consumed by a failed fetch".into(),
+            });
+        };
+        let parts = match pool.fetch_retained(REMOTE_FETCH_CHUNK) {
+            Ok(parts) => parts,
+            Err(e) => {
+                // The pool drops here: kill-on-drop teardown, no hang.
+                let reason = format!("fetching worker-held partitions failed: {e}");
+                *self.worker_error.borrow_mut() = Some(e);
+                return Err(SnapshotError::Corrupt { reason });
+            }
+        };
+        let stats = match pool.shutdown() {
+            Ok(stats) => stats,
+            Err(e) => {
+                let reason = format!("worker shutdown after partition fetch failed: {e}");
+                *self.worker_error.borrow_mut() = Some(e);
+                return Err(SnapshotError::Corrupt { reason });
+            }
+        };
+        let mut records: Vec<OutputRecord> = parts.into_iter().flatten().collect();
+        records.sort_unstable_by_key(|r| r.index);
+        if records.len() != self.count {
+            return Err(SnapshotError::Corrupt {
+                reason: format!(
+                    "workers held {} records, the build shipped {}",
+                    records.len(),
+                    self.count
+                ),
+            });
+        }
+        let mut merged = Vec::with_capacity(records.len());
+        for (i, rec) in records.into_iter().enumerate() {
+            if rec.index != i as u64 {
+                return Err(SnapshotError::Corrupt {
+                    reason: format!("merged stream skips from index {i} to {}", rec.index),
+                });
+            }
+            merged.push(decode_record(&rec, self.num_vertices)?);
+        }
+        *self.merged.borrow_mut() = Some(merged);
+        *self.final_stats.borrow_mut() = Some(stats);
+        Ok(())
+    }
+}
+
+/// One wire record back to `(edge, provenance)`, with the same structural
+/// checks the snapshot codec applies (endpoint range, known edge-kind).
+fn decode_record(
+    rec: &OutputRecord,
+    num_vertices: usize,
+) -> Result<(WeightedEdge, EdgeProvenance), SnapshotError> {
+    let vertex = |x: u64| -> Result<usize, SnapshotError> {
+        usize::try_from(x)
+            .ok()
+            .filter(|&v| v < num_vertices)
+            .ok_or_else(|| SnapshotError::Corrupt {
+                reason: format!("record endpoint {x} out of range (n = {num_vertices})"),
+            })
+    };
+    let kind = EdgeKind::from_code(rec.kind).ok_or_else(|| SnapshotError::Corrupt {
+        reason: format!("unknown edge-kind code {}", rec.kind),
+    })?;
+    Ok((
+        WeightedEdge {
+            u: vertex(rec.u)?,
+            v: vertex(rec.v)?,
+            weight: rec.weight,
+        },
+        EdgeProvenance {
+            phase: usize::try_from(rec.phase).map_err(|_| SnapshotError::Corrupt {
+                reason: format!("record phase {} overflows", rec.phase),
+            })?,
+            kind,
+            charged_to: vertex(rec.charged_to)?,
+        },
+    ))
+}
+
+impl OutputBackend for RemotePartitionedBackend {
+    fn kind(&self) -> &'static str {
+        "remote-partitioned"
+    }
+
+    fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn stream_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn certified(&self) -> Option<(f64, f64)> {
+        self.certified
+    }
+
+    fn materialize(&self) -> Result<Emulator, SnapshotError> {
+        if self.merged.borrow().is_none() {
+            self.fetch_and_merge()?;
+        }
+        let records = self
+            .merged
+            .borrow()
+            .as_ref()
+            .expect("fetch_and_merge fills the cache on success")
+            .clone();
+        let recomputed = crate::emulator::stream_fingerprint(&records);
+        if recomputed != self.fingerprint {
+            return Err(SnapshotError::FingerprintMismatch {
+                stored: self.fingerprint,
+                recomputed,
+            });
+        }
+        Ok(Emulator::from_provenance(self.num_vertices, records))
     }
 }
 

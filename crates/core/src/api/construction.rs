@@ -60,8 +60,9 @@ pub enum BuildError {
     /// [`build_cached`](crate::cache::build_cached); load-side problems
     /// degrade to a rebuild instead of erroring).
     Cache(crate::cache::SnapshotError),
-    /// A worker-pool build (`BuildConfig::transport` = channel/process)
-    /// failed: the pool could not be spawned, a worker died or sent a
+    /// A worker-pool build (`BuildConfig::transport` =
+    /// channel/process/socket) failed: the pool could not be spawned, a
+    /// worker died or sent a
     /// corrupt frame mid-build, or shutdown was unclean. The phases fall
     /// back in-process, but the requested worker build did not happen, so
     /// the build fails loudly instead of silently reporting one.

@@ -7,7 +7,7 @@ use crate::api::{
 use crate::centralized::build_centralized_exec;
 use crate::distributed::driver::build_distributed;
 use crate::distributed::spanner_driver::build_spanner_congest;
-use crate::engine::{verify_partitioned_merge, Engine};
+use crate::engine::{finalize_worker_build, Engine};
 use crate::exec::BuildStats;
 use crate::fast_centralized::build_fast_exec;
 use crate::spanner::build_spanner_exec;
@@ -29,8 +29,8 @@ impl Centralized {
         let t0 = Instant::now();
         let engine = Engine::new(g, cfg);
         let (emulator, trace, phases) = build_centralized_exec(g, &params, cfg.order, &engine);
-        let report = engine.finish()?;
-        let out = BuildOutput {
+        let (report, held) = engine.finish_retaining(emulator.provenance())?;
+        let mut out = BuildOutput {
             emulator,
             certified: Some(params.certified_stretch()),
             size_bound: Some(params.size_bound(g.num_vertices())),
@@ -47,7 +47,7 @@ impl Centralized {
             },
             algorithm: self.name(),
         };
-        verify_partitioned_merge(&out, cfg)?;
+        finalize_worker_build(&mut out, held, cfg)?;
         Ok(out)
     }
 }
@@ -103,8 +103,8 @@ impl FastCentralized {
         let t0 = Instant::now();
         let engine = Engine::new(g, cfg);
         let (emulator, trace, phases) = build_fast_exec(g, &params, &engine);
-        let report = engine.finish()?;
-        let out = BuildOutput {
+        let (report, held) = engine.finish_retaining(emulator.provenance())?;
+        let mut out = BuildOutput {
             emulator,
             certified: Some(params.certified_stretch()),
             size_bound: Some(params.size_bound(g.num_vertices())),
@@ -121,7 +121,7 @@ impl FastCentralized {
             },
             algorithm: self.name(),
         };
-        verify_partitioned_merge(&out, cfg)?;
+        finalize_worker_build(&mut out, held, cfg)?;
         Ok(out)
     }
 }
@@ -240,9 +240,9 @@ impl Spanner {
         let t0 = Instant::now();
         let engine = Engine::new(g, cfg);
         let (emulator, trace, phases) = build_spanner_exec(g, &params, &engine);
-        let report = engine.finish()?;
+        let (report, held) = engine.finish_retaining(emulator.provenance())?;
         let n = g.num_vertices();
-        let out = BuildOutput {
+        let mut out = BuildOutput {
             emulator,
             certified: Some(params.certified_stretch()),
             size_bound: Some(SPANNER_SIZE_CONSTANT * params.size_bound(n) + n as f64),
@@ -259,7 +259,7 @@ impl Spanner {
             },
             algorithm: self.name(),
         };
-        verify_partitioned_merge(&out, cfg)?;
+        finalize_worker_build(&mut out, held, cfg)?;
         Ok(out)
     }
 }
@@ -402,6 +402,7 @@ mod tests {
             for transport in [
                 usnae_workers::TransportKind::Channel,
                 usnae_workers::TransportKind::Process,
+                usnae_workers::TransportKind::Socket,
             ] {
                 let cfg = BuildConfig {
                     shards: 2,

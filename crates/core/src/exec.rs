@@ -9,6 +9,7 @@
 use std::time::{Duration, Instant};
 
 pub use usnae_graph::partition::ShardTiming;
+pub use usnae_workers::socket::WORKERS_ADDR_ENV;
 pub use usnae_workers::{MessageStats, PairStats, TransportKind};
 
 /// Wall-clock record of one construction phase.
@@ -75,8 +76,11 @@ pub struct BuildStats {
     /// ([`TransportKind::Inproc`] for the shared in-process fan-out).
     pub transport: TransportKind,
     /// **Measured** message statistics of a worker-pool build (`Some` only
-    /// when `transport` is channel/process on a sharded construction):
-    /// exchange rounds driven, frontier messages and bytes per shard pair.
+    /// when `transport` is channel/process/socket on a sharded
+    /// construction): exchange rounds driven, frontier messages and bytes
+    /// per shard pair — including the round-end shipping of the output
+    /// stream to the workers' retained partitions and the lazy fetch that
+    /// merges them back.
     pub messages: Option<MessageStats>,
     /// Whether this output came from the construction cache.
     pub cache: CacheStatus,

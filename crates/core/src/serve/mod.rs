@@ -19,7 +19,8 @@
 //!  │      └─miss─► bounded job queue ──► build worker pool            │
 //!  │               (cap → typed Busy)    └─► build_cached ─► publish  │
 //!  │                                          (atomic tempfile+rename)│
-//!  │  Query answers: per-connection QueryEngine over MappedBackend    │
+//!  │  Query answers: one shared QueryEngine per mapped snapshot,      │
+//!  │                  reused across connections (engine_reuses stat)  │
 //!  │  Stats: queue depth, cache counters, bytes resident, job records │
 //!  └──────────────────────────────────────────────────────────────────┘
 //! ```
@@ -191,6 +192,14 @@ mod daemon {
         queue: Mutex<VecDeque<QueuedJob>>,
         work_ready: Condvar,
         graphs: Mutex<HashMap<String, Arc<Graph>>>,
+        /// Daemon-wide query engines, one per `(snapshot, landmarks)`
+        /// pair: every connection querying the same built snapshot locks
+        /// the same engine instead of mapping a duplicate per
+        /// connection. `QueryEngine` is `Send` but not `Sync`, so each
+        /// shared engine sits behind its own `Mutex`.
+        #[allow(clippy::type_complexity)]
+        engines: Mutex<HashMap<(String, u64), Arc<Mutex<QueryEngine>>>>,
+        engine_reuses: AtomicU64,
         jobs_done: AtomicU64,
         jobs_rejected: AtomicU64,
         recent: Mutex<VecDeque<JobRecord>>,
@@ -291,6 +300,7 @@ mod daemon {
         }
 
         /// Admission control: queue the job or refuse with `Busy`.
+        #[allow(clippy::result_large_err)] // refusal path, written at most once per job
         fn enqueue(&self, spec: JobSpec) -> Result<Arc<Ticket>, ServeResponse> {
             let mut queue = self.queue.lock().expect("job queue lock");
             if queue.len() >= self.cfg.queue_cap {
@@ -357,6 +367,52 @@ mod daemon {
             }
         }
 
+        /// Opens (or reuses) the shared query engine over one built
+        /// snapshot at a landmark count. The slow part — mapping the
+        /// snapshot and building the engine's indexes — runs outside the
+        /// map lock so other connections' lookups never stall behind it;
+        /// a racing open keeps the first inserted engine and counts the
+        /// loser as a reuse (snapshots are byte-identical by the
+        /// determinism contract, so the two engines are interchangeable).
+        fn engine(
+            &self,
+            key: &CacheKey,
+            landmarks: u64,
+        ) -> Result<Arc<Mutex<QueryEngine>>, (ErrorCode, String)> {
+            let engine_key = (key.file_name(), landmarks);
+            if let Some(engine) = self
+                .engines
+                .lock()
+                .expect("engine map lock")
+                .get(&engine_key)
+            {
+                self.engine_reuses.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(engine));
+            }
+            let backend = MappedBackend::open(self.cache.entry_path(key)).map_err(|e| {
+                (
+                    ErrorCode::Internal,
+                    format!("cannot map built snapshot: {e}"),
+                )
+            })?;
+            let engine = QueryEngine::open(&backend)
+                .map_err(|e| {
+                    (
+                        ErrorCode::Internal,
+                        format!("cannot open query engine: {e}"),
+                    )
+                })?
+                .with_landmarks(landmarks as usize);
+            let engine = Arc::new(Mutex::new(engine));
+            let mut map = self.engines.lock().expect("engine map lock");
+            if let Some(existing) = map.get(&engine_key) {
+                self.engine_reuses.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(existing));
+            }
+            map.insert(engine_key, Arc::clone(&engine));
+            Ok(engine)
+        }
+
         fn stats(&self) -> ServiceStats {
             let usage = self.cache.usage();
             ServiceStats {
@@ -372,6 +428,8 @@ mod daemon {
                 cache_entries: usage.entries as u64,
                 bytes_resident: usage.bytes_resident,
                 budget: usage.budget.unwrap_or(0),
+                engines_open: self.engines.lock().expect("engine map lock").len() as u64,
+                engine_reuses: self.engine_reuses.load(Ordering::Relaxed),
                 recent: self
                     .recent
                     .lock()
@@ -405,12 +463,13 @@ mod daemon {
     }
 
     /// One connection: handshake, then a request/response loop. Query
-    /// engines are per-connection (keyed by snapshot file name and
-    /// landmark count) so concurrent clients never share mutable state.
+    /// engines are daemon-wide ([`Shared::engine`]): a connection locks
+    /// the shared engine for its batch instead of mapping its own copy,
+    /// so N concurrent clients querying one snapshot cost one engine,
+    /// not N.
     fn handle_conn(shared: &Shared, stream: UnixStream) -> Result<(), ServeError> {
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = stream;
-        let mut engines: HashMap<(String, u64), QueryEngine> = HashMap::new();
 
         match read_request(&mut reader)? {
             Some(ServeRequest::Hello { .. }) => {
@@ -494,38 +553,14 @@ mod daemon {
                             continue;
                         }
                     };
-                    let engine_key = (entry_key.file_name(), landmarks);
-                    if !engines.contains_key(&engine_key) {
-                        let backend = match MappedBackend::open(shared.cache.entry_path(&entry_key))
-                        {
-                            Ok(b) => b,
-                            Err(e) => {
-                                write_response(
-                                    &mut writer,
-                                    &ServeResponse::Error {
-                                        code: ErrorCode::Internal,
-                                        message: format!("cannot map built snapshot: {e}"),
-                                    },
-                                )?;
-                                continue;
-                            }
-                        };
-                        let engine = match QueryEngine::open(&backend) {
-                            Ok(e) => e.with_landmarks(landmarks as usize),
-                            Err(e) => {
-                                write_response(
-                                    &mut writer,
-                                    &ServeResponse::Error {
-                                        code: ErrorCode::Internal,
-                                        message: format!("cannot open query engine: {e}"),
-                                    },
-                                )?;
-                                continue;
-                            }
-                        };
-                        engines.insert(engine_key.clone(), engine);
-                    }
-                    let engine = engines.get(&engine_key).expect("engine just inserted");
+                    let engine = match shared.engine(&entry_key, landmarks) {
+                        Ok(e) => e,
+                        Err((code, message)) => {
+                            write_response(&mut writer, &ServeResponse::Error { code, message })?;
+                            continue;
+                        }
+                    };
+                    let engine = engine.lock().expect("shared query engine lock");
                     let native: Vec<(usize, usize)> = pairs
                         .iter()
                         .map(|&(u, v)| (u as usize, v as usize))
@@ -610,6 +645,8 @@ mod daemon {
                     queue: Mutex::new(VecDeque::new()),
                     work_ready: Condvar::new(),
                     graphs: Mutex::new(HashMap::new()),
+                    engines: Mutex::new(HashMap::new()),
+                    engine_reuses: AtomicU64::new(0),
                     jobs_done: AtomicU64::new(0),
                     jobs_rejected: AtomicU64::new(0),
                     recent: Mutex::new(VecDeque::new()),

@@ -32,7 +32,10 @@ pub const MAGIC: &[u8; 8] = b"USNAESRV";
 /// [`ServeRequest::Hello`] carrying its version; the daemon answers
 /// [`ServeResponse::HelloOk`] with its own, and the frame layer rejects
 /// any later skew with [`ServeError::UnsupportedVersion`].
-pub const VERSION: u32 = 1;
+///
+/// v2 extended [`ServiceStats`] with the shared query-engine counters
+/// (`engines_open` / `engine_reuses`).
+pub const VERSION: u32 = 2;
 
 /// Daemon-reported failure categories (the `code` of
 /// [`ServeResponse::Error`]).
@@ -453,6 +456,14 @@ pub struct ServiceStats {
     pub bytes_resident: u64,
     /// Configured byte budget (0 = unbounded).
     pub budget: u64,
+    /// Query engines currently shared behind the daemon — one per
+    /// `(snapshot, landmarks)` pair ever queried, regardless of how many
+    /// connections used it.
+    pub engines_open: u64,
+    /// Query batches served off an already-open shared engine. Rising
+    /// across connections proves the daemon reuses one engine per mapped
+    /// snapshot instead of duplicating it per connection.
+    pub engine_reuses: u64,
     /// Most recent completed jobs, oldest first (bounded window).
     pub recent: Vec<JobRecord>,
 }
@@ -689,6 +700,8 @@ impl ServeResponse {
                 w.u64(s.cache_entries);
                 w.u64(s.bytes_resident);
                 w.u64(s.budget);
+                w.u64(s.engines_open);
+                w.u64(s.engine_reuses);
                 w.usize(s.recent.len());
                 for rec in &s.recent {
                     put_record(&mut w, rec);
@@ -754,6 +767,8 @@ impl ServeResponse {
                     cache_entries: r.u64()?,
                     bytes_resident: r.u64()?,
                     budget: r.u64()?,
+                    engines_open: r.u64()?,
+                    engine_reuses: r.u64()?,
                     recent: Vec::new(),
                 };
                 let n = r.count(8)?;
@@ -909,6 +924,8 @@ mod tests {
             cache_entries: 1,
             bytes_resident: 4096,
             budget: 8192,
+            engines_open: 2,
+            engine_reuses: 5,
             recent: vec![JobRecord {
                 algorithm: "em19".into(),
                 stream_fingerprint: 7,

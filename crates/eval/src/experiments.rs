@@ -14,7 +14,9 @@
 use crate::table::{fmt_f64, Table};
 use crate::workloads::{congest_suite, standard_suite, Workload};
 use usnae_baselines::registry;
-use usnae_core::api::{Algorithm, BuildConfig, Emulator, ProcessingOrder, QueryEngine};
+use usnae_core::api::{
+    Algorithm, BuildConfig, Emulator, PartitionPolicy, ProcessingOrder, QueryEngine, TransportKind,
+};
 use usnae_core::verify::{audit_stretch, is_subgraph_spanner};
 use usnae_graph::distance::{sample_pairs, Apsp};
 
@@ -426,6 +428,84 @@ pub fn e9_query_accuracy(
     t
 }
 
+/// E10 — measured vs simulated message complexity: the same logical
+/// construction counted two ways on the same input. The fast-centralized
+/// build on the channel worker transport *measures* real traffic between
+/// `shards` shard workers ([`BuildStats::messages`](usnae_core::api::BuildStats)
+/// — frontier candidates, rank exchange, and the round-end shipping of
+/// the output stream to the workers' retained partitions plus the lazy
+/// fetch that merges them back); the distributed build *simulates* the
+/// §3 CONGEST protocol and counts its idealized per-round messages. The
+/// `msg_ratio` column (measured / simulated) is the engineering-overhead
+/// factor of the worker protocol relative to the model — the paper's
+/// headline message-complexity metric made empirical. The parallel bench
+/// emits the same ratio into the `BENCH_<sha>.json` trend.
+pub fn e10_message_ratio(
+    n: usize,
+    kappa: u32,
+    rho: f64,
+    epsilon: f64,
+    shards: usize,
+    seed: u64,
+) -> Table {
+    let mut t = Table::new(
+        "E10: measured worker messages vs CONGEST-simulated counts",
+        &[
+            "family",
+            "n",
+            "shards",
+            "measured_rounds",
+            "measured_msgs",
+            "measured_bytes",
+            "shard_pairs",
+            "sim_rounds",
+            "sim_msgs",
+            "msg_ratio",
+        ],
+    );
+    for w in congest_suite(n, seed) {
+        let n_actual = w.graph.num_vertices();
+        let measured = Emulator::builder(&w.graph)
+            .epsilon(epsilon)
+            .kappa(kappa)
+            .algorithm(Algorithm::FastCentralized)
+            .partition(PartitionPolicy::DegreeBalanced, shards)
+            .transport(TransportKind::Channel)
+            .build()
+            .expect("valid params");
+        let m = measured
+            .stats
+            .messages
+            .as_ref()
+            .expect("worker builds measure messages");
+        let sim = Emulator::builder(&w.graph)
+            .epsilon(epsilon)
+            .kappa(kappa)
+            .rho(rho)
+            .algorithm(Algorithm::Distributed)
+            .build()
+            .expect("valid params");
+        let s = &sim
+            .congest
+            .as_ref()
+            .expect("distributed builds report")
+            .metrics;
+        t.push_row(vec![
+            w.name.into(),
+            n_actual.to_string(),
+            shards.to_string(),
+            m.rounds.to_string(),
+            m.messages.to_string(),
+            m.bytes.to_string(),
+            m.pairs.len().to_string(),
+            s.rounds.to_string(),
+            s.messages.to_string(),
+            fmt_f64(m.messages as f64 / s.messages.max(1) as f64),
+        ]);
+    }
+    t
+}
+
 /// F1–F3 anatomy: edge kinds per phase under different processing orders
 /// (the star example's order-dependence is visible in the `star` rows).
 pub fn anatomy(workloads: &[Workload], kappa: u32, epsilon: f64) -> Table {
@@ -524,6 +604,21 @@ mod tests {
         let bounds = t.column_f64("bound");
         for (e, b) in edges.iter().zip(&bounds) {
             assert!(e <= b, "{e} > {b}");
+        }
+    }
+
+    #[test]
+    fn e10_ratio_is_positive_and_both_counters_report() {
+        let t = e10_message_ratio(64, 4, 0.5, 0.5, 2, 9);
+        assert!(t.num_rows() > 0);
+        for m in t.column_f64("measured_msgs") {
+            assert!(m > 0.0, "worker builds must measure traffic");
+        }
+        for s in t.column_f64("sim_msgs") {
+            assert!(s > 0.0, "the simulator must count messages");
+        }
+        for r in t.column_f64("msg_ratio") {
+            assert!(r > 0.0 && r.is_finite(), "ratio {r}");
         }
     }
 

@@ -40,7 +40,8 @@ pub enum WorkerError {
         /// Human-readable description of the malformation.
         reason: String,
     },
-    /// A channel worker's thread is gone (its channel disconnected).
+    /// A worker peer is gone: a channel worker's thread exited (its
+    /// channel disconnected) or a socket worker's connection dropped.
     Disconnected {
         /// Shard whose worker vanished.
         shard: usize,
@@ -81,7 +82,7 @@ impl fmt::Display for WorkerError {
             ),
             WorkerError::Corrupt { reason } => write!(f, "corrupt worker frame: {reason}"),
             WorkerError::Disconnected { shard } => {
-                write!(f, "worker thread for shard {shard} disconnected")
+                write!(f, "worker for shard {shard} disconnected")
             }
             WorkerError::WorkerExited {
                 shard,

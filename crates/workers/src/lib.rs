@@ -17,10 +17,18 @@
 //! * [`worker`] — [`ShardWorker`]: the per-shard state machine that runs
 //!   level-synchronous bounded BFS over its local CSR arrays, absorbing
 //!   incoming frontier candidates and emitting outgoing ones each round.
-//! * Two [`Transport`]s behind one trait, driven by the [`WorkerPool`]:
+//! * Three [`Transport`]s behind one trait, driven by the [`WorkerPool`]:
 //!   [`channel::ChannelTransport`] (one OS thread per shard, bounded mpsc
-//!   channels) and [`process::ProcessTransport`] (spawned `usnae-worker`
-//!   child processes over stdin/stdout pipes, kill-on-drop).
+//!   channels), [`process::ProcessTransport`] (spawned `usnae-worker`
+//!   child processes over stdin/stdout pipes, kill-on-drop), and
+//!   [`socket::SocketTransport`] (the same framed protocol over TCP —
+//!   loopback-spawned `usnae-worker --listen` children by default,
+//!   pre-started remote workers via `USNAE_WORKERS_ADDR`).
+//!
+//! Workers also hold **output partitions**: at round end the driver ships
+//! each worker the output records it owns ([`Request::Retain`]) and
+//! streams them back lazily ([`Request::FetchRetained`]), so a build's
+//! output can stay sharded across the pool until a consumer merges it.
 //!
 //! # Determinism contract
 //!
@@ -51,12 +59,13 @@ pub mod frame;
 pub mod pool;
 pub mod process;
 pub mod proto;
+pub mod socket;
 pub mod stats;
 pub mod worker;
 
 pub use error::WorkerError;
 pub use pool::{ExplorationOutcome, WorkerPool};
-pub use proto::{Candidate, Request, Response, ShardInit, Task};
+pub use proto::{Candidate, OutputRecord, Request, Response, ShardInit, Task};
 pub use stats::{MessageStats, PairStats, TransportKind};
 pub use worker::ShardWorker;
 
@@ -64,7 +73,7 @@ pub use worker::ShardWorker;
 /// shard and collects one [`Response`] per shard, in ascending shard id —
 /// the round barrier every exchange shares.
 pub trait Transport {
-    /// Short transport tag (`"channel"` / `"process"`).
+    /// Short transport tag (`"channel"` / `"process"` / `"socket"`).
     fn name(&self) -> &'static str;
 
     /// One round barrier: deliver `reqs[s]` to worker `s`, return the

@@ -46,6 +46,12 @@ pub const KEY_WIRE_BYTES: u64 = 20;
 /// Wire size of one rank-protocol reply rank.
 pub const RANK_WIRE_BYTES: u64 = 8;
 
+/// Wire size of one retained [`OutputRecord`]: index (8) + u (8) + v (8) +
+/// weight (8) + phase (8) + kind (1) + charged_to (8). Message statistics
+/// multiply record counts by this constant in both directions (retain and
+/// fetch), so every transport reports identical bytes.
+pub const RECORD_WIRE_BYTES: u64 = 49;
+
 /// Everything a worker needs to own one shard: its id, the global vertex
 /// range it owns, and its local CSR arrays (global vertex ids in the
 /// adjacency, exactly as [`usnae_graph::partition::CsrShard`] stores them).
@@ -113,6 +119,33 @@ pub struct Candidate {
     pub parent_rank: u64,
 }
 
+/// One record of a build's output insertion stream, in the transport's
+/// integer-tuple form (the driver's edge/provenance types live above this
+/// crate): the record's position in the original stream plus the edge
+/// `(u, v, weight)` and its provenance `(phase, kind code, charged_to)`.
+///
+/// Workers hold these as their **retained output partition**: the driver
+/// ships each worker the records whose `u` endpoint it owns
+/// ([`Request::Retain`]) and streams them back lazily at finish
+/// ([`Request::FetchRetained`]), merging by `index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputRecord {
+    /// Position in the original insertion stream (the merge key).
+    pub index: u64,
+    /// Lower edge endpoint (canonicalized `u <= v`); ownership key.
+    pub u: u64,
+    /// Upper edge endpoint.
+    pub v: u64,
+    /// Edge weight.
+    pub weight: u64,
+    /// Construction phase that inserted the edge.
+    pub phase: u64,
+    /// Edge-kind code (the driver's `EdgeKind::code`).
+    pub kind: u8,
+    /// Vertex the insertion was charged to.
+    pub charged_to: u64,
+}
+
 /// Driver → worker messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -145,6 +178,22 @@ pub enum Request {
     },
     /// Return the accumulated results for the current task.
     Collect,
+    /// Append these records (all owned by this worker) to the worker's
+    /// retained output partition; the worker replies
+    /// [`Response::Retained`] with its new partition size.
+    Retain {
+        /// Records to retain, ascending by `index`.
+        records: Vec<OutputRecord>,
+    },
+    /// Stream a slice of the retained partition back: up to `max` records
+    /// starting at `offset` (stateless, so a slice can be re-fetched);
+    /// the worker replies [`Response::RetainedPart`].
+    FetchRetained {
+        /// First record to return (position within the partition).
+        offset: u64,
+        /// Maximum records to return.
+        max: u64,
+    },
     /// Tear down; the worker replies [`Response::Stopping`] and exits.
     Shutdown,
 }
@@ -176,6 +225,19 @@ pub enum Response {
     Results {
         /// One vector per ball, ball order.
         balls: Vec<Vec<(VertexId, Dist, u64)>>,
+    },
+    /// Retain acknowledged: the worker's retained partition now holds
+    /// `held` records.
+    Retained {
+        /// Total records in this worker's retained partition.
+        held: u64,
+    },
+    /// One slice of the retained partition, in partition order.
+    RetainedPart {
+        /// The requested records (empty when `offset` is past the end).
+        records: Vec<OutputRecord>,
+        /// Total records in this worker's retained partition.
+        total: u64,
     },
     /// Shutdown acknowledged.
     Stopping,
@@ -309,6 +371,36 @@ fn get_candidates(r: &mut Cursor<'_>) -> Result<Vec<Candidate>, WorkerError> {
     Ok(out)
 }
 
+fn put_records(w: &mut Wire, rs: &[OutputRecord]) {
+    w.usize(rs.len());
+    for rec in rs {
+        w.u64(rec.index);
+        w.u64(rec.u);
+        w.u64(rec.v);
+        w.u64(rec.weight);
+        w.u64(rec.phase);
+        w.u8(rec.kind);
+        w.u64(rec.charged_to);
+    }
+}
+
+fn get_records(r: &mut Cursor<'_>) -> Result<Vec<OutputRecord>, WorkerError> {
+    let n = r.count(RECORD_WIRE_BYTES as usize)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(OutputRecord {
+            index: r.u64()?,
+            u: r.u64()?,
+            v: r.u64()?,
+            weight: r.u64()?,
+            phase: r.u64()?,
+            kind: r.u8()?,
+            charged_to: r.u64()?,
+        });
+    }
+    Ok(out)
+}
+
 impl Request {
     fn kind(&self) -> u8 {
         match self {
@@ -318,6 +410,8 @@ impl Request {
             Request::Ranks { .. } => 3,
             Request::Collect => 4,
             Request::Shutdown => 5,
+            Request::Retain { .. } => 6,
+            Request::FetchRetained { .. } => 7,
         }
     }
 
@@ -370,6 +464,11 @@ impl Request {
                         w.u64(r);
                     }
                 }
+            }
+            Request::Retain { records } => put_records(&mut w, records),
+            Request::FetchRetained { offset, max } => {
+                w.u64(*offset);
+                w.u64(*max);
             }
             Request::Collect | Request::Shutdown => {}
         }
@@ -449,6 +548,13 @@ impl Request {
             }
             4 => Request::Collect,
             5 => Request::Shutdown,
+            6 => Request::Retain {
+                records: get_records(&mut r)?,
+            },
+            7 => Request::FetchRetained {
+                offset: r.u64()?,
+                max: r.u64()?,
+            },
             _ => {
                 return Err(WorkerError::Corrupt {
                     reason: format!("unknown request kind {kind}"),
@@ -468,6 +574,8 @@ impl Response {
             Response::Settled { .. } => 2,
             Response::Results { .. } => 3,
             Response::Stopping => 4,
+            Response::Retained { .. } => 5,
+            Response::RetainedPart { .. } => 6,
         }
     }
 
@@ -500,6 +608,11 @@ impl Response {
                         w.u64(parent);
                     }
                 }
+            }
+            Response::Retained { held } => w.u64(*held),
+            Response::RetainedPart { records, total } => {
+                w.u64(*total);
+                put_records(&mut w, records);
             }
         }
         w.buf
@@ -542,6 +655,12 @@ impl Response {
                 Response::Results { balls }
             }
             4 => Response::Stopping,
+            5 => Response::Retained { held: r.u64()? },
+            6 => {
+                let total = r.u64()?;
+                let records = get_records(&mut r)?;
+                Response::RetainedPart { records, total }
+            }
             _ => {
                 return Err(WorkerError::Corrupt {
                     reason: format!("unknown response kind {kind}"),
@@ -624,6 +743,18 @@ mod tests {
         }
     }
 
+    fn sample_record(index: u64) -> OutputRecord {
+        OutputRecord {
+            index,
+            u: 4,
+            v: 11,
+            weight: 3,
+            phase: 1,
+            kind: 2,
+            charged_to: 4,
+        }
+    }
+
     #[test]
     fn every_message_kind_round_trips() {
         round_trip_request(Request::Init(ShardInit {
@@ -648,6 +779,11 @@ mod tests {
             ranks: vec![(0, vec![0, 3, 4]), (1, vec![])],
         });
         round_trip_request(Request::Collect);
+        round_trip_request(Request::Retain {
+            records: vec![sample_record(0), sample_record(7)],
+        });
+        round_trip_request(Request::Retain { records: vec![] });
+        round_trip_request(Request::FetchRetained { offset: 3, max: 64 });
         round_trip_request(Request::Shutdown);
 
         round_trip_response(Response::Ready);
@@ -660,6 +796,15 @@ mod tests {
         });
         round_trip_response(Response::Results {
             balls: vec![vec![(3, 0, 0), (4, 1, 4)], vec![]],
+        });
+        round_trip_response(Response::Retained { held: 12 });
+        round_trip_response(Response::RetainedPart {
+            records: vec![sample_record(5)],
+            total: 9,
+        });
+        round_trip_response(Response::RetainedPart {
+            records: vec![],
+            total: 0,
         });
         round_trip_response(Response::Stopping);
     }
@@ -747,5 +892,13 @@ mod tests {
         put_candidates(&mut w, &[sample_candidate()]);
         // 8 bytes of count prefix + one candidate.
         assert_eq!(w.buf.len() as u64, 8 + CANDIDATE_WIRE_BYTES);
+    }
+
+    #[test]
+    fn record_wire_size_matches_the_constant() {
+        let mut w = Wire::new();
+        put_records(&mut w, &[sample_record(1)]);
+        // 8 bytes of count prefix + one record.
+        assert_eq!(w.buf.len() as u64, 8 + RECORD_WIRE_BYTES);
     }
 }

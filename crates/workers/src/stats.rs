@@ -12,24 +12,30 @@ pub enum TransportKind {
     /// One spawned `usnae-worker` child process per shard, speaking the
     /// length-prefixed binary protocol over stdin/stdout.
     Process,
+    /// One TCP connection per shard, framing the same binary protocol
+    /// over a socket: loopback-spawned `usnae-worker --listen` children
+    /// by default, or pre-started remote workers via `USNAE_WORKERS_ADDR`.
+    Socket,
 }
 
 impl TransportKind {
     /// All kinds, stable order (CLI help and test matrices iterate this).
-    pub fn all() -> [TransportKind; 3] {
+    pub fn all() -> [TransportKind; 4] {
         [
             TransportKind::Inproc,
             TransportKind::Channel,
             TransportKind::Process,
+            TransportKind::Socket,
         ]
     }
 
-    /// Stable name (`"inproc"` / `"channel"` / `"process"`).
+    /// Stable name (`"inproc"` / `"channel"` / `"process"` / `"socket"`).
     pub fn name(&self) -> &'static str {
         match self {
             TransportKind::Inproc => "inproc",
             TransportKind::Channel => "channel",
             TransportKind::Process => "process",
+            TransportKind::Socket => "socket",
         }
     }
 
@@ -44,6 +50,7 @@ impl TransportKind {
             TransportKind::Inproc => 0,
             TransportKind::Channel => 1,
             TransportKind::Process => 2,
+            TransportKind::Socket => 3,
         }
     }
 

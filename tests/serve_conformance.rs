@@ -230,6 +230,60 @@ fn cache_eviction_is_observable_in_stats_and_jobs_still_serve() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The serve daemon shares one query engine per mapped snapshot: N
+/// connections querying the same `(snapshot, landmarks)` pair must leave
+/// exactly one engine open and count every batch after the first as a
+/// reuse — the per-connection-duplication bug this counter exists to
+/// catch. Answers must be identical no matter which connection asked.
+#[test]
+fn query_engines_are_shared_across_connections() {
+    let dir = scratch("engshare");
+    let (graph_path, _) = fixture_on_disk(&dir);
+    let cfg = ServeConfig::new(dir.join("d.sock"), dir.join("cache"));
+    let (socket, daemon) = spawn_daemon(cfg);
+    let job = JobSpec::new(&graph_path, "centralized", &BuildConfig::default());
+    let pairs: Vec<(u64, u64)> = vec![(0, 24), (5, 31)];
+
+    // Sequential connections first: each opens fresh, queries, drops.
+    let mut answers = Vec::new();
+    for _ in 0..3 {
+        let mut client = Client::connect(&socket).expect("connect");
+        answers.push(client.query(&job, &pairs, 0).expect("query").distances);
+    }
+    assert!(answers.windows(2).all(|w| w[0] == w[1]), "{answers:?}");
+
+    // Concurrent connections share the same engine too.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let socket = socket.clone();
+            let job = job.clone();
+            let pairs = pairs.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(&socket).expect("connect");
+                client.query(&job, &pairs, 0).expect("query");
+            });
+        }
+    });
+
+    // A different landmark count is a different engine key.
+    let mut client = Client::connect(&socket).expect("connect");
+    client.query(&job, &pairs, 2).expect("landmark query");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.engines_open, 2,
+        "one exact engine + one landmark engine, not one per connection"
+    );
+    assert_eq!(
+        stats.engine_reuses, 6,
+        "every exact batch after the first must reuse the shared engine"
+    );
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Several clients issuing overlapping builds of the *same* job: exactly
 /// one construction should publish, the rest serve warm or rebuild
 /// race-free, and every reported fingerprint is identical.

@@ -1,9 +1,10 @@
 //! Registry-wide worker-conformance suite: a build whose sharded
 //! exploration phases run on a **worker pool** — one worker per CSR
-//! shard, talking typed frontier messages over the channel (OS threads)
-//! or process (child `usnae-worker`) transport — is **byte-identical**
-//! to the build over the shared adjacency array. Every algorithm in the
-//! catalogue, both worker transports, shard counts {2, 4}.
+//! shard, talking typed frontier messages over the channel (OS threads),
+//! process (child `usnae-worker` over pipes), or socket (the same framed
+//! protocol over TCP) transport — is **byte-identical** to the build
+//! over the shared adjacency array. Every algorithm in the catalogue,
+//! all three worker transports, shard counts {2, 4}.
 //!
 //! This is the enforcement arm of `usnae_workers`: a transport may only
 //! change *where* the exploration work executes and *how* frontiers
@@ -23,12 +24,16 @@
 //! An interleaving-stress leg reruns the channel matrix with seeded
 //! random per-worker delays (`USNAE_WORKER_DELAY_SEED`) to scramble the
 //! thread schedule: the round barrier must make worker timing
-//! output-invisible.
+//! output-invisible. A kill-injection stress leg
+//! (`USNAE_WORKER_KILL_SEED`, set on a child `usnae` CLI process so it
+//! cannot leak into concurrently running tests) kills workers abruptly
+//! mid-round: the build must fail with a typed worker error within its
+//! timeout, never hang.
 //!
 //! The CI `worker-matrix` leg sets `USNAE_TEST_TRANSPORT` to focus one
-//! job on one transport; without it the suite sweeps both. The process
-//! transport needs the `usnae-worker` binary — a workspace-level
-//! `cargo test`/`cargo build` produces it; a targeted
+//! job on one transport; without it the suite sweeps all three. The
+//! process and socket transports need the `usnae-worker` binary — a
+//! workspace-level `cargo test`/`cargo build` produces it; a targeted
 //! `cargo test --test worker_conformance` must be preceded by
 //! `cargo build -p usnae-workers` (same profile).
 
@@ -53,7 +58,11 @@ fn transports() -> Vec<TransportKind> {
             );
             vec![t]
         }
-        Err(_) => vec![TransportKind::Channel, TransportKind::Process],
+        Err(_) => vec![
+            TransportKind::Channel,
+            TransportKind::Process,
+            TransportKind::Socket,
+        ],
     }
 }
 
@@ -333,5 +342,181 @@ fn transport_composes_with_threads_and_cache() {
     // the work — transport included.
     assert_eq!(warm.stats.transport, TransportKind::Channel);
     assert_eq!(warm.stats.messages, cold.stats.messages);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Per-shard CSR inits for a path graph 0-1-…-(n-1), owned ranges split
+/// evenly — the direct [`WorkerPool`] harness the merge-order test drives
+/// (no build, no registry: the retained-partition protocol in isolation).
+fn path_inits(n: usize, num_shards: usize) -> Vec<usnae::workers::ShardInit> {
+    (0..num_shards)
+        .map(|shard| {
+            let start = shard * n / num_shards;
+            let end = (shard + 1) * n / num_shards;
+            let mut offsets = vec![0usize];
+            let mut adjacency = Vec::new();
+            for v in start..end {
+                if v > 0 {
+                    adjacency.push(v - 1);
+                }
+                if v + 1 < n {
+                    adjacency.push(v + 1);
+                }
+                offsets.push(adjacency.len());
+            }
+            usnae::workers::ShardInit {
+                shard,
+                num_shards,
+                num_vertices: n,
+                start,
+                end,
+                offsets,
+                adjacency,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn worker_held_partitions_merge_identically_across_transports_and_chunks() {
+    use usnae::workers::{OutputRecord, WorkerPool};
+    let n = 16usize;
+    // Owners interleave across the whole stream: consecutive indices land
+    // on different shards, so any merge that trusts arrival order instead
+    // of the stream index scrambles.
+    let records: Vec<OutputRecord> = (0..97u64)
+        .map(|i| OutputRecord {
+            index: i,
+            u: (i * 7) % n as u64,
+            v: (i * 7 + 1) % n as u64,
+            weight: i + 1,
+            phase: i % 4,
+            kind: (i % 3) as u8,
+            charged_to: (i * 7) % n as u64,
+        })
+        .collect();
+    let mut merged_streams: Vec<Vec<OutputRecord>> = Vec::new();
+    for transport in transports() {
+        for shards in [2usize, 4] {
+            let ctx = format!("{transport} x{shards}");
+            let mut pool = WorkerPool::new(transport, path_inits(n, shards))
+                .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            pool.retain_outputs(&records)
+                .unwrap_or_else(|e| panic!("{ctx}: retain: {e}"));
+            // The fetch is stateless on the worker side: every chunk size
+            // (single-record, ragged, one-shot) and every repetition must
+            // reproduce the identical merged stream.
+            let mut last: Option<Vec<Vec<OutputRecord>>> = None;
+            for chunk in [1usize, 3, 1000, 3] {
+                let parts = pool
+                    .fetch_retained(chunk)
+                    .unwrap_or_else(|e| panic!("{ctx}: fetch chunk={chunk}: {e}"));
+                assert_eq!(parts.len(), shards, "{ctx}");
+                for part in &parts {
+                    assert!(
+                        part.windows(2).all(|w| w[0].index < w[1].index),
+                        "{ctx}: partition not index-ascending"
+                    );
+                }
+                if let Some(prev) = &last {
+                    assert_eq!(prev, &parts, "{ctx}: re-fetch diverged (chunk={chunk})");
+                }
+                last = Some(parts);
+            }
+            let mut merged: Vec<OutputRecord> = last
+                .expect("fetched at least once")
+                .into_iter()
+                .flatten()
+                .collect();
+            merged.sort_unstable_by_key(|r| r.index);
+            assert_eq!(merged, records, "{ctx}: merge lost or reordered records");
+            merged_streams.push(merged);
+            pool.shutdown()
+                .unwrap_or_else(|e| panic!("{ctx}: shutdown: {e}"));
+        }
+    }
+    // Transport- and shard-invariance of the merged stream itself.
+    for pair in merged_streams.windows(2) {
+        assert_eq!(pair[0], pair[1]);
+    }
+}
+
+/// Locates a sibling binary of this test executable (target/<profile>/).
+fn sibling_bin(name: &str) -> std::path::PathBuf {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut dir = exe.parent().expect("deps dir").to_path_buf();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let bin = dir.join(name);
+    assert!(
+        bin.exists(),
+        "{} not found next to the test binary — run a workspace-level \
+         `cargo test`/`cargo build` first",
+        bin.display()
+    );
+    bin
+}
+
+#[test]
+fn killed_workers_fail_typed_within_timeout() {
+    // The kill switch lives in an env var, and env vars are process-global
+    // — so the injection runs in a *child* `usnae` CLI process with the
+    // var set only on that command, never in this (concurrently tested)
+    // process. The child's build must die with a typed worker error and a
+    // nonzero exit within the timeout: a hang here is the bug this leg
+    // exists to catch.
+    let cli = sibling_bin("usnae");
+    let dir = std::env::temp_dir().join(format!("usnae-worker-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let edges_path = dir.join("g.edges");
+    let g = input(5, false);
+    let mut text = String::new();
+    for (u, v) in g.edges() {
+        text.push_str(&format!("{u} {v}\n"));
+    }
+    std::fs::write(&edges_path, text).unwrap();
+
+    for transport in ["process", "socket"] {
+        let mut child = std::process::Command::new(&cli)
+            .args([
+                "run",
+                "--algo",
+                "fast-centralized",
+                "--input",
+                edges_path.to_str().unwrap(),
+                "--transport",
+                transport,
+                "--shards",
+                "2",
+            ])
+            .env("USNAE_WORKER_KILL_SEED", "99")
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn usnae CLI");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let status = loop {
+            match child.try_wait().expect("try_wait") {
+                Some(status) => break status,
+                None if std::time::Instant::now() > deadline => {
+                    let _ = child.kill();
+                    panic!("{transport}: killed-worker build hung past the timeout");
+                }
+                None => std::thread::sleep(std::time::Duration::from_millis(50)),
+            }
+        };
+        let out = child.wait_with_output().expect("collect child output");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            !status.success(),
+            "{transport}: build with killed workers must fail (stderr: {stderr})"
+        );
+        assert!(
+            stderr.contains("worker"),
+            "{transport}: expected a typed worker error, got: {stderr}"
+        );
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
